@@ -1,0 +1,29 @@
+//! Attack framework for the Fidelius reproduction.
+//!
+//! Implements the attack surfaces from the paper's §2.2 and §6 as
+//! executable scenarios, each run against four defense configurations:
+//!
+//! | configuration | meaning |
+//! |---|---|
+//! | `VanillaXen` | plain Xen, no memory encryption |
+//! | `XenSev` | SEV guests, hypervisor-managed (the paper's baseline) |
+//! | `XenSevEs` | SEV plus simulated SEV-ES (encrypted VMCB/registers) |
+//! | `Fidelius` | the full system |
+//!
+//! Attacks do **not** use the Guardian's polite interfaces — they go
+//! straight at the simulated memory system, physical DRAM and SEV command
+//! surface, exactly as a compromised hypervisor or physical attacker
+//! would. What stops them (or fails to) is the architecture, not the API.
+//!
+//! [`xsa`] reproduces the paper's quantitative §6.2 analysis of 235 Xen
+//! Security Advisories.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod defense;
+pub mod scenarios;
+pub mod xsa;
+
+pub use defense::{Defense, SevEsSim, VictimSetup};
+pub use scenarios::{all_attacks, run_matrix, Attack, AttackOutcome, AttackReport};

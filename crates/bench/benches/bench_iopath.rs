@@ -1,0 +1,53 @@
+//! Wall-clock cost of one PV disk write under the three I/O protection
+//! paths (plain / AES-NI / SEV API).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fidelius_core::Fidelius;
+use fidelius_crypto::modes::SECTOR_SIZE;
+use fidelius_sev::GuestOwner;
+use fidelius_xen::frontend::IoPath;
+use fidelius_xen::system::GuestConfig;
+use fidelius_xen::{DomainId, System, Unprotected};
+
+const DRAM: u64 = 32 * 1024 * 1024;
+
+fn plain_system() -> (System, DomainId) {
+    let mut sys = System::new(DRAM, 2, Box::new(Unprotected::new())).expect("boot");
+    let dom = sys
+        .create_guest(GuestConfig { mem_pages: 192, sev: false, kernel: vec![0x90] })
+        .expect("guest");
+    sys.setup_block_device(dom, vec![0u8; 256 * SECTOR_SIZE], IoPath::Plain, None).expect("blk");
+    (sys, dom)
+}
+
+fn fidelius_system(path: IoPath) -> (System, DomainId) {
+    let mut sys = System::new(DRAM, 2, Box::new(Fidelius::new())).expect("boot");
+    let mut owner = GuestOwner::new(2);
+    let image = owner.package_image(&[0x90], &sys.plat.firmware.pdh_public());
+    let dom = fidelius_core::lifecycle::boot_encrypted_guest(&mut sys, &image, 192).expect("boot");
+    let kblk = if path == IoPath::SevApi { None } else { Some([0x4B; 16]) };
+    sys.setup_block_device(dom, vec![0u8; 256 * SECTOR_SIZE], path, kblk).expect("blk");
+    (sys, dom)
+}
+
+fn bench_iopath(c: &mut Criterion) {
+    let data = vec![0x5Au8; SECTOR_SIZE];
+    let mut group = c.benchmark_group("disk_write_one_sector");
+    group.sample_size(10);
+    let (mut sys, dom) = plain_system();
+    group.bench_function("plain", |b| {
+        b.iter(|| sys.disk_write(dom, 1, &data).expect("write"))
+    });
+    let (mut sys, dom) = fidelius_system(IoPath::AesNi);
+    group.bench_function("aesni_kblk", |b| {
+        b.iter(|| sys.disk_write(dom, 1, &data).expect("write"))
+    });
+    let (mut sys, dom) = fidelius_system(IoPath::SevApi);
+    group.bench_function("sev_api_helpers", |b| {
+        b.iter(|| sys.disk_write(dom, 1, &data).expect("write"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_iopath);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 6: PARSEC normalized overhead of Fidelius and Fidelius-enc
+//! over original Xen.
+
+fn main() {
+    let costs = fidelius_workloads::measure_event_costs().expect("measure");
+    let rows =
+        fidelius_workloads::runner::figure_rows(&fidelius_workloads::parsec_profiles(), &costs);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                fidelius_bench::pct(r.fidelius_pct),
+                fidelius_bench::pct(r.fidelius_enc_pct),
+            ]
+        })
+        .collect();
+    fidelius_bench::print_table(
+        "Figure 6 — PARSEC normalized overhead vs Xen",
+        &["benchmark", "Fidelius", "Fidelius-enc"],
+        &table,
+    );
+    let (avg_fid, avg_enc) = fidelius_workloads::runner::averages(&rows);
+    let rest: Vec<_> = rows.iter().filter(|r| r.name != "canneal").cloned().collect();
+    let (_, avg_rest) = fidelius_workloads::runner::averages(&rest);
+    println!("\n  average: Fidelius {avg_fid:.2}% (paper: 0.43%), Fidelius-enc {avg_enc:.2}% (paper: 1.97%)");
+    println!("  excluding canneal: Fidelius-enc {avg_rest:.2}% (paper: 0.95%)");
+}

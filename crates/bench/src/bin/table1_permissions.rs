@@ -1,0 +1,80 @@
+//! Table 1: permissions and policies for critical resources — verified
+//! dynamically against a live Fidelius system.
+
+use fidelius_core::Fidelius;
+use fidelius_sev::GuestOwner;
+use fidelius_xen::layout::{direct_map, FIDELIUS_DATA_BASE};
+use fidelius_xen::{System, XenError};
+
+fn probe_write(sys: &mut System, va: fidelius_hw::Hva) -> &'static str {
+    match sys.plat.machine.host_write_u64(va, 0xBAD) {
+        Ok(()) => "Writable",
+        Err(_) => match sys.plat.machine.host_read_u64(va) {
+            Ok(_) => "Read-only",
+            Err(_) => "No access",
+        },
+    }
+}
+
+fn main() -> Result<(), XenError> {
+    let mut sys = System::new(24 * 1024 * 1024, 5, Box::new(Fidelius::new()))?;
+    let mut owner = GuestOwner::new(5);
+    let image = owner.package_image(&[0x90], &sys.plat.firmware.pdh_public());
+    let dom = fidelius_core::lifecycle::boot_encrypted_guest(&mut sys, &image, 192)?;
+    sys.ensure_host()?;
+
+    let pt_root = sys.xen.host_pt_root;
+    let npt_root = sys.xen.domain(dom)?.npt_root;
+    let grant = sys.xen.grant_table_pa;
+    let vmcb = sys.xen.domain(dom)?.vmcb_pa;
+
+    let rows = vec![
+        vec![
+            "Page tables (Xen)".into(),
+            probe_write(&mut sys, direct_map(pt_root)).into(),
+            "PIT based policy".into(),
+        ],
+        vec![
+            "NPT (guest VM)".into(),
+            probe_write(&mut sys, direct_map(npt_root)).into(),
+            "PIT based policy".into(),
+        ],
+        vec![
+            "Grant tables".into(),
+            probe_write(&mut sys, direct_map(grant)).into(),
+            "GIT based policy".into(),
+        ],
+        vec![
+            "Page info table".into(),
+            probe_write(&mut sys, FIDELIUS_DATA_BASE).into(),
+            "Xen not writable".into(),
+        ],
+        vec![
+            "Grant info table".into(),
+            probe_write(&mut sys, FIDELIUS_DATA_BASE.add(0x1000)).into(),
+            "Xen not writable".into(),
+        ],
+        vec![
+            "Guest states (VMCB)".into(),
+            probe_write(&mut sys, direct_map(vmcb)).into(),
+            "Exit reasons based".into(),
+        ],
+        vec![
+            "Shadow states".into(),
+            probe_write(&mut sys, FIDELIUS_DATA_BASE.add(0x2000)).into(),
+            "Xen not accessible".into(),
+        ],
+        vec![
+            "SEV metadata".into(),
+            probe_write(&mut sys, FIDELIUS_DATA_BASE.add(0x3000)).into(),
+            "Xen not accessible".into(),
+        ],
+    ];
+    fidelius_bench::print_table(
+        "Table 1 — permissions in the hypervisor's address space (probed live)",
+        &["resource", "Xen permission", "policy"],
+        &rows,
+    );
+    println!("\n  (Fidelius itself reaches all of these through its gates.)");
+    Ok(())
+}

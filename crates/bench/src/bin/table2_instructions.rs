@@ -1,0 +1,72 @@
+//! Table 2: privileged instruction protection — verified dynamically.
+
+use fidelius_core::Fidelius;
+use fidelius_hw::cpu::PrivOp;
+use fidelius_hw::regs::{Cr0, Cr4, Efer};
+use fidelius_hw::Hpa;
+use fidelius_xen::{System, XenError};
+
+fn main() -> Result<(), XenError> {
+    let mut sys = System::new(24 * 1024 * 1024, 6, Box::new(Fidelius::new()))?;
+    let xen_sites = sys.xen.xen_sites;
+    let host_root = sys.xen.host_pt_root;
+
+    // Attempt each instruction (a) raw, at its erstwhile hypervisor site,
+    // and (b) with a policy-violating operand through the guardian.
+    let mut rows = Vec::new();
+    let mut case = |sys: &mut System,
+                    name: &str,
+                    gate: &str,
+                    site: fidelius_hw::Hva,
+                    bad: PrivOp,
+                    policy: &str| {
+        let raw = sys.plat.machine.exec_priv(site, bad).is_err();
+        let guarded = sys.guardian.exec_priv(&mut sys.plat, bad).is_err();
+        rows.push(vec![
+            name.to_string(),
+            gate.to_string(),
+            if raw { "erased/unmapped in Xen" } else { "EXECUTABLE (!)" }.to_string(),
+            if guarded { "denied" } else { "ALLOWED (!)" }.to_string(),
+            policy.to_string(),
+        ]);
+    };
+    case(
+        &mut sys, "MOV CR0", "type 2", xen_sites.write_cr0,
+        PrivOp::WriteCr0(Cr0 { pg: true, wp: false }),
+        "PG and WP cannot be cleared",
+    );
+    case(
+        &mut sys, "MOV CR4", "type 2", xen_sites.write_cr4,
+        PrivOp::WriteCr4(Cr4 { smep: false }),
+        "SMEP cannot be cleared",
+    );
+    case(
+        &mut sys, "WRMSR", "type 2", xen_sites.wrmsr,
+        PrivOp::WriteEfer(Efer { nxe: false, svme: true }),
+        "NXE cannot be cleared",
+    );
+    case(
+        &mut sys, "VMRUN", "type 3", xen_sites.vmrun,
+        PrivOp::Vmrun(Hpa(0x5000)),
+        "VMCB fields cannot be tampered",
+    );
+    case(
+        &mut sys, "MOV CR3", "type 3", xen_sites.write_cr3,
+        PrivOp::WriteCr3(Hpa(0x6666_0000)),
+        "target CR3 must be valid",
+    );
+    fidelius_bench::print_table(
+        "Table 2 — privileged instructions under Fidelius (probed live)",
+        &["instruction", "gate", "raw execution", "bad operand via gate", "policy"],
+        &rows,
+    );
+    // And the legitimate uses still work:
+    sys.guardian
+        .exec_priv(&mut sys.plat, PrivOp::WriteCr0(Cr0 { pg: true, wp: true }))
+        .expect("legal CR0 write");
+    sys.guardian
+        .exec_priv(&mut sys.plat, PrivOp::WriteCr3(host_root))
+        .expect("legal CR3 reload");
+    println!("\n  legitimate operations (WP kept, valid CR3 target) pass the gates.");
+    Ok(())
+}

@@ -1,0 +1,192 @@
+//! The audit log (paper §5.3: on a write-forbidding violation, Fidelius
+//! will "simply impede the write operation, and log this operation for
+//! further auditing").
+//!
+//! Every policy rejection and integrity violation Fidelius makes is
+//! recorded with what was attempted and why it was refused; a cloud
+//! operator (or the guest owner, via attestation-protected channels)
+//! reads this to detect a compromised hypervisor probing its boundaries.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// What kind of event was recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AuditKind {
+    /// A PIT policy rejected a mapping update.
+    PitViolation,
+    /// A GIT policy rejected a grant operation.
+    GitViolation,
+    /// A privileged-instruction policy rejected an operand.
+    InstrViolation,
+    /// VMCB/register integrity verification failed at the entry boundary.
+    IntegrityViolation,
+    /// A write-once / execute-once policy latched.
+    OnceViolation,
+    /// Any other policy denial.
+    Other,
+}
+
+impl fmt::Display for AuditKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AuditKind::PitViolation => "pit",
+            AuditKind::GitViolation => "git",
+            AuditKind::InstrViolation => "instr",
+            AuditKind::IntegrityViolation => "integrity",
+            AuditKind::OnceViolation => "once",
+            AuditKind::Other => "other",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditEvent {
+    /// Monotonic sequence number.
+    pub seq: u64,
+    /// Classification.
+    pub kind: AuditKind,
+    /// Why the operation was refused.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for AuditEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{} [{}] {}", self.seq, self.kind, self.reason)
+    }
+}
+
+/// A bounded in-(protected-)memory audit log.
+#[derive(Debug)]
+pub struct AuditLog {
+    events: VecDeque<AuditEvent>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl Default for AuditLog {
+    fn default() -> Self {
+        Self::new(1024)
+    }
+}
+
+impl AuditLog {
+    /// A log keeping the most recent `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero capacity.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "audit log needs capacity");
+        AuditLog { events: VecDeque::with_capacity(capacity), capacity, next_seq: 0, dropped: 0 }
+    }
+
+    /// Records an event, evicting the oldest when full.
+    pub fn record(&mut self, kind: AuditKind, reason: &'static str) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(AuditEvent { seq: self.next_seq, kind, reason });
+        self.next_seq += 1;
+    }
+
+    /// Iterates the retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &AuditEvent> {
+        self.events.iter()
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Events evicted due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Count of retained events of a kind.
+    pub fn count(&self, kind: AuditKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+}
+
+/// Classifies a denial reason string into an [`AuditKind`] (reasons are
+/// the static strings Fidelius's policies emit).
+pub fn classify(reason: &str) -> AuditKind {
+    if reason.contains("grant") || reason.contains("pre_sharing") {
+        AuditKind::GitViolation
+    } else if reason.contains("CR0")
+        || reason.contains("CR3")
+        || reason.contains("CR4")
+        || reason.contains("SMEP")
+        || reason.contains("NXE")
+        || reason.contains("SVME")
+        || reason.contains("VMRUN")
+        || reason.contains("vmrun")
+    {
+        AuditKind::InstrViolation
+    } else if reason.contains("once") {
+        AuditKind::OnceViolation
+    } else if reason.contains("tampered")
+        || reason.contains("mismatch")
+        || reason.contains("diverted")
+    {
+        AuditKind::IntegrityViolation
+    } else if reason.contains("page") || reason.contains("frame") || reason.contains("NPT")
+        || reason.contains("PIT") || reason.contains("replay") || reason.contains("mappable")
+    {
+        AuditKind::PitViolation
+    } else {
+        AuditKind::Other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts() {
+        let mut log = AuditLog::new(4);
+        log.record(AuditKind::PitViolation, "mapping violates PIT policy");
+        log.record(AuditKind::GitViolation, "grant not authorized");
+        assert_eq!(log.total(), 2);
+        assert_eq!(log.count(AuditKind::PitViolation), 1);
+        let first = log.iter().next().unwrap();
+        assert_eq!(first.seq, 0);
+        assert_eq!(first.to_string(), "#0 [pit] mapping violates PIT policy");
+    }
+
+    #[test]
+    fn bounded_with_eviction() {
+        let mut log = AuditLog::new(2);
+        for _ in 0..5 {
+            log.record(AuditKind::Other, "x");
+        }
+        assert_eq!(log.total(), 5);
+        assert_eq!(log.dropped(), 3);
+        let seqs: Vec<u64> = log.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![3, 4]);
+    }
+
+    #[test]
+    fn classification_heuristics() {
+        assert_eq!(classify("grant not authorized by pre_sharing (GIT)"), AuditKind::GitViolation);
+        assert_eq!(classify("CR0.WP cannot be cleared"), AuditKind::InstrViolation);
+        assert_eq!(classify("remapping a populated GPA (replay)"), AuditKind::PitViolation);
+        assert_eq!(classify("vmcb field tampered"), AuditKind::IntegrityViolation);
+        assert_eq!(classify("write-once page already initialized"), AuditKind::OnceViolation);
+        assert_eq!(classify("???"), AuditKind::Other);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = AuditLog::new(0);
+    }
+}

@@ -1,0 +1,930 @@
+//! The Fidelius protection context: the [`Guardian`] implementation that
+//! enforces the paper's design.
+//!
+//! | resource | mechanism | gate |
+//! |---|---|---|
+//! | VMCB + guest registers | shadowing with exit-reason masking (§4.2.1) | entry/exit boundary |
+//! | host page tables | write-protected, PIT policy (§4.1.1) | type 1 |
+//! | guest NPTs | write-protected, PIT + assignment policy (§4.2.2) | type 1 |
+//! | grant table | write-protected, GIT policy (§4.3.7) | type 1 |
+//! | SEV metadata (handles, ASIDs, session keys) | self-maintained in private memory (§4.2.3) | type 3 |
+//! | privileged instructions | monopolized + policy (Table 2) / unmapped | type 2 / 3 |
+//! | guest frames | unmapped from the hypervisor after boot (§4.3.4) | — |
+
+use crate::audit::{classify, AuditKind, AuditLog};
+use crate::gates::{GateMapping, Gates};
+use crate::git::{Git, GitEntry};
+use crate::pit::{Pit, PitEntry, Usage};
+use crate::policy::{check_instr, InstrPolicyCtx, InstrVerdict, OncePolicy};
+use crate::scanner;
+use crate::shadow::{ShadowCtx, Verdict};
+use fidelius_crypto::sha256::Sha256;
+use fidelius_hw::cpu::PrivOp;
+use fidelius_hw::memctrl::EncSel;
+use fidelius_hw::paging::{Mapper, PhysPtAccess, Pte, PtAccess, PTE_NX, PTE_PRESENT, PTE_WRITABLE};
+use fidelius_hw::regs::Cr4;
+use fidelius_hw::vmcb::{ExitCode, VmcbField, VmcbImage};
+use fidelius_hw::{Hpa, PAGE_SIZE};
+use fidelius_sev::firmware::IoHelpers;
+use fidelius_sev::Handle;
+use fidelius_xen::domain::{Domain, DomainId};
+use fidelius_xen::grants::{read_entry_phys, GrantEntry, GRANT_ENTRY_SIZE, GRANT_TABLE_ENTRIES};
+use fidelius_xen::guardian::{GuardError, Guardian, IoDir, LateLaunchInfo};
+use fidelius_xen::hypercall::HC_PRE_SHARING_OP;
+use fidelius_xen::layout::direct_map;
+use fidelius_xen::platform::{Platform, FIDELIUS_DATA_PA, GUEST_POOL_PA};
+use std::any::Any;
+use std::collections::HashMap;
+
+/// Number of VMCB save-area fields masked per exit on real hardware; used
+/// for cycle accounting (our compact VMCB model has fewer named fields).
+const MASKED_FIELDS_NOMINAL: u64 = 28;
+/// VMCB size in cache lines for shadow-cost accounting.
+const VMCB_LINES: u64 = 64;
+
+#[derive(Debug, Clone, Copy)]
+struct NptPageInfo {
+    dom: DomainId,
+    level: u8,
+    gpa_prefix: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DomMeta {
+    asid: u16,
+    vmcb_pa: Hpa,
+    npt_root: Hpa,
+    sealed: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SevMeta {
+    handle: Handle,
+    io: Option<IoHelpers>,
+}
+
+/// Counters exposed for the evaluation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FideliusStats {
+    /// VMCB/register integrity violations detected and blocked.
+    pub integrity_violations: u64,
+    /// Policy rejections (PIT, GIT, instruction policies).
+    pub policy_rejections: u64,
+    /// Shadow/verify round trips performed.
+    pub shadow_round_trips: u64,
+    /// Privileged instructions erased from the hypervisor image at late
+    /// launch.
+    pub instructions_erased: u64,
+}
+
+/// The Fidelius guardian.
+pub struct Fidelius {
+    pit: Pit,
+    git: Git,
+    gates: Option<Gates>,
+    once: OncePolicy,
+    shadows: HashMap<DomainId, ShadowCtx>,
+    assignments: HashMap<DomainId, HashMap<u64, Hpa>>,
+    npt_pages: HashMap<u64, NptPageInfo>, // keyed by pfn
+    doms: HashMap<DomainId, DomMeta>,
+    sev_meta: HashMap<DomainId, SevMeta>,
+    host_pt_root: Hpa,
+    grant_table_pa: Hpa,
+    xen_code_measurement: [u8; 32],
+    instr_ctx: InstrPolicyCtx,
+    stats: FideliusStats,
+    audit: AuditLog,
+}
+
+impl std::fmt::Debug for Fidelius {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fidelius")
+            .field("domains", &self.doms.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Default for Fidelius {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fidelius {
+    /// A Fidelius instance awaiting late launch.
+    pub fn new() -> Self {
+        Fidelius {
+            pit: Pit::new(),
+            git: Git::new(),
+            gates: None,
+            once: OncePolicy::new(),
+            shadows: HashMap::new(),
+            assignments: HashMap::new(),
+            npt_pages: HashMap::new(),
+            doms: HashMap::new(),
+            sev_meta: HashMap::new(),
+            host_pt_root: Hpa(0),
+            grant_table_pa: Hpa(0),
+            xen_code_measurement: [0; 32],
+            instr_ctx: InstrPolicyCtx { host_pt_root: Hpa(0) },
+            stats: FideliusStats::default(),
+            audit: AuditLog::default(),
+        }
+    }
+
+    /// Statistics for the evaluation.
+    pub fn stats(&self) -> FideliusStats {
+        self.stats
+    }
+
+    /// The late-launch measurement of the hypervisor's code (for remote
+    /// attestation).
+    pub fn xen_measurement(&self) -> [u8; 32] {
+        self.xen_code_measurement
+    }
+
+    /// Gate invocation counters (type 1, 2, 3).
+    pub fn gate_counts(&self) -> (u64, u64, u64) {
+        self.gates.as_ref().map(|g| g.counts()).unwrap_or((0, 0, 0))
+    }
+
+    /// Read-only PIT view (tests and analysis).
+    pub fn pit(&self) -> &Pit {
+        &self.pit
+    }
+
+    /// Registers the SEV firmware handle Fidelius holds for a domain
+    /// (set by the encrypted-boot lifecycle).
+    pub fn register_sev_handle(&mut self, dom: DomainId, handle: Handle) {
+        self.sev_meta.insert(dom, SevMeta { handle, io: None });
+    }
+
+    /// The SEV handle for a domain, if Fidelius manages one.
+    pub fn sev_handle(&self, dom: DomainId) -> Option<Handle> {
+        self.sev_meta.get(&dom).map(|m| m.handle)
+    }
+
+    /// The write-once policy (§5.3) applied to a guest's start_info /
+    /// shared_info page: the hypervisor may initialize the page exactly
+    /// once (mediated, through the gate); later writes are denied.
+    ///
+    /// # Errors
+    ///
+    /// Denied on the second attempt or for un-populated pages.
+    pub fn write_once_page(
+        &mut self,
+        plat: &mut Platform,
+        dom: DomainId,
+        gpa_page: u64,
+        data: &[u8],
+    ) -> Result<(), GuardError> {
+        let frame = self
+            .assignments
+            .get(&dom)
+            .and_then(|m| m.get(&gpa_page))
+            .copied()
+            .ok_or(GuardError::Policy("write-once target not populated"))?;
+        if !self.once.tracks(frame) {
+            self.once.track(frame, PAGE_SIZE);
+        }
+        if !self.once.try_use_page(frame) {
+            return Err(self.deny("write-once page already initialized"));
+        }
+        let e = self.pit.peek(frame);
+        self.pit.set(frame, PitEntry::new(Usage::WriteOnce, e.owner(), e.asid(), e.shared()));
+        let mut gates = self.gates.take().expect("late_launch must run first");
+        let data = data.to_vec();
+        let result = gates.type1(plat, move |plat| {
+            plat.machine
+                .mc
+                .dram_mut()
+                .write_raw(frame, &data)
+                .map_err(GuardError::Hw)
+        });
+        self.gates = Some(gates);
+        result
+    }
+
+    /// Produces a remote-attestation report: the late-launch measurement
+    /// of the hypervisor's code plus a caller nonce, tagged by the
+    /// platform firmware (§4.3.1: "issue a measurement on its integrity,
+    /// which can be used in remote attestation to verify its validity").
+    pub fn attestation_report(&self, plat: &Platform, nonce: &[u8; 32]) -> ([u8; 32], [u8; 32]) {
+        let mut evidence = Vec::with_capacity(64);
+        evidence.extend_from_slice(&self.xen_code_measurement);
+        evidence.extend_from_slice(nonce);
+        (self.xen_code_measurement, plat.firmware.attest(&evidence))
+    }
+
+    /// Benchmark hook: runs each gate type `iters` times on the live
+    /// platform and returns the average simulated cycles per round trip
+    /// (type 1, type 2 — net of the monopolized instruction itself —,
+    /// type 3 — net of the CR3 reload it performs). Reproduces the
+    /// paper's micro-benchmark 1 methodology.
+    ///
+    /// # Errors
+    ///
+    /// Gate execution failures (should not happen after late launch).
+    pub fn measure_gates(
+        &mut self,
+        plat: &mut Platform,
+        iters: u32,
+    ) -> Result<(f64, f64, f64), GuardError> {
+        let mut gates = self.gates.take().expect("late_launch must run first");
+        let host_root = self.host_pt_root;
+        let measure = |plat: &mut Platform, f: &mut dyn FnMut(&mut Platform) -> Result<(), GuardError>|
+            -> Result<f64, GuardError> {
+            let start = plat.machine.cycles.total_f64();
+            for _ in 0..iters {
+                f(plat)?;
+            }
+            Ok((plat.machine.cycles.total_f64() - start) / f64::from(iters))
+        };
+        let t1 = measure(plat, &mut |plat| gates.type1(plat, |_| Ok(())))?;
+        let cli_cost = plat.machine.cost.cli;
+        let t2raw = measure(plat, &mut |plat| gates.type2(plat, PrivOp::Cli))?;
+        let sti_site = gates.sites.sti;
+        plat.machine.exec_priv(sti_site, PrivOp::Sti).map_err(GuardError::Hw)?;
+        let cr3_cost = plat.machine.cost.write_cr3 + plat.machine.cost.tlb_flush_full;
+        let t3raw =
+            measure(plat, &mut |plat| gates.type3(plat, PrivOp::WriteCr3(host_root)))?;
+        self.gates = Some(gates);
+        Ok((t1, t2raw - cli_cost, t3raw - cr3_cost))
+    }
+
+    fn gates_mut(&mut self) -> &mut Gates {
+        self.gates.as_mut().expect("late_launch must run first")
+    }
+
+    fn deny(&mut self, why: &'static str) -> GuardError {
+        self.stats.policy_rejections += 1;
+        self.audit.record(classify(why), why);
+        GuardError::Policy(why)
+    }
+
+    /// The audit log of refused operations (§5.3).
+    pub fn audit_log(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    // ----- direct-map manipulation (inside gates) -------------------------
+
+    fn dm_leaf_entry(&self, plat: &mut Platform, pa: Hpa) -> Result<Hpa, GuardError> {
+        let mapper = Mapper::from_root(self.host_pt_root);
+        let mut acc = PhysPtAccess::new(&mut plat.machine.mc, EncSel::None);
+        mapper
+            .leaf_entry_pa(&mut acc, direct_map(pa).0)
+            .map_err(GuardError::Hw)?
+            .ok_or(GuardError::Policy("no direct-map entry"))
+    }
+
+    fn set_dm_entry(
+        &self,
+        plat: &mut Platform,
+        pa: Hpa,
+        f: impl FnOnce(Pte) -> Pte,
+    ) -> Result<(), GuardError> {
+        let entry_pa = self.dm_leaf_entry(plat, pa)?;
+        let mut acc = PhysPtAccess::new(&mut plat.machine.mc, EncSel::None);
+        let old = Pte(acc.read_entry(entry_pa).map_err(GuardError::Hw)?);
+        acc.write_entry(entry_pa, f(old).0).map_err(GuardError::Hw)?;
+        Ok(())
+    }
+
+    fn unmap_dm(&self, plat: &mut Platform, pa: Hpa) -> Result<(), GuardError> {
+        self.set_dm_entry(plat, pa, |p| p.without_flags(PTE_PRESENT))
+    }
+
+    fn remap_dm(&self, plat: &mut Platform, pa: Hpa, writable: bool) -> Result<(), GuardError> {
+        self.set_dm_entry(plat, pa, move |_| {
+            let w = if writable { PTE_WRITABLE } else { 0 };
+            Pte::new(pa, PTE_PRESENT | PTE_NX | w)
+        })
+    }
+
+    fn write_protect_dm(&self, plat: &mut Platform, pa: Hpa) -> Result<(), GuardError> {
+        self.set_dm_entry(plat, pa, |p| p.without_flags(PTE_WRITABLE))
+    }
+
+    // ----- policy helpers ---------------------------------------------------
+
+    /// Decides whether the hypervisor may install a mapping to `target`
+    /// with `writable` permission in *its own* page tables.
+    fn host_mapping_allowed(&mut self, plat: &mut Platform, target: Hpa, writable: bool) -> bool {
+        let e = self.pit.query(target, &mut plat.machine.cycles);
+        match e.usage() {
+            Usage::Free | Usage::XenData | Usage::Vmcb => true,
+            Usage::XenCode
+            | Usage::XenPageTable
+            | Usage::GrantTable
+            | Usage::NptPage
+            | Usage::WriteOnce => !writable,
+            Usage::GuestPage => e.shared(),
+            Usage::FideliusCode => !writable,
+            Usage::FideliusData => false,
+        }
+    }
+
+    fn frame_assigned_elsewhere(&self, dom: DomainId, gpa_page: u64, frame: Hpa) -> bool {
+        self.assignments
+            .get(&dom)
+            .map(|m| m.iter().any(|(g, f)| *f == frame && *g != gpa_page))
+            .unwrap_or(false)
+    }
+
+    fn grant_authorizes_foreign_map(
+        &self,
+        plat: &Platform,
+        grantee: DomainId,
+        frame: Hpa,
+        writable: bool,
+    ) -> bool {
+        for i in 0..GRANT_TABLE_ENTRIES {
+            if let Ok(e) = read_entry_phys(&plat.machine.mc, self.grant_table_pa, i) {
+                if e.valid
+                    && e.frame == frame
+                    && DomainId(e.grantee) == grantee
+                    && (!writable || e.writable)
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+impl Guardian for Fidelius {
+    fn name(&self) -> &'static str {
+        "fidelius"
+    }
+
+    fn late_launch(
+        &mut self,
+        plat: &mut Platform,
+        info: &LateLaunchInfo,
+    ) -> Result<(), GuardError> {
+        self.host_pt_root = info.host_pt_root;
+        self.grant_table_pa = info.grant_table_pa;
+        self.instr_ctx = InstrPolicyCtx { host_pt_root: info.host_pt_root };
+
+        // 1. Measure the hypervisor's code, then monopolize the privileged
+        //    instructions: erase every occurrence from the hypervisor
+        //    image so the only copies live in Fidelius's code.
+        let (xen_pa, xen_pages) = info.xen_code;
+        let mut code = vec![0u8; (xen_pages * PAGE_SIZE) as usize];
+        plat.machine.mc.dram().read_raw(xen_pa, &mut code).map_err(GuardError::Hw)?;
+        self.xen_code_measurement = Sha256::digest(&code);
+        self.stats.instructions_erased = scanner::erase(&mut code) as u64;
+        plat.machine.mc.dram_mut().write_raw(xen_pa, &code).map_err(GuardError::Hw)?;
+
+        // 2. Build the PIT.
+        let dram_pages = plat.machine.mc.dram().frames();
+        self.pit.set_range(Hpa(0), GUEST_POOL_PA.pfn().min(dram_pages), PitEntry::new(Usage::XenData, 0, 0, false));
+        self.pit.set_range(xen_pa, xen_pages, PitEntry::new(Usage::XenCode, 0, 0, false));
+        let (fid_pa, fid_pages) = info.fidelius_code;
+        self.pit.set_range(fid_pa, fid_pages, PitEntry::new(Usage::FideliusCode, 0, 0, false));
+        self.pit.set_range(
+            FIDELIUS_DATA_PA,
+            fidelius_xen::layout::FIDELIUS_DATA_PAGES,
+            PitEntry::new(Usage::FideliusData, 0, 0, false),
+        );
+        self.pit.set_range(
+            Hpa(GUEST_POOL_PA.0),
+            dram_pages.saturating_sub(GUEST_POOL_PA.pfn()),
+            PitEntry::default(), // guest pool: Free
+        );
+        let pt_pages = {
+            let mapper = Mapper::from_root(info.host_pt_root);
+            let mut acc = PhysPtAccess::new(&mut plat.machine.mc, EncSel::None);
+            mapper.collect_table_pages(&mut acc).map_err(GuardError::Hw)?
+        };
+        for &p in &pt_pages {
+            self.pit.set(p, PitEntry::new(Usage::XenPageTable, 0, 0, false));
+        }
+        self.pit.set(info.grant_table_pa, PitEntry::new(Usage::GrantTable, 0, 0, false));
+
+        // 3. Non-bypassable memory isolation: write-protect the critical
+        //    pages in the hypervisor's only mappings of them.
+        for &p in &pt_pages {
+            self.write_protect_dm(plat, p)?;
+        }
+        self.write_protect_dm(plat, info.grant_table_pa)?;
+        for i in 0..xen_pages {
+            self.write_protect_dm(plat, xen_pa.add(i * PAGE_SIZE))?;
+        }
+        for i in 0..fid_pages {
+            self.write_protect_dm(plat, fid_pa.add(i * PAGE_SIZE))?;
+        }
+        // Fidelius private data: unmapped entirely.
+        for i in 0..fidelius_xen::layout::FIDELIUS_DATA_PAGES {
+            let pa = FIDELIUS_DATA_PA.add(i * PAGE_SIZE);
+            self.unmap_dm(plat, pa)?;
+            // Also the FIDELIUS_DATA_BASE alias.
+            let va = fidelius_xen::layout::FIDELIUS_DATA_BASE.add(i * PAGE_SIZE);
+            let mapper = Mapper::from_root(self.host_pt_root);
+            let mut acc = PhysPtAccess::new(&mut plat.machine.mc, EncSel::None);
+            if let Some(entry) = mapper.leaf_entry_pa(&mut acc, va.0).map_err(GuardError::Hw)? {
+                let old = Pte(acc.read_entry(entry).map_err(GuardError::Hw)?);
+                acc.write_entry(entry, old.without_flags(PTE_PRESENT).0)
+                    .map_err(GuardError::Hw)?;
+            }
+        }
+
+        // 4. Unmap the vmrun / mov-cr3 pages of Fidelius's code and wire
+        //    the type-3 gate mapping slots.
+        let sites = info.fidelius_sites;
+        let slot_for = |plat: &mut Platform, site_va: fidelius_hw::Hva| -> Result<GateMapping, GuardError> {
+            let page_va = site_va.page_base();
+            let mapper = Mapper::from_root(info.host_pt_root);
+            let mut acc = PhysPtAccess::new(&mut plat.machine.mc, EncSel::None);
+            let leaf_entry_pa = mapper
+                .leaf_entry_pa(&mut acc, page_va.0)
+                .map_err(GuardError::Hw)?
+                .ok_or(GuardError::Policy("instruction page unmapped at launch"))?;
+            let mapped_pte = acc.read_entry(leaf_entry_pa).map_err(GuardError::Hw)?;
+            acc.write_entry(leaf_entry_pa, 0).map_err(GuardError::Hw)?;
+            Ok(GateMapping { leaf_entry_pa, mapped_pte, page_va })
+        };
+        let vmrun_page = slot_for(plat, sites.vmrun)?;
+        let cr3_page = slot_for(plat, sites.write_cr3)?;
+        self.gates = Some(Gates::new(sites, vmrun_page, cr3_page));
+
+        // 5. Execute-once policy for lgdt/lidt sites; write-once regions
+        //    could be registered here as guests appear.
+        self.once.track(Hpa(fid_pa.0 + (sites.lgdt.0 - fidelius_xen::layout::FIDELIUS_CODE_BASE.0)), 8);
+        self.once.track(Hpa(fid_pa.0 + (sites.lidt.0 - fidelius_xen::layout::FIDELIUS_CODE_BASE.0)), 8);
+
+        // 6. Fresh translations + SMEP on.
+        plat.machine.tlb.flush_all();
+        plat.machine.cycles.charge(plat.machine.cost.tlb_flush_full);
+        plat.machine
+            .exec_priv(sites.write_cr4, PrivOp::WriteCr4(Cr4 { smep: true }))
+            .map_err(GuardError::Hw)?;
+        Ok(())
+    }
+
+    fn host_pt_write(
+        &mut self,
+        plat: &mut Platform,
+        entry_pa: Hpa,
+        value: u64,
+    ) -> Result<(), GuardError> {
+        let page = entry_pa.page_base();
+        if self.pit.query(page, &mut plat.machine.cycles).usage() != Usage::XenPageTable {
+            return Err(self.deny("target is not a hypervisor page-table-page"));
+        }
+        let pte = Pte(value);
+        if pte.present() && !self.host_mapping_allowed(plat, pte.addr().page_base(), pte.writable())
+        {
+            return Err(self.deny("mapping violates PIT policy"));
+        }
+        let mut gates = self.gates.take().expect("late_launch must run first");
+        let result = gates.type1(plat, |plat| {
+            plat.machine
+                .host_write_u64(direct_map(entry_pa), value)
+                .map_err(GuardError::Fault)
+        });
+        self.gates = Some(gates);
+        result
+    }
+
+    fn npt_write(
+        &mut self,
+        plat: &mut Platform,
+        dom: DomainId,
+        entry_pa: Hpa,
+        value: u64,
+    ) -> Result<(), GuardError> {
+        let page = entry_pa.page_base();
+        let info = match self.npt_pages.get(&page.pfn()) {
+            Some(i) => *i,
+            None => return Err(self.deny("write outside any registered NPT page")),
+        };
+        if info.dom != dom {
+            return Err(self.deny("NPT page belongs to another domain"));
+        }
+        let idx = entry_pa.page_offset() / 8;
+        let pte = Pte(value);
+        let mut claim: Option<(Hpa, u64)> = None;
+        let mut register_child: Option<(Hpa, NptPageInfo)> = None;
+        if pte.present() {
+            if info.level > 0 {
+                // Intermediate entry: must point at a fresh hypervisor
+                // heap page, which becomes an NPT page of this domain.
+                let target = pte.addr().page_base();
+                let already = self.npt_pages.get(&target.pfn());
+                match already {
+                    Some(existing) if existing.dom == dom => {} // re-link
+                    Some(_) => return Err(self.deny("table page belongs to another domain")),
+                    None => {
+                        let usage = self.pit.query(target, &mut plat.machine.cycles).usage();
+                        if usage != Usage::XenData {
+                            return Err(self.deny("intermediate NPT page must be a heap page"));
+                        }
+                        let child_prefix =
+                            info.gpa_prefix + (idx << (12 + 9 * u64::from(info.level)));
+                        register_child = Some((
+                            target,
+                            NptPageInfo { dom, level: info.level - 1, gpa_prefix: child_prefix },
+                        ));
+                    }
+                }
+            } else {
+                // Leaf: map a frame for gpa_page.
+                let gpa_page = (info.gpa_prefix >> 12) + idx;
+                let frame = pte.addr().page_base();
+                let entry = self.pit.query(frame, &mut plat.machine.cycles);
+                let assigned = self
+                    .assignments
+                    .get(&dom)
+                    .and_then(|m| m.get(&gpa_page))
+                    .copied();
+                match assigned {
+                    Some(f) if f == frame => {} // permission / C-bit update
+                    Some(_) => return Err(self.deny("remapping a populated GPA (replay)")),
+                    None => match entry.usage() {
+                        Usage::Free => {
+                            if self.frame_assigned_elsewhere(dom, gpa_page, frame) {
+                                return Err(self.deny("frame already backs another GPA"));
+                            }
+                            claim = Some((frame, gpa_page));
+                        }
+                        Usage::GuestPage if DomainId(entry.owner()) == dom => {
+                            if self.frame_assigned_elsewhere(dom, gpa_page, frame) {
+                                return Err(self.deny("in-domain page shuffle (replay)"));
+                            }
+                            claim = Some((frame, gpa_page));
+                        }
+                        Usage::GuestPage if entry.shared() => {
+                            if !self.grant_authorizes_foreign_map(plat, dom, frame, pte.writable())
+                            {
+                                return Err(self.deny("foreign mapping not covered by a grant"));
+                            }
+                        }
+                        Usage::GuestPage => {
+                            return Err(self.deny("mapping another guest's private page"))
+                        }
+                        _ => return Err(self.deny("frame is not mappable into a guest")),
+                    },
+                }
+            }
+        }
+        let sealed = self.doms.get(&dom).map(|m| m.sealed).unwrap_or(false);
+        let mut gates = self.gates.take().expect("late_launch must run first");
+        let result = gates.type1(plat, |plat| {
+            plat.machine
+                .host_write_u64(direct_map(entry_pa), value)
+                .map_err(GuardError::Fault)
+        });
+        self.gates = Some(gates);
+        result?;
+        if let Some((target, child_info)) = register_child {
+            self.npt_pages.insert(target.pfn(), child_info);
+            self.pit.set(target, PitEntry::new(Usage::NptPage, dom.0, 0, false));
+            self.write_protect_dm(plat, target)?;
+        }
+        if let Some((frame, gpa_page)) = claim {
+            let asid = self.doms.get(&dom).map(|m| m.asid).unwrap_or(0);
+            self.pit.set(frame, PitEntry::new(Usage::GuestPage, dom.0, asid, false));
+            self.assignments.entry(dom).or_default().insert(gpa_page, frame);
+            if sealed {
+                self.unmap_dm(plat, frame)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn grant_write(
+        &mut self,
+        plat: &mut Platform,
+        index: u64,
+        entry: GrantEntry,
+    ) -> Result<(), GuardError> {
+        if index >= GRANT_TABLE_ENTRIES {
+            return Err(self.deny("grant index out of range"));
+        }
+        let old = read_entry_phys(&plat.machine.mc, self.grant_table_pa, index)
+            .map_err(GuardError::Hw)?;
+        if entry.valid {
+            let owner = DomainId(entry.owner);
+            let grantee = DomainId(entry.grantee);
+            if !self.git.authorizes(owner, grantee, entry.gpa_page, entry.writable) {
+                return Err(self.deny("grant not authorized by pre_sharing (GIT)"));
+            }
+            let assigned = self
+                .assignments
+                .get(&owner)
+                .and_then(|m| m.get(&entry.gpa_page))
+                .copied();
+            if assigned != Some(entry.frame) {
+                return Err(self.deny("grant frame does not back the claimed GPA"));
+            }
+        }
+        let base = self.grant_table_pa.add(index * GRANT_ENTRY_SIZE);
+        let words = entry.to_words();
+        let mut gates = self.gates.take().expect("late_launch must run first");
+        let result = gates.type1(plat, |plat| {
+            for (i, w) in words.iter().enumerate() {
+                plat.machine
+                    .host_write_u64(direct_map(base.add(8 * i as u64)), *w)
+                    .map_err(GuardError::Fault)?;
+            }
+            Ok(())
+        });
+        self.gates = Some(gates);
+        result?;
+        // Shared-state bookkeeping: grants open the frame to the host
+        // (the back-end must reach the plaintext-shared page), revocation
+        // closes it again.
+        if entry.valid {
+            let e = self.pit.peek(entry.frame);
+            self.pit.set(entry.frame, e.with_shared(true));
+            self.remap_dm(plat, entry.frame, entry.writable)?;
+        } else if old.valid {
+            let e = self.pit.peek(old.frame);
+            self.pit.set(old.frame, e.with_shared(false));
+            let owner_sealed =
+                self.doms.get(&DomainId(old.owner)).map(|m| m.sealed).unwrap_or(false);
+            if owner_sealed {
+                self.unmap_dm(plat, old.frame)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn pre_sharing(
+        &mut self,
+        _plat: &mut Platform,
+        initiator: DomainId,
+        target: DomainId,
+        gpa_page: u64,
+        nframes: u64,
+        writable: bool,
+    ) -> Result<(), GuardError> {
+        // The authentic registration already happened at the exit
+        // boundary (on_vmexit intercepts the hypercall). This path is the
+        // hypervisor's relay; accept it only if it matches.
+        if self.git.authorizes(initiator, target, gpa_page, writable)
+            || self.git.authorizes(initiator, target, gpa_page, false)
+        {
+            let _ = nframes;
+            Ok(())
+        } else {
+            Err(self.deny("pre_sharing relay does not match guest's request"))
+        }
+    }
+
+    fn enter_guest(&mut self, plat: &mut Platform, dom: &mut Domain) -> Result<(), GuardError> {
+        let meta = match self.doms.get(&dom.id) {
+            Some(m) => *m,
+            None => return Err(self.deny("unknown domain at entry")),
+        };
+        let img = VmcbImage::load(&plat.machine.mc, dom.vmcb_pa).map_err(GuardError::Hw)?;
+        if let Some(shadow) = self.shadows.remove(&dom.id) {
+            // Entry-side shadow cost: compare + restore + checks.
+            let m = &mut plat.machine;
+            m.cycles.charge(
+                VMCB_LINES as f64 * m.cost.compare_cache_line
+                    + 16.0 * m.cost.reg_copy
+                    + m.cost.sanity_check
+                    + m.cost.gate_dispatch,
+            );
+            match shadow.verify_and_merge(&img) {
+                Verdict::Clean(merged) => {
+                    merged.store(&mut plat.machine.mc, dom.vmcb_pa).map_err(GuardError::Hw)?;
+                    let regs = shadow.merged_gprs(&dom.gpr_save);
+                    plat.machine.cpu.regs.load_array(regs);
+                }
+                Verdict::IllegalField(_f) => {
+                    self.stats.integrity_violations += 1;
+                    self.audit.record(AuditKind::IntegrityViolation, "vmcb field tampered");
+                    // Re-arm the shadow so a retry is still checked.
+                    self.shadows.insert(dom.id, shadow);
+                    return Err(GuardError::IntegrityViolation("vmcb field tampered"));
+                }
+                Verdict::BadRipAdvance { .. } => {
+                    self.stats.integrity_violations += 1;
+                    self.audit.record(AuditKind::IntegrityViolation, "guest rip diverted");
+                    self.shadows.insert(dom.id, shadow);
+                    return Err(GuardError::IntegrityViolation("guest rip diverted"));
+                }
+            }
+        } else {
+            // First entry: verify the control fields against Fidelius's
+            // own records (self-maintained SEV metadata).
+            if img.get(VmcbField::Asid) != u64::from(meta.asid) {
+                self.stats.integrity_violations += 1;
+                return Err(GuardError::IntegrityViolation("asid mismatch at first entry"));
+            }
+            if img.get(VmcbField::NCr3) != meta.npt_root.0 {
+                self.stats.integrity_violations += 1;
+                return Err(GuardError::IntegrityViolation("nCR3 mismatch at first entry"));
+            }
+            plat.machine.cpu.regs.load_array(dom.gpr_save);
+        }
+        let mut gates = self.gates.take().expect("late_launch must run first");
+        let result = gates.type3(plat, PrivOp::Vmrun(dom.vmcb_pa));
+        self.gates = Some(gates);
+        result
+    }
+
+    fn on_vmexit(&mut self, plat: &mut Platform, dom: &mut Domain) -> Result<(), GuardError> {
+        self.stats.shadow_round_trips += 1;
+        let img = VmcbImage::load(&plat.machine.mc, dom.vmcb_pa).map_err(GuardError::Hw)?;
+        let exit = ExitCode::from_raw(img.get(VmcbField::ExitCode))
+            .ok_or(GuardError::Policy("unknown exit code"))?;
+        let gprs = plat.machine.cpu.regs.as_array();
+
+        // Fidelius directly handles pre_sharing_op at the boundary, from
+        // the authentic (pre-masking) register values.
+        if exit == ExitCode::Vmmcall && gprs[fidelius_hw::regs::Gpr::Rax as usize] == HC_PRE_SHARING_OP
+        {
+            self.git.register(GitEntry {
+                initiator: dom.id,
+                target: DomainId(gprs[fidelius_hw::regs::Gpr::Rdi as usize] as u16),
+                gpa_page: gprs[fidelius_hw::regs::Gpr::Rsi as usize],
+                nframes: gprs[fidelius_hw::regs::Gpr::Rdx as usize],
+                writable: gprs[fidelius_hw::regs::Gpr::R10 as usize] & 1 != 0,
+            });
+        }
+
+        let shadow = ShadowCtx::capture(img, gprs, exit);
+        let masked = shadow.masked_vmcb();
+        masked.store(&mut plat.machine.mc, dom.vmcb_pa).map_err(GuardError::Hw)?;
+        let masked_gprs = shadow.masked_gprs();
+        plat.machine.cpu.regs.load_array(masked_gprs);
+        dom.gpr_save = masked_gprs;
+        self.shadows.insert(dom.id, shadow);
+
+        // Exit-side shadow cost: copy + mask + register save.
+        let m = &mut plat.machine;
+        m.cycles.charge(
+            VMCB_LINES as f64 * m.cost.copy_cache_line
+                + MASKED_FIELDS_NOMINAL as f64 * m.cost.mask_field
+                + 16.0 * m.cost.reg_copy
+                + m.cost.sanity_check,
+        );
+        Ok(())
+    }
+
+    fn exec_priv(&mut self, plat: &mut Platform, op: PrivOp) -> Result<(), GuardError> {
+        match check_instr(&self.instr_ctx, &op) {
+            InstrVerdict::Deny(why) => Err(self.deny(why)),
+            InstrVerdict::Allow => match op {
+                PrivOp::WriteCr3(_) => {
+                    let mut gates = self.gates.take().expect("late_launch must run first");
+                    let r = gates.type3(plat, op);
+                    self.gates = Some(gates);
+                    r
+                }
+                PrivOp::Lgdt(_) | PrivOp::Lidt(_) => {
+                    let site = if matches!(op, PrivOp::Lgdt(_)) {
+                        self.gates_mut().sites.lgdt
+                    } else {
+                        self.gates_mut().sites.lidt
+                    };
+                    let site_pa = Hpa(
+                        fidelius_xen::platform::FIDELIUS_CODE_PA.0
+                            + (site.0 - fidelius_xen::layout::FIDELIUS_CODE_BASE.0),
+                    );
+                    if !self.once.try_use(site_pa) {
+                        return Err(self.deny("execute-once instruction already used"));
+                    }
+                    let mut gates = self.gates.take().expect("gates");
+                    let r = gates.type2(plat, op);
+                    self.gates = Some(gates);
+                    r
+                }
+                _ => {
+                    let mut gates = self.gates.take().expect("gates");
+                    let r = gates.type2(plat, op);
+                    self.gates = Some(gates);
+                    r
+                }
+            },
+        }
+    }
+
+    fn io_transform(
+        &mut self,
+        plat: &mut Platform,
+        dom: DomainId,
+        dir: IoDir,
+        src_pa: Hpa,
+        dst_pa: Hpa,
+        len: u64,
+        stream: u64,
+    ) -> Result<(), GuardError> {
+        let meta = self
+            .sev_meta
+            .get(&dom)
+            .copied()
+            .ok_or(GuardError::Policy("no SEV context for this domain"))?;
+        let helpers = match meta.io {
+            Some(h) => h,
+            None => {
+                let h = plat.firmware.create_io_helpers(meta.handle).map_err(GuardError::Sev)?;
+                self.sev_meta.get_mut(&dom).expect("meta exists").io = Some(h);
+                h
+            }
+        };
+        match dir {
+            IoDir::GuestToShared => plat
+                .firmware
+                .io_encrypt(&mut plat.machine, helpers.sdom, src_pa, dst_pa, len, stream)
+                .map_err(GuardError::Sev),
+            IoDir::SharedToGuest => plat
+                .firmware
+                .io_decrypt(&mut plat.machine, helpers.rdom, src_pa, dst_pa, len, stream)
+                .map_err(GuardError::Sev),
+        }
+    }
+
+    fn on_domain_created(&mut self, plat: &mut Platform, dom: &Domain) -> Result<(), GuardError> {
+        self.doms.insert(
+            dom.id,
+            DomMeta {
+                asid: dom.asid.0,
+                vmcb_pa: dom.vmcb_pa,
+                npt_root: dom.npt_root,
+                sealed: false,
+            },
+        );
+        self.assignments.insert(dom.id, HashMap::new());
+        self.pit.set(dom.vmcb_pa, PitEntry::new(Usage::Vmcb, dom.id.0, dom.asid.0, false));
+        self.pit.set(dom.npt_root, PitEntry::new(Usage::NptPage, dom.id.0, 0, false));
+        self.npt_pages
+            .insert(dom.npt_root.pfn(), NptPageInfo { dom: dom.id, level: 3, gpa_prefix: 0 });
+        self.write_protect_dm(plat, dom.npt_root)?;
+        Ok(())
+    }
+
+    fn seal_guest(&mut self, plat: &mut Platform, dom: &Domain) -> Result<(), GuardError> {
+        // Close the boot window: unmap every private (non-shared) guest
+        // frame from the hypervisor's address space (§4.3.4).
+        let frames: Vec<Hpa> = self
+            .assignments
+            .get(&dom.id)
+            .map(|m| m.values().copied().collect())
+            .unwrap_or_default();
+        for f in frames {
+            if !self.pit.peek(f).shared() {
+                self.unmap_dm(plat, f)?;
+            }
+        }
+        plat.machine.tlb.flush_space(fidelius_hw::tlb::Space::Host);
+        plat.machine.cycles.charge(plat.machine.cost.tlb_flush_full);
+        if let Some(m) = self.doms.get_mut(&dom.id) {
+            m.sealed = true;
+        }
+        Ok(())
+    }
+
+    fn on_domain_destroyed(
+        &mut self,
+        plat: &mut Platform,
+        dom: DomainId,
+    ) -> Result<(), GuardError> {
+        // SEV teardown (§4.3.8): DEACTIVATE then DECOMMISSION, then erase
+        // the metadata.
+        if let Some(meta) = self.sev_meta.remove(&dom) {
+            let _ = plat.firmware.deactivate(&mut plat.machine, meta.handle);
+            let _ = plat.firmware.decommission(meta.handle);
+            if let Some(io) = meta.io {
+                let _ = plat.firmware.decommission(io.sdom);
+                let _ = plat.firmware.decommission(io.rdom);
+            }
+        }
+        self.shadows.remove(&dom);
+        self.git.remove_domain(dom);
+        // Return frames: PIT → Free, hypervisor mappings restored.
+        if let Some(assign) = self.assignments.remove(&dom) {
+            for (_gpa, frame) in assign {
+                self.pit.clear(frame);
+                self.remap_dm(plat, frame, true)?;
+            }
+        }
+        let npt_pages: Vec<u64> = self
+            .npt_pages
+            .iter()
+            .filter(|(_, i)| i.dom == dom)
+            .map(|(pfn, _)| *pfn)
+            .collect();
+        for pfn in npt_pages {
+            self.npt_pages.remove(&pfn);
+            let pa = Hpa::from_pfn(pfn);
+            self.pit.set(pa, PitEntry::new(Usage::XenData, 0, 0, false));
+            self.set_dm_entry(plat, pa, |p| p.with_flags(PTE_WRITABLE))?;
+        }
+        if let Some(meta) = self.doms.remove(&dom) {
+            self.pit.set(meta.vmcb_pa, PitEntry::new(Usage::XenData, 0, 0, false));
+        }
+        Ok(())
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,181 @@
+//! The three gate types securing transitions into the Fidelius context
+//! (paper §4.1.3, Figure 3).
+//!
+//! - **Type 1 — disable WP**: the common case. Interrupts off, switch to
+//!   the private stack, clear `CR0.WP` so the read-only critical resources
+//!   become writable *for supervisor code*, run the protected body, redo
+//!   everything in reverse. Costs 306 cycles round trip.
+//! - **Type 2 — checking loop**: for monopolized instructions (`mov cr0`,
+//!   `mov cr4`, `wrmsr`, …) that stay mapped executable: sanity checks
+//!   around the single instruction instance. 16 cycles.
+//! - **Type 3 — add new mapping**: for instructions whose pages are
+//!   normally unmapped (`vmrun`, `mov cr3`) and for unmapped resources:
+//!   temporarily map the page, flush the stale TLB entry, execute, then
+//!   withdraw the mapping. 339 cycles.
+//!
+//! The gates execute real privileged instructions at Fidelius's
+//! instruction sites — the CPU verifies the bytes exist and are mapped
+//! executable, so the gates work *because* late launch set the mappings
+//! up, not by fiat.
+
+use crate::GuardError;
+use fidelius_hw::cpu::PrivOp;
+use fidelius_hw::memctrl::EncSel;
+use fidelius_hw::paging::PhysPtAccess;
+use fidelius_hw::regs::Cr0;
+use fidelius_hw::{Hpa, Hva};
+use fidelius_xen::layout::InstrSites;
+use fidelius_xen::platform::Platform;
+
+/// A page-mapping slot used by type-3 gates: the physical address of the
+/// leaf page-table entry for the instruction page, and the PTE value that
+/// maps it (present) — normally the entry holds 0.
+#[derive(Debug, Clone, Copy)]
+pub struct GateMapping {
+    /// Physical address of the leaf PTE controlling the page.
+    pub leaf_entry_pa: Hpa,
+    /// PTE value that makes the page present + executable.
+    pub mapped_pte: u64,
+    /// The page's virtual address (for the TLB flush).
+    pub page_va: Hva,
+}
+
+/// Gate state: Fidelius's instruction sites plus the type-3 mapping slots.
+#[derive(Debug, Clone)]
+pub struct Gates {
+    /// Fidelius's instruction sites.
+    pub sites: InstrSites,
+    /// Mapping slot for the page holding `vmrun`.
+    pub vmrun_page: GateMapping,
+    /// Mapping slot for the page holding `mov cr3`.
+    pub cr3_page: GateMapping,
+    gate1_count: u64,
+    gate2_count: u64,
+    gate3_count: u64,
+}
+
+impl Gates {
+    /// Builds the gate state (late launch wires the mapping slots).
+    pub fn new(sites: InstrSites, vmrun_page: GateMapping, cr3_page: GateMapping) -> Self {
+        Gates { sites, vmrun_page, cr3_page, gate1_count: 0, gate2_count: 0, gate3_count: 0 }
+    }
+
+    /// (type-1, type-2, type-3) invocation counts.
+    pub fn counts(&self) -> (u64, u64, u64) {
+        (self.gate1_count, self.gate2_count, self.gate3_count)
+    }
+
+    /// Type-1 gate: runs `body` with `CR0.WP` cleared. The body's own
+    /// memory traffic is charged by the machine as usual; the gate adds
+    /// the transition cost (306 cycles round trip).
+    ///
+    /// # Errors
+    ///
+    /// Propagates body errors; WP is always restored.
+    pub fn type1<R>(
+        &mut self,
+        plat: &mut Platform,
+        body: impl FnOnce(&mut Platform) -> Result<R, GuardError>,
+    ) -> Result<R, GuardError> {
+        self.gate1_count += 1;
+        let m = &mut plat.machine;
+        m.exec_priv(self.sites.cli, PrivOp::Cli)?;
+        m.cycles.charge(m.cost.stack_switch);
+        m.exec_priv(self.sites.write_cr0, PrivOp::WriteCr0(Cr0 { pg: true, wp: false }))?;
+        m.cycles.charge(m.cost.sanity_check);
+
+        let result = body(plat);
+
+        let m = &mut plat.machine;
+        m.cycles.charge(m.cost.sanity_check);
+        m.exec_priv(self.sites.write_cr0, PrivOp::WriteCr0(Cr0 { pg: true, wp: true }))
+            .expect("restoring WP cannot fail");
+        m.cycles.charge(m.cost.stack_switch);
+        m.exec_priv(self.sites.sti, PrivOp::Sti).expect("sti cannot fail");
+        result
+    }
+
+    /// Type-2 gate: executes a monopolized instruction at its Fidelius
+    /// site, with the checking-loop sanity checks around it (16 cycles of
+    /// gate overhead plus the instruction itself).
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution faults.
+    pub fn type2(&mut self, plat: &mut Platform, op: PrivOp) -> Result<(), GuardError> {
+        self.gate2_count += 1;
+        let site = match op {
+            PrivOp::WriteCr0(_) => self.sites.write_cr0,
+            PrivOp::WriteCr4(_) => self.sites.write_cr4,
+            PrivOp::WriteEfer(_) => self.sites.wrmsr,
+            PrivOp::Invlpg(_) => self.sites.invlpg,
+            PrivOp::Lgdt(_) => self.sites.lgdt,
+            PrivOp::Lidt(_) => self.sites.lidt,
+            PrivOp::Cli => self.sites.cli,
+            PrivOp::Sti => self.sites.sti,
+            PrivOp::Vmrun(_) | PrivOp::WriteCr3(_) => {
+                return Err(GuardError::Policy("vmrun/mov-cr3 require a type-3 gate"))
+            }
+        };
+        let m = &mut plat.machine;
+        m.cycles.charge(m.cost.sanity_check);
+        m.exec_priv(site, op)?;
+        m.cycles.charge(m.cost.sanity_check);
+        Ok(())
+    }
+
+    /// Type-3 gate: temporarily maps the instruction's page, executes it,
+    /// and withdraws the mapping (339 cycles of gate overhead plus the
+    /// instruction).
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution faults; the page is always unmapped again.
+    pub fn type3(&mut self, plat: &mut Platform, op: PrivOp) -> Result<(), GuardError> {
+        self.gate3_count += 1;
+        let (mapping, site) = match op {
+            PrivOp::Vmrun(_) => (self.vmrun_page, self.sites.vmrun),
+            PrivOp::WriteCr3(_) => (self.cr3_page, self.sites.write_cr3),
+            _ => return Err(GuardError::Policy("type-3 gate is for vmrun/mov-cr3")),
+        };
+        let m = &mut plat.machine;
+        m.exec_priv(self.sites.cli, PrivOp::Cli)?;
+        m.cycles.charge(m.cost.stack_switch + m.cost.gate_dispatch);
+
+        // Map the page in: one PTE write (gate-internal privileged write)
+        // plus a TLB-entry flush for mapping freshness.
+        {
+            let mut acc = PhysPtAccess::new(&mut plat.machine.mc, EncSel::None);
+            use fidelius_hw::paging::PtAccess;
+            acc.write_entry(mapping.leaf_entry_pa, mapping.mapped_pte)
+                .map_err(GuardError::Hw)?;
+        }
+        plat.machine.cycles.charge(plat.machine.cost.cached_word_write);
+        plat.machine.exec_priv(self.sites.invlpg, PrivOp::Invlpg(mapping.page_va))?;
+        plat.machine.cycles.charge(plat.machine.cost.sanity_check);
+
+        let result = plat.machine.exec_priv(site, op);
+
+        // Withdraw the mapping regardless of the outcome.
+        {
+            let mut acc = PhysPtAccess::new(&mut plat.machine.mc, EncSel::None);
+            use fidelius_hw::paging::PtAccess;
+            acc.write_entry(mapping.leaf_entry_pa, 0).map_err(GuardError::Hw)?;
+        }
+        plat.machine.cycles.charge(plat.machine.cost.cached_word_write);
+        // After VMRUN the CPU is in guest mode; the flush instruction has
+        // conceptually already executed on the way in — charge it, and
+        // only execute it architecturally when still in host mode.
+        if plat.machine.cpu.mode == fidelius_hw::cpu::Mode::Host {
+            plat.machine.exec_priv(self.sites.invlpg, PrivOp::Invlpg(mapping.page_va))?;
+            plat.machine.cycles.charge(plat.machine.cost.sanity_check);
+            plat.machine.exec_priv(self.sites.sti, PrivOp::Sti)?;
+        } else {
+            let c = plat.machine.cost.tlb_flush_entry + plat.machine.cost.sanity_check
+                + plat.machine.cost.sti;
+            plat.machine.cycles.charge(c);
+        }
+        plat.machine.cycles.charge(plat.machine.cost.stack_switch + plat.machine.cost.gate_dispatch);
+        result.map_err(GuardError::from)
+    }
+}

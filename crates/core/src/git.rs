@@ -1,0 +1,153 @@
+//! The Grant Information Table (GIT).
+//!
+//! Per paper §5.2: an array of grant-information entries, each recording
+//! the **initiator domain id, the target domain id, the shared memory
+//! address and the number of page frames** — plus the intended permission.
+//! A guest registers its sharing intent through the `pre_sharing_op`
+//! hypercall *before* the hypervisor creates grant-table entries; when the
+//! (write-protected) grant table is then updated through the type-1 gate,
+//! Fidelius checks the new entry against the GIT, defeating the
+//! grant-manipulation attacks of §2.2 (wrong grantee, escalated
+//! permissions, fabricated grants).
+
+use fidelius_xen::domain::DomainId;
+
+/// One registered sharing intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GitEntry {
+    /// The sharing (owning) domain.
+    pub initiator: DomainId,
+    /// The intended receiving domain.
+    pub target: DomainId,
+    /// First shared guest-physical page (of the initiator).
+    pub gpa_page: u64,
+    /// Number of consecutive pages shared.
+    pub nframes: u64,
+    /// Whether the target may write.
+    pub writable: bool,
+}
+
+impl GitEntry {
+    /// Whether this intent covers `(initiator, target, gpa_page)` with at
+    /// most the registered permission.
+    pub fn covers(
+        &self,
+        initiator: DomainId,
+        target: DomainId,
+        gpa_page: u64,
+        writable: bool,
+    ) -> bool {
+        self.initiator == initiator
+            && self.target == target
+            && gpa_page >= self.gpa_page
+            && gpa_page < self.gpa_page + self.nframes
+            && (!writable || self.writable)
+    }
+}
+
+/// The grant information table.
+#[derive(Debug, Default)]
+pub struct Git {
+    entries: Vec<GitEntry>,
+}
+
+impl Git {
+    /// Empty table.
+    pub fn new() -> Self {
+        Git::default()
+    }
+
+    /// Registers a sharing intent (the `pre_sharing_op` handler).
+    pub fn register(&mut self, entry: GitEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Checks whether a grant-table entry with these parameters is
+    /// authorized by some registered intent.
+    pub fn authorizes(
+        &self,
+        initiator: DomainId,
+        target: DomainId,
+        gpa_page: u64,
+        writable: bool,
+    ) -> bool {
+        self.entries.iter().any(|e| e.covers(initiator, target, gpa_page, writable))
+    }
+
+    /// Drops every intent involving `dom` (domain teardown).
+    pub fn remove_domain(&mut self, dom: DomainId) {
+        self.entries.retain(|e| e.initiator != dom && e.target != dom);
+    }
+
+    /// Number of registered intents.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> GitEntry {
+        GitEntry {
+            initiator: DomainId(1),
+            target: DomainId(2),
+            gpa_page: 100,
+            nframes: 4,
+            writable: false,
+        }
+    }
+
+    #[test]
+    fn covers_range_and_permission() {
+        let e = entry();
+        assert!(e.covers(DomainId(1), DomainId(2), 100, false));
+        assert!(e.covers(DomainId(1), DomainId(2), 103, false));
+        assert!(!e.covers(DomainId(1), DomainId(2), 104, false), "past the range");
+        assert!(!e.covers(DomainId(1), DomainId(2), 99, false));
+        // Read-only intent does not authorize writable grants — the
+        // permission-escalation attack.
+        assert!(!e.covers(DomainId(1), DomainId(2), 100, true));
+        // Wrong target — the conspirator-VM attack.
+        assert!(!e.covers(DomainId(1), DomainId(3), 100, false));
+        // Wrong initiator — fabricated grants.
+        assert!(!e.covers(DomainId(9), DomainId(2), 100, false));
+    }
+
+    #[test]
+    fn writable_intent_authorizes_both() {
+        let e = GitEntry { writable: true, ..entry() };
+        assert!(e.covers(DomainId(1), DomainId(2), 100, true));
+        assert!(e.covers(DomainId(1), DomainId(2), 100, false));
+    }
+
+    #[test]
+    fn git_register_and_authorize() {
+        let mut git = Git::new();
+        assert!(!git.authorizes(DomainId(1), DomainId(2), 100, false));
+        git.register(entry());
+        assert!(git.authorizes(DomainId(1), DomainId(2), 100, false));
+        assert_eq!(git.len(), 1);
+    }
+
+    #[test]
+    fn remove_domain_clears_both_roles() {
+        let mut git = Git::new();
+        git.register(entry());
+        git.register(GitEntry {
+            initiator: DomainId(3),
+            target: DomainId(1),
+            gpa_page: 0,
+            nframes: 1,
+            writable: true,
+        });
+        git.remove_domain(DomainId(1));
+        assert!(git.is_empty());
+    }
+}

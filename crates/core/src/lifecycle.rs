@@ -1,0 +1,200 @@
+//! Full VM life-cycle protection (paper §4.3): booting a guest from an
+//! owner-provided *encrypted* kernel image via the retrofitted SEV
+//! SEND/RECEIVE APIs, so the plaintext kernel never exists in hypervisor-
+//! readable memory.
+//!
+//! The flow of §4.3.3:
+//!
+//! 1. Fidelius invokes `RECEIVE_START` with `Kwrap`, `Nvm` and the
+//!    origin's public ECDH key; the firmware unwraps `Ktek`/`Ktik` and
+//!    generates the guest's `Kvek`.
+//! 2. The hypervisor loads the encrypted kernel image into guest memory
+//!    (it only ever sees transport ciphertext).
+//! 3. Fidelius uses `RECEIVE_UPDATE` to re-encrypt the pages in place:
+//!    the firmware decrypts with `Ktek` and re-encrypts with `Kvek`.
+//! 4. `RECEIVE_FINISH` verifies the measurement `Mvm` with `Ktik`.
+//! 5. `ACTIVATE` installs `Kvek` for the domain's ASID; Fidelius prepares
+//!    the VMCB and the guest boots, building its encrypted page tables.
+//! 6. The guest is sealed: its private frames disappear from the
+//!    hypervisor's address space.
+
+use crate::fidelius::Fidelius;
+use fidelius_sev::{EncryptedImage, GuestPolicy};
+use fidelius_xen::domain::DomainId;
+use fidelius_xen::frontend::gplayout;
+use fidelius_xen::layout::direct_map;
+use fidelius_xen::{System, XenError};
+use fidelius_hw::PAGE_SIZE;
+
+/// Downcasts the system's guardian to Fidelius.
+///
+/// # Errors
+///
+/// Fails when the system runs a different guardian.
+pub fn fidelius_mut(sys: &mut System) -> Result<&mut Fidelius, XenError> {
+    sys.guardian
+        .as_any_mut()
+        .downcast_mut::<Fidelius>()
+        .ok_or(XenError::BadHypercall(0)) // not a Fidelius system
+}
+
+/// Boots a guest from an owner-packaged encrypted image. Returns the new
+/// domain id. The plaintext kernel is never visible to the hypervisor:
+/// transport ciphertext goes in, `Kvek` ciphertext comes out, and the
+/// measurement catches any tampering in between.
+///
+/// # Errors
+///
+/// SEV protocol failures (wrong platform, tampered image), allocation
+/// failures.
+pub fn boot_encrypted_guest(
+    sys: &mut System,
+    image: &EncryptedImage,
+    mem_pages: u64,
+) -> Result<DomainId, XenError> {
+    // 1. RECEIVE_START — Fidelius self-maintains the returned handle as
+    //    SEV metadata.
+    let handle = sys.plat.firmware.receive_start(&image.session, GuestPolicy::default())?;
+
+    // 2. Domain shell + memory (the hypervisor's job).
+    let dom = sys.xen.create_domain(&mut sys.plat, &mut *sys.guardian, mem_pages)?;
+    sys.xen.populate_all(&mut sys.plat, &mut *sys.guardian, dom)?;
+
+    // 3. The hypervisor loads the *encrypted* image into guest frames
+    //    (boot window: frames are still mapped until sealing).
+    let npages = image.pages.len() as u64;
+    if gplayout::KERNEL_PAGE + npages > mem_pages {
+        return Err(XenError::OutOfMemory);
+    }
+    for (i, page) in image.pages.iter().enumerate() {
+        let frame = sys
+            .xen
+            .domain(dom)?
+            .frame_of(gplayout::KERNEL_PAGE + i as u64)
+            .ok_or(XenError::OutOfMemory)?;
+        sys.plat.machine.host_write(direct_map(frame), page)?;
+    }
+
+    // 4. RECEIVE_UPDATE: in-place re-encryption Ktek → Kvek.
+    for i in 0..npages {
+        let frame = sys
+            .xen
+            .domain(dom)?
+            .frame_of(gplayout::KERNEL_PAGE + i)
+            .ok_or(XenError::OutOfMemory)?;
+        let mut chunk = vec![0u8; PAGE_SIZE as usize];
+        sys.plat
+            .machine
+            .mc
+            .dram()
+            .read_raw(frame, &mut chunk)
+            .map_err(XenError::Hw)?;
+        sys.plat
+            .firmware
+            .receive_update_page(&mut sys.plat.machine, handle, &chunk, i, frame)?;
+    }
+
+    // 5. RECEIVE_FINISH verifies Mvm; ACTIVATE installs Kvek.
+    sys.plat.firmware.receive_finish(handle, &image.measurement)?;
+    let asid = sys.xen.domain(dom)?.asid;
+    sys.plat.firmware.activate(&mut sys.plat.machine, handle, asid)?;
+    fidelius_mut(sys)?.register_sev_handle(dom, handle);
+
+    // 6. VMCB + guest early boot (encrypted stage-1 tables), then seal.
+    let gcr3 = fidelius_hw::Gpa(gplayout::PT_POOL_PAGE * PAGE_SIZE);
+    let rip = gplayout::KERNEL_PAGE * PAGE_SIZE;
+    sys.xen.init_vmcb(&mut sys.plat, dom, gcr3, rip, true)?;
+    sys.boot_guest(dom)?;
+    let d = sys.xen.domain(dom)?;
+    sys.guardian.seal_guest(&mut sys.plat, d)?;
+    Ok(dom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fidelius_sev::GuestOwner;
+    use fidelius_hw::Gpa;
+
+    const DRAM: u64 = 32 * 1024 * 1024;
+
+    fn protected_system() -> System {
+        System::new(DRAM, 21, Box::new(Fidelius::new())).unwrap()
+    }
+
+    fn packaged_image(sys: &System, kernel: &[u8]) -> EncryptedImage {
+        let mut owner = GuestOwner::new(99);
+        owner.package_image(kernel, &sys.plat.firmware.pdh_public())
+    }
+
+    #[test]
+    fn encrypted_boot_end_to_end() {
+        let mut sys = protected_system();
+        let kernel = b"FIDELIUS GUEST KERNEL \x7fELF".repeat(100);
+        let image = packaged_image(&sys, &kernel);
+        let dom = boot_encrypted_guest(&mut sys, &image, 256).unwrap();
+
+        // The guest reads its own kernel plaintext...
+        sys.ensure_guest(dom).unwrap();
+        let mut head = [0u8; 22];
+        sys.plat
+            .machine
+            .guest_read_gpa(Gpa(gplayout::KERNEL_PAGE * PAGE_SIZE), &mut head, true)
+            .unwrap();
+        assert_eq!(&head, b"FIDELIUS GUEST KERNEL ");
+        sys.ensure_host().unwrap();
+
+        // ...while DRAM holds neither the plaintext nor the transport form.
+        let frame = sys.xen.domain(dom).unwrap().frame_of(gplayout::KERNEL_PAGE).unwrap();
+        let mut raw = [0u8; 22];
+        sys.plat.machine.mc.dram().read_raw(frame, &mut raw).unwrap();
+        assert_ne!(&raw, b"FIDELIUS GUEST KERNEL ");
+        assert_ne!(raw.to_vec(), image.pages[0][..22].to_vec());
+    }
+
+    #[test]
+    fn tampered_image_fails_boot() {
+        let mut sys = protected_system();
+        let mut image = packaged_image(&sys, b"kernel bytes");
+        image.pages[0][0] ^= 0x01; // hypervisor flips one bit during load
+        let err = boot_encrypted_guest(&mut sys, &image, 256).unwrap_err();
+        assert!(matches!(err, XenError::Sev(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn image_for_other_platform_fails_boot() {
+        let mut sys = protected_system();
+        let other = protected_system(); // different platform identity? same seed → same keys
+        let mut sys2 = System::new(DRAM, 22, Box::new(Fidelius::new())).unwrap();
+        let image = packaged_image(&sys2, b"kernel");
+        let err = boot_encrypted_guest(&mut sys, &image, 256).unwrap_err();
+        assert!(matches!(err, XenError::Sev(_)));
+        drop(other);
+        let dom = boot_encrypted_guest(&mut sys2, &image, 256).unwrap();
+        assert_eq!(dom.0, 1);
+    }
+
+    #[test]
+    fn sealed_guest_frames_are_unreachable_for_hypervisor() {
+        let mut sys = protected_system();
+        let image = packaged_image(&sys, b"kernel");
+        let dom = boot_encrypted_guest(&mut sys, &image, 256).unwrap();
+        sys.ensure_host().unwrap();
+        let frame = sys.xen.domain(dom).unwrap().frame_of(gplayout::KERNEL_PAGE).unwrap();
+        // Reading through the hypervisor's direct map faults: the page is
+        // unmapped, not merely unreadable.
+        let mut buf = [0u8; 8];
+        assert!(sys.plat.machine.host_read(direct_map(frame), &mut buf).is_err());
+    }
+
+    #[test]
+    fn shutdown_tears_down_sev_state() {
+        let mut sys = protected_system();
+        let image = packaged_image(&sys, b"kernel");
+        let dom = boot_encrypted_guest(&mut sys, &image, 256).unwrap();
+        let asid = sys.xen.domain(dom).unwrap().asid;
+        assert!(sys.plat.machine.mc.has_guest_key(asid));
+        sys.shutdown_guest(dom).unwrap();
+        assert!(!sys.plat.machine.mc.has_guest_key(asid), "DEACTIVATE must uninstall the key");
+    }
+}

@@ -1,0 +1,171 @@
+//! SEV-based VM migration (paper §4.3.6).
+//!
+//! The source firmware re-encrypts guest memory from `Kvek` to the
+//! transport key and computes an integrity tag; the target firmware — and
+//! only the target, thanks to the ECDH-wrapped keys — reverses the
+//! process under a freshly generated `Kvek`. The hypervisors on both
+//! sides move only ciphertext. `SEND_START` stops guest execution, which
+//! is why the paper notes Fidelius does not support *live* migration.
+
+use crate::fidelius::Fidelius;
+use crate::lifecycle::fidelius_mut;
+use fidelius_sev::firmware::SessionBlob;
+use fidelius_sev::GuestPolicy;
+use fidelius_xen::domain::{DomainId, DomainState};
+use fidelius_xen::frontend::gplayout;
+use fidelius_xen::{System, XenError};
+use fidelius_hw::{Gpa, PAGE_SIZE};
+
+/// An in-flight migrated VM: transport-encrypted memory plus the session
+/// needed to receive it.
+#[derive(Debug, Clone)]
+pub struct MigrationPackage {
+    /// (guest page number, transport ciphertext) for every populated page.
+    pub pages: Vec<(u64, Vec<u8>)>,
+    /// Wrapped transport keys and ECDH metadata.
+    pub session: SessionBlob,
+    /// The transport integrity tag from `SEND_FINISH`.
+    pub tag: [u8; 32],
+    /// Memory size of the guest, in pages.
+    pub mem_pages: u64,
+}
+
+/// Sends `dom` off this system, targeting the platform whose PDH is
+/// `target_pdh`. The domain is destroyed locally afterwards (the paper's
+/// non-live flow: the guest stops at `SEND_START`).
+///
+/// # Errors
+///
+/// Requires a Fidelius-booted SEV guest; SEV protocol failures propagate.
+pub fn migrate_out(
+    sys: &mut System,
+    dom: DomainId,
+    target_pdh: &[u8; 32],
+) -> Result<MigrationPackage, XenError> {
+    sys.ensure_host()?;
+    let handle = fidelius_mut(sys)?
+        .sev_handle(dom)
+        .ok_or(XenError::BadDomainState(dom))?;
+    let mem_pages = sys.xen.domain(dom)?.mem_pages();
+    let session = sys.plat.firmware.send_start(handle, target_pdh)?;
+    let mut pages = Vec::new();
+    for p in 0..mem_pages {
+        if let Some(frame) = sys.xen.domain(dom)?.frame_of(p) {
+            let ct = sys
+                .plat
+                .firmware
+                .send_update_page(&mut sys.plat.machine, handle, frame, p)?;
+            pages.push((p, ct));
+        }
+    }
+    let tag = sys.plat.firmware.send_finish(handle)?;
+    sys.shutdown_guest(dom)?;
+    Ok(MigrationPackage { pages, session, tag, mem_pages })
+}
+
+/// Receives a migrated VM on this system: creates a domain, restores the
+/// memory under a fresh `Kvek`, verifies the tag and resumes the guest
+/// (whose migrated memory already contains its page tables).
+///
+/// # Errors
+///
+/// Fails on the wrong target platform or a tampered package.
+pub fn migrate_in(sys: &mut System, package: &MigrationPackage) -> Result<DomainId, XenError> {
+    let handle = sys
+        .plat
+        .firmware
+        .receive_start(&package.session, GuestPolicy::default())?;
+    let dom = sys.xen.create_domain(&mut sys.plat, &mut *sys.guardian, package.mem_pages)?;
+    sys.xen.populate_all(&mut sys.plat, &mut *sys.guardian, dom)?;
+    for (p, ct) in &package.pages {
+        let frame = sys.xen.domain(dom)?.frame_of(*p).ok_or(XenError::OutOfMemory)?;
+        sys.plat
+            .firmware
+            .receive_update_page(&mut sys.plat.machine, handle, ct, *p, frame)?;
+    }
+    sys.plat.firmware.receive_finish(handle, &package.tag)?;
+    let asid = sys.xen.domain(dom)?.asid;
+    sys.plat.firmware.activate(&mut sys.plat.machine, handle, asid)?;
+    fidelius_mut(sys)?.register_sev_handle(dom, handle);
+
+    // The migrated memory contains the guest's page tables; point the
+    // VMCB at them and resume at the kernel entry.
+    let gcr3 = Gpa(gplayout::PT_POOL_PAGE * PAGE_SIZE);
+    let rip = gplayout::KERNEL_PAGE * PAGE_SIZE;
+    sys.xen.init_vmcb(&mut sys.plat, dom, gcr3, rip, true)?;
+    sys.xen.domain_mut(dom)?.state = DomainState::Ready;
+    let d = sys.xen.domain(dom)?;
+    sys.guardian.seal_guest(&mut sys.plat, d)?;
+    Ok(dom)
+}
+
+/// Convenience for tests/benches: a Fidelius system ready for migration.
+pub fn protected_system(dram: u64, seed: u64) -> Result<System, XenError> {
+    System::new(dram, seed, Box::new(Fidelius::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifecycle::boot_encrypted_guest;
+    use fidelius_sev::GuestOwner;
+
+    const DRAM: u64 = 32 * 1024 * 1024;
+
+    #[test]
+    fn migration_moves_guest_secrets_intact() {
+        let mut src = protected_system(DRAM, 31).unwrap();
+        let mut dst = protected_system(DRAM, 32).unwrap();
+
+        let mut owner = GuestOwner::new(33);
+        let image = owner.package_image(b"migratable kernel", &src.plat.firmware.pdh_public());
+        let dom = boot_encrypted_guest(&mut src, &image, 256).unwrap();
+
+        // The guest stores a secret in its private heap.
+        let gpa = Gpa(gplayout::HEAP_PAGE * PAGE_SIZE);
+        src.gpa_write(dom, gpa, b"secret-to-travel", true).unwrap();
+        src.ensure_host().unwrap();
+
+        let package = migrate_out(&mut src, dom, &dst.plat.firmware.pdh_public()).unwrap();
+        // Transport pages are ciphertext.
+        let heap_ct = package
+            .pages
+            .iter()
+            .find(|(p, _)| *p == gplayout::HEAP_PAGE)
+            .map(|(_, ct)| ct.clone())
+            .unwrap();
+        assert_ne!(&heap_ct[..16], b"secret-to-travel");
+
+        let new_dom = migrate_in(&mut dst, &package).unwrap();
+        dst.ensure_guest(new_dom).unwrap();
+        let mut back = [0u8; 16];
+        dst.plat.machine.guest_read_gpa(gpa, &mut back, true).unwrap();
+        assert_eq!(&back, b"secret-to-travel");
+    }
+
+    #[test]
+    fn tampered_package_is_rejected() {
+        let mut src = protected_system(DRAM, 41).unwrap();
+        let mut dst = protected_system(DRAM, 42).unwrap();
+        let mut owner = GuestOwner::new(43);
+        let image = owner.package_image(b"kernel", &src.plat.firmware.pdh_public());
+        let dom = boot_encrypted_guest(&mut src, &image, 192).unwrap();
+        let mut package = migrate_out(&mut src, dom, &dst.plat.firmware.pdh_public()).unwrap();
+        package.pages[3].1[100] ^= 0xFF;
+        assert!(matches!(migrate_in(&mut dst, &package), Err(XenError::Sev(_))));
+    }
+
+    #[test]
+    fn package_for_wrong_target_is_rejected() {
+        let mut src = protected_system(DRAM, 51).unwrap();
+        let mut dst = protected_system(DRAM, 52).unwrap();
+        let mut third = protected_system(DRAM, 53).unwrap();
+        let mut owner = GuestOwner::new(54);
+        let image = owner.package_image(b"kernel", &src.plat.firmware.pdh_public());
+        let dom = boot_encrypted_guest(&mut src, &image, 192).unwrap();
+        let package = migrate_out(&mut src, dom, &dst.plat.firmware.pdh_public()).unwrap();
+        // The hypervisor redirects the package to a colluding machine —
+        // which cannot unwrap the transport keys.
+        assert!(matches!(migrate_in(&mut third, &package), Err(XenError::Sev(_))));
+    }
+}

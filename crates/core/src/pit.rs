@@ -1,0 +1,292 @@
+//! The Page Information Table (PIT).
+//!
+//! Per paper §5.2: a three-level radix tree keyed by physical frame number
+//! whose last-level pages (4 KiB) hold 1024 entries of 32 bits each,
+//! recording the **owner, usage, ASID and validity** of every physical
+//! frame. Unlike a normal page table, the inner levels link by pointer
+//! ("virtual frame number") to make walking cheap.
+//!
+//! Fidelius consults the PIT on every page-table / NPT / grant update to
+//! decide whether a mapping is legal: e.g. "the page-table-page being
+//! written must be owned by the hypervisor and used as a last-level
+//! page-table-page" or "the frame being mapped must not belong to a
+//! protected guest".
+//!
+//! The PIT lives in Fidelius-private memory (unmapped from the
+//! hypervisor); the in-simulation representation is a real radix tree with
+//! packed 32-bit entries, and queries charge the cycle model for the
+//! three-level walk.
+
+use fidelius_hw::cycles::Cycles;
+use fidelius_hw::Hpa;
+
+/// What a physical frame is used for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Usage {
+    /// Not in use.
+    Free = 0,
+    /// Hypervisor code (write-forbidden).
+    XenCode = 1,
+    /// Hypervisor data / heap.
+    XenData = 2,
+    /// A host page-table-page (write-protected; updates via type-1 gate).
+    XenPageTable = 3,
+    /// A nested-page-table page of some domain.
+    NptPage = 4,
+    /// A guest-owned memory frame.
+    GuestPage = 5,
+    /// Fidelius code.
+    FideliusCode = 6,
+    /// Fidelius private data (unmapped from the hypervisor).
+    FideliusData = 7,
+    /// The grant table (write-protected; updates via type-1 gate).
+    GrantTable = 8,
+    /// A VMCB page (hypervisor-writable but shadow-verified).
+    Vmcb = 9,
+    /// Pages under the write-once policy (start_info/shared_info).
+    WriteOnce = 10,
+}
+
+impl Usage {
+    fn from_bits(v: u32) -> Usage {
+        match v {
+            1 => Usage::XenCode,
+            2 => Usage::XenData,
+            3 => Usage::XenPageTable,
+            4 => Usage::NptPage,
+            5 => Usage::GuestPage,
+            6 => Usage::FideliusCode,
+            7 => Usage::FideliusData,
+            8 => Usage::GrantTable,
+            9 => Usage::Vmcb,
+            10 => Usage::WriteOnce,
+            _ => Usage::Free,
+        }
+    }
+}
+
+/// One packed 32-bit PIT entry:
+/// bit 0 = valid, bits 1..5 = usage, bits 5..17 = owner (domain id),
+/// bits 17..29 = ASID, bit 29 = shared (granted) flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PitEntry(pub u32);
+
+impl PitEntry {
+    /// Builds an entry.
+    pub fn new(usage: Usage, owner: u16, asid: u16, shared: bool) -> Self {
+        let v = 1u32
+            | ((usage as u32) << 1)
+            | (((owner as u32) & 0xFFF) << 5)
+            | (((asid as u32) & 0xFFF) << 17)
+            | (u32::from(shared) << 29);
+        PitEntry(v)
+    }
+
+    /// Valid (tracked) entry?
+    pub fn valid(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// The usage class.
+    pub fn usage(self) -> Usage {
+        if !self.valid() {
+            Usage::Free
+        } else {
+            Usage::from_bits((self.0 >> 1) & 0xF)
+        }
+    }
+
+    /// Owning domain id (0 = hypervisor/host for non-guest usages).
+    pub fn owner(self) -> u16 {
+        ((self.0 >> 5) & 0xFFF) as u16
+    }
+
+    /// ASID recorded for guest pages.
+    pub fn asid(self) -> u16 {
+        ((self.0 >> 17) & 0xFFF) as u16
+    }
+
+    /// Whether the frame is currently shared through a grant.
+    pub fn shared(self) -> bool {
+        self.0 & (1 << 29) != 0
+    }
+
+    /// Returns a copy with the shared flag set/cleared.
+    pub fn with_shared(self, shared: bool) -> Self {
+        PitEntry((self.0 & !(1 << 29)) | (u32::from(shared) << 29))
+    }
+}
+
+const FANOUT: usize = 1024; // 10 bits per level
+
+type Leaf = Box<[u32; FANOUT]>;
+
+#[derive(Default)]
+struct Mid {
+    leaves: Vec<Option<Leaf>>, // FANOUT slots, allocated lazily
+}
+
+/// The three-level radix tree over physical frame numbers.
+pub struct Pit {
+    top: Vec<Option<Box<Mid>>>, // FANOUT slots
+    queries: u64,
+}
+
+impl std::fmt::Debug for Pit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pit").field("queries", &self.queries).finish()
+    }
+}
+
+impl Default for Pit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pit {
+    /// An empty PIT (all frames implicitly Free).
+    pub fn new() -> Self {
+        let mut top = Vec::with_capacity(FANOUT);
+        top.resize_with(FANOUT, || None);
+        Pit { top, queries: 0 }
+    }
+
+    fn split(pfn: u64) -> (usize, usize, usize) {
+        let l0 = (pfn & 0x3FF) as usize;
+        let l1 = ((pfn >> 10) & 0x3FF) as usize;
+        let l2 = ((pfn >> 20) & 0x3FF) as usize;
+        (l2, l1, l0)
+    }
+
+    /// Looks up the entry for a frame, charging the cycle model for the
+    /// three-level walk.
+    pub fn query(&mut self, frame: Hpa, cycles: &mut Cycles) -> PitEntry {
+        self.queries += 1;
+        // Three dependent loads, like the paper's accelerated page walk.
+        cycles.charge(3.0);
+        self.peek(frame)
+    }
+
+    /// Looks up without charging (internal bookkeeping).
+    pub fn peek(&self, frame: Hpa) -> PitEntry {
+        let (l2, l1, l0) = Self::split(frame.pfn());
+        match &self.top[l2] {
+            None => PitEntry::default(),
+            Some(mid) => match mid.leaves.get(l1).and_then(|o| o.as_ref()) {
+                None => PitEntry::default(),
+                Some(leaf) => PitEntry(leaf[l0]),
+            },
+        }
+    }
+
+    /// Sets the entry for a frame.
+    pub fn set(&mut self, frame: Hpa, entry: PitEntry) {
+        let (l2, l1, l0) = Self::split(frame.pfn());
+        let mid = self.top[l2].get_or_insert_with(|| {
+            let mut m = Box::new(Mid::default());
+            m.leaves.resize_with(FANOUT, || None);
+            m
+        });
+        if mid.leaves.is_empty() {
+            mid.leaves.resize_with(FANOUT, || None);
+        }
+        let leaf = mid.leaves[l1].get_or_insert_with(|| Box::new([0u32; FANOUT]));
+        leaf[l0] = entry.0;
+    }
+
+    /// Marks a frame free.
+    pub fn clear(&mut self, frame: Hpa) {
+        self.set(frame, PitEntry::default());
+    }
+
+    /// Sets a contiguous range of frames.
+    pub fn set_range(&mut self, start: Hpa, count: u64, entry: PitEntry) {
+        for i in 0..count {
+            self.set(Hpa::from_pfn(start.pfn() + i), entry);
+        }
+    }
+
+    /// Number of queries served (statistics for the evaluation).
+    pub fn query_count(&self) -> u64 {
+        self.queries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_packing_roundtrip() {
+        let e = PitEntry::new(Usage::GuestPage, 5, 3, true);
+        assert!(e.valid());
+        assert_eq!(e.usage(), Usage::GuestPage);
+        assert_eq!(e.owner(), 5);
+        assert_eq!(e.asid(), 3);
+        assert!(e.shared());
+        let e2 = e.with_shared(false);
+        assert!(!e2.shared());
+        assert_eq!(e2.usage(), Usage::GuestPage);
+    }
+
+    #[test]
+    fn default_entry_is_free() {
+        let e = PitEntry::default();
+        assert!(!e.valid());
+        assert_eq!(e.usage(), Usage::Free);
+    }
+
+    #[test]
+    fn all_usages_pack() {
+        for u in [
+            Usage::XenCode,
+            Usage::XenData,
+            Usage::XenPageTable,
+            Usage::NptPage,
+            Usage::GuestPage,
+            Usage::FideliusCode,
+            Usage::FideliusData,
+            Usage::GrantTable,
+            Usage::Vmcb,
+            Usage::WriteOnce,
+        ] {
+            assert_eq!(PitEntry::new(u, 0, 0, false).usage(), u);
+        }
+    }
+
+    #[test]
+    fn query_and_set() {
+        let mut pit = Pit::new();
+        let mut cycles = Cycles::new();
+        assert_eq!(pit.query(Hpa(0x5000), &mut cycles).usage(), Usage::Free);
+        pit.set(Hpa(0x5000), PitEntry::new(Usage::XenPageTable, 0, 0, false));
+        assert_eq!(pit.query(Hpa(0x5000), &mut cycles).usage(), Usage::XenPageTable);
+        // A different frame in the same leaf.
+        assert_eq!(pit.query(Hpa(0x6000), &mut cycles).usage(), Usage::Free);
+        assert_eq!(pit.query_count(), 3);
+        assert!(cycles.total() > 0);
+    }
+
+    #[test]
+    fn sparse_frames_far_apart() {
+        let mut pit = Pit::new();
+        let far = Hpa::from_pfn(1 << 25); // exercises upper levels
+        pit.set(far, PitEntry::new(Usage::FideliusData, 0, 0, false));
+        assert_eq!(pit.peek(far).usage(), Usage::FideliusData);
+        assert_eq!(pit.peek(Hpa::from_pfn((1 << 25) + 1)).usage(), Usage::Free);
+    }
+
+    #[test]
+    fn set_range_and_clear() {
+        let mut pit = Pit::new();
+        pit.set_range(Hpa(0x10000), 4, PitEntry::new(Usage::GuestPage, 2, 2, false));
+        for i in 0..4u64 {
+            assert_eq!(pit.peek(Hpa(0x10000 + i * 4096)).owner(), 2);
+        }
+        pit.clear(Hpa(0x11000));
+        assert_eq!(pit.peek(Hpa(0x11000)).usage(), Usage::Free);
+        assert_eq!(pit.peek(Hpa(0x12000)).usage(), Usage::GuestPage);
+    }
+}

@@ -1,0 +1,218 @@
+//! Policies on privileged instructions (paper Table 2) and the
+//! write-once / execute-once / write-forbidding policies of §5.3.
+
+use fidelius_hw::cpu::PrivOp;
+use fidelius_hw::{Hpa, PAGE_SIZE};
+
+/// Outcome of checking a privileged instruction against Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstrVerdict {
+    /// Execution is allowed.
+    Allow,
+    /// The instruction would violate its policy.
+    Deny(&'static str),
+}
+
+/// Facts the instruction policy needs about the protected system.
+#[derive(Debug, Clone, Copy)]
+pub struct InstrPolicyCtx {
+    /// The registered (only valid) host page-table root.
+    pub host_pt_root: Hpa,
+}
+
+/// Checks a privileged instruction per Table 2:
+///
+/// | instruction | policy |
+/// |---|---|
+/// | `MOV CR0`  | PG and WP bits cannot be cleared |
+/// | `MOV CR4`  | SMEP bit cannot be cleared |
+/// | `WRMSR`    | NXE bit in EFER cannot be cleared |
+/// | `VMRUN`    | specific VMCB fields cannot be tampered (checked at the entry boundary) |
+/// | `MOV CR3`  | the target CR3 must be valid |
+pub fn check_instr(ctx: &InstrPolicyCtx, op: &PrivOp) -> InstrVerdict {
+    match op {
+        PrivOp::WriteCr0(v) => {
+            if !v.pg {
+                InstrVerdict::Deny("CR0.PG cannot be cleared")
+            } else if !v.wp {
+                InstrVerdict::Deny("CR0.WP cannot be cleared")
+            } else {
+                InstrVerdict::Allow
+            }
+        }
+        PrivOp::WriteCr4(v) => {
+            if !v.smep {
+                InstrVerdict::Deny("CR4.SMEP cannot be cleared")
+            } else {
+                InstrVerdict::Allow
+            }
+        }
+        PrivOp::WriteEfer(v) => {
+            if !v.nxe {
+                InstrVerdict::Deny("EFER.NXE cannot be cleared")
+            } else if !v.svme {
+                InstrVerdict::Deny("EFER.SVME cannot be cleared")
+            } else {
+                InstrVerdict::Allow
+            }
+        }
+        PrivOp::WriteCr3(root) => {
+            if *root == ctx.host_pt_root {
+                InstrVerdict::Allow
+            } else {
+                InstrVerdict::Deny("CR3 target is not a valid root")
+            }
+        }
+        PrivOp::Vmrun(_) => {
+            // VMRUN never executes through the generic path: the entry
+            // boundary (enter_guest) owns it.
+            InstrVerdict::Deny("VMRUN only through the guarded entry boundary")
+        }
+        PrivOp::Invlpg(_) | PrivOp::Cli | PrivOp::Sti => InstrVerdict::Allow,
+        PrivOp::Lgdt(_) | PrivOp::Lidt(_) => InstrVerdict::Allow, // execute-once handled separately
+    }
+}
+
+/// A bit-vector tracker for the write-once and execute-once policies:
+/// "one bit per byte" over pre-defined regions (paper §5.3). The first
+/// operation on a tracked address succeeds and latches the bit; later
+/// operations are denied.
+#[derive(Debug, Default)]
+pub struct OncePolicy {
+    regions: Vec<(Hpa, u64, Vec<u8>)>, // (base, len, bitmap)
+}
+
+impl OncePolicy {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        OncePolicy::default()
+    }
+
+    /// Registers a region (e.g. the start_info page, or the `lgdt` site).
+    pub fn track(&mut self, base: Hpa, len: u64) {
+        let bitmap = vec![0u8; (len as usize).div_ceil(8)];
+        self.regions.push((base, len, bitmap));
+    }
+
+    /// Whether `pa` falls in a tracked region.
+    pub fn tracks(&self, pa: Hpa) -> bool {
+        self.regions.iter().any(|(b, l, _)| pa.0 >= b.0 && pa.0 < b.0 + l)
+    }
+
+    /// Attempts the one-shot operation on `pa`; `true` if this was the
+    /// first (allowed) use, `false` if the bit was already latched.
+    pub fn try_use(&mut self, pa: Hpa) -> bool {
+        for (base, len, bitmap) in &mut self.regions {
+            if pa.0 >= base.0 && pa.0 < base.0 + *len {
+                let off = (pa.0 - base.0) as usize;
+                let (byte, bit) = (off / 8, off % 8);
+                if bitmap[byte] & (1 << bit) != 0 {
+                    return false;
+                }
+                bitmap[byte] |= 1 << bit;
+                return true;
+            }
+        }
+        // Untracked addresses are not governed by this policy.
+        true
+    }
+
+    /// Attempts a one-shot operation covering a whole page.
+    pub fn try_use_page(&mut self, page: Hpa) -> bool {
+        self.try_use(Hpa(page.0 & !(PAGE_SIZE - 1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fidelius_hw::regs::{Cr0, Cr4, Efer};
+
+    fn ctx() -> InstrPolicyCtx {
+        InstrPolicyCtx { host_pt_root: Hpa(0x40_0000) }
+    }
+
+    #[test]
+    fn cr0_clearing_wp_or_pg_denied() {
+        let c = ctx();
+        assert_eq!(
+            check_instr(&c, &PrivOp::WriteCr0(Cr0 { pg: true, wp: true })),
+            InstrVerdict::Allow
+        );
+        assert!(matches!(
+            check_instr(&c, &PrivOp::WriteCr0(Cr0 { pg: true, wp: false })),
+            InstrVerdict::Deny(_)
+        ));
+        assert!(matches!(
+            check_instr(&c, &PrivOp::WriteCr0(Cr0 { pg: false, wp: true })),
+            InstrVerdict::Deny(_)
+        ));
+    }
+
+    #[test]
+    fn cr4_smep_must_stay() {
+        let c = ctx();
+        assert_eq!(check_instr(&c, &PrivOp::WriteCr4(Cr4 { smep: true })), InstrVerdict::Allow);
+        assert!(matches!(
+            check_instr(&c, &PrivOp::WriteCr4(Cr4 { smep: false })),
+            InstrVerdict::Deny(_)
+        ));
+    }
+
+    #[test]
+    fn efer_nxe_and_svme_must_stay() {
+        let c = ctx();
+        assert_eq!(
+            check_instr(&c, &PrivOp::WriteEfer(Efer { nxe: true, svme: true })),
+            InstrVerdict::Allow
+        );
+        assert!(matches!(
+            check_instr(&c, &PrivOp::WriteEfer(Efer { nxe: false, svme: true })),
+            InstrVerdict::Deny(_)
+        ));
+        assert!(matches!(
+            check_instr(&c, &PrivOp::WriteEfer(Efer { nxe: true, svme: false })),
+            InstrVerdict::Deny(_)
+        ));
+    }
+
+    #[test]
+    fn cr3_must_target_registered_root() {
+        let c = ctx();
+        assert_eq!(check_instr(&c, &PrivOp::WriteCr3(Hpa(0x40_0000))), InstrVerdict::Allow);
+        assert!(matches!(
+            check_instr(&c, &PrivOp::WriteCr3(Hpa(0x6666_0000))),
+            InstrVerdict::Deny(_)
+        ));
+    }
+
+    #[test]
+    fn vmrun_denied_on_generic_path() {
+        assert!(matches!(
+            check_instr(&ctx(), &PrivOp::Vmrun(Hpa(0x1000))),
+            InstrVerdict::Deny(_)
+        ));
+    }
+
+    #[test]
+    fn once_policy_latches() {
+        let mut once = OncePolicy::new();
+        once.track(Hpa(0x1000), 0x20);
+        assert!(once.tracks(Hpa(0x1010)));
+        assert!(!once.tracks(Hpa(0x2000)));
+        assert!(once.try_use(Hpa(0x1010)), "first use allowed");
+        assert!(!once.try_use(Hpa(0x1010)), "second use denied");
+        assert!(once.try_use(Hpa(0x1011)), "neighbouring byte independent");
+        // Untracked addresses pass through.
+        assert!(once.try_use(Hpa(0x9000)));
+        assert!(once.try_use(Hpa(0x9000)));
+    }
+
+    #[test]
+    fn once_policy_page_granularity() {
+        let mut once = OncePolicy::new();
+        once.track(Hpa(0x3000), PAGE_SIZE);
+        assert!(once.try_use_page(Hpa(0x3123)));
+        assert!(!once.try_use_page(Hpa(0x3FFF)), "same page already used");
+    }
+}

@@ -1,0 +1,100 @@
+//! The binary scanner (paper §4.1.2).
+//!
+//! For instructions that may disable protection, Fidelius *monopolizes*
+//! them: binary scanning ensures that no occurrence of the opcode bytes —
+//! "no matter aligned to instruction boundaries or not" — exists in the
+//! hypervisor's code region, except the single copies inside Fidelius's
+//! own code. Found occurrences in the hypervisor image are erased
+//! (replaced with NOPs) during late launch.
+
+/// The privileged-instruction byte patterns Fidelius polices.
+pub const PATTERNS: [(&str, &[u8]); 7] = [
+    ("mov cr0", &[0x0F, 0x22, 0xC0]),
+    ("mov cr3", &[0x0F, 0x22, 0xD8]),
+    ("mov cr4", &[0x0F, 0x22, 0xE0]),
+    ("wrmsr", &[0x0F, 0x30]),
+    ("vmrun", &[0x0F, 0x01, 0xD8]),
+    ("lgdt", &[0x0F, 0x01, 0x10]),
+    ("lidt", &[0x0F, 0x01, 0x18]),
+];
+
+/// One occurrence found by the scanner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Finding {
+    /// Byte offset in the scanned region.
+    pub offset: usize,
+    /// Index into [`PATTERNS`].
+    pub pattern: usize,
+}
+
+/// Scans `code` for every occurrence of every pattern, at *every* byte
+/// offset (unaligned occurrences included).
+pub fn scan(code: &[u8]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (pi, (_, pat)) in PATTERNS.iter().enumerate() {
+        if pat.len() > code.len() {
+            continue;
+        }
+        for off in 0..=(code.len() - pat.len()) {
+            if &code[off..off + pat.len()] == *pat {
+                findings.push(Finding { offset: off, pattern: pi });
+            }
+        }
+    }
+    findings.sort_by_key(|f| (f.offset, f.pattern));
+    findings
+}
+
+/// Erases every occurrence in place (NOP fill). Returns how many were
+/// erased.
+pub fn erase(code: &mut [u8]) -> usize {
+    let findings = scan(code);
+    for f in &findings {
+        let len = PATTERNS[f.pattern].1.len();
+        code[f.offset..f.offset + len].fill(0x90);
+    }
+    findings.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_aligned_and_unaligned() {
+        let mut code = vec![0x90u8; 64];
+        code[10..13].copy_from_slice(&[0x0F, 0x22, 0xC0]); // mov cr0
+        // An "unaligned" vmrun hidden inside other bytes.
+        code[30..33].copy_from_slice(&[0x0F, 0x01, 0xD8]);
+        let f = scan(&code);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].offset, 10);
+        assert_eq!(f[1].offset, 30);
+    }
+
+    #[test]
+    fn erase_removes_everything() {
+        let mut code = vec![0u8; 128];
+        code[5..7].copy_from_slice(&[0x0F, 0x30]); // wrmsr
+        code[60..63].copy_from_slice(&[0x0F, 0x22, 0xD8]); // mov cr3
+        assert_eq!(erase(&mut code), 2);
+        assert!(scan(&code).is_empty());
+        assert_eq!(&code[5..7], &[0x90, 0x90]);
+    }
+
+    #[test]
+    fn overlapping_bytes_cannot_hide_an_instruction() {
+        // 0F 22 0F 22 C0: contains "mov cr0" at offset 2.
+        let mut code = vec![0x0F, 0x22, 0x0F, 0x22, 0xC0, 0x90];
+        let f = scan(&code);
+        assert!(f.iter().any(|f| f.offset == 2 && PATTERNS[f.pattern].0 == "mov cr0"));
+        erase(&mut code);
+        assert!(scan(&code).is_empty());
+    }
+
+    #[test]
+    fn clean_code_scans_empty() {
+        assert!(scan(&[0x90; 256]).is_empty());
+        assert!(scan(&[]).is_empty());
+    }
+}

@@ -1,0 +1,388 @@
+//! Table-based AES (the simulation's "AES-NI" fast path).
+//!
+//! This is a straightforward, constant-table implementation of FIPS-197
+//! supporting 128-, 192- and 256-bit keys. In the Fidelius model it stands
+//! in for hardware AES:
+//!
+//! - the guest front-end driver uses it for `Kblk` disk encryption
+//!   ("AES-NI based I/O protection", paper §4.3.5);
+//! - the simulated memory-encryption engine
+//!   (`fidelius-hw::memctrl`) uses it for the per-ASID `Kvek` / SME key.
+//!
+//! The deliberately slow sibling lives in [`crate::aes_soft`].
+
+/// The AES S-box, computed at compile time from the GF(2⁸) inverse plus the
+/// FIPS-197 affine transform.
+pub const SBOX: [u8; 256] = build_sbox();
+
+/// The inverse AES S-box.
+pub const INV_SBOX: [u8; 256] = build_inv_sbox();
+
+const fn build_sbox() -> [u8; 256] {
+    // Walk the multiplicative group of GF(2^8) with generator 3: p runs
+    // through all non-zero elements while q runs through their inverses.
+    let mut sbox = [0u8; 256];
+    sbox[0] = 0x63;
+    let mut p: u8 = 1;
+    let mut q: u8 = 1;
+    loop {
+        // p := p * 3
+        p = p ^ (p << 1) ^ (if p & 0x80 != 0 { 0x1B } else { 0 });
+        // q := q / 3
+        q ^= q << 1;
+        q ^= q << 2;
+        q ^= q << 4;
+        if q & 0x80 != 0 {
+            q ^= 0x09;
+        }
+        let x = q ^ q.rotate_left(1) ^ q.rotate_left(2) ^ q.rotate_left(3) ^ q.rotate_left(4);
+        sbox[p as usize] = x ^ 0x63;
+        if p == 1 {
+            break;
+        }
+    }
+    sbox
+}
+
+const fn build_inv_sbox() -> [u8; 256] {
+    let sbox = build_sbox();
+    let mut inv = [0u8; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        inv[sbox[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+}
+
+/// Multiply by 2 in GF(2⁸) with the AES reduction polynomial.
+#[inline]
+const fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (if b & 0x80 != 0 { 0x1B } else { 0 })
+}
+
+/// General GF(2⁸) multiplication (used by the inverse MixColumns).
+#[inline]
+const fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    let mut i = 0;
+    while i < 8 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+        i += 1;
+    }
+    acc
+}
+
+const RCON: [u8; 11] = [0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36];
+
+/// An expanded AES key schedule for any of the three standard key sizes.
+///
+/// Prefer the typed wrappers [`Aes128`] and [`Aes256`] in new code; the raw
+/// schedule is exposed for the few places (e.g. the memory controller) that
+/// select a key size at runtime.
+#[derive(Clone)]
+pub struct KeySchedule {
+    round_keys: Vec<[u8; 16]>,
+    rounds: usize,
+}
+
+impl std::fmt::Debug for KeySchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.debug_struct("KeySchedule").field("rounds", &self.rounds).finish()
+    }
+}
+
+impl KeySchedule {
+    /// Expands `key` (16, 24 or 32 bytes) into round keys.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CryptoError::InvalidKeyLength`] for any other length.
+    pub fn new(key: &[u8]) -> Result<Self, crate::CryptoError> {
+        let (nk, rounds) = match key.len() {
+            16 => (4usize, 10usize),
+            24 => (6, 12),
+            32 => (8, 14),
+            other => {
+                return Err(crate::CryptoError::InvalidKeyLength { got: other, expected: 16 })
+            }
+        };
+        let nwords = 4 * (rounds + 1);
+        let mut w = vec![[0u8; 4]; nwords];
+        for (i, word) in w.iter_mut().take(nk).enumerate() {
+            word.copy_from_slice(&key[4 * i..4 * i + 4]);
+        }
+        for i in nk..nwords {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = SBOX[*b as usize];
+                }
+                temp[0] ^= RCON[i / nk];
+            } else if nk > 6 && i % nk == 4 {
+                for b in &mut temp {
+                    *b = SBOX[*b as usize];
+                }
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - nk][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = Vec::with_capacity(rounds + 1);
+        for r in 0..=rounds {
+            let mut rk = [0u8; 16];
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+            round_keys.push(rk);
+        }
+        Ok(KeySchedule { round_keys, rounds })
+    }
+
+    /// Number of AES rounds for this key size (10, 12 or 14).
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Encrypts one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        add_round_key(block, &self.round_keys[0]);
+        for r in 1..self.rounds {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[r]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[self.rounds]);
+    }
+
+    /// Decrypts one 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        add_round_key(block, &self.round_keys[self.rounds]);
+        inv_shift_rows(block);
+        inv_sub_bytes(block);
+        for r in (1..self.rounds).rev() {
+            add_round_key(block, &self.round_keys[r]);
+            inv_mix_columns(block);
+            inv_shift_rows(block);
+            inv_sub_bytes(block);
+        }
+        add_round_key(block, &self.round_keys[0]);
+    }
+}
+
+// The state is kept in the FIPS-197 byte order: block[4*c + r] is row r,
+// column c.
+
+#[inline]
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for i in 0..16 {
+        state[i] ^= rk[i];
+    }
+}
+
+#[inline]
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+#[inline]
+fn inv_sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = INV_SBOX[*b as usize];
+    }
+}
+
+#[inline]
+fn shift_rows(state: &mut [u8; 16]) {
+    // Row r rotates left by r.
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * c + r] = s[4 * ((c + r) % 4) + r];
+        }
+    }
+}
+
+#[inline]
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * ((c + r) % 4) + r] = s[4 * c + r];
+        }
+    }
+}
+
+#[inline]
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = xtime(col[0]) ^ xtime(col[1]) ^ col[1] ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ xtime(col[1]) ^ xtime(col[2]) ^ col[2] ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ xtime(col[3]) ^ col[3];
+        state[4 * c + 3] = xtime(col[0]) ^ col[0] ^ col[1] ^ col[2] ^ xtime(col[3]);
+    }
+}
+
+#[inline]
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
+        state[4 * c + 1] =
+            gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
+        state[4 * c + 2] =
+            gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
+        state[4 * c + 3] =
+            gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
+    }
+}
+
+macro_rules! aes_variant {
+    ($name:ident, $bytes:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Clone)]
+        pub struct $name {
+            schedule: KeySchedule,
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_struct(stringify!($name)).finish_non_exhaustive()
+            }
+        }
+
+        impl $name {
+            /// Expands the key. The key length is enforced by the type.
+            pub fn new(key: &[u8; $bytes]) -> Self {
+                let schedule = KeySchedule::new(key).expect("key length enforced by type");
+                $name { schedule }
+            }
+
+            /// Encrypts one 16-byte block in place.
+            pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+                self.schedule.encrypt_block(block);
+            }
+
+            /// Decrypts one 16-byte block in place.
+            pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+                self.schedule.decrypt_block(block);
+            }
+
+            /// Borrows the underlying schedule (for mode implementations).
+            pub fn schedule(&self) -> &KeySchedule {
+                &self.schedule
+            }
+        }
+    };
+}
+
+aes_variant!(Aes128, 16, "AES with a 128-bit key.");
+aes_variant!(Aes192, 24, "AES with a 192-bit key.");
+aes_variant!(Aes256, 32, "AES with a 256-bit key.");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+    }
+
+    #[test]
+    fn sbox_known_values() {
+        assert_eq!(SBOX[0x00], 0x63);
+        assert_eq!(SBOX[0x01], 0x7c);
+        assert_eq!(SBOX[0x53], 0xed);
+        assert_eq!(SBOX[0xff], 0x16);
+        assert_eq!(INV_SBOX[0x63], 0x00);
+        assert_eq!(INV_SBOX[0xed], 0x53);
+    }
+
+    #[test]
+    fn sbox_is_a_permutation() {
+        let mut seen = [false; 256];
+        for &b in SBOX.iter() {
+            assert!(!seen[b as usize]);
+            seen[b as usize] = true;
+        }
+        for (i, &b) in SBOX.iter().enumerate() {
+            assert_eq!(INV_SBOX[b as usize] as usize, i);
+        }
+    }
+
+    // FIPS-197 Appendix C known-answer tests.
+    #[test]
+    fn fips197_aes128() {
+        let key: [u8; 16] = hex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let mut block: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let cipher = Aes128::new(&key);
+        cipher.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        cipher.decrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn fips197_aes192() {
+        let key: [u8; 24] =
+            hex("000102030405060708090a0b0c0d0e0f1011121314151617").try_into().unwrap();
+        let mut block: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let cipher = Aes192::new(&key);
+        cipher.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("dda97ca4864cdfe06eaf70a0ec0d7191"));
+    }
+
+    #[test]
+    fn fips197_aes256() {
+        let key: [u8; 32] = hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+            .try_into()
+            .unwrap();
+        let mut block: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let cipher = Aes256::new(&key);
+        cipher.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("8ea2b7ca516745bfeafc49904b496089"));
+        cipher.decrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn schedule_rejects_bad_key_length() {
+        assert!(matches!(
+            KeySchedule::new(&[0u8; 15]),
+            Err(crate::CryptoError::InvalidKeyLength { got: 15, .. })
+        ));
+    }
+
+    #[test]
+    fn debug_does_not_leak_key() {
+        let ks = KeySchedule::new(&[0x42u8; 16]).unwrap();
+        let s = format!("{ks:?}");
+        assert!(!s.contains("42"), "debug output leaked key bytes: {s}");
+    }
+
+    #[test]
+    fn encrypt_then_decrypt_roundtrips_many_keys() {
+        for seed in 0u8..32 {
+            let key = [seed.wrapping_mul(37); 16];
+            let cipher = Aes128::new(&key);
+            let mut block = [seed; 16];
+            let original = block;
+            cipher.encrypt_block(&mut block);
+            assert_ne!(block, original, "encryption must change the block");
+            cipher.decrypt_block(&mut block);
+            assert_eq!(block, original);
+        }
+    }
+}

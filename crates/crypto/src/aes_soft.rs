@@ -1,0 +1,296 @@
+//! Deliberately slow, bit-level AES ("software emulated encryption").
+//!
+//! The paper's micro-benchmark 3 compares three ways of encrypting I/O
+//! buffers: AES-NI (+11.49%), the SEV/SME engine (+8.69%) and *software
+//! emulated encryption* (>20×). This module is that third contender: a
+//! correct AES-128 that recomputes every field operation from first
+//! principles — the GF(2⁸) inverse by Fermat exponentiation per byte, the
+//! affine transform bit by bit, MixColumns by generic shift-and-add
+//! multiplication — exactly as a naive "textbook" software implementation
+//! would. It shares no tables with [`crate::aes`], which also makes it a
+//! useful cross-check oracle in tests.
+
+/// Bit-level GF(2⁸) multiply (no tables).
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1B;
+        }
+        b >>= 1;
+    }
+    acc
+}
+
+/// GF(2⁸) inverse via Fermat's little theorem: a⁻¹ = a^254.
+fn gf_inv(a: u8) -> u8 {
+    if a == 0 {
+        return 0;
+    }
+    // Square-and-multiply over the 8-bit exponent 254 = 0b11111110.
+    let mut result = 1u8;
+    let mut base = a;
+    let mut exp = 254u32;
+    while exp > 0 {
+        if exp & 1 != 0 {
+            result = gf_mul(result, base);
+        }
+        base = gf_mul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+/// The S-box computed from scratch for a single byte.
+fn sub_byte(b: u8) -> u8 {
+    let x = gf_inv(b);
+    let mut out = 0u8;
+    for bit in 0..8u32 {
+        let v = ((x >> bit) & 1)
+            ^ ((x >> ((bit + 4) % 8)) & 1)
+            ^ ((x >> ((bit + 5) % 8)) & 1)
+            ^ ((x >> ((bit + 6) % 8)) & 1)
+            ^ ((x >> ((bit + 7) % 8)) & 1)
+            ^ ((0x63 >> bit) & 1);
+        out |= v << bit;
+    }
+    out
+}
+
+/// Inverse S-box computed from scratch for a single byte.
+fn inv_sub_byte(b: u8) -> u8 {
+    // Invert the affine transform bit by bit, then take the field inverse.
+    let mut x = 0u8;
+    for bit in 0..8u32 {
+        let v = ((b >> ((bit + 2) % 8)) & 1)
+            ^ ((b >> ((bit + 5) % 8)) & 1)
+            ^ ((b >> ((bit + 7) % 8)) & 1)
+            ^ ((0x05 >> bit) & 1);
+        x |= v << bit;
+    }
+    gf_inv(x)
+}
+
+const RCON: [u8; 11] = [0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36];
+
+/// Slow software AES-128 used as the "no hardware support" baseline.
+#[derive(Clone)]
+pub struct SoftAes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl std::fmt::Debug for SoftAes128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SoftAes128").finish_non_exhaustive()
+    }
+}
+
+impl SoftAes128 {
+    /// Expands a 128-bit key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let mut w = [[0u8; 4]; 44];
+        for i in 0..4 {
+            w[i].copy_from_slice(&key[4 * i..4 * i + 4]);
+        }
+        for i in 4..44 {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = sub_byte(*b);
+                }
+                temp[0] ^= RCON[i / 4];
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        SoftAes128 { round_keys }
+    }
+
+    /// Encrypts one block in place (slowly, on purpose).
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        xor16(block, &self.round_keys[0]);
+        for r in 1..10 {
+            for b in block.iter_mut() {
+                *b = sub_byte(*b);
+            }
+            shift_rows(block);
+            mix_columns(block);
+            xor16(block, &self.round_keys[r]);
+        }
+        for b in block.iter_mut() {
+            *b = sub_byte(*b);
+        }
+        shift_rows(block);
+        xor16(block, &self.round_keys[10]);
+    }
+
+    /// Decrypts one block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        xor16(block, &self.round_keys[10]);
+        inv_shift_rows(block);
+        for b in block.iter_mut() {
+            *b = inv_sub_byte(*b);
+        }
+        for r in (1..10).rev() {
+            xor16(block, &self.round_keys[r]);
+            inv_mix_columns(block);
+            inv_shift_rows(block);
+            for b in block.iter_mut() {
+                *b = inv_sub_byte(*b);
+            }
+        }
+        xor16(block, &self.round_keys[0]);
+    }
+
+    /// Encrypts a buffer in counter mode with a 128-bit starting counter.
+    /// Provided so the I/O micro-benchmark can stream through large buffers.
+    pub fn ctr_apply(&self, counter0: u128, data: &mut [u8]) {
+        let mut counter = counter0;
+        for chunk in data.chunks_mut(16) {
+            let mut ks = counter.to_be_bytes();
+            self.encrypt_block(&mut ks);
+            for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+                *d ^= *k;
+            }
+            counter = counter.wrapping_add(1);
+        }
+    }
+}
+
+#[inline]
+fn xor16(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for i in 0..16 {
+        state[i] ^= rk[i];
+    }
+}
+
+fn shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * c + r] = s[4 * ((c + r) % 4) + r];
+        }
+    }
+}
+
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * ((c + r) % 4) + r] = s[4 * c + r];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        for r in 0..4 {
+            let coeffs = [
+                [2u8, 3, 1, 1],
+                [1, 2, 3, 1],
+                [1, 1, 2, 3],
+                [3, 1, 1, 2],
+            ];
+            state[4 * c + r] = (0..4).fold(0u8, |acc, i| acc ^ gf_mul(coeffs[r][i], col[i]));
+        }
+    }
+}
+
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        for r in 0..4 {
+            let coeffs = [
+                [14u8, 11, 13, 9],
+                [9, 14, 11, 13],
+                [13, 9, 14, 11],
+                [11, 13, 9, 14],
+            ];
+            state[4 * c + r] = (0..4).fold(0u8, |acc, i| acc ^ gf_mul(coeffs[r][i], col[i]));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aes::{Aes128, INV_SBOX, SBOX};
+
+    #[test]
+    fn sub_byte_matches_table() {
+        for b in 0..=255u8 {
+            assert_eq!(sub_byte(b), SBOX[b as usize], "sbox mismatch at {b:#x}");
+            assert_eq!(inv_sub_byte(b), INV_SBOX[b as usize], "inv sbox mismatch at {b:#x}");
+        }
+    }
+
+    #[test]
+    fn matches_fast_aes_on_fips_vector() {
+        let key: [u8; 16] = [
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f,
+        ];
+        let plain: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let soft = SoftAes128::new(&key);
+        let fast = Aes128::new(&key);
+        let mut a = plain;
+        let mut b = plain;
+        soft.encrypt_block(&mut a);
+        fast.encrypt_block(&mut b);
+        assert_eq!(a, b);
+        soft.decrypt_block(&mut a);
+        assert_eq!(a, plain);
+    }
+
+    #[test]
+    fn cross_check_random_blocks() {
+        let mut seed = 0x1234_5678_9abc_def0u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed
+        };
+        for _ in 0..16 {
+            let mut key = [0u8; 16];
+            let mut block = [0u8; 16];
+            for i in 0..16 {
+                key[i] = (next() >> 24) as u8;
+                block[i] = (next() >> 16) as u8;
+            }
+            let soft = SoftAes128::new(&key);
+            let fast = Aes128::new(&key);
+            let mut a = block;
+            let mut b = block;
+            soft.encrypt_block(&mut a);
+            fast.encrypt_block(&mut b);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn ctr_roundtrips() {
+        let soft = SoftAes128::new(&[7u8; 16]);
+        let mut data = vec![0xA5u8; 100];
+        let original = data.clone();
+        soft.ctr_apply(42, &mut data);
+        assert_ne!(data, original);
+        soft.ctr_apply(42, &mut data);
+        assert_eq!(data, original);
+    }
+}

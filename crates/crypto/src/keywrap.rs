@@ -1,0 +1,140 @@
+//! AES Key Wrap (RFC 3394), used to build the paper's `Kwrap`: the wrapped
+//! transport encryption/integrity keys (`Ktek`, `Ktik`) that the guest owner
+//! hands to Fidelius for the retrofitted SEND/RECEIVE boot flow (§4.3.2).
+
+use crate::aes::Aes128;
+use crate::CryptoError;
+
+const IV: u64 = 0xA6A6_A6A6_A6A6_A6A6;
+
+/// Wraps `plain` (a multiple of 8 bytes, at least 16) under `kek`.
+///
+/// Output is 8 bytes longer than the input.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidBlockLength`] if `plain` is shorter than 16
+/// bytes or not a multiple of 8.
+pub fn wrap(kek: &[u8; 16], plain: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    if plain.len() < 16 || plain.len() % 8 != 0 {
+        return Err(CryptoError::InvalidBlockLength { got: plain.len() });
+    }
+    let n = plain.len() / 8;
+    let cipher = Aes128::new(kek);
+    let mut a = IV;
+    let mut r: Vec<u64> = plain
+        .chunks_exact(8)
+        .map(|c| u64::from_be_bytes(c.try_into().expect("8-byte chunk")))
+        .collect();
+    for j in 0..6u64 {
+        for (i, ri) in r.iter_mut().enumerate() {
+            let mut block = [0u8; 16];
+            block[..8].copy_from_slice(&a.to_be_bytes());
+            block[8..].copy_from_slice(&ri.to_be_bytes());
+            cipher.encrypt_block(&mut block);
+            let t = (n as u64) * j + (i as u64) + 1;
+            a = u64::from_be_bytes(block[..8].try_into().expect("8 bytes")) ^ t;
+            *ri = u64::from_be_bytes(block[8..].try_into().expect("8 bytes"));
+        }
+    }
+    let mut out = Vec::with_capacity(8 * (n + 1));
+    out.extend_from_slice(&a.to_be_bytes());
+    for ri in r {
+        out.extend_from_slice(&ri.to_be_bytes());
+    }
+    Ok(out)
+}
+
+/// Unwraps data produced by [`wrap`], verifying the integrity check value.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidBlockLength`] for malformed input and
+/// [`CryptoError::UnwrapFailure`] when the integrity check fails (wrong KEK
+/// or tampered ciphertext).
+pub fn unwrap(kek: &[u8; 16], wrapped: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    if wrapped.len() < 24 || wrapped.len() % 8 != 0 {
+        return Err(CryptoError::InvalidBlockLength { got: wrapped.len() });
+    }
+    let n = wrapped.len() / 8 - 1;
+    let cipher = Aes128::new(kek);
+    let mut a = u64::from_be_bytes(wrapped[..8].try_into().expect("8 bytes"));
+    let mut r: Vec<u64> = wrapped[8..]
+        .chunks_exact(8)
+        .map(|c| u64::from_be_bytes(c.try_into().expect("8-byte chunk")))
+        .collect();
+    for j in (0..6u64).rev() {
+        for i in (0..n).rev() {
+            let t = (n as u64) * j + (i as u64) + 1;
+            let mut block = [0u8; 16];
+            block[..8].copy_from_slice(&(a ^ t).to_be_bytes());
+            block[8..].copy_from_slice(&r[i].to_be_bytes());
+            cipher.decrypt_block(&mut block);
+            a = u64::from_be_bytes(block[..8].try_into().expect("8 bytes"));
+            r[i] = u64::from_be_bytes(block[8..].try_into().expect("8 bytes"));
+        }
+    }
+    if a != IV {
+        return Err(CryptoError::UnwrapFailure);
+    }
+    let mut out = Vec::with_capacity(8 * n);
+    for ri in r {
+        out.extend_from_slice(&ri.to_be_bytes());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+    }
+
+    // RFC 3394 §4.1: 128-bit key data with a 128-bit KEK.
+    #[test]
+    fn rfc3394_vector() {
+        let kek: [u8; 16] = hex("000102030405060708090A0B0C0D0E0F").try_into().unwrap();
+        let key_data = hex("00112233445566778899AABBCCDDEEFF");
+        let wrapped = wrap(&kek, &key_data).unwrap();
+        assert_eq!(
+            wrapped,
+            hex("1FA68B0A8112B447AEF34BD8FB5A7B829D3E862371D2CFE5")
+        );
+        let unwrapped = unwrap(&kek, &wrapped).unwrap();
+        assert_eq!(unwrapped, key_data);
+    }
+
+    #[test]
+    fn tamper_detected() {
+        let kek = [9u8; 16];
+        let mut wrapped = wrap(&kek, &[1u8; 32]).unwrap();
+        wrapped[10] ^= 0x80;
+        assert_eq!(unwrap(&kek, &wrapped), Err(CryptoError::UnwrapFailure));
+    }
+
+    #[test]
+    fn wrong_kek_detected() {
+        let wrapped = wrap(&[1u8; 16], &[7u8; 16]).unwrap();
+        assert_eq!(unwrap(&[2u8; 16], &wrapped), Err(CryptoError::UnwrapFailure));
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        assert!(wrap(&[0u8; 16], &[0u8; 8]).is_err());
+        assert!(wrap(&[0u8; 16], &[0u8; 17]).is_err());
+        assert!(unwrap(&[0u8; 16], &[0u8; 16]).is_err());
+    }
+
+    #[test]
+    fn roundtrips_various_sizes() {
+        let kek = [0xAB; 16];
+        for blocks in 2..8 {
+            let data: Vec<u8> = (0..8 * blocks).map(|i| i as u8).collect();
+            let w = wrap(&kek, &data).unwrap();
+            assert_eq!(w.len(), data.len() + 8);
+            assert_eq!(unwrap(&kek, &w).unwrap(), data);
+        }
+    }
+}

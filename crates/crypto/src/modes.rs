@@ -1,0 +1,233 @@
+//! Block-cipher modes of operation used across the simulated platform.
+//!
+//! - [`Ctr128`] — counter mode for bulk transport encryption (SEV SEND /
+//!   RECEIVE snapshots).
+//! - [`SectorCipher`] — a tweaked, sector-granular mode for the guest disk
+//!   image encrypted under `Kblk` (paper §4.3.2/§4.3.5: "it will batch the
+//!   I/O write requests and process in sector granularity").
+//! - [`PaTweakCipher`] — the physical-address-tweaked block encryption
+//!   performed by the AMD memory-encryption engine. AMD's SME/SEV XORs a
+//!   physical-address-derived tweak around AES so that identical plaintext
+//!   at different physical addresses yields different ciphertext, and
+//!   ciphertext *moved* between addresses decrypts to garbage — but
+//!   ciphertext *replayed in place* decrypts fine, which is exactly the
+//!   replay weakness the paper's §2.2 describes and Fidelius closes.
+
+use crate::aes::Aes128;
+
+/// AES-128 counter mode.
+#[derive(Debug, Clone)]
+pub struct Ctr128 {
+    cipher: Aes128,
+    nonce: u64,
+}
+
+impl Ctr128 {
+    /// Creates a CTR context with a 64-bit nonce occupying the high half of
+    /// the counter block.
+    pub fn new(key: &[u8; 16], nonce: u64) -> Self {
+        Ctr128 { cipher: Aes128::new(key), nonce }
+    }
+
+    /// Encrypts or decrypts `data` starting at block offset `block_offset`.
+    /// CTR is an involution, so the same call performs both directions.
+    pub fn apply(&self, block_offset: u64, data: &mut [u8]) {
+        let mut counter = block_offset;
+        for chunk in data.chunks_mut(16) {
+            let mut ks = [0u8; 16];
+            ks[..8].copy_from_slice(&self.nonce.to_be_bytes());
+            ks[8..].copy_from_slice(&counter.to_be_bytes());
+            self.cipher.encrypt_block(&mut ks);
+            for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+                *d ^= *k;
+            }
+            counter = counter.wrapping_add(1);
+        }
+    }
+}
+
+/// Disk-sector encryption under `Kblk`.
+///
+/// Each 512-byte sector is encrypted in CTR mode keyed by the sector number,
+/// so sectors can be read and written independently — the property the PV
+/// block front-end needs.
+#[derive(Debug, Clone)]
+pub struct SectorCipher {
+    cipher: Aes128,
+}
+
+/// Size of one disk sector in bytes.
+pub const SECTOR_SIZE: usize = 512;
+
+impl SectorCipher {
+    /// Creates a sector cipher from the disk key `Kblk`.
+    pub fn new(kblk: &[u8; 16]) -> Self {
+        SectorCipher { cipher: Aes128::new(kblk) }
+    }
+
+    /// Encrypts one sector in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sector.len() != SECTOR_SIZE`.
+    pub fn encrypt_sector(&self, sector_no: u64, sector: &mut [u8]) {
+        self.apply(sector_no, sector);
+    }
+
+    /// Decrypts one sector in place (same keystream as encryption).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sector.len() != SECTOR_SIZE`.
+    pub fn decrypt_sector(&self, sector_no: u64, sector: &mut [u8]) {
+        self.apply(sector_no, sector);
+    }
+
+    fn apply(&self, sector_no: u64, sector: &mut [u8]) {
+        assert_eq!(sector.len(), SECTOR_SIZE, "sector must be {SECTOR_SIZE} bytes");
+        for (i, chunk) in sector.chunks_mut(16).enumerate() {
+            let mut ks = [0u8; 16];
+            ks[..8].copy_from_slice(&sector_no.to_be_bytes());
+            ks[8..].copy_from_slice(&(i as u64).to_be_bytes());
+            self.cipher.encrypt_block(&mut ks);
+            for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+                *d ^= *k;
+            }
+        }
+    }
+}
+
+/// Physical-address-tweaked AES, the memory-encryption engine's block mode.
+#[derive(Debug, Clone)]
+pub struct PaTweakCipher {
+    cipher: Aes128,
+}
+
+impl PaTweakCipher {
+    /// Creates the engine cipher for one key (`Kvek` of an ASID, or the SME
+    /// host key).
+    pub fn new(key: &[u8; 16]) -> Self {
+        PaTweakCipher { cipher: Aes128::new(key) }
+    }
+
+    fn tweak(pa: u64) -> [u8; 16] {
+        // A simple public diffusion of the physical block address; the real
+        // engine uses an undocumented tweak function with the same contract.
+        let mut t = [0u8; 16];
+        let x = pa ^ pa.rotate_left(23) ^ 0x9E37_79B9_7F4A_7C15;
+        t[..8].copy_from_slice(&x.to_le_bytes());
+        t[8..].copy_from_slice(&(!x).rotate_left(17).to_le_bytes());
+        t
+    }
+
+    /// Encrypts one 16-byte block located at physical address `pa`.
+    pub fn encrypt_block(&self, pa: u64, block: &mut [u8; 16]) {
+        let t = Self::tweak(pa);
+        for (b, t) in block.iter_mut().zip(t.iter()) {
+            *b ^= *t;
+        }
+        self.cipher.encrypt_block(block);
+        for (b, t) in block.iter_mut().zip(t.iter()) {
+            *b ^= *t;
+        }
+    }
+
+    /// Decrypts one 16-byte block located at physical address `pa`.
+    pub fn decrypt_block(&self, pa: u64, block: &mut [u8; 16]) {
+        let t = Self::tweak(pa);
+        for (b, t) in block.iter_mut().zip(t.iter()) {
+            *b ^= *t;
+        }
+        self.cipher.decrypt_block(block);
+        for (b, t) in block.iter_mut().zip(t.iter()) {
+            *b ^= *t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctr_roundtrip_and_offset_consistency() {
+        let ctr = Ctr128::new(&[3u8; 16], 77);
+        let mut data = vec![0x5Au8; 100];
+        let original = data.clone();
+        ctr.apply(0, &mut data);
+        assert_ne!(data, original);
+        ctr.apply(0, &mut data);
+        assert_eq!(data, original);
+
+        // Encrypting the tail separately with the right offset matches.
+        let mut whole = original.clone();
+        ctr.apply(0, &mut whole);
+        let mut head = original[..32].to_vec();
+        let mut tail = original[32..].to_vec();
+        ctr.apply(0, &mut head);
+        ctr.apply(2, &mut tail);
+        assert_eq!(&whole[..32], head.as_slice());
+        assert_eq!(&whole[32..], tail.as_slice());
+    }
+
+    #[test]
+    fn sector_cipher_roundtrip_and_position_dependence() {
+        let sc = SectorCipher::new(&[0x11u8; 16]);
+        let plain = [0xC3u8; SECTOR_SIZE];
+        let mut s0 = plain;
+        let mut s1 = plain;
+        sc.encrypt_sector(0, &mut s0);
+        sc.encrypt_sector(1, &mut s1);
+        assert_ne!(s0, s1, "same plaintext in different sectors must differ");
+        sc.decrypt_sector(0, &mut s0);
+        assert_eq!(s0, plain);
+    }
+
+    #[test]
+    #[should_panic(expected = "sector must be")]
+    fn sector_cipher_rejects_short_sector() {
+        let sc = SectorCipher::new(&[0u8; 16]);
+        let mut bad = [0u8; 100];
+        sc.encrypt_sector(0, &mut bad);
+    }
+
+    #[test]
+    fn pa_tweak_roundtrip() {
+        let c = PaTweakCipher::new(&[0x22u8; 16]);
+        let plain = *b"sixteen byte msg";
+        let mut block = plain;
+        c.encrypt_block(0x1000, &mut block);
+        assert_ne!(block, plain);
+        c.decrypt_block(0x1000, &mut block);
+        assert_eq!(block, plain);
+    }
+
+    #[test]
+    fn pa_tweak_moved_ciphertext_garbles() {
+        // The property behind SEV's remap protection AND its replay
+        // weakness: ciphertext is bound to its physical address.
+        let c = PaTweakCipher::new(&[0x22u8; 16]);
+        let plain = *b"topsecret-data!!";
+        let mut at_a = plain;
+        c.encrypt_block(0xA000, &mut at_a);
+        // Adversary copies ciphertext from PA 0xA000 to PA 0xB000.
+        let mut moved = at_a;
+        c.decrypt_block(0xB000, &mut moved);
+        assert_ne!(moved, plain, "moved ciphertext must not decrypt");
+        // But replayed in place it decrypts fine (no freshness).
+        let mut replayed = at_a;
+        c.decrypt_block(0xA000, &mut replayed);
+        assert_eq!(replayed, plain);
+    }
+
+    #[test]
+    fn different_keys_produce_different_ciphertext() {
+        let c1 = PaTweakCipher::new(&[1u8; 16]);
+        let c2 = PaTweakCipher::new(&[2u8; 16]);
+        let mut b1 = [0u8; 16];
+        let mut b2 = [0u8; 16];
+        c1.encrypt_block(0, &mut b1);
+        c2.encrypt_block(0, &mut b2);
+        assert_ne!(b1, b2);
+    }
+}

@@ -1,0 +1,393 @@
+//! X25519 Diffie–Hellman (RFC 7748).
+//!
+//! The SEV SEND/RECEIVE protocol establishes a *master secret* between the
+//! guest owner and the target platform's firmware via ECDH over each side's
+//! public key and a nonce (paper §4.3.2: "only the guest owner and the
+//! firmware can agree on the master secret using their private key, while
+//! the hypervisor in the middle cannot guess them"). This module provides
+//! that key agreement with a from-scratch Curve25519 Montgomery ladder over
+//! GF(2²⁵⁵ − 19) using 51-bit limbs.
+
+/// A field element in GF(2²⁵⁵ − 19), 5 × 51-bit limbs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Fe([u64; 5]);
+
+const MASK51: u64 = (1u64 << 51) - 1;
+
+impl Fe {
+    const ZERO: Fe = Fe([0; 5]);
+    const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        // Accumulate the 256 little-endian bits into 51-bit limbs; the top
+        // (256th) bit is masked off per RFC 7748.
+        let mut limbs = [0u64; 5];
+        let mut acc: u128 = 0;
+        let mut acc_bits = 0u32;
+        let mut idx = 0usize;
+        for &b in bytes {
+            acc |= (b as u128) << acc_bits;
+            acc_bits += 8;
+            while acc_bits >= 51 && idx < 4 {
+                limbs[idx] = (acc as u64) & MASK51;
+                acc >>= 51;
+                acc_bits -= 51;
+                idx += 1;
+            }
+        }
+        limbs[4] = (acc as u64) & MASK51;
+        Fe(limbs)
+    }
+
+    fn to_bytes(self) -> [u8; 32] {
+        let t = self.reduce_full();
+        let mut out = [0u8; 32];
+        let mut acc: u128 = 0;
+        let mut acc_bits = 0u32;
+        let mut idx = 0usize;
+        for limb in t.0 {
+            acc |= (limb as u128) << acc_bits;
+            acc_bits += 51;
+            while acc_bits >= 8 && idx < 32 {
+                out[idx] = (acc & 0xFF) as u8;
+                acc >>= 8;
+                acc_bits -= 8;
+                idx += 1;
+            }
+        }
+        while idx < 32 {
+            out[idx] = (acc & 0xFF) as u8;
+            acc >>= 8;
+            idx += 1;
+        }
+        out
+    }
+
+    /// Fully reduces to the canonical representative in [0, p).
+    fn reduce_full(self) -> Fe {
+        let mut t = self;
+        t = t.carry();
+        t = t.carry();
+        // Conditionally subtract p = 2^255 - 19.
+        for _ in 0..2 {
+            let mut borrow: i128 = 0;
+            let p = [0x7FFFFFFFFFFEDu64, MASK51, MASK51, MASK51, MASK51];
+            let mut r = [0u64; 5];
+            for i in 0..5 {
+                let diff = t.0[i] as i128 - p[i] as i128 + borrow;
+                if diff < 0 {
+                    r[i] = (diff + (1i128 << 51)) as u64;
+                    borrow = -1;
+                } else {
+                    r[i] = diff as u64;
+                    borrow = 0;
+                }
+            }
+            if borrow == 0 {
+                t = Fe(r);
+            }
+        }
+        t
+    }
+
+    fn carry(self) -> Fe {
+        let mut l = self.0;
+        let mut c;
+        c = l[0] >> 51;
+        l[0] &= MASK51;
+        l[1] += c;
+        c = l[1] >> 51;
+        l[1] &= MASK51;
+        l[2] += c;
+        c = l[2] >> 51;
+        l[2] &= MASK51;
+        l[3] += c;
+        c = l[3] >> 51;
+        l[3] &= MASK51;
+        l[4] += c;
+        c = l[4] >> 51;
+        l[4] &= MASK51;
+        l[0] += 19 * c;
+        c = l[0] >> 51;
+        l[0] &= MASK51;
+        l[1] += c;
+        Fe(l)
+    }
+
+    fn add(self, other: Fe) -> Fe {
+        let mut r = [0u64; 5];
+        for i in 0..5 {
+            r[i] = self.0[i] + other.0[i];
+        }
+        Fe(r).carry()
+    }
+
+    fn sub(self, other: Fe) -> Fe {
+        // self + 2p - other keeps limbs positive.
+        let two_p = [0xFFFFFFFFFFFDAu64, 0xFFFFFFFFFFFFE, 0xFFFFFFFFFFFFE, 0xFFFFFFFFFFFFE, 0xFFFFFFFFFFFFE];
+        let mut r = [0u64; 5];
+        for i in 0..5 {
+            r[i] = self.0[i] + two_p[i] - other.0[i];
+        }
+        Fe(r).carry()
+    }
+
+    fn mul(self, other: Fe) -> Fe {
+        let a = self.0;
+        let b = other.0;
+        let m = |x: u64, y: u64| (x as u128) * (y as u128);
+        let b1_19 = b[1] * 19;
+        let b2_19 = b[2] * 19;
+        let b3_19 = b[3] * 19;
+        let b4_19 = b[4] * 19;
+        let r0 = m(a[0], b[0]) + m(a[1], b4_19) + m(a[2], b3_19) + m(a[3], b2_19) + m(a[4], b1_19);
+        let r1 = m(a[0], b[1]) + m(a[1], b[0]) + m(a[2], b4_19) + m(a[3], b3_19) + m(a[4], b2_19);
+        let r2 = m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + m(a[3], b4_19) + m(a[4], b3_19);
+        let r3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + m(a[4], b4_19);
+        let r4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
+        Fe::carry_wide([r0, r1, r2, r3, r4])
+    }
+
+    fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    fn mul_small(self, k: u32) -> Fe {
+        let mut r = [0u128; 5];
+        for i in 0..5 {
+            r[i] = (self.0[i] as u128) * (k as u128);
+        }
+        Fe::carry_wide(r)
+    }
+
+    fn carry_wide(r: [u128; 5]) -> Fe {
+        let mut l = [0u64; 5];
+        let mut carry: u128 = 0;
+        for i in 0..5 {
+            let v = r[i] + carry;
+            l[i] = (v as u64) & MASK51;
+            carry = v >> 51;
+        }
+        // Fold the final carry back with ×19.
+        let mut c = carry * 19;
+        let mut i = 0;
+        while c > 0 {
+            let v = l[i] as u128 + c;
+            l[i] = (v as u64) & MASK51;
+            c = v >> 51;
+            i = (i + 1) % 5;
+            if i == 0 {
+                c *= 19;
+            }
+        }
+        Fe(l).carry()
+    }
+
+    /// Inversion by Fermat: self^(p−2).
+    fn invert(self) -> Fe {
+        // Exponent p-2 = 2^255 - 21, little-endian bytes.
+        let mut exp = [0xFFu8; 32];
+        exp[0] = 0xEB;
+        exp[31] = 0x7F;
+        let mut result = Fe::ONE;
+        let mut base = self;
+        for byte in exp {
+            let mut b = byte;
+            for _ in 0..8 {
+                if b & 1 != 0 {
+                    result = result.mul(base);
+                }
+                base = base.square();
+                b >>= 1;
+            }
+        }
+        result
+    }
+}
+
+fn cswap(swap: bool, a: &mut Fe, b: &mut Fe) {
+    if swap {
+        std::mem::swap(a, b);
+    }
+}
+
+/// Raw X25519 scalar multiplication: `scalar * u`.
+///
+/// The scalar is clamped per RFC 7748 before use.
+pub fn scalar_mult(scalar: &[u8; 32], u: &[u8; 32]) -> [u8; 32] {
+    let mut k = *scalar;
+    k[0] &= 248;
+    k[31] &= 127;
+    k[31] |= 64;
+
+    let x1 = Fe::from_bytes(u);
+    let mut x2 = Fe::ONE;
+    let mut z2 = Fe::ZERO;
+    let mut x3 = x1;
+    let mut z3 = Fe::ONE;
+    let mut swap = false;
+
+    for t in (0..255usize).rev() {
+        let kt = (k[t / 8] >> (t % 8)) & 1 == 1;
+        swap ^= kt;
+        cswap(swap, &mut x2, &mut x3);
+        cswap(swap, &mut z2, &mut z3);
+        swap = kt;
+
+        let a = x2.add(z2);
+        let aa = a.square();
+        let b = x2.sub(z2);
+        let bb = b.square();
+        let e = aa.sub(bb);
+        let c = x3.add(z3);
+        let d = x3.sub(z3);
+        let da = d.mul(a);
+        let cb = c.mul(b);
+        x3 = da.add(cb).square();
+        z3 = x1.mul(da.sub(cb).square());
+        x2 = aa.mul(bb);
+        z2 = e.mul(aa.add(e.mul_small(121_665)));
+    }
+    cswap(swap, &mut x2, &mut x3);
+    cswap(swap, &mut z2, &mut z3);
+
+    x2.mul(z2.invert()).to_bytes()
+}
+
+/// The curve's base point u = 9.
+pub const BASE_POINT: [u8; 32] = {
+    let mut b = [0u8; 32];
+    b[0] = 9;
+    b
+};
+
+/// Derives the public key for a private scalar.
+pub fn public_key(private: &[u8; 32]) -> [u8; 32] {
+    scalar_mult(private, &BASE_POINT)
+}
+
+/// Computes the shared secret between `our_private` and `their_public`.
+pub fn shared_secret(our_private: &[u8; 32], their_public: &[u8; 32]) -> [u8; 32] {
+    scalar_mult(our_private, their_public)
+}
+
+/// An ECDH keypair, the "origin's public ECDH key" of the SEV metadata.
+#[derive(Clone)]
+pub struct KeyPair {
+    private: [u8; 32],
+    public: [u8; 32],
+}
+
+impl std::fmt::Debug for KeyPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeyPair").field("public", &self.public).finish_non_exhaustive()
+    }
+}
+
+impl KeyPair {
+    /// Builds a keypair from 32 bytes of seed material.
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        let public = public_key(&seed);
+        KeyPair { private: seed, public }
+    }
+
+    /// The public half, safe to publish.
+    pub fn public(&self) -> &[u8; 32] {
+        &self.public
+    }
+
+    /// Computes the shared secret with a peer's public key.
+    pub fn agree(&self, their_public: &[u8; 32]) -> [u8; 32] {
+        shared_secret(&self.private, their_public)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex32(s: &str) -> [u8; 32] {
+        let v: Vec<u8> = (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect();
+        v.try_into().unwrap()
+    }
+
+    // RFC 7748 §5.2 vector 1.
+    #[test]
+    fn rfc7748_vector1() {
+        let scalar = hex32("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let u = hex32("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        let expected = hex32("c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+        assert_eq!(scalar_mult(&scalar, &u), expected);
+    }
+
+    // RFC 7748 §5.2 vector 2.
+    #[test]
+    fn rfc7748_vector2() {
+        let scalar = hex32("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+        let u = hex32("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+        let expected = hex32("95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957");
+        assert_eq!(scalar_mult(&scalar, &u), expected);
+    }
+
+    // RFC 7748 §6.1 Diffie-Hellman.
+    #[test]
+    fn rfc7748_dh() {
+        let alice_priv = hex32("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+        let bob_priv = hex32("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+        let alice_pub = public_key(&alice_priv);
+        let bob_pub = public_key(&bob_priv);
+        assert_eq!(
+            alice_pub,
+            hex32("8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a")
+        );
+        assert_eq!(
+            bob_pub,
+            hex32("de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f")
+        );
+        let shared = hex32("4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+        assert_eq!(shared_secret(&alice_priv, &bob_pub), shared);
+        assert_eq!(shared_secret(&bob_priv, &alice_pub), shared);
+    }
+
+    // RFC 7748 §5.2 iterated test, 1 iteration.
+    #[test]
+    fn rfc7748_iterated_once() {
+        let k = hex32("0900000000000000000000000000000000000000000000000000000000000000");
+        let out = scalar_mult(&k, &k);
+        assert_eq!(
+            out,
+            hex32("422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079")
+        );
+    }
+
+    #[test]
+    fn keypair_agreement_symmetry() {
+        let a = KeyPair::from_seed([1u8; 32]);
+        let b = KeyPair::from_seed([2u8; 32]);
+        assert_eq!(a.agree(b.public()), b.agree(a.public()));
+        let c = KeyPair::from_seed([3u8; 32]);
+        assert_ne!(a.agree(b.public()), a.agree(c.public()));
+    }
+
+    #[test]
+    fn debug_does_not_leak_private() {
+        let kp = KeyPair::from_seed([0x42u8; 32]);
+        let s = format!("{kp:?}");
+        assert!(s.contains("public"));
+        assert!(!s.contains("private: [66"));
+    }
+
+    #[test]
+    fn field_roundtrip_bytes() {
+        for i in 0..32 {
+            let mut bytes = [0u8; 32];
+            bytes[i] = 0xA7;
+            bytes[31] &= 0x7F;
+            let fe = Fe::from_bytes(&bytes);
+            assert_eq!(fe.to_bytes(), bytes, "roundtrip failed at byte {i}");
+        }
+    }
+}

@@ -1,0 +1,941 @@
+//! The CPU core: world switches, two-stage translation, permission checks
+//! and privileged-instruction execution.
+//!
+//! # Execution model
+//!
+//! The simulation does not interpret an instruction stream. Hypervisor,
+//! Fidelius and guest logic are Rust code that *drives* the CPU through
+//! typed operations:
+//!
+//! - memory accesses ([`Machine::host_read`], [`Machine::guest_write`], …)
+//!   perform real page-table walks over tables stored in simulated memory,
+//!   honour `CR0.WP`/NX, and route data through the memory-encryption
+//!   engine according to the C-bit of the mapping used;
+//! - privileged instructions ([`Machine::exec_priv`]) carry the *virtual
+//!   address of the instruction site*; the CPU verifies that the site is
+//!   mapped executable **and actually contains that instruction's opcode
+//!   bytes**. This makes Fidelius's instruction-unmapping and binary-
+//!   scanning defenses architecturally enforceable: an attacker simply
+//!   cannot execute `VMRUN` if no executable mapping contains its bytes.
+//! - world switches ([`Machine::vmrun`] via `exec_priv`, [`Machine::vmexit`])
+//!   move guest state between the register file and the in-memory VMCB
+//!   exactly as AMD-V does — including SEV's omission: the VMCB and GPRs
+//!   cross the boundary in plaintext.
+
+use crate::cycles::{CostModel, Cycles};
+use crate::error::{AccessKind, Fault, FaultReason, HwError};
+use crate::mem::Dram;
+use crate::memctrl::{EncSel, MemoryController};
+use crate::paging::{permits, walk, Translation};
+use crate::regs::{Cr0, Cr4, Efer, RegFile};
+use crate::tlb::{Space, Tlb};
+use crate::vmcb::{ExitCode, VmcbField, VmcbImage};
+use crate::{Asid, Gpa, Gva, Hpa, Hva, PAGE_SIZE};
+
+/// Whether the CPU is running host (hypervisor/Fidelius) or guest code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Host mode (ring 0 of the host).
+    Host,
+    /// Guest mode under AMD-V.
+    Guest,
+}
+
+/// Guest context derived from the VMCB at VMRUN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuestCtx {
+    /// The guest's ASID (selects the `Kvek` in the memory controller).
+    pub asid: Asid,
+    /// Whether SEV is enabled for this guest.
+    pub sev: bool,
+    /// Nested page table root (host physical).
+    pub ncr3: Hpa,
+    /// The guest's own CR3 (guest physical).
+    pub gcr3: Gpa,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct HostSave {
+    cr0: Cr0,
+    cr3: Hpa,
+    cr4: Cr4,
+    efer: Efer,
+    rip: u64,
+}
+
+/// Architectural CPU state.
+#[derive(Debug)]
+pub struct Cpu {
+    /// Current world.
+    pub mode: Mode,
+    /// General-purpose registers — shared across the world switch, which
+    /// is exactly SEV's register-exposure problem.
+    pub regs: RegFile,
+    /// CR0 of the current world.
+    pub cr0: Cr0,
+    /// CR3 of the current world (host physical when in host mode).
+    pub cr3: Hpa,
+    /// CR4 of the current world.
+    pub cr4: Cr4,
+    /// EFER of the current world.
+    pub efer: Efer,
+    /// Instruction pointer (notional; used for guest save/restore).
+    pub rip: u64,
+    /// Guest stack pointer mirror.
+    pub rsp: u64,
+    /// Interrupts enabled?
+    pub interrupts_enabled: bool,
+    current_vmcb: Option<Hpa>,
+    guest: Option<GuestCtx>,
+    host_save: Option<HostSave>,
+}
+
+impl Cpu {
+    fn new() -> Self {
+        Cpu {
+            mode: Mode::Host,
+            regs: RegFile::new(),
+            cr0: Cr0::default(),
+            cr3: Hpa(0),
+            cr4: Cr4::default(),
+            efer: Efer::default(),
+            rip: 0,
+            rsp: 0,
+            interrupts_enabled: true,
+            current_vmcb: None,
+            guest: None,
+            host_save: None,
+        }
+    }
+
+    /// The VMCB the CPU is currently (or was last) running from.
+    pub fn current_vmcb(&self) -> Option<Hpa> {
+        self.current_vmcb
+    }
+
+    /// The active guest context, if in guest mode.
+    pub fn guest_ctx(&self) -> Option<GuestCtx> {
+        self.guest
+    }
+}
+
+/// A privileged instruction, as executed through [`Machine::exec_priv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrivOp {
+    /// `mov cr0, …` — may toggle PG and WP.
+    WriteCr0(Cr0),
+    /// `mov cr3, …` — switches the address space, flushing the TLB.
+    WriteCr3(Hpa),
+    /// `mov cr4, …` — may toggle SMEP.
+    WriteCr4(Cr4),
+    /// `wrmsr` to EFER — may toggle NXE/SVME.
+    WriteEfer(Efer),
+    /// `vmrun` with the VMCB's physical address.
+    Vmrun(Hpa),
+    /// `invlpg` — flush one TLB entry.
+    Invlpg(Hva),
+    /// `lgdt`.
+    Lgdt(u64),
+    /// `lidt`.
+    Lidt(u64),
+    /// `cli`.
+    Cli,
+    /// `sti`.
+    Sti,
+}
+
+impl PrivOp {
+    /// The opcode bytes this instruction occupies in the code region. The
+    /// CPU verifies these bytes at the execution site.
+    pub fn encoding(&self) -> &'static [u8] {
+        match self {
+            PrivOp::WriteCr0(_) => &[0x0F, 0x22, 0xC0],
+            PrivOp::WriteCr3(_) => &[0x0F, 0x22, 0xD8],
+            PrivOp::WriteCr4(_) => &[0x0F, 0x22, 0xE0],
+            PrivOp::WriteEfer(_) => &[0x0F, 0x30],
+            PrivOp::Vmrun(_) => &[0x0F, 0x01, 0xD8],
+            PrivOp::Invlpg(_) => &[0x0F, 0x01, 0x38],
+            PrivOp::Lgdt(_) => &[0x0F, 0x01, 0x10],
+            PrivOp::Lidt(_) => &[0x0F, 0x01, 0x18],
+            PrivOp::Cli => &[0xFA],
+            PrivOp::Sti => &[0xFB],
+        }
+    }
+}
+
+/// The machine: memory system + one CPU + cycle accounting.
+#[derive(Debug)]
+pub struct Machine {
+    /// Memory controller (with the encryption engine) over DRAM.
+    pub mc: MemoryController,
+    /// The TLB.
+    pub tlb: Tlb,
+    /// Simulated cycle counter.
+    pub cycles: Cycles,
+    /// The cost model used for charging.
+    pub cost: CostModel,
+    /// CPU state.
+    pub cpu: Cpu,
+}
+
+impl Machine {
+    /// Builds a machine with `dram_size` bytes of physical memory.
+    pub fn new(dram_size: u64) -> Self {
+        Machine {
+            mc: MemoryController::new(Dram::new(dram_size)),
+            tlb: Tlb::new(),
+            cycles: Cycles::new(),
+            cost: CostModel::default(),
+            cpu: Cpu::new(),
+        }
+    }
+
+    // ----- host-mode accesses ------------------------------------------
+
+    fn host_translate(&mut self, va: Hva, access: AccessKind) -> Result<(Hpa, EncSel), Fault> {
+        assert_eq!(self.cpu.mode, Mode::Host, "host access while in guest mode");
+        if !self.cpu.cr0.pg {
+            // Pre-paging: identity map, no engine.
+            self.cycles.charge(self.cost.mem_access);
+            return Ok((Hpa(va.0), EncSel::None));
+        }
+        let vpn = va.pfn();
+        let hit = self.tlb.lookup(Space::Host, vpn).is_some();
+        self.cycles.charge(self.cost.mem_access);
+        if !hit {
+            self.cycles.charge(self.cost.gpt_walk);
+        }
+        let t = self.walk_host(va, access)?;
+        if !hit {
+            self.tlb.insert(Space::Host, vpn, t.pa.pfn());
+        }
+        let enc = if t.c_bit { EncSel::Sme } else { EncSel::None };
+        Ok((t.pa, enc))
+    }
+
+    fn walk_host(&self, va: Hva, access: AccessKind) -> Result<Translation, Fault> {
+        let fault = |reason| Fault::HostPageFault { va, access, reason };
+        let t = match walk(&self.mc, self.cpu.cr3, va.0, EncSel::None) {
+            Err(_) => return Err(fault(FaultReason::BadPhysicalAddress)),
+            Ok(Err(_miss)) => return Err(fault(FaultReason::NotPresent)),
+            Ok(Ok(t)) => t,
+        };
+        permits(&t, access, self.cpu.cr0.wp).map_err(fault)?;
+        Ok(t)
+    }
+
+    /// Reads host-virtual memory. Splits at page boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Returns the architectural fault a real access would raise.
+    pub fn host_read(&mut self, va: Hva, buf: &mut [u8]) -> Result<(), Fault> {
+        let mut off = 0usize;
+        while off < buf.len() {
+            let cur = va.add(off as u64);
+            let in_page = (PAGE_SIZE - cur.page_offset()) as usize;
+            let take = in_page.min(buf.len() - off);
+            let (pa, enc) = self.host_translate(cur, AccessKind::Read)?;
+            self.charge_engine(enc, take as u64);
+            self.mc
+                .read(pa, &mut buf[off..off + take], enc)
+                .expect("translated host read must hit DRAM");
+            off += take;
+        }
+        Ok(())
+    }
+
+    /// Writes host-virtual memory, honouring `CR0.WP` for read-only pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns the architectural fault a real access would raise — this is
+    /// how hypervisor writes to write-protected page-table-pages reach
+    /// Fidelius's fault handler.
+    pub fn host_write(&mut self, va: Hva, data: &[u8]) -> Result<(), Fault> {
+        let mut off = 0usize;
+        while off < data.len() {
+            let cur = va.add(off as u64);
+            let in_page = (PAGE_SIZE - cur.page_offset()) as usize;
+            let take = in_page.min(data.len() - off);
+            let (pa, enc) = self.host_translate(cur, AccessKind::Write)?;
+            self.charge_engine(enc, take as u64);
+            self.mc
+                .write(pa, &data[off..off + take], enc)
+                .expect("translated host write must hit DRAM");
+            off += take;
+        }
+        Ok(())
+    }
+
+    /// Reads a little-endian u64 from host-virtual memory.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::host_read`].
+    pub fn host_read_u64(&mut self, va: Hva) -> Result<u64, Fault> {
+        let mut buf = [0u8; 8];
+        self.host_read(va, &mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Writes a little-endian u64 to host-virtual memory.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::host_write`].
+    pub fn host_write_u64(&mut self, va: Hva, v: u64) -> Result<(), Fault> {
+        self.host_write(va, &v.to_le_bytes())
+    }
+
+    /// Reads instruction bytes at `va`, requiring execute permission on
+    /// every page touched.
+    ///
+    /// # Errors
+    ///
+    /// Faults on non-present or NX mappings.
+    pub fn host_fetch(&mut self, va: Hva, len: usize) -> Result<Vec<u8>, Fault> {
+        let mut out = vec![0u8; len];
+        let mut off = 0usize;
+        while off < len {
+            let cur = va.add(off as u64);
+            let in_page = (PAGE_SIZE - cur.page_offset()) as usize;
+            let take = in_page.min(len - off);
+            let (pa, enc) = self.host_translate(cur, AccessKind::Execute)?;
+            self.mc
+                .read(pa, &mut out[off..off + take], enc)
+                .expect("translated fetch must hit DRAM");
+            off += take;
+        }
+        Ok(out)
+    }
+
+    fn charge_engine(&mut self, enc: EncSel, bytes: u64) {
+        if enc != EncSel::None {
+            let lines = bytes.div_ceil(crate::CACHE_LINE).max(1);
+            self.cycles.charge(lines as f64 * self.cost.engine_line_extra);
+        }
+    }
+
+    // ----- privileged instructions --------------------------------------
+
+    /// Executes a privileged instruction located at host-virtual `site`.
+    ///
+    /// The CPU (1) fetches the instruction's bytes at `site` — faulting if
+    /// the page is unmapped or NX — and (2) verifies they encode `op`.
+    /// This grounds Fidelius's "monopolized instruction" and "unmapped
+    /// instruction" defenses in the memory system.
+    ///
+    /// # Errors
+    ///
+    /// - [`HwError::Fault`] if the site is not executable;
+    /// - [`HwError::BadWorldSwitch`] for VMRUN in the wrong state;
+    /// - opcode mismatch is reported as a `NoExecute` fault (the bytes at
+    ///   the site are not this instruction).
+    pub fn exec_priv(&mut self, site: Hva, op: PrivOp) -> Result<(), HwError> {
+        assert_eq!(self.cpu.mode, Mode::Host, "guest privileged ops exit instead");
+        let enc = op.encoding();
+        let bytes = self.host_fetch(site, enc.len()).map_err(HwError::Fault)?;
+        if bytes != enc {
+            return Err(HwError::Fault(Fault::HostPageFault {
+                va: site,
+                access: AccessKind::Execute,
+                reason: FaultReason::NoExecute,
+            }));
+        }
+        match op {
+            PrivOp::WriteCr0(v) => {
+                self.cycles.charge(self.cost.write_cr0);
+                self.cpu.cr0 = v;
+            }
+            PrivOp::WriteCr3(root) => {
+                self.cycles.charge(self.cost.write_cr3 + self.cost.tlb_flush_full);
+                self.cpu.cr3 = root;
+                self.tlb.flush_space(Space::Host);
+            }
+            PrivOp::WriteCr4(v) => {
+                self.cycles.charge(self.cost.write_cr4);
+                self.cpu.cr4 = v;
+            }
+            PrivOp::WriteEfer(v) => {
+                self.cycles.charge(self.cost.wrmsr);
+                self.cpu.efer = v;
+            }
+            PrivOp::Vmrun(vmcb) => {
+                self.vmrun(vmcb)?;
+            }
+            PrivOp::Invlpg(va) => {
+                self.cycles.charge(self.cost.tlb_flush_entry);
+                self.tlb.flush_page(Space::Host, va.pfn());
+            }
+            PrivOp::Lgdt(_) | PrivOp::Lidt(_) => {
+                self.cycles.charge(self.cost.wrmsr);
+            }
+            PrivOp::Cli => {
+                self.cycles.charge(self.cost.cli);
+                self.cpu.interrupts_enabled = false;
+            }
+            PrivOp::Sti => {
+                self.cycles.charge(self.cost.sti);
+                self.cpu.interrupts_enabled = true;
+            }
+        }
+        Ok(())
+    }
+
+    // ----- world switches ------------------------------------------------
+
+    fn vmrun(&mut self, vmcb_pa: Hpa) -> Result<(), HwError> {
+        if self.cpu.mode != Mode::Host || !self.cpu.efer.svme {
+            return Err(HwError::BadWorldSwitch);
+        }
+        let img = VmcbImage::load(&self.mc, vmcb_pa)?;
+        let asid = Asid(img.get(VmcbField::Asid) as u16);
+        let sev = img.get(VmcbField::SevEnable) != 0;
+        if sev && !self.mc.has_guest_key(asid) {
+            return Err(HwError::NoKeyForAsid(asid));
+        }
+        self.cpu.host_save = Some(HostSave {
+            cr0: self.cpu.cr0,
+            cr3: self.cpu.cr3,
+            cr4: self.cpu.cr4,
+            efer: self.cpu.efer,
+            rip: self.cpu.rip,
+        });
+        self.cpu.guest = Some(GuestCtx {
+            asid,
+            sev,
+            ncr3: Hpa(img.get(VmcbField::NCr3)),
+            gcr3: Gpa(img.get(VmcbField::Cr3)),
+        });
+        self.cpu.current_vmcb = Some(vmcb_pa);
+        self.cpu.cr0 = Cr0::from_bits(img.get(VmcbField::Cr0));
+        self.cpu.cr4 = Cr4::from_bits(img.get(VmcbField::Cr4));
+        self.cpu.efer = Efer::from_bits(img.get(VmcbField::Efer));
+        self.cpu.rip = img.get(VmcbField::Rip);
+        self.cpu.rsp = img.get(VmcbField::Rsp);
+        self.cpu.regs.set(crate::regs::Gpr::Rax, img.get(VmcbField::Rax));
+        self.cpu.mode = Mode::Guest;
+        self.cycles.charge(self.cost.vmrun);
+        Ok(())
+    }
+
+    /// #VMEXIT: stores guest state into the VMCB (in plaintext — SEV's
+    /// gap), restores the host context, and leaves the guest's GPRs in the
+    /// register file for the hypervisor to see.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::BadWorldSwitch`] if not in guest mode.
+    pub fn vmexit(&mut self, code: ExitCode, info1: u64, info2: u64) -> Result<(), HwError> {
+        if self.cpu.mode != Mode::Guest {
+            return Err(HwError::BadWorldSwitch);
+        }
+        let vmcb_pa = self.cpu.current_vmcb.expect("guest mode implies a VMCB");
+        let mut img = VmcbImage::load(&self.mc, vmcb_pa)?;
+        img.set(VmcbField::ExitCode, code as u64)
+            .set(VmcbField::ExitInfo1, info1)
+            .set(VmcbField::ExitInfo2, info2)
+            .set(VmcbField::Rip, self.cpu.rip)
+            .set(VmcbField::Rsp, self.cpu.rsp)
+            .set(VmcbField::Rax, self.cpu.regs.get(crate::regs::Gpr::Rax))
+            .set(VmcbField::Cr0, self.cpu.cr0.to_bits())
+            .set(VmcbField::Cr4, self.cpu.cr4.to_bits())
+            .set(VmcbField::Efer, self.cpu.efer.to_bits());
+        img.store(&mut self.mc, vmcb_pa)?;
+        let save = self.cpu.host_save.take().expect("guest mode implies a host save");
+        self.cpu.cr0 = save.cr0;
+        self.cpu.cr3 = save.cr3;
+        self.cpu.cr4 = save.cr4;
+        self.cpu.efer = save.efer;
+        self.cpu.rip = save.rip;
+        self.cpu.guest = None;
+        self.cpu.mode = Mode::Host;
+        self.cycles.charge(self.cost.vmexit);
+        Ok(())
+    }
+
+    // ----- guest-mode accesses -------------------------------------------
+
+    /// Translates a guest physical address through the NPT.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::NestedPageFault`] on a miss or permission violation — the
+    /// NPT violation that exits to the host.
+    pub fn npt_translate(&mut self, gpa: Gpa, access: AccessKind) -> Result<Hpa, Fault> {
+        self.npt_translate_full(gpa, access).map(|(pa, _)| pa)
+    }
+
+    /// Like [`Machine::npt_translate`], also returning the NPT leaf's
+    /// C-bit. A set NPT C-bit routes the access through the host SME key —
+    /// the mechanism the paper uses to *simulate* SEV overhead with SME
+    /// ("Fidelius-enc"): a hypercall sets the C-bit on the guest's NPT
+    /// entries and all subsequent guest memory traffic pays the engine.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::NestedPageFault`] on a miss or permission violation.
+    pub fn npt_translate_full(
+        &mut self,
+        gpa: Gpa,
+        access: AccessKind,
+    ) -> Result<(Hpa, bool), Fault> {
+        let guest = self.cpu.guest.expect("guest access requires guest mode");
+        let fault = |reason| Fault::NestedPageFault { gpa, access, reason };
+        let t = match walk(&self.mc, guest.ncr3, gpa.0, EncSel::None) {
+            Err(_) => return Err(fault(FaultReason::BadPhysicalAddress)),
+            Ok(Err(_)) => return Err(fault(FaultReason::NotPresent)),
+            Ok(Ok(t)) => t,
+        };
+        if access == AccessKind::Write && !t.writable {
+            return Err(fault(FaultReason::WriteProtected));
+        }
+        Ok((t.pa, t.c_bit))
+    }
+
+    /// Direct guest-physical access (how the guest kernel touches page
+    /// tables and DMA buffers). `encrypted` chooses whether the access
+    /// goes through the guest's `Kvek` — in page-table terms, the C-bit of
+    /// the guest mapping used.
+    ///
+    /// # Errors
+    ///
+    /// NPT faults propagate (they would exit to the host).
+    pub fn guest_read_gpa(
+        &mut self,
+        gpa: Gpa,
+        buf: &mut [u8],
+        encrypted: bool,
+    ) -> Result<(), Fault> {
+        assert_eq!(self.cpu.mode, Mode::Guest);
+        let guest = self.cpu.guest.expect("guest mode");
+        let mut off = 0usize;
+        while off < buf.len() {
+            let cur = Gpa(gpa.0 + off as u64);
+            let in_page = (PAGE_SIZE - cur.page_offset()) as usize;
+            let take = in_page.min(buf.len() - off);
+            let hit = self.tlb.lookup(Space::Guest(guest.asid.0), cur.pfn()).is_some();
+            self.cycles.charge(self.cost.mem_access);
+            if !hit {
+                self.cycles.charge(self.cost.npt_walk);
+            }
+            let (hpa, npt_c) = self.npt_translate_full(cur, AccessKind::Read)?;
+            if !hit {
+                self.tlb.insert(Space::Guest(guest.asid.0), cur.pfn(), hpa.pfn());
+            }
+            let enc = if encrypted && guest.sev {
+                EncSel::Guest(guest.asid)
+            } else if npt_c {
+                EncSel::Sme
+            } else {
+                EncSel::None
+            };
+            self.charge_engine(enc, take as u64);
+            self.mc
+                .read(hpa, &mut buf[off..off + take], enc)
+                .map_err(|_| Fault::NestedPageFault {
+                    gpa: cur,
+                    access: AccessKind::Read,
+                    reason: FaultReason::BadPhysicalAddress,
+                })?;
+            off += take;
+        }
+        Ok(())
+    }
+
+    /// Direct guest-physical write; see [`Machine::guest_read_gpa`].
+    ///
+    /// # Errors
+    ///
+    /// NPT faults propagate (they would exit to the host).
+    pub fn guest_write_gpa(&mut self, gpa: Gpa, data: &[u8], encrypted: bool) -> Result<(), Fault> {
+        assert_eq!(self.cpu.mode, Mode::Guest);
+        let guest = self.cpu.guest.expect("guest mode");
+        let mut off = 0usize;
+        while off < data.len() {
+            let cur = Gpa(gpa.0 + off as u64);
+            let in_page = (PAGE_SIZE - cur.page_offset()) as usize;
+            let take = in_page.min(data.len() - off);
+            let hit = self.tlb.lookup(Space::Guest(guest.asid.0), cur.pfn()).is_some();
+            self.cycles.charge(self.cost.mem_access);
+            if !hit {
+                self.cycles.charge(self.cost.npt_walk);
+            }
+            let (hpa, npt_c) = self.npt_translate_full(cur, AccessKind::Write)?;
+            if !hit {
+                self.tlb.insert(Space::Guest(guest.asid.0), cur.pfn(), hpa.pfn());
+            }
+            let enc = if encrypted && guest.sev {
+                EncSel::Guest(guest.asid)
+            } else if npt_c {
+                EncSel::Sme
+            } else {
+                EncSel::None
+            };
+            self.charge_engine(enc, take as u64);
+            self.mc
+                .write(hpa, &data[off..off + take], enc)
+                .map_err(|_| Fault::NestedPageFault {
+                    gpa: cur,
+                    access: AccessKind::Write,
+                    reason: FaultReason::BadPhysicalAddress,
+                })?;
+            off += take;
+        }
+        Ok(())
+    }
+
+    /// Guest virtual read through the guest's own page tables, then the
+    /// NPT. The C-bit of the *guest leaf entry* selects encryption, as on
+    /// real SEV hardware; the guest's page tables themselves are always
+    /// read with the guest key when SEV is on.
+    ///
+    /// # Errors
+    ///
+    /// Guest page faults (stage 1) and nested page faults (stage 2).
+    pub fn guest_read(&mut self, va: Gva, buf: &mut [u8]) -> Result<(), Fault> {
+        let mut off = 0usize;
+        while off < buf.len() {
+            let cur = Gva(va.0 + off as u64);
+            let in_page = (PAGE_SIZE - cur.page_offset()) as usize;
+            let take = in_page.min(buf.len() - off);
+            let (hpa, enc) = self.guest_translate(cur, AccessKind::Read)?;
+            self.charge_engine(enc, take as u64);
+            self.mc.read(hpa, &mut buf[off..off + take], enc).map_err(|_| {
+                Fault::GuestPageFault {
+                    va: cur,
+                    access: AccessKind::Read,
+                    reason: FaultReason::BadPhysicalAddress,
+                }
+            })?;
+            off += take;
+        }
+        Ok(())
+    }
+
+    /// Guest virtual write; see [`Machine::guest_read`].
+    ///
+    /// # Errors
+    ///
+    /// Guest page faults (stage 1) and nested page faults (stage 2).
+    pub fn guest_write(&mut self, va: Gva, data: &[u8]) -> Result<(), Fault> {
+        let mut off = 0usize;
+        while off < data.len() {
+            let cur = Gva(va.0 + off as u64);
+            let in_page = (PAGE_SIZE - cur.page_offset()) as usize;
+            let take = in_page.min(data.len() - off);
+            let (hpa, enc) = self.guest_translate(cur, AccessKind::Write)?;
+            self.charge_engine(enc, take as u64);
+            self.mc.write(hpa, &data[off..off + take], enc).map_err(|_| {
+                Fault::GuestPageFault {
+                    va: cur,
+                    access: AccessKind::Write,
+                    reason: FaultReason::BadPhysicalAddress,
+                }
+            })?;
+            off += take;
+        }
+        Ok(())
+    }
+
+    /// The two-stage walk: guest page tables (encrypted under `Kvek` for
+    /// SEV guests) then the NPT for the leaf.
+    fn guest_translate(&mut self, va: Gva, access: AccessKind) -> Result<(Hpa, EncSel), Fault> {
+        assert_eq!(self.cpu.mode, Mode::Guest);
+        let guest = self.cpu.guest.expect("guest mode");
+        let table_enc = if guest.sev { EncSel::Guest(guest.asid) } else { EncSel::None };
+        let gfault = |reason| Fault::GuestPageFault { va, access, reason };
+
+        let hit = self.tlb.lookup(Space::Guest(guest.asid.0), va.pfn()).is_some();
+        self.cycles.charge(self.cost.mem_access);
+        if !hit {
+            self.cycles.charge(self.cost.gpt_walk + self.cost.npt_walk);
+        }
+
+        // Stage-1 walk; every table access is itself a GPA that must pass
+        // through the NPT.
+        let mut table_gpa = guest.gcr3;
+        let mut writable = true;
+        let mut nx = false;
+        let mut leaf = crate::paging::Pte(0);
+        for level in (0..=3u8).rev() {
+            let entry_gpa = Gpa(table_gpa.0 + crate::paging::table_index(va.0, level) * 8);
+            let entry_hpa = self.npt_translate(entry_gpa, AccessKind::Read)?;
+            let raw = self
+                .mc
+                .read_u64(entry_hpa, table_enc)
+                .map_err(|_| gfault(FaultReason::BadPhysicalAddress))?;
+            let pte = crate::paging::Pte(raw);
+            if !pte.present() {
+                return Err(gfault(FaultReason::NotPresent));
+            }
+            writable &= pte.writable();
+            nx |= pte.nx();
+            if level == 0 {
+                leaf = pte;
+            } else {
+                table_gpa = Gpa(pte.addr().0);
+            }
+        }
+        match access {
+            AccessKind::Write if !writable => return Err(gfault(FaultReason::WriteProtected)),
+            AccessKind::Execute if nx => return Err(gfault(FaultReason::NoExecute)),
+            _ => {}
+        }
+        // Stage 2 for the final data page.
+        let gpa = Gpa(leaf.addr().0 + va.page_offset());
+        let (hpa, npt_c) = self.npt_translate_full(gpa, access)?;
+        if !hit {
+            self.tlb.insert(Space::Guest(guest.asid.0), va.pfn(), hpa.pfn());
+        }
+        let enc = if guest.sev && leaf.c_bit() {
+            EncSel::Guest(guest.asid)
+        } else if npt_c {
+            EncSel::Sme
+        } else {
+            EncSel::None
+        };
+        Ok((hpa, enc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::FrameAllocator;
+    use crate::paging::{Mapper, PhysPtAccess, PTE_C_BIT, PTE_NX, PTE_WRITABLE};
+    use crate::regs::Gpr;
+
+    const MEM: u64 = 1024 * PAGE_SIZE; // 4 MiB
+
+    /// Builds a machine with host paging enabled: identity map of the
+    /// first 256 pages, writable+executable.
+    fn host_machine() -> (Machine, FrameAllocator, Mapper) {
+        let mut m = Machine::new(MEM);
+        let mut alloc = FrameAllocator::new(Hpa(512 * PAGE_SIZE), 256);
+        let mapper = {
+            let mut acc = PhysPtAccess::new(&mut m.mc, EncSel::None);
+            let mapper = Mapper::create(&mut acc, &mut alloc).unwrap();
+            mapper
+                .map_range(&mut acc, &mut alloc, 0, Hpa(0), 256, PTE_WRITABLE)
+                .unwrap();
+            mapper
+        };
+        m.cpu.cr3 = mapper.root();
+        m.cpu.cr0 = Cr0::enabled();
+        m.cpu.efer = Efer { nxe: true, svme: true };
+        (m, alloc, mapper)
+    }
+
+    #[test]
+    fn host_rw_through_paging() {
+        let (mut m, _a, _mp) = host_machine();
+        m.host_write(Hva(0x1000), b"hello host").unwrap();
+        let mut buf = [0u8; 10];
+        m.host_read(Hva(0x1000), &mut buf).unwrap();
+        assert_eq!(&buf, b"hello host");
+    }
+
+    #[test]
+    fn host_write_to_readonly_faults_when_wp_set() {
+        let (mut m, mut alloc, mapper) = host_machine();
+        {
+            let mut acc = PhysPtAccess::new(&mut m.mc, EncSel::None);
+            mapper.map(&mut acc, &mut alloc, 0x40_0000, Hpa(0x9000), 0).unwrap();
+        }
+        let err = m.host_write(Hva(0x40_0000), b"x").unwrap_err();
+        assert!(matches!(
+            err,
+            Fault::HostPageFault { reason: FaultReason::WriteProtected, .. }
+        ));
+        // Clearing WP (as a type-1 gate does) lets the write through.
+        m.cpu.cr0.wp = false;
+        m.host_write(Hva(0x40_0000), b"x").unwrap();
+    }
+
+    #[test]
+    fn host_fetch_respects_nx() {
+        let (mut m, mut alloc, mapper) = host_machine();
+        {
+            let mut acc = PhysPtAccess::new(&mut m.mc, EncSel::None);
+            mapper.map(&mut acc, &mut alloc, 0x50_0000, Hpa(0xA000), PTE_NX).unwrap();
+        }
+        let err = m.host_fetch(Hva(0x50_0000), 3).unwrap_err();
+        assert!(matches!(err, Fault::HostPageFault { reason: FaultReason::NoExecute, .. }));
+    }
+
+    #[test]
+    fn exec_priv_requires_matching_bytes_in_executable_page() {
+        let (mut m, _a, _mp) = host_machine();
+        // Plant a VMRUN encoding at 0x2000.
+        m.host_write(Hva(0x2000), &[0x0F, 0x01, 0xD8]).unwrap();
+        // Executing CLI at that site must fail (bytes mismatch).
+        let err = m.exec_priv(Hva(0x2000), PrivOp::Cli).unwrap_err();
+        assert!(matches!(err, HwError::Fault(_)));
+        // Executing CLI where its byte exists works.
+        m.host_write(Hva(0x2010), &[0xFA]).unwrap();
+        m.exec_priv(Hva(0x2010), PrivOp::Cli).unwrap();
+        assert!(!m.cpu.interrupts_enabled);
+    }
+
+    #[test]
+    fn exec_priv_faults_on_unmapped_site() {
+        let (mut m, _a, _mp) = host_machine();
+        let err = m.exec_priv(Hva(0x7777_0000), PrivOp::Vmrun(Hpa(0x3000))).unwrap_err();
+        assert!(matches!(
+            err,
+            HwError::Fault(Fault::HostPageFault { reason: FaultReason::NotPresent, .. })
+        ));
+    }
+
+    #[test]
+    fn write_cr3_flushes_host_tlb() {
+        let (mut m, _a, mp) = host_machine();
+        m.host_write(Hva(0x3000), &[1]).unwrap(); // populate TLB
+        assert!(!m.tlb.is_empty());
+        m.host_write(Hva(0x2020), &[0x0F, 0x22, 0xD8]).unwrap();
+        m.exec_priv(Hva(0x2020), PrivOp::WriteCr3(mp.root())).unwrap();
+        assert!(m.tlb.is_empty());
+    }
+
+    /// Builds a full guest world: NPT mapping GPA [0, 64 pages) →
+    /// HPA [0x10_0000, …), guest page tables inside guest memory (built
+    /// with the guest key), one data page at GVA 0x7000 with C-bit.
+    fn guest_machine(sev: bool) -> (Machine, Hpa) {
+        let (mut m, mut alloc, _host_mapper) = host_machine();
+        let asid = Asid(3);
+        if sev {
+            m.mc.install_guest_key(asid, &[0x33; 16]);
+        }
+        // NPT: GPA 0.. 64 pages → HPA at 1 MiB.
+        let guest_base = Hpa(0x10_0000);
+        let npt = {
+            let mut acc = PhysPtAccess::new(&mut m.mc, EncSel::None);
+            let npt = Mapper::create(&mut acc, &mut alloc).unwrap();
+            npt.map_range(&mut acc, &mut alloc, 0, guest_base, 64, PTE_WRITABLE)
+                .unwrap();
+            npt
+        };
+        // Guest page tables live in guest frames (GPA 0x10000..), written
+        // through the engine with the guest key.
+        let table_enc = if sev { EncSel::Guest(asid) } else { EncSel::None };
+        let gcr3_gpa;
+        {
+            // The guest's tables are built in guest-physical terms (frames
+            // from GPA 0x10000 up); OffsetPtAccess lands the bytes at
+            // guest_base + gpa.
+            let mut galloc = FrameAllocator::new(Hpa(0x10000), 16);
+            let mut acc =
+                crate::paging::OffsetPtAccess::new(&mut m.mc, guest_base, table_enc);
+            let gpt = Mapper::create(&mut acc, &mut galloc).unwrap();
+            // Map GVA 0x7000 → GPA 0x7000 with C-bit; GVA 0x8000 → GPA
+            // 0x8000 without (a shared page).
+            gpt.map(
+                &mut acc,
+                &mut galloc,
+                0x7000,
+                Hpa(0x7000),
+                PTE_WRITABLE | PTE_C_BIT,
+            )
+            .unwrap();
+            gpt.map(&mut acc, &mut galloc, 0x8000, Hpa(0x8000), PTE_WRITABLE).unwrap();
+            gcr3_gpa = gpt.root().0;
+        }
+        // VMCB.
+        let vmcb_pa = Hpa(0xF000);
+        let mut img = VmcbImage::new();
+        img.set(VmcbField::Asid, asid.0 as u64)
+            .set(VmcbField::SevEnable, u64::from(sev))
+            .set(VmcbField::NCr3, npt.root().0)
+            .set(VmcbField::Cr3, gcr3_gpa)
+            .set(VmcbField::Rip, 0x1000)
+            .set(VmcbField::Cr0, Cr0::enabled().to_bits());
+        img.store(&mut m.mc, vmcb_pa).unwrap();
+        // Enter the guest via a planted VMRUN instruction.
+        m.host_write(Hva(0x2100), &[0x0F, 0x01, 0xD8]).unwrap();
+        m.exec_priv(Hva(0x2100), PrivOp::Vmrun(vmcb_pa)).unwrap();
+        (m, vmcb_pa)
+    }
+
+    #[test]
+    fn guest_virtual_access_with_sev_encrypts() {
+        let (mut m, _vmcb) = guest_machine(true);
+        assert_eq!(m.cpu.mode, Mode::Guest);
+        m.guest_write(Gva(0x7000), b"guest secret....").unwrap();
+        let mut buf = [0u8; 16];
+        m.guest_read(Gva(0x7000), &mut buf).unwrap();
+        assert_eq!(&buf, b"guest secret....");
+        // The backing HPA is guest_base + 0x7000; raw DRAM there must be
+        // ciphertext.
+        let mut raw = [0u8; 16];
+        m.mc.dram().read_raw(Hpa(0x10_0000 + 0x7000), &mut raw).unwrap();
+        assert_ne!(&raw, b"guest secret....");
+    }
+
+    #[test]
+    fn guest_shared_page_is_plaintext() {
+        let (mut m, _vmcb) = guest_machine(true);
+        m.guest_write(Gva(0x8000), b"dma buffer here!").unwrap();
+        let mut raw = [0u8; 16];
+        m.mc.dram().read_raw(Hpa(0x10_0000 + 0x8000), &mut raw).unwrap();
+        assert_eq!(&raw, b"dma buffer here!", "C-bit clear page is plaintext");
+    }
+
+    #[test]
+    fn non_sev_guest_is_all_plaintext() {
+        let (mut m, _vmcb) = guest_machine(false);
+        m.guest_write(Gva(0x7000), b"unprotected data").unwrap();
+        let mut raw = [0u8; 16];
+        m.mc.dram().read_raw(Hpa(0x10_0000 + 0x7000), &mut raw).unwrap();
+        assert_eq!(&raw, b"unprotected data");
+    }
+
+    #[test]
+    fn npt_miss_is_nested_page_fault() {
+        let (mut m, _vmcb) = guest_machine(true);
+        let err = m.guest_write_gpa(Gpa(0x100_0000), b"x", true).unwrap_err();
+        assert!(matches!(
+            err,
+            Fault::NestedPageFault { reason: FaultReason::NotPresent, .. }
+        ));
+    }
+
+    #[test]
+    fn vmexit_restores_host_and_leaks_state() {
+        let (mut m, vmcb_pa) = guest_machine(true);
+        m.cpu.regs.set(Gpr::Rbx, 0x5EC_4E7); // guest-only value
+        m.cpu.rip = 0x1444;
+        m.vmexit(ExitCode::Cpuid, 0, 0).unwrap();
+        assert_eq!(m.cpu.mode, Mode::Host);
+        // The SEV leaks: guest GPR visible, VMCB fields in plaintext.
+        assert_eq!(m.cpu.regs.get(Gpr::Rbx), 0x5EC_4E7);
+        let img = VmcbImage::load(&m.mc, vmcb_pa).unwrap();
+        assert_eq!(img.get(VmcbField::ExitCode), ExitCode::Cpuid as u64);
+        assert_eq!(img.get(VmcbField::Rip), 0x1444);
+    }
+
+    #[test]
+    fn vmrun_without_key_fails_for_sev_guest() {
+        let (mut m, vmcb_pa) = guest_machine(true);
+        m.vmexit(ExitCode::Hlt, 0, 0).unwrap();
+        m.mc.uninstall_guest_key(Asid(3));
+        m.host_write(Hva(0x2200), &[0x0F, 0x01, 0xD8]).unwrap();
+        let err = m.exec_priv(Hva(0x2200), PrivOp::Vmrun(vmcb_pa)).unwrap_err();
+        assert!(matches!(err, HwError::NoKeyForAsid(Asid(3))));
+    }
+
+    #[test]
+    fn vmexit_in_host_mode_is_error() {
+        let (mut m, _a, _mp) = host_machine();
+        assert!(matches!(m.vmexit(ExitCode::Hlt, 0, 0), Err(HwError::BadWorldSwitch)));
+    }
+
+    #[test]
+    fn cycles_accumulate_on_accesses() {
+        let (mut m, _a, _mp) = host_machine();
+        let before = m.cycles.total();
+        m.host_write(Hva(0x1000), &[0u8; 64]).unwrap();
+        assert!(m.cycles.total() > before);
+    }
+}

@@ -1,0 +1,132 @@
+//! Simulated AMD hardware platform for the Fidelius reproduction.
+//!
+//! This crate models every piece of hardware the paper's system touches:
+//!
+//! - [`mem`] — physical DRAM (raw bytes — what a cold-boot attacker dumps)
+//!   and a frame allocator.
+//! - [`memctrl`] — the memory controller with the SME/SEV encryption engine:
+//!   ASID-tagged `Kvek` slots, the SME host key, and physical-address-tweaked
+//!   AES on every access to a C-bit page.
+//! - [`paging`] — x86-64 4-level page tables, a hardware walker, and
+//!   software helpers for building/modifying tables that live *inside* the
+//!   simulated physical memory (so write-protecting page-table-pages
+//!   actually write-protects them).
+//! - [`tlb`] — a TLB with per-entry and full flushes, charged to the cycle
+//!   model.
+//! - [`regs`] — CR0/CR3/CR4, EFER and the general-purpose register file.
+//! - [`vmcb`] — the virtual machine control block, *stored in simulated
+//!   memory* so that shadowing/unmapping it is meaningful.
+//! - [`cpu`] — the CPU core: guest/host world switch (VMRUN/VMEXIT),
+//!   two-stage address translation, permission checks honouring `CR0.WP`,
+//!   and typed privileged-instruction execution gated on the executability
+//!   of the instruction's code page.
+//! - [`cycles`] — the cycle-cost model that stands in for `rdtsc` and is
+//!   calibrated against AMD-documented event costs (see module docs).
+//! - [`bmt`] — the paper's §8 extension: a Bonsai-Merkle-Tree-style
+//!   integrity engine catching Rowhammer flips and ciphertext replay.
+//!
+//! The design principle throughout: **protection state lives in simulated
+//! memory and architectural registers, never in Rust-level convention**, so
+//! that the Fidelius mechanisms (write-protected page-table-pages, unmapped
+//! VMRUN pages, shadowed VMCBs) are enforced by the same translation and
+//! permission logic an attacker must go through.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bmt;
+pub mod cpu;
+pub mod cycles;
+pub mod error;
+pub mod mem;
+pub mod memctrl;
+pub mod paging;
+pub mod regs;
+pub mod tlb;
+pub mod vmcb;
+
+pub use error::{Fault, HwError};
+
+/// Size of one page / frame in bytes.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Size of one cache line in bytes (also the encryption-engine block span).
+pub const CACHE_LINE: u64 = 64;
+
+/// A guest virtual address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Gva(pub u64);
+
+/// A guest physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Gpa(pub u64);
+
+/// A host (system) physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Hpa(pub u64);
+
+/// A host virtual address (hypervisor / Fidelius address space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Hva(pub u64);
+
+/// An address-space identifier tagging SEV keys in the memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Asid(pub u16);
+
+macro_rules! addr_impl {
+    ($t:ident) => {
+        impl $t {
+            /// Returns the page frame number (address / 4096).
+            pub fn pfn(self) -> u64 {
+                self.0 >> 12
+            }
+
+            /// Returns the offset within the page.
+            pub fn page_offset(self) -> u64 {
+                self.0 & (PAGE_SIZE - 1)
+            }
+
+            /// Builds an address from a page frame number.
+            pub fn from_pfn(pfn: u64) -> Self {
+                $t(pfn << 12)
+            }
+
+            /// Returns the containing page's base address.
+            pub fn page_base(self) -> Self {
+                $t(self.0 & !(PAGE_SIZE - 1))
+            }
+
+            /// Address arithmetic within the same space.
+            pub fn add(self, delta: u64) -> Self {
+                $t(self.0 + delta)
+            }
+        }
+
+        impl std::fmt::Display for $t {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($t), "({:#x})"), self.0)
+            }
+        }
+    };
+}
+
+addr_impl!(Gva);
+addr_impl!(Gpa);
+addr_impl!(Hpa);
+addr_impl!(Hva);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_helpers() {
+        let a = Hpa(0x1234);
+        assert_eq!(a.pfn(), 1);
+        assert_eq!(a.page_offset(), 0x234);
+        assert_eq!(a.page_base(), Hpa(0x1000));
+        assert_eq!(Hpa::from_pfn(2), Hpa(0x2000));
+        assert_eq!(a.add(0x10), Hpa(0x1244));
+        assert_eq!(format!("{a}"), "Hpa(0x1234)");
+    }
+}

@@ -1,0 +1,121 @@
+//! A TLB model.
+//!
+//! The TLB is a *performance* structure in this simulation: hits and misses
+//! change the cycle charge (a miss pays a table walk), while correctness is
+//! always derived from the current page tables. The paper's gates still
+//! interact with it faithfully — a type-3 gate pays a per-entry `invlpg`
+//! (128 cycles) and a CR3 switch pays a full flush, which is precisely the
+//! cost trade-off the paper's §4.1.3 discusses.
+
+use std::collections::HashMap;
+
+/// Identifies an address space in the TLB: the host, or a guest ASID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Space {
+    /// The host (hypervisor + Fidelius) address space.
+    Host,
+    /// A guest address space tagged by ASID.
+    Guest(u16),
+}
+
+/// The TLB: cached translations per (space, virtual page).
+#[derive(Debug, Default)]
+pub struct Tlb {
+    entries: HashMap<(Space, u64), u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// An empty TLB.
+    pub fn new() -> Self {
+        Tlb::default()
+    }
+
+    /// Looks up a virtual page; returns the cached physical page.
+    pub fn lookup(&mut self, space: Space, vpn: u64) -> Option<u64> {
+        match self.entries.get(&(space, vpn)) {
+            Some(&pfn) => {
+                self.hits += 1;
+                Some(pfn)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a translation after a walk.
+    pub fn insert(&mut self, space: Space, vpn: u64, pfn: u64) {
+        self.entries.insert((space, vpn), pfn);
+    }
+
+    /// `invlpg` — drops one entry.
+    pub fn flush_page(&mut self, space: Space, vpn: u64) {
+        self.entries.remove(&(space, vpn));
+    }
+
+    /// Drops every entry of one space (ASID-selective flush).
+    pub fn flush_space(&mut self, space: Space) {
+        self.entries.retain(|(s, _), _| *s != space);
+    }
+
+    /// Full flush (CR3 write without PCID).
+    pub fn flush_all(&mut self) {
+        self.entries.clear();
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the TLB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_accounting() {
+        let mut tlb = Tlb::new();
+        assert_eq!(tlb.lookup(Space::Host, 1), None);
+        tlb.insert(Space::Host, 1, 42);
+        assert_eq!(tlb.lookup(Space::Host, 1), Some(42));
+        assert_eq!(tlb.stats(), (1, 1));
+    }
+
+    #[test]
+    fn spaces_are_isolated() {
+        let mut tlb = Tlb::new();
+        tlb.insert(Space::Host, 1, 10);
+        tlb.insert(Space::Guest(1), 1, 20);
+        assert_eq!(tlb.lookup(Space::Host, 1), Some(10));
+        assert_eq!(tlb.lookup(Space::Guest(1), 1), Some(20));
+        tlb.flush_space(Space::Guest(1));
+        assert_eq!(tlb.lookup(Space::Guest(1), 1), None);
+        assert_eq!(tlb.lookup(Space::Host, 1), Some(10));
+    }
+
+    #[test]
+    fn flush_page_and_all() {
+        let mut tlb = Tlb::new();
+        tlb.insert(Space::Host, 1, 10);
+        tlb.insert(Space::Host, 2, 20);
+        tlb.flush_page(Space::Host, 1);
+        assert_eq!(tlb.lookup(Space::Host, 1), None);
+        assert_eq!(tlb.lookup(Space::Host, 2), Some(20));
+        tlb.flush_all();
+        assert!(tlb.is_empty());
+    }
+}

@@ -1,0 +1,861 @@
+//! The SEV firmware command interface and its state machines.
+
+use crate::error::SevError;
+use fidelius_crypto::hmac::{derive_key128, hmac_sha256, verify_hmac_sha256};
+use fidelius_crypto::keywrap;
+use fidelius_crypto::modes::{Ctr128, PaTweakCipher};
+use fidelius_crypto::rng::Xoshiro256;
+use fidelius_crypto::sha256::Sha256;
+use fidelius_crypto::x25519::KeyPair;
+use fidelius_crypto::Key128;
+use fidelius_hw::cpu::Machine;
+use fidelius_hw::{Asid, Hpa, PAGE_SIZE};
+use std::collections::HashMap;
+
+/// Platform-wide firmware state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlatformState {
+    /// Before `INIT`.
+    Uninitialized,
+    /// After `INIT`: guest commands are accepted.
+    Initialized,
+}
+
+/// Per-guest context state (a subset of the SEV spec's states, sufficient
+/// for the paper's flows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuestState {
+    /// Between `LAUNCH_START` and `LAUNCH_FINISH`.
+    Launching,
+    /// Runnable.
+    Running,
+    /// Between `SEND_START` and `SEND_FINISH` (guest execution stopped —
+    /// which is why the paper notes Fidelius cannot do *live* migration).
+    Sending,
+    /// Between `RECEIVE_START` and `RECEIVE_FINISH`.
+    Receiving,
+}
+
+/// Guest policy bits (simplified).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GuestPolicy {
+    /// Debugging the guest through firmware is forbidden.
+    pub no_debug: bool,
+    /// The guest's key may not be shared with another guest context.
+    pub no_key_sharing: bool,
+}
+
+/// An opaque handle naming a guest context inside the firmware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Handle(pub u32);
+
+/// The session parameters that travel with wrapped transport keys — the
+/// paper's `Kwrap` plus the public ECDH metadata (origin public key and
+/// nonce `Nvm`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionBlob {
+    /// `Kwrap`: TEK‖TIK wrapped under the ECDH-derived KEK.
+    pub wrapped_keys: Vec<u8>,
+    /// The origin's public ECDH key (public).
+    pub origin_pdh: [u8; 32],
+    /// The session nonce (public).
+    pub nonce: [u8; 32],
+}
+
+/// Handles for the paper's SEV-based I/O helper contexts (§4.3.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoHelpers {
+    /// The sending helper (encrypt: `Kvek` → `Ktek`).
+    pub sdom: Handle,
+    /// The receiving helper (decrypt: `Ktek` → `Kvek`).
+    pub rdom: Handle,
+}
+
+#[derive(Clone)]
+struct GuestContext {
+    state: GuestState,
+    policy: GuestPolicy,
+    kvek: Key128,
+    asid: Option<Asid>,
+    tek: Option<Key128>,
+    tik: Option<Key128>,
+    measurement: Sha256,
+}
+
+impl GuestContext {
+    fn new(kvek: Key128, policy: GuestPolicy, state: GuestState) -> Self {
+        GuestContext {
+            state,
+            policy,
+            kvek,
+            asid: None,
+            tek: None,
+            tik: None,
+            measurement: Sha256::new(),
+        }
+    }
+
+    fn require(&self, expected: GuestState) -> Result<(), SevError> {
+        if self.state == expected {
+            Ok(())
+        } else {
+            Err(SevError::InvalidGuestState { expected, actual: self.state })
+        }
+    }
+}
+
+/// Derives the key-encryption key both endpoints of a session agree on.
+///
+/// Exposed so the guest-owner tooling ([`crate::owner`]) can run the same
+/// derivation; the hypervisor observing `origin_pdh` and `nonce` cannot,
+/// lacking either private key.
+pub fn derive_session_kek(shared_secret: &[u8; 32], nonce: &[u8; 32]) -> Key128 {
+    let mut ikm = Vec::with_capacity(64);
+    ikm.extend_from_slice(shared_secret);
+    ikm.extend_from_slice(nonce);
+    derive_key128(&ikm, "sev-session-kek")
+}
+
+/// Wraps TEK‖TIK under the session KEK.
+pub fn wrap_transport_keys(kek: &Key128, tek: &Key128, tik: &Key128) -> Vec<u8> {
+    let mut keys = Vec::with_capacity(32);
+    keys.extend_from_slice(tek);
+    keys.extend_from_slice(tik);
+    keywrap::wrap(kek, &keys).expect("32-byte wrap input is always valid")
+}
+
+fn unwrap_transport_keys(kek: &Key128, wrapped: &[u8]) -> Result<(Key128, Key128), SevError> {
+    let keys = keywrap::unwrap(kek, wrapped).map_err(|_| SevError::BadSessionKeys)?;
+    if keys.len() != 32 {
+        return Err(SevError::BadSessionKeys);
+    }
+    let tek: Key128 = keys[..16].try_into().expect("length checked");
+    let tik: Key128 = keys[16..].try_into().expect("length checked");
+    Ok((tek, tik))
+}
+
+/// The SEV firmware. See the crate docs for the trust model.
+pub struct Firmware {
+    state: PlatformState,
+    pdh: KeyPair,
+    attest_key: Key128,
+    guests: HashMap<Handle, GuestContext>,
+    next_handle: u32,
+    rng: Xoshiro256,
+}
+
+impl std::fmt::Debug for Firmware {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Firmware")
+            .field("state", &self.state)
+            .field("guests", &self.guests.len())
+            .finish()
+    }
+}
+
+impl Firmware {
+    /// Creates the firmware with a fresh platform identity derived from
+    /// `seed` (deterministic for reproducible simulations).
+    pub fn new(seed: u64) -> Self {
+        let mut rng = Xoshiro256::new(seed ^ 0x5EF1_F1DE_11D5_0001);
+        let pdh = KeyPair::from_seed(rng.next_bytes32());
+        let attest_key = rng.next_key128();
+        Firmware {
+            state: PlatformState::Uninitialized,
+            pdh,
+            attest_key,
+            guests: HashMap::new(),
+            next_handle: 1,
+            rng,
+        }
+    }
+
+    /// `INIT`: brings the platform to the working state.
+    ///
+    /// # Errors
+    ///
+    /// Fails if already initialized.
+    pub fn init(&mut self) -> Result<(), SevError> {
+        if self.state != PlatformState::Uninitialized {
+            return Err(SevError::InvalidPlatformState { actual: self.state });
+        }
+        self.state = PlatformState::Initialized;
+        Ok(())
+    }
+
+    /// Current platform state.
+    pub fn platform_state(&self) -> PlatformState {
+        self.state
+    }
+
+    /// The platform Diffie-Hellman public key (PDH), used by guest owners
+    /// to target this machine.
+    pub fn pdh_public(&self) -> [u8; 32] {
+        *self.pdh.public()
+    }
+
+    /// Attestation: tags `evidence` with the platform's attestation key.
+    /// Stands in for the PSP's signed attestation reports — a verifier
+    /// that trusts this platform (e.g. the guest owner, after key
+    /// agreement) can check the tag with [`Firmware::verify_attestation`].
+    pub fn attest(&self, evidence: &[u8]) -> [u8; 32] {
+        hmac_sha256(&self.attest_key, evidence)
+    }
+
+    /// Verifies an attestation tag produced by this platform.
+    pub fn verify_attestation(&self, evidence: &[u8], tag: &[u8; 32]) -> bool {
+        verify_hmac_sha256(&self.attest_key, evidence, tag)
+    }
+
+    fn require_init(&self) -> Result<(), SevError> {
+        if self.state != PlatformState::Initialized {
+            return Err(SevError::InvalidPlatformState { actual: self.state });
+        }
+        Ok(())
+    }
+
+    fn guest(&self, h: Handle) -> Result<&GuestContext, SevError> {
+        self.guests.get(&h).ok_or(SevError::UnknownHandle(h.0))
+    }
+
+    fn guest_mut(&mut self, h: Handle) -> Result<&mut GuestContext, SevError> {
+        self.guests.get_mut(&h).ok_or(SevError::UnknownHandle(h.0))
+    }
+
+    fn fresh_handle(&mut self) -> Handle {
+        let h = Handle(self.next_handle);
+        self.next_handle += 1;
+        h
+    }
+
+    // ----- launch ---------------------------------------------------------
+
+    /// `LAUNCH_START`: creates a guest context with a fresh `Kvek`.
+    ///
+    /// # Errors
+    ///
+    /// Requires an initialized platform.
+    pub fn launch_start(&mut self, policy: GuestPolicy) -> Result<Handle, SevError> {
+        self.require_init()?;
+        let kvek = self.rng.next_key128();
+        let h = self.fresh_handle();
+        self.guests.insert(h, GuestContext::new(kvek, policy, GuestState::Launching));
+        Ok(h)
+    }
+
+    /// `LAUNCH_UPDATE_DATA`: encrypts `len` bytes of plaintext already
+    /// loaded at physical `pa` in place with the guest's `Kvek`, extending
+    /// the launch measurement.
+    ///
+    /// # Errors
+    ///
+    /// Requires the `Launching` state; `pa`/`len` must be 16-byte aligned.
+    pub fn launch_update_data(
+        &mut self,
+        machine: &mut Machine,
+        h: Handle,
+        pa: Hpa,
+        len: u64,
+    ) -> Result<(), SevError> {
+        self.require_init()?;
+        let ctx = self.guest_mut(h)?;
+        ctx.require(GuestState::Launching)?;
+        assert_eq!(pa.0 % 16, 0, "launch data must be block aligned");
+        assert_eq!(len % 16, 0, "launch data length must be block aligned");
+        let engine = PaTweakCipher::new(&ctx.kvek);
+        let mut buf = vec![0u8; len as usize];
+        machine.mc.dram().read_raw(pa, &mut buf).map_err(SevError::Hw)?;
+        ctx.measurement.update(&buf);
+        for (i, block) in buf.chunks_exact_mut(16).enumerate() {
+            let block_pa = pa.0 + 16 * i as u64;
+            let mut b: [u8; 16] = block.try_into().expect("16-byte chunk");
+            engine.encrypt_block(block_pa, &mut b);
+            block.copy_from_slice(&b);
+        }
+        machine.mc.dram_mut().write_raw(pa, &buf).map_err(SevError::Hw)?;
+        let lines = len.div_ceil(fidelius_hw::CACHE_LINE);
+        machine.cycles.charge(lines as f64 * machine.cost.engine_line_extra);
+        Ok(())
+    }
+
+    /// `LAUNCH_MEASURE`: the measurement of everything launch-updated so
+    /// far, keyed so the owner can verify it.
+    ///
+    /// # Errors
+    ///
+    /// Requires the `Launching` state.
+    pub fn launch_measure(&self, h: Handle) -> Result<[u8; 32], SevError> {
+        let ctx = self.guest(h)?;
+        ctx.require(GuestState::Launching)?;
+        let digest = ctx.measurement.clone().finalize();
+        Ok(hmac_sha256(&ctx.kvek, &digest))
+    }
+
+    /// `LAUNCH_FINISH`: the guest becomes runnable.
+    ///
+    /// # Errors
+    ///
+    /// Requires the `Launching` state.
+    pub fn launch_finish(&mut self, h: Handle) -> Result<(), SevError> {
+        let ctx = self.guest_mut(h)?;
+        ctx.require(GuestState::Launching)?;
+        ctx.state = GuestState::Running;
+        Ok(())
+    }
+
+    // ----- activation -----------------------------------------------------
+
+    /// `ACTIVATE`: binds the guest to an ASID and installs its `Kvek` into
+    /// the memory controller.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SevError::AsidInUse`] if another context holds the
+    /// ASID. Note what it does *not* check: nothing stops the hypervisor
+    /// from later running a *different* VMCB with this ASID — the
+    /// key-sharing abuse of paper §2.2 that Fidelius closes by taking over
+    /// SEV metadata and VMCB integrity.
+    pub fn activate(
+        &mut self,
+        machine: &mut Machine,
+        h: Handle,
+        asid: Asid,
+    ) -> Result<(), SevError> {
+        self.require_init()?;
+        self.guest(h)?;
+        if self
+            .guests
+            .iter()
+            .any(|(other, ctx)| *other != h && ctx.asid == Some(asid))
+        {
+            return Err(SevError::AsidInUse(asid));
+        }
+        let ctx = self.guest_mut(h)?;
+        ctx.asid = Some(asid);
+        machine.mc.install_guest_key(asid, &ctx.kvek);
+        Ok(())
+    }
+
+    /// `DEACTIVATE`: unbinds the ASID and removes the key from the memory
+    /// controller.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the guest was never activated.
+    pub fn deactivate(&mut self, machine: &mut Machine, h: Handle) -> Result<(), SevError> {
+        let ctx = self.guest_mut(h)?;
+        let asid = ctx.asid.take().ok_or(SevError::NotActivated)?;
+        machine.mc.uninstall_guest_key(asid);
+        Ok(())
+    }
+
+    /// `DECOMMISSION`: erases the guest context. The guest must be
+    /// deactivated first.
+    ///
+    /// # Errors
+    ///
+    /// Fails if an ASID is still bound.
+    pub fn decommission(&mut self, h: Handle) -> Result<(), SevError> {
+        let ctx = self.guest(h)?;
+        if ctx.asid.is_some() {
+            return Err(SevError::NotActivated); // must DEACTIVATE first
+        }
+        self.guests.remove(&h);
+        Ok(())
+    }
+
+    /// The ASID currently bound to a handle, if any.
+    ///
+    /// # Errors
+    ///
+    /// Unknown handle.
+    pub fn asid_of(&self, h: Handle) -> Result<Option<Asid>, SevError> {
+        Ok(self.guest(h)?.asid)
+    }
+
+    /// Guest status (state + policy), the `GUEST_STATUS` command.
+    ///
+    /// # Errors
+    ///
+    /// Unknown handle.
+    pub fn guest_status(&self, h: Handle) -> Result<(GuestState, GuestPolicy), SevError> {
+        let ctx = self.guest(h)?;
+        Ok((ctx.state, ctx.policy))
+    }
+
+    // ----- send (source side) ----------------------------------------------
+
+    /// `SEND_START`: stops the guest and prepares transport keys wrapped
+    /// for `target_pdh`. Returns the session blob to ship to the target.
+    ///
+    /// # Errors
+    ///
+    /// Requires the `Running` state.
+    pub fn send_start(
+        &mut self,
+        h: Handle,
+        target_pdh: &[u8; 32],
+    ) -> Result<SessionBlob, SevError> {
+        self.require_init()?;
+        let origin_pdh = *self.pdh.public();
+        let shared = self.pdh.agree(target_pdh);
+        let nonce = self.rng.next_bytes32();
+        let tek = self.rng.next_key128();
+        let tik = self.rng.next_key128();
+        let ctx = self.guest_mut(h)?;
+        ctx.require(GuestState::Running)?;
+        let kek = derive_session_kek(&shared, &nonce);
+        let wrapped_keys = wrap_transport_keys(&kek, &tek, &tik);
+        ctx.tek = Some(tek);
+        ctx.tik = Some(tik);
+        ctx.measurement = Sha256::new();
+        ctx.state = GuestState::Sending;
+        Ok(SessionBlob { wrapped_keys, origin_pdh, nonce })
+    }
+
+    /// `SEND_UPDATE_DATA` for one page: re-encrypts the guest page at
+    /// `src_pa` from `Kvek` to `Ktek`, returning the transport ciphertext.
+    /// `page_index` keys the CTR stream and must be unique per page.
+    ///
+    /// # Errors
+    ///
+    /// Requires the `Sending` state.
+    pub fn send_update_page(
+        &mut self,
+        machine: &mut Machine,
+        h: Handle,
+        src_pa: Hpa,
+        page_index: u64,
+    ) -> Result<Vec<u8>, SevError> {
+        let ctx = self.guest_mut(h)?;
+        ctx.require(GuestState::Sending)?;
+        let engine = PaTweakCipher::new(&ctx.kvek);
+        let tek = ctx.tek.expect("sending state implies transport keys");
+        let mut page = vec![0u8; PAGE_SIZE as usize];
+        machine.mc.dram().read_raw(src_pa, &mut page).map_err(SevError::Hw)?;
+        for (i, block) in page.chunks_exact_mut(16).enumerate() {
+            let mut b: [u8; 16] = block.try_into().expect("16-byte chunk");
+            engine.decrypt_block(src_pa.0 + 16 * i as u64, &mut b);
+            block.copy_from_slice(&b);
+        }
+        ctx.measurement.update(&page);
+        let ctr = Ctr128::new(&tek, 0x7EC0_0000_0000_0000);
+        ctr.apply(page_index * (PAGE_SIZE / 16), &mut page);
+        let lines = PAGE_SIZE.div_ceil(fidelius_hw::CACHE_LINE);
+        machine.cycles.charge(2.0 * lines as f64 * machine.cost.engine_line_extra);
+        Ok(page)
+    }
+
+    /// `SEND_FINISH`: returns the transport integrity tag and puts the
+    /// guest back to `Running` (the source usually decommissions it next).
+    ///
+    /// # Errors
+    ///
+    /// Requires the `Sending` state.
+    pub fn send_finish(&mut self, h: Handle) -> Result<[u8; 32], SevError> {
+        let ctx = self.guest_mut(h)?;
+        ctx.require(GuestState::Sending)?;
+        let tik = ctx.tik.expect("sending state implies transport keys");
+        let digest = ctx.measurement.clone().finalize();
+        ctx.state = GuestState::Running;
+        Ok(hmac_sha256(&tik, &digest))
+    }
+
+    // ----- receive (target side) --------------------------------------------
+
+    /// `RECEIVE_START`: unwraps the transport keys from the session blob
+    /// and creates a context with a fresh `Kvek`.
+    ///
+    /// # Errors
+    ///
+    /// [`SevError::BadSessionKeys`] when the blob was not wrapped for this
+    /// platform (or was tampered with).
+    pub fn receive_start(
+        &mut self,
+        session: &SessionBlob,
+        policy: GuestPolicy,
+    ) -> Result<Handle, SevError> {
+        self.require_init()?;
+        let shared = self.pdh.agree(&session.origin_pdh);
+        let kek = derive_session_kek(&shared, &session.nonce);
+        let (tek, tik) = unwrap_transport_keys(&kek, &session.wrapped_keys)?;
+        let kvek = self.rng.next_key128();
+        let h = self.fresh_handle();
+        let mut ctx = GuestContext::new(kvek, policy, GuestState::Receiving);
+        ctx.tek = Some(tek);
+        ctx.tik = Some(tik);
+        self.guests.insert(h, ctx);
+        Ok(h)
+    }
+
+    /// `RECEIVE_UPDATE_DATA` for one page: decrypts transport ciphertext
+    /// and re-encrypts it under the guest's `Kvek` at `dst_pa`.
+    ///
+    /// # Errors
+    ///
+    /// Requires the `Receiving` state; `chunk` must be one page.
+    pub fn receive_update_page(
+        &mut self,
+        machine: &mut Machine,
+        h: Handle,
+        chunk: &[u8],
+        page_index: u64,
+        dst_pa: Hpa,
+    ) -> Result<(), SevError> {
+        let ctx = self.guest_mut(h)?;
+        ctx.require(GuestState::Receiving)?;
+        assert_eq!(chunk.len() as u64, PAGE_SIZE, "receive chunks are pages");
+        let tek = ctx.tek.expect("receiving state implies transport keys");
+        let mut page = chunk.to_vec();
+        let ctr = Ctr128::new(&tek, 0x7EC0_0000_0000_0000);
+        ctr.apply(page_index * (PAGE_SIZE / 16), &mut page);
+        ctx.measurement.update(&page);
+        let engine = PaTweakCipher::new(&ctx.kvek);
+        for (i, block) in page.chunks_exact_mut(16).enumerate() {
+            let mut b: [u8; 16] = block.try_into().expect("16-byte chunk");
+            engine.encrypt_block(dst_pa.0 + 16 * i as u64, &mut b);
+            block.copy_from_slice(&b);
+        }
+        machine.mc.dram_mut().write_raw(dst_pa, &page).map_err(SevError::Hw)?;
+        let lines = PAGE_SIZE.div_ceil(fidelius_hw::CACHE_LINE);
+        machine.cycles.charge(2.0 * lines as f64 * machine.cost.engine_line_extra);
+        Ok(())
+    }
+
+    /// `RECEIVE_FINISH`: verifies the transport integrity tag; on success
+    /// the guest becomes runnable.
+    ///
+    /// # Errors
+    ///
+    /// [`SevError::BadMeasurement`] if any received page was tampered
+    /// with, reordered or replayed.
+    pub fn receive_finish(&mut self, h: Handle, expected_tag: &[u8; 32]) -> Result<(), SevError> {
+        let ctx = self.guest_mut(h)?;
+        ctx.require(GuestState::Receiving)?;
+        let tik = ctx.tik.expect("receiving state implies transport keys");
+        let digest = ctx.measurement.clone().finalize();
+        if !verify_hmac_sha256(&tik, &digest, expected_tag) {
+            return Err(SevError::BadMeasurement);
+        }
+        ctx.state = GuestState::Running;
+        Ok(())
+    }
+
+    // ----- the paper's SEV-based I/O helpers (§4.3.5) ------------------------
+
+    /// Creates the s-dom and r-dom helper contexts for a guest: both share
+    /// the guest's `Kvek` and a fresh I/O transport key, with s-dom pinned
+    /// in the sending state and r-dom in the receiving state — the trick
+    /// that makes `SEND_UPDATE`/`RECEIVE_UPDATE` usable for I/O encryption
+    /// while the guest itself stays in `Running`.
+    ///
+    /// # Errors
+    ///
+    /// The guest must exist; key-sharing policy forbids helpers when
+    /// `no_key_sharing` is set.
+    pub fn create_io_helpers(&mut self, h: Handle) -> Result<IoHelpers, SevError> {
+        self.require_init()?;
+        let parent = self.guest(h)?.clone();
+        if parent.policy.no_key_sharing {
+            return Err(SevError::InvalidGuestState {
+                expected: GuestState::Running,
+                actual: parent.state,
+            });
+        }
+        let tek = self.rng.next_key128();
+        let tik = self.rng.next_key128();
+        let mut sdom_ctx = GuestContext::new(parent.kvek, parent.policy, GuestState::Sending);
+        sdom_ctx.tek = Some(tek);
+        sdom_ctx.tik = Some(tik);
+        let mut rdom_ctx = GuestContext::new(parent.kvek, parent.policy, GuestState::Receiving);
+        rdom_ctx.tek = Some(tek);
+        rdom_ctx.tik = Some(tik);
+        let sdom = self.fresh_handle();
+        self.guests.insert(sdom, sdom_ctx);
+        let rdom = self.fresh_handle();
+        self.guests.insert(rdom, rdom_ctx);
+        Ok(IoHelpers { sdom, rdom })
+    }
+
+    /// I/O write path: reads `len` bytes of `Kvek`-encrypted data at
+    /// `src_pa` (the guest's dedicated buffer `Md`) and writes
+    /// `Ktek`-encrypted data to `dst_pa` (the shared I/O buffer).
+    /// `stream` keys the CTR stream (use the sector number).
+    ///
+    /// # Errors
+    ///
+    /// Requires a `Sending`-state helper context.
+    pub fn io_encrypt(
+        &mut self,
+        machine: &mut Machine,
+        sdom: Handle,
+        src_pa: Hpa,
+        dst_pa: Hpa,
+        len: u64,
+        stream: u64,
+    ) -> Result<(), SevError> {
+        let ctx = self.guest_mut(sdom)?;
+        ctx.require(GuestState::Sending)?;
+        assert_eq!(len % 16, 0, "io length must be block aligned");
+        assert_eq!(src_pa.0 % 16, 0, "io buffers must be block aligned");
+        let engine = PaTweakCipher::new(&ctx.kvek);
+        let tek = ctx.tek.expect("sending state implies transport keys");
+        let mut buf = vec![0u8; len as usize];
+        machine.mc.dram().read_raw(src_pa, &mut buf).map_err(SevError::Hw)?;
+        for (i, block) in buf.chunks_exact_mut(16).enumerate() {
+            let mut b: [u8; 16] = block.try_into().expect("16-byte chunk");
+            engine.decrypt_block(src_pa.0 + 16 * i as u64, &mut b);
+            block.copy_from_slice(&b);
+        }
+        let ctr = Ctr128::new(&tek, 0x10_0000_0000_0000 ^ stream);
+        ctr.apply(0, &mut buf);
+        machine.mc.dram_mut().write_raw(dst_pa, &buf).map_err(SevError::Hw)?;
+        let lines = len.div_ceil(fidelius_hw::CACHE_LINE).max(1);
+        machine.cycles.charge(2.0 * lines as f64 * machine.cost.engine_line_extra);
+        Ok(())
+    }
+
+    /// I/O read path: reads `Ktek`-encrypted data at `src_pa` (shared
+    /// buffer) and writes `Kvek`-encrypted data to `dst_pa` (the guest's
+    /// dedicated buffer).
+    ///
+    /// # Errors
+    ///
+    /// Requires a `Receiving`-state helper context.
+    pub fn io_decrypt(
+        &mut self,
+        machine: &mut Machine,
+        rdom: Handle,
+        src_pa: Hpa,
+        dst_pa: Hpa,
+        len: u64,
+        stream: u64,
+    ) -> Result<(), SevError> {
+        let ctx = self.guest_mut(rdom)?;
+        ctx.require(GuestState::Receiving)?;
+        assert_eq!(len % 16, 0, "io length must be block aligned");
+        assert_eq!(dst_pa.0 % 16, 0, "io buffers must be block aligned");
+        let engine = PaTweakCipher::new(&ctx.kvek);
+        let tek = ctx.tek.expect("receiving state implies transport keys");
+        let mut buf = vec![0u8; len as usize];
+        machine.mc.dram().read_raw(src_pa, &mut buf).map_err(SevError::Hw)?;
+        let ctr = Ctr128::new(&tek, 0x10_0000_0000_0000 ^ stream);
+        ctr.apply(0, &mut buf);
+        for (i, block) in buf.chunks_exact_mut(16).enumerate() {
+            let mut b: [u8; 16] = block.try_into().expect("16-byte chunk");
+            engine.encrypt_block(dst_pa.0 + 16 * i as u64, &mut b);
+            block.copy_from_slice(&b);
+        }
+        machine.mc.dram_mut().write_raw(dst_pa, &buf).map_err(SevError::Hw)?;
+        let lines = len.div_ceil(fidelius_hw::CACHE_LINE).max(1);
+        machine.cycles.charge(2.0 * lines as f64 * machine.cost.engine_line_extra);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fidelius_hw::memctrl::EncSel;
+
+    fn setup() -> (Machine, Firmware) {
+        let machine = Machine::new(256 * PAGE_SIZE);
+        let mut fw = Firmware::new(42);
+        fw.init().unwrap();
+        (machine, fw)
+    }
+
+    #[test]
+    fn init_is_once() {
+        let mut fw = Firmware::new(1);
+        assert_eq!(fw.platform_state(), PlatformState::Uninitialized);
+        fw.init().unwrap();
+        assert!(matches!(fw.init(), Err(SevError::InvalidPlatformState { .. })));
+    }
+
+    #[test]
+    fn commands_require_init() {
+        let mut fw = Firmware::new(1);
+        assert!(matches!(
+            fw.launch_start(GuestPolicy::default()),
+            Err(SevError::InvalidPlatformState { .. })
+        ));
+    }
+
+    #[test]
+    fn launch_encrypts_in_place_and_measures() {
+        let (mut m, mut fw) = setup();
+        let h = fw.launch_start(GuestPolicy::default()).unwrap();
+        let pa = Hpa(0x4000);
+        m.mc.dram_mut().write_raw(pa, b"kernel code here").unwrap();
+        fw.launch_update_data(&mut m, h, pa, 16).unwrap();
+        // DRAM now holds ciphertext.
+        let mut raw = [0u8; 16];
+        m.mc.dram().read_raw(pa, &mut raw).unwrap();
+        assert_ne!(&raw, b"kernel code here");
+        let m1 = fw.launch_measure(h).unwrap();
+        fw.launch_update_data(&mut m, h, Hpa(0x5000), 16).unwrap();
+        let m2 = fw.launch_measure(h).unwrap();
+        assert_ne!(m1, m2, "measurement must extend");
+        fw.launch_finish(h).unwrap();
+        assert!(matches!(
+            fw.launch_update_data(&mut m, h, pa, 16),
+            Err(SevError::InvalidGuestState { .. })
+        ));
+    }
+
+    #[test]
+    fn activate_installs_key_and_guards_asid() {
+        let (mut m, mut fw) = setup();
+        let h1 = fw.launch_start(GuestPolicy::default()).unwrap();
+        let h2 = fw.launch_start(GuestPolicy::default()).unwrap();
+        fw.activate(&mut m, h1, Asid(1)).unwrap();
+        assert!(m.mc.has_guest_key(Asid(1)));
+        assert!(matches!(fw.activate(&mut m, h2, Asid(1)), Err(SevError::AsidInUse(_))));
+        fw.activate(&mut m, h2, Asid(2)).unwrap();
+        fw.deactivate(&mut m, h1).unwrap();
+        assert!(!m.mc.has_guest_key(Asid(1)));
+        // Now ASID 1 is free again.
+        fw.activate(&mut m, h2, Asid(1)).unwrap();
+    }
+
+    #[test]
+    fn decommission_requires_deactivate() {
+        let (mut m, mut fw) = setup();
+        let h = fw.launch_start(GuestPolicy::default()).unwrap();
+        fw.activate(&mut m, h, Asid(1)).unwrap();
+        assert!(fw.decommission(h).is_err());
+        fw.deactivate(&mut m, h).unwrap();
+        fw.decommission(h).unwrap();
+        assert!(matches!(fw.asid_of(h), Err(SevError::UnknownHandle(_))));
+    }
+
+    /// Full send → receive migration between two firmware instances, with
+    /// integrity verification.
+    #[test]
+    fn migration_roundtrip() {
+        let (mut m, mut src_fw) = setup();
+        let mut dst_fw = Firmware::new(77);
+        dst_fw.init().unwrap();
+
+        // Launch a guest on the source and give it a page of secrets.
+        let h = src_fw.launch_start(GuestPolicy::default()).unwrap();
+        let src_pa = Hpa(0x8000);
+        let mut page = vec![0u8; PAGE_SIZE as usize];
+        page[..18].copy_from_slice(b"very secret state!");
+        m.mc.dram_mut().write_raw(src_pa, &page).unwrap();
+        src_fw.launch_update_data(&mut m, h, src_pa, PAGE_SIZE).unwrap();
+        src_fw.launch_finish(h).unwrap();
+
+        // Send.
+        let session = src_fw.send_start(h, &dst_fw.pdh_public()).unwrap();
+        let ct = src_fw.send_update_page(&mut m, h, src_pa, 0).unwrap();
+        let tag = src_fw.send_finish(h).unwrap();
+        assert_ne!(&ct[..18], b"very secret state!", "transport is encrypted");
+
+        // Receive on the destination (same machine object for simplicity —
+        // different physical placement).
+        let rh = dst_fw.receive_start(&session, GuestPolicy::default()).unwrap();
+        let dst_pa = Hpa(0xC000);
+        dst_fw.receive_update_page(&mut m, rh, &ct, 0, dst_pa).unwrap();
+        dst_fw.receive_finish(rh, &tag).unwrap();
+
+        // Activate and read back through the engine: plaintext restored.
+        dst_fw.activate(&mut m, rh, Asid(9)).unwrap();
+        let mut back = [0u8; 18];
+        m.mc.read(dst_pa, &mut back, EncSel::Guest(Asid(9))).unwrap();
+        assert_eq!(&back, b"very secret state!");
+    }
+
+    #[test]
+    fn tampered_transport_fails_receive_finish() {
+        let (mut m, mut src_fw) = setup();
+        let mut dst_fw = Firmware::new(78);
+        dst_fw.init().unwrap();
+        let h = src_fw.launch_start(GuestPolicy::default()).unwrap();
+        let src_pa = Hpa(0x8000);
+        src_fw.launch_update_data(&mut m, h, src_pa, PAGE_SIZE).unwrap();
+        src_fw.launch_finish(h).unwrap();
+        let session = src_fw.send_start(h, &dst_fw.pdh_public()).unwrap();
+        let mut ct = src_fw.send_update_page(&mut m, h, src_pa, 0).unwrap();
+        let tag = src_fw.send_finish(h).unwrap();
+        ct[100] ^= 0xFF; // man-in-the-middle hypervisor flips a byte
+        let rh = dst_fw.receive_start(&session, GuestPolicy::default()).unwrap();
+        dst_fw.receive_update_page(&mut m, rh, &ct, 0, Hpa(0xC000)).unwrap();
+        assert_eq!(dst_fw.receive_finish(rh, &tag), Err(SevError::BadMeasurement));
+    }
+
+    #[test]
+    fn session_for_wrong_platform_fails_unwrap() {
+        let (_m, mut src_fw) = setup();
+        let mut other_fw = Firmware::new(79);
+        other_fw.init().unwrap();
+        let mut third_fw = Firmware::new(80);
+        third_fw.init().unwrap();
+        let h = src_fw.launch_start(GuestPolicy::default()).unwrap();
+        src_fw.launch_finish(h).unwrap();
+        let session = src_fw.send_start(h, &other_fw.pdh_public()).unwrap();
+        // A different machine (the colluding target the hypervisor wants)
+        // cannot unwrap the keys.
+        assert_eq!(
+            third_fw.receive_start(&session, GuestPolicy::default()).unwrap_err(),
+            SevError::BadSessionKeys
+        );
+    }
+
+    #[test]
+    fn io_helpers_roundtrip() {
+        let (mut m, mut fw) = setup();
+        let h = fw.launch_start(GuestPolicy::default()).unwrap();
+        fw.launch_finish(h).unwrap();
+        fw.activate(&mut m, h, Asid(4)).unwrap();
+        let helpers = fw.create_io_helpers(h).unwrap();
+
+        // The guest writes plaintext through the engine at Md.
+        let md = Hpa(0x6000);
+        let shared = Hpa(0x7000);
+        let md_back = Hpa(0x6800);
+        m.mc.write(md, b"disk sector data", EncSel::Guest(Asid(4))).unwrap();
+
+        // Fidelius: SEND_UPDATE (Kvek → Ktek) into the shared buffer.
+        fw.io_encrypt(&mut m, helpers.sdom, md, shared, 16, 5).unwrap();
+        let mut shared_raw = [0u8; 16];
+        m.mc.dram().read_raw(shared, &mut shared_raw).unwrap();
+        assert_ne!(&shared_raw, b"disk sector data", "shared buffer holds Ktek ciphertext");
+
+        // Fidelius: RECEIVE_UPDATE (Ktek → Kvek) back into guest memory.
+        fw.io_decrypt(&mut m, helpers.rdom, shared, md_back, 16, 5).unwrap();
+        let mut plain = [0u8; 16];
+        m.mc.read(md_back, &mut plain, EncSel::Guest(Asid(4))).unwrap();
+        assert_eq!(&plain, b"disk sector data");
+    }
+
+    #[test]
+    fn io_helpers_respect_no_key_sharing_policy() {
+        let (_m, mut fw) = setup();
+        let h = fw
+            .launch_start(GuestPolicy { no_key_sharing: true, no_debug: false })
+            .unwrap();
+        assert!(fw.create_io_helpers(h).is_err());
+    }
+
+    #[test]
+    fn helper_states_reject_wrong_direction() {
+        let (mut m, mut fw) = setup();
+        let h = fw.launch_start(GuestPolicy::default()).unwrap();
+        fw.launch_finish(h).unwrap();
+        let helpers = fw.create_io_helpers(h).unwrap();
+        // io_decrypt on the sending helper must fail, and vice versa.
+        assert!(fw.io_decrypt(&mut m, helpers.sdom, Hpa(0), Hpa(16), 16, 0).is_err());
+        assert!(fw.io_encrypt(&mut m, helpers.rdom, Hpa(0), Hpa(16), 16, 0).is_err());
+    }
+
+    #[test]
+    fn send_requires_running() {
+        let (_m, mut fw) = setup();
+        let h = fw.launch_start(GuestPolicy::default()).unwrap();
+        // Still Launching.
+        let pdh = fw.pdh_public();
+        assert!(matches!(fw.send_start(h, &pdh), Err(SevError::InvalidGuestState { .. })));
+    }
+}

@@ -1,0 +1,43 @@
+//! The SEV firmware (secure processor) simulation.
+//!
+//! AMD's SEV firmware runs in the PSP and exposes a command interface to
+//! the host: platform management (`INIT`), guest launch (`LAUNCH_*`,
+//! `ACTIVATE`, `DEACTIVATE`, `DECOMMISSION`) and transport
+//! (`SEND_*` / `RECEIVE_*`) for migration — the very APIs Fidelius
+//! retrofits for encrypted boot (§4.3.2–4.3.3) and I/O encryption
+//! (§4.3.5).
+//!
+//! This crate implements that command interface over the simulated
+//! platform of `fidelius-hw`, with real cryptography from
+//! `fidelius-crypto`:
+//!
+//! - per-guest `Kvek` generation and ASID key slots in the memory
+//!   controller ([`Firmware::activate`]);
+//! - the ECDH (X25519) session protocol deriving the key-encryption key
+//!   that wraps the transport keys `Ktek`/`Ktik` (`Kwrap` in the paper);
+//! - launch and transport measurements (SHA-256 + HMAC) so tampered
+//!   images fail `RECEIVE_FINISH`;
+//! - the s-dom / r-dom helper contexts the paper invents for SEV-based
+//!   I/O encryption;
+//! - the paper's §8 *customized keys* extension ([`gek`]): `SETENC_GEK` /
+//!   `ENC` / `DEC` instructions with first-class guest encryption keys.
+//!
+//! # Trust model
+//!
+//! The [`Firmware`] struct's private fields are the PSP's secrets. The
+//! untrusted hypervisor interacts with it *only* through these commands —
+//! exactly the paper's setting, where the hypervisor can call any command
+//! in any order (and the attacks crate does).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod gek;
+pub mod firmware;
+pub mod owner;
+
+pub use error::SevError;
+pub use firmware::{Firmware, GuestPolicy, GuestState, Handle, PlatformState};
+pub use gek::{GekEngine, GekHandle};
+pub use owner::{EncryptedImage, GuestOwner};

@@ -1,0 +1,29 @@
+//! Workload models for the paper's performance evaluation (§7).
+//!
+//! Absolute SPEC/PARSEC/fio numbers are meaningless off the authors'
+//! Ryzen testbed, so this crate reproduces the evaluation's *shape* the
+//! honest way:
+//!
+//! - [`profiles`] — per-benchmark workload characterizations (CPI,
+//!   DRAM-line traffic per kilo-instruction, exit rates, working set).
+//!   These are *inputs*, drawn from published characterizations of the
+//!   suites (mcf/omnetpp/canneal are memory-bound; bzip2/hmmer/h264ref
+//!   are not); no overhead percentage appears anywhere in them.
+//! - [`runner`] — measures the per-event costs of the *actual simulated
+//!   system* (a void hypercall round trip under vanilla Xen vs Fidelius,
+//!   an NPT update through the type-1 gate, the engine's per-line
+//!   latency) and combines them with the profiles to produce the
+//!   Figure 5/6 series.
+//! - [`fio`] — drives the real PV block path end to end under a disk
+//!   device model and measures cycles for the four fio patterns
+//!   (Table 3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fio;
+pub mod profiles;
+pub mod runner;
+
+pub use profiles::{parsec_profiles, spec_profiles, WorkloadProfile};
+pub use runner::{measure_event_costs, run_profile, Config, EventCosts, FigureRow};

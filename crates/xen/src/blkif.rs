@@ -1,0 +1,214 @@
+//! The para-virtualized block device: shared-ring protocol and the dom0
+//! back-end.
+//!
+//! A one-page ring (granted by the guest to dom0) carries requests; data
+//! moves through persistently granted buffer pages, as in the paper's
+//! description of Xen PV I/O (§2.3). The back-end is part of the untrusted
+//! management VM: whatever bytes reach the shared buffer are visible to
+//! it, which is exactly why the front-end encrypts them (AES-NI path) or
+//! Fidelius does (SEV-API path) before they land there.
+
+use crate::layout::direct_map;
+use crate::platform::Platform;
+use crate::XenError;
+use fidelius_crypto::modes::SECTOR_SIZE;
+use fidelius_hw::{Hpa, PAGE_SIZE};
+
+/// Request slots in the ring.
+pub const RING_SLOTS: u64 = 16;
+/// Bytes per slot.
+pub const SLOT_SIZE: u64 = 64;
+/// Sectors that fit in one buffer page.
+pub const SECTORS_PER_PAGE: u64 = PAGE_SIZE / SECTOR_SIZE as u64;
+
+/// Ring header offsets.
+pub const OFF_REQ_PROD: u64 = 0;
+/// Response-producer offset (written by the back-end).
+pub const OFF_RSP_PROD: u64 = 8;
+const SLOTS_BASE: u64 = 64;
+
+/// Block operation codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum BlkOp {
+    /// Read sectors from disk into the buffer.
+    Read = 0,
+    /// Write sectors from the buffer to disk.
+    Write = 1,
+}
+
+/// One ring request in its serialized form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlkRequest {
+    /// Caller-chosen id.
+    pub id: u64,
+    /// Operation.
+    pub op: BlkOp,
+    /// Starting sector.
+    pub sector: u64,
+    /// Number of sectors.
+    pub count: u64,
+    /// Index of the first buffer page used.
+    pub buf_page: u64,
+}
+
+/// Status written by the back-end into the slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum BlkStatus {
+    /// Not yet processed.
+    Pending = 0,
+    /// Completed successfully.
+    Ok = 1,
+    /// Failed (bad sector range or malformed request).
+    Error = 2,
+}
+
+/// Byte offset of slot `i` within the ring page.
+pub fn slot_offset(i: u64) -> u64 {
+    SLOTS_BASE + (i % RING_SLOTS) * SLOT_SIZE
+}
+
+/// The dom0 block back-end. It holds the disk image and its *mapped*
+/// views of the guest's granted pages (frames it obtained via
+/// `map_grant_ref`).
+#[derive(Debug, Default)]
+pub struct BlockBackend {
+    disk: Vec<u8>,
+    ring_frame: Option<Hpa>,
+    buf_frames: Vec<Hpa>,
+    req_cons: u64,
+}
+
+impl BlockBackend {
+    /// An unattached back-end.
+    pub fn new() -> Self {
+        BlockBackend::default()
+    }
+
+    /// Attaches the device: the disk image plus the granted frames.
+    pub fn attach(&mut self, disk: Vec<u8>, ring_frame: Hpa, buf_frames: Vec<Hpa>) {
+        assert_eq!(disk.len() % SECTOR_SIZE, 0, "disk must be whole sectors");
+        self.disk = disk;
+        self.ring_frame = Some(ring_frame);
+        self.buf_frames = buf_frames;
+        self.req_cons = 0;
+    }
+
+    /// Whether a device is attached.
+    pub fn is_attached(&self) -> bool {
+        self.ring_frame.is_some()
+    }
+
+    /// Disk capacity in sectors.
+    pub fn sectors(&self) -> u64 {
+        (self.disk.len() / SECTOR_SIZE) as u64
+    }
+
+    /// Raw disk contents — what a malicious driver domain can inspect at
+    /// leisure (ciphertext when the front-end encrypts).
+    pub fn disk(&self) -> &[u8] {
+        &self.disk
+    }
+
+    /// Mutable disk contents (disk-tampering attacks).
+    pub fn disk_mut(&mut self) -> &mut [u8] {
+        &mut self.disk
+    }
+
+    /// Processes all outstanding requests. Returns how many were handled.
+    ///
+    /// The back-end runs in dom0 / host context: it accesses the shared
+    /// pages through its own mappings of the granted frames.
+    ///
+    /// # Errors
+    ///
+    /// Access faults (e.g. if protection revoked the mapping).
+    pub fn process(&mut self, plat: &mut Platform) -> Result<u64, XenError> {
+        let ring = self.ring_frame.ok_or(XenError::BadBlockRequest)?;
+        let req_prod = plat.machine.host_read_u64(direct_map(ring.add(OFF_REQ_PROD)))?;
+        let mut handled = 0;
+        while self.req_cons < req_prod {
+            let slot = slot_offset(self.req_cons);
+            let id = plat.machine.host_read_u64(direct_map(ring.add(slot)))?;
+            let op = plat.machine.host_read_u64(direct_map(ring.add(slot + 8)))?;
+            let sector = plat.machine.host_read_u64(direct_map(ring.add(slot + 16)))?;
+            let count = plat.machine.host_read_u64(direct_map(ring.add(slot + 24)))?;
+            let buf_page = plat.machine.host_read_u64(direct_map(ring.add(slot + 32)))?;
+            let _ = id;
+            let status = self.handle(plat, op, sector, count, buf_page)?;
+            plat.machine
+                .host_write_u64(direct_map(ring.add(slot + 40)), status as u64)?;
+            self.req_cons += 1;
+            handled += 1;
+        }
+        // Publish responses.
+        plat.machine.host_write_u64(direct_map(ring.add(OFF_RSP_PROD)), self.req_cons)?;
+        Ok(handled)
+    }
+
+    fn handle(
+        &mut self,
+        plat: &mut Platform,
+        op: u64,
+        sector: u64,
+        count: u64,
+        buf_page: u64,
+    ) -> Result<BlkStatus, XenError> {
+        let end = sector.checked_add(count);
+        if end.is_none() || end.unwrap() > self.sectors() || count == 0 {
+            return Ok(BlkStatus::Error);
+        }
+        let pages_needed = count.div_ceil(SECTORS_PER_PAGE);
+        if buf_page + pages_needed > self.buf_frames.len() as u64 {
+            return Ok(BlkStatus::Error);
+        }
+        for s in 0..count {
+            let disk_off = ((sector + s) * SECTOR_SIZE as u64) as usize;
+            let page_idx = (buf_page + s / SECTORS_PER_PAGE) as usize;
+            let in_page = (s % SECTORS_PER_PAGE) * SECTOR_SIZE as u64;
+            let frame = self.buf_frames[page_idx];
+            let va = direct_map(frame.add(in_page));
+            match op {
+                x if x == BlkOp::Read as u64 => {
+                    let data = self.disk[disk_off..disk_off + SECTOR_SIZE].to_vec();
+                    plat.machine.host_write(va, &data)?;
+                }
+                x if x == BlkOp::Write as u64 => {
+                    let mut data = vec![0u8; SECTOR_SIZE];
+                    plat.machine.host_read(va, &mut data)?;
+                    self.disk[disk_off..disk_off + SECTOR_SIZE].copy_from_slice(&data);
+                }
+                _ => return Ok(BlkStatus::Error),
+            }
+        }
+        Ok(BlkStatus::Ok)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_offsets_wrap() {
+        assert_eq!(slot_offset(0), 64);
+        assert_eq!(slot_offset(1), 128);
+        assert_eq!(slot_offset(RING_SLOTS), 64);
+    }
+
+    #[test]
+    fn backend_attach_state() {
+        let mut b = BlockBackend::new();
+        assert!(!b.is_attached());
+        b.attach(vec![0; 2 * SECTOR_SIZE], Hpa(0x1000), vec![Hpa(0x2000)]);
+        assert!(b.is_attached());
+        assert_eq!(b.sectors(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole sectors")]
+    fn ragged_disk_panics() {
+        BlockBackend::new().attach(vec![0; 100], Hpa(0), vec![]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Domains (virtual machines) as the hypervisor tracks them.
+
+use fidelius_hw::{Asid, Hpa};
+
+/// A domain identifier. Domain 0 is the management VM / driver domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DomainId(pub u16);
+
+impl DomainId {
+    /// The management VM.
+    pub const DOM0: DomainId = DomainId(0);
+}
+
+/// Domain lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomainState {
+    /// Created but not yet runnable (memory/kernel being prepared).
+    Building,
+    /// Runnable.
+    Ready,
+    /// Shut down; resources reclaimed.
+    Dead,
+}
+
+/// Per-domain hypervisor bookkeeping. Fields are public within the crate's
+/// spirit of "the hypervisor can read its own structures"; protection of
+/// the *resources they point to* is the Guardian's business.
+#[derive(Debug)]
+pub struct Domain {
+    /// Domain id.
+    pub id: DomainId,
+    /// ASID used for this domain's VMCB (and SEV key slot, if SEV).
+    pub asid: Asid,
+    /// Whether the domain runs with SEV memory encryption.
+    pub sev: bool,
+    /// Physical address of the domain's VMCB.
+    pub vmcb_pa: Hpa,
+    /// Root of the domain's nested page table.
+    pub npt_root: Hpa,
+    /// Frames donated to the guest: GPA `i * 4096` is backed by
+    /// `frames[i]` once mapped. `None` = not yet populated (NPT violation
+    /// will allocate on first touch).
+    pub frames: Vec<Option<Hpa>>,
+    /// The hypervisor's save slot for this domain's GPRs across context
+    /// switches (unencrypted memory in real Xen — readable by the host).
+    pub gpr_save: [u64; 16],
+    /// Saved guest RIP/RSP for scheduling.
+    pub rip: u64,
+    /// Lifecycle state.
+    pub state: DomainState,
+    /// SEV firmware handle, when the *hypervisor* manages SEV itself
+    /// (vanilla mode). Under Fidelius this stays `None`: the handle is
+    /// SEV metadata self-maintained in Fidelius-private memory.
+    pub sev_handle: Option<fidelius_sev::Handle>,
+    /// Pending event-channel ports.
+    pub pending_events: Vec<u32>,
+    /// Whether new NPT leaf mappings get the C-bit (Fidelius-enc / SME
+    /// simulation of SEV overhead).
+    pub npt_c_default: bool,
+}
+
+impl Domain {
+    /// Creates the bookkeeping for a domain of `mem_pages` pages.
+    pub fn new(id: DomainId, asid: Asid, vmcb_pa: Hpa, npt_root: Hpa, mem_pages: u64) -> Self {
+        Domain {
+            id,
+            asid,
+            sev: false,
+            vmcb_pa,
+            npt_root,
+            frames: vec![None; mem_pages as usize],
+            gpr_save: [0; 16],
+            rip: 0,
+            state: DomainState::Building,
+            sev_handle: None,
+            pending_events: Vec::new(),
+            npt_c_default: false,
+        }
+    }
+
+    /// Number of guest-physical pages this domain may use.
+    pub fn mem_pages(&self) -> u64 {
+        self.frames.len() as u64
+    }
+
+    /// The backing frame for a guest page, if populated.
+    pub fn frame_of(&self, gpa_page: u64) -> Option<Hpa> {
+        self.frames.get(gpa_page as usize).copied().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_basics() {
+        let d = Domain::new(DomainId(1), Asid(1), Hpa(0x1000), Hpa(0x2000), 8);
+        assert_eq!(d.mem_pages(), 8);
+        assert_eq!(d.frame_of(3), None);
+        assert_eq!(d.frame_of(100), None);
+        assert_eq!(d.state, DomainState::Building);
+    }
+}

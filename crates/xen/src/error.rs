@@ -1,0 +1,91 @@
+//! Errors for the hypervisor stack.
+
+use crate::domain::DomainId;
+use crate::guardian::GuardError;
+use fidelius_hw::{Fault, HwError};
+use fidelius_sev::SevError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfacing from hypervisor operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum XenError {
+    /// A hardware-level error.
+    Hw(HwError),
+    /// An architectural fault that was not handled.
+    Fault(Fault),
+    /// A SEV firmware command failed.
+    Sev(SevError),
+    /// The Guardian refused an operation (policy violation).
+    Guard(GuardError),
+    /// No such domain.
+    NoSuchDomain(DomainId),
+    /// The domain is in the wrong state.
+    BadDomainState(DomainId),
+    /// A hypercall was malformed or unknown.
+    BadHypercall(u64),
+    /// A grant-table operation failed (bad reference, permission, …).
+    BadGrant(u64),
+    /// Block device error (out-of-range sector, bad request).
+    BadBlockRequest,
+    /// A guest physical address outside the domain's memory.
+    BadGpa(u64),
+    /// Out of guest memory or heap frames.
+    OutOfMemory,
+}
+
+impl fmt::Display for XenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XenError::Hw(e) => write!(f, "hardware error: {e}"),
+            XenError::Fault(e) => write!(f, "unhandled fault: {e}"),
+            XenError::Sev(e) => write!(f, "sev error: {e}"),
+            XenError::Guard(e) => write!(f, "guardian refused: {e}"),
+            XenError::NoSuchDomain(d) => write!(f, "no such domain {}", d.0),
+            XenError::BadDomainState(d) => write!(f, "domain {} in wrong state", d.0),
+            XenError::BadHypercall(nr) => write!(f, "bad hypercall {nr}"),
+            XenError::BadGrant(r) => write!(f, "bad grant reference {r}"),
+            XenError::BadBlockRequest => write!(f, "bad block request"),
+            XenError::BadGpa(g) => write!(f, "guest physical address {g:#x} out of range"),
+            XenError::OutOfMemory => write!(f, "out of memory"),
+        }
+    }
+}
+
+impl Error for XenError {}
+
+impl From<HwError> for XenError {
+    fn from(e: HwError) -> Self {
+        XenError::Hw(e)
+    }
+}
+
+impl From<Fault> for XenError {
+    fn from(e: Fault) -> Self {
+        XenError::Fault(e)
+    }
+}
+
+impl From<SevError> for XenError {
+    fn from(e: SevError) -> Self {
+        XenError::Sev(e)
+    }
+}
+
+impl From<GuardError> for XenError {
+    fn from(e: GuardError) -> Self {
+        XenError::Guard(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(XenError::NoSuchDomain(DomainId(3)).to_string(), "no such domain 3");
+        assert_eq!(XenError::BadHypercall(99).to_string(), "bad hypercall 99");
+    }
+}

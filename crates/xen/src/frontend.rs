@@ -1,0 +1,273 @@
+//! The guest side: physical layout, the PV block front-end driver state,
+//! and guest page-table construction.
+//!
+//! Everything here executes with the CPU in guest mode, through the
+//! guest access paths only — the front-end is part of the *trusted* guest
+//! kernel and never touches host structures directly.
+
+use crate::blkif::{slot_offset, BlkOp, BlkStatus, OFF_REQ_PROD, SECTORS_PER_PAGE};
+use crate::events::Port;
+use fidelius_crypto::modes::{SectorCipher, SECTOR_SIZE};
+use fidelius_crypto::Key128;
+use fidelius_hw::cpu::Machine;
+use fidelius_hw::paging::PtAccess;
+use fidelius_hw::{Fault, Gpa, Hpa, HwError, PAGE_SIZE};
+
+/// Guest-physical page numbers of the standard guest layout.
+pub mod gplayout {
+    /// First page of the kernel image.
+    pub const KERNEL_PAGE: u64 = 16;
+    /// First page of the ring.
+    pub const RING_PAGE: u64 = 96;
+    /// First page of the shared I/O buffer.
+    pub const BUF_PAGE: u64 = 97;
+    /// Number of shared I/O buffer pages.
+    pub const BUF_PAGES: u64 = 8;
+    /// First page of the dedicated `Md` buffer (SEV-API I/O path).
+    pub const MD_PAGE: u64 = 112;
+    /// Number of `Md` pages.
+    pub const MD_PAGES: u64 = 8;
+    /// First page of the guest's page-table pool.
+    pub const PT_POOL_PAGE: u64 = 128;
+    /// Pages in the page-table pool.
+    pub const PT_POOL_PAGES: u64 = 32;
+    /// First page of the guest heap / workload region.
+    pub const HEAP_PAGE: u64 = 160;
+}
+
+/// How the front-end protects disk I/O data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoPath {
+    /// No protection: plaintext in the shared buffer (vanilla Xen).
+    Plain,
+    /// Guest-side AES with hardware acceleration under `Kblk`
+    /// (paper §4.3.5, left path).
+    AesNi,
+    /// Guest-side software-emulated AES under `Kblk` (the slow baseline
+    /// of micro-benchmark 3).
+    SoftCrypto,
+    /// The retrofitted SEV-API path through the s-dom/r-dom helpers
+    /// (paper §4.3.5, right path).
+    SevApi,
+}
+
+/// Per-domain front-end driver state.
+#[derive(Debug)]
+pub struct FrontEnd {
+    /// Data-protection path.
+    pub io_path: IoPath,
+    /// The disk key (embedded in the kernel image by the owner).
+    kblk: Option<SectorCipher>,
+    /// The event-channel port to the back-end.
+    pub port: Port,
+    /// Request producer index (mirrors the ring header).
+    pub req_prod: u64,
+    next_id: u64,
+}
+
+impl FrontEnd {
+    /// Creates the front-end state. `kblk` is required for the AES paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an AES path is selected without a key.
+    pub fn new(io_path: IoPath, kblk: Option<Key128>, port: Port) -> Self {
+        if matches!(io_path, IoPath::AesNi | IoPath::SoftCrypto) {
+            assert!(kblk.is_some(), "AES I/O paths need Kblk");
+        }
+        FrontEnd {
+            io_path,
+            kblk: kblk.map(|k| SectorCipher::new(&k)),
+            port,
+            req_prod: 0,
+            next_id: 1,
+        }
+    }
+
+    /// Whether this path stages data through the `Md` buffer (Fidelius
+    /// transforms it on the host side).
+    pub fn uses_md(&self) -> bool {
+        self.io_path == IoPath::SevApi
+    }
+
+    /// Stages `data` (whole sectors) for a disk write: encrypts per the
+    /// I/O path and writes it into the appropriate guest buffer. Runs in
+    /// guest mode. Returns the buffer page index used.
+    ///
+    /// # Errors
+    ///
+    /// Guest access faults (NPF must be handled by the caller loop).
+    pub fn stage_write_data(
+        &mut self,
+        machine: &mut Machine,
+        sector: u64,
+        data: &[u8],
+    ) -> Result<u64, Fault> {
+        assert_eq!(data.len() % SECTOR_SIZE, 0, "whole sectors only");
+        let count = (data.len() / SECTOR_SIZE) as u64;
+        assert!(count <= gplayout::BUF_PAGES * SECTORS_PER_PAGE, "request too large");
+        match self.io_path {
+            IoPath::Plain => {
+                machine.guest_write_gpa(Gpa(gplayout::BUF_PAGE * PAGE_SIZE), data, false)?;
+            }
+            IoPath::AesNi | IoPath::SoftCrypto => {
+                let cipher = self.kblk.as_ref().expect("AES path has Kblk");
+                let mut ct = data.to_vec();
+                for (i, s) in ct.chunks_mut(SECTOR_SIZE).enumerate() {
+                    cipher.encrypt_sector(sector + i as u64, s);
+                }
+                let lines = (data.len() as u64).div_ceil(fidelius_hw::CACHE_LINE);
+                let per_line = if self.io_path == IoPath::AesNi {
+                    machine.cost.aesni_line
+                } else {
+                    machine.cost.soft_aes_line
+                };
+                machine.cycles.charge(lines as f64 * per_line);
+                machine.guest_write_gpa(Gpa(gplayout::BUF_PAGE * PAGE_SIZE), &ct, false)?;
+            }
+            IoPath::SevApi => {
+                // Plaintext into Md; it rests Kvek-encrypted. Fidelius
+                // moves it to the shared buffer via SEND_UPDATE.
+                machine.guest_write_gpa(Gpa(gplayout::MD_PAGE * PAGE_SIZE), data, true)?;
+            }
+        }
+        Ok(0)
+    }
+
+    /// Retrieves `count` sectors of read data after the back-end (and, for
+    /// the SEV path, Fidelius) filled the buffers. Runs in guest mode.
+    ///
+    /// # Errors
+    ///
+    /// Guest access faults.
+    pub fn retrieve_read_data(
+        &mut self,
+        machine: &mut Machine,
+        sector: u64,
+        count: u64,
+    ) -> Result<Vec<u8>, Fault> {
+        let len = (count as usize) * SECTOR_SIZE;
+        let mut data = vec![0u8; len];
+        match self.io_path {
+            IoPath::Plain => {
+                machine.guest_read_gpa(Gpa(gplayout::BUF_PAGE * PAGE_SIZE), &mut data, false)?;
+            }
+            IoPath::AesNi | IoPath::SoftCrypto => {
+                machine.guest_read_gpa(Gpa(gplayout::BUF_PAGE * PAGE_SIZE), &mut data, false)?;
+                let cipher = self.kblk.as_ref().expect("AES path has Kblk");
+                for (i, s) in data.chunks_mut(SECTOR_SIZE).enumerate() {
+                    cipher.decrypt_sector(sector + i as u64, s);
+                }
+                let lines = (len as u64).div_ceil(fidelius_hw::CACHE_LINE);
+                let per_line = if self.io_path == IoPath::AesNi {
+                    machine.cost.aesni_line
+                } else {
+                    machine.cost.soft_aes_line
+                };
+                machine.cycles.charge(lines as f64 * per_line);
+            }
+            IoPath::SevApi => {
+                machine.guest_read_gpa(Gpa(gplayout::MD_PAGE * PAGE_SIZE), &mut data, true)?;
+            }
+        }
+        Ok(data)
+    }
+
+    /// Pushes one request into the ring (guest mode) and bumps the
+    /// producer index. Returns the slot index used.
+    ///
+    /// # Errors
+    ///
+    /// Guest access faults.
+    pub fn push_request(
+        &mut self,
+        machine: &mut Machine,
+        op: BlkOp,
+        sector: u64,
+        count: u64,
+        buf_page: u64,
+    ) -> Result<u64, Fault> {
+        let ring = Gpa(gplayout::RING_PAGE * PAGE_SIZE);
+        let slot = slot_offset(self.req_prod);
+        let id = self.next_id;
+        self.next_id += 1;
+        let fields = [id, op as u64, sector, count, buf_page, BlkStatus::Pending as u64];
+        for (i, v) in fields.iter().enumerate() {
+            machine.guest_write_gpa(Gpa(ring.0 + slot + 8 * i as u64), &v.to_le_bytes(), false)?;
+        }
+        let this_slot = self.req_prod;
+        self.req_prod += 1;
+        machine.guest_write_gpa(
+            Gpa(ring.0 + OFF_REQ_PROD),
+            &self.req_prod.to_le_bytes(),
+            false,
+        )?;
+        Ok(this_slot)
+    }
+
+    /// Reads the status of a previously pushed slot (guest mode).
+    ///
+    /// # Errors
+    ///
+    /// Guest access faults.
+    pub fn slot_status(&self, machine: &mut Machine, slot: u64) -> Result<BlkStatus, Fault> {
+        let ring = Gpa(gplayout::RING_PAGE * PAGE_SIZE);
+        let mut b = [0u8; 8];
+        machine.guest_read_gpa(Gpa(ring.0 + slot_offset(slot) + 40), &mut b, false)?;
+        Ok(match u64::from_le_bytes(b) {
+            1 => BlkStatus::Ok,
+            2 => BlkStatus::Error,
+            _ => BlkStatus::Pending,
+        })
+    }
+}
+
+/// Page-table access through guest-physical memory: how the guest kernel
+/// builds its own stage-1 tables. With `encrypted` set (SEV guests), the
+/// table bytes rest under the guest's `Kvek`, invisible to the host.
+pub struct GuestPtAccess<'a> {
+    machine: &'a mut Machine,
+    encrypted: bool,
+}
+
+impl<'a> GuestPtAccess<'a> {
+    /// Guest-mode page-table access; `encrypted` for SEV guests.
+    pub fn new(machine: &'a mut Machine, encrypted: bool) -> Self {
+        GuestPtAccess { machine, encrypted }
+    }
+}
+
+impl PtAccess for GuestPtAccess<'_> {
+    fn read_entry(&mut self, pa: Hpa) -> Result<u64, HwError> {
+        let mut b = [0u8; 8];
+        self.machine
+            .guest_read_gpa(Gpa(pa.0), &mut b, self.encrypted)
+            .map_err(HwError::Fault)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn write_entry(&mut self, pa: Hpa, value: u64) -> Result<(), HwError> {
+        self.machine
+            .guest_write_gpa(Gpa(pa.0), &value.to_le_bytes(), self.encrypted)
+            .map_err(HwError::Fault)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn front_end_paths_need_keys() {
+        let fe = FrontEnd::new(IoPath::Plain, None, 1);
+        assert!(!fe.uses_md());
+        let fe = FrontEnd::new(IoPath::SevApi, None, 1);
+        assert!(fe.uses_md());
+    }
+
+    #[test]
+    #[should_panic(expected = "need Kblk")]
+    fn aesni_without_key_panics() {
+        let _ = FrontEnd::new(IoPath::AesNi, None, 1);
+    }
+}

@@ -1,0 +1,84 @@
+//! Hypercall numbers and ABI.
+//!
+//! Calling convention (VMMCALL): `RAX` = hypercall number, arguments in
+//! `RDI`, `RSI`, `RDX`, `R10`; the return value comes back in `RAX`.
+
+/// A no-op hypercall — used by the paper's micro-benchmark 2 to measure
+/// the shadow+check round-trip cost.
+pub const HC_VOID: u64 = 0;
+/// `evtchn_send(port)`.
+pub const HC_EVTCHN_SEND: u64 = 1;
+/// `grant_table_op(sub_op, …)`; see [`GrantOp`].
+pub const HC_GRANT_TABLE_OP: u64 = 2;
+/// Fidelius's additional `pre_sharing_op(target, gpa_page, nframes|writable)`
+/// hypercall (§4.3.7). Vanilla Xen returns [`RET_ENOSYS`].
+pub const HC_PRE_SHARING_OP: u64 = 3;
+/// Fidelius-enc: ask for the C-bit to be set on the guest's free pages so
+/// subsequently allocated memory is SME-encrypted (§7.1).
+pub const HC_MEM_ENCRYPT: u64 = 4;
+/// Console write (debugging).
+pub const HC_CONSOLE_IO: u64 = 5;
+
+/// Sub-operations of `grant_table_op`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum GrantOp {
+    /// Owner creates a grant: args (grantee, gpa_page, writable) → ref.
+    GrantAccess = 0,
+    /// Grantee maps a granted frame: args (ref, dest_gpa_page, writable).
+    MapGrantRef = 1,
+    /// Grantee unmaps: args (ref, dest_gpa_page).
+    UnmapGrantRef = 2,
+    /// Owner revokes a grant: args (ref).
+    EndAccess = 3,
+}
+
+impl GrantOp {
+    /// Decodes a sub-op number.
+    pub fn from_raw(v: u64) -> Option<GrantOp> {
+        Some(match v {
+            0 => GrantOp::GrantAccess,
+            1 => GrantOp::MapGrantRef,
+            2 => GrantOp::UnmapGrantRef,
+            3 => GrantOp::EndAccess,
+            _ => return None,
+        })
+    }
+}
+
+/// Success return value.
+pub const RET_OK: u64 = 0;
+/// Generic failure.
+pub const RET_ERROR: u64 = u64::MAX;
+/// Unknown hypercall.
+pub const RET_ENOSYS: u64 = u64::MAX - 1;
+/// Permission denied (policy).
+pub const RET_EPERM: u64 = u64::MAX - 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_op_roundtrip() {
+        for op in [
+            GrantOp::GrantAccess,
+            GrantOp::MapGrantRef,
+            GrantOp::UnmapGrantRef,
+            GrantOp::EndAccess,
+        ] {
+            assert_eq!(GrantOp::from_raw(op as u64), Some(op));
+        }
+        assert_eq!(GrantOp::from_raw(17), None);
+    }
+
+    #[test]
+    fn return_codes_are_distinct() {
+        let codes = [RET_OK, RET_ERROR, RET_ENOSYS, RET_EPERM];
+        for (i, a) in codes.iter().enumerate() {
+            for b in codes.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

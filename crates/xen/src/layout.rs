@@ -1,0 +1,155 @@
+//! Host virtual-memory layout and the hypervisor "code image".
+//!
+//! The hypervisor's code is a real byte blob in simulated memory: NOP
+//! sled with the privileged instructions' opcode bytes planted at known
+//! sites. Fidelius's binary scanner scans these actual bytes, and the CPU
+//! verifies them at execution time, so "the instruction exists only in
+//! Fidelius's code" is a checkable property of memory contents.
+
+use fidelius_hw::{Hva, PAGE_SIZE};
+
+/// Base of the hypervisor code region (host virtual).
+pub const XEN_CODE_BASE: Hva = Hva(0x4000_0000);
+/// Pages of hypervisor code.
+pub const XEN_CODE_PAGES: u64 = 16;
+/// Base of the hypervisor data region (heap) — host virtual.
+pub const XEN_DATA_BASE: Hva = Hva(0x4800_0000);
+/// Pages of hypervisor data.
+pub const XEN_DATA_PAGES: u64 = 64;
+/// Base of the direct map: host virtual `DIRECT_MAP_BASE + pa` ↦ `pa`.
+pub const DIRECT_MAP_BASE: Hva = Hva(0x100_0000_0000);
+
+/// Base of the Fidelius code region.
+pub const FIDELIUS_CODE_BASE: Hva = Hva(0x6000_0000);
+/// Pages of Fidelius code.
+pub const FIDELIUS_CODE_PAGES: u64 = 8;
+/// Base of Fidelius private data (shadow states, SEV metadata) — unmapped
+/// from the hypervisor's address space.
+pub const FIDELIUS_DATA_BASE: Hva = Hva(0x6800_0000);
+/// Pages of Fidelius private data.
+pub const FIDELIUS_DATA_PAGES: u64 = 64;
+
+/// Translates a physical address through the direct map.
+pub fn direct_map(pa: fidelius_hw::Hpa) -> Hva {
+    Hva(DIRECT_MAP_BASE.0 + pa.0)
+}
+
+/// Where each privileged instruction's bytes live inside a code region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstrSites {
+    /// `mov cr0, reg`.
+    pub write_cr0: Hva,
+    /// `mov cr3, reg`.
+    pub write_cr3: Hva,
+    /// `mov cr4, reg`.
+    pub write_cr4: Hva,
+    /// `wrmsr`.
+    pub wrmsr: Hva,
+    /// `vmrun`.
+    pub vmrun: Hva,
+    /// `invlpg`.
+    pub invlpg: Hva,
+    /// `lgdt`.
+    pub lgdt: Hva,
+    /// `lidt`.
+    pub lidt: Hva,
+    /// `cli`.
+    pub cli: Hva,
+    /// `sti`.
+    pub sti: Hva,
+}
+
+/// Offsets (within a code region) where [`build_code_image`] plants each
+/// instruction.
+pub const OFF_WRITE_CR0: u64 = 0x100;
+/// Offset of `mov cr4`.
+pub const OFF_WRITE_CR4: u64 = 0x120;
+/// Offset of `wrmsr`.
+pub const OFF_WRMSR: u64 = 0x140;
+/// Offset of `invlpg`.
+pub const OFF_INVLPG: u64 = 0x160;
+/// Offset of `lgdt`.
+pub const OFF_LGDT: u64 = 0x180;
+/// Offset of `lidt`.
+pub const OFF_LIDT: u64 = 0x1A0;
+/// Offset of `cli`.
+pub const OFF_CLI: u64 = 0x1C0;
+/// Offset of `sti`.
+pub const OFF_STI: u64 = 0x1D0;
+/// Offset of `vmrun` — on its own page so it can be unmapped separately.
+pub const OFF_VMRUN: u64 = 2 * PAGE_SIZE + 0x10;
+/// Offset of `mov cr3` — placed in the last bytes of its page, per the
+/// paper's §4.1.2 trick: the instruction's page is normally unmapped, and
+/// the *following* page (holding the subsequent instructions) stays mapped
+/// in all address spaces so execution can continue after the switch.
+pub const OFF_WRITE_CR3: u64 = 4 * PAGE_SIZE - 3;
+
+/// Builds a code image of `pages` pages: a NOP sled with the privileged
+/// instructions' encodings planted at the `OFF_*` offsets, and returns the
+/// site table for a region based at `base`.
+///
+/// # Panics
+///
+/// Panics if `pages` is too small to hold all sites (needs ≥ 5 pages).
+pub fn build_code_image(base: Hva, pages: u64) -> (Vec<u8>, InstrSites) {
+    assert!(pages >= 5, "code image needs at least 5 pages");
+    let mut code = vec![0x90u8; (pages * PAGE_SIZE) as usize];
+    let mut plant = |off: u64, bytes: &[u8]| {
+        code[off as usize..off as usize + bytes.len()].copy_from_slice(bytes);
+    };
+    plant(OFF_WRITE_CR0, &[0x0F, 0x22, 0xC0]);
+    plant(OFF_WRITE_CR4, &[0x0F, 0x22, 0xE0]);
+    plant(OFF_WRMSR, &[0x0F, 0x30]);
+    plant(OFF_INVLPG, &[0x0F, 0x01, 0x38]);
+    plant(OFF_LGDT, &[0x0F, 0x01, 0x10]);
+    plant(OFF_LIDT, &[0x0F, 0x01, 0x18]);
+    plant(OFF_CLI, &[0xFA]);
+    plant(OFF_STI, &[0xFB]);
+    plant(OFF_VMRUN, &[0x0F, 0x01, 0xD8]);
+    plant(OFF_WRITE_CR3, &[0x0F, 0x22, 0xD8]);
+    let site = |off: u64| base.add(off);
+    let sites = InstrSites {
+        write_cr0: site(OFF_WRITE_CR0),
+        write_cr3: site(OFF_WRITE_CR3),
+        write_cr4: site(OFF_WRITE_CR4),
+        wrmsr: site(OFF_WRMSR),
+        vmrun: site(OFF_VMRUN),
+        invlpg: site(OFF_INVLPG),
+        lgdt: site(OFF_LGDT),
+        lidt: site(OFF_LIDT),
+        cli: site(OFF_CLI),
+        sti: site(OFF_STI),
+    };
+    (code, sites)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_has_instructions_at_sites() {
+        let (code, sites) = build_code_image(XEN_CODE_BASE, XEN_CODE_PAGES);
+        assert_eq!(code.len() as u64, XEN_CODE_PAGES * PAGE_SIZE);
+        let off = (sites.vmrun.0 - XEN_CODE_BASE.0) as usize;
+        assert_eq!(&code[off..off + 3], &[0x0F, 0x01, 0xD8]);
+        let off = (sites.write_cr3.0 - XEN_CODE_BASE.0) as usize;
+        assert_eq!(&code[off..off + 3], &[0x0F, 0x22, 0xD8]);
+        // mov cr3 straddles the end of its page.
+        assert_eq!((sites.write_cr3.0 + 3) % PAGE_SIZE, 0);
+    }
+
+    #[test]
+    fn vmrun_and_cr3_on_distinct_pages_from_common_code() {
+        let (_, sites) = build_code_image(XEN_CODE_BASE, XEN_CODE_PAGES);
+        assert_ne!(sites.vmrun.pfn(), sites.write_cr0.pfn());
+        assert_ne!(sites.write_cr3.pfn(), sites.write_cr0.pfn());
+        assert_ne!(sites.vmrun.pfn(), sites.write_cr3.pfn());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 5 pages")]
+    fn too_small_image_panics() {
+        build_code_image(XEN_CODE_BASE, 2);
+    }
+}

@@ -1,0 +1,53 @@
+//! A Xen-like hypervisor over the simulated AMD platform.
+//!
+//! This crate provides the *service-provisioning* software stack the paper
+//! assumes: domain lifecycle, nested paging with an NPT-violation handler,
+//! the grant-table memory-sharing mechanism, event channels, a
+//! para-virtualized block device (front-end/back-end with a shared ring),
+//! hypercalls, and a round-robin scheduler. The *management VM* (dom0,
+//! the driver domain) is part of this untrusted stack: the block back-end
+//! runs there and sees every byte that crosses the shared buffers.
+//!
+//! # The Guardian seam
+//!
+//! The paper's whole point is separating *resource management* from
+//! *service provisioning*. This crate therefore routes every touch of a
+//! critical resource through the [`guardian::Guardian`] trait:
+//!
+//! - NPT entry updates (after NPT violations, grant mappings, …);
+//! - host page-table updates;
+//! - grant-table entry updates;
+//! - the guest entry/exit boundary (VMRUN / #VMEXIT);
+//! - privileged-instruction execution;
+//! - the PV I/O data transform (plain copy vs AES-NI vs the SEV API path).
+//!
+//! [`guardian::Unprotected`] implements vanilla Xen behaviour (direct
+//! writes, no checks) — the baseline and the victim of the attacks crate.
+//! `fidelius-core` provides the protected implementation. Because the
+//! hypervisor's accesses go through the *CPU's* translation (never raw
+//! DRAM), a malicious hypervisor that skips its Guardian and writes
+//! directly still ends up in Fidelius's fault handler: the protection is
+//! non-bypassable memory isolation, not a Rust interface.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blkif;
+pub mod domain;
+pub mod error;
+pub mod events;
+pub mod frontend;
+pub mod grants;
+pub mod guardian;
+pub mod hypercall;
+pub mod hypervisor;
+pub mod layout;
+pub mod platform;
+pub mod system;
+pub mod xenstore;
+
+pub use domain::{Domain, DomainId, DomainState};
+pub use error::XenError;
+pub use guardian::{GuardError, Guardian, Unprotected};
+pub use platform::Platform;
+pub use system::System;

@@ -1,0 +1,710 @@
+//! The system orchestrator: wires platform, hypervisor, guardian, guest
+//! front-ends and the dom0 back-end together and drives world switches.
+//!
+//! The "guest kernel" is modelled as orchestrated sequences of guest-mode
+//! operations (stage-1 page-table construction, front-end driver calls,
+//! hypercalls); every memory touch goes through the CPU's checked guest
+//! paths, every host service through the #VMEXIT → handle → VMRUN cycle,
+//! so the protection semantics are exactly those of the simulated
+//! hardware.
+
+use crate::blkif::{BlkOp, BlkStatus, SECTORS_PER_PAGE};
+use crate::domain::{DomainId, DomainState};
+use crate::frontend::{gplayout, FrontEnd, GuestPtAccess, IoPath};
+use crate::grants::read_entry_phys;
+use crate::guardian::{Guardian, IoDir};
+use crate::hypercall::*;
+use crate::hypervisor::{ExitAction, Hypervisor};
+use crate::layout::direct_map;
+use crate::platform::Platform;
+use crate::XenError;
+use fidelius_crypto::modes::SECTOR_SIZE;
+use fidelius_crypto::Key128;
+use fidelius_hw::mem::FrameAllocator;
+use fidelius_hw::paging::{Mapper, PTE_C_BIT, PTE_WRITABLE};
+use fidelius_hw::regs::Gpr;
+use fidelius_hw::vmcb::ExitCode;
+use fidelius_hw::{Fault, Gpa, Hpa, PAGE_SIZE};
+use std::collections::HashMap;
+
+/// Configuration for creating a guest.
+#[derive(Debug, Clone)]
+pub struct GuestConfig {
+    /// Guest memory size in pages.
+    pub mem_pages: u64,
+    /// Enable SEV (vanilla hypervisor-managed launch flow).
+    pub sev: bool,
+    /// Plaintext kernel image, loaded at [`gplayout::KERNEL_PAGE`].
+    pub kernel: Vec<u8>,
+}
+
+impl Default for GuestConfig {
+    fn default() -> Self {
+        GuestConfig { mem_pages: 256, sev: false, kernel: b"default kernel".to_vec() }
+    }
+}
+
+/// The full system under test.
+pub struct System {
+    /// Hardware + firmware.
+    pub plat: Platform,
+    /// The hypervisor.
+    pub xen: Hypervisor,
+    /// The protection layer (vanilla or Fidelius).
+    pub guardian: Box<dyn Guardian>,
+    /// Per-domain front-end driver state.
+    pub frontends: HashMap<DomainId, FrontEnd>,
+    current_guest: Option<DomainId>,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("guardian", &self.guardian.name())
+            .field("domains", &self.xen.domains.len())
+            .finish()
+    }
+}
+
+impl System {
+    /// Boots the platform, initializes the hypervisor and late-launches
+    /// the guardian.
+    ///
+    /// # Errors
+    ///
+    /// Boot/initialization failures.
+    pub fn new(
+        dram_size: u64,
+        seed: u64,
+        mut guardian: Box<dyn Guardian>,
+    ) -> Result<Self, XenError> {
+        let (mut plat, boot) = Platform::boot(dram_size, seed)?;
+        let xen = Hypervisor::init(&mut plat, boot)?;
+        guardian.late_launch(&mut plat, &xen.late_launch_info())?;
+        Ok(System { plat, xen, guardian, frontends: HashMap::new(), current_guest: None })
+    }
+
+    /// The domain currently in guest mode, if any.
+    pub fn current_guest(&self) -> Option<DomainId> {
+        self.current_guest
+    }
+
+    // ----- world switching -------------------------------------------------
+
+    /// Enters `dom` (host → guest).
+    ///
+    /// # Errors
+    ///
+    /// Guardian integrity rejections, faults.
+    pub fn enter(&mut self, dom: DomainId) -> Result<(), XenError> {
+        assert!(self.current_guest.is_none(), "already in guest mode");
+        let d = self.xen.domains.get_mut(&dom).ok_or(XenError::NoSuchDomain(dom))?;
+        self.guardian.enter_guest(&mut self.plat, d)?;
+        self.current_guest = Some(dom);
+        Ok(())
+    }
+
+    /// Exits the current guest with `code` and lets the hypervisor handle
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Handler failures.
+    pub fn exit_and_handle(
+        &mut self,
+        code: ExitCode,
+        info1: u64,
+        info2: u64,
+    ) -> Result<ExitAction, XenError> {
+        let dom = self.current_guest.take().expect("no guest to exit");
+        self.plat.machine.vmexit(code, info1, info2)?;
+        let d = self.xen.domains.get_mut(&dom).ok_or(XenError::NoSuchDomain(dom))?;
+        self.guardian.on_vmexit(&mut self.plat, d)?;
+        self.xen.handle_exit(&mut self.plat, &mut *self.guardian, dom)
+    }
+
+    /// Ensures the CPU is in `dom`'s guest context.
+    ///
+    /// # Errors
+    ///
+    /// World-switch failures.
+    pub fn ensure_guest(&mut self, dom: DomainId) -> Result<(), XenError> {
+        match self.current_guest {
+            Some(d) if d == dom => Ok(()),
+            Some(_) => {
+                self.exit_and_handle(ExitCode::Hlt, 0, 0)?;
+                self.enter(dom)
+            }
+            None => self.enter(dom),
+        }
+    }
+
+    /// Ensures the CPU is in host mode (yielding the current guest).
+    ///
+    /// # Errors
+    ///
+    /// World-switch failures.
+    pub fn ensure_host(&mut self) -> Result<(), XenError> {
+        if self.current_guest.is_some() {
+            self.exit_and_handle(ExitCode::Hlt, 0, 0)?;
+        }
+        Ok(())
+    }
+
+    /// Issues a hypercall from `dom` and returns the value in RAX.
+    ///
+    /// # Errors
+    ///
+    /// World-switch and handler failures.
+    pub fn hypercall(
+        &mut self,
+        dom: DomainId,
+        nr: u64,
+        args: [u64; 4],
+    ) -> Result<u64, XenError> {
+        self.ensure_guest(dom)?;
+        let regs = &mut self.plat.machine.cpu.regs;
+        regs.set(Gpr::Rax, nr);
+        regs.set(Gpr::Rdi, args[0]);
+        regs.set(Gpr::Rsi, args[1]);
+        regs.set(Gpr::Rdx, args[2]);
+        regs.set(Gpr::R10, args[3]);
+        let action = self.exit_and_handle(ExitCode::Vmmcall, 0, 0)?;
+        debug_assert_eq!(action, ExitAction::Resume);
+        self.enter(dom)?;
+        Ok(self.plat.machine.cpu.regs.get(Gpr::Rax))
+    }
+
+    // ----- guest memory with NPF handling ------------------------------------
+
+    /// Guest-physical write with transparent NPF handling (exit → allocate
+    /// → map → retry), as real hardware+hypervisor would do.
+    ///
+    /// # Errors
+    ///
+    /// Unresolvable faults.
+    pub fn gpa_write(
+        &mut self,
+        dom: DomainId,
+        gpa: Gpa,
+        data: &[u8],
+        encrypted: bool,
+    ) -> Result<(), XenError> {
+        self.ensure_guest(dom)?;
+        loop {
+            match self.plat.machine.guest_write_gpa(gpa, data, encrypted) {
+                Ok(()) => return Ok(()),
+                Err(Fault::NestedPageFault { gpa: fgpa, .. }) => {
+                    self.npf_roundtrip(dom, fgpa)?;
+                }
+                Err(f) => return Err(f.into()),
+            }
+        }
+    }
+
+    /// Guest-physical read with transparent NPF handling.
+    ///
+    /// # Errors
+    ///
+    /// Unresolvable faults.
+    pub fn gpa_read(
+        &mut self,
+        dom: DomainId,
+        gpa: Gpa,
+        buf: &mut [u8],
+        encrypted: bool,
+    ) -> Result<(), XenError> {
+        self.ensure_guest(dom)?;
+        loop {
+            match self.plat.machine.guest_read_gpa(gpa, buf, encrypted) {
+                Ok(()) => return Ok(()),
+                Err(Fault::NestedPageFault { gpa: fgpa, .. }) => {
+                    self.npf_roundtrip(dom, fgpa)?;
+                }
+                Err(f) => return Err(f.into()),
+            }
+        }
+    }
+
+    fn npf_roundtrip(&mut self, dom: DomainId, gpa: Gpa) -> Result<(), XenError> {
+        let action = self.exit_and_handle(ExitCode::NestedPageFault, gpa.0, 0)?;
+        if action != ExitAction::Resume {
+            return Err(XenError::BadDomainState(dom));
+        }
+        self.enter(dom)
+    }
+
+    // ----- guest creation ------------------------------------------------------
+
+    /// Creates, populates and boots a guest the *vanilla* way: the
+    /// hypervisor drives everything, including the SEV launch sequence
+    /// when `cfg.sev` (so it holds the handle and sees the launch flow —
+    /// the paper's baseline trust model).
+    ///
+    /// # Errors
+    ///
+    /// Creation/SEV/boot failures.
+    pub fn create_guest(&mut self, cfg: GuestConfig) -> Result<DomainId, XenError> {
+        let dom = self.xen.create_domain(&mut self.plat, &mut *self.guardian, cfg.mem_pages)?;
+        self.xen.populate_all(&mut self.plat, &mut *self.guardian, dom)?;
+
+        // Load the kernel image into guest frames through the hypervisor's
+        // mappings (plaintext at this point — vanilla flow).
+        let kernel_pages = (cfg.kernel.len() as u64).div_ceil(PAGE_SIZE).max(1);
+        for p in 0..kernel_pages {
+            let frame = self
+                .xen
+                .domain(dom)?
+                .frame_of(gplayout::KERNEL_PAGE + p)
+                .ok_or(XenError::OutOfMemory)?;
+            let start = (p * PAGE_SIZE) as usize;
+            let end = cfg.kernel.len().min(start + PAGE_SIZE as usize);
+            let mut page = vec![0u8; PAGE_SIZE as usize];
+            if start < cfg.kernel.len() {
+                page[..end - start].copy_from_slice(&cfg.kernel[start..end]);
+            }
+            self.plat.machine.host_write(direct_map(frame), &page)?;
+        }
+
+        if cfg.sev {
+            // Vanilla hypervisor-managed SEV launch.
+            let h = self.plat.firmware.launch_start(Default::default())?;
+            for p in 0..kernel_pages {
+                let frame = self.xen.domain(dom)?.frame_of(gplayout::KERNEL_PAGE + p).unwrap();
+                self.plat
+                    .firmware
+                    .launch_update_data(&mut self.plat.machine, h, frame, PAGE_SIZE)
+                    .map_err(XenError::Sev)?;
+            }
+            let asid = self.xen.domain(dom)?.asid;
+            self.plat.firmware.activate(&mut self.plat.machine, h, asid)?;
+            self.plat.firmware.launch_finish(h)?;
+            self.xen.domain_mut(dom)?.sev_handle = Some(h);
+        }
+
+        let gcr3 = Gpa(gplayout::PT_POOL_PAGE * PAGE_SIZE);
+        let rip = gplayout::KERNEL_PAGE * PAGE_SIZE;
+        self.xen.init_vmcb(&mut self.plat, dom, gcr3, rip, cfg.sev)?;
+        self.boot_guest(dom)?;
+        let d = self.xen.domain(dom)?;
+        self.guardian.seal_guest(&mut self.plat, d)?;
+        Ok(dom)
+    }
+
+    /// The guest kernel's early boot: build stage-1 page tables (identity
+    /// map; private pages with the C-bit for SEV guests) inside guest
+    /// memory.
+    ///
+    /// # Errors
+    ///
+    /// Guest access faults.
+    pub fn boot_guest(&mut self, dom: DomainId) -> Result<(), XenError> {
+        self.ensure_guest(dom)?;
+        let sev = self.xen.domain(dom)?.sev;
+        let mem_pages = self.xen.domain(dom)?.mem_pages();
+        let mut pt_alloc = FrameAllocator::new(
+            Hpa(gplayout::PT_POOL_PAGE * PAGE_SIZE),
+            gplayout::PT_POOL_PAGES,
+        );
+        let mut acc = GuestPtAccess::new(&mut self.plat.machine, sev);
+        let mapper = Mapper::create(&mut acc, &mut pt_alloc)?;
+        debug_assert_eq!(mapper.root().0, gplayout::PT_POOL_PAGE * PAGE_SIZE);
+        let shared_lo = gplayout::RING_PAGE;
+        let shared_hi = gplayout::BUF_PAGE + gplayout::BUF_PAGES;
+        for page in 0..mem_pages {
+            let shared = page >= shared_lo && page < shared_hi;
+            let c = if sev && !shared { PTE_C_BIT } else { 0 };
+            mapper.map(
+                &mut acc,
+                &mut pt_alloc,
+                page * PAGE_SIZE,
+                Hpa(page * PAGE_SIZE),
+                PTE_WRITABLE | c,
+            )?;
+        }
+        self.xen.domain_mut(dom)?.state = DomainState::Ready;
+        self.ensure_host()?;
+        Ok(())
+    }
+
+    // ----- block device --------------------------------------------------------
+
+    /// Sets up the PV block device for `dom`: the guest grants the ring
+    /// and buffer pages to dom0 via hypercalls, dom0 maps them and
+    /// attaches the disk, and an event channel is bound.
+    ///
+    /// # Errors
+    ///
+    /// Grant failures (including policy rejections surfaced as grant
+    /// errors).
+    pub fn setup_block_device(
+        &mut self,
+        dom: DomainId,
+        disk: Vec<u8>,
+        io_path: IoPath,
+        kblk: Option<Key128>,
+    ) -> Result<(), XenError> {
+        // If the Fidelius pre-sharing extension is available, declare the
+        // sharing first (ignored by vanilla Xen with ENOSYS).
+        let shared_pages = 1 + gplayout::BUF_PAGES;
+        let _ = self.hypercall(
+            dom,
+            HC_PRE_SHARING_OP,
+            [0, gplayout::RING_PAGE, shared_pages, 1],
+        )?;
+
+        // Grant the ring page and buffer pages to dom0.
+        let ring_ref = self.hypercall(
+            dom,
+            HC_GRANT_TABLE_OP,
+            [GrantOp::GrantAccess as u64, 0, gplayout::RING_PAGE, 1],
+        )?;
+        if ring_ref >= crate::grants::GRANT_TABLE_ENTRIES {
+            return Err(XenError::BadGrant(ring_ref));
+        }
+        let mut buf_refs = Vec::new();
+        for i in 0..gplayout::BUF_PAGES {
+            let r = self.hypercall(
+                dom,
+                HC_GRANT_TABLE_OP,
+                [GrantOp::GrantAccess as u64, 0, gplayout::BUF_PAGE + i, 1],
+            )?;
+            if r >= crate::grants::GRANT_TABLE_ENTRIES {
+                return Err(XenError::BadGrant(r));
+            }
+            buf_refs.push(r);
+        }
+        self.ensure_host()?;
+
+        // The front-end publishes the grant references in the XenStore
+        // (untrusted rendezvous; a tampered reference fails the back-end's
+        // map validation rather than leaking anything).
+        let prefix = format!("/local/domain/{}/device/vbd", dom.0);
+        self.xen.xenstore.write(dom, &format!("{prefix}/ring-ref"), &ring_ref.to_string());
+        for (i, r) in buf_refs.iter().enumerate() {
+            self.xen.xenstore.write(dom, &format!("{prefix}/buf-ref/{i}"), &r.to_string());
+        }
+
+        // dom0 side: take the references from the XenStore, resolve the
+        // grants and attach the back-end.
+        let ring_ref: u64 = self
+            .xen
+            .xenstore
+            .read(&format!("{prefix}/ring-ref"))
+            .and_then(|s| s.parse().ok())
+            .ok_or(XenError::BadBlockRequest)?;
+        let ring_frame = self.backend_map_grant(ring_ref)?;
+        let mut buf_frames = Vec::new();
+        for i in 0..gplayout::BUF_PAGES {
+            let r: u64 = self
+                .xen
+                .xenstore
+                .read(&format!("{prefix}/buf-ref/{i}"))
+                .and_then(|s| s.parse().ok())
+                .ok_or(XenError::BadBlockRequest)?;
+            buf_frames.push(self.backend_map_grant(r)?);
+        }
+        self.xen.backend.attach(disk, ring_frame, buf_frames);
+
+        let port = self.xen.events.bind(dom, DomainId::DOM0);
+        self.frontends.insert(dom, FrontEnd::new(io_path, kblk, port));
+        Ok(())
+    }
+
+    /// dom0's view of a granted frame (its `map_grant_ref`): validates the
+    /// entry and returns the frame it may access.
+    fn backend_map_grant(&mut self, grant_ref: u64) -> Result<Hpa, XenError> {
+        let entry = read_entry_phys(&self.plat.machine.mc, self.xen.grant_table_pa, grant_ref)?;
+        if !entry.valid || entry.grantee != DomainId::DOM0.0 {
+            return Err(XenError::BadGrant(grant_ref));
+        }
+        Ok(entry.frame)
+    }
+
+    /// Writes `data` (whole sectors) to disk at `sector` through the PV
+    /// path, with the front-end's configured protection.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, policy rejections.
+    pub fn disk_write(
+        &mut self,
+        dom: DomainId,
+        sector: u64,
+        data: &[u8],
+    ) -> Result<(), XenError> {
+        assert_eq!(data.len() % SECTOR_SIZE, 0, "whole sectors only");
+        let count = (data.len() / SECTOR_SIZE) as u64;
+        self.ensure_guest(dom)?;
+        let fe = self.frontends.get_mut(&dom).ok_or(XenError::BadBlockRequest)?;
+        fe.stage_write_data(&mut self.plat.machine, sector, data)?;
+        let slot = fe.push_request(&mut self.plat.machine, BlkOp::Write, sector, count, 0)?;
+        let port = fe.port;
+        let uses_md = fe.uses_md();
+        self.hypercall(dom, HC_EVTCHN_SEND, [port as u64, 0, 0, 0])?;
+        self.ensure_host()?;
+        if uses_md {
+            // Fidelius transforms Md (Kvek) → shared buffer (Ktek),
+            // sector by sector so streams key off absolute sector numbers.
+            self.sev_io_transform(dom, IoDir::GuestToShared, sector, count)?;
+        }
+        self.xen.backend.process(&mut self.plat)?;
+        self.ensure_guest(dom)?;
+        let fe = self.frontends.get_mut(&dom).expect("frontend exists");
+        let status = fe.slot_status(&mut self.plat.machine, slot)?;
+        if status != BlkStatus::Ok {
+            return Err(XenError::BadBlockRequest);
+        }
+        Ok(())
+    }
+
+    /// Reads `count` sectors from disk at `sector` through the PV path.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, policy rejections.
+    pub fn disk_read(
+        &mut self,
+        dom: DomainId,
+        sector: u64,
+        count: u64,
+    ) -> Result<Vec<u8>, XenError> {
+        self.ensure_guest(dom)?;
+        let fe = self.frontends.get_mut(&dom).ok_or(XenError::BadBlockRequest)?;
+        let slot = fe.push_request(&mut self.plat.machine, BlkOp::Read, sector, count, 0)?;
+        let port = fe.port;
+        let uses_md = fe.uses_md();
+        self.hypercall(dom, HC_EVTCHN_SEND, [port as u64, 0, 0, 0])?;
+        self.ensure_host()?;
+        self.xen.backend.process(&mut self.plat)?;
+        if uses_md {
+            self.sev_io_transform(dom, IoDir::SharedToGuest, sector, count)?;
+        }
+        self.ensure_guest(dom)?;
+        let fe = self.frontends.get_mut(&dom).expect("frontend exists");
+        let status = fe.slot_status(&mut self.plat.machine, slot)?;
+        if status != BlkStatus::Ok {
+            return Err(XenError::BadBlockRequest);
+        }
+        let data = fe.retrieve_read_data(&mut self.plat.machine, sector, count)?;
+        Ok(data)
+    }
+
+    /// Runs the SEV-API I/O transform for `count` sectors starting at
+    /// absolute `sector`, between the Md pages and the shared buffer.
+    fn sev_io_transform(
+        &mut self,
+        dom: DomainId,
+        dir: IoDir,
+        sector: u64,
+        count: u64,
+    ) -> Result<(), XenError> {
+        for s in 0..count {
+            let page_idx = s / SECTORS_PER_PAGE;
+            let in_page = (s % SECTORS_PER_PAGE) * SECTOR_SIZE as u64;
+            let md_frame = self
+                .xen
+                .domain(dom)?
+                .frame_of(gplayout::MD_PAGE + page_idx)
+                .ok_or(XenError::OutOfMemory)?;
+            let buf_frame = self
+                .xen
+                .domain(dom)?
+                .frame_of(gplayout::BUF_PAGE + page_idx)
+                .ok_or(XenError::OutOfMemory)?;
+            let (src, dst) = match dir {
+                IoDir::GuestToShared => (md_frame.add(in_page), buf_frame.add(in_page)),
+                IoDir::SharedToGuest => (buf_frame.add(in_page), md_frame.add(in_page)),
+            };
+            self.guardian.io_transform(
+                &mut self.plat,
+                dom,
+                dir,
+                src,
+                dst,
+                SECTOR_SIZE as u64,
+                sector + s,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Shuts a guest down (guest-initiated).
+    ///
+    /// # Errors
+    ///
+    /// Teardown failures.
+    pub fn shutdown_guest(&mut self, dom: DomainId) -> Result<(), XenError> {
+        self.ensure_guest(dom)?;
+        let action = self.exit_and_handle(ExitCode::Shutdown, 0, 0)?;
+        debug_assert_eq!(action, ExitAction::Destroyed);
+        self.frontends.remove(&dom);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guardian::Unprotected;
+
+    const DRAM: u64 = 24 * 1024 * 1024;
+
+    fn vanilla() -> System {
+        System::new(DRAM, 7, Box::new(Unprotected::new())).unwrap()
+    }
+
+    #[test]
+    fn guest_lifecycle_plain() {
+        let mut sys = vanilla();
+        let dom = sys
+            .create_guest(GuestConfig { mem_pages: 256, sev: false, kernel: b"k".to_vec() })
+            .unwrap();
+        // Guest memory works through the NPT.
+        sys.gpa_write(dom, Gpa(gplayout::HEAP_PAGE * PAGE_SIZE), b"hello guest", false).unwrap();
+        let mut buf = [0u8; 11];
+        sys.gpa_read(dom, Gpa(gplayout::HEAP_PAGE * PAGE_SIZE), &mut buf, false).unwrap();
+        assert_eq!(&buf, b"hello guest");
+        sys.shutdown_guest(dom).unwrap();
+    }
+
+    #[test]
+    fn sev_guest_memory_is_ciphertext_in_dram() {
+        let mut sys = vanilla();
+        let dom = sys
+            .create_guest(GuestConfig { mem_pages: 256, sev: true, kernel: b"kern".to_vec() })
+            .unwrap();
+        let gpa = Gpa(gplayout::HEAP_PAGE * PAGE_SIZE);
+        sys.gpa_write(dom, gpa, b"sev-private-data", true).unwrap();
+        let frame = sys.xen.domain(dom).unwrap().frame_of(gplayout::HEAP_PAGE).unwrap();
+        let mut raw = [0u8; 16];
+        sys.plat.machine.mc.dram().read_raw(frame, &mut raw).unwrap();
+        assert_ne!(&raw, b"sev-private-data");
+        // And reads back fine through the guest path.
+        sys.ensure_guest(dom).unwrap();
+        let mut back = [0u8; 16];
+        sys.plat.machine.guest_read_gpa(gpa, &mut back, true).unwrap();
+        assert_eq!(&back, b"sev-private-data");
+    }
+
+    #[test]
+    fn sev_kernel_image_loaded_encrypted() {
+        let mut sys = vanilla();
+        let dom = sys
+            .create_guest(GuestConfig {
+                mem_pages: 256,
+                sev: true,
+                kernel: b"SEV KERNEL IMAGE".to_vec(),
+            })
+            .unwrap();
+        let frame = sys.xen.domain(dom).unwrap().frame_of(gplayout::KERNEL_PAGE).unwrap();
+        let mut raw = [0u8; 16];
+        sys.plat.machine.mc.dram().read_raw(frame, &mut raw).unwrap();
+        assert_ne!(&raw, b"SEV KERNEL IMAGE", "kernel must rest encrypted");
+        // The guest reads its own kernel through its key.
+        sys.ensure_guest(dom).unwrap();
+        let mut k = [0u8; 16];
+        sys.plat
+            .machine
+            .guest_read_gpa(Gpa(gplayout::KERNEL_PAGE * PAGE_SIZE), &mut k, true)
+            .unwrap();
+        assert_eq!(&k, b"SEV KERNEL IMAGE");
+    }
+
+    #[test]
+    fn void_hypercall_roundtrip() {
+        let mut sys = vanilla();
+        let dom = sys.create_guest(GuestConfig::default()).unwrap();
+        let ret = sys.hypercall(dom, HC_VOID, [0; 4]).unwrap();
+        assert_eq!(ret, RET_OK);
+    }
+
+    #[test]
+    fn unknown_hypercall_is_enosys() {
+        let mut sys = vanilla();
+        let dom = sys.create_guest(GuestConfig::default()).unwrap();
+        assert_eq!(sys.hypercall(dom, 999, [0; 4]).unwrap(), RET_ENOSYS);
+    }
+
+    #[test]
+    fn disk_roundtrip_plain_path() {
+        let mut sys = vanilla();
+        let dom = sys.create_guest(GuestConfig::default()).unwrap();
+        let disk = vec![0u8; 64 * SECTOR_SIZE];
+        sys.setup_block_device(dom, disk, IoPath::Plain, None).unwrap();
+        let data = vec![0xABu8; 2 * SECTOR_SIZE];
+        sys.disk_write(dom, 4, &data).unwrap();
+        let back = sys.disk_read(dom, 4, 2).unwrap();
+        assert_eq!(back, data);
+        // Plain path: the driver domain sees the plaintext on disk.
+        assert_eq!(&sys.xen.backend.disk()[4 * SECTOR_SIZE..5 * SECTOR_SIZE], &data[..SECTOR_SIZE]);
+    }
+
+    #[test]
+    fn disk_roundtrip_aesni_path_hides_data_from_dom0() {
+        let mut sys = vanilla();
+        let dom = sys.create_guest(GuestConfig::default()).unwrap();
+        let disk = vec![0u8; 64 * SECTOR_SIZE];
+        let kblk = [0x4Bu8; 16];
+        sys.setup_block_device(dom, disk, IoPath::AesNi, Some(kblk)).unwrap();
+        let data = vec![0xCDu8; SECTOR_SIZE];
+        sys.disk_write(dom, 0, &data).unwrap();
+        // dom0's disk holds ciphertext.
+        assert_ne!(&sys.xen.backend.disk()[..SECTOR_SIZE], data.as_slice());
+        let back = sys.disk_read(dom, 0, 1).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn out_of_range_disk_request_fails() {
+        let mut sys = vanilla();
+        let dom = sys.create_guest(GuestConfig::default()).unwrap();
+        sys.setup_block_device(dom, vec![0u8; 8 * SECTOR_SIZE], IoPath::Plain, None).unwrap();
+        let data = vec![0u8; SECTOR_SIZE];
+        assert!(sys.disk_write(dom, 100, &data).is_err());
+    }
+
+    #[test]
+    fn two_guests_are_isolated_by_keys() {
+        let mut sys = vanilla();
+        let a = sys
+            .create_guest(GuestConfig { mem_pages: 192, sev: true, kernel: b"a".to_vec() })
+            .unwrap();
+        let b = sys
+            .create_guest(GuestConfig { mem_pages: 192, sev: true, kernel: b"b".to_vec() })
+            .unwrap();
+        let gpa = Gpa(gplayout::HEAP_PAGE * PAGE_SIZE);
+        sys.gpa_write(a, gpa, b"guest A secret!!", true).unwrap();
+        sys.gpa_write(b, gpa, b"guest B secret!!", true).unwrap();
+        sys.ensure_guest(a).unwrap();
+        let mut buf = [0u8; 16];
+        sys.plat.machine.guest_read_gpa(gpa, &mut buf, true).unwrap();
+        assert_eq!(&buf, b"guest A secret!!");
+        // Raw frames differ and are both ciphertext.
+        let fa = sys.xen.domain(a).unwrap().frame_of(gplayout::HEAP_PAGE).unwrap();
+        let fb = sys.xen.domain(b).unwrap().frame_of(gplayout::HEAP_PAGE).unwrap();
+        let mut ra = [0u8; 16];
+        let mut rb = [0u8; 16];
+        sys.plat.machine.mc.dram().read_raw(fa, &mut ra).unwrap();
+        sys.plat.machine.mc.dram().read_raw(fb, &mut rb).unwrap();
+        assert_ne!(&ra, b"guest A secret!!");
+        assert_ne!(&rb, b"guest B secret!!");
+        assert_ne!(ra, rb);
+    }
+
+    #[test]
+    fn npf_populates_lazily() {
+        let mut sys = vanilla();
+        // Create a domain manually without populate_all.
+        let dom = sys
+            .xen
+            .create_domain(&mut sys.plat, &mut *sys.guardian, 64)
+            .unwrap();
+        sys.xen.init_vmcb(&mut sys.plat, dom, Gpa(0), 0, false).unwrap();
+        sys.enter(dom).unwrap();
+        sys.current_guest = Some(dom);
+        // First touch NPFs; gpa_write resolves it through the hypervisor.
+        sys.gpa_write(dom, Gpa(0x5000), b"lazy", false).unwrap();
+        assert!(sys.xen.domain(dom).unwrap().frame_of(5).is_some());
+    }
+}

@@ -1,0 +1,112 @@
+//! XenStore: the hierarchical configuration store guests and dom0 use to
+//! rendezvous (paper §2.3: "the other end of the guest VM takes the grant
+//! reference from the XenStore").
+//!
+//! Modeled as a path → value map with owner-or-dom0 write permission.
+//! The store is *hypervisor-maintained and untrusted*: nothing
+//! confidential may live here, and Fidelius's GIT checks are what make a
+//! tampered grant reference harmless (mapping a wrong reference simply
+//! fails its policy check).
+
+use crate::domain::DomainId;
+use std::collections::BTreeMap;
+
+/// The store.
+#[derive(Debug, Default)]
+pub struct XenStore {
+    entries: BTreeMap<String, (DomainId, String)>,
+}
+
+impl XenStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        XenStore::default()
+    }
+
+    /// Writes `path` = `value` on behalf of `who`. Creation claims the
+    /// path; overwriting requires being the owner or dom0. Returns whether
+    /// the write was accepted.
+    pub fn write(&mut self, who: DomainId, path: &str, value: &str) -> bool {
+        match self.entries.get(path) {
+            Some((owner, _)) if *owner != who && who != DomainId::DOM0 => false,
+            _ => {
+                let owner = self.entries.get(path).map(|(o, _)| *o).unwrap_or(who);
+                self.entries.insert(path.to_string(), (owner, value.to_string()));
+                true
+            }
+        }
+    }
+
+    /// Reads a value (the store is world-readable, like real XenStore's
+    /// common configuration paths).
+    pub fn read(&self, path: &str) -> Option<&str> {
+        self.entries.get(path).map(|(_, v)| v.as_str())
+    }
+
+    /// Lists paths under a prefix.
+    pub fn list(&self, prefix: &str) -> Vec<&str> {
+        self.entries.range(prefix.to_string()..).take_while(|(k, _)| k.starts_with(prefix)).map(|(k, _)| k.as_str()).collect()
+    }
+
+    /// Removes everything a domain owns (teardown).
+    pub fn remove_domain(&mut self, dom: DomainId) {
+        self.entries.retain(|_, (owner, _)| *owner != dom);
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut xs = XenStore::new();
+        assert!(xs.write(DomainId(1), "/local/domain/1/device/vbd/ring-ref", "3"));
+        assert_eq!(xs.read("/local/domain/1/device/vbd/ring-ref"), Some("3"));
+        assert_eq!(xs.read("/nope"), None);
+    }
+
+    #[test]
+    fn ownership_guards_overwrites() {
+        let mut xs = XenStore::new();
+        assert!(xs.write(DomainId(1), "/a", "mine"));
+        assert!(!xs.write(DomainId(2), "/a", "stolen"), "other guests cannot overwrite");
+        assert_eq!(xs.read("/a"), Some("mine"));
+        assert!(xs.write(DomainId::DOM0, "/a", "admin"), "dom0 can");
+        assert_eq!(xs.read("/a"), Some("admin"));
+        // Ownership stays with the creator even after a dom0 write.
+        assert!(xs.write(DomainId(1), "/a", "mine again"));
+    }
+
+    #[test]
+    fn list_by_prefix() {
+        let mut xs = XenStore::new();
+        xs.write(DomainId(1), "/dev/vbd/0", "a");
+        xs.write(DomainId(1), "/dev/vbd/1", "b");
+        xs.write(DomainId(1), "/dev/vif/0", "c");
+        assert_eq!(xs.list("/dev/vbd/").len(), 2);
+        assert_eq!(xs.list("/dev/").len(), 3);
+        assert_eq!(xs.list("/zzz").len(), 0);
+    }
+
+    #[test]
+    fn remove_domain_clears_owned_paths() {
+        let mut xs = XenStore::new();
+        xs.write(DomainId(1), "/one", "1");
+        xs.write(DomainId(2), "/two", "2");
+        xs.remove_domain(DomainId(1));
+        assert!(xs.read("/one").is_none());
+        assert_eq!(xs.read("/two"), Some("2"));
+        assert_eq!(xs.len(), 1);
+    }
+}

@@ -1,0 +1,23 @@
+//! A guided tour of the paper's attacks: the same attacker actions
+//! against plain SEV and against Fidelius.
+//!
+//! Run with: `cargo run --release --example attack_gallery`
+//! (For the full 16x4 matrix, run the `attack_matrix` binary in
+//! `fidelius-bench`.)
+
+use fidelius::attacks::{all_attacks, Defense};
+
+fn main() {
+    let tour = ["vmcb-read", "memory-replay", "collusive-asid-remap", "grant-escalation", "disk-snoop"];
+    for attack in all_attacks() {
+        if !tour.contains(&attack.name) {
+            continue;
+        }
+        println!("\n### {} — {}", attack.name, attack.description);
+        for defense in [Defense::XenSev, Defense::Fidelius] {
+            let rep = (attack.run)(defense);
+            println!("  vs {:10}: {:10} ({})", defense.label(), rep.outcome.label(), rep.detail);
+        }
+    }
+    println!("\nEverything SEV leaves open, Fidelius closes.");
+}

@@ -1,0 +1,50 @@
+//! Quickstart: boot an encrypted guest under Fidelius and watch the
+//! hypervisor fail to read it.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use fidelius::prelude::*;
+use fidelius_xen::layout::direct_map;
+
+fn main() -> Result<(), fidelius::xen::XenError> {
+    println!("booting platform with the Fidelius guardian...");
+    let mut sys = System::new(32 * 1024 * 1024, 42, Box::new(Fidelius::new()))?;
+
+    println!("guest owner packages an encrypted kernel for this platform...");
+    let mut owner = GuestOwner::new(7);
+    let image = owner.package_image(b"quickstart kernel", &sys.plat.firmware.pdh_public());
+
+    println!("Fidelius boots it through the retrofitted RECEIVE flow...");
+    let dom = boot_encrypted_guest(&mut sys, &image, 192)?;
+    println!("  -> domain {} is running (SEV, sealed)", dom.0);
+
+    // The guest stores a secret.
+    let gpa = Gpa(gplayout::HEAP_PAGE * PAGE_SIZE);
+    sys.gpa_write(dom, gpa, b"my deepest secret", true)?;
+    sys.ensure_host()?;
+
+    // The hypervisor tries to read it: via its direct map (fault) and via
+    // raw DRAM (ciphertext).
+    let frame = sys.xen.domain(dom)?.frame_of(gplayout::HEAP_PAGE).unwrap();
+    let mut buf = [0u8; 17];
+    match sys.plat.machine.host_read(direct_map(frame), &mut buf) {
+        Err(e) => println!("hypervisor read through its mapping: DENIED ({e})"),
+        Ok(()) => println!("hypervisor read: {:?} (!)", &buf),
+    }
+    let mut raw = [0u8; 17];
+    sys.plat.machine.mc.dram().read_raw(frame, &mut raw)?;
+    println!("cold-boot view of the frame:     {:02x?}...", &raw[..8]);
+
+    // The guest, of course, reads it fine.
+    sys.ensure_guest(dom)?;
+    let mut back = [0u8; 17];
+    sys.plat
+        .machine
+        .guest_read_gpa(gpa, &mut back, true)
+        .expect("guest read");
+    println!("guest's own view:                {:?}", std::str::from_utf8(&back).unwrap());
+    sys.ensure_host()?;
+    sys.shutdown_guest(dom)?;
+    println!("guest shut down; SEV state decommissioned.");
+    Ok(())
+}

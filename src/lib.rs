@@ -1,0 +1,56 @@
+//! # Fidelius reproduction — facade crate
+//!
+//! Re-exports the full stack of the reproduction of *"Comprehensive VM
+//! Protection against Untrusted Hypervisor through Retrofitted AMD Memory
+//! Encryption"* (HPCA 2018):
+//!
+//! - [`crypto`] — AES / SHA-256 / HMAC / X25519 / key wrap, from scratch;
+//! - [`hw`] — the simulated AMD platform (CPU, paging, VMCB, SME/SEV
+//!   memory-encryption engine, cycle model);
+//! - [`sev`] — the SEV firmware command interface and guest-owner tooling;
+//! - [`xen`] — the hypervisor stack (domains, NPT, grants, PV block I/O);
+//! - [`core`] — Fidelius itself (gates, PIT/GIT, shadowing, policies,
+//!   encrypted boot, migration);
+//! - [`attacks`] — the attack scenarios and XSA analysis;
+//! - [`workloads`] — the SPEC/PARSEC/fio evaluation harness.
+//!
+//! # Quick start
+//!
+//! ```
+//! use fidelius::prelude::*;
+//!
+//! # fn main() -> Result<(), fidelius::xen::XenError> {
+//! // A protected platform…
+//! let mut sys = System::new(32 * 1024 * 1024, 42, Box::new(Fidelius::new()))?;
+//! // …an owner-packaged encrypted kernel…
+//! let mut owner = GuestOwner::new(7);
+//! let image = owner.package_image(b"my kernel", &sys.plat.firmware.pdh_public());
+//! // …booted without the hypervisor ever seeing plaintext.
+//! let dom = boot_encrypted_guest(&mut sys, &image, 192)?;
+//! assert_eq!(dom.0, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use fidelius_attacks as attacks;
+pub use fidelius_core as core;
+pub use fidelius_crypto as crypto;
+pub use fidelius_hw as hw;
+pub use fidelius_sev as sev;
+pub use fidelius_workloads as workloads;
+pub use fidelius_xen as xen;
+
+/// The types most programs need.
+pub mod prelude {
+    pub use fidelius_core::lifecycle::boot_encrypted_guest;
+    pub use fidelius_core::migrate::{migrate_in, migrate_out};
+    pub use fidelius_core::Fidelius;
+    pub use fidelius_hw::{Gpa, Hpa, PAGE_SIZE};
+    pub use fidelius_sev::GuestOwner;
+    pub use fidelius_xen::frontend::{gplayout, IoPath};
+    pub use fidelius_xen::system::GuestConfig;
+    pub use fidelius_xen::{DomainId, System, Unprotected};
+}

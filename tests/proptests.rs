@@ -1,0 +1,202 @@
+//! Property-based tests over the core data structures and invariants.
+
+use fidelius::core::git::GitEntry;
+use fidelius::core::pit::{PitEntry, Usage};
+use fidelius::core::shadow::{ShadowCtx, Verdict};
+use fidelius::crypto::aes::Aes128;
+use fidelius::crypto::hmac::{hmac_sha256, verify_hmac_sha256};
+use fidelius::crypto::keywrap;
+use fidelius::crypto::modes::{Ctr128, PaTweakCipher, SectorCipher, SECTOR_SIZE};
+use fidelius::crypto::sha256::Sha256;
+use fidelius::hw::vmcb::{ExitCode, VmcbField, VmcbImage, ALL_FIELDS};
+use fidelius::xen::domain::DomainId;
+use fidelius::xen::grants::GrantEntry;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn aes_roundtrips(key in prop::array::uniform16(any::<u8>()),
+                      block in prop::array::uniform16(any::<u8>())) {
+        let cipher = Aes128::new(&key);
+        let mut b = block;
+        cipher.encrypt_block(&mut b);
+        cipher.decrypt_block(&mut b);
+        prop_assert_eq!(b, block);
+    }
+
+    #[test]
+    fn ctr_is_an_involution(key in prop::array::uniform16(any::<u8>()),
+                            nonce in any::<u64>(),
+                            data in prop::collection::vec(any::<u8>(), 0..200)) {
+        let ctr = Ctr128::new(&key, nonce);
+        let mut d = data.clone();
+        ctr.apply(3, &mut d);
+        ctr.apply(3, &mut d);
+        prop_assert_eq!(d, data);
+    }
+
+    #[test]
+    fn sector_cipher_roundtrips_and_differs(
+        key in prop::array::uniform16(any::<u8>()),
+        sector_no in any::<u64>(),
+        byte in any::<u8>(),
+    ) {
+        let sc = SectorCipher::new(&key);
+        let plain = [byte; SECTOR_SIZE];
+        let mut s = plain;
+        sc.encrypt_sector(sector_no, &mut s);
+        prop_assert_ne!(s, plain);
+        sc.decrypt_sector(sector_no, &mut s);
+        prop_assert_eq!(s, plain);
+    }
+
+    #[test]
+    fn pa_tweak_binds_ciphertext_to_address(
+        key in prop::array::uniform16(any::<u8>()),
+        pa in 0u64..1u64 << 40,
+        delta in 16u64..1u64 << 20,
+        block in prop::array::uniform16(any::<u8>()),
+    ) {
+        let c = PaTweakCipher::new(&key);
+        let mut ct = block;
+        c.encrypt_block(pa, &mut ct);
+        // Moving ciphertext to a different (block-aligned) address garbles.
+        let mut moved = ct;
+        c.decrypt_block(pa + (delta & !15), &mut moved);
+        prop_assert_ne!(moved, block);
+        // In place it decrypts.
+        let mut inplace = ct;
+        c.decrypt_block(pa, &mut inplace);
+        prop_assert_eq!(inplace, block);
+    }
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in prop::collection::vec(any::<u8>(), 0..500),
+        split in 0usize..500,
+    ) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn hmac_detects_any_single_bit_flip(
+        key in prop::collection::vec(any::<u8>(), 1..40),
+        msg in prop::collection::vec(any::<u8>(), 1..100),
+        bit in any::<u16>(),
+    ) {
+        let tag = hmac_sha256(&key, &msg);
+        prop_assert!(verify_hmac_sha256(&key, &msg, &tag));
+        let mut tampered = msg.clone();
+        let idx = (bit as usize) % (tampered.len() * 8);
+        tampered[idx / 8] ^= 1 << (idx % 8);
+        prop_assert!(!verify_hmac_sha256(&key, &tampered, &tag));
+    }
+
+    #[test]
+    fn keywrap_roundtrips(kek in prop::array::uniform16(any::<u8>()),
+                          blocks in 2usize..6) {
+        let data: Vec<u8> = (0..blocks * 8).map(|i| i as u8).collect();
+        let wrapped = keywrap::wrap(&kek, &data).unwrap();
+        prop_assert_eq!(keywrap::unwrap(&kek, &wrapped).unwrap(), data);
+    }
+
+    #[test]
+    fn pit_entry_packing_is_lossless(
+        usage_idx in 0usize..10,
+        owner in 0u16..4096,
+        asid in 0u16..4096,
+        shared in any::<bool>(),
+    ) {
+        let usages = [
+            Usage::XenCode, Usage::XenData, Usage::XenPageTable, Usage::NptPage,
+            Usage::GuestPage, Usage::FideliusCode, Usage::FideliusData,
+            Usage::GrantTable, Usage::Vmcb, Usage::WriteOnce,
+        ];
+        let e = PitEntry::new(usages[usage_idx], owner, asid, shared);
+        prop_assert!(e.valid());
+        prop_assert_eq!(e.usage(), usages[usage_idx]);
+        prop_assert_eq!(e.owner(), owner & 0xFFF);
+        prop_assert_eq!(e.asid(), asid & 0xFFF);
+        prop_assert_eq!(e.shared(), shared);
+    }
+
+    #[test]
+    fn grant_entry_serialization_roundtrips(
+        valid in any::<bool>(),
+        writable in any::<bool>(),
+        owner in any::<u16>(),
+        grantee in any::<u16>(),
+        gpa_page in any::<u64>(),
+        frame in 0u64..1 << 46,
+    ) {
+        let e = GrantEntry {
+            valid, writable, owner, grantee, gpa_page,
+            frame: fidelius::hw::Hpa(frame & !0xFFF),
+        };
+        prop_assert_eq!(GrantEntry::from_words(e.to_words()), e);
+    }
+
+    #[test]
+    fn git_entry_covers_exactly_its_range(
+        start in 0u64..1000,
+        len in 1u64..64,
+        probe in 0u64..1100,
+        writable in any::<bool>(),
+    ) {
+        let e = GitEntry {
+            initiator: DomainId(1),
+            target: DomainId(2),
+            gpa_page: start,
+            nframes: len,
+            writable,
+        };
+        let inside = probe >= start && probe < start + len;
+        prop_assert_eq!(e.covers(DomainId(1), DomainId(2), probe, false), inside);
+        prop_assert_eq!(
+            e.covers(DomainId(1), DomainId(2), probe, true),
+            inside && writable
+        );
+    }
+
+    #[test]
+    fn shadow_rejects_any_hidden_field_change(
+        field_idx in 0usize..18,
+        value in 1u64..u64::MAX,
+    ) {
+        let mut vmcb = VmcbImage::new();
+        vmcb.set(VmcbField::Rip, 0x1000)
+            .set(VmcbField::Asid, 5)
+            .set(VmcbField::Cr3, 0x9000)
+            .set(VmcbField::ExitCode, ExitCode::NestedPageFault as u64);
+        let sh = ShadowCtx::capture(vmcb, [0; 16], ExitCode::NestedPageFault);
+        let mut handed = sh.masked_vmcb();
+        let field = ALL_FIELDS[field_idx];
+        let changed = handed.get(field) != value;
+        handed.set(field, value);
+        let verdict = sh.verify_and_merge(&handed);
+        if changed {
+            // On an NPF exit, NO field is legally writable.
+            prop_assert_ne!(
+                std::mem::discriminant(&verdict),
+                std::mem::discriminant(&Verdict::Clean(Box::new(vmcb)))
+            );
+        } else {
+            prop_assert!(matches!(verdict, Verdict::Clean(_)));
+        }
+    }
+
+    #[test]
+    fn x25519_agreement_is_symmetric(a in prop::array::uniform32(any::<u8>()),
+                                     b in prop::array::uniform32(any::<u8>())) {
+        use fidelius::crypto::x25519::KeyPair;
+        let ka = KeyPair::from_seed(a);
+        let kb = KeyPair::from_seed(b);
+        prop_assert_eq!(ka.agree(kb.public()), kb.agree(ka.public()));
+    }
+}

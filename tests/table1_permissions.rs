@@ -1,0 +1,85 @@
+//! Integration test for Table 1: the permission matrix of critical
+//! resources in the hypervisor's address space under Fidelius.
+
+use fidelius::prelude::*;
+use fidelius_xen::layout::{direct_map, FIDELIUS_DATA_BASE};
+
+#[derive(Debug, PartialEq)]
+enum Perm {
+    Writable,
+    ReadOnly,
+    NoAccess,
+}
+
+fn probe(sys: &mut System, va: fidelius::hw::Hva) -> Perm {
+    match sys.plat.machine.host_write_u64(va, 0xBAD) {
+        Ok(()) => Perm::Writable,
+        Err(_) => match sys.plat.machine.host_read_u64(va) {
+            Ok(_) => Perm::ReadOnly,
+            Err(_) => Perm::NoAccess,
+        },
+    }
+}
+
+fn protected_with_guest() -> (System, DomainId) {
+    let mut sys = System::new(32 * 1024 * 1024, 77, Box::new(Fidelius::new())).unwrap();
+    let mut owner = GuestOwner::new(77);
+    let image = owner.package_image(b"k", &sys.plat.firmware.pdh_public());
+    let dom = boot_encrypted_guest(&mut sys, &image, 192).unwrap();
+    sys.ensure_host().unwrap();
+    (sys, dom)
+}
+
+#[test]
+fn table1_xen_page_tables_are_read_only() {
+    let (mut sys, _dom) = protected_with_guest();
+    let root = sys.xen.host_pt_root;
+    assert_eq!(probe(&mut sys, direct_map(root)), Perm::ReadOnly);
+}
+
+#[test]
+fn table1_guest_npt_is_read_only() {
+    let (mut sys, dom) = protected_with_guest();
+    let npt = sys.xen.domain(dom).unwrap().npt_root;
+    assert_eq!(probe(&mut sys, direct_map(npt)), Perm::ReadOnly);
+}
+
+#[test]
+fn table1_grant_table_is_read_only() {
+    let (mut sys, _dom) = protected_with_guest();
+    let gt = sys.xen.grant_table_pa;
+    assert_eq!(probe(&mut sys, direct_map(gt)), Perm::ReadOnly);
+}
+
+#[test]
+fn table1_fidelius_private_data_is_unmapped() {
+    let (mut sys, _dom) = protected_with_guest();
+    // PIT / GIT / shadow states / SEV metadata all live in the Fidelius
+    // private region — no access for the hypervisor, via either mapping.
+    assert_eq!(probe(&mut sys, FIDELIUS_DATA_BASE), Perm::NoAccess);
+    assert_eq!(
+        probe(&mut sys, direct_map(fidelius_xen::platform::FIDELIUS_DATA_PA)),
+        Perm::NoAccess
+    );
+}
+
+#[test]
+fn table1_vmcb_stays_writable_for_service_provision() {
+    let (mut sys, dom) = protected_with_guest();
+    let vmcb = sys.xen.domain(dom).unwrap().vmcb_pa;
+    assert_eq!(probe(&mut sys, direct_map(vmcb)), Perm::Writable);
+}
+
+#[test]
+fn table1_under_vanilla_xen_everything_is_writable() {
+    let mut sys = System::new(32 * 1024 * 1024, 78, Box::new(Unprotected::new())).unwrap();
+    let dom = sys
+        .create_guest(GuestConfig { mem_pages: 192, sev: false, kernel: vec![0x90] })
+        .unwrap();
+    let root = sys.xen.host_pt_root;
+    let npt = sys.xen.domain(dom).unwrap().npt_root;
+    let gt = sys.xen.grant_table_pa;
+    assert_eq!(probe(&mut sys, direct_map(root)), Perm::Writable);
+    assert_eq!(probe(&mut sys, direct_map(npt)), Perm::Writable);
+    assert_eq!(probe(&mut sys, direct_map(gt)), Perm::Writable);
+}

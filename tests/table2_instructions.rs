@@ -1,0 +1,100 @@
+//! Integration test for Table 2: privileged-instruction policies.
+
+use fidelius::prelude::*;
+use fidelius_hw::cpu::PrivOp;
+use fidelius_hw::regs::{Cr0, Cr4, Efer};
+use fidelius_hw::Hpa;
+
+fn protected() -> System {
+    System::new(24 * 1024 * 1024, 55, Box::new(Fidelius::new())).unwrap()
+}
+
+#[test]
+fn table2_raw_instructions_are_erased_from_xen_code() {
+    let mut sys = protected();
+    let sites = sys.xen.xen_sites;
+    // Each formerly-present instruction faults when executed raw: the
+    // binary scanner erased the bytes at late launch.
+    let attempts = [
+        (sites.write_cr0, PrivOp::WriteCr0(Cr0::enabled())),
+        (sites.write_cr3, PrivOp::WriteCr3(Hpa(0x1000))),
+        (sites.write_cr4, PrivOp::WriteCr4(Cr4 { smep: true })),
+        (sites.wrmsr, PrivOp::WriteEfer(Efer { nxe: true, svme: true })),
+        (sites.vmrun, PrivOp::Vmrun(Hpa(0x1000))),
+        (sites.lgdt, PrivOp::Lgdt(0)),
+        (sites.lidt, PrivOp::Lidt(0)),
+    ];
+    for (site, op) in attempts {
+        assert!(
+            sys.plat.machine.exec_priv(site, op).is_err(),
+            "{op:?} must not execute raw from hypervisor code"
+        );
+    }
+}
+
+#[test]
+fn table2_policies_reject_dangerous_operands() {
+    let mut sys = protected();
+    let bad = [
+        PrivOp::WriteCr0(Cr0 { pg: true, wp: false }), // WP cleared
+        PrivOp::WriteCr0(Cr0 { pg: false, wp: true }), // PG cleared
+        PrivOp::WriteCr4(Cr4 { smep: false }),         // SMEP cleared
+        PrivOp::WriteEfer(Efer { nxe: false, svme: true }), // NXE cleared
+        PrivOp::WriteEfer(Efer { nxe: true, svme: false }), // SVME cleared
+        PrivOp::WriteCr3(Hpa(0x6666_0000)),            // invalid root
+        PrivOp::Vmrun(Hpa(0x1000)),                    // bypassing the boundary
+    ];
+    for op in bad {
+        assert!(
+            sys.guardian.exec_priv(&mut sys.plat, op).is_err(),
+            "{op:?} must be denied by policy"
+        );
+    }
+}
+
+#[test]
+fn table2_legitimate_operations_pass() {
+    let mut sys = protected();
+    let root = sys.xen.host_pt_root;
+    let good = [
+        PrivOp::WriteCr0(Cr0 { pg: true, wp: true }),
+        PrivOp::WriteCr4(Cr4 { smep: true }),
+        PrivOp::WriteEfer(Efer { nxe: true, svme: true }),
+        PrivOp::WriteCr3(root),
+        PrivOp::Cli,
+        PrivOp::Sti,
+        PrivOp::Invlpg(fidelius_xen::layout::XEN_DATA_BASE),
+    ];
+    for op in good {
+        sys.guardian
+            .exec_priv(&mut sys.plat, op)
+            .unwrap_or_else(|e| panic!("{op:?} should be allowed: {e}"));
+    }
+}
+
+#[test]
+fn table2_execute_once_for_lgdt_lidt() {
+    let mut sys = protected();
+    sys.guardian.exec_priv(&mut sys.plat, PrivOp::Lgdt(0x1234)).expect("first lgdt");
+    assert!(
+        sys.guardian.exec_priv(&mut sys.plat, PrivOp::Lgdt(0x5678)).is_err(),
+        "second lgdt must violate the execute-once policy"
+    );
+    sys.guardian.exec_priv(&mut sys.plat, PrivOp::Lidt(0x1234)).expect("first lidt");
+    assert!(sys.guardian.exec_priv(&mut sys.plat, PrivOp::Lidt(0x9999)).is_err());
+}
+
+#[test]
+fn table2_planting_instruction_bytes_is_blocked() {
+    let mut sys = protected();
+    // The attacker tries to reintroduce a VMRUN into executable memory:
+    // the code pages are read-only via every mapping the hypervisor has.
+    let site = sys.xen.xen_sites.vmrun;
+    assert!(sys.plat.machine.host_write(site, &[0x0F, 0x01, 0xD8]).is_err());
+    let code_pa = fidelius_xen::platform::XEN_CODE_PA;
+    assert!(sys
+        .plat
+        .machine
+        .host_write(fidelius_xen::layout::direct_map(code_pa), &[0x0F, 0x01, 0xD8])
+        .is_err());
+}
