@@ -65,7 +65,12 @@ impl std::fmt::Debug for Attack {
     }
 }
 
-fn report(attack: &'static str, defense: Defense, outcome: AttackOutcome, detail: impl Into<String>) -> AttackReport {
+fn report(
+    attack: &'static str,
+    defense: Defense,
+    outcome: AttackOutcome,
+    detail: impl Into<String>,
+) -> AttackReport {
     AttackReport { attack, defense, outcome, detail: detail.into() }
 }
 
@@ -305,10 +310,7 @@ fn atk_collusive_asid(defense: Defense) -> AttackReport {
     // Give the attacker VMCB the *victim's* ASID (the firmware installed
     // the victim's key for it) and run it.
     let sev = v.sev;
-    v.sys
-        .xen
-        .init_vmcb(&mut v.sys.plat, attacker, Gpa(0), 0, sev)
-        .expect("vmcb init");
+    v.sys.xen.init_vmcb(&mut v.sys.plat, attacker, Gpa(0), 0, sev).expect("vmcb init");
     let vmcb_pa = v.sys.xen.domain(attacker).unwrap().vmcb_pa;
     v.sys
         .plat
@@ -322,8 +324,7 @@ fn atk_collusive_asid(defense: Defense) -> AttackReport {
         Err(e) => report(NAME, defense, AttackOutcome::Blocked, format!("entry refused: {e}")),
         Ok(()) => {
             let mut buf = [0u8; 24];
-            match v.sys.plat.machine.guest_read_gpa(Gpa(SECRET_GPA.page_offset()), &mut buf, sev)
-            {
+            match v.sys.plat.machine.guest_read_gpa(Gpa(SECRET_GPA.page_offset()), &mut buf, sev) {
                 Ok(()) if &buf == SECRET => report(
                     NAME,
                     defense,
@@ -359,7 +360,12 @@ fn atk_grant_escalation(defense: Defense) -> AttackReport {
     let entry_pa = v.sys.xen.grant_table_pa.add(r * fidelius_xen::grants::GRANT_ENTRY_SIZE);
     let word0 = v.sys.plat.machine.host_read_u64(direct_map(entry_pa)).unwrap();
     if let Err(e) = v.sys.plat.machine.host_write_u64(direct_map(entry_pa), word0 | 2) {
-        return report(NAME, defense, AttackOutcome::Blocked, format!("grant table protected: {e}"));
+        return report(
+            NAME,
+            defense,
+            AttackOutcome::Blocked,
+            format!("grant table protected: {e}"),
+        );
     }
     // dom0 now "legitimately" writes through the escalated grant.
     let frame = victim_frame(&v, page);
@@ -394,9 +400,13 @@ fn atk_grant_fabrication(defense: Defense) -> AttackReport {
     };
     let base = v.sys.xen.grant_table_pa.add(7 * fidelius_xen::grants::GRANT_ENTRY_SIZE);
     for (i, w) in entry.to_words().iter().enumerate() {
-        if let Err(e) = v.sys.plat.machine.host_write_u64(direct_map(base.add(8 * i as u64)), *w)
-        {
-            return report(NAME, defense, AttackOutcome::Blocked, format!("grant table protected: {e}"));
+        if let Err(e) = v.sys.plat.machine.host_write_u64(direct_map(base.add(8 * i as u64)), *w) {
+            return report(
+                NAME,
+                defense,
+                AttackOutcome::Blocked,
+                format!("grant table protected: {e}"),
+            );
         }
     }
     // dom0 "maps" the fabricated grant and reads.
@@ -405,7 +415,9 @@ fn atk_grant_fabrication(defense: Defense) -> AttackReport {
         Ok(()) if &buf == SECRET => {
             report(NAME, defense, AttackOutcome::Succeeded, "fabricated grant leaked plaintext")
         }
-        Ok(()) => report(NAME, defense, AttackOutcome::Blocked, "only ciphertext via fabricated grant"),
+        Ok(()) => {
+            report(NAME, defense, AttackOutcome::Blocked, "only ciphertext via fabricated grant")
+        }
         Err(e) => report(NAME, defense, AttackOutcome::Blocked, format!("{e}")),
     }
 }
@@ -431,18 +443,18 @@ fn atk_rogue_vmrun(defense: Defense) -> AttackReport {
         Err(e) => report(NAME, defense, AttackOutcome::Blocked, format!("vmrun unavailable: {e}")),
         Ok(()) => {
             let mut buf = [0u8; 24];
-            let got = v
-                .sys
-                .plat
-                .machine
-                .guest_read_gpa(SECRET_GPA, &mut buf, v.sev)
-                .is_ok()
+            let got = v.sys.plat.machine.guest_read_gpa(SECRET_GPA, &mut buf, v.sev).is_ok()
                 && &buf == SECRET;
             v.sys.plat.machine.vmexit(ExitCode::Hlt, 0, 0).ok();
             if got {
                 report(NAME, defense, AttackOutcome::Succeeded, "forged VMCB impersonated victim")
             } else {
-                report(NAME, defense, AttackOutcome::Succeeded, "rogue VMRUN executed (control hijack)")
+                report(
+                    NAME,
+                    defense,
+                    AttackOutcome::Succeeded,
+                    "rogue VMRUN executed (control hijack)",
+                )
             }
         }
     }
@@ -560,22 +572,86 @@ fn atk_iago_rip(defense: Defense) -> AttackReport {
 /// Every scenario, in matrix order.
 pub fn all_attacks() -> Vec<Attack> {
     vec![
-        Attack { name: "vmcb-read", description: "read guest RIP/CR3 from the unencrypted VMCB", run: atk_vmcb_read },
-        Attack { name: "register-steal", description: "read guest GPRs after #VMEXIT", run: atk_register_steal },
-        Attack { name: "vmcb-tamper-rip", description: "divert guest control flow via VMCB.RIP", run: atk_vmcb_tamper_rip },
-        Attack { name: "sev-bit-clear", description: "clear the SEV enable bit before re-entry", run: atk_sev_disable },
-        Attack { name: "direct-map-read", description: "read guest memory through the hypervisor direct map", run: atk_direct_map_read },
-        Attack { name: "host-pt-remap", description: "remap guest frames into the hypervisor's page tables", run: atk_host_pt_remap },
-        Attack { name: "memory-replay", description: "replay stale (cipher)text in place to roll back guest state", run: atk_replay },
-        Attack { name: "collusive-asid-remap", description: "map victim memory into a collusive VM running under the victim's ASID", run: atk_collusive_asid },
-        Attack { name: "grant-escalation", description: "flip a read-only grant to writable in the grant table", run: atk_grant_escalation },
-        Attack { name: "grant-fabrication", description: "fabricate a grant entry the guest never created", run: atk_grant_fabrication },
-        Attack { name: "rogue-vmrun", description: "VMRUN a forged VMCB from hijacked hypervisor control flow", run: atk_rogue_vmrun },
-        Attack { name: "cr0-wp-clear", description: "disable CR0.WP to unprotect all read-only structures", run: atk_cr0_wp_clear },
-        Attack { name: "cold-boot-dump", description: "dump DRAM and scan for secrets (physical attack)", run: atk_cold_boot },
-        Attack { name: "rowhammer-targeted", description: "flip a chosen guest memory bit (physical attack)", run: atk_rowhammer },
-        Attack { name: "disk-snoop", description: "driver domain inspects PV disk I/O data", run: atk_disk_snoop },
-        Attack { name: "iago-rip-divert", description: "malicious hypercall return diverts the guest", run: atk_iago_rip },
+        Attack {
+            name: "vmcb-read",
+            description: "read guest RIP/CR3 from the unencrypted VMCB",
+            run: atk_vmcb_read,
+        },
+        Attack {
+            name: "register-steal",
+            description: "read guest GPRs after #VMEXIT",
+            run: atk_register_steal,
+        },
+        Attack {
+            name: "vmcb-tamper-rip",
+            description: "divert guest control flow via VMCB.RIP",
+            run: atk_vmcb_tamper_rip,
+        },
+        Attack {
+            name: "sev-bit-clear",
+            description: "clear the SEV enable bit before re-entry",
+            run: atk_sev_disable,
+        },
+        Attack {
+            name: "direct-map-read",
+            description: "read guest memory through the hypervisor direct map",
+            run: atk_direct_map_read,
+        },
+        Attack {
+            name: "host-pt-remap",
+            description: "remap guest frames into the hypervisor's page tables",
+            run: atk_host_pt_remap,
+        },
+        Attack {
+            name: "memory-replay",
+            description: "replay stale (cipher)text in place to roll back guest state",
+            run: atk_replay,
+        },
+        Attack {
+            name: "collusive-asid-remap",
+            description: "map victim memory into a collusive VM running under the victim's ASID",
+            run: atk_collusive_asid,
+        },
+        Attack {
+            name: "grant-escalation",
+            description: "flip a read-only grant to writable in the grant table",
+            run: atk_grant_escalation,
+        },
+        Attack {
+            name: "grant-fabrication",
+            description: "fabricate a grant entry the guest never created",
+            run: atk_grant_fabrication,
+        },
+        Attack {
+            name: "rogue-vmrun",
+            description: "VMRUN a forged VMCB from hijacked hypervisor control flow",
+            run: atk_rogue_vmrun,
+        },
+        Attack {
+            name: "cr0-wp-clear",
+            description: "disable CR0.WP to unprotect all read-only structures",
+            run: atk_cr0_wp_clear,
+        },
+        Attack {
+            name: "cold-boot-dump",
+            description: "dump DRAM and scan for secrets (physical attack)",
+            run: atk_cold_boot,
+        },
+        Attack {
+            name: "rowhammer-targeted",
+            description: "flip a chosen guest memory bit (physical attack)",
+            run: atk_rowhammer,
+        },
+        Attack {
+            name: "disk-snoop",
+            description: "driver domain inspects PV disk I/O data",
+            run: atk_disk_snoop,
+        },
+        Attack {
+            name: "iago-rip-divert",
+            description: "malicious hypercall return diverts the guest",
+            run: atk_iago_rip,
+        },
     ]
 }
 
@@ -606,11 +682,9 @@ mod tests {
         for attack in all_attacks() {
             let rep = (attack.run)(Fidelius);
             assert_eq!(
-                rep.outcome,
-                Blocked,
+                rep.outcome, Blocked,
                 "{} must be blocked under Fidelius: {}",
-                attack.name,
-                rep.detail
+                attack.name, rep.detail
             );
         }
     }

@@ -31,10 +31,7 @@ pub enum XsaCategory {
 impl XsaCategory {
     /// Whether the paper counts this class as thwarted by Fidelius.
     pub fn thwarted(self) -> bool {
-        matches!(
-            self,
-            XsaCategory::PrivilegeEscalationThwarted | XsaCategory::InfoLeakThwarted
-        )
+        matches!(self, XsaCategory::PrivilegeEscalationThwarted | XsaCategory::InfoLeakThwarted)
     }
 
     /// Whether the advisory concerns the hypervisor (vs Qemu).
@@ -140,10 +137,8 @@ pub struct XsaSummary {
 pub fn analyze(entries: &[XsaEntry]) -> XsaSummary {
     let total = entries.len();
     let hyp = entries.iter().filter(|e| e.category.hypervisor_related()).count();
-    let pe = entries
-        .iter()
-        .filter(|e| e.category == XsaCategory::PrivilegeEscalationThwarted)
-        .count();
+    let pe =
+        entries.iter().filter(|e| e.category == XsaCategory::PrivilegeEscalationThwarted).count();
     let il = entries.iter().filter(|e| e.category == XsaCategory::InfoLeakThwarted).count();
     let gi = entries.iter().filter(|e| e.category == XsaCategory::GuestInternal).count();
     let dos = entries.iter().filter(|e| e.category == XsaCategory::DenialOfService).count();

@@ -2,7 +2,7 @@
 //! ("AES-NI") cipher vs the deliberately slow software path, plus the
 //! hashing and key-agreement primitives used by the SEV protocol.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fidelius_bench::time_ns_per_iter;
 use fidelius_crypto::aes::Aes128;
 use fidelius_crypto::aes_soft::SoftAes128;
 use fidelius_crypto::hmac::hmac_sha256;
@@ -10,41 +10,23 @@ use fidelius_crypto::sha256::Sha256;
 use fidelius_crypto::x25519;
 use std::hint::black_box;
 
-fn bench_aes(c: &mut Criterion) {
+fn main() {
     let fast = Aes128::new(&[7; 16]);
     let slow = SoftAes128::new(&[7; 16]);
-    let mut group = c.benchmark_group("aes_block");
-    group.sample_size(20);
-    group.bench_function("table_aes128", |b| {
-        let mut block = [0xA5u8; 16];
-        b.iter(|| {
-            fast.encrypt_block(black_box(&mut block));
-        })
-    });
-    group.bench_function("soft_aes128", |b| {
-        let mut block = [0xA5u8; 16];
-        b.iter(|| {
-            slow.encrypt_block(black_box(&mut block));
-        })
-    });
-    group.finish();
-}
+    let mut block = [0xA5u8; 16];
+    let ns = time_ns_per_iter(100_000, || fast.encrypt_block(black_box(&mut block)));
+    println!("aes_block/table_aes128: {ns:.1} ns/iter");
+    let mut block = [0xA5u8; 16];
+    let ns = time_ns_per_iter(10_000, || slow.encrypt_block(black_box(&mut block)));
+    println!("aes_block/soft_aes128: {ns:.1} ns/iter");
 
-fn bench_hash(c: &mut Criterion) {
     let data = vec![0x5Au8; 1024];
-    c.bench_function("sha256_1k", |b| b.iter(|| Sha256::digest(black_box(&data))));
-    c.bench_function("hmac_sha256_1k", |b| b.iter(|| hmac_sha256(b"key", black_box(&data))));
-}
+    let ns = time_ns_per_iter(10_000, || Sha256::digest(black_box(&data)));
+    println!("sha256_1k: {ns:.0} ns/iter");
+    let ns = time_ns_per_iter(10_000, || hmac_sha256(b"key", black_box(&data)));
+    println!("hmac_sha256_1k: {ns:.0} ns/iter");
 
-fn bench_x25519(c: &mut Criterion) {
-    let mut group = c.benchmark_group("x25519");
-    group.sample_size(10);
-    group.bench_function("scalar_mult", |b| {
-        let k = [9u8; 32];
-        b.iter(|| x25519::scalar_mult(black_box(&k), &x25519::BASE_POINT))
-    });
-    group.finish();
+    let k = [9u8; 32];
+    let ns = time_ns_per_iter(100, || x25519::scalar_mult(black_box(&k), &x25519::BASE_POINT));
+    println!("x25519/scalar_mult: {ns:.0} ns/iter");
 }
-
-criterion_group!(benches, bench_aes, bench_hash, bench_x25519);
-criterion_main!(benches);

@@ -1,23 +1,16 @@
 //! Wall-clock cost of the three gates on the live simulated platform
 //! (the simulated-cycle costs are in `micro_gates`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fidelius_bench::time_ns_per_iter;
 use fidelius_core::Fidelius;
 use fidelius_xen::System;
 
-fn bench_gates(c: &mut Criterion) {
+fn main() {
     let mut sys = System::new(24 * 1024 * 1024, 3, Box::new(Fidelius::new())).expect("boot");
-    let mut group = c.benchmark_group("gates");
-    group.sample_size(20);
-    group.bench_function("all_three_gate_types", |b| {
-        b.iter(|| {
-            let System { plat, guardian, .. } = &mut sys;
-            let fid = guardian.as_any_mut().downcast_mut::<Fidelius>().expect("fidelius");
-            fid.measure_gates(plat, 1).expect("gates")
-        })
+    let ns = time_ns_per_iter(200, || {
+        let System { plat, guardian, .. } = &mut sys;
+        let fid = guardian.as_any_mut().downcast_mut::<Fidelius>().expect("fidelius");
+        fid.measure_gates(plat, 1).expect("gates")
     });
-    group.finish();
+    println!("gates/all_three_gate_types: {ns:.0} ns/iter");
 }
-
-criterion_group!(benches, bench_gates);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Wall-clock cost of one PV disk write under the three I/O protection
 //! paths (plain / AES-NI / SEV API).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fidelius_bench::time_ns_per_iter;
 use fidelius_core::Fidelius;
 use fidelius_crypto::modes::SECTOR_SIZE;
 use fidelius_sev::GuestOwner;
@@ -30,24 +30,15 @@ fn fidelius_system(path: IoPath) -> (System, DomainId) {
     (sys, dom)
 }
 
-fn bench_iopath(c: &mut Criterion) {
+fn main() {
     let data = vec![0x5Au8; SECTOR_SIZE];
-    let mut group = c.benchmark_group("disk_write_one_sector");
-    group.sample_size(10);
     let (mut sys, dom) = plain_system();
-    group.bench_function("plain", |b| {
-        b.iter(|| sys.disk_write(dom, 1, &data).expect("write"))
-    });
+    let ns = time_ns_per_iter(500, || sys.disk_write(dom, 1, &data).expect("write"));
+    println!("disk_write_one_sector/plain: {ns:.0} ns/iter");
     let (mut sys, dom) = fidelius_system(IoPath::AesNi);
-    group.bench_function("aesni_kblk", |b| {
-        b.iter(|| sys.disk_write(dom, 1, &data).expect("write"))
-    });
+    let ns = time_ns_per_iter(500, || sys.disk_write(dom, 1, &data).expect("write"));
+    println!("disk_write_one_sector/aesni_kblk: {ns:.0} ns/iter");
     let (mut sys, dom) = fidelius_system(IoPath::SevApi);
-    group.bench_function("sev_api_helpers", |b| {
-        b.iter(|| sys.disk_write(dom, 1, &data).expect("write"))
-    });
-    group.finish();
+    let ns = time_ns_per_iter(500, || sys.disk_write(dom, 1, &data).expect("write"));
+    println!("disk_write_one_sector/sev_api_helpers: {ns:.0} ns/iter");
 }
-
-criterion_group!(benches, bench_iopath);
-criterion_main!(benches);

@@ -1,25 +1,22 @@
 //! Wall-clock cost of PIT queries and updates (the hot path of every
 //! gated page-table write).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fidelius_bench::time_ns_per_iter;
 use fidelius_core::pit::{Pit, PitEntry, Usage};
 use fidelius_hw::cycles::Cycles;
 use fidelius_hw::Hpa;
 use std::hint::black_box;
 
-fn bench_pit(c: &mut Criterion) {
+fn main() {
     let mut pit = Pit::new();
     for i in 0..4096u64 {
         pit.set(Hpa::from_pfn(i), PitEntry::new(Usage::XenData, 0, 0, false));
     }
     let mut cycles = Cycles::new();
-    c.bench_function("pit_query", |b| {
-        b.iter(|| pit.query(black_box(Hpa(0x40_0000)), &mut cycles))
+    let ns = time_ns_per_iter(100_000, || pit.query(black_box(Hpa(0x40_0000)), &mut cycles));
+    println!("pit_query: {ns:.1} ns/iter");
+    let ns = time_ns_per_iter(100_000, || {
+        pit.set(black_box(Hpa(0x41_0000)), PitEntry::new(Usage::GuestPage, 1, 1, false))
     });
-    c.bench_function("pit_set", |b| {
-        b.iter(|| pit.set(black_box(Hpa(0x41_0000)), PitEntry::new(Usage::GuestPage, 1, 1, false)))
-    });
+    println!("pit_set: {ns:.1} ns/iter");
 }
-
-criterion_group!(benches, bench_pit);
-criterion_main!(benches);

@@ -1,26 +1,22 @@
 //! Wall-clock cost of VMCB shadow capture, masking and verification.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fidelius_bench::time_ns_per_iter;
 use fidelius_core::shadow::ShadowCtx;
 use fidelius_hw::vmcb::{ExitCode, VmcbField, VmcbImage};
 use std::hint::black_box;
 
-fn bench_shadow(c: &mut Criterion) {
+fn main() {
     let mut vmcb = VmcbImage::new();
     vmcb.set(VmcbField::Rip, 0x1000).set(VmcbField::Cr3, 0x8000);
     let gprs = [7u64; 16];
-    c.bench_function("shadow_capture_and_mask", |b| {
-        b.iter(|| {
-            let sh = ShadowCtx::capture(black_box(vmcb), black_box(gprs), ExitCode::Vmmcall);
-            (sh.masked_vmcb(), sh.masked_gprs())
-        })
+    let ns = time_ns_per_iter(10_000, || {
+        let sh = ShadowCtx::capture(black_box(vmcb), black_box(gprs), ExitCode::Vmmcall);
+        (sh.masked_vmcb(), sh.masked_gprs())
     });
+    println!("shadow_capture_and_mask: {ns:.0} ns/iter");
+
     let sh = ShadowCtx::capture(vmcb, gprs, ExitCode::Vmmcall);
     let handed = sh.masked_vmcb();
-    c.bench_function("shadow_verify_and_merge", |b| {
-        b.iter(|| sh.verify_and_merge(black_box(&handed)))
-    });
+    let ns = time_ns_per_iter(10_000, || sh.verify_and_merge(black_box(&handed)));
+    println!("shadow_verify_and_merge: {ns:.0} ns/iter");
 }
-
-criterion_group!(benches, bench_shadow);
-criterion_main!(benches);

@@ -11,7 +11,7 @@ fn main() {
     let add_mapping = m.type3_gate_round_trip();
     // Mechanism C: toggle CR0.WP in place (type 1).
     let wp_toggle = m.type1_gate_round_trip();
-    fidelius_bench::print_table(
+    fidelius_bench::emit_table(
         "Ablation — context-transition mechanisms (cycles per round trip)",
         &["mechanism", "cycles", "used by Fidelius for"],
         &[
@@ -32,6 +32,11 @@ fn main() {
             ],
         ],
     );
-    println!("\n  The paper's choice: WP-toggling for the common case — {:.1}x cheaper", cr3_switch / wp_toggle);
-    println!("  than an address-space switch; add-mapping only where unmapping is required.");
+    fidelius_bench::note!(
+        "\n  The paper's choice: WP-toggling for the common case — {:.1}x cheaper",
+        cr3_switch / wp_toggle
+    );
+    fidelius_bench::note!(
+        "  than an address-space switch; add-mapping only where unmapping is required."
+    );
 }

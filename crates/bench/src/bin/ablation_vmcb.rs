@@ -21,12 +21,14 @@ fn main() {
             ]
         })
         .collect();
-    fidelius_bench::print_table(
+    fidelius_bench::emit_table(
         "Ablation — VMCB: strict write-protection vs shadowing (cycles/exit)",
         &["fields touched", "strict faulting", "shadow+verify", "shadow advantage"],
         &rows,
     );
-    println!("\n  \"If we strictly write protect them, there may be extensive context");
-    println!("  switches incurring large overhead. Instead, Fidelius shadows these");
-    println!("  resources.\" — paper §5.1, quantified above.");
+    fidelius_bench::note!(
+        "\n  \"If we strictly write protect them, there may be extensive context"
+    );
+    fidelius_bench::note!("  switches incurring large overhead. Instead, Fidelius shadows these");
+    fidelius_bench::note!("  resources.\" — paper §5.1, quantified above.");
 }

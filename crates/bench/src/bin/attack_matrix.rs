@@ -3,8 +3,11 @@
 use fidelius_attacks::{all_attacks, Defense};
 
 fn main() {
-    println!("running {} attacks x {} defenses (fresh victim each run)...",
-        all_attacks().len(), Defense::ALL.len());
+    fidelius_bench::note!(
+        "running {} attacks x {} defenses (fresh victim each run)...",
+        all_attacks().len(),
+        Defense::ALL.len()
+    );
     let mut rows = Vec::new();
     for attack in all_attacks() {
         let mut row = vec![attack.name.to_string()];
@@ -14,10 +17,12 @@ fn main() {
         }
         rows.push(row);
     }
-    fidelius_bench::print_table(
+    fidelius_bench::emit_table(
         "Attack outcome matrix",
         &["attack", "Xen", "Xen+SEV", "Xen+SEV-ES", "Fidelius"],
         &rows,
     );
-    println!("\n  Fidelius blocks every scenario; SEV alone leaves the §2.2 surfaces open.");
+    fidelius_bench::note!(
+        "\n  Fidelius blocks every scenario; SEV alone leaves the §2.2 surfaces open."
+    );
 }

@@ -3,8 +3,9 @@
 
 fn main() {
     let costs = fidelius_workloads::measure_event_costs().expect("measure");
-    println!("measured event costs: {costs:?}");
-    let rows = fidelius_workloads::runner::figure_rows(&fidelius_workloads::spec_profiles(), &costs);
+    fidelius_bench::note!("measured event costs: {costs:?}");
+    let rows =
+        fidelius_workloads::runner::figure_rows(&fidelius_workloads::spec_profiles(), &costs);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -15,12 +16,12 @@ fn main() {
             ]
         })
         .collect();
-    fidelius_bench::print_table(
+    fidelius_bench::emit_table(
         "Figure 5 — SPEC CPU2006 normalized overhead vs Xen",
         &["benchmark", "Fidelius", "Fidelius-enc"],
         &table,
     );
     let (avg_fid, avg_enc) = fidelius_workloads::runner::averages(&rows);
-    println!("\n  average: Fidelius {avg_fid:.2}% (paper: 0.88%), Fidelius-enc {avg_enc:.2}% (paper: 5.38%)");
-    println!("  paper outliers: mcf 17.3%, omnetpp 16.3%");
+    fidelius_bench::note!("\n  average: Fidelius {avg_fid:.2}% (paper: 0.88%), Fidelius-enc {avg_enc:.2}% (paper: 5.38%)");
+    fidelius_bench::note!("  paper outliers: mcf 17.3%, omnetpp 16.3%");
 }

@@ -15,7 +15,7 @@ fn main() {
             ]
         })
         .collect();
-    fidelius_bench::print_table(
+    fidelius_bench::emit_table(
         "Figure 6 — PARSEC normalized overhead vs Xen",
         &["benchmark", "Fidelius", "Fidelius-enc"],
         &table,
@@ -23,6 +23,6 @@ fn main() {
     let (avg_fid, avg_enc) = fidelius_workloads::runner::averages(&rows);
     let rest: Vec<_> = rows.iter().filter(|r| r.name != "canneal").cloned().collect();
     let (_, avg_rest) = fidelius_workloads::runner::averages(&rest);
-    println!("\n  average: Fidelius {avg_fid:.2}% (paper: 0.43%), Fidelius-enc {avg_enc:.2}% (paper: 1.97%)");
-    println!("  excluding canneal: Fidelius-enc {avg_rest:.2}% (paper: 0.95%)");
+    fidelius_bench::note!("\n  average: Fidelius {avg_fid:.2}% (paper: 0.43%), Fidelius-enc {avg_enc:.2}% (paper: 1.97%)");
+    fidelius_bench::note!("  excluding canneal: Fidelius-enc {avg_rest:.2}% (paper: 0.95%)");
 }

@@ -8,10 +8,11 @@ fn main() {
     let mut sys = System::new(24 * 1024 * 1024, 7, Box::new(Fidelius::new())).expect("boot");
     let System { plat, guardian, .. } = &mut sys;
     let fid = guardian.as_any_mut().downcast_mut::<Fidelius>().expect("fidelius");
-    let iters = 100_000;
+    let iters = fidelius_bench::arg_u64("--iters", 100_000) as u32;
     let model = plat.machine.cost.clone();
     let (t1, t2, t3) = fid.measure_gates(plat, iters).expect("gates");
-    fidelius_bench::print_table(
+    let snapshot = plat.machine.telemetry_snapshot();
+    fidelius_bench::emit_table(
         &format!("Micro 1 — gate transition cost ({iters} iterations)"),
         &["gate", "measured (cycles)", "gate events alone", "paper (cycles)"],
         &[
@@ -35,11 +36,19 @@ fn main() {
             ],
         ],
     );
-    println!("
-  measured values include instruction fetches and the TLB refills");
-    println!("  caused by the gate's payload (the type-3 row carries a CR3 reload).");
-    println!("\n  type-3 breakdown: TLB entry flush = {} cycles (paper: 128),", model.tlb_flush_entry);
-    println!("  cached PTE write = {} cycles (paper: <2)", model.cached_word_write);
+    fidelius_bench::note!(
+        "
+  measured values include instruction fetches and the TLB refills"
+    );
+    fidelius_bench::note!("  caused by the gate's payload (the type-3 row carries a CR3 reload).");
+    fidelius_bench::note!(
+        "\n  type-3 breakdown: TLB entry flush = {} cycles (paper: 128),",
+        model.tlb_flush_entry
+    );
+    fidelius_bench::note!("  cached PTE write = {} cycles (paper: <2)", model.cached_word_write);
+    if fidelius_bench::json_mode() {
+        fidelius_bench::emit_snapshot(&snapshot);
+    }
     drop(sys);
     let _ = Unprotected::new(); // referenced to show the baseline exists
 }

@@ -15,7 +15,7 @@ fn main() {
     let aesni = lines * (m.memcpy_line + m.aesni_line);
     let sme = lines * (m.memcpy_line + m.engine_line_extra);
     let soft = lines * (m.memcpy_line + m.soft_aes_line);
-    fidelius_bench::print_table(
+    fidelius_bench::emit_table(
         "Micro 3 — 512 MB copy, simulated cycles",
         &["approach", "cycles", "slowdown", "paper"],
         &[
@@ -61,7 +61,7 @@ fn main() {
         chunk.copy_from_slice(&b);
     }
     let slow_t = t.elapsed();
-    println!(
+    fidelius_bench::note!(
         "\n  wall-clock cross-check on {mb} MB: table AES {:?}, software AES {:?} ({:.1}x slower)",
         fast_t,
         slow_t,

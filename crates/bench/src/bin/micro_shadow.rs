@@ -7,16 +7,20 @@ use fidelius_xen::hypercall::HC_VOID;
 use fidelius_xen::system::GuestConfig;
 use fidelius_xen::{System, Unprotected};
 
-const ITERS: u64 = 10_000;
 const DRAM: u64 = 24 * 1024 * 1024;
 
+fn iters() -> u64 {
+    fidelius_bench::arg_u64("--iters", 10_000)
+}
+
 fn measure(sys: &mut System, dom: fidelius_xen::DomainId) -> f64 {
+    let iters = iters();
     sys.hypercall(dom, HC_VOID, [0; 4]).expect("warmup");
     let start = sys.plat.machine.cycles.total_f64();
-    for _ in 0..ITERS {
+    for _ in 0..iters {
         sys.hypercall(dom, HC_VOID, [0; 4]).expect("hypercall");
     }
-    (sys.plat.machine.cycles.total_f64() - start) / ITERS as f64
+    (sys.plat.machine.cycles.total_f64() - start) / iters as f64
 }
 
 fn main() {
@@ -32,10 +36,9 @@ fn main() {
     let df = fidelius_core::lifecycle::boot_encrypted_guest(&mut fid, &image, 192).expect("boot");
     let protected = measure(&mut fid, df);
 
-    let shadow_model =
-        fid.plat.machine.cost.shadow_check_round_trip(64, 28);
-    fidelius_bench::print_table(
-        &format!("Micro 2 — void hypercall round trip ({ITERS} iterations)"),
+    let shadow_model = fid.plat.machine.cost.shadow_check_round_trip(64, 28);
+    fidelius_bench::emit_table(
+        &format!("Micro 2 — void hypercall round trip ({} iterations)", iters()),
         &["configuration", "cycles/hypercall"],
         &[
             vec!["original Xen".into(), format!("{base:.0}")],
@@ -44,6 +47,9 @@ fn main() {
             vec!["  of which shadow+check".into(), format!("{shadow_model:.0}")],
         ],
     );
-    println!("\n  paper: shadowing and checking average 661 cycles per round trip");
-    println!("  (the remainder of the delta is the type-3 gated VMRUN, paper: 339).");
+    fidelius_bench::note!("\n  paper: shadowing and checking average 661 cycles per round trip");
+    fidelius_bench::note!("  (the remainder of the delta is the type-3 gated VMRUN, paper: 339).");
+    if fidelius_bench::json_mode() {
+        fidelius_bench::emit_snapshot(&fid.plat.machine.telemetry_snapshot());
+    }
 }

@@ -70,11 +70,11 @@ fn main() -> Result<(), XenError> {
             "Xen not accessible".into(),
         ],
     ];
-    fidelius_bench::print_table(
+    fidelius_bench::emit_table(
         "Table 1 — permissions in the hypervisor's address space (probed live)",
         &["resource", "Xen permission", "policy"],
         &rows,
     );
-    println!("\n  (Fidelius itself reaches all of these through its gates.)");
+    fidelius_bench::note!("\n  (Fidelius itself reaches all of these through its gates.)");
     Ok(())
 }

@@ -31,31 +31,46 @@ fn main() -> Result<(), XenError> {
         ]);
     };
     case(
-        &mut sys, "MOV CR0", "type 2", xen_sites.write_cr0,
+        &mut sys,
+        "MOV CR0",
+        "type 2",
+        xen_sites.write_cr0,
         PrivOp::WriteCr0(Cr0 { pg: true, wp: false }),
         "PG and WP cannot be cleared",
     );
     case(
-        &mut sys, "MOV CR4", "type 2", xen_sites.write_cr4,
+        &mut sys,
+        "MOV CR4",
+        "type 2",
+        xen_sites.write_cr4,
         PrivOp::WriteCr4(Cr4 { smep: false }),
         "SMEP cannot be cleared",
     );
     case(
-        &mut sys, "WRMSR", "type 2", xen_sites.wrmsr,
+        &mut sys,
+        "WRMSR",
+        "type 2",
+        xen_sites.wrmsr,
         PrivOp::WriteEfer(Efer { nxe: false, svme: true }),
         "NXE cannot be cleared",
     );
     case(
-        &mut sys, "VMRUN", "type 3", xen_sites.vmrun,
+        &mut sys,
+        "VMRUN",
+        "type 3",
+        xen_sites.vmrun,
         PrivOp::Vmrun(Hpa(0x5000)),
         "VMCB fields cannot be tampered",
     );
     case(
-        &mut sys, "MOV CR3", "type 3", xen_sites.write_cr3,
+        &mut sys,
+        "MOV CR3",
+        "type 3",
+        xen_sites.write_cr3,
         PrivOp::WriteCr3(Hpa(0x6666_0000)),
         "target CR3 must be valid",
     );
-    fidelius_bench::print_table(
+    fidelius_bench::emit_table(
         "Table 2 — privileged instructions under Fidelius (probed live)",
         &["instruction", "gate", "raw execution", "bad operand via gate", "policy"],
         &rows,
@@ -64,9 +79,7 @@ fn main() -> Result<(), XenError> {
     sys.guardian
         .exec_priv(&mut sys.plat, PrivOp::WriteCr0(Cr0 { pg: true, wp: true }))
         .expect("legal CR0 write");
-    sys.guardian
-        .exec_priv(&mut sys.plat, PrivOp::WriteCr3(host_root))
-        .expect("legal CR3 reload");
-    println!("\n  legitimate operations (WP kept, valid CR3 target) pass the gates.");
+    sys.guardian.exec_priv(&mut sys.plat, PrivOp::WriteCr3(host_root)).expect("legal CR3 reload");
+    fidelius_bench::note!("\n  legitimate operations (WP kept, valid CR3 target) pass the gates.");
     Ok(())
 }

@@ -17,12 +17,16 @@ fn main() {
             vec![r.pattern.label().to_string(), xen, fid, fidelius_bench::pct(r.slowdown_pct)]
         })
         .collect();
-    fidelius_bench::print_table(
+    fidelius_bench::emit_table(
         "Table 3 — fio: Xen vs Fidelius (AES-NI path)",
         &["operation", "Xen", "Fidelius AES-NI", "slowdown"],
         &table,
     );
-    println!("\n  paper: rand-read 1.38%, seq-read 22.91%, rand-write 0.70%, seq-write 3.61%");
-    println!("  shape preserved: seq-read dominates (decryption on the critical path),");
-    println!("  writes are cheap (batched encryption off the critical path).");
+    fidelius_bench::note!(
+        "\n  paper: rand-read 1.38%, seq-read 22.91%, rand-write 0.70%, seq-write 3.61%"
+    );
+    fidelius_bench::note!(
+        "  shape preserved: seq-read dominates (decryption on the critical path),"
+    );
+    fidelius_bench::note!("  writes are cheap (batched encryption off the critical path).");
 }

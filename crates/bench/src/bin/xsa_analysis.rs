@@ -5,7 +5,7 @@ use fidelius_attacks::xsa;
 fn main() {
     let data = xsa::dataset();
     let s = xsa::analyze(&data);
-    fidelius_bench::print_table(
+    fidelius_bench::emit_table(
         "XSA analysis (paper §6.2)",
         &["class", "count", "share of hypervisor XSAs"],
         &[
@@ -21,12 +21,20 @@ fn main() {
                 s.info_leak_thwarted.to_string(),
                 format!("{:.1}%", s.info_leak_pct),
             ],
-            vec!["guest-internal (out of scope)".into(), s.guest_internal.to_string(),
-                 format!("{:.1}%", 100.0 * s.guest_internal as f64 / s.hypervisor_related as f64)],
-            vec!["denial of service (out of scope)".into(), s.dos.to_string(),
-                 format!("{:.1}%", 100.0 * s.dos as f64 / s.hypervisor_related as f64)],
+            vec![
+                "guest-internal (out of scope)".into(),
+                s.guest_internal.to_string(),
+                format!("{:.1}%", 100.0 * s.guest_internal as f64 / s.hypervisor_related as f64),
+            ],
+            vec![
+                "denial of service (out of scope)".into(),
+                s.dos.to_string(),
+                format!("{:.1}%", 100.0 * s.dos as f64 / s.hypervisor_related as f64),
+            ],
         ],
     );
-    println!("\n  paper: 235 XSAs, 177 hypervisor-related; Fidelius thwarts 31 (17.5%)");
-    println!("  privilege escalations and 22 (12.4%) information leaks.");
+    fidelius_bench::note!(
+        "\n  paper: 235 XSAs, 177 hypervisor-related; Fidelius thwarts 31 (17.5%)"
+    );
+    fidelius_bench::note!("  privilege escalations and 22 (12.4%) information leaks.");
 }

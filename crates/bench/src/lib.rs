@@ -1,11 +1,78 @@
 //! Shared helpers for the benchmark/reproduction binaries.
 //!
 //! Each paper table/figure has a binary in `src/bin/` that regenerates
-//! it; Criterion benches in `benches/` measure the wall-clock cost of the
-//! implementation itself.
+//! it; the plain timing harnesses in `benches/` measure the wall-clock
+//! cost of the implementation itself.
+//!
+//! Every binary supports `--json`: tables are then emitted as one
+//! JSON-lines object per table (`{"table": ..., "headers": [...],
+//! "rows": [[...]]}`), free-text notes are suppressed, and telemetry
+//! snapshots render as `{"telemetry": {...}}` — all parseable with
+//! [`fidelius_telemetry::Json`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+use fidelius_telemetry::{Json, Snapshot};
+
+/// Whether `--json` was passed: machine-readable JSON-lines output.
+pub fn json_mode() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Value of a `--name N` command-line override, or the default.
+pub fn arg_u64(name: &str, default: u64) -> u64 {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                return v;
+            }
+        }
+    }
+    default
+}
+
+/// Prints a note line — suppressed under `--json` so the output stream
+/// stays pure JSON lines.
+#[macro_export]
+macro_rules! note {
+    ($($arg:tt)*) => {
+        if !$crate::json_mode() { println!($($arg)*); }
+    };
+}
+
+/// Emits a result table: fixed-width text normally, one JSON object line
+/// under `--json`.
+pub fn emit_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    if json_mode() {
+        let json = Json::obj(vec![
+            ("table", Json::str(title)),
+            ("headers", Json::Arr(headers.iter().map(|h| Json::str(*h)).collect())),
+            (
+                "rows",
+                Json::Arr(
+                    rows.iter()
+                        .map(|r| Json::Arr(r.iter().map(|c| Json::str(c)).collect()))
+                        .collect(),
+                ),
+            ),
+        ]);
+        println!("{json}");
+    } else {
+        print_table(title, headers, rows);
+    }
+}
+
+/// Emits a telemetry snapshot: a `{"telemetry": ...}` JSON line under
+/// `--json`, the text report otherwise.
+pub fn emit_snapshot(snapshot: &Snapshot) {
+    if json_mode() {
+        println!("{}", Json::obj(vec![("telemetry", snapshot.to_json())]));
+    } else {
+        println!("{}", snapshot.text_report());
+    }
+}
 
 /// Prints a fixed-width text table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
@@ -38,6 +105,18 @@ pub fn pct(v: f64) -> String {
     format!("{v:.2}%")
 }
 
+/// Times `f` over `iters` iterations (after one warm-up call) and returns
+/// nanoseconds per iteration. The plain replacement for the external
+/// benchmark harness in `benches/`.
+pub fn time_ns_per_iter<R>(iters: u32, mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f());
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(iters.max(1))
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -47,5 +126,20 @@ mod tests {
             &["a", "b"],
             &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
         );
+    }
+
+    #[test]
+    fn timer_returns_positive() {
+        let mut x = 0u64;
+        let ns = super::time_ns_per_iter(10, || {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert!(ns >= 0.0);
+    }
+
+    #[test]
+    fn arg_u64_falls_back_to_default() {
+        assert_eq!(super::arg_u64("--definitely-not-passed", 42), 42);
     }
 }

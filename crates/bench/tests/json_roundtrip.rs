@@ -1,0 +1,86 @@
+//! `--json` round trip: run the benchmark binaries in JSON mode and parse
+//! every output line back with the telemetry JSON parser.
+
+use fidelius_telemetry::Json;
+use std::process::Command;
+
+fn run_json(bin: &str, extra: &[&str]) -> Vec<Json> {
+    let mut cmd = Command::new(bin);
+    cmd.arg("--json").args(extra);
+    let out = cmd.output().unwrap_or_else(|e| panic!("running {bin}: {e}"));
+    assert!(out.status.success(), "{bin} failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).expect("utf8 output");
+    let lines: Vec<Json> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| Json::parse(l).unwrap_or_else(|e| panic!("{bin}: bad JSON line {l:?}: {e}")))
+        .collect();
+    assert!(!lines.is_empty(), "{bin} produced no JSON output");
+    lines
+}
+
+fn tables(lines: &[Json]) -> Vec<&Json> {
+    lines.iter().filter(|j| j.get("table").is_some()).collect()
+}
+
+#[test]
+fn micro_gates_json_round_trips() {
+    let lines = run_json(env!("CARGO_BIN_EXE_micro_gates"), &["--iters", "50"]);
+    let tabs = tables(&lines);
+    assert_eq!(tabs.len(), 1);
+    let t = tabs[0];
+    assert!(t.get("table").unwrap().as_str().unwrap().contains("50 iterations"));
+    let headers = t.get("headers").unwrap().as_array().unwrap();
+    assert_eq!(headers[0].as_str(), Some("gate"));
+    let rows = t.get("rows").unwrap().as_array().unwrap();
+    assert_eq!(rows.len(), 3, "one row per gate type");
+
+    // The appended telemetry snapshot parses and its per-category cycle
+    // attribution sums to the reported total.
+    let snap =
+        lines.iter().find_map(|j| j.get("telemetry")).expect("micro_gates emits a telemetry line");
+    let cycles = snap.get("cycles").expect("cycles breakdown");
+    let total = cycles.get("total").unwrap().as_f64().unwrap();
+    let sum: f64 =
+        ["baseline", "world-switch", "gates", "shadow-verify", "crypto-engine", "paging"]
+            .iter()
+            .map(|c| cycles.get(c).unwrap().as_f64().unwrap())
+            .sum();
+    assert_eq!(sum, total, "category sums must equal the grand total");
+    let gates = snap.get("metrics").unwrap().get("gates_by_type").unwrap();
+    assert_eq!(gates.get("type1").unwrap().as_u64(), Some(50));
+}
+
+#[test]
+fn micro_shadow_json_round_trips() {
+    let lines = run_json(env!("CARGO_BIN_EXE_micro_shadow"), &["--iters", "20"]);
+    let tabs = tables(&lines);
+    assert_eq!(tabs.len(), 1);
+    let rows = tabs[0].get("rows").unwrap().as_array().unwrap();
+    assert_eq!(rows.len(), 4);
+    // Row cells are strings; the Fidelius row must carry a numeric cost.
+    let fid_row = rows[1].as_array().unwrap();
+    assert_eq!(fid_row[0].as_str(), Some("Fidelius"));
+    assert!(fid_row[1].as_str().unwrap().parse::<f64>().unwrap() > 0.0);
+    // The protected system actually entered the guest: its telemetry
+    // snapshot counts vmruns, hypercalls and shadow round trips.
+    let snap = lines.iter().find_map(|j| j.get("telemetry")).expect("telemetry line");
+    let metrics = snap.get("metrics").unwrap();
+    assert!(metrics.get("vmruns").unwrap().as_u64().unwrap() >= 20);
+    assert!(metrics.get("shadow_captures").unwrap().as_u64().unwrap() >= 20);
+    assert!(metrics.get("shadow_verify_clean").unwrap().as_u64().unwrap() >= 20);
+}
+
+#[test]
+fn table2_json_round_trips() {
+    let lines = run_json(env!("CARGO_BIN_EXE_table2_instructions"), &[]);
+    let tabs = tables(&lines);
+    assert_eq!(tabs.len(), 1);
+    let rows = tabs[0].get("rows").unwrap().as_array().unwrap();
+    assert_eq!(rows.len(), 5, "five probed instructions");
+    for row in rows {
+        let cells = row.as_array().unwrap();
+        assert_eq!(cells[2].as_str(), Some("erased/unmapped in Xen"));
+        assert_eq!(cells[3].as_str(), Some("denied"));
+    }
+}

@@ -6,50 +6,35 @@
 //! recorded with what was attempted and why it was refused; a cloud
 //! operator (or the guest owner, via attestation-protected channels)
 //! reads this to detect a compromised hypervisor probing its boundaries.
+//!
+//! The log is a thin consumer of the telemetry event stream: denials are
+//! emitted as [`Event::Denial`] through the tracer and the same typed
+//! [`DenialReason`] is recorded here via [`AuditLog::ingest`] — the ring
+//! buffer, the metrics registry and the audit log can never disagree about
+//! what was refused.
 
 use std::collections::VecDeque;
 use std::fmt;
 
-/// What kind of event was recorded.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum AuditKind {
-    /// A PIT policy rejected a mapping update.
-    PitViolation,
-    /// A GIT policy rejected a grant operation.
-    GitViolation,
-    /// A privileged-instruction policy rejected an operand.
-    InstrViolation,
-    /// VMCB/register integrity verification failed at the entry boundary.
-    IntegrityViolation,
-    /// A write-once / execute-once policy latched.
-    OnceViolation,
-    /// Any other policy denial.
-    Other,
-}
-
-impl fmt::Display for AuditKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            AuditKind::PitViolation => "pit",
-            AuditKind::GitViolation => "git",
-            AuditKind::InstrViolation => "instr",
-            AuditKind::IntegrityViolation => "integrity",
-            AuditKind::OnceViolation => "once",
-            AuditKind::Other => "other",
-        };
-        write!(f, "{s}")
-    }
-}
+pub use fidelius_telemetry::{AuditKind, DenialReason};
+use fidelius_telemetry::{Event, VerifyOutcome};
 
 /// One recorded event.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AuditEvent {
     /// Monotonic sequence number.
     pub seq: u64,
-    /// Classification.
+    /// Classification (always `reason.kind()`).
     pub kind: AuditKind,
     /// Why the operation was refused.
-    pub reason: &'static str,
+    pub reason: DenialReason,
+}
+
+impl AuditEvent {
+    /// The legacy reason string (what `reason` used to store directly).
+    pub fn reason_str(&self) -> &'static str {
+        self.reason.as_str()
+    }
 }
 
 impl fmt::Display for AuditEvent {
@@ -84,14 +69,32 @@ impl AuditLog {
         AuditLog { events: VecDeque::with_capacity(capacity), capacity, next_seq: 0, dropped: 0 }
     }
 
-    /// Records an event, evicting the oldest when full.
-    pub fn record(&mut self, kind: AuditKind, reason: &'static str) {
+    /// Records a denial, evicting the oldest entry when full. The kind is
+    /// derived from the reason — the two can no longer disagree.
+    pub fn record(&mut self, reason: DenialReason) {
         if self.events.len() == self.capacity {
             self.events.pop_front();
             self.dropped += 1;
         }
-        self.events.push_back(AuditEvent { seq: self.next_seq, kind, reason });
+        self.events.push_back(AuditEvent { seq: self.next_seq, kind: reason.kind(), reason });
         self.next_seq += 1;
+    }
+
+    /// Consumes one telemetry event, recording it when it is a denial
+    /// (policy denial or failed shadow verification). Returns whether the
+    /// event was recorded.
+    pub fn ingest(&mut self, event: &Event) -> bool {
+        match event {
+            Event::Denial { reason } => {
+                self.record(*reason);
+                true
+            }
+            Event::ShadowVerify { outcome: VerifyOutcome::Tampered(reason), .. } => {
+                self.record(*reason);
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Iterates the retained events, oldest first.
@@ -115,8 +118,11 @@ impl AuditLog {
     }
 }
 
-/// Classifies a denial reason string into an [`AuditKind`] (reasons are
-/// the static strings Fidelius's policies emit).
+/// Classifies a denial reason string into an [`AuditKind`] with substring
+/// heuristics.
+#[deprecated(
+    note = "denials are typed now; use `DenialReason::kind()` instead of string classification"
+)]
 pub fn classify(reason: &str) -> AuditKind {
     if reason.contains("grant") || reason.contains("pre_sharing") {
         AuditKind::GitViolation
@@ -137,8 +143,12 @@ pub fn classify(reason: &str) -> AuditKind {
         || reason.contains("diverted")
     {
         AuditKind::IntegrityViolation
-    } else if reason.contains("page") || reason.contains("frame") || reason.contains("NPT")
-        || reason.contains("PIT") || reason.contains("replay") || reason.contains("mappable")
+    } else if reason.contains("page")
+        || reason.contains("frame")
+        || reason.contains("NPT")
+        || reason.contains("PIT")
+        || reason.contains("replay")
+        || reason.contains("mappable")
     {
         AuditKind::PitViolation
     } else {
@@ -153,20 +163,21 @@ mod tests {
     #[test]
     fn records_and_counts() {
         let mut log = AuditLog::new(4);
-        log.record(AuditKind::PitViolation, "mapping violates PIT policy");
-        log.record(AuditKind::GitViolation, "grant not authorized");
+        log.record(DenialReason::PitPolicyViolation);
+        log.record(DenialReason::GrantNotAuthorized);
         assert_eq!(log.total(), 2);
         assert_eq!(log.count(AuditKind::PitViolation), 1);
         let first = log.iter().next().unwrap();
         assert_eq!(first.seq, 0);
         assert_eq!(first.to_string(), "#0 [pit] mapping violates PIT policy");
+        assert_eq!(first.reason_str(), "mapping violates PIT policy");
     }
 
     #[test]
     fn bounded_with_eviction() {
         let mut log = AuditLog::new(2);
         for _ in 0..5 {
-            log.record(AuditKind::Other, "x");
+            log.record(DenialReason::Legacy("x"));
         }
         assert_eq!(log.total(), 5);
         assert_eq!(log.dropped(), 3);
@@ -175,7 +186,36 @@ mod tests {
     }
 
     #[test]
-    fn classification_heuristics() {
+    fn kind_is_derived_from_reason() {
+        let mut log = AuditLog::new(8);
+        log.record(DenialReason::GrantNotAuthorized);
+        log.record(DenialReason::Cr0WpClear);
+        log.record(DenialReason::RemapPopulatedGpa);
+        log.record(DenialReason::VmcbFieldTampered);
+        log.record(DenialReason::WriteOnceAlreadyInitialized);
+        assert_eq!(log.count(AuditKind::GitViolation), 1);
+        assert_eq!(log.count(AuditKind::InstrViolation), 1);
+        assert_eq!(log.count(AuditKind::PitViolation), 1);
+        assert_eq!(log.count(AuditKind::IntegrityViolation), 1);
+        assert_eq!(log.count(AuditKind::OnceViolation), 1);
+    }
+
+    #[test]
+    fn ingest_consumes_denials_only() {
+        let mut log = AuditLog::new(8);
+        assert!(log.ingest(&Event::Denial { reason: DenialReason::FrameNotMappable }));
+        assert!(log.ingest(&Event::ShadowVerify {
+            vmcb_pa: 0x1000,
+            outcome: VerifyOutcome::Tampered(DenialReason::GuestRipDiverted),
+        }));
+        assert!(!log.ingest(&Event::Vmrun { asid: 1, sev: true }));
+        assert_eq!(log.total(), 2);
+        assert_eq!(log.count(AuditKind::IntegrityViolation), 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn classification_heuristics_shim() {
         assert_eq!(classify("grant not authorized by pre_sharing (GIT)"), AuditKind::GitViolation);
         assert_eq!(classify("CR0.WP cannot be cleared"), AuditKind::InstrViolation);
         assert_eq!(classify("remapping a populated GPA (replay)"), AuditKind::PitViolation);

@@ -11,8 +11,8 @@
 //! | privileged instructions | monopolized + policy (Table 2) / unmapped | type 2 / 3 |
 //! | guest frames | unmapped from the hypervisor after boot (§4.3.4) | — |
 
-use crate::audit::{classify, AuditKind, AuditLog};
-use crate::gates::{GateMapping, Gates};
+use crate::audit::AuditLog;
+use crate::gates::{privop_label, GateMapping, Gates};
 use crate::git::{Git, GitEntry};
 use crate::pit::{Pit, PitEntry, Usage};
 use crate::policy::{check_instr, InstrPolicyCtx, InstrVerdict, OncePolicy};
@@ -20,13 +20,15 @@ use crate::scanner;
 use crate::shadow::{ShadowCtx, Verdict};
 use fidelius_crypto::sha256::Sha256;
 use fidelius_hw::cpu::PrivOp;
+use fidelius_hw::cycles::CycleCategory;
 use fidelius_hw::memctrl::EncSel;
-use fidelius_hw::paging::{Mapper, PhysPtAccess, Pte, PtAccess, PTE_NX, PTE_PRESENT, PTE_WRITABLE};
+use fidelius_hw::paging::{Mapper, PhysPtAccess, PtAccess, Pte, PTE_NX, PTE_PRESENT, PTE_WRITABLE};
 use fidelius_hw::regs::Cr4;
 use fidelius_hw::vmcb::{ExitCode, VmcbField, VmcbImage};
 use fidelius_hw::{Hpa, PAGE_SIZE};
 use fidelius_sev::firmware::IoHelpers;
 use fidelius_sev::Handle;
+use fidelius_telemetry::{DenialReason, Event, FlushScope, PolicyObject, VerifyOutcome};
 use fidelius_xen::domain::{Domain, DomainId};
 use fidelius_xen::grants::{read_entry_phys, GrantEntry, GRANT_ENTRY_SIZE, GRANT_TABLE_ENTRIES};
 use fidelius_xen::guardian::{GuardError, Guardian, IoDir, LateLaunchInfo};
@@ -189,18 +191,14 @@ impl Fidelius {
             self.once.track(frame, PAGE_SIZE);
         }
         if !self.once.try_use_page(frame) {
-            return Err(self.deny("write-once page already initialized"));
+            return Err(self.deny(plat, DenialReason::WriteOnceAlreadyInitialized));
         }
         let e = self.pit.peek(frame);
         self.pit.set(frame, PitEntry::new(Usage::WriteOnce, e.owner(), e.asid(), e.shared()));
         let mut gates = self.gates.take().expect("late_launch must run first");
         let data = data.to_vec();
         let result = gates.type1(plat, move |plat| {
-            plat.machine
-                .mc
-                .dram_mut()
-                .write_raw(frame, &data)
-                .map_err(GuardError::Hw)
+            plat.machine.mc.dram_mut().write_raw(frame, &data).map_err(GuardError::Hw)
         });
         self.gates = Some(gates);
         result
@@ -233,8 +231,9 @@ impl Fidelius {
     ) -> Result<(f64, f64, f64), GuardError> {
         let mut gates = self.gates.take().expect("late_launch must run first");
         let host_root = self.host_pt_root;
-        let measure = |plat: &mut Platform, f: &mut dyn FnMut(&mut Platform) -> Result<(), GuardError>|
-            -> Result<f64, GuardError> {
+        let measure = |plat: &mut Platform,
+                       f: &mut dyn FnMut(&mut Platform) -> Result<(), GuardError>|
+         -> Result<f64, GuardError> {
             let start = plat.machine.cycles.total_f64();
             for _ in 0..iters {
                 f(plat)?;
@@ -247,8 +246,7 @@ impl Fidelius {
         let sti_site = gates.sites.sti;
         plat.machine.exec_priv(sti_site, PrivOp::Sti).map_err(GuardError::Hw)?;
         let cr3_cost = plat.machine.cost.write_cr3 + plat.machine.cost.tlb_flush_full;
-        let t3raw =
-            measure(plat, &mut |plat| gates.type3(plat, PrivOp::WriteCr3(host_root)))?;
+        let t3raw = measure(plat, &mut |plat| gates.type3(plat, PrivOp::WriteCr3(host_root)))?;
         self.gates = Some(gates);
         Ok((t1, t2raw - cli_cost, t3raw - cr3_cost))
     }
@@ -257,10 +255,30 @@ impl Fidelius {
         self.gates.as_mut().expect("late_launch must run first")
     }
 
-    fn deny(&mut self, why: &'static str) -> GuardError {
+    /// Records a typed denial: bump the counter, emit the trace event, feed
+    /// the audit log from that same event, and build the legacy error.
+    fn deny(&mut self, plat: &mut Platform, reason: DenialReason) -> GuardError {
         self.stats.policy_rejections += 1;
-        self.audit.record(classify(why), why);
-        GuardError::Policy(why)
+        let ev = Event::Denial { reason };
+        plat.machine.trace.emit(ev.clone());
+        self.audit.ingest(&ev);
+        GuardError::Policy(reason.as_str())
+    }
+
+    /// A denial at a policy decision point: emits the (refused) decision
+    /// event with its operands before the denial itself.
+    #[allow(clippy::too_many_arguments)]
+    fn refuse(
+        &mut self,
+        plat: &mut Platform,
+        object: PolicyObject,
+        op: &'static str,
+        operand: u64,
+        dom: u16,
+        reason: DenialReason,
+    ) -> GuardError {
+        plat.machine.trace.emit(Event::Decision { object, op, operand, dom, allowed: false });
+        self.deny(plat, reason)
     }
 
     /// The audit log of refused operations (§5.3).
@@ -381,7 +399,11 @@ impl Guardian for Fidelius {
 
         // 2. Build the PIT.
         let dram_pages = plat.machine.mc.dram().frames();
-        self.pit.set_range(Hpa(0), GUEST_POOL_PA.pfn().min(dram_pages), PitEntry::new(Usage::XenData, 0, 0, false));
+        self.pit.set_range(
+            Hpa(0),
+            GUEST_POOL_PA.pfn().min(dram_pages),
+            PitEntry::new(Usage::XenData, 0, 0, false),
+        );
         self.pit.set_range(xen_pa, xen_pages, PitEntry::new(Usage::XenCode, 0, 0, false));
         let (fid_pa, fid_pages) = info.fidelius_code;
         self.pit.set_range(fid_pa, fid_pages, PitEntry::new(Usage::FideliusCode, 0, 0, false));
@@ -427,38 +449,41 @@ impl Guardian for Fidelius {
             let mut acc = PhysPtAccess::new(&mut plat.machine.mc, EncSel::None);
             if let Some(entry) = mapper.leaf_entry_pa(&mut acc, va.0).map_err(GuardError::Hw)? {
                 let old = Pte(acc.read_entry(entry).map_err(GuardError::Hw)?);
-                acc.write_entry(entry, old.without_flags(PTE_PRESENT).0)
-                    .map_err(GuardError::Hw)?;
+                acc.write_entry(entry, old.without_flags(PTE_PRESENT).0).map_err(GuardError::Hw)?;
             }
         }
 
         // 4. Unmap the vmrun / mov-cr3 pages of Fidelius's code and wire
         //    the type-3 gate mapping slots.
         let sites = info.fidelius_sites;
-        let slot_for = |plat: &mut Platform, site_va: fidelius_hw::Hva| -> Result<GateMapping, GuardError> {
-            let page_va = site_va.page_base();
-            let mapper = Mapper::from_root(info.host_pt_root);
-            let mut acc = PhysPtAccess::new(&mut plat.machine.mc, EncSel::None);
-            let leaf_entry_pa = mapper
-                .leaf_entry_pa(&mut acc, page_va.0)
-                .map_err(GuardError::Hw)?
-                .ok_or(GuardError::Policy("instruction page unmapped at launch"))?;
-            let mapped_pte = acc.read_entry(leaf_entry_pa).map_err(GuardError::Hw)?;
-            acc.write_entry(leaf_entry_pa, 0).map_err(GuardError::Hw)?;
-            Ok(GateMapping { leaf_entry_pa, mapped_pte, page_va })
-        };
+        let slot_for =
+            |plat: &mut Platform, site_va: fidelius_hw::Hva| -> Result<GateMapping, GuardError> {
+                let page_va = site_va.page_base();
+                let mapper = Mapper::from_root(info.host_pt_root);
+                let mut acc = PhysPtAccess::new(&mut plat.machine.mc, EncSel::None);
+                let leaf_entry_pa = mapper
+                    .leaf_entry_pa(&mut acc, page_va.0)
+                    .map_err(GuardError::Hw)?
+                    .ok_or(GuardError::Policy("instruction page unmapped at launch"))?;
+                let mapped_pte = acc.read_entry(leaf_entry_pa).map_err(GuardError::Hw)?;
+                acc.write_entry(leaf_entry_pa, 0).map_err(GuardError::Hw)?;
+                Ok(GateMapping { leaf_entry_pa, mapped_pte, page_va })
+            };
         let vmrun_page = slot_for(plat, sites.vmrun)?;
         let cr3_page = slot_for(plat, sites.write_cr3)?;
         self.gates = Some(Gates::new(sites, vmrun_page, cr3_page));
 
         // 5. Execute-once policy for lgdt/lidt sites; write-once regions
         //    could be registered here as guests appear.
-        self.once.track(Hpa(fid_pa.0 + (sites.lgdt.0 - fidelius_xen::layout::FIDELIUS_CODE_BASE.0)), 8);
-        self.once.track(Hpa(fid_pa.0 + (sites.lidt.0 - fidelius_xen::layout::FIDELIUS_CODE_BASE.0)), 8);
+        self.once
+            .track(Hpa(fid_pa.0 + (sites.lgdt.0 - fidelius_xen::layout::FIDELIUS_CODE_BASE.0)), 8);
+        self.once
+            .track(Hpa(fid_pa.0 + (sites.lidt.0 - fidelius_xen::layout::FIDELIUS_CODE_BASE.0)), 8);
 
         // 6. Fresh translations + SMEP on.
         plat.machine.tlb.flush_all();
-        plat.machine.cycles.charge(plat.machine.cost.tlb_flush_full);
+        plat.machine.cycles.charge_as(CycleCategory::Paging, plat.machine.cost.tlb_flush_full);
+        plat.machine.trace.emit(Event::TlbFlush { scope: FlushScope::Full });
         plat.machine
             .exec_priv(sites.write_cr4, PrivOp::WriteCr4(Cr4 { smep: true }))
             .map_err(GuardError::Hw)?;
@@ -473,18 +498,37 @@ impl Guardian for Fidelius {
     ) -> Result<(), GuardError> {
         let page = entry_pa.page_base();
         if self.pit.query(page, &mut plat.machine.cycles).usage() != Usage::XenPageTable {
-            return Err(self.deny("target is not a hypervisor page-table-page"));
+            return Err(self.refuse(
+                plat,
+                PolicyObject::Pit,
+                "host-pt-write",
+                entry_pa.0,
+                0,
+                DenialReason::NotAPageTablePage,
+            ));
         }
         let pte = Pte(value);
         if pte.present() && !self.host_mapping_allowed(plat, pte.addr().page_base(), pte.writable())
         {
-            return Err(self.deny("mapping violates PIT policy"));
+            return Err(self.refuse(
+                plat,
+                PolicyObject::Pit,
+                "host-pt-write",
+                value,
+                0,
+                DenialReason::PitPolicyViolation,
+            ));
         }
+        plat.machine.trace.emit(Event::Decision {
+            object: PolicyObject::Pit,
+            op: "host-pt-write",
+            operand: value,
+            dom: 0,
+            allowed: true,
+        });
         let mut gates = self.gates.take().expect("late_launch must run first");
         let result = gates.type1(plat, |plat| {
-            plat.machine
-                .host_write_u64(direct_map(entry_pa), value)
-                .map_err(GuardError::Fault)
+            plat.machine.host_write_u64(direct_map(entry_pa), value).map_err(GuardError::Fault)
         });
         self.gates = Some(gates);
         result
@@ -500,10 +544,26 @@ impl Guardian for Fidelius {
         let page = entry_pa.page_base();
         let info = match self.npt_pages.get(&page.pfn()) {
             Some(i) => *i,
-            None => return Err(self.deny("write outside any registered NPT page")),
+            None => {
+                return Err(self.refuse(
+                    plat,
+                    PolicyObject::Pit,
+                    "npt-write",
+                    entry_pa.0,
+                    dom.0,
+                    DenialReason::WriteOutsideRegisteredNpt,
+                ))
+            }
         };
         if info.dom != dom {
-            return Err(self.deny("NPT page belongs to another domain"));
+            return Err(self.refuse(
+                plat,
+                PolicyObject::Pit,
+                "npt-write",
+                entry_pa.0,
+                dom.0,
+                DenialReason::NptPageForeignDomain,
+            ));
         }
         let idx = entry_pa.page_offset() / 8;
         let pte = Pte(value);
@@ -517,11 +577,27 @@ impl Guardian for Fidelius {
                 let already = self.npt_pages.get(&target.pfn());
                 match already {
                     Some(existing) if existing.dom == dom => {} // re-link
-                    Some(_) => return Err(self.deny("table page belongs to another domain")),
+                    Some(_) => {
+                        return Err(self.refuse(
+                            plat,
+                            PolicyObject::Pit,
+                            "npt-write",
+                            value,
+                            dom.0,
+                            DenialReason::TablePageForeignDomain,
+                        ))
+                    }
                     None => {
                         let usage = self.pit.query(target, &mut plat.machine.cycles).usage();
                         if usage != Usage::XenData {
-                            return Err(self.deny("intermediate NPT page must be a heap page"));
+                            return Err(self.refuse(
+                                plat,
+                                PolicyObject::Pit,
+                                "npt-write",
+                                value,
+                                dom.0,
+                                DenialReason::IntermediateNotHeapPage,
+                            ));
                         }
                         let child_prefix =
                             info.gpa_prefix + (idx << (12 + 9 * u64::from(info.level)));
@@ -536,47 +612,94 @@ impl Guardian for Fidelius {
                 let gpa_page = (info.gpa_prefix >> 12) + idx;
                 let frame = pte.addr().page_base();
                 let entry = self.pit.query(frame, &mut plat.machine.cycles);
-                let assigned = self
-                    .assignments
-                    .get(&dom)
-                    .and_then(|m| m.get(&gpa_page))
-                    .copied();
+                let assigned = self.assignments.get(&dom).and_then(|m| m.get(&gpa_page)).copied();
                 match assigned {
                     Some(f) if f == frame => {} // permission / C-bit update
-                    Some(_) => return Err(self.deny("remapping a populated GPA (replay)")),
+                    Some(_) => {
+                        return Err(self.refuse(
+                            plat,
+                            PolicyObject::Pit,
+                            "npt-write",
+                            frame.0,
+                            dom.0,
+                            DenialReason::RemapPopulatedGpa,
+                        ))
+                    }
                     None => match entry.usage() {
                         Usage::Free => {
                             if self.frame_assigned_elsewhere(dom, gpa_page, frame) {
-                                return Err(self.deny("frame already backs another GPA"));
+                                return Err(self.refuse(
+                                    plat,
+                                    PolicyObject::Pit,
+                                    "npt-write",
+                                    frame.0,
+                                    dom.0,
+                                    DenialReason::FrameAlreadyBacksGpa,
+                                ));
                             }
                             claim = Some((frame, gpa_page));
                         }
                         Usage::GuestPage if DomainId(entry.owner()) == dom => {
                             if self.frame_assigned_elsewhere(dom, gpa_page, frame) {
-                                return Err(self.deny("in-domain page shuffle (replay)"));
+                                return Err(self.refuse(
+                                    plat,
+                                    PolicyObject::Pit,
+                                    "npt-write",
+                                    frame.0,
+                                    dom.0,
+                                    DenialReason::InDomainPageShuffle,
+                                ));
                             }
                             claim = Some((frame, gpa_page));
                         }
                         Usage::GuestPage if entry.shared() => {
                             if !self.grant_authorizes_foreign_map(plat, dom, frame, pte.writable())
                             {
-                                return Err(self.deny("foreign mapping not covered by a grant"));
+                                return Err(self.refuse(
+                                    plat,
+                                    PolicyObject::Pit,
+                                    "npt-write",
+                                    frame.0,
+                                    dom.0,
+                                    DenialReason::ForeignMappingWithoutGrant,
+                                ));
                             }
                         }
                         Usage::GuestPage => {
-                            return Err(self.deny("mapping another guest's private page"))
+                            return Err(self.refuse(
+                                plat,
+                                PolicyObject::Pit,
+                                "npt-write",
+                                frame.0,
+                                dom.0,
+                                DenialReason::MapOtherGuestPrivatePage,
+                            ))
                         }
-                        _ => return Err(self.deny("frame is not mappable into a guest")),
+                        _ => {
+                            return Err(self.refuse(
+                                plat,
+                                PolicyObject::Pit,
+                                "npt-write",
+                                frame.0,
+                                dom.0,
+                                DenialReason::FrameNotMappable,
+                            ))
+                        }
                     },
                 }
             }
         }
+        plat.machine.trace.emit(Event::Decision {
+            object: PolicyObject::Pit,
+            op: "npt-write",
+            operand: value,
+            dom: dom.0,
+            allowed: true,
+        });
         let sealed = self.doms.get(&dom).map(|m| m.sealed).unwrap_or(false);
         let mut gates = self.gates.take().expect("late_launch must run first");
         let result = gates.type1(plat, |plat| {
-            plat.machine
-                .host_write_u64(direct_map(entry_pa), value)
-                .map_err(GuardError::Fault)
+            plat.machine.host_write_u64(direct_map(entry_pa), value).map_err(GuardError::Fault)
         });
         self.gates = Some(gates);
         result?;
@@ -603,7 +726,14 @@ impl Guardian for Fidelius {
         entry: GrantEntry,
     ) -> Result<(), GuardError> {
         if index >= GRANT_TABLE_ENTRIES {
-            return Err(self.deny("grant index out of range"));
+            return Err(self.refuse(
+                plat,
+                PolicyObject::Git,
+                "grant-write",
+                index,
+                entry.owner,
+                DenialReason::GrantIndexOutOfRange,
+            ));
         }
         let old = read_entry_phys(&plat.machine.mc, self.grant_table_pa, index)
             .map_err(GuardError::Hw)?;
@@ -611,17 +741,35 @@ impl Guardian for Fidelius {
             let owner = DomainId(entry.owner);
             let grantee = DomainId(entry.grantee);
             if !self.git.authorizes(owner, grantee, entry.gpa_page, entry.writable) {
-                return Err(self.deny("grant not authorized by pre_sharing (GIT)"));
+                return Err(self.refuse(
+                    plat,
+                    PolicyObject::Git,
+                    "grant-write",
+                    entry.gpa_page,
+                    entry.owner,
+                    DenialReason::GrantNotAuthorized,
+                ));
             }
-            let assigned = self
-                .assignments
-                .get(&owner)
-                .and_then(|m| m.get(&entry.gpa_page))
-                .copied();
+            let assigned =
+                self.assignments.get(&owner).and_then(|m| m.get(&entry.gpa_page)).copied();
             if assigned != Some(entry.frame) {
-                return Err(self.deny("grant frame does not back the claimed GPA"));
+                return Err(self.refuse(
+                    plat,
+                    PolicyObject::Git,
+                    "grant-write",
+                    entry.frame.0,
+                    entry.owner,
+                    DenialReason::GrantFrameMismatch,
+                ));
             }
         }
+        plat.machine.trace.emit(Event::Decision {
+            object: PolicyObject::Git,
+            op: "grant-write",
+            operand: index,
+            dom: entry.owner,
+            allowed: true,
+        });
         let base = self.grant_table_pa.add(index * GRANT_ENTRY_SIZE);
         let words = entry.to_words();
         let mut gates = self.gates.take().expect("late_launch must run first");
@@ -656,7 +804,7 @@ impl Guardian for Fidelius {
 
     fn pre_sharing(
         &mut self,
-        _plat: &mut Platform,
+        plat: &mut Platform,
         initiator: DomainId,
         target: DomainId,
         gpa_page: u64,
@@ -672,20 +820,40 @@ impl Guardian for Fidelius {
             let _ = nframes;
             Ok(())
         } else {
-            Err(self.deny("pre_sharing relay does not match guest's request"))
+            Err(self.refuse(
+                plat,
+                PolicyObject::Git,
+                "pre-sharing",
+                gpa_page,
+                initiator.0,
+                DenialReason::PreSharingRelayMismatch,
+            ))
         }
     }
 
     fn enter_guest(&mut self, plat: &mut Platform, dom: &mut Domain) -> Result<(), GuardError> {
         let meta = match self.doms.get(&dom.id) {
             Some(m) => *m,
-            None => return Err(self.deny("unknown domain at entry")),
+            None => return Err(self.deny(plat, DenialReason::UnknownDomainAtEntry)),
+        };
+        // A typed integrity failure at the boundary: bump the counter, trace
+        // the failed verification, feed the audit log from that same event.
+        let tampered = |this: &mut Self, plat: &mut Platform, reason: DenialReason| {
+            this.stats.integrity_violations += 1;
+            let ev = Event::ShadowVerify {
+                vmcb_pa: dom.vmcb_pa.0,
+                outcome: VerifyOutcome::Tampered(reason),
+            };
+            plat.machine.trace.emit(ev.clone());
+            this.audit.ingest(&ev);
+            GuardError::IntegrityViolation(reason.as_str())
         };
         let img = VmcbImage::load(&plat.machine.mc, dom.vmcb_pa).map_err(GuardError::Hw)?;
         if let Some(shadow) = self.shadows.remove(&dom.id) {
             // Entry-side shadow cost: compare + restore + checks.
             let m = &mut plat.machine;
-            m.cycles.charge(
+            m.cycles.charge_as(
+                CycleCategory::ShadowVerify,
                 VMCB_LINES as f64 * m.cost.compare_cache_line
                     + 16.0 * m.cost.reg_copy
                     + m.cost.sanity_check
@@ -696,31 +864,31 @@ impl Guardian for Fidelius {
                     merged.store(&mut plat.machine.mc, dom.vmcb_pa).map_err(GuardError::Hw)?;
                     let regs = shadow.merged_gprs(&dom.gpr_save);
                     plat.machine.cpu.regs.load_array(regs);
+                    plat.machine.trace.emit(Event::ShadowVerify {
+                        vmcb_pa: dom.vmcb_pa.0,
+                        outcome: VerifyOutcome::Clean,
+                    });
                 }
                 Verdict::IllegalField(_f) => {
-                    self.stats.integrity_violations += 1;
-                    self.audit.record(AuditKind::IntegrityViolation, "vmcb field tampered");
+                    let err = tampered(self, plat, DenialReason::VmcbFieldTampered);
                     // Re-arm the shadow so a retry is still checked.
                     self.shadows.insert(dom.id, shadow);
-                    return Err(GuardError::IntegrityViolation("vmcb field tampered"));
+                    return Err(err);
                 }
                 Verdict::BadRipAdvance { .. } => {
-                    self.stats.integrity_violations += 1;
-                    self.audit.record(AuditKind::IntegrityViolation, "guest rip diverted");
+                    let err = tampered(self, plat, DenialReason::GuestRipDiverted);
                     self.shadows.insert(dom.id, shadow);
-                    return Err(GuardError::IntegrityViolation("guest rip diverted"));
+                    return Err(err);
                 }
             }
         } else {
             // First entry: verify the control fields against Fidelius's
             // own records (self-maintained SEV metadata).
             if img.get(VmcbField::Asid) != u64::from(meta.asid) {
-                self.stats.integrity_violations += 1;
-                return Err(GuardError::IntegrityViolation("asid mismatch at first entry"));
+                return Err(tampered(self, plat, DenialReason::AsidMismatchAtEntry));
             }
             if img.get(VmcbField::NCr3) != meta.npt_root.0 {
-                self.stats.integrity_violations += 1;
-                return Err(GuardError::IntegrityViolation("nCR3 mismatch at first entry"));
+                return Err(tampered(self, plat, DenialReason::Ncr3MismatchAtEntry));
             }
             plat.machine.cpu.regs.load_array(dom.gpr_save);
         }
@@ -739,7 +907,8 @@ impl Guardian for Fidelius {
 
         // Fidelius directly handles pre_sharing_op at the boundary, from
         // the authentic (pre-masking) register values.
-        if exit == ExitCode::Vmmcall && gprs[fidelius_hw::regs::Gpr::Rax as usize] == HC_PRE_SHARING_OP
+        if exit == ExitCode::Vmmcall
+            && gprs[fidelius_hw::regs::Gpr::Rax as usize] == HC_PRE_SHARING_OP
         {
             self.git.register(GitEntry {
                 initiator: dom.id,
@@ -760,50 +929,70 @@ impl Guardian for Fidelius {
 
         // Exit-side shadow cost: copy + mask + register save.
         let m = &mut plat.machine;
-        m.cycles.charge(
+        m.cycles.charge_as(
+            CycleCategory::ShadowVerify,
             VMCB_LINES as f64 * m.cost.copy_cache_line
                 + MASKED_FIELDS_NOMINAL as f64 * m.cost.mask_field
                 + 16.0 * m.cost.reg_copy
                 + m.cost.sanity_check,
         );
+        m.trace.emit(Event::ShadowCapture {
+            vmcb_pa: dom.vmcb_pa.0,
+            masked_fields: MASKED_FIELDS_NOMINAL,
+        });
         Ok(())
     }
 
     fn exec_priv(&mut self, plat: &mut Platform, op: PrivOp) -> Result<(), GuardError> {
+        let operand = match op {
+            PrivOp::WriteCr3(root) => root.0,
+            PrivOp::Vmrun(pa) => pa.0,
+            PrivOp::Invlpg(va) => va.0,
+            _ => 0,
+        };
         match check_instr(&self.instr_ctx, &op) {
-            InstrVerdict::Deny(why) => Err(self.deny(why)),
-            InstrVerdict::Allow => match op {
-                PrivOp::WriteCr3(_) => {
-                    let mut gates = self.gates.take().expect("late_launch must run first");
-                    let r = gates.type3(plat, op);
-                    self.gates = Some(gates);
-                    r
-                }
-                PrivOp::Lgdt(_) | PrivOp::Lidt(_) => {
-                    let site = if matches!(op, PrivOp::Lgdt(_)) {
-                        self.gates_mut().sites.lgdt
-                    } else {
-                        self.gates_mut().sites.lidt
-                    };
-                    let site_pa = Hpa(
-                        fidelius_xen::platform::FIDELIUS_CODE_PA.0
-                            + (site.0 - fidelius_xen::layout::FIDELIUS_CODE_BASE.0),
-                    );
-                    if !self.once.try_use(site_pa) {
-                        return Err(self.deny("execute-once instruction already used"));
+            InstrVerdict::Deny(reason) => {
+                Err(self.refuse(plat, PolicyObject::Instr, privop_label(&op), operand, 0, reason))
+            }
+            InstrVerdict::Allow => {
+                plat.machine.trace.emit(Event::Decision {
+                    object: PolicyObject::Instr,
+                    op: privop_label(&op),
+                    operand,
+                    dom: 0,
+                    allowed: true,
+                });
+                match op {
+                    PrivOp::WriteCr3(_) => {
+                        let mut gates = self.gates.take().expect("late_launch must run first");
+                        let r = gates.type3(plat, op);
+                        self.gates = Some(gates);
+                        r
                     }
-                    let mut gates = self.gates.take().expect("gates");
-                    let r = gates.type2(plat, op);
-                    self.gates = Some(gates);
-                    r
+                    PrivOp::Lgdt(_) | PrivOp::Lidt(_) => {
+                        let site = if matches!(op, PrivOp::Lgdt(_)) {
+                            self.gates_mut().sites.lgdt
+                        } else {
+                            self.gates_mut().sites.lidt
+                        };
+                        let site_pa = Hpa(fidelius_xen::platform::FIDELIUS_CODE_PA.0
+                            + (site.0 - fidelius_xen::layout::FIDELIUS_CODE_BASE.0));
+                        if !self.once.try_use(site_pa) {
+                            return Err(self.deny(plat, DenialReason::ExecuteOnceAlreadyUsed));
+                        }
+                        let mut gates = self.gates.take().expect("gates");
+                        let r = gates.type2(plat, op);
+                        self.gates = Some(gates);
+                        r
+                    }
+                    _ => {
+                        let mut gates = self.gates.take().expect("gates");
+                        let r = gates.type2(plat, op);
+                        self.gates = Some(gates);
+                        r
+                    }
                 }
-                _ => {
-                    let mut gates = self.gates.take().expect("gates");
-                    let r = gates.type2(plat, op);
-                    self.gates = Some(gates);
-                    r
-                }
-            },
+            }
         }
     }
 
@@ -875,7 +1064,8 @@ impl Guardian for Fidelius {
             }
         }
         plat.machine.tlb.flush_space(fidelius_hw::tlb::Space::Host);
-        plat.machine.cycles.charge(plat.machine.cost.tlb_flush_full);
+        plat.machine.cycles.charge_as(CycleCategory::Paging, plat.machine.cost.tlb_flush_full);
+        plat.machine.trace.emit(Event::TlbFlush { scope: FlushScope::Space { guest: None } });
         if let Some(m) = self.doms.get_mut(&dom.id) {
             m.sealed = true;
         }
@@ -906,12 +1096,8 @@ impl Guardian for Fidelius {
                 self.remap_dm(plat, frame, true)?;
             }
         }
-        let npt_pages: Vec<u64> = self
-            .npt_pages
-            .iter()
-            .filter(|(_, i)| i.dom == dom)
-            .map(|(pfn, _)| *pfn)
-            .collect();
+        let npt_pages: Vec<u64> =
+            self.npt_pages.iter().filter(|(_, i)| i.dom == dom).map(|(pfn, _)| *pfn).collect();
         for pfn in npt_pages {
             self.npt_pages.remove(&pfn);
             let pa = Hpa::from_pfn(pfn);

@@ -20,12 +20,30 @@
 
 use crate::GuardError;
 use fidelius_hw::cpu::PrivOp;
+use fidelius_hw::cycles::CycleCategory;
 use fidelius_hw::memctrl::EncSel;
 use fidelius_hw::paging::PhysPtAccess;
 use fidelius_hw::regs::Cr0;
 use fidelius_hw::{Hpa, Hva};
+use fidelius_telemetry::{Event, GateKind};
 use fidelius_xen::layout::InstrSites;
 use fidelius_xen::platform::Platform;
+
+/// Static label for the instruction a gate executed (for trace events).
+pub(crate) fn privop_label(op: &PrivOp) -> &'static str {
+    match op {
+        PrivOp::WriteCr0(_) => "mov-cr0",
+        PrivOp::WriteCr3(_) => "mov-cr3",
+        PrivOp::WriteCr4(_) => "mov-cr4",
+        PrivOp::WriteEfer(_) => "wrmsr-efer",
+        PrivOp::Vmrun(_) => "vmrun",
+        PrivOp::Invlpg(_) => "invlpg",
+        PrivOp::Lgdt(_) => "lgdt",
+        PrivOp::Lidt(_) => "lidt",
+        PrivOp::Cli => "cli",
+        PrivOp::Sti => "sti",
+    }
+}
 
 /// A page-mapping slot used by type-3 gates: the physical address of the
 /// leaf page-table entry for the instruction page, and the PTE value that
@@ -78,20 +96,26 @@ impl Gates {
         body: impl FnOnce(&mut Platform) -> Result<R, GuardError>,
     ) -> Result<R, GuardError> {
         self.gate1_count += 1;
-        let m = &mut plat.machine;
-        m.exec_priv(self.sites.cli, PrivOp::Cli)?;
-        m.cycles.charge(m.cost.stack_switch);
-        m.exec_priv(self.sites.write_cr0, PrivOp::WriteCr0(Cr0 { pg: true, wp: false }))?;
-        m.cycles.charge(m.cost.sanity_check);
+        let span = plat.machine.cycles.enter(CycleCategory::Gates);
+        let result = (|| {
+            let m = &mut plat.machine;
+            m.exec_priv(self.sites.cli, PrivOp::Cli)?;
+            m.cycles.charge(m.cost.stack_switch);
+            m.exec_priv(self.sites.write_cr0, PrivOp::WriteCr0(Cr0 { pg: true, wp: false }))?;
+            m.cycles.charge(m.cost.sanity_check);
 
-        let result = body(plat);
+            let result = body(plat);
 
-        let m = &mut plat.machine;
-        m.cycles.charge(m.cost.sanity_check);
-        m.exec_priv(self.sites.write_cr0, PrivOp::WriteCr0(Cr0 { pg: true, wp: true }))
-            .expect("restoring WP cannot fail");
-        m.cycles.charge(m.cost.stack_switch);
-        m.exec_priv(self.sites.sti, PrivOp::Sti).expect("sti cannot fail");
+            let m = &mut plat.machine;
+            m.cycles.charge(m.cost.sanity_check);
+            m.exec_priv(self.sites.write_cr0, PrivOp::WriteCr0(Cr0 { pg: true, wp: true }))
+                .expect("restoring WP cannot fail");
+            m.cycles.charge(m.cost.stack_switch);
+            m.exec_priv(self.sites.sti, PrivOp::Sti).expect("sti cannot fail");
+            result
+        })();
+        plat.machine.cycles.exit(span);
+        plat.machine.trace.emit(Event::Gate { kind: GateKind::Type1, op: "protected-body" });
         result
     }
 
@@ -118,10 +142,16 @@ impl Gates {
             }
         };
         let m = &mut plat.machine;
-        m.cycles.charge(m.cost.sanity_check);
-        m.exec_priv(site, op)?;
-        m.cycles.charge(m.cost.sanity_check);
-        Ok(())
+        let span = m.cycles.enter(CycleCategory::Gates);
+        let result = (|| {
+            m.cycles.charge(m.cost.sanity_check);
+            m.exec_priv(site, op)?;
+            m.cycles.charge(m.cost.sanity_check);
+            Ok(())
+        })();
+        m.cycles.exit(span);
+        m.trace.emit(Event::Gate { kind: GateKind::Type2, op: privop_label(&op) });
+        result
     }
 
     /// Type-3 gate: temporarily maps the instruction's page, executes it,
@@ -138,44 +168,53 @@ impl Gates {
             PrivOp::WriteCr3(_) => (self.cr3_page, self.sites.write_cr3),
             _ => return Err(GuardError::Policy("type-3 gate is for vmrun/mov-cr3")),
         };
-        let m = &mut plat.machine;
-        m.exec_priv(self.sites.cli, PrivOp::Cli)?;
-        m.cycles.charge(m.cost.stack_switch + m.cost.gate_dispatch);
+        let span = plat.machine.cycles.enter(CycleCategory::Gates);
+        let result = (|| {
+            let m = &mut plat.machine;
+            m.exec_priv(self.sites.cli, PrivOp::Cli)?;
+            m.cycles.charge(m.cost.stack_switch + m.cost.gate_dispatch);
 
-        // Map the page in: one PTE write (gate-internal privileged write)
-        // plus a TLB-entry flush for mapping freshness.
-        {
-            let mut acc = PhysPtAccess::new(&mut plat.machine.mc, EncSel::None);
-            use fidelius_hw::paging::PtAccess;
-            acc.write_entry(mapping.leaf_entry_pa, mapping.mapped_pte)
-                .map_err(GuardError::Hw)?;
-        }
-        plat.machine.cycles.charge(plat.machine.cost.cached_word_write);
-        plat.machine.exec_priv(self.sites.invlpg, PrivOp::Invlpg(mapping.page_va))?;
-        plat.machine.cycles.charge(plat.machine.cost.sanity_check);
-
-        let result = plat.machine.exec_priv(site, op);
-
-        // Withdraw the mapping regardless of the outcome.
-        {
-            let mut acc = PhysPtAccess::new(&mut plat.machine.mc, EncSel::None);
-            use fidelius_hw::paging::PtAccess;
-            acc.write_entry(mapping.leaf_entry_pa, 0).map_err(GuardError::Hw)?;
-        }
-        plat.machine.cycles.charge(plat.machine.cost.cached_word_write);
-        // After VMRUN the CPU is in guest mode; the flush instruction has
-        // conceptually already executed on the way in — charge it, and
-        // only execute it architecturally when still in host mode.
-        if plat.machine.cpu.mode == fidelius_hw::cpu::Mode::Host {
+            // Map the page in: one PTE write (gate-internal privileged write)
+            // plus a TLB-entry flush for mapping freshness.
+            {
+                let mut acc = PhysPtAccess::new(&mut plat.machine.mc, EncSel::None);
+                use fidelius_hw::paging::PtAccess;
+                acc.write_entry(mapping.leaf_entry_pa, mapping.mapped_pte)
+                    .map_err(GuardError::Hw)?;
+            }
+            plat.machine.cycles.charge(plat.machine.cost.cached_word_write);
             plat.machine.exec_priv(self.sites.invlpg, PrivOp::Invlpg(mapping.page_va))?;
             plat.machine.cycles.charge(plat.machine.cost.sanity_check);
-            plat.machine.exec_priv(self.sites.sti, PrivOp::Sti)?;
-        } else {
-            let c = plat.machine.cost.tlb_flush_entry + plat.machine.cost.sanity_check
-                + plat.machine.cost.sti;
-            plat.machine.cycles.charge(c);
-        }
-        plat.machine.cycles.charge(plat.machine.cost.stack_switch + plat.machine.cost.gate_dispatch);
-        result.map_err(GuardError::from)
+
+            let result = plat.machine.exec_priv(site, op);
+
+            // Withdraw the mapping regardless of the outcome.
+            {
+                let mut acc = PhysPtAccess::new(&mut plat.machine.mc, EncSel::None);
+                use fidelius_hw::paging::PtAccess;
+                acc.write_entry(mapping.leaf_entry_pa, 0).map_err(GuardError::Hw)?;
+            }
+            plat.machine.cycles.charge(plat.machine.cost.cached_word_write);
+            // After VMRUN the CPU is in guest mode; the flush instruction has
+            // conceptually already executed on the way in — charge it, and
+            // only execute it architecturally when still in host mode.
+            if plat.machine.cpu.mode == fidelius_hw::cpu::Mode::Host {
+                plat.machine.exec_priv(self.sites.invlpg, PrivOp::Invlpg(mapping.page_va))?;
+                plat.machine.cycles.charge(plat.machine.cost.sanity_check);
+                plat.machine.exec_priv(self.sites.sti, PrivOp::Sti)?;
+            } else {
+                plat.machine
+                    .cycles
+                    .charge_as(CycleCategory::Paging, plat.machine.cost.tlb_flush_entry);
+                plat.machine.cycles.charge(plat.machine.cost.sanity_check + plat.machine.cost.sti);
+            }
+            plat.machine
+                .cycles
+                .charge(plat.machine.cost.stack_switch + plat.machine.cost.gate_dispatch);
+            result.map_err(GuardError::from)
+        })();
+        plat.machine.cycles.exit(span);
+        plat.machine.trace.emit(Event::Gate { kind: GateKind::Type3, op: privop_label(&op) });
+        result
     }
 }

@@ -19,12 +19,12 @@
 //!    hypervisor's address space.
 
 use crate::fidelius::Fidelius;
+use fidelius_hw::PAGE_SIZE;
 use fidelius_sev::{EncryptedImage, GuestPolicy};
 use fidelius_xen::domain::DomainId;
 use fidelius_xen::frontend::gplayout;
 use fidelius_xen::layout::direct_map;
 use fidelius_xen::{System, XenError};
-use fidelius_hw::PAGE_SIZE;
 
 /// Downcasts the system's guardian to Fidelius.
 ///
@@ -32,10 +32,8 @@ use fidelius_hw::PAGE_SIZE;
 ///
 /// Fails when the system runs a different guardian.
 pub fn fidelius_mut(sys: &mut System) -> Result<&mut Fidelius, XenError> {
-    sys.guardian
-        .as_any_mut()
-        .downcast_mut::<Fidelius>()
-        .ok_or(XenError::BadHypercall(0)) // not a Fidelius system
+    sys.guardian.as_any_mut().downcast_mut::<Fidelius>().ok_or(XenError::BadHypercall(0))
+    // not a Fidelius system
 }
 
 /// Boots a guest from an owner-packaged encrypted image. Returns the new
@@ -83,15 +81,8 @@ pub fn boot_encrypted_guest(
             .frame_of(gplayout::KERNEL_PAGE + i)
             .ok_or(XenError::OutOfMemory)?;
         let mut chunk = vec![0u8; PAGE_SIZE as usize];
-        sys.plat
-            .machine
-            .mc
-            .dram()
-            .read_raw(frame, &mut chunk)
-            .map_err(XenError::Hw)?;
-        sys.plat
-            .firmware
-            .receive_update_page(&mut sys.plat.machine, handle, &chunk, i, frame)?;
+        sys.plat.machine.mc.dram().read_raw(frame, &mut chunk).map_err(XenError::Hw)?;
+        sys.plat.firmware.receive_update_page(&mut sys.plat.machine, handle, &chunk, i, frame)?;
     }
 
     // 5. RECEIVE_FINISH verifies Mvm; ACTIVATE installs Kvek.
@@ -113,8 +104,8 @@ pub fn boot_encrypted_guest(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fidelius_sev::GuestOwner;
     use fidelius_hw::Gpa;
+    use fidelius_sev::GuestOwner;
 
     const DRAM: u64 = 32 * 1024 * 1024;
 

@@ -9,12 +9,12 @@
 
 use crate::fidelius::Fidelius;
 use crate::lifecycle::fidelius_mut;
+use fidelius_hw::{Gpa, PAGE_SIZE};
 use fidelius_sev::firmware::SessionBlob;
 use fidelius_sev::GuestPolicy;
 use fidelius_xen::domain::{DomainId, DomainState};
 use fidelius_xen::frontend::gplayout;
 use fidelius_xen::{System, XenError};
-use fidelius_hw::{Gpa, PAGE_SIZE};
 
 /// An in-flight migrated VM: transport-encrypted memory plus the session
 /// needed to receive it.
@@ -43,18 +43,13 @@ pub fn migrate_out(
     target_pdh: &[u8; 32],
 ) -> Result<MigrationPackage, XenError> {
     sys.ensure_host()?;
-    let handle = fidelius_mut(sys)?
-        .sev_handle(dom)
-        .ok_or(XenError::BadDomainState(dom))?;
+    let handle = fidelius_mut(sys)?.sev_handle(dom).ok_or(XenError::BadDomainState(dom))?;
     let mem_pages = sys.xen.domain(dom)?.mem_pages();
     let session = sys.plat.firmware.send_start(handle, target_pdh)?;
     let mut pages = Vec::new();
     for p in 0..mem_pages {
         if let Some(frame) = sys.xen.domain(dom)?.frame_of(p) {
-            let ct = sys
-                .plat
-                .firmware
-                .send_update_page(&mut sys.plat.machine, handle, frame, p)?;
+            let ct = sys.plat.firmware.send_update_page(&mut sys.plat.machine, handle, frame, p)?;
             pages.push((p, ct));
         }
     }
@@ -71,17 +66,12 @@ pub fn migrate_out(
 ///
 /// Fails on the wrong target platform or a tampered package.
 pub fn migrate_in(sys: &mut System, package: &MigrationPackage) -> Result<DomainId, XenError> {
-    let handle = sys
-        .plat
-        .firmware
-        .receive_start(&package.session, GuestPolicy::default())?;
+    let handle = sys.plat.firmware.receive_start(&package.session, GuestPolicy::default())?;
     let dom = sys.xen.create_domain(&mut sys.plat, &mut *sys.guardian, package.mem_pages)?;
     sys.xen.populate_all(&mut sys.plat, &mut *sys.guardian, dom)?;
     for (p, ct) in &package.pages {
         let frame = sys.xen.domain(dom)?.frame_of(*p).ok_or(XenError::OutOfMemory)?;
-        sys.plat
-            .firmware
-            .receive_update_page(&mut sys.plat.machine, handle, ct, *p, frame)?;
+        sys.plat.firmware.receive_update_page(&mut sys.plat.machine, handle, ct, *p, frame)?;
     }
     sys.plat.firmware.receive_finish(handle, &package.tag)?;
     let asid = sys.xen.domain(dom)?.asid;

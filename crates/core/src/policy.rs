@@ -3,6 +3,7 @@
 
 use fidelius_hw::cpu::PrivOp;
 use fidelius_hw::{Hpa, PAGE_SIZE};
+use fidelius_telemetry::DenialReason;
 
 /// Outcome of checking a privileged instruction against Table 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -10,7 +11,7 @@ pub enum InstrVerdict {
     /// Execution is allowed.
     Allow,
     /// The instruction would violate its policy.
-    Deny(&'static str),
+    Deny(DenialReason),
 }
 
 /// Facts the instruction policy needs about the protected system.
@@ -33,25 +34,25 @@ pub fn check_instr(ctx: &InstrPolicyCtx, op: &PrivOp) -> InstrVerdict {
     match op {
         PrivOp::WriteCr0(v) => {
             if !v.pg {
-                InstrVerdict::Deny("CR0.PG cannot be cleared")
+                InstrVerdict::Deny(DenialReason::Cr0PgClear)
             } else if !v.wp {
-                InstrVerdict::Deny("CR0.WP cannot be cleared")
+                InstrVerdict::Deny(DenialReason::Cr0WpClear)
             } else {
                 InstrVerdict::Allow
             }
         }
         PrivOp::WriteCr4(v) => {
             if !v.smep {
-                InstrVerdict::Deny("CR4.SMEP cannot be cleared")
+                InstrVerdict::Deny(DenialReason::Cr4SmepClear)
             } else {
                 InstrVerdict::Allow
             }
         }
         PrivOp::WriteEfer(v) => {
             if !v.nxe {
-                InstrVerdict::Deny("EFER.NXE cannot be cleared")
+                InstrVerdict::Deny(DenialReason::EferNxeClear)
             } else if !v.svme {
-                InstrVerdict::Deny("EFER.SVME cannot be cleared")
+                InstrVerdict::Deny(DenialReason::EferSvmeClear)
             } else {
                 InstrVerdict::Allow
             }
@@ -60,13 +61,13 @@ pub fn check_instr(ctx: &InstrPolicyCtx, op: &PrivOp) -> InstrVerdict {
             if *root == ctx.host_pt_root {
                 InstrVerdict::Allow
             } else {
-                InstrVerdict::Deny("CR3 target is not a valid root")
+                InstrVerdict::Deny(DenialReason::Cr3InvalidRoot)
             }
         }
         PrivOp::Vmrun(_) => {
             // VMRUN never executes through the generic path: the entry
             // boundary (enter_guest) owns it.
-            InstrVerdict::Deny("VMRUN only through the guarded entry boundary")
+            InstrVerdict::Deny(DenialReason::VmrunOutsideBoundary)
         }
         PrivOp::Invlpg(_) | PrivOp::Cli | PrivOp::Sti => InstrVerdict::Allow,
         PrivOp::Lgdt(_) | PrivOp::Lidt(_) => InstrVerdict::Allow, // execute-once handled separately
@@ -188,10 +189,7 @@ mod tests {
 
     #[test]
     fn vmrun_denied_on_generic_path() {
-        assert!(matches!(
-            check_instr(&ctx(), &PrivOp::Vmrun(Hpa(0x1000))),
-            InstrVerdict::Deny(_)
-        ));
+        assert!(matches!(check_instr(&ctx(), &PrivOp::Vmrun(Hpa(0x1000))), InstrVerdict::Deny(_)));
     }
 
     #[test]

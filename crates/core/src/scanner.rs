@@ -64,7 +64,7 @@ mod tests {
     fn finds_aligned_and_unaligned() {
         let mut code = vec![0x90u8; 64];
         code[10..13].copy_from_slice(&[0x0F, 0x22, 0xC0]); // mov cr0
-        // An "unaligned" vmrun hidden inside other bytes.
+                                                           // An "unaligned" vmrun hidden inside other bytes.
         code[30..33].copy_from_slice(&[0x0F, 0x01, 0xD8]);
         let f = scan(&code);
         assert_eq!(f.len(), 2);

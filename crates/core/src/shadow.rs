@@ -46,8 +46,7 @@ const CONTROL_FIELDS: [VmcbField; 5] = [
 /// fault address used by hypervisor is in the exitinfo field".
 pub fn policy_for(exit: ExitCode) -> ExitPolicy {
     let mut base_visible: Vec<VmcbField> = CONTROL_FIELDS.to_vec();
-    base_visible
-        .extend([VmcbField::ExitCode, VmcbField::ExitInfo1, VmcbField::ExitInfo2]);
+    base_visible.extend([VmcbField::ExitCode, VmcbField::ExitInfo1, VmcbField::ExitInfo2]);
     match exit {
         ExitCode::Cpuid => ExitPolicy {
             visible_fields: with(base_visible, &[VmcbField::Rip, VmcbField::Rax]),

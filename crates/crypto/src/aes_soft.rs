@@ -199,12 +199,7 @@ fn mix_columns(state: &mut [u8; 16]) {
     for c in 0..4 {
         let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
         for r in 0..4 {
-            let coeffs = [
-                [2u8, 3, 1, 1],
-                [1, 2, 3, 1],
-                [1, 1, 2, 3],
-                [3, 1, 1, 2],
-            ];
+            let coeffs = [[2u8, 3, 1, 1], [1, 2, 3, 1], [1, 1, 2, 3], [3, 1, 1, 2]];
             state[4 * c + r] = (0..4).fold(0u8, |acc, i| acc ^ gf_mul(coeffs[r][i], col[i]));
         }
     }
@@ -214,12 +209,7 @@ fn inv_mix_columns(state: &mut [u8; 16]) {
     for c in 0..4 {
         let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
         for r in 0..4 {
-            let coeffs = [
-                [14u8, 11, 13, 9],
-                [9, 14, 11, 13],
-                [13, 9, 14, 11],
-                [11, 13, 9, 14],
-            ];
+            let coeffs = [[14u8, 11, 13, 9], [9, 14, 11, 13], [13, 9, 14, 11], [11, 13, 9, 14]];
             state[4 * c + r] = (0..4).fold(0u8, |acc, i| acc ^ gf_mul(coeffs[r][i], col[i]));
         }
     }

@@ -16,7 +16,7 @@ const IV: u64 = 0xA6A6_A6A6_A6A6_A6A6;
 /// Returns [`CryptoError::InvalidBlockLength`] if `plain` is shorter than 16
 /// bytes or not a multiple of 8.
 pub fn wrap(kek: &[u8; 16], plain: &[u8]) -> Result<Vec<u8>, CryptoError> {
-    if plain.len() < 16 || plain.len() % 8 != 0 {
+    if plain.len() < 16 || !plain.len().is_multiple_of(8) {
         return Err(CryptoError::InvalidBlockLength { got: plain.len() });
     }
     let n = plain.len() / 8;
@@ -53,7 +53,7 @@ pub fn wrap(kek: &[u8; 16], plain: &[u8]) -> Result<Vec<u8>, CryptoError> {
 /// [`CryptoError::UnwrapFailure`] when the integrity check fails (wrong KEK
 /// or tampered ciphertext).
 pub fn unwrap(kek: &[u8; 16], wrapped: &[u8]) -> Result<Vec<u8>, CryptoError> {
-    if wrapped.len() < 24 || wrapped.len() % 8 != 0 {
+    if wrapped.len() < 24 || !wrapped.len().is_multiple_of(8) {
         return Err(CryptoError::InvalidBlockLength { got: wrapped.len() });
     }
     let n = wrapped.len() / 8 - 1;
@@ -98,10 +98,7 @@ mod tests {
         let kek: [u8; 16] = hex("000102030405060708090A0B0C0D0E0F").try_into().unwrap();
         let key_data = hex("00112233445566778899AABBCCDDEEFF");
         let wrapped = wrap(&kek, &key_data).unwrap();
-        assert_eq!(
-            wrapped,
-            hex("1FA68B0A8112B447AEF34BD8FB5A7B829D3E862371D2CFE5")
-        );
+        assert_eq!(wrapped, hex("1FA68B0A8112B447AEF34BD8FB5A7B829D3E862371D2CFE5"));
         let unwrapped = unwrap(&kek, &wrapped).unwrap();
         assert_eq!(unwrapped, key_data);
     }

@@ -116,15 +116,21 @@ impl Fe {
 
     fn add(self, other: Fe) -> Fe {
         let mut r = [0u64; 5];
-        for i in 0..5 {
-            r[i] = self.0[i] + other.0[i];
+        for (i, v) in r.iter_mut().enumerate() {
+            *v = self.0[i] + other.0[i];
         }
         Fe(r).carry()
     }
 
     fn sub(self, other: Fe) -> Fe {
         // self + 2p - other keeps limbs positive.
-        let two_p = [0xFFFFFFFFFFFDAu64, 0xFFFFFFFFFFFFE, 0xFFFFFFFFFFFFE, 0xFFFFFFFFFFFFE, 0xFFFFFFFFFFFFE];
+        let two_p = [
+            0xFFFFFFFFFFFDAu64,
+            0xFFFFFFFFFFFFE,
+            0xFFFFFFFFFFFFE,
+            0xFFFFFFFFFFFFE,
+            0xFFFFFFFFFFFFE,
+        ];
         let mut r = [0u64; 5];
         for i in 0..5 {
             r[i] = self.0[i] + two_p[i] - other.0[i];
@@ -154,8 +160,8 @@ impl Fe {
 
     fn mul_small(self, k: u32) -> Fe {
         let mut r = [0u128; 5];
-        for i in 0..5 {
-            r[i] = (self.0[i] as u128) * (k as u128);
+        for (i, v) in r.iter_mut().enumerate() {
+            *v = (self.0[i] as u128) * (k as u128);
         }
         Fe::carry_wide(r)
     }
@@ -357,10 +363,7 @@ mod tests {
     fn rfc7748_iterated_once() {
         let k = hex32("0900000000000000000000000000000000000000000000000000000000000000");
         let out = scalar_mult(&k, &k);
-        assert_eq!(
-            out,
-            hex32("422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079")
-        );
+        assert_eq!(out, hex32("422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079"));
     }
 
     #[test]

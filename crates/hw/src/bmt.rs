@@ -149,7 +149,11 @@ impl IntegrityTree {
             };
             idx /= 2;
         }
-        Ok(if digest == self.root() { IntegrityVerdict::Intact } else { IntegrityVerdict::Tampered })
+        Ok(if digest == self.root() {
+            IntegrityVerdict::Intact
+        } else {
+            IntegrityVerdict::Tampered
+        })
     }
 
     /// Records a *legitimate* write to the line containing `pa`
@@ -241,7 +245,8 @@ mod tests {
         // The attack SEV alone cannot stop even in-place: snapshot a line,
         // let the owner overwrite it (with a tree update), replay it.
         let base = Hpa(0x2000);
-        let mut dram = dram_with(base, b"old-password-line-padded-to-64-bytes............................");
+        let mut dram =
+            dram_with(base, b"old-password-line-padded-to-64-bytes............................");
         let mut tree = IntegrityTree::build(&dram, base, 16).unwrap();
         let mut snapshot = [0u8; 64];
         dram.read_raw(base, &mut snapshot).unwrap();

@@ -22,7 +22,7 @@
 //!   exactly as AMD-V does — including SEV's omission: the VMCB and GPRs
 //!   cross the boundary in plaintext.
 
-use crate::cycles::{CostModel, Cycles};
+use crate::cycles::{CostModel, CycleCategory, Cycles};
 use crate::error::{AccessKind, Fault, FaultReason, HwError};
 use crate::mem::Dram;
 use crate::memctrl::{EncSel, MemoryController};
@@ -31,6 +31,7 @@ use crate::regs::{Cr0, Cr4, Efer, RegFile};
 use crate::tlb::{Space, Tlb};
 use crate::vmcb::{ExitCode, VmcbField, VmcbImage};
 use crate::{Asid, Gpa, Gva, Hpa, Hva, PAGE_SIZE};
+use fidelius_telemetry::{Event, FlushScope, Snapshot, Tracer};
 
 /// Whether the CPU is running host (hypervisor/Fidelius) or guest code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -176,18 +177,32 @@ pub struct Machine {
     pub cost: CostModel,
     /// CPU state.
     pub cpu: Cpu,
+    /// The telemetry tracer every layer above shares (clones of this handle
+    /// all feed one ring buffer and one metrics registry).
+    pub trace: Tracer,
 }
 
 impl Machine {
     /// Builds a machine with `dram_size` bytes of physical memory.
     pub fn new(dram_size: u64) -> Self {
+        let trace = Tracer::default();
         Machine {
-            mc: MemoryController::new(Dram::new(dram_size)),
+            mc: MemoryController::new(Dram::new(dram_size)).with_tracer(trace.clone()),
             tlb: Tlb::new(),
             cycles: Cycles::new(),
             cost: CostModel::default(),
             cpu: Cpu::new(),
+            trace,
         }
+    }
+
+    /// A point-in-time telemetry rollup: the tracer's metrics with the TLB
+    /// lookup counters folded in, plus the per-category cycle breakdown.
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        let mut metrics = self.trace.metrics();
+        let (hits, misses) = self.tlb.stats();
+        metrics.set_tlb(hits, misses);
+        Snapshot { metrics, cycles: self.cycles.breakdown() }
     }
 
     // ----- host-mode accesses ------------------------------------------
@@ -203,7 +218,7 @@ impl Machine {
         let hit = self.tlb.lookup(Space::Host, vpn).is_some();
         self.cycles.charge(self.cost.mem_access);
         if !hit {
-            self.cycles.charge(self.cost.gpt_walk);
+            self.cycles.charge_as(CycleCategory::Paging, self.cost.gpt_walk);
         }
         let t = self.walk_host(va, access)?;
         if !hit {
@@ -313,7 +328,8 @@ impl Machine {
     fn charge_engine(&mut self, enc: EncSel, bytes: u64) {
         if enc != EncSel::None {
             let lines = bytes.div_ceil(crate::CACHE_LINE).max(1);
-            self.cycles.charge(lines as f64 * self.cost.engine_line_extra);
+            self.cycles
+                .charge_as(CycleCategory::CryptoEngine, lines as f64 * self.cost.engine_line_extra);
         }
     }
 
@@ -349,9 +365,11 @@ impl Machine {
                 self.cpu.cr0 = v;
             }
             PrivOp::WriteCr3(root) => {
-                self.cycles.charge(self.cost.write_cr3 + self.cost.tlb_flush_full);
+                self.cycles.charge(self.cost.write_cr3);
+                self.cycles.charge_as(CycleCategory::Paging, self.cost.tlb_flush_full);
                 self.cpu.cr3 = root;
                 self.tlb.flush_space(Space::Host);
+                self.trace.emit(Event::TlbFlush { scope: FlushScope::Space { guest: None } });
             }
             PrivOp::WriteCr4(v) => {
                 self.cycles.charge(self.cost.write_cr4);
@@ -365,8 +383,9 @@ impl Machine {
                 self.vmrun(vmcb)?;
             }
             PrivOp::Invlpg(va) => {
-                self.cycles.charge(self.cost.tlb_flush_entry);
+                self.cycles.charge_as(CycleCategory::Paging, self.cost.tlb_flush_entry);
                 self.tlb.flush_page(Space::Host, va.pfn());
+                self.trace.emit(Event::TlbFlush { scope: FlushScope::Entry { va: va.0 } });
             }
             PrivOp::Lgdt(_) | PrivOp::Lidt(_) => {
                 self.cycles.charge(self.cost.wrmsr);
@@ -416,7 +435,8 @@ impl Machine {
         self.cpu.rsp = img.get(VmcbField::Rsp);
         self.cpu.regs.set(crate::regs::Gpr::Rax, img.get(VmcbField::Rax));
         self.cpu.mode = Mode::Guest;
-        self.cycles.charge(self.cost.vmrun);
+        self.cycles.charge_as(CycleCategory::WorldSwitch, self.cost.vmrun);
+        self.trace.emit(Event::Vmrun { asid: asid.0, sev });
         Ok(())
     }
 
@@ -444,6 +464,7 @@ impl Machine {
             .set(VmcbField::Efer, self.cpu.efer.to_bits());
         img.store(&mut self.mc, vmcb_pa)?;
         let save = self.cpu.host_save.take().expect("guest mode implies a host save");
+        let asid = self.cpu.guest.map(|g| g.asid.0).unwrap_or(0);
         self.cpu.cr0 = save.cr0;
         self.cpu.cr3 = save.cr3;
         self.cpu.cr4 = save.cr4;
@@ -451,7 +472,8 @@ impl Machine {
         self.cpu.rip = save.rip;
         self.cpu.guest = None;
         self.cpu.mode = Mode::Host;
-        self.cycles.charge(self.cost.vmexit);
+        self.cycles.charge_as(CycleCategory::WorldSwitch, self.cost.vmexit);
+        self.trace.emit(Event::Vmexit { exit_code: code as u64, asid });
         Ok(())
     }
 
@@ -518,7 +540,7 @@ impl Machine {
             let hit = self.tlb.lookup(Space::Guest(guest.asid.0), cur.pfn()).is_some();
             self.cycles.charge(self.cost.mem_access);
             if !hit {
-                self.cycles.charge(self.cost.npt_walk);
+                self.cycles.charge_as(CycleCategory::Paging, self.cost.npt_walk);
             }
             let (hpa, npt_c) = self.npt_translate_full(cur, AccessKind::Read)?;
             if !hit {
@@ -532,13 +554,13 @@ impl Machine {
                 EncSel::None
             };
             self.charge_engine(enc, take as u64);
-            self.mc
-                .read(hpa, &mut buf[off..off + take], enc)
-                .map_err(|_| Fault::NestedPageFault {
+            self.mc.read(hpa, &mut buf[off..off + take], enc).map_err(|_| {
+                Fault::NestedPageFault {
                     gpa: cur,
                     access: AccessKind::Read,
                     reason: FaultReason::BadPhysicalAddress,
-                })?;
+                }
+            })?;
             off += take;
         }
         Ok(())
@@ -560,7 +582,7 @@ impl Machine {
             let hit = self.tlb.lookup(Space::Guest(guest.asid.0), cur.pfn()).is_some();
             self.cycles.charge(self.cost.mem_access);
             if !hit {
-                self.cycles.charge(self.cost.npt_walk);
+                self.cycles.charge_as(CycleCategory::Paging, self.cost.npt_walk);
             }
             let (hpa, npt_c) = self.npt_translate_full(cur, AccessKind::Write)?;
             if !hit {
@@ -574,13 +596,13 @@ impl Machine {
                 EncSel::None
             };
             self.charge_engine(enc, take as u64);
-            self.mc
-                .write(hpa, &data[off..off + take], enc)
-                .map_err(|_| Fault::NestedPageFault {
+            self.mc.write(hpa, &data[off..off + take], enc).map_err(|_| {
+                Fault::NestedPageFault {
                     gpa: cur,
                     access: AccessKind::Write,
                     reason: FaultReason::BadPhysicalAddress,
-                })?;
+                }
+            })?;
             off += take;
         }
         Ok(())
@@ -627,12 +649,10 @@ impl Machine {
             let take = in_page.min(data.len() - off);
             let (hpa, enc) = self.guest_translate(cur, AccessKind::Write)?;
             self.charge_engine(enc, take as u64);
-            self.mc.write(hpa, &data[off..off + take], enc).map_err(|_| {
-                Fault::GuestPageFault {
-                    va: cur,
-                    access: AccessKind::Write,
-                    reason: FaultReason::BadPhysicalAddress,
-                }
+            self.mc.write(hpa, &data[off..off + take], enc).map_err(|_| Fault::GuestPageFault {
+                va: cur,
+                access: AccessKind::Write,
+                reason: FaultReason::BadPhysicalAddress,
             })?;
             off += take;
         }
@@ -650,7 +670,7 @@ impl Machine {
         let hit = self.tlb.lookup(Space::Guest(guest.asid.0), va.pfn()).is_some();
         self.cycles.charge(self.cost.mem_access);
         if !hit {
-            self.cycles.charge(self.cost.gpt_walk + self.cost.npt_walk);
+            self.cycles.charge_as(CycleCategory::Paging, self.cost.gpt_walk + self.cost.npt_walk);
         }
 
         // Stage-1 walk; every table access is itself a GPA that must pass
@@ -717,9 +737,7 @@ mod tests {
         let mapper = {
             let mut acc = PhysPtAccess::new(&mut m.mc, EncSel::None);
             let mapper = Mapper::create(&mut acc, &mut alloc).unwrap();
-            mapper
-                .map_range(&mut acc, &mut alloc, 0, Hpa(0), 256, PTE_WRITABLE)
-                .unwrap();
+            mapper.map_range(&mut acc, &mut alloc, 0, Hpa(0), 256, PTE_WRITABLE).unwrap();
             mapper
         };
         m.cpu.cr3 = mapper.root();
@@ -745,10 +763,7 @@ mod tests {
             mapper.map(&mut acc, &mut alloc, 0x40_0000, Hpa(0x9000), 0).unwrap();
         }
         let err = m.host_write(Hva(0x40_0000), b"x").unwrap_err();
-        assert!(matches!(
-            err,
-            Fault::HostPageFault { reason: FaultReason::WriteProtected, .. }
-        ));
+        assert!(matches!(err, Fault::HostPageFault { reason: FaultReason::WriteProtected, .. }));
         // Clearing WP (as a type-1 gate does) lets the write through.
         m.cpu.cr0.wp = false;
         m.host_write(Hva(0x40_0000), b"x").unwrap();
@@ -813,8 +828,7 @@ mod tests {
         let npt = {
             let mut acc = PhysPtAccess::new(&mut m.mc, EncSel::None);
             let npt = Mapper::create(&mut acc, &mut alloc).unwrap();
-            npt.map_range(&mut acc, &mut alloc, 0, guest_base, 64, PTE_WRITABLE)
-                .unwrap();
+            npt.map_range(&mut acc, &mut alloc, 0, guest_base, 64, PTE_WRITABLE).unwrap();
             npt
         };
         // Guest page tables live in guest frames (GPA 0x10000..), written
@@ -826,19 +840,11 @@ mod tests {
             // from GPA 0x10000 up); OffsetPtAccess lands the bytes at
             // guest_base + gpa.
             let mut galloc = FrameAllocator::new(Hpa(0x10000), 16);
-            let mut acc =
-                crate::paging::OffsetPtAccess::new(&mut m.mc, guest_base, table_enc);
+            let mut acc = crate::paging::OffsetPtAccess::new(&mut m.mc, guest_base, table_enc);
             let gpt = Mapper::create(&mut acc, &mut galloc).unwrap();
             // Map GVA 0x7000 → GPA 0x7000 with C-bit; GVA 0x8000 → GPA
             // 0x8000 without (a shared page).
-            gpt.map(
-                &mut acc,
-                &mut galloc,
-                0x7000,
-                Hpa(0x7000),
-                PTE_WRITABLE | PTE_C_BIT,
-            )
-            .unwrap();
+            gpt.map(&mut acc, &mut galloc, 0x7000, Hpa(0x7000), PTE_WRITABLE | PTE_C_BIT).unwrap();
             gpt.map(&mut acc, &mut galloc, 0x8000, Hpa(0x8000), PTE_WRITABLE).unwrap();
             gcr3_gpa = gpt.root().0;
         }
@@ -895,10 +901,7 @@ mod tests {
     fn npt_miss_is_nested_page_fault() {
         let (mut m, _vmcb) = guest_machine(true);
         let err = m.guest_write_gpa(Gpa(0x100_0000), b"x", true).unwrap_err();
-        assert!(matches!(
-            err,
-            Fault::NestedPageFault { reason: FaultReason::NotPresent, .. }
-        ));
+        assert!(matches!(err, Fault::NestedPageFault { reason: FaultReason::NotPresent, .. }));
     }
 
     #[test]

@@ -4,10 +4,10 @@
 //! Off hardware, we charge every architectural event an explicit cost and
 //! let the *sums* emerge. The per-event constants below are calibrated so
 //! that the event sequences of the paper's three gates reproduce its
-//! measured totals (306 / 16 / 339 cycles — micro-benchmark 1), the shadow
-//! + verify sequence reproduces 661 cycles (micro-benchmark 2), and the
-//! per-cache-line encryption costs reproduce the +8.69% (SME engine) and
-//! +11.49% (AES-NI) memcpy overheads (micro-benchmark 3).
+//! measured totals (306 / 16 / 339 cycles — micro-benchmark 1), the
+//! shadow-plus-verify sequence reproduces 661 cycles (micro-benchmark 2),
+//! and the per-cache-line encryption costs reproduce the memcpy overheads
+//! of +8.69% (SME engine) and +11.49% (AES-NI) (micro-benchmark 3).
 //!
 //! Calibration is *per event*, not per result: e.g. `write_cr0` = 126
 //! cycles is in the range AMD documents for serializing control-register
@@ -136,7 +136,7 @@ impl CostModel {
             + self.cached_word_write
             + self.tlb_flush_entry
             + self.sanity_check)
-        + 2.0 * self.gate_dispatch
+            + 2.0 * self.gate_dispatch
     }
 
     /// Cost added by shadowing the VMCB + registers on exit and verifying
@@ -155,39 +155,114 @@ impl CostModel {
     }
 }
 
-/// An accumulating cycle counter. Components charge costs here; the
-/// workload runner reads it as the simulated `rdtsc`.
-#[derive(Debug, Clone, Default, PartialEq)]
+pub use fidelius_telemetry::{CycleBreakdown, CycleCategory};
+
+/// The largest cycle count the counter converts to `u64` exactly.
+///
+/// Charges accumulate in `f64`, whose integers are exact up to 2^53
+/// (≈ 9.0 × 10^15 cycles — about 35 days at 3 GHz, far beyond any simulated
+/// run). Below that bound the only imprecision is the sub-cycle fraction
+/// lost when individual fractional charges (e.g. `cached_word_write = 1.5`)
+/// round: once a category total exceeds 2^52, adding a charge smaller than
+/// half a cycle may be absorbed. [`Cycles::total`] `debug_assert!`s the
+/// bound and clamps in release builds rather than silently wrapping.
+pub const MAX_EXACT_CYCLES: f64 = 9_007_199_254_740_992.0; // 2^53
+
+/// An accumulating cycle counter with span-based category attribution.
+/// Components charge costs here; the workload runner reads it as the
+/// simulated `rdtsc`.
+///
+/// Every charge lands in exactly one [`CycleCategory`]: either the
+/// *current* category (a span entered with [`Cycles::enter`]) or an
+/// explicit one via [`Cycles::charge_as`]. There is no separate grand-total
+/// accumulator — [`Cycles::total_f64`] is *defined* as the fixed-order sum
+/// of the per-category array — so the breakdown sums to the total exactly,
+/// by construction, regardless of float rounding.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cycles {
-    total: f64,
+    by_category: [f64; CycleCategory::COUNT],
+    current: CycleCategory,
+}
+
+impl Default for Cycles {
+    fn default() -> Self {
+        Cycles { by_category: [0.0; CycleCategory::COUNT], current: CycleCategory::Baseline }
+    }
 }
 
 impl Cycles {
-    /// A fresh counter at zero.
+    /// A fresh counter at zero, attributing to [`CycleCategory::Baseline`].
     pub fn new() -> Self {
         Cycles::default()
     }
 
-    /// Adds `cost` cycles.
+    /// Adds `cost` cycles to the current category.
     pub fn charge(&mut self, cost: f64) {
         debug_assert!(cost >= 0.0, "negative cycle charge");
-        self.total += cost;
+        self.by_category[self.current.index()] += cost;
+    }
+
+    /// Adds `cost` cycles to an explicit category, ignoring the current span.
+    pub fn charge_as(&mut self, category: CycleCategory, cost: f64) {
+        debug_assert!(cost >= 0.0, "negative cycle charge");
+        self.by_category[category.index()] += cost;
+    }
+
+    /// Opens an attribution span: subsequent [`Cycles::charge`] calls land
+    /// in `category`. Returns the previous category; pass it to
+    /// [`Cycles::exit`] when the span closes (spans nest by stacking the
+    /// returned values).
+    #[must_use = "pass the previous category back to `exit` to close the span"]
+    pub fn enter(&mut self, category: CycleCategory) -> CycleCategory {
+        std::mem::replace(&mut self.current, category)
+    }
+
+    /// Closes a span opened by [`Cycles::enter`], restoring `previous`.
+    pub fn exit(&mut self, previous: CycleCategory) {
+        self.current = previous;
+    }
+
+    /// The category charges currently land in.
+    pub fn current_category(&self) -> CycleCategory {
+        self.current
+    }
+
+    /// Cycles attributed to one category so far.
+    pub fn in_category(&self, category: CycleCategory) -> f64 {
+        self.by_category[category.index()]
+    }
+
+    /// The per-category breakdown.
+    pub fn breakdown(&self) -> CycleBreakdown {
+        CycleBreakdown { by_category: self.by_category }
     }
 
     /// Current count, rounded to whole cycles.
+    ///
+    /// Uses `f64::round` plus a checked conversion: totals beyond
+    /// [`MAX_EXACT_CYCLES`] trip a `debug_assert!` and clamp in release
+    /// builds (the old `as u64` cast saturated silently with no indication
+    /// the count had left the exactly-representable range).
     pub fn total(&self) -> u64 {
-        self.total.round() as u64
+        let rounded = self.total_f64().round();
+        debug_assert!(
+            (0.0..=MAX_EXACT_CYCLES).contains(&rounded),
+            "cycle total {rounded} outside the exactly-representable u64 range",
+        );
+        rounded.clamp(0.0, MAX_EXACT_CYCLES) as u64
     }
 
-    /// Current count as a float (for ratios).
+    /// Current count as a float (for ratios). Exactly equal to
+    /// `self.breakdown().total()`.
     pub fn total_f64(&self) -> f64 {
-        self.total
+        self.breakdown().total()
     }
 
-    /// Resets to zero and returns the previous total.
+    /// Resets every category to zero and returns the previous total. The
+    /// current span category is left unchanged.
     pub fn reset(&mut self) -> u64 {
         let t = self.total();
-        self.total = 0.0;
+        self.by_category = [0.0; CycleCategory::COUNT];
         t
     }
 }
@@ -248,5 +323,48 @@ mod tests {
         assert_eq!(c.total(), 4);
         assert_eq!(c.reset(), 4);
         assert_eq!(c.total(), 0);
+    }
+
+    #[test]
+    fn spans_attribute_to_categories_and_nest() {
+        let mut c = Cycles::new();
+        c.charge(10.0); // baseline
+        let prev = c.enter(CycleCategory::Gates);
+        c.charge(306.0);
+        let inner = c.enter(CycleCategory::Paging);
+        c.charge(128.0);
+        c.exit(inner);
+        assert_eq!(c.current_category(), CycleCategory::Gates);
+        c.charge(16.0);
+        c.exit(prev);
+        assert_eq!(c.current_category(), CycleCategory::Baseline);
+        c.charge_as(CycleCategory::WorldSwitch, 2100.0);
+        assert_eq!(c.in_category(CycleCategory::Baseline), 10.0);
+        assert_eq!(c.in_category(CycleCategory::Gates), 322.0);
+        assert_eq!(c.in_category(CycleCategory::Paging), 128.0);
+        assert_eq!(c.in_category(CycleCategory::WorldSwitch), 2100.0);
+    }
+
+    #[test]
+    fn breakdown_sums_exactly_to_total() {
+        let mut c = Cycles::new();
+        // Fractional charges across categories: the breakdown total and
+        // total_f64 are the same fixed-order sum, so equality is exact.
+        for (i, cat) in CycleCategory::ALL.iter().enumerate() {
+            c.charge_as(*cat, 0.1 * (i as f64 + 1.0));
+        }
+        let b = c.breakdown();
+        assert_eq!(b.total(), c.total_f64());
+        assert_eq!(b.total().to_bits(), c.total_f64().to_bits());
+    }
+
+    #[test]
+    fn total_rounds_and_stays_in_exact_range() {
+        let mut c = Cycles::new();
+        c.charge(0.49);
+        assert_eq!(c.total(), 0);
+        c.charge(0.02);
+        assert_eq!(c.total(), 1, "0.51 rounds to 1");
+        assert!(MAX_EXACT_CYCLES as u64 == 1u64 << 53);
     }
 }

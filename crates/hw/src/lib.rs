@@ -97,6 +97,7 @@ macro_rules! addr_impl {
             }
 
             /// Address arithmetic within the same space.
+            #[allow(clippy::should_implement_trait)]
             pub fn add(self, delta: u64) -> Self {
                 $t(self.0 + delta)
             }

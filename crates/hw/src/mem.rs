@@ -42,7 +42,7 @@ impl Dram {
     }
 
     fn check(&self, pa: Hpa, len: u64) -> Result<(), HwError> {
-        if pa.0.checked_add(len).map_or(true, |end| end > self.size()) {
+        if pa.0.checked_add(len).is_none_or(|end| end > self.size()) {
             return Err(HwError::BadPhysicalAddress { pa, len });
         }
         Ok(())

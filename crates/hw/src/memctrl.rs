@@ -14,6 +14,7 @@ use crate::error::HwError;
 use crate::mem::Dram;
 use crate::{Asid, Hpa};
 use fidelius_crypto::modes::PaTweakCipher;
+use fidelius_telemetry::{CryptoDir, EncKey, Tracer};
 use std::collections::HashMap;
 
 /// Which key (if any) the engine applies to an access.
@@ -30,11 +31,24 @@ pub enum EncSel {
 
 const BLOCK: u64 = 16;
 
+impl EncSel {
+    /// The telemetry key label for an engine-engaged selection (`None` for
+    /// a bypass or a missing key).
+    fn telemetry_key(&self) -> Option<EncKey> {
+        match self {
+            EncSel::None => None,
+            EncSel::Sme => Some(EncKey::Sme),
+            EncSel::Guest(asid) => Some(EncKey::Guest(asid.0)),
+        }
+    }
+}
+
 /// The memory controller.
 pub struct MemoryController {
     dram: Dram,
     sme: Option<PaTweakCipher>,
     guests: HashMap<u16, PaTweakCipher>,
+    trace: Option<Tracer>,
 }
 
 impl std::fmt::Debug for MemoryController {
@@ -50,7 +64,23 @@ impl std::fmt::Debug for MemoryController {
 impl MemoryController {
     /// Wraps physical memory with an (initially key-less) engine.
     pub fn new(dram: Dram) -> Self {
-        MemoryController { dram, sme: None, guests: HashMap::new() }
+        MemoryController { dram, sme: None, guests: HashMap::new(), trace: None }
+    }
+
+    /// Attaches a tracer; every engine-engaged access is then accounted as
+    /// crypto traffic (bytes per key and direction).
+    pub fn with_tracer(mut self, trace: Tracer) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    fn trace_crypto(&self, sel: EncSel, dir: CryptoDir, bytes: usize, engaged: bool) {
+        if !engaged || bytes == 0 {
+            return;
+        }
+        if let (Some(trace), Some(key)) = (&self.trace, sel.telemetry_key()) {
+            trace.crypto(key, dir, bytes as u64);
+        }
     }
 
     /// Installs the host SME key (done by firmware at reset).
@@ -93,6 +123,7 @@ impl MemoryController {
         match self.engine(sel)? {
             None => self.dram.read_raw(pa, buf),
             Some(engine) => {
+                self.trace_crypto(sel, CryptoDir::Decrypt, buf.len(), true);
                 let len = buf.len() as u64;
                 let first_block = pa.0 / BLOCK;
                 let last_block = (pa.0 + len.max(1) - 1) / BLOCK;
@@ -123,6 +154,7 @@ impl MemoryController {
         match self.engine(sel)? {
             None => self.dram.write_raw(pa, data),
             Some(engine) => {
+                self.trace_crypto(sel, CryptoDir::Encrypt, data.len(), true);
                 // Clone the cipher handle to appease the borrow checker;
                 // PaTweakCipher is a small key schedule.
                 let engine = engine.clone();

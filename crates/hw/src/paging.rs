@@ -275,10 +275,7 @@ impl Mapper {
     /// # Errors
     ///
     /// Fails when out of frames or on access errors.
-    pub fn create(
-        access: &mut dyn PtAccess,
-        alloc: &mut FrameAllocator,
-    ) -> Result<Self, HwError> {
+    pub fn create(access: &mut dyn PtAccess, alloc: &mut FrameAllocator) -> Result<Self, HwError> {
         let root = alloc.alloc()?;
         zero_table(access, root)?;
         Ok(Mapper { root })
@@ -492,9 +489,7 @@ mod tests {
         let mapper = {
             let mut acc = PhysPtAccess::new(&mut mc, EncSel::None);
             let mapper = Mapper::create(&mut acc, &mut alloc).unwrap();
-            mapper
-                .map(&mut acc, &mut alloc, 0x4000_1000, Hpa(0x2000), PTE_WRITABLE)
-                .unwrap();
+            mapper.map(&mut acc, &mut alloc, 0x4000_1000, Hpa(0x2000), PTE_WRITABLE).unwrap();
             mapper
         };
         let t = walk(&mc, mapper.root(), 0x4000_1234, EncSel::None).unwrap().unwrap();
@@ -561,9 +556,7 @@ mod tests {
         mapper.map(&mut acc, &mut alloc, 0x7000, Hpa(0x5000), PTE_WRITABLE).unwrap();
         assert!(mapper.lookup(&mut acc, 0x7000).unwrap().is_some());
         // Drop the writable bit.
-        assert!(mapper
-            .update_leaf(&mut acc, 0x7000, |p| p.without_flags(PTE_WRITABLE))
-            .unwrap());
+        assert!(mapper.update_leaf(&mut acc, 0x7000, |p| p.without_flags(PTE_WRITABLE)).unwrap());
         assert!(!mapper.lookup(&mut acc, 0x7000).unwrap().unwrap().writable());
         let old = mapper.unmap(&mut acc, 0x7000).unwrap().unwrap();
         assert_eq!(old.addr(), Hpa(0x5000));

@@ -274,7 +274,10 @@ impl Firmware {
         }
         machine.mc.dram_mut().write_raw(pa, &buf).map_err(SevError::Hw)?;
         let lines = len.div_ceil(fidelius_hw::CACHE_LINE);
-        machine.cycles.charge(lines as f64 * machine.cost.engine_line_extra);
+        machine.cycles.charge_as(
+            fidelius_hw::cycles::CycleCategory::CryptoEngine,
+            lines as f64 * machine.cost.engine_line_extra,
+        );
         Ok(())
     }
 
@@ -323,11 +326,7 @@ impl Firmware {
     ) -> Result<(), SevError> {
         self.require_init()?;
         self.guest(h)?;
-        if self
-            .guests
-            .iter()
-            .any(|(other, ctx)| *other != h && ctx.asid == Some(asid))
-        {
+        if self.guests.iter().any(|(other, ctx)| *other != h && ctx.asid == Some(asid)) {
             return Err(SevError::AsidInUse(asid));
         }
         let ctx = self.guest_mut(h)?;
@@ -442,7 +441,10 @@ impl Firmware {
         let ctr = Ctr128::new(&tek, 0x7EC0_0000_0000_0000);
         ctr.apply(page_index * (PAGE_SIZE / 16), &mut page);
         let lines = PAGE_SIZE.div_ceil(fidelius_hw::CACHE_LINE);
-        machine.cycles.charge(2.0 * lines as f64 * machine.cost.engine_line_extra);
+        machine.cycles.charge_as(
+            fidelius_hw::cycles::CycleCategory::CryptoEngine,
+            2.0 * lines as f64 * machine.cost.engine_line_extra,
+        );
         Ok(page)
     }
 
@@ -518,7 +520,10 @@ impl Firmware {
         }
         machine.mc.dram_mut().write_raw(dst_pa, &page).map_err(SevError::Hw)?;
         let lines = PAGE_SIZE.div_ceil(fidelius_hw::CACHE_LINE);
-        machine.cycles.charge(2.0 * lines as f64 * machine.cost.engine_line_extra);
+        machine.cycles.charge_as(
+            fidelius_hw::cycles::CycleCategory::CryptoEngine,
+            2.0 * lines as f64 * machine.cost.engine_line_extra,
+        );
         Ok(())
     }
 
@@ -611,7 +616,10 @@ impl Firmware {
         ctr.apply(0, &mut buf);
         machine.mc.dram_mut().write_raw(dst_pa, &buf).map_err(SevError::Hw)?;
         let lines = len.div_ceil(fidelius_hw::CACHE_LINE).max(1);
-        machine.cycles.charge(2.0 * lines as f64 * machine.cost.engine_line_extra);
+        machine.cycles.charge_as(
+            fidelius_hw::cycles::CycleCategory::CryptoEngine,
+            2.0 * lines as f64 * machine.cost.engine_line_extra,
+        );
         Ok(())
     }
 
@@ -648,7 +656,10 @@ impl Firmware {
         }
         machine.mc.dram_mut().write_raw(dst_pa, &buf).map_err(SevError::Hw)?;
         let lines = len.div_ceil(fidelius_hw::CACHE_LINE).max(1);
-        machine.cycles.charge(2.0 * lines as f64 * machine.cost.engine_line_extra);
+        machine.cycles.charge_as(
+            fidelius_hw::cycles::CycleCategory::CryptoEngine,
+            2.0 * lines as f64 * machine.cost.engine_line_extra,
+        );
         Ok(())
     }
 }
@@ -833,9 +844,7 @@ mod tests {
     #[test]
     fn io_helpers_respect_no_key_sharing_policy() {
         let (_m, mut fw) = setup();
-        let h = fw
-            .launch_start(GuestPolicy { no_key_sharing: true, no_debug: false })
-            .unwrap();
+        let h = fw.launch_start(GuestPolicy { no_key_sharing: true, no_debug: false }).unwrap();
         assert!(fw.create_io_helpers(h).is_err());
     }
 

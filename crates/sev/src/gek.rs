@@ -57,7 +57,10 @@ impl GekEngine {
     pub fn setenc_gek(&mut self, fw: &Firmware, guest: Handle) -> Result<GekHandle, SevError> {
         let (state, _) = fw.guest_status(guest)?;
         if state != GuestState::Running && state != GuestState::Launching {
-            return Err(SevError::InvalidGuestState { expected: GuestState::Running, actual: state });
+            return Err(SevError::InvalidGuestState {
+                expected: GuestState::Running,
+                actual: state,
+            });
         }
         let h = GekHandle(self.next);
         self.next += 1;
@@ -96,7 +99,10 @@ impl GekEngine {
         Ctr128::new(key, stream).apply(0, &mut buf);
         machine.mc.dram_mut().write_raw(pa, &buf).map_err(SevError::Hw)?;
         let lines = len.div_ceil(fidelius_hw::CACHE_LINE).max(1);
-        machine.cycles.charge(lines as f64 * machine.cost.engine_line_extra);
+        machine.cycles.charge_as(
+            fidelius_hw::cycles::CycleCategory::CryptoEngine,
+            lines as f64 * machine.cost.engine_line_extra,
+        );
         Ok(())
     }
 

@@ -33,8 +33,8 @@
 #![warn(missing_docs)]
 
 pub mod error;
-pub mod gek;
 pub mod firmware;
+pub mod gek;
 pub mod owner;
 
 pub use error::SevError;

@@ -1,0 +1,133 @@
+//! Cycle-attribution categories.
+//!
+//! Every cycle charged in the simulator lands in exactly one category; the
+//! grand total is *defined* as the sum over categories (there is no separate
+//! total accumulator), so the breakdown provably sums to the total — not
+//! approximately, but bit-for-bit, independent of float rounding.
+
+use crate::json::Json;
+use std::fmt;
+
+/// Where a cycle charge is attributed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CycleCategory {
+    /// Ordinary execution: memory accesses, device model, workload compute.
+    Baseline,
+    /// VMRUN/VMEXIT hardware world-switch portions.
+    WorldSwitch,
+    /// Fidelius gate round trips (types 1–3) and their payloads.
+    Gates,
+    /// VMCB/register shadowing on exit and verification before re-entry.
+    ShadowVerify,
+    /// SME/SEV engine and software-AES per-line crypto latency.
+    CryptoEngine,
+    /// Page-table walks and TLB maintenance (NPT/GPT walks, flushes).
+    Paging,
+}
+
+impl CycleCategory {
+    /// Number of categories (length of [`CycleCategory::ALL`]).
+    pub const COUNT: usize = 6;
+
+    /// All categories, in the canonical (summation) order.
+    pub const ALL: [CycleCategory; CycleCategory::COUNT] = [
+        CycleCategory::Baseline,
+        CycleCategory::WorldSwitch,
+        CycleCategory::Gates,
+        CycleCategory::ShadowVerify,
+        CycleCategory::CryptoEngine,
+        CycleCategory::Paging,
+    ];
+
+    /// Stable lowercase name (used in reports and JSON).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CycleCategory::Baseline => "baseline",
+            CycleCategory::WorldSwitch => "world-switch",
+            CycleCategory::Gates => "gates",
+            CycleCategory::ShadowVerify => "shadow-verify",
+            CycleCategory::CryptoEngine => "crypto-engine",
+            CycleCategory::Paging => "paging",
+        }
+    }
+
+    /// Index into a `[f64; CycleCategory::COUNT]` array.
+    pub fn index(&self) -> usize {
+        *self as usize
+    }
+}
+
+impl fmt::Display for CycleCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A per-category cycle breakdown, as exported by `Cycles::breakdown()`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CycleBreakdown {
+    /// Cycles per category, indexed by [`CycleCategory::index`].
+    pub by_category: [f64; CycleCategory::COUNT],
+}
+
+impl CycleBreakdown {
+    /// The grand total: the fixed-order sum of the categories. This is the
+    /// same expression `Cycles::total_f64()` evaluates, so equality with it
+    /// is exact.
+    pub fn total(&self) -> f64 {
+        let mut sum = 0.0;
+        for v in self.by_category {
+            sum += v;
+        }
+        sum
+    }
+
+    /// Cycles attributed to one category.
+    pub fn get(&self, cat: CycleCategory) -> f64 {
+        self.by_category[cat.index()]
+    }
+
+    /// `(category, cycles)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (CycleCategory, f64)> + '_ {
+        CycleCategory::ALL.iter().map(move |&c| (c, self.get(c)))
+    }
+
+    /// JSON object `{"baseline": ..., "world-switch": ..., ..., "total": ...}`.
+    pub fn to_json(&self) -> Json {
+        let mut obj: Vec<(String, Json)> =
+            self.iter().map(|(c, v)| (c.as_str().to_string(), Json::Num(v))).collect();
+        obj.push(("total".to_string(), Json::Num(self.total())));
+        Json::Obj(obj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_covers_every_index_once() {
+        let mut seen = [false; CycleCategory::COUNT];
+        for c in CycleCategory::ALL {
+            assert!(!seen[c.index()], "duplicate index for {c}");
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn breakdown_total_is_fixed_order_sum() {
+        let mut b = CycleBreakdown::default();
+        b.by_category = [1.5, 2.25, 0.0, 4.0, 8.125, 16.0];
+        assert_eq!(b.total(), 1.5 + 2.25 + 0.0 + 4.0 + 8.125 + 16.0);
+        assert_eq!(b.get(CycleCategory::CryptoEngine), 8.125);
+    }
+
+    #[test]
+    fn json_shape() {
+        let b = CycleBreakdown { by_category: [1.0; 6] };
+        let j = b.to_json();
+        assert_eq!(j.get("total").and_then(Json::as_f64), Some(6.0));
+        assert_eq!(j.get("shadow-verify").and_then(Json::as_f64), Some(1.0));
+    }
+}

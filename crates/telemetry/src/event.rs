@@ -1,0 +1,380 @@
+//! Typed trace events.
+//!
+//! Events carry primitive operands (raw physical addresses, ASIDs, exit
+//! codes) plus small enums defined here, so the `hw` layer can emit them
+//! without this crate knowing any simulator types. Each event renders to a
+//! flat JSON object whose `"ev"` member names the variant.
+
+use crate::json::Json;
+use crate::reason::DenialReason;
+use std::fmt;
+
+/// Which Fidelius gate type a round trip used (paper §4.1.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GateKind {
+    /// Type 1: toggle `CR0.WP` around the body.
+    Type1,
+    /// Type 2: checking loop around a monopolized instruction.
+    Type2,
+    /// Type 3: temporarily map the guarded page in, execute, withdraw.
+    Type3,
+}
+
+impl GateKind {
+    /// Stable label ("type1" …).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            GateKind::Type1 => "type1",
+            GateKind::Type2 => "type2",
+            GateKind::Type3 => "type3",
+        }
+    }
+
+    /// Index 0..3 for per-type counters.
+    pub fn index(&self) -> usize {
+        *self as usize
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Which key the memory-controller engine used for a crypto operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EncKey {
+    /// The host SME key (C-bit set, host-owned mapping).
+    Sme,
+    /// A guest SEV key, by ASID.
+    Guest(u16),
+}
+
+impl EncKey {
+    /// Stable label: `"sme"` or `"asid<N>"` rendering.
+    pub fn label(&self) -> String {
+        match self {
+            EncKey::Sme => "sme".to_string(),
+            EncKey::Guest(asid) => format!("asid{asid}"),
+        }
+    }
+}
+
+/// Direction of a memory-controller crypto operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CryptoDir {
+    /// Plaintext written through the engine into DRAM.
+    Encrypt,
+    /// Ciphertext read through the engine out of DRAM.
+    Decrypt,
+}
+
+impl CryptoDir {
+    /// Stable label.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CryptoDir::Encrypt => "encrypt",
+            CryptoDir::Decrypt => "decrypt",
+        }
+    }
+}
+
+/// Scope of a TLB flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlushScope {
+    /// One entry (`invlpg`), by virtual address.
+    Entry {
+        /// The flushed virtual address.
+        va: u64,
+    },
+    /// Every entry of one address space (`None` = host, `Some(asid)` = guest).
+    Space {
+        /// The flushed guest ASID, or `None` for the host space.
+        guest: Option<u16>,
+    },
+    /// The whole TLB (CR3 write or explicit full flush).
+    Full,
+}
+
+/// Outcome of a VMCB shadow-verify pass at the entry boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VerifyOutcome {
+    /// Every checked field matched the shadow.
+    Clean,
+    /// A check failed; entry was refused for this reason.
+    Tampered(DenialReason),
+}
+
+/// What object a policy decision was about (for decision events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyObject {
+    /// A PIT-mediated page/mapping decision.
+    Pit,
+    /// A GIT-mediated grant decision.
+    Git,
+    /// A privileged-instruction operand decision.
+    Instr,
+}
+
+impl PolicyObject {
+    /// Stable label.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PolicyObject::Pit => "pit",
+            PolicyObject::Git => "git",
+            PolicyObject::Instr => "instr",
+        }
+    }
+}
+
+/// A grant-table operation observed at the hypervisor interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GrantAction {
+    /// A guest offered a frame (`grant_access`).
+    Offer,
+    /// A peer mapped a granted frame (`map_grant_ref`).
+    Map,
+    /// A peer unmapped a granted frame.
+    Unmap,
+    /// The offer was withdrawn (`end_access`).
+    End,
+}
+
+impl GrantAction {
+    /// Stable label.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            GrantAction::Offer => "offer",
+            GrantAction::Map => "map",
+            GrantAction::Unmap => "unmap",
+            GrantAction::End => "end",
+        }
+    }
+}
+
+/// One structured trace event.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Event {
+    /// Hardware world switch into a guest.
+    Vmrun {
+        /// The entered guest's ASID.
+        asid: u16,
+        /// Whether SEV encryption is active for the guest.
+        sev: bool,
+    },
+    /// Hardware world switch back to the host.
+    Vmexit {
+        /// Raw SVM exit code.
+        exit_code: u64,
+        /// The exiting guest's ASID.
+        asid: u16,
+    },
+    /// A hypercall dispatched by the hypervisor.
+    Hypercall {
+        /// Calling domain.
+        dom: u16,
+        /// Hypercall number (RAX).
+        nr: u64,
+    },
+    /// One full gate round trip (entry + payload + exit).
+    Gate {
+        /// Which gate type.
+        kind: GateKind,
+        /// What the gate body did (static site label).
+        op: &'static str,
+    },
+    /// A policy decision, with operands. `allowed == false` events are
+    /// always followed by a [`Event::Denial`] giving the typed reason.
+    Decision {
+        /// Which policy family decided.
+        object: PolicyObject,
+        /// The static label of the operation under decision.
+        op: &'static str,
+        /// Primary operand (frame/GPA page number or register value).
+        operand: u64,
+        /// Acting domain (0 = hypervisor/host).
+        dom: u16,
+        /// The verdict.
+        allowed: bool,
+    },
+    /// A policy denial (the audit log ingests exactly these).
+    Denial {
+        /// The typed reason.
+        reason: DenialReason,
+    },
+    /// The VMCB and guest registers were shadowed on exit.
+    ShadowCapture {
+        /// The shadowed VMCB's physical address.
+        vmcb_pa: u64,
+        /// How many fields were masked for this exit reason.
+        masked_fields: u64,
+    },
+    /// The shadow was verified at the entry boundary.
+    ShadowVerify {
+        /// The verified VMCB's physical address.
+        vmcb_pa: u64,
+        /// Whether verification passed.
+        outcome: VerifyOutcome,
+    },
+    /// A TLB flush.
+    TlbFlush {
+        /// What was flushed.
+        scope: FlushScope,
+    },
+    /// Memory-controller crypto traffic. Consecutive same-key/same-direction
+    /// operations are coalesced into one event (`bytes`/`ops` accumulate) so
+    /// bulk copies do not evict everything else from the ring.
+    Crypto {
+        /// Which key the engine used.
+        key: EncKey,
+        /// Encrypt or decrypt.
+        dir: CryptoDir,
+        /// Total bytes in the coalesced run.
+        bytes: u64,
+        /// Number of coalesced operations.
+        ops: u64,
+    },
+    /// A grant-table operation at the hypervisor interface.
+    Grant {
+        /// What kind of grant operation.
+        action: GrantAction,
+        /// The granting domain.
+        granter: u16,
+        /// The mapping/peer domain (granter again for offer/end).
+        peer: u16,
+        /// The frame number involved.
+        frame: u64,
+    },
+}
+
+impl Event {
+    /// The variant's stable name (the JSON `"ev"` member).
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            Event::Vmrun { .. } => "vmrun",
+            Event::Vmexit { .. } => "vmexit",
+            Event::Hypercall { .. } => "hypercall",
+            Event::Gate { .. } => "gate",
+            Event::Decision { .. } => "decision",
+            Event::Denial { .. } => "denial",
+            Event::ShadowCapture { .. } => "shadow-capture",
+            Event::ShadowVerify { .. } => "shadow-verify",
+            Event::TlbFlush { .. } => "tlb-flush",
+            Event::Crypto { .. } => "crypto",
+            Event::Grant { .. } => "grant",
+        }
+    }
+
+    /// Renders the event as a flat JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<(String, Json)> = vec![("ev".to_string(), Json::str(self.kind_str()))];
+        let mut put = |k: &str, v: Json| pairs.push((k.to_string(), v));
+        match self {
+            Event::Vmrun { asid, sev } => {
+                put("asid", Json::Num(*asid as f64));
+                put("sev", Json::Bool(*sev));
+            }
+            Event::Vmexit { exit_code, asid } => {
+                put("exit_code", Json::Num(*exit_code as f64));
+                put("asid", Json::Num(*asid as f64));
+            }
+            Event::Hypercall { dom, nr } => {
+                put("dom", Json::Num(*dom as f64));
+                put("nr", Json::Num(*nr as f64));
+            }
+            Event::Gate { kind, op } => {
+                put("kind", Json::str(kind.as_str()));
+                put("op", Json::str(*op));
+            }
+            Event::Decision { object, op, operand, dom, allowed } => {
+                put("object", Json::str(object.as_str()));
+                put("op", Json::str(*op));
+                put("operand", Json::Num(*operand as f64));
+                put("dom", Json::Num(*dom as f64));
+                put("allowed", Json::Bool(*allowed));
+            }
+            Event::Denial { reason } => {
+                put("kind", Json::str(reason.kind().as_str()));
+                put("reason", Json::str(reason.as_str()));
+            }
+            Event::ShadowCapture { vmcb_pa, masked_fields } => {
+                put("vmcb_pa", Json::Num(*vmcb_pa as f64));
+                put("masked_fields", Json::Num(*masked_fields as f64));
+            }
+            Event::ShadowVerify { vmcb_pa, outcome } => {
+                put("vmcb_pa", Json::Num(*vmcb_pa as f64));
+                match outcome {
+                    VerifyOutcome::Clean => put("outcome", Json::str("clean")),
+                    VerifyOutcome::Tampered(reason) => {
+                        put("outcome", Json::str("tampered"));
+                        put("reason", Json::str(reason.as_str()));
+                    }
+                }
+            }
+            Event::TlbFlush { scope } => match scope {
+                FlushScope::Entry { va } => {
+                    put("scope", Json::str("entry"));
+                    put("va", Json::Num(*va as f64));
+                }
+                FlushScope::Space { guest } => {
+                    put("scope", Json::str("space"));
+                    match guest {
+                        Some(asid) => put("asid", Json::Num(*asid as f64)),
+                        None => put("asid", Json::Null),
+                    }
+                }
+                FlushScope::Full => put("scope", Json::str("full")),
+            },
+            Event::Crypto { key, dir, bytes, ops } => {
+                put("key", Json::Str(key.label()));
+                put("dir", Json::str(dir.as_str()));
+                put("bytes", Json::Num(*bytes as f64));
+                put("ops", Json::Num(*ops as f64));
+            }
+            Event::Grant { action, granter, peer, frame } => {
+                put("action", Json::str(action.as_str()));
+                put("granter", Json::Num(*granter as f64));
+                put("peer", Json::Num(*peer as f64));
+                put("frame", Json::Num(*frame as f64));
+            }
+        }
+        Json::Obj(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_render_to_flat_objects() {
+        let e = Event::Vmexit { exit_code: 0x81, asid: 1 };
+        let j = e.to_json();
+        assert_eq!(j.get("ev").unwrap().as_str(), Some("vmexit"));
+        assert_eq!(j.get("exit_code").unwrap().as_u64(), Some(0x81));
+
+        let d = Event::Denial { reason: DenialReason::RemapPopulatedGpa };
+        let j = d.to_json();
+        assert_eq!(j.get("kind").unwrap().as_str(), Some("pit"));
+        assert_eq!(j.get("reason").unwrap().as_str(), Some("remapping a populated GPA (replay)"));
+    }
+
+    #[test]
+    fn event_json_survives_parse() {
+        let e = Event::ShadowVerify {
+            vmcb_pa: 0x1000,
+            outcome: VerifyOutcome::Tampered(DenialReason::VmcbFieldTampered),
+        };
+        let text = e.to_json().to_string();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.get("outcome").unwrap().as_str(), Some("tampered"));
+    }
+
+    #[test]
+    fn key_labels() {
+        assert_eq!(EncKey::Sme.label(), "sme");
+        assert_eq!(EncKey::Guest(3).label(), "asid3");
+    }
+}

@@ -1,0 +1,52 @@
+//! Cross-layer telemetry for the Fidelius simulator.
+//!
+//! The paper's whole evaluation — Tables 1–3, Figs 5–6, the three
+//! micro-benchmarks — is built from *observing* who touched which critical
+//! resource and what it cost in cycles, and §5.3 requires denied operations
+//! to be "log\[ged\] for further auditing". This crate is the single place
+//! where those observations are defined:
+//!
+//! * [`Event`] — typed, structured events for every interesting
+//!   architectural and policy action (VMEXIT/VMRUN, hypercalls, gate round
+//!   trips, PIT/GIT/instruction-policy decisions with their operands, VMCB
+//!   shadow/verify outcomes, TLB flushes, memory-controller crypto
+//!   traffic).
+//! * [`Tracer`] — a cheaply cloneable handle ingesting events into a
+//!   bounded in-memory ring buffer (tests, attack forensics) while
+//!   simultaneously updating the [`Metrics`] registry, so the counters can
+//!   never disagree with the event stream.
+//! * [`Metrics`] — counters and simple power-of-two histograms: vmexits by
+//!   reason, gate invocations by type, policy denials by [`AuditKind`],
+//!   TLB hit/miss, bytes encrypted per key.
+//! * [`CycleCategory`] / [`CycleBreakdown`] — span-based cycle attribution;
+//!   `fidelius-hw`'s `Cycles` counter stores *only* the per-category array
+//!   and derives the grand total from it, so per-category totals sum to the
+//!   total exactly, by construction.
+//! * [`json`] — a dependency-free JSON value type with an emitter and a
+//!   small parser, used for the bench binaries' `--json` (JSON-lines)
+//!   output and its round-trip tests.
+//! * [`DenialReason`] — the typed vocabulary of policy denials, replacing
+//!   string classification in the audit log.
+//!
+//! The crate is intentionally dependency-free and knows nothing about the
+//! rest of the workspace: events carry primitive operands (`u64` physical
+//! addresses, `u16` ASIDs) and small enums defined here, so every layer —
+//! `hw` upward — can depend on it without cycles.
+
+pub mod category;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod reason;
+pub mod report;
+pub mod tracer;
+
+pub use category::{CycleBreakdown, CycleCategory};
+pub use event::{
+    CryptoDir, EncKey, Event, FlushScope, GateKind, GrantAction, PolicyObject, VerifyOutcome,
+};
+pub use json::Json;
+pub use metrics::{Histogram, Metrics};
+pub use reason::{AuditKind, DenialReason};
+pub use report::Snapshot;
+pub use tracer::{TracedEvent, Tracer};

@@ -1,0 +1,102 @@
+//! Human-readable and machine-readable rollups of a telemetry capture.
+
+use crate::category::CycleBreakdown;
+use crate::json::Json;
+use crate::metrics::Metrics;
+use std::fmt::Write;
+
+/// A point-in-time rollup: the metrics registry plus the cycle breakdown.
+/// `fidelius-hw`'s `Machine::telemetry_snapshot()` builds one with the TLB
+/// counters already folded in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// The counter/histogram registry.
+    pub metrics: Metrics,
+    /// Per-category cycle totals.
+    pub cycles: CycleBreakdown,
+}
+
+impl Snapshot {
+    /// JSON object `{"metrics": {...}, "cycles": {...}}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([("metrics", self.metrics.to_json()), ("cycles", self.cycles.to_json())])
+    }
+
+    /// A multi-line text report (the `--json`-less sink).
+    pub fn text_report(&self) -> String {
+        let m = &self.metrics;
+        let mut out = String::new();
+        let _ = writeln!(out, "== telemetry report ==");
+        let _ = writeln!(out, "cycles by category:");
+        for (cat, v) in self.cycles.iter() {
+            if v > 0.0 {
+                let _ = writeln!(out, "  {:<14} {:>16.0}", cat.as_str(), v);
+            }
+        }
+        let _ = writeln!(out, "  {:<14} {:>16.0}", "total", self.cycles.total());
+        let _ = writeln!(out, "world switches: {} vmruns, {} vmexits", m.vmruns, m.vmexits_total());
+        if !m.vmexits_by_code.is_empty() {
+            let _ = writeln!(out, "vmexits by code:");
+            for (code, n) in &m.vmexits_by_code {
+                let _ = writeln!(out, "  {code:#x}: {n}");
+            }
+        }
+        if !m.hypercalls_by_nr.is_empty() {
+            let _ = writeln!(out, "hypercalls by nr:");
+            for (nr, n) in &m.hypercalls_by_nr {
+                let _ = writeln!(out, "  {nr}: {n}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "gates: type1={} type2={} type3={}",
+            m.gates_by_type[0], m.gates_by_type[1], m.gates_by_type[2]
+        );
+        let _ = writeln!(
+            out,
+            "shadow: {} captures, {} clean, {} tampered",
+            m.shadow_captures, m.shadow_verify_clean, m.shadow_verify_tampered
+        );
+        let _ = writeln!(
+            out,
+            "tlb: {} hits, {} misses, flushes {:?}",
+            m.tlb_hits, m.tlb_misses, m.tlb_flushes
+        );
+        if !m.denials_by_kind.is_empty() {
+            let _ = writeln!(out, "policy denials:");
+            for (kind, n) in &m.denials_by_kind {
+                let _ = writeln!(out, "  {kind}: {n}");
+            }
+        }
+        if !m.crypto_bytes.is_empty() {
+            let _ = writeln!(out, "crypto engine traffic:");
+            for ((key, dir), bytes) in &m.crypto_bytes {
+                let _ = writeln!(out, "  {key}/{}: {bytes} bytes", dir.as_str());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::category::CycleCategory;
+    use crate::event::Event;
+    use crate::tracer::Tracer;
+
+    #[test]
+    fn report_renders_and_json_parses() {
+        let t = Tracer::new(8);
+        t.emit(Event::Vmrun { asid: 1, sev: true });
+        t.emit(Event::Vmexit { exit_code: 0x81, asid: 1 });
+        let mut cycles = CycleBreakdown::default();
+        cycles.by_category[CycleCategory::WorldSwitch.index()] = 2100.0;
+        let snap = Snapshot { metrics: t.metrics(), cycles };
+        let text = snap.text_report();
+        assert!(text.contains("world-switch"));
+        assert!(text.contains("1 vmruns, 1 vmexits"));
+        let parsed = Json::parse(&snap.to_json().to_string()).unwrap();
+        assert_eq!(parsed.get("cycles").unwrap().get("total").unwrap().as_f64(), Some(2100.0));
+    }
+}

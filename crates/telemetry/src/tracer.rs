@@ -1,0 +1,266 @@
+//! The event tracer: a cloneable handle that ingests [`Event`]s into a
+//! bounded ring buffer while updating the [`Metrics`] registry under the
+//! same lock, so the two sinks can never disagree.
+
+use crate::event::{CryptoDir, EncKey, Event};
+use crate::json::Json;
+use crate::metrics::Metrics;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Default ring capacity (events retained for forensics/tests).
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// One retained event with its global sequence number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracedEvent {
+    /// Monotonic sequence number (0-based, never reused).
+    pub seq: u64,
+    /// The event.
+    pub event: Event,
+}
+
+impl TracedEvent {
+    /// JSON object: the event's members plus `"seq"`.
+    pub fn to_json(&self) -> Json {
+        match self.event.to_json() {
+            Json::Obj(mut pairs) => {
+                pairs.insert(0, ("seq".to_string(), Json::Num(self.seq as f64)));
+                Json::Obj(pairs)
+            }
+            other => other,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    ring: VecDeque<TracedEvent>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+    metrics: Metrics,
+    enabled: bool,
+    /// An open coalesced crypto run: `(key, dir, bytes_so_far)`.
+    open_crypto: Option<(EncKey, CryptoDir, u64)>,
+}
+
+impl Inner {
+    fn close_crypto_run(&mut self) {
+        if let Some((_, dir, bytes)) = self.open_crypto.take() {
+            self.metrics.record_crypto_run(dir, bytes);
+        }
+    }
+
+    fn push(&mut self, event: Event) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(TracedEvent { seq: self.next_seq, event });
+        self.next_seq += 1;
+    }
+}
+
+/// A cheaply cloneable tracing handle. All clones share one ring buffer and
+/// one metrics registry.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new(DEFAULT_RING_CAPACITY)
+    }
+}
+
+impl Tracer {
+    /// A tracer retaining the most recent `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero capacity.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "tracer ring needs capacity");
+        Tracer {
+            inner: Arc::new(Mutex::new(Inner {
+                ring: VecDeque::with_capacity(capacity),
+                capacity,
+                next_seq: 0,
+                dropped: 0,
+                metrics: Metrics::default(),
+                enabled: true,
+                open_crypto: None,
+            })),
+        }
+    }
+
+    /// Emits one event: appends to the ring (evicting the oldest when full)
+    /// and folds it into the metrics registry.
+    pub fn emit(&self, event: Event) {
+        let mut inner = self.inner.lock().expect("tracer lock");
+        if !inner.enabled {
+            return;
+        }
+        inner.close_crypto_run();
+        inner.metrics.observe(&event, 0, 0);
+        inner.push(event);
+    }
+
+    /// Records memory-controller crypto traffic. Consecutive calls with the
+    /// same `(key, dir)` coalesce into one ring event whose `bytes`/`ops`
+    /// grow, so a bulk copy is one event, not millions; the byte counters in
+    /// the metrics registry always account every call exactly.
+    pub fn crypto(&self, key: EncKey, dir: CryptoDir, bytes: u64) {
+        let mut guard = self.inner.lock().expect("tracer lock");
+        let inner = &mut *guard;
+        if !inner.enabled {
+            return;
+        }
+        let event = Event::Crypto { key, dir, bytes, ops: 1 };
+        inner.metrics.observe(&event, bytes, 1);
+        match (&mut inner.open_crypto, inner.ring.back_mut()) {
+            (
+                Some((open_key, open_dir, run_bytes)),
+                Some(TracedEvent { event: Event::Crypto { bytes: b, ops, .. }, .. }),
+            ) if *open_key == key && *open_dir == dir => {
+                *b += bytes;
+                *ops += 1;
+                *run_bytes += bytes;
+                return;
+            }
+            _ => {}
+        }
+        inner.close_crypto_run();
+        inner.open_crypto = Some((key, dir, bytes));
+        inner.push(event);
+    }
+
+    /// Disables (`false`) or re-enables event ingestion. Disabled tracers
+    /// drop events without recording anything.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.lock().expect("tracer lock").enabled = enabled;
+    }
+
+    /// Snapshot of the retained events, oldest first.
+    pub fn events(&self) -> Vec<TracedEvent> {
+        let mut inner = self.inner.lock().expect("tracer lock");
+        inner.close_crypto_run();
+        inner.ring.iter().cloned().collect()
+    }
+
+    /// Snapshot of the metrics registry.
+    pub fn metrics(&self) -> Metrics {
+        let mut inner = self.inner.lock().expect("tracer lock");
+        inner.close_crypto_run();
+        inner.metrics.clone()
+    }
+
+    /// Total events ever emitted (including evicted and coalesced-away).
+    pub fn total_emitted(&self) -> u64 {
+        self.inner.lock().expect("tracer lock").next_seq
+    }
+
+    /// Events evicted from the ring due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("tracer lock").dropped
+    }
+
+    /// Clears the ring and the metrics (sequence numbers keep increasing).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("tracer lock");
+        inner.ring.clear();
+        inner.metrics = Metrics::default();
+        inner.open_crypto = None;
+    }
+
+    /// The retained events as a JSON-lines document (one object per line).
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for te in self.events() {
+            te.to_json().write(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::GateKind;
+    use crate::reason::DenialReason;
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        let t = Tracer::new(3);
+        for code in 0..5u64 {
+            t.emit(Event::Vmexit { exit_code: code, asid: 1 });
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.total_emitted(), 5);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert_eq!(t.metrics().vmexits_total(), 5, "metrics count evicted events too");
+    }
+
+    #[test]
+    fn crypto_runs_coalesce() {
+        let t = Tracer::new(16);
+        t.crypto(EncKey::Guest(1), CryptoDir::Encrypt, 64);
+        t.crypto(EncKey::Guest(1), CryptoDir::Encrypt, 64);
+        t.crypto(EncKey::Guest(1), CryptoDir::Decrypt, 32);
+        t.emit(Event::Gate { kind: GateKind::Type2, op: "vmrun" });
+        t.crypto(EncKey::Sme, CryptoDir::Encrypt, 16);
+        let events = t.events();
+        assert_eq!(events.len(), 4, "two runs + gate + one run");
+        match &events[0].event {
+            Event::Crypto { bytes, ops, .. } => {
+                assert_eq!(*bytes, 128);
+                assert_eq!(*ops, 2);
+            }
+            other => panic!("expected crypto, got {other:?}"),
+        }
+        let m = t.metrics();
+        assert_eq!(m.crypto_bytes[&("asid1".to_string(), CryptoDir::Encrypt)], 128);
+        assert_eq!(m.crypto_bytes[&("asid1".to_string(), CryptoDir::Decrypt)], 32);
+        assert_eq!(m.crypto_bytes[&("sme".to_string(), CryptoDir::Encrypt)], 16);
+        // Three closed runs → three histogram samples across directions.
+        let samples: u64 = m.crypto_run_bytes.values().map(|h| h.count()).sum();
+        assert_eq!(samples, 3);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new(4);
+        t.set_enabled(false);
+        t.emit(Event::Denial { reason: DenialReason::GrantNotAuthorized });
+        t.crypto(EncKey::Sme, CryptoDir::Decrypt, 64);
+        assert!(t.events().is_empty());
+        assert_eq!(t.metrics().denials_total(), 0);
+    }
+
+    #[test]
+    fn json_lines_parse_back() {
+        let t = Tracer::new(8);
+        t.emit(Event::Vmrun { asid: 2, sev: true });
+        t.emit(Event::Denial { reason: DenialReason::Cr0WpClear });
+        let lines = t.to_json_lines();
+        let parsed = Json::parse_lines(&lines).expect("valid json lines");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].get("ev").unwrap().as_str(), Some("vmrun"));
+        assert_eq!(parsed[0].get("seq").unwrap().as_u64(), Some(0));
+        assert_eq!(parsed[1].get("reason").unwrap().as_str(), Some("CR0.WP cannot be cleared"));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = Tracer::new(4);
+        let t2 = t.clone();
+        t2.emit(Event::Vmrun { asid: 1, sev: false });
+        assert_eq!(t.events().len(), 1);
+    }
+}

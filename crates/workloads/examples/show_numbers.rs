@@ -1,15 +1,30 @@
 fn main() {
     let costs = fidelius_workloads::measure_event_costs().unwrap();
     println!("costs: {costs:?}");
-    let rows = fidelius_workloads::runner::figure_rows(&fidelius_workloads::spec_profiles(), &costs);
-    for r in &rows { println!("SPEC {:12} fid {:5.2}% enc {:6.2}%", r.name, r.fidelius_pct, r.fidelius_enc_pct); }
-    let (a,b) = fidelius_workloads::runner::averages(&rows);
+    let rows =
+        fidelius_workloads::runner::figure_rows(&fidelius_workloads::spec_profiles(), &costs);
+    for r in &rows {
+        println!("SPEC {:12} fid {:5.2}% enc {:6.2}%", r.name, r.fidelius_pct, r.fidelius_enc_pct);
+    }
+    let (a, b) = fidelius_workloads::runner::averages(&rows);
     println!("SPEC avg fid {a:.2}% enc {b:.2}%");
-    let rows = fidelius_workloads::runner::figure_rows(&fidelius_workloads::parsec_profiles(), &costs);
-    for r in &rows { println!("PARSEC {:14} fid {:5.2}% enc {:6.2}%", r.name, r.fidelius_pct, r.fidelius_enc_pct); }
-    let (a,b) = fidelius_workloads::runner::averages(&rows);
+    let rows =
+        fidelius_workloads::runner::figure_rows(&fidelius_workloads::parsec_profiles(), &costs);
+    for r in &rows {
+        println!(
+            "PARSEC {:14} fid {:5.2}% enc {:6.2}%",
+            r.name, r.fidelius_pct, r.fidelius_enc_pct
+        );
+    }
+    let (a, b) = fidelius_workloads::runner::averages(&rows);
     println!("PARSEC avg fid {a:.2}% enc {b:.2}%");
     for r in fidelius_workloads::fio::table3().unwrap() {
-        println!("FIO {:10} xen {:>12.1} KB/s fid {:>12.1} KB/s slow {:5.2}%", r.pattern.label(), r.xen_kbps, r.fidelius_kbps, r.slowdown_pct);
+        println!(
+            "FIO {:10} xen {:>12.1} KB/s fid {:>12.1} KB/s slow {:5.2}%",
+            r.pattern.label(),
+            r.xen_kbps,
+            r.fidelius_kbps,
+            r.slowdown_pct
+        );
     }
 }

@@ -135,7 +135,10 @@ pub fn run_pattern(
                     let lines =
                         (SECTORS_PER_OP * SECTOR_SIZE as u64).div_ceil(fidelius_hw::CACHE_LINE);
                     let extra = lines as f64 * sys.plat.machine.cost.aesni_line;
-                    sys.plat.machine.cycles.charge(extra);
+                    sys.plat
+                        .machine
+                        .cycles
+                        .charge_as(fidelius_hw::cycles::CycleCategory::CryptoEngine, extra);
                 }
             }
             FioPattern::RandWrite | FioPattern::SeqWrite => {

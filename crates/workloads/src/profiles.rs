@@ -110,9 +110,9 @@ mod tests {
         assert!(mcf.dram_lines_per_kinstr > 20.0 * hmmer.dram_lines_per_kinstr);
         let parsec = parsec_profiles();
         let canneal = parsec.iter().find(|p| p.name == "canneal").unwrap();
-        assert!(parsec
-            .iter()
-            .all(|p| p.name == "canneal" || p.dram_lines_per_kinstr < canneal.dram_lines_per_kinstr));
+        assert!(parsec.iter().all(
+            |p| p.name == "canneal" || p.dram_lines_per_kinstr < canneal.dram_lines_per_kinstr
+        ));
     }
 
     #[test]

@@ -4,11 +4,11 @@
 use crate::profiles::WorkloadProfile;
 use fidelius_core::Fidelius;
 use fidelius_hw::Gpa;
+use fidelius_hw::PAGE_SIZE;
 use fidelius_xen::frontend::gplayout;
 use fidelius_xen::hypercall::{HC_MEM_ENCRYPT, HC_VOID, RET_OK};
 use fidelius_xen::system::GuestConfig;
 use fidelius_xen::{System, Unprotected, XenError};
-use fidelius_hw::PAGE_SIZE;
 
 /// The three configurations of Figures 5/6.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -241,8 +241,7 @@ mod tests {
         let canneal = rows.iter().find(|r| r.name == "canneal").unwrap();
         assert!((canneal.fidelius_enc_pct - 14.27).abs() < 2.5, "{}", canneal.fidelius_enc_pct);
         // Excluding canneal the average drops to ~1% (paper: 0.95%).
-        let rest: Vec<FigureRow> =
-            rows.iter().filter(|r| r.name != "canneal").cloned().collect();
+        let rest: Vec<FigureRow> = rows.iter().filter(|r| r.name != "canneal").cloned().collect();
         let (_, avg_rest) = averages(&rest);
         assert!((avg_rest - 0.95).abs() < 0.7, "avg excl canneal {avg_rest}");
     }

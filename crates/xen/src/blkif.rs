@@ -137,8 +137,7 @@ impl BlockBackend {
             let buf_page = plat.machine.host_read_u64(direct_map(ring.add(slot + 32)))?;
             let _ = id;
             let status = self.handle(plat, op, sector, count, buf_page)?;
-            plat.machine
-                .host_write_u64(direct_map(ring.add(slot + 40)), status as u64)?;
+            plat.machine.host_write_u64(direct_map(ring.add(slot + 40)), status as u64)?;
             self.req_cons += 1;
             handled += 1;
         }

@@ -122,7 +122,10 @@ impl FrontEnd {
                 } else {
                     machine.cost.soft_aes_line
                 };
-                machine.cycles.charge(lines as f64 * per_line);
+                machine.cycles.charge_as(
+                    fidelius_hw::cycles::CycleCategory::CryptoEngine,
+                    lines as f64 * per_line,
+                );
                 machine.guest_write_gpa(Gpa(gplayout::BUF_PAGE * PAGE_SIZE), &ct, false)?;
             }
             IoPath::SevApi => {
@@ -164,7 +167,10 @@ impl FrontEnd {
                 } else {
                     machine.cost.soft_aes_line
                 };
-                machine.cycles.charge(lines as f64 * per_line);
+                machine.cycles.charge_as(
+                    fidelius_hw::cycles::CycleCategory::CryptoEngine,
+                    lines as f64 * per_line,
+                );
             }
             IoPath::SevApi => {
                 machine.guest_read_gpa(Gpa(gplayout::MD_PAGE * PAGE_SIZE), &mut data, true)?;
@@ -197,11 +203,7 @@ impl FrontEnd {
         }
         let this_slot = self.req_prod;
         self.req_prod += 1;
-        machine.guest_write_gpa(
-            Gpa(ring.0 + OFF_REQ_PROD),
-            &self.req_prod.to_le_bytes(),
-            false,
-        )?;
+        machine.guest_write_gpa(Gpa(ring.0 + OFF_REQ_PROD), &self.req_prod.to_le_bytes(), false)?;
         Ok(this_slot)
     }
 
@@ -240,9 +242,7 @@ impl<'a> GuestPtAccess<'a> {
 impl PtAccess for GuestPtAccess<'_> {
     fn read_entry(&mut self, pa: Hpa) -> Result<u64, HwError> {
         let mut b = [0u8; 8];
-        self.machine
-            .guest_read_gpa(Gpa(pa.0), &mut b, self.encrypted)
-            .map_err(HwError::Fault)?;
+        self.machine.guest_read_gpa(Gpa(pa.0), &mut b, self.encrypted).map_err(HwError::Fault)?;
         Ok(u64::from_le_bytes(b))
     }
 

@@ -125,8 +125,12 @@ pub trait Guardian {
     /// # Errors
     ///
     /// Policy violations and faults.
-    fn host_pt_write(&mut self, plat: &mut Platform, entry_pa: Hpa, value: u64)
-        -> Result<(), GuardError>;
+    fn host_pt_write(
+        &mut self,
+        plat: &mut Platform,
+        entry_pa: Hpa,
+        value: u64,
+    ) -> Result<(), GuardError>;
 
     /// Writes an 8-byte entry of a domain's nested page table.
     ///
@@ -195,6 +199,7 @@ pub trait Guardian {
     /// # Errors
     ///
     /// Faults and SEV command failures.
+    #[allow(clippy::too_many_arguments)]
     fn io_transform(
         &mut self,
         plat: &mut Platform,
@@ -299,10 +304,8 @@ impl Guardian for Unprotected {
         entry: GrantEntry,
     ) -> Result<(), GuardError> {
         assert!(index < GRANT_TABLE_ENTRIES, "grant index out of range");
-        let base = self
-            .grant_table_pa
-            .expect("late_launch must run first")
-            .add(index * GRANT_ENTRY_SIZE);
+        let base =
+            self.grant_table_pa.expect("late_launch must run first").add(index * GRANT_ENTRY_SIZE);
         for (i, w) in entry.to_words().iter().enumerate() {
             plat.machine.host_write_u64(direct_map(base.add(8 * i as u64)), *w)?;
         }

@@ -61,12 +61,9 @@ mod tests {
 
     #[test]
     fn grant_op_roundtrip() {
-        for op in [
-            GrantOp::GrantAccess,
-            GrantOp::MapGrantRef,
-            GrantOp::UnmapGrantRef,
-            GrantOp::EndAccess,
-        ] {
+        for op in
+            [GrantOp::GrantAccess, GrantOp::MapGrantRef, GrantOp::UnmapGrantRef, GrantOp::EndAccess]
+        {
             assert_eq!(GrantOp::from_raw(op as u64), Some(op));
         }
         assert_eq!(GrantOp::from_raw(17), None);

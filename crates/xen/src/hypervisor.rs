@@ -13,13 +13,14 @@ use crate::grants::{read_entry_phys, GrantEntry, GRANT_TABLE_ENTRIES};
 use crate::guardian::{Guardian, LateLaunchInfo};
 use crate::hypercall::*;
 use crate::layout::{direct_map, InstrSites};
-use crate::platform::{Platform, XEN_CODE_PA, FIDELIUS_CODE_PA, BootInfo};
+use crate::platform::{BootInfo, Platform, FIDELIUS_CODE_PA, XEN_CODE_PA};
 use crate::XenError;
 use fidelius_hw::mem::FrameAllocator;
 use fidelius_hw::paging::{table_index, Pte, PTE_C_BIT, PTE_PRESENT, PTE_WRITABLE};
 use fidelius_hw::regs::Gpr;
 use fidelius_hw::vmcb::{ExitCode, VmcbField, VmcbImage};
 use fidelius_hw::{Asid, Gpa, Hpa, PAGE_SIZE};
+use fidelius_telemetry::{Event, FlushScope, GrantAction};
 use std::collections::BTreeMap;
 
 /// What the run loop should do after an exit was handled.
@@ -352,10 +353,7 @@ impl Hypervisor {
         gpa_page: u64,
         writable: bool,
     ) -> Result<u64, XenError> {
-        let frame = self
-            .domain(owner)?
-            .frame_of(gpa_page)
-            .ok_or(XenError::BadGrant(gpa_page))?;
+        let frame = self.domain(owner)?.frame_of(gpa_page).ok_or(XenError::BadGrant(gpa_page))?;
         let index = self.find_free_grant(plat)?;
         let entry = GrantEntry {
             valid: true,
@@ -366,6 +364,12 @@ impl Hypervisor {
             frame,
         };
         guardian.grant_write(plat, index, entry)?;
+        plat.machine.trace.emit(Event::Grant {
+            action: GrantAction::Offer,
+            granter: owner.0,
+            peer: grantee.0,
+            frame: frame.pfn(),
+        });
         Ok(index)
     }
 
@@ -396,6 +400,12 @@ impl Hypervisor {
         }
         let flags = if writable { PTE_WRITABLE } else { 0 };
         self.npt_map(plat, guardian, grantee, dest_gpa_page, entry.frame, flags)?;
+        plat.machine.trace.emit(Event::Grant {
+            action: GrantAction::Map,
+            granter: entry.owner,
+            peer: grantee.0,
+            frame: entry.frame.pfn(),
+        });
         Ok(())
     }
 
@@ -411,7 +421,15 @@ impl Hypervisor {
         grantee: DomainId,
         dest_gpa_page: u64,
     ) -> Result<(), XenError> {
-        self.npt_unmap(plat, guardian, grantee, dest_gpa_page)
+        let frame = self.domain(grantee)?.frame_of(dest_gpa_page);
+        self.npt_unmap(plat, guardian, grantee, dest_gpa_page)?;
+        plat.machine.trace.emit(Event::Grant {
+            action: GrantAction::Unmap,
+            granter: grantee.0,
+            peer: grantee.0,
+            frame: frame.map(|f| f.pfn()).unwrap_or(0),
+        });
+        Ok(())
     }
 
     /// `EndAccess`: the owner revokes a grant.
@@ -434,6 +452,12 @@ impl Hypervisor {
             return Err(XenError::BadGrant(grant_ref));
         }
         guardian.grant_write(plat, grant_ref, GrantEntry::default())?;
+        plat.machine.trace.emit(Event::Grant {
+            action: GrantAction::End,
+            granter: owner.0,
+            peer: entry.grantee,
+            frame: entry.frame.pfn(),
+        });
         Ok(())
     }
 
@@ -471,16 +495,12 @@ impl Hypervisor {
                 plat.machine.cpu.regs.set(Gpr::Rax, ret);
                 let dom = self.domain_mut(id)?;
                 dom.gpr_save[Gpr::Rax as usize] = ret;
-                plat.machine.host_write_u64(
-                    direct_map(vmcb_pa.add(8 * VmcbField::Rax as u64)),
-                    ret,
-                )?;
+                plat.machine
+                    .host_write_u64(direct_map(vmcb_pa.add(8 * VmcbField::Rax as u64)), ret)?;
                 // Skip the VMMCALL instruction.
                 let rip = img.get(VmcbField::Rip);
-                plat.machine.host_write_u64(
-                    direct_map(vmcb_pa.add(8 * VmcbField::Rip as u64)),
-                    rip + 3,
-                )?;
+                plat.machine
+                    .host_write_u64(direct_map(vmcb_pa.add(8 * VmcbField::Rip as u64)), rip + 3)?;
                 Ok(ExitAction::Resume)
             }
             ExitCode::Cpuid => {
@@ -498,15 +518,11 @@ impl Hypervisor {
                     plat.machine.cpu.regs.set(r, v);
                     dom.gpr_save[r as usize] = v;
                 }
-                plat.machine.host_write_u64(
-                    direct_map(vmcb_pa.add(8 * VmcbField::Rax as u64)),
-                    0x17,
-                )?;
+                plat.machine
+                    .host_write_u64(direct_map(vmcb_pa.add(8 * VmcbField::Rax as u64)), 0x17)?;
                 let rip = img.get(VmcbField::Rip);
-                plat.machine.host_write_u64(
-                    direct_map(vmcb_pa.add(8 * VmcbField::Rip as u64)),
-                    rip + 2,
-                )?;
+                plat.machine
+                    .host_write_u64(direct_map(vmcb_pa.add(8 * VmcbField::Rip as u64)), rip + 2)?;
                 Ok(ExitAction::Resume)
             }
             ExitCode::NestedPageFault => {
@@ -538,6 +554,7 @@ impl Hypervisor {
         args: [u64; 4],
     ) -> Result<u64, XenError> {
         plat.machine.cycles.charge(plat.machine.cost.hypercall_base);
+        plat.machine.trace.emit(Event::Hypercall { dom: id.0, nr });
         match nr {
             HC_VOID => Ok(RET_OK),
             HC_CONSOLE_IO => Ok(RET_OK),
@@ -553,22 +570,20 @@ impl Hypervisor {
                     return Ok(RET_ERROR);
                 };
                 let res = match op {
-                    GrantOp::GrantAccess => self
-                        .grant_access(
-                            plat,
-                            guardian,
-                            id,
-                            DomainId(args[1] as u16),
-                            args[2],
-                            args[3] & 1 != 0,
-                        )
-                        ,
+                    GrantOp::GrantAccess => self.grant_access(
+                        plat,
+                        guardian,
+                        id,
+                        DomainId(args[1] as u16),
+                        args[2],
+                        args[3] & 1 != 0,
+                    ),
                     GrantOp::MapGrantRef => self
                         .map_grant_ref(plat, guardian, id, args[1], args[2], args[3] & 1 != 0)
                         .map(|()| RET_OK),
-                    GrantOp::UnmapGrantRef => self
-                        .unmap_grant_ref(plat, guardian, id, args[2])
-                        .map(|()| RET_OK),
+                    GrantOp::UnmapGrantRef => {
+                        self.unmap_grant_ref(plat, guardian, id, args[2]).map(|()| RET_OK)
+                    }
                     GrantOp::EndAccess => {
                         self.end_access(plat, guardian, id, args[1]).map(|()| RET_OK)
                     }
@@ -589,13 +604,11 @@ impl Hypervisor {
                     Err(_) => Ok(RET_ENOSYS),
                 }
             }
-            HC_MEM_ENCRYPT => {
-                match self.enable_npt_encryption(plat, guardian, id) {
-                    Ok(()) => Ok(RET_OK),
-                    Err(XenError::Guard(_)) => Ok(RET_EPERM),
-                    Err(_) => Ok(RET_ERROR),
-                }
-            }
+            HC_MEM_ENCRYPT => match self.enable_npt_encryption(plat, guardian, id) {
+                Ok(()) => Ok(RET_OK),
+                Err(XenError::Guard(_)) => Ok(RET_EPERM),
+                Err(_) => Ok(RET_ERROR),
+            },
             _ => Ok(RET_ENOSYS),
         }
     }
@@ -621,19 +634,19 @@ impl Hypervisor {
                 let entry_pa = self.npt_leaf_entry(plat, guardian, id, root, p)?;
                 let old = Pte(plat.machine.host_read_u64(direct_map(entry_pa))?);
                 if old.present() {
-                    guardian.npt_write(
-                        plat,
-                        id,
-                        entry_pa,
-                        old.with_flags(PTE_C_BIT).0,
-                    )?;
+                    guardian.npt_write(plat, id, entry_pa, old.with_flags(PTE_C_BIT).0)?;
                 }
                 let _ = frame;
             }
         }
         // Stale translations must go.
-        plat.machine.tlb.flush_space(fidelius_hw::tlb::Space::Guest(self.domain(id)?.asid.0));
-        plat.machine.cycles.charge(plat.machine.cost.tlb_flush_full);
+        let asid = self.domain(id)?.asid.0;
+        plat.machine.tlb.flush_space(fidelius_hw::tlb::Space::Guest(asid));
+        plat.machine.cycles.charge_as(
+            fidelius_hw::cycles::CycleCategory::Paging,
+            plat.machine.cost.tlb_flush_full,
+        );
+        plat.machine.trace.emit(Event::TlbFlush { scope: FlushScope::Space { guest: Some(asid) } });
         Ok(())
     }
 

@@ -156,12 +156,7 @@ impl System {
     /// # Errors
     ///
     /// World-switch and handler failures.
-    pub fn hypercall(
-        &mut self,
-        dom: DomainId,
-        nr: u64,
-        args: [u64; 4],
-    ) -> Result<u64, XenError> {
+    pub fn hypercall(&mut self, dom: DomainId, nr: u64, args: [u64; 4]) -> Result<u64, XenError> {
         self.ensure_guest(dom)?;
         let regs = &mut self.plat.machine.cpu.regs;
         regs.set(Gpr::Rax, nr);
@@ -302,10 +297,8 @@ impl System {
         self.ensure_guest(dom)?;
         let sev = self.xen.domain(dom)?.sev;
         let mem_pages = self.xen.domain(dom)?.mem_pages();
-        let mut pt_alloc = FrameAllocator::new(
-            Hpa(gplayout::PT_POOL_PAGE * PAGE_SIZE),
-            gplayout::PT_POOL_PAGES,
-        );
+        let mut pt_alloc =
+            FrameAllocator::new(Hpa(gplayout::PT_POOL_PAGE * PAGE_SIZE), gplayout::PT_POOL_PAGES);
         let mut acc = GuestPtAccess::new(&mut self.plat.machine, sev);
         let mapper = Mapper::create(&mut acc, &mut pt_alloc)?;
         debug_assert_eq!(mapper.root().0, gplayout::PT_POOL_PAGE * PAGE_SIZE);
@@ -347,11 +340,8 @@ impl System {
         // If the Fidelius pre-sharing extension is available, declare the
         // sharing first (ignored by vanilla Xen with ENOSYS).
         let shared_pages = 1 + gplayout::BUF_PAGES;
-        let _ = self.hypercall(
-            dom,
-            HC_PRE_SHARING_OP,
-            [0, gplayout::RING_PAGE, shared_pages, 1],
-        )?;
+        let _ =
+            self.hypercall(dom, HC_PRE_SHARING_OP, [0, gplayout::RING_PAGE, shared_pages, 1])?;
 
         // Grant the ring page and buffer pages to dom0.
         let ring_ref = self.hypercall(
@@ -427,12 +417,7 @@ impl System {
     /// # Errors
     ///
     /// I/O failures, policy rejections.
-    pub fn disk_write(
-        &mut self,
-        dom: DomainId,
-        sector: u64,
-        data: &[u8],
-    ) -> Result<(), XenError> {
+    pub fn disk_write(&mut self, dom: DomainId, sector: u64, data: &[u8]) -> Result<(), XenError> {
         assert_eq!(data.len() % SECTOR_SIZE, 0, "whole sectors only");
         let count = (data.len() / SECTOR_SIZE) as u64;
         self.ensure_guest(dom)?;
@@ -696,10 +681,7 @@ mod tests {
     fn npf_populates_lazily() {
         let mut sys = vanilla();
         // Create a domain manually without populate_all.
-        let dom = sys
-            .xen
-            .create_domain(&mut sys.plat, &mut *sys.guardian, 64)
-            .unwrap();
+        let dom = sys.xen.create_domain(&mut sys.plat, &mut *sys.guardian, 64).unwrap();
         sys.xen.init_vmcb(&mut sys.plat, dom, Gpa(0), 0, false).unwrap();
         sys.enter(dom).unwrap();
         sys.current_guest = Some(dom);

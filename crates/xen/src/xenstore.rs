@@ -45,7 +45,11 @@ impl XenStore {
 
     /// Lists paths under a prefix.
     pub fn list(&self, prefix: &str) -> Vec<&str> {
-        self.entries.range(prefix.to_string()..).take_while(|(k, _)| k.starts_with(prefix)).map(|(k, _)| k.as_str()).collect()
+        self.entries
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.as_str())
+            .collect()
     }
 
     /// Removes everything a domain owns (teardown).

@@ -8,7 +8,8 @@
 use fidelius::attacks::{all_attacks, Defense};
 
 fn main() {
-    let tour = ["vmcb-read", "memory-replay", "collusive-asid-remap", "grant-escalation", "disk-snoop"];
+    let tour =
+        ["vmcb-read", "memory-replay", "collusive-asid-remap", "grant-escalation", "disk-snoop"];
     for attack in all_attacks() {
         if !tour.contains(&attack.name) {
             continue;

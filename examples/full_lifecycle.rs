@@ -18,10 +18,7 @@ fn main() -> Result<(), fidelius::xen::XenError> {
     let kblk = owner.generate_kblk();
     let kernel = b"lifecycle kernel with Kblk embedded".to_vec();
     let image = owner.package_image(&kernel, &sys.plat.firmware.pdh_public());
-    println!(
-        "[prepare] owner packaged {} encrypted pages + measurement",
-        image.pages.len()
-    );
+    println!("[prepare] owner packaged {} encrypted pages + measurement", image.pages.len());
 
     // §4.3.3 VM bootup: RECEIVE_START/UPDATE/FINISH + ACTIVATE.
     let dom = boot_encrypted_guest(&mut sys, &image, 192)?;

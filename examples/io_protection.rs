@@ -19,11 +19,8 @@ fn dom0_view(path: IoPath, protected: bool) -> Result<Vec<u8>, fidelius::xen::Xe
         (sys, dom)
     } else {
         let mut sys = System::new(dram, 3, Box::new(Unprotected::new()))?;
-        let dom = sys.create_guest(GuestConfig {
-            mem_pages: 192,
-            sev: false,
-            kernel: vec![0x90],
-        })?;
+        let dom =
+            sys.create_guest(GuestConfig { mem_pages: 192, sev: false, kernel: vec![0x90] })?;
         (sys, dom)
     };
     let kblk = match path {

@@ -28,11 +28,7 @@ fn main() -> Result<(), fidelius::xen::XenError> {
     let new_dom = migrate_in(&mut target, &package)?;
     target.ensure_guest(new_dom)?;
     let mut back = [0u8; 17];
-    target
-        .plat
-        .machine
-        .guest_read_gpa(gpa, &mut back, true)
-        .expect("guest read");
+    target.plat.machine.guest_read_gpa(gpa, &mut back, true).expect("guest read");
     println!(
         "guest {} resumed on the target; state intact: {:?}",
         new_dom.0,

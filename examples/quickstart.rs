@@ -38,10 +38,7 @@ fn main() -> Result<(), fidelius::xen::XenError> {
     // The guest, of course, reads it fine.
     sys.ensure_guest(dom)?;
     let mut back = [0u8; 17];
-    sys.plat
-        .machine
-        .guest_read_gpa(gpa, &mut back, true)
-        .expect("guest read");
+    sys.plat.machine.guest_read_gpa(gpa, &mut back, true).expect("guest read");
     println!("guest's own view:                {:?}", std::str::from_utf8(&back).unwrap());
     sys.ensure_host()?;
     sys.shutdown_guest(dom)?;

@@ -12,7 +12,9 @@
 //! - [`core`] — Fidelius itself (gates, PIT/GIT, shadowing, policies,
 //!   encrypted boot, migration);
 //! - [`attacks`] — the attack scenarios and XSA analysis;
-//! - [`workloads`] — the SPEC/PARSEC/fio evaluation harness.
+//! - [`workloads`] — the SPEC/PARSEC/fio evaluation harness;
+//! - [`telemetry`] — the zero-dependency event tracer, metrics registry
+//!   and cycle-attribution sinks threaded through every layer above.
 //!
 //! # Quick start
 //!
@@ -40,6 +42,7 @@ pub use fidelius_core as core;
 pub use fidelius_crypto as crypto;
 pub use fidelius_hw as hw;
 pub use fidelius_sev as sev;
+pub use fidelius_telemetry as telemetry;
 pub use fidelius_workloads as workloads;
 pub use fidelius_xen as xen;
 

@@ -156,11 +156,7 @@ fn attestation_measurement_reflects_code_tampering() {
     // patch DRAM after Platform::boot but before late_launch by building
     // the pieces manually.
     let (mut plat, boot) = fidelius_xen::Platform::boot(DRAM, 88).unwrap();
-    plat.machine
-        .mc
-        .dram_mut()
-        .write_raw(XEN_CODE_PA.add(0x500), &[0xCC])
-        .unwrap();
+    plat.machine.mc.dram_mut().write_raw(XEN_CODE_PA.add(0x500), &[0xCC]).unwrap();
     let xen = fidelius_xen::hypervisor::Hypervisor::init(&mut plat, boot).unwrap();
     let mut fid = Fidelius::new();
     use fidelius_xen::Guardian;

@@ -62,9 +62,8 @@ fn cooperative_guests_share_memory_securely() {
     // populated pages are pinned to their frames by the anti-replay
     // policy) and reads A's message.
     let dest = 200; // beyond B's populated 192 pages
-    let r = sys
-        .hypercall(b, HC_GRANT_TABLE_OP, [GrantOp::MapGrantRef as u64, gref, dest, 0])
-        .unwrap();
+    let r =
+        sys.hypercall(b, HC_GRANT_TABLE_OP, [GrantOp::MapGrantRef as u64, gref, dest, 0]).unwrap();
     assert_eq!(r, RET_OK);
     sys.ensure_guest(b).unwrap();
     let mut buf = [0u8; 13];
@@ -161,9 +160,8 @@ fn grant_revocation_closes_hypervisor_access_again() {
     let page = gplayout::HEAP_PAGE + 6;
     sys.gpa_write(a, Gpa(page * PAGE_SIZE), b"shared briefly", false).unwrap();
     assert_eq!(sys.hypercall(a, HC_PRE_SHARING_OP, [0, page, 1, 1]).unwrap(), RET_OK);
-    let gref = sys
-        .hypercall(a, HC_GRANT_TABLE_OP, [GrantOp::GrantAccess as u64, 0, page, 1])
-        .unwrap();
+    let gref =
+        sys.hypercall(a, HC_GRANT_TABLE_OP, [GrantOp::GrantAccess as u64, 0, page, 1]).unwrap();
     assert!(gref < fidelius_xen::grants::GRANT_TABLE_ENTRIES);
     sys.ensure_host().unwrap();
     // While granted, dom0 reaches the plaintext-shared frame.
@@ -191,8 +189,7 @@ fn xenstore_ref_swap_cannot_leak_private_memory() {
     let mut sys = protected(71);
     let a = boot(&mut sys, 71);
     sys.gpa_write(a, Gpa(gplayout::HEAP_PAGE * PAGE_SIZE), b"private!", true).unwrap();
-    sys.setup_block_device(a, vec![0u8; 16 * SECTOR_SIZE], IoPath::AesNi, Some([1; 16]))
-        .unwrap();
+    sys.setup_block_device(a, vec![0u8; 16 * SECTOR_SIZE], IoPath::AesNi, Some([1; 16])).unwrap();
     sys.ensure_host().unwrap();
     // Tamper: point the ring-ref at a bogus entry.
     let path = format!("/local/domain/{}/device/vbd/ring-ref", a.0);

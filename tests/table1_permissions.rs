@@ -73,9 +73,8 @@ fn table1_vmcb_stays_writable_for_service_provision() {
 #[test]
 fn table1_under_vanilla_xen_everything_is_writable() {
     let mut sys = System::new(32 * 1024 * 1024, 78, Box::new(Unprotected::new())).unwrap();
-    let dom = sys
-        .create_guest(GuestConfig { mem_pages: 192, sev: false, kernel: vec![0x90] })
-        .unwrap();
+    let dom =
+        sys.create_guest(GuestConfig { mem_pages: 192, sev: false, kernel: vec![0x90] }).unwrap();
     let root = sys.xen.host_pt_root;
     let npt = sys.xen.domain(dom).unwrap().npt_root;
     let gt = sys.xen.grant_table_pa;

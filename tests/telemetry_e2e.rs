@@ -1,0 +1,110 @@
+//! End-to-end telemetry: drive the full VM life cycle of paper §4.3 and
+//! assert (a) the structured event stream shows the world-switch protocol
+//! in order — VMEXIT, then the type-3 gate that re-arms the world switch,
+//! then VMRUN — and (b) the per-category cycle attribution is exact: the
+//! six category sums equal the grand total bit-for-bit, because the total
+//! *is* the fixed-order category sum.
+
+use fidelius::prelude::*;
+use fidelius::telemetry::{CycleCategory, Event, GateKind};
+use fidelius_crypto::modes::SECTOR_SIZE;
+
+/// Runs prepare → boot → compute → I/O → shutdown and returns the system
+/// with its trace and cycle counter intact.
+fn run_lifecycle() -> System {
+    let mut sys =
+        System::new(32 * 1024 * 1024, 7, Box::new(Fidelius::new())).expect("platform boots");
+    let mut owner = GuestOwner::new(2);
+    let kblk = owner.generate_kblk();
+    let image = owner.package_image(b"telemetry e2e kernel", &sys.plat.firmware.pdh_public());
+    let dom = boot_encrypted_guest(&mut sys, &image, 192).expect("guest boots");
+
+    sys.gpa_write(dom, Gpa(gplayout::HEAP_PAGE * PAGE_SIZE), b"working state", true)
+        .expect("guest writes private memory");
+
+    let disk = vec![0u8; 64 * SECTOR_SIZE];
+    sys.setup_block_device(dom, disk, IoPath::AesNi, Some(kblk)).expect("block device");
+    let mut sector = vec![0u8; SECTOR_SIZE];
+    sector[..8].copy_from_slice(b"e2e-data");
+    sys.disk_write(dom, 0, &sector).expect("disk write");
+    let back = sys.disk_read(dom, 0, 1).expect("disk read");
+    assert_eq!(&back[..8], b"e2e-data");
+
+    sys.ensure_host().expect("return to host");
+    sys.shutdown_guest(dom).expect("shutdown");
+    sys
+}
+
+#[test]
+fn lifecycle_emits_ordered_vmexit_gate_vmrun_sequence() {
+    let sys = run_lifecycle();
+    let events = sys.plat.machine.trace.events();
+    assert!(!events.is_empty(), "lifecycle left no trace");
+
+    // Sequence numbers are strictly increasing, oldest first.
+    for pair in events.windows(2) {
+        assert!(pair[0].seq < pair[1].seq);
+    }
+
+    // Somewhere in the stream a guest exit is followed (not necessarily
+    // adjacently — the hypervisor handles the exit in between) by the
+    // type-3 gate guarding VMRUN, and then by the world switch itself.
+    let exit_at = events
+        .iter()
+        .position(|t| matches!(t.event, Event::Vmexit { .. }))
+        .expect("no VMEXIT event in the ring");
+    let gate_at = events[exit_at..]
+        .iter()
+        .position(|t| matches!(t.event, Event::Gate { kind: GateKind::Type3, op } if op == "vmrun"))
+        .map(|i| exit_at + i)
+        .expect("no type-3 vmrun gate after the first VMEXIT");
+    let vmrun_at = events[gate_at..]
+        .iter()
+        .position(|t| matches!(t.event, Event::Vmrun { sev: true, .. }))
+        .map(|i| gate_at + i)
+        .expect("no SEV VMRUN after the vmrun gate");
+    assert!(exit_at < gate_at && gate_at < vmrun_at);
+
+    // The gate and the world switch refer to the same guest: the VMRUN's
+    // ASID matches the VMEXIT's.
+    let Event::Vmexit { asid: exit_asid, .. } = events[exit_at].event else { unreachable!() };
+    let Event::Vmrun { asid: run_asid, .. } = events[vmrun_at].event else { unreachable!() };
+    assert_eq!(exit_asid, run_asid, "gate round trip switched guests");
+
+    // The metrics registry agrees with the protocol: every VMRUN was
+    // preceded by a type-3 gate, so gates can't undercount world switches.
+    let metrics = sys.plat.machine.trace.metrics();
+    assert!(metrics.vmruns > 0);
+    assert!(
+        metrics.gates_by_type[GateKind::Type3.index()] >= metrics.vmruns,
+        "every VMRUN must pass through a type-3 gate"
+    );
+}
+
+#[test]
+fn category_sums_equal_grand_total_exactly() {
+    let sys = run_lifecycle();
+    let cycles = &sys.plat.machine.cycles;
+    let breakdown = cycles.breakdown();
+
+    // Recompute the sum in the fixed category order and compare
+    // bit-for-bit — no epsilon. This holds by construction (the total *is*
+    // this sum), which is exactly what the test pins down.
+    let sum: f64 = CycleCategory::ALL.iter().map(|c| breakdown.get(*c)).sum();
+    assert_eq!(sum.to_bits(), cycles.total_f64().to_bits());
+    assert_eq!(breakdown.total().to_bits(), cycles.total_f64().to_bits());
+
+    // The lifecycle exercised every layer, so no category sits at zero:
+    // world switches, gate round trips, shadow/verify passes, the
+    // encryption engine, page walks and plain work all got charged.
+    for cat in CycleCategory::ALL {
+        assert!(breakdown.get(cat) > 0.0, "no cycles attributed to {}", cat.as_str());
+    }
+    assert!(cycles.total_f64() > 0.0);
+
+    // And the snapshot renders the same numbers it measured.
+    let snap = sys.plat.machine.telemetry_snapshot();
+    let json = snap.to_json();
+    let total = json.get("cycles").and_then(|c| c.get("total")).and_then(|t| t.as_f64());
+    assert_eq!(total, Some(cycles.total_f64()));
+}
