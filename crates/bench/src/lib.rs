@@ -52,9 +52,7 @@ pub fn emit_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             (
                 "rows",
                 Json::Arr(
-                    rows.iter()
-                        .map(|r| Json::Arr(r.iter().map(|c| Json::str(c)).collect()))
-                        .collect(),
+                    rows.iter().map(|r| Json::Arr(r.iter().map(Json::str).collect())).collect(),
                 ),
             ),
         ]);

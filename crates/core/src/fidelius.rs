@@ -28,7 +28,9 @@ use fidelius_hw::vmcb::{ExitCode, VmcbField, VmcbImage};
 use fidelius_hw::{Hpa, PAGE_SIZE};
 use fidelius_sev::firmware::IoHelpers;
 use fidelius_sev::Handle;
-use fidelius_telemetry::{DenialReason, Event, FlushScope, PolicyObject, VerifyOutcome};
+use fidelius_telemetry::{
+    DenialReason, Event, FaultKind, FlushScope, InjectionOutcome, PolicyObject, VerifyOutcome,
+};
 use fidelius_xen::domain::{Domain, DomainId};
 use fidelius_xen::grants::{read_entry_phys, GrantEntry, GRANT_ENTRY_SIZE, GRANT_TABLE_ENTRIES};
 use fidelius_xen::guardian::{GuardError, Guardian, IoDir, LateLaunchInfo};
@@ -846,6 +848,14 @@ impl Guardian for Fidelius {
             };
             plat.machine.trace.emit(ev.clone());
             this.audit.ingest(&ev);
+            // Under fault injection, pair the injected VMCB tamper with its
+            // disposal so the matrix can audit the full chain.
+            if plat.machine.inject.is_armed() {
+                plat.machine.trace.emit(Event::FaultOutcome {
+                    kind: FaultKind::VmcbTamper,
+                    outcome: InjectionOutcome::FailClosed(reason),
+                });
+            }
             GuardError::IntegrityViolation(reason.as_str())
         };
         let img = VmcbImage::load(&plat.machine.mc, dom.vmcb_pa).map_err(GuardError::Hw)?;
@@ -871,12 +881,23 @@ impl Guardian for Fidelius {
                 }
                 Verdict::IllegalField(_f) => {
                     let err = tampered(self, plat, DenialReason::VmcbFieldTampered);
-                    // Re-arm the shadow so a retry is still checked.
+                    // Graceful degradation: restore the clean masked image
+                    // from the shadow so the tamper does not brick the
+                    // domain, and re-arm the shadow so a retry is still
+                    // checked.
+                    shadow
+                        .masked_vmcb()
+                        .store(&mut plat.machine.mc, dom.vmcb_pa)
+                        .map_err(GuardError::Hw)?;
                     self.shadows.insert(dom.id, shadow);
                     return Err(err);
                 }
                 Verdict::BadRipAdvance { .. } => {
                     let err = tampered(self, plat, DenialReason::GuestRipDiverted);
+                    shadow
+                        .masked_vmcb()
+                        .store(&mut plat.machine.mc, dom.vmcb_pa)
+                        .map_err(GuardError::Hw)?;
                     self.shadows.insert(dom.id, shadow);
                     return Err(err);
                 }

@@ -21,13 +21,71 @@
 use crate::GuardError;
 use fidelius_hw::cpu::PrivOp;
 use fidelius_hw::cycles::CycleCategory;
+use fidelius_hw::inject::{FaultAction, InjectPoint};
 use fidelius_hw::memctrl::EncSel;
 use fidelius_hw::paging::PhysPtAccess;
 use fidelius_hw::regs::Cr0;
 use fidelius_hw::{Hpa, Hva};
-use fidelius_telemetry::{Event, GateKind};
+use fidelius_telemetry::{DenialReason, Event, FaultKind, GateKind, InjectionOutcome};
 use fidelius_xen::layout::InstrSites;
 use fidelius_xen::platform::Platform;
+
+/// How many delayed gate responses a single gate invocation absorbs (with
+/// doubling backoff) before it declares the transition lost and fails
+/// closed with [`DenialReason::GateResponseTimeout`].
+pub const GATE_RETRY_MAX: u32 = 4;
+
+/// Graceful degradation for delayed gate responses: an adversarial
+/// hypervisor can stall the context switch into Fidelius (e.g. by flooding
+/// the core with IPIs); the gate re-attempts the transition a bounded
+/// number of times, charging the modelled wait each round, and fails
+/// closed — audited, typed — when the budget runs out.
+///
+/// # Errors
+///
+/// [`GuardError::Policy`] carrying [`DenialReason::GateResponseTimeout`]
+/// once more than [`GATE_RETRY_MAX`] delays are injected back to back.
+fn absorb_delays(plat: &mut Platform) -> Result<(), GuardError> {
+    if !plat.machine.inject.is_armed() {
+        return Ok(());
+    }
+    let mut attempt: u32 = 0;
+    let mut backoff = plat.machine.cost.gate_dispatch.max(1.0);
+    while let Some(action) = plat.machine.inject_at(InjectPoint::GateEntry) {
+        match action {
+            FaultAction::DelayGate { ticks } => {
+                attempt += 1;
+                plat.machine.cycles.charge(backoff * ticks.max(1) as f64);
+                backoff *= 2.0;
+                if attempt > GATE_RETRY_MAX {
+                    plat.machine
+                        .trace
+                        .emit(Event::Denial { reason: DenialReason::GateResponseTimeout });
+                    plat.machine.trace.emit(Event::FaultOutcome {
+                        kind: FaultKind::DelayedGate,
+                        outcome: InjectionOutcome::FailClosed(DenialReason::GateResponseTimeout),
+                    });
+                    return Err(GuardError::Policy(DenialReason::GateResponseTimeout.as_str()));
+                }
+            }
+            other => {
+                // A non-delay action routed here has no gate-level effect;
+                // report it tolerated so every injection has a disposal.
+                plat.machine.trace.emit(Event::FaultOutcome {
+                    kind: other.kind(),
+                    outcome: InjectionOutcome::Tolerated,
+                });
+            }
+        }
+    }
+    if attempt > 0 {
+        plat.machine.trace.emit(Event::FaultOutcome {
+            kind: FaultKind::DelayedGate,
+            outcome: InjectionOutcome::ToleratedAfterRetry(attempt),
+        });
+    }
+    Ok(())
+}
 
 /// Static label for the instruction a gate executed (for trace events).
 pub(crate) fn privop_label(op: &PrivOp) -> &'static str {
@@ -95,6 +153,7 @@ impl Gates {
         plat: &mut Platform,
         body: impl FnOnce(&mut Platform) -> Result<R, GuardError>,
     ) -> Result<R, GuardError> {
+        absorb_delays(plat)?;
         self.gate1_count += 1;
         let span = plat.machine.cycles.enter(CycleCategory::Gates);
         let result = (|| {
@@ -127,6 +186,7 @@ impl Gates {
     ///
     /// Propagates execution faults.
     pub fn type2(&mut self, plat: &mut Platform, op: PrivOp) -> Result<(), GuardError> {
+        absorb_delays(plat)?;
         self.gate2_count += 1;
         let site = match op {
             PrivOp::WriteCr0(_) => self.sites.write_cr0,
@@ -162,6 +222,7 @@ impl Gates {
     ///
     /// Propagates execution faults; the page is always unmapped again.
     pub fn type3(&mut self, plat: &mut Platform, op: PrivOp) -> Result<(), GuardError> {
+        absorb_delays(plat)?;
         self.gate3_count += 1;
         let (mapping, site) = match op {
             PrivOp::Vmrun(_) => (self.vmrun_page, self.sites.vmrun),
@@ -216,5 +277,84 @@ impl Gates {
         plat.machine.cycles.exit(span);
         plat.machine.trace.emit(Event::Gate { kind: GateKind::Type3, op: privop_label(&op) });
         result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifecycle::boot_encrypted_guest;
+    use crate::Fidelius;
+    use fidelius_hw::inject::FaultInjector;
+    use fidelius_sev::GuestOwner;
+    use fidelius_xen::{DomainId, System};
+
+    /// Fires `DelayGate` at the next `n` gate-entry crossings.
+    #[derive(Debug)]
+    struct Delays(u32);
+
+    impl FaultInjector for Delays {
+        fn decide(&mut self, point: InjectPoint) -> Option<FaultAction> {
+            if point == InjectPoint::GateEntry && self.0 > 0 {
+                self.0 -= 1;
+                return Some(FaultAction::DelayGate { ticks: 7 });
+            }
+            None
+        }
+    }
+
+    fn booted() -> (System, DomainId) {
+        let mut sys = System::new(32 * 1024 * 1024, 5, Box::new(Fidelius::new())).unwrap();
+        let mut owner = GuestOwner::new(5);
+        let image = owner.package_image(b"gate kernel", &sys.plat.firmware.pdh_public());
+        let dom = boot_encrypted_guest(&mut sys, &image, 192).unwrap();
+        sys.ensure_host().unwrap();
+        (sys, dom)
+    }
+
+    #[test]
+    fn delayed_gate_within_budget_is_tolerated_with_retries() {
+        let (mut sys, dom) = booted();
+        sys.plat.machine.trace.clear();
+        sys.plat.machine.inject.install(Box::new(Delays(GATE_RETRY_MAX)));
+        sys.ensure_guest(dom).unwrap();
+        sys.plat.machine.inject.clear();
+        let events = sys.plat.machine.trace.events();
+        assert!(
+            events.iter().any(|t| matches!(
+                t.event,
+                Event::FaultOutcome {
+                    kind: FaultKind::DelayedGate,
+                    outcome: InjectionOutcome::ToleratedAfterRetry(n),
+                } if n == GATE_RETRY_MAX
+            )),
+            "expected a tolerated-after-retry disposal, got {events:?}"
+        );
+    }
+
+    #[test]
+    fn delayed_gate_beyond_budget_fails_closed_with_typed_reason() {
+        let (mut sys, dom) = booted();
+        sys.plat.machine.trace.clear();
+        sys.plat.machine.inject.install(Box::new(Delays(GATE_RETRY_MAX + 1)));
+        assert!(sys.ensure_guest(dom).is_err(), "exhausted retry budget must refuse the gate");
+        sys.plat.machine.inject.clear();
+        let events = sys.plat.machine.trace.events();
+        assert!(
+            events.iter().any(|t| matches!(
+                t.event,
+                Event::Denial { reason: DenialReason::GateResponseTimeout }
+            )),
+            "fail-closed gate must land on the audit trail"
+        );
+        assert!(events.iter().any(|t| matches!(
+            t.event,
+            Event::FaultOutcome {
+                kind: FaultKind::DelayedGate,
+                outcome: InjectionOutcome::FailClosed(DenialReason::GateResponseTimeout),
+            }
+        )));
+        // The stall was transient and fully absorbed: the retry succeeds.
+        sys.ensure_guest(dom).unwrap();
     }
 }

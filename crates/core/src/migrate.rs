@@ -9,9 +9,11 @@
 
 use crate::fidelius::Fidelius;
 use crate::lifecycle::fidelius_mut;
+use fidelius_hw::inject::{FaultAction, InjectPoint};
 use fidelius_hw::{Gpa, PAGE_SIZE};
 use fidelius_sev::firmware::SessionBlob;
-use fidelius_sev::GuestPolicy;
+use fidelius_sev::{GuestPolicy, Handle};
+use fidelius_telemetry::{DenialReason, Event, FaultKind, InjectionOutcome};
 use fidelius_xen::domain::{DomainId, DomainState};
 use fidelius_xen::frontend::gplayout;
 use fidelius_xen::{System, XenError};
@@ -28,6 +30,11 @@ pub struct MigrationPackage {
     pub tag: [u8; 32],
     /// Memory size of the guest, in pages.
     pub mem_pages: u64,
+    /// How many pages the source sent (carried in the authenticated stream
+    /// header in the real protocol). Fewer pages than declared means the
+    /// stream was truncated in transit; the receiver refuses it before
+    /// committing any resources.
+    pub declared_pages: u64,
 }
 
 /// Sends `dom` off this system, targeting the platform whose PDH is
@@ -55,7 +62,64 @@ pub fn migrate_out(
     }
     let tag = sys.plat.firmware.send_finish(handle)?;
     sys.shutdown_guest(dom)?;
-    Ok(MigrationPackage { pages, session, tag, mem_pages })
+    let declared_pages = pages.len() as u64;
+    let mut package = MigrationPackage { pages, session, tag, mem_pages, declared_pages };
+    // Adversarial hook: the hypervisor carries the stream and may shorten
+    // or flip it in transit. Both land here (the stream is the
+    // hypervisor's to move); the receiver's checks decide the outcome, and
+    // the source emits the predicted disposal so injection and disposal
+    // pair up even across machines.
+    if let Some(action) = sys.plat.machine.inject_at(InjectPoint::MigrateSend) {
+        tamper_stream(sys, &mut package, action);
+    }
+    Ok(package)
+}
+
+/// Applies an in-transit stream fault to `package`, emitting the predicted
+/// outcome on the source tracer.
+fn tamper_stream(sys: &mut System, package: &mut MigrationPackage, action: FaultAction) {
+    let trace = &sys.plat.machine.trace;
+    match action {
+        FaultAction::TruncateStream { keep } => {
+            let len = package.pages.len() as u64;
+            let k = keep % (len + 1);
+            if k < len {
+                package.pages.truncate(k as usize);
+                trace.emit(Event::FaultOutcome {
+                    kind: FaultKind::MigrationTruncate,
+                    outcome: InjectionOutcome::FailClosed(DenialReason::MigrationStreamTruncated),
+                });
+            } else {
+                trace.emit(Event::FaultOutcome {
+                    kind: FaultKind::MigrationTruncate,
+                    outcome: InjectionOutcome::Tolerated,
+                });
+            }
+        }
+        FaultAction::CorruptStream { index_hint, xor } => {
+            if package.pages.is_empty() {
+                trace.emit(Event::FaultOutcome {
+                    kind: FaultKind::MigrationCorrupt,
+                    outcome: InjectionOutcome::Tolerated,
+                });
+                return;
+            }
+            let i = index_hint as usize % package.pages.len();
+            let ct = &mut package.pages[i].1;
+            let b = index_hint as usize % ct.len();
+            ct[b] ^= xor | 1;
+            trace.emit(Event::FaultOutcome {
+                kind: FaultKind::MigrationCorrupt,
+                outcome: InjectionOutcome::FailClosed(DenialReason::MigrationStreamTampered),
+            });
+        }
+        other => {
+            trace.emit(Event::FaultOutcome {
+                kind: other.kind(),
+                outcome: InjectionOutcome::Tolerated,
+            });
+        }
+    }
 }
 
 /// Receives a migrated VM on this system: creates a domain, restores the
@@ -66,8 +130,43 @@ pub fn migrate_out(
 ///
 /// Fails on the wrong target platform or a tampered package.
 pub fn migrate_in(sys: &mut System, package: &MigrationPackage) -> Result<DomainId, XenError> {
+    // Structural check before any resource is committed: a stream shorter
+    // than the source declared was truncated in transit.
+    if (package.pages.len() as u64) != package.declared_pages {
+        sys.plat
+            .machine
+            .trace
+            .emit(Event::Denial { reason: DenialReason::MigrationStreamTruncated });
+        return Err(XenError::FailClosed(DenialReason::MigrationStreamTruncated));
+    }
     let handle = sys.plat.firmware.receive_start(&package.session, GuestPolicy::default())?;
     let dom = sys.xen.create_domain(&mut sys.plat, &mut *sys.guardian, package.mem_pages)?;
+    // From here on the receive is transactional: any failure rolls the
+    // half-built domain back (frames freed, firmware state decommissioned)
+    // so a tampered stream cannot leak a zombie guest on the target.
+    match receive_body(sys, package, handle, dom) {
+        Ok(()) => Ok(dom),
+        Err(e) => {
+            rollback_receive(sys, dom, handle);
+            if matches!(e, XenError::Sev(_)) {
+                sys.plat
+                    .machine
+                    .trace
+                    .emit(Event::Denial { reason: DenialReason::MigrationStreamTampered });
+            }
+            Err(e)
+        }
+    }
+}
+
+/// The fallible phase of [`migrate_in`]: everything between domain
+/// creation and the sealed, runnable guest.
+fn receive_body(
+    sys: &mut System,
+    package: &MigrationPackage,
+    handle: Handle,
+    dom: DomainId,
+) -> Result<(), XenError> {
     sys.xen.populate_all(&mut sys.plat, &mut *sys.guardian, dom)?;
     for (p, ct) in &package.pages {
         let frame = sys.xen.domain(dom)?.frame_of(*p).ok_or(XenError::OutOfMemory)?;
@@ -86,7 +185,17 @@ pub fn migrate_in(sys: &mut System, package: &MigrationPackage) -> Result<Domain
     sys.xen.domain_mut(dom)?.state = DomainState::Ready;
     let d = sys.xen.domain(dom)?;
     sys.guardian.seal_guest(&mut sys.plat, d)?;
-    Ok(dom)
+    Ok(())
+}
+
+/// Unwinds a failed receive: the domain (with its frames, grants and
+/// events) and the firmware's transport context both go away. Best-effort
+/// by design — the guardian's own teardown may already have decommissioned
+/// the handle when it was registered before the failure.
+fn rollback_receive(sys: &mut System, dom: DomainId, handle: Handle) {
+    let _ = sys.xen.destroy_domain(&mut sys.plat, &mut *sys.guardian, dom);
+    let _ = sys.plat.firmware.deactivate(&mut sys.plat.machine, handle);
+    let _ = sys.plat.firmware.decommission(handle);
 }
 
 /// Convenience for tests/benches: a Fidelius system ready for migration.
@@ -146,9 +255,67 @@ mod tests {
     }
 
     #[test]
+    fn truncated_stream_fails_closed_without_committing_resources() {
+        let mut src = protected_system(DRAM, 61).unwrap();
+        let mut dst = protected_system(DRAM, 62).unwrap();
+        let mut owner = GuestOwner::new(63);
+        let image = owner.package_image(b"kernel", &src.plat.firmware.pdh_public());
+        let dom = boot_encrypted_guest(&mut src, &image, 192).unwrap();
+        let gpa = Gpa(gplayout::HEAP_PAGE * PAGE_SIZE);
+        src.gpa_write(dom, gpa, b"survives-retries", true).unwrap();
+        src.ensure_host().unwrap();
+        let good = migrate_out(&mut src, dom, &dst.plat.firmware.pdh_public()).unwrap();
+
+        // The hypervisor drops the tail of the stream in transit.
+        let mut short = good.clone();
+        short.pages.truncate(short.pages.len() / 2);
+        let doms_before = dst.xen.domains.len();
+        let err = migrate_in(&mut dst, &short);
+        assert!(
+            matches!(err, Err(XenError::FailClosed(DenialReason::MigrationStreamTruncated))),
+            "expected typed fail-closed, got {err:?}"
+        );
+        assert_eq!(dst.xen.domains.len(), doms_before, "no domain may be committed");
+        assert!(dst.plat.machine.trace.events().iter().any(|e| matches!(
+            e.event,
+            fidelius_telemetry::Event::Denial { reason: DenialReason::MigrationStreamTruncated }
+        )));
+
+        // Graceful degradation: the intact stream still lands afterwards.
+        let new_dom = migrate_in(&mut dst, &good).unwrap();
+        dst.ensure_guest(new_dom).unwrap();
+        let mut back = [0u8; 16];
+        dst.plat.machine.guest_read_gpa(gpa, &mut back, true).unwrap();
+        assert_eq!(&back, b"survives-retries");
+    }
+
+    #[test]
+    fn tampered_stream_rolls_back_partial_receive() {
+        let mut src = protected_system(DRAM, 71).unwrap();
+        let mut dst = protected_system(DRAM, 72).unwrap();
+        let mut owner = GuestOwner::new(73);
+        let image = owner.package_image(b"kernel", &src.plat.firmware.pdh_public());
+        let dom = boot_encrypted_guest(&mut src, &image, 192).unwrap();
+        let good = migrate_out(&mut src, dom, &dst.plat.firmware.pdh_public()).unwrap();
+        let mut bad = good.clone();
+        bad.pages[3].1[100] ^= 0xFF;
+        assert!(matches!(migrate_in(&mut dst, &bad), Err(XenError::Sev(_))));
+        // Transactional rollback: every half-built domain is torn down and
+        // the tamper is audited.
+        assert!(dst.xen.domains.values().all(|d| d.state == DomainState::Dead));
+        assert!(dst.plat.machine.trace.events().iter().any(|e| matches!(
+            e.event,
+            fidelius_telemetry::Event::Denial { reason: DenialReason::MigrationStreamTampered }
+        )));
+        // The frames freed by the rollback suffice for the intact stream.
+        let new_dom = migrate_in(&mut dst, &good).unwrap();
+        assert!(dst.ensure_guest(new_dom).is_ok());
+    }
+
+    #[test]
     fn package_for_wrong_target_is_rejected() {
         let mut src = protected_system(DRAM, 51).unwrap();
-        let mut dst = protected_system(DRAM, 52).unwrap();
+        let dst = protected_system(DRAM, 52).unwrap();
         let mut third = protected_system(DRAM, 53).unwrap();
         let mut owner = GuestOwner::new(54);
         let image = owner.package_image(b"kernel", &src.plat.firmware.pdh_public());

@@ -1,0 +1,114 @@
+//! Sweeps the fault matrix: N seeds × every fault kind, asserting that
+//! every injected fault is tolerated or refused fail-closed with an audit
+//! trail — never silent corruption.
+//!
+//! ```text
+//! faultinject_matrix [--seeds N] [--seed-base B] [--json]
+//! ```
+//!
+//! Under `--json` each case prints one JSON line and the per-kind summary
+//! prints in the shared bench table format
+//! (`{"table": ..., "headers": [...], "rows": [[...]]}`). On any
+//! violation the failing `(seed, kind)` pairs and a reproduction command
+//! are printed and the process exits non-zero.
+
+use fidelius_bench::{arg_u64, emit_table, json_mode, note};
+use fidelius_faultinject::harness::{outcome_label, run_case, CaseReport};
+use fidelius_telemetry::{FaultKind, InjectionOutcome, Json};
+
+fn case_json(report: &CaseReport) -> Json {
+    Json::obj([
+        ("case", Json::str("fault-matrix")),
+        ("seed", Json::Num(report.seed as f64)),
+        ("kind", Json::str(report.kind.as_str())),
+        ("injected", Json::Num(report.injected as f64)),
+        (
+            "outcomes",
+            Json::Arr(report.outcomes.iter().map(|o| Json::str(outcome_label(*o))).collect()),
+        ),
+        ("denials", Json::Num(report.denials as f64)),
+        ("typed_errors", Json::Num(report.typed_errors as f64)),
+        ("violations", Json::Arr(report.violations.iter().map(Json::str).collect())),
+    ])
+}
+
+#[derive(Default)]
+struct KindAgg {
+    cases: u64,
+    injected: u64,
+    tolerated: u64,
+    retried: u64,
+    fail_closed: u64,
+    corrupted: u64,
+    violations: u64,
+}
+
+fn main() {
+    let seeds = arg_u64("--seeds", 64);
+    let base = arg_u64("--seed-base", 0xF1DE);
+    note!("fault matrix: {seeds} seeds x {} kinds (seed base {base:#x})", FaultKind::ALL.len());
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut failures: Vec<CaseReport> = Vec::new();
+    for kind in FaultKind::ALL {
+        let mut agg = KindAgg::default();
+        for s in 0..seeds {
+            let report = run_case(base + s, kind);
+            if json_mode() {
+                println!("{}", case_json(&report));
+            }
+            agg.cases += 1;
+            agg.injected += report.injected as u64;
+            for outcome in &report.outcomes {
+                match outcome {
+                    InjectionOutcome::Tolerated => agg.tolerated += 1,
+                    InjectionOutcome::ToleratedAfterRetry(_) => agg.retried += 1,
+                    InjectionOutcome::FailClosed(_) => agg.fail_closed += 1,
+                    InjectionOutcome::Corrupted => agg.corrupted += 1,
+                }
+            }
+            agg.violations += report.violations.len() as u64;
+            if !report.passed() {
+                failures.push(report);
+            }
+        }
+        rows.push(vec![
+            kind.as_str().to_string(),
+            agg.cases.to_string(),
+            agg.injected.to_string(),
+            agg.tolerated.to_string(),
+            agg.retried.to_string(),
+            agg.fail_closed.to_string(),
+            agg.corrupted.to_string(),
+            agg.violations.to_string(),
+        ]);
+    }
+
+    emit_table(
+        "fault-matrix",
+        &[
+            "kind",
+            "cases",
+            "injected",
+            "tolerated",
+            "retried",
+            "fail-closed",
+            "corrupted",
+            "violations",
+        ],
+        &rows,
+    );
+
+    if failures.is_empty() {
+        note!("fault matrix clean: every injected fault was tolerated or failed closed with an audit trail");
+        return;
+    }
+    for f in &failures {
+        eprintln!("FAIL seed={} kind={}: {}", f.seed, f.kind.as_str(), f.violations.join("; "));
+        eprintln!(
+            "  reproduce: cargo run --release -p fidelius-faultinject --bin faultinject_matrix -- --seeds 1 --seed-base {}",
+            f.seed
+        );
+    }
+    std::process::exit(1);
+}

@@ -1,0 +1,363 @@
+//! The matrix harness: boots a protected system, runs one scheduled fault
+//! against a live guest workload, and audits the outcome.
+//!
+//! Each `(seed, kind)` case asserts the layer's central invariant:
+//!
+//! > Every injected fault is either **tolerated** with identical
+//! > guest-visible state (possibly after bounded retries) or refused
+//! > **fail-closed** with a typed reason on the audit trail — never
+//! > silently corrupting.
+//!
+//! Concretely a case checks, from the merged telemetry of every system it
+//! touched:
+//!
+//! 1. the planned fault actually fired (harness-drift guard);
+//! 2. every fired kind has at least one recorded disposal
+//!    ([`Event::FaultOutcome`]);
+//! 3. no disposal is [`InjectionOutcome::Corrupted`] — that witness only
+//!    exists for unprotected guardians;
+//! 4. every fail-closed disposal is backed by an audit mark (a typed
+//!    [`Event::Denial`] or a tampered shadow-verify record);
+//! 5. a guest-memory sentinel survives byte-for-byte (on the destination
+//!    system when the case migrates and the stream was accepted).
+
+use fidelius_core::lifecycle::boot_encrypted_guest;
+use fidelius_core::migrate::{migrate_in, migrate_out};
+use fidelius_core::Fidelius;
+use fidelius_crypto::modes::SECTOR_SIZE;
+use fidelius_hw::{Gpa, PAGE_SIZE};
+use fidelius_sev::GuestOwner;
+use fidelius_telemetry::{Event, FaultKind, InjectionOutcome, TracedEvent, VerifyOutcome};
+use fidelius_xen::frontend::{gplayout, IoPath};
+use fidelius_xen::{DomainId, DomainState, System, XenError};
+
+use crate::schedule::{FaultPlan, ScheduledInjector};
+
+/// DRAM size for every matrix system.
+const DRAM: u64 = 32 * 1024 * 1024;
+/// Populated guest pages per matrix guest.
+const GUEST_PAGES: u64 = 192;
+/// Disk I/O rounds driven while the injector is armed.
+const IO_ROUNDS: u64 = 4;
+/// The guest-memory witness: written before arming, re-read after
+/// disarming; any difference is a guest-visible state change.
+const SENTINEL: &[u8; 16] = b"fidelius-witness";
+
+/// GPA of the sentinel (private heap page, C-bit set).
+fn sentinel_gpa() -> Gpa {
+    Gpa(gplayout::HEAP_PAGE * PAGE_SIZE)
+}
+
+/// The audited result of one `(seed, kind)` matrix case.
+#[derive(Debug, Clone)]
+pub struct CaseReport {
+    /// Seed the schedule was derived from.
+    pub seed: u64,
+    /// Taxonomy entry under test.
+    pub kind: FaultKind,
+    /// `FaultInjected` events recorded for this kind.
+    pub injected: usize,
+    /// Every recorded disposal for this kind, in order.
+    pub outcomes: Vec<InjectionOutcome>,
+    /// Typed `Denial` events on the merged trail (any reason).
+    pub denials: usize,
+    /// Typed errors the workload absorbed (each one a graceful refusal).
+    pub typed_errors: usize,
+    /// Invariant violations; empty means the case passed.
+    pub violations: Vec<String>,
+}
+
+impl CaseReport {
+    /// Whether every invariant held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Human/JSON label for one disposal.
+pub fn outcome_label(outcome: InjectionOutcome) -> String {
+    match outcome {
+        InjectionOutcome::Tolerated => "tolerated".into(),
+        InjectionOutcome::ToleratedAfterRetry(n) => format!("tolerated-after-{n}-retries"),
+        InjectionOutcome::FailClosed(reason) => format!("fail-closed:{}", reason.as_str()),
+        InjectionOutcome::Corrupted => "corrupted".into(),
+    }
+}
+
+/// Runs one matrix case and audits it. Never panics on an injected-fault
+/// path: harness-level failures (boot, device setup) are reported as
+/// violations so a sweep keeps going and the seed stays reproducible.
+pub fn run_case(seed: u64, kind: FaultKind) -> CaseReport {
+    let plan = FaultPlan::from_seed(seed, kind);
+    let mut report = CaseReport {
+        seed,
+        kind,
+        injected: 0,
+        outcomes: Vec::new(),
+        denials: 0,
+        typed_errors: 0,
+        violations: Vec::new(),
+    };
+    let migrates = matches!(kind, FaultKind::MigrationTruncate | FaultKind::MigrationCorrupt);
+    let result = if migrates {
+        migration_case(seed, &plan, &mut report)
+    } else {
+        runtime_case(seed, &plan, &mut report)
+    };
+    if let Err(e) = result {
+        report.violations.push(format!("harness failure outside the injected path: {e:?}"));
+    }
+    report
+}
+
+/// Runs every kind over every seed in `seeds`.
+pub fn run_matrix(seeds: impl IntoIterator<Item = u64> + Clone) -> Vec<CaseReport> {
+    let mut reports = Vec::new();
+    for kind in FaultKind::ALL {
+        for seed in seeds.clone() {
+            reports.push(run_case(seed, kind));
+        }
+    }
+    reports
+}
+
+fn protected_system(seed: u64) -> Result<System, XenError> {
+    System::new(DRAM, seed, Box::new(Fidelius::new()))
+}
+
+fn boot_guest(sys: &mut System, seed: u64) -> Result<DomainId, XenError> {
+    let mut owner = GuestOwner::new(seed);
+    let image = owner.package_image(b"fault-matrix kernel", &sys.plat.firmware.pdh_public());
+    boot_encrypted_guest(sys, &image, GUEST_PAGES)
+}
+
+/// Re-enters the guest and compares the sentinel. Returns `false` on any
+/// error (a tampered entry is refused once, then repaired — the caller
+/// retries a bounded number of times).
+fn sentinel_intact(sys: &mut System, dom: DomainId) -> bool {
+    if sys.ensure_guest(dom).is_err() {
+        return false;
+    }
+    let mut buf = [0u8; SENTINEL.len()];
+    if sys.plat.machine.guest_read_gpa(sentinel_gpa(), &mut buf, true).is_err() {
+        return false;
+    }
+    let _ = sys.ensure_host();
+    buf == *SENTINEL
+}
+
+/// Faults delivered against a running guest: boot, plant the sentinel,
+/// arm, drive disk I/O (absorbing typed refusals), disarm, verify.
+fn runtime_case(seed: u64, plan: &FaultPlan, report: &mut CaseReport) -> Result<(), XenError> {
+    let mut sys = protected_system(seed)?;
+    let dom = boot_guest(&mut sys, seed)?;
+    sys.setup_block_device(dom, vec![0u8; 64 * SECTOR_SIZE], IoPath::SevApi, None)?;
+    sys.gpa_write(dom, sentinel_gpa(), SENTINEL, true)?;
+    sys.ensure_host()?;
+
+    // Only the faulted epoch is audited.
+    sys.plat.machine.trace.clear();
+    sys.plat.machine.inject.install(Box::new(ScheduledInjector::new(plan.clone())));
+
+    let data = vec![0xA5u8; SECTOR_SIZE];
+    for round in 0..IO_ROUNDS {
+        if sys.disk_write(dom, round, &data).is_err() {
+            report.typed_errors += 1;
+        }
+        if sys.disk_read(dom, round, 1).is_err() {
+            report.typed_errors += 1;
+        }
+    }
+
+    sys.plat.machine.inject.clear();
+
+    // One refused (and repaired) entry is graceful degradation; the
+    // sentinel must be reachable and intact within a bounded retry budget.
+    let intact = (0..3).any(|_| sentinel_intact(&mut sys, dom));
+    if !intact {
+        report.violations.push("guest sentinel unreachable or corrupted after fault epoch".into());
+    }
+
+    audit(&sys.plat.machine.trace.events(), report);
+    Ok(())
+}
+
+/// Faults delivered against the migration stream: the outcome is predicted
+/// at the source (where the tampering hook runs) and enforced at the
+/// destination (structural check before any resource commit, transactional
+/// rollback after a failed cryptographic receive).
+fn migration_case(seed: u64, plan: &FaultPlan, report: &mut CaseReport) -> Result<(), XenError> {
+    let mut src = protected_system(seed)?;
+    let mut dst = protected_system(seed.wrapping_add(1))?;
+    let dom = boot_guest(&mut src, seed)?;
+    src.gpa_write(dom, sentinel_gpa(), SENTINEL, true)?;
+    src.ensure_host()?;
+
+    src.plat.machine.trace.clear();
+    dst.plat.machine.trace.clear();
+    src.plat.machine.inject.install(Box::new(ScheduledInjector::new(plan.clone())));
+    let package = migrate_out(&mut src, dom, &dst.plat.firmware.pdh_public())?;
+    src.plat.machine.inject.clear();
+
+    match migrate_in(&mut dst, &package) {
+        Ok(new_dom) => {
+            // The stream was accepted (e.g. a truncation hint that kept
+            // every page); the guest must arrive byte-for-byte.
+            if !(0..3).any(|_| sentinel_intact(&mut dst, new_dom)) {
+                report.violations.push("migrated sentinel corrupted on accepted stream".into());
+            }
+        }
+        Err(_) => {
+            report.typed_errors += 1;
+            // Fail-closed refusal must leave no live domain behind: either
+            // nothing was committed or the partial receive was rolled back.
+            if !dst.xen.domains.values().all(|d| d.state == DomainState::Dead) {
+                report
+                    .violations
+                    .push("refused stream left a live domain on the destination".into());
+            }
+        }
+    }
+
+    let mut events = src.plat.machine.trace.events();
+    events.extend(dst.plat.machine.trace.events());
+    audit(&events, report);
+    Ok(())
+}
+
+/// Applies invariant checks 1–4 to the merged event trail.
+fn audit(events: &[TracedEvent], report: &mut CaseReport) {
+    let mut audit_marks = 0usize;
+    for traced in events {
+        match &traced.event {
+            Event::FaultInjected { kind, .. } if *kind == report.kind => report.injected += 1,
+            Event::FaultOutcome { kind, outcome } if *kind == report.kind => {
+                report.outcomes.push(*outcome)
+            }
+            Event::Denial { .. } => {
+                report.denials += 1;
+                audit_marks += 1;
+            }
+            Event::ShadowVerify { outcome: VerifyOutcome::Tampered(_), .. } => audit_marks += 1,
+            _ => {}
+        }
+    }
+    if report.injected == 0 {
+        report.violations.push("planned fault never fired (harness drift)".into());
+    }
+    if report.injected > 0 && report.outcomes.is_empty() {
+        report.violations.push("injected fault has no recorded disposal".into());
+    }
+    if report.outcomes.iter().any(|o| matches!(o, InjectionOutcome::Corrupted)) {
+        report
+            .violations
+            .push("silent-corruption witness recorded under the Fidelius guardian".into());
+    }
+    let fail_closed = report.outcomes.iter().any(|o| matches!(o, InjectionOutcome::FailClosed(_)));
+    if fail_closed && audit_marks == 0 {
+        report.violations.push("fail-closed disposal lacks an audit-trail mark".into());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fidelius_telemetry::DenialReason;
+
+    fn traced(events: Vec<Event>) -> Vec<TracedEvent> {
+        events
+            .into_iter()
+            .enumerate()
+            .map(|(i, event)| TracedEvent { seq: i as u64, event })
+            .collect()
+    }
+
+    fn blank(kind: FaultKind) -> CaseReport {
+        CaseReport {
+            seed: 0,
+            kind,
+            injected: 0,
+            outcomes: Vec::new(),
+            denials: 0,
+            typed_errors: 0,
+            violations: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn audit_accepts_tolerated_pairing() {
+        let mut report = blank(FaultKind::VmexitStorm);
+        let events = traced(vec![
+            Event::FaultInjected { kind: FaultKind::VmexitStorm, point: "guest-entered" },
+            Event::FaultOutcome {
+                kind: FaultKind::VmexitStorm,
+                outcome: InjectionOutcome::Tolerated,
+            },
+        ]);
+        audit(&events, &mut report);
+        assert!(report.passed(), "{:?}", report.violations);
+        assert_eq!(report.injected, 1);
+        assert_eq!(report.outcomes.len(), 1);
+    }
+
+    #[test]
+    fn audit_flags_missing_disposal() {
+        let mut report = blank(FaultKind::NptRemap);
+        let events =
+            traced(vec![Event::FaultInjected { kind: FaultKind::NptRemap, point: "hypercall" }]);
+        audit(&events, &mut report);
+        assert!(!report.passed());
+        assert!(report.violations.iter().any(|v| v.contains("no recorded disposal")));
+    }
+
+    #[test]
+    fn audit_flags_corruption_witness() {
+        let mut report = blank(FaultKind::CiphertextSplice);
+        let events = traced(vec![
+            Event::FaultInjected { kind: FaultKind::CiphertextSplice, point: "post-exit" },
+            Event::FaultOutcome {
+                kind: FaultKind::CiphertextSplice,
+                outcome: InjectionOutcome::Corrupted,
+            },
+        ]);
+        audit(&events, &mut report);
+        assert!(report.violations.iter().any(|v| v.contains("silent-corruption")));
+    }
+
+    #[test]
+    fn audit_requires_audit_mark_for_fail_closed() {
+        let mut report = blank(FaultKind::DelayedGate);
+        let bare = traced(vec![
+            Event::FaultInjected { kind: FaultKind::DelayedGate, point: "gate-entry" },
+            Event::FaultOutcome {
+                kind: FaultKind::DelayedGate,
+                outcome: InjectionOutcome::FailClosed(DenialReason::GateResponseTimeout),
+            },
+        ]);
+        audit(&bare, &mut report);
+        assert!(report.violations.iter().any(|v| v.contains("audit-trail")));
+
+        let mut report = blank(FaultKind::DelayedGate);
+        let mut with_denial = bare.clone();
+        with_denial.push(TracedEvent {
+            seq: 2,
+            event: Event::Denial { reason: DenialReason::GateResponseTimeout },
+        });
+        audit(&with_denial, &mut report);
+        assert!(report.passed(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn outcome_labels_are_stable() {
+        assert_eq!(outcome_label(InjectionOutcome::Tolerated), "tolerated");
+        assert_eq!(
+            outcome_label(InjectionOutcome::ToleratedAfterRetry(3)),
+            "tolerated-after-3-retries"
+        );
+        assert_eq!(
+            outcome_label(InjectionOutcome::FailClosed(DenialReason::GateResponseTimeout)),
+            format!("fail-closed:{}", DenialReason::GateResponseTimeout.as_str())
+        );
+        assert_eq!(outcome_label(InjectionOutcome::Corrupted), "corrupted");
+    }
+}

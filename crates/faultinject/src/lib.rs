@@ -1,0 +1,54 @@
+//! # Deterministic fault injection — the adversarial hypervisor as a test fixture
+//!
+//! Fidelius (HPCA'18) defends a guest VM against a *hostile* hypervisor:
+//! one that remaps NPT entries, tampers with the VMCB between exit and
+//! entry, replays or splices ciphertext, revokes grants mid-I/O, stalls
+//! gate responses, swallows event-channel notifications, and corrupts or
+//! truncates migration streams. This crate turns that adversary into a
+//! deterministic, seeded test fixture.
+//!
+//! ## Layout
+//!
+//! - [`rng`] — a dependency-free xorshift64\* stream; the same seed always
+//!   produces the same schedule.
+//! - [`schedule`] — [`FaultPlan`]/[`ScheduledInjector`]: a `(seed, kind)`
+//!   pair materialized into a concrete action, hook point, firing delay
+//!   and repeat count, executable through the zero-cost-when-disarmed
+//!   [`InjectorHandle`] every simulated machine carries.
+//! - [`harness`] — [`run_case`]/[`run_matrix`]: boots a Fidelius-protected
+//!   system, plants a guest-memory sentinel, drives live disk I/O (or a
+//!   migration) while the fault fires, then audits the merged telemetry.
+//!
+//! ## The invariant
+//!
+//! Every injected fault is either **tolerated** with identical
+//! guest-visible state (possibly after bounded retries with backoff) or
+//! refused **fail-closed** with a typed [`DenialReason`] on the audit
+//! trail — never silent corruption. The `faultinject_matrix` binary sweeps
+//! N seeds × every [`FaultKind`] and exits non-zero (printing the
+//! reproducing seed) if any case violates it.
+//!
+//! The mechanism half of the layer — the hook points and the
+//! [`FaultInjector`] trait — lives in `fidelius_hw::inject` so that every
+//! crate in the stack can host a hook without depending on this crate;
+//! only the *policy* (which faults fire when) lives here.
+//!
+//! [`FaultPlan`]: schedule::FaultPlan
+//! [`ScheduledInjector`]: schedule::ScheduledInjector
+//! [`run_case`]: harness::run_case
+//! [`run_matrix`]: harness::run_matrix
+//! [`InjectorHandle`]: fidelius_hw::inject::InjectorHandle
+//! [`FaultInjector`]: fidelius_hw::inject::FaultInjector
+//! [`DenialReason`]: fidelius_telemetry::DenialReason
+//! [`FaultKind`]: fidelius_telemetry::FaultKind
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod harness;
+pub mod rng;
+pub mod schedule;
+
+pub use harness::{outcome_label, run_case, run_matrix, CaseReport};
+pub use rng::Rng;
+pub use schedule::{point_for, FaultPlan, ScheduledInjector};

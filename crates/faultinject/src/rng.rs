@@ -1,0 +1,92 @@
+//! Deterministic pseudo-random stream for fault schedules.
+//!
+//! A single xorshift64\* generator; no external crates, no global state,
+//! no entropy source. The same seed always yields the same schedule, so
+//! any matrix failure is reproducible from the `(seed, kind)` pair the
+//! harness prints.
+
+/// A seeded xorshift64\* stream.
+///
+/// Period 2^64 − 1 over the non-zero states; the output is the state
+/// multiplied by an odd constant, which breaks up the low-bit linearity
+/// of the raw shift register (good enough for schedule hints — this is
+/// not a cryptographic generator and must never be used as one).
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Creates a generator from `seed`.
+    ///
+    /// The seed is pre-mixed with a fixed odd constant so that small
+    /// consecutive seeds (0, 1, 2, … as the matrix sweeps) still produce
+    /// unrelated streams; a zero state is remapped to a fixed non-zero
+    /// value because xorshift has a fixed point at zero.
+    pub fn new(seed: u64) -> Self {
+        let mixed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x1234_5678_9ABC_DEF1);
+        Rng(if mixed == 0 { 0xDEAD_BEEF_CAFE_F00D } else { mixed })
+    }
+
+    /// Returns the next 64-bit value of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Returns a value in `0..n` (`0` when `n == 0`).
+    ///
+    /// Plain modulo reduction: the bias is irrelevant for schedule hints
+    /// and keeping the reduction branch-free keeps schedules easy to
+    /// reason about when replaying a failing seed by hand.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn nearby_seeds_diverge_immediately() {
+        let mut a = Rng::new(0);
+        let mut b = Rng::new(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn streams_never_stick_at_zero() {
+        // xorshift's only fixed point is zero; construction remaps it, so
+        // consecutive draws from any seed must keep changing state.
+        for seed in [0u64, 1, u64::MAX, 0xF1DE] {
+            let mut r = Rng::new(seed);
+            let draws: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+            assert!(draws.windows(2).all(|w| w[0] != w[1]), "seed {seed} stream stuck");
+        }
+    }
+
+    #[test]
+    fn below_bounds_and_handles_zero() {
+        let mut r = Rng::new(7);
+        assert_eq!(r.below(0), 0);
+        for n in 1..32u64 {
+            assert!(r.below(n) < n);
+        }
+    }
+}

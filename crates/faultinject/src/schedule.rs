@@ -1,0 +1,183 @@
+//! Seed → schedule: turning a `(seed, kind)` pair into a concrete,
+//! replayable injection plan.
+//!
+//! A [`FaultPlan`] fixes *where* (the hook point), *what* (the concrete
+//! [`FaultAction`] with all hints drawn from the seeded stream), *when*
+//! (how many eligible crossings to let pass first) and *how often* (how
+//! many consecutive crossings fire). [`ScheduledInjector`] is the
+//! [`FaultInjector`] that executes the plan when installed into a
+//! machine's [`InjectorHandle`].
+//!
+//! [`InjectorHandle`]: fidelius_hw::inject::InjectorHandle
+
+use fidelius_hw::inject::{FaultAction, FaultInjector, InjectPoint};
+use fidelius_telemetry::FaultKind;
+
+use crate::rng::Rng;
+
+/// The hook point at which each taxonomy entry is delivered.
+///
+/// This is the adversary's reach from Table 1 of the paper, mapped onto
+/// the simulator's crossings: page-table and grant tampering happen while
+/// the hypervisor services a request, VMCB/ciphertext writes happen
+/// between exit and re-entry, stream tampering happens while the
+/// migration payload is in the hypervisor's hands.
+pub fn point_for(kind: FaultKind) -> InjectPoint {
+    match kind {
+        FaultKind::NptRemap | FaultKind::NptSwap => InjectPoint::Hypercall,
+        FaultKind::VmcbTamper | FaultKind::CiphertextReplay | FaultKind::CiphertextSplice => {
+            InjectPoint::PostExit
+        }
+        FaultKind::VmexitStorm => InjectPoint::GuestEntered,
+        FaultKind::DelayedGate => InjectPoint::GateEntry,
+        FaultKind::GrantRevokeMidIo | FaultKind::EventChannelDrop => InjectPoint::EventSend,
+        FaultKind::MigrationTruncate | FaultKind::MigrationCorrupt => InjectPoint::MigrateSend,
+    }
+}
+
+/// A fully materialized injection plan for one matrix case.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// The taxonomy entry this plan realizes.
+    pub kind: FaultKind,
+    /// The hook point the action fires at (always `point_for(kind)`).
+    pub point: InjectPoint,
+    /// The concrete action, hints already drawn from the seed.
+    pub action: FaultAction,
+    /// Eligible crossings to let pass before the first firing.
+    pub fire_after: u32,
+    /// Consecutive eligible crossings that fire (≥ 1).
+    pub repeats: u32,
+}
+
+impl FaultPlan {
+    /// Derives the plan for `(seed, kind)`.
+    ///
+    /// The stream is re-keyed with the kind's taxonomy index so the same
+    /// seed drives independent hint draws for every kind in a sweep. The
+    /// repeat counts for the two bounded-retry kinds deliberately straddle
+    /// the defense budgets ([`GATE_RETRY_MAX`], [`EVENT_SEND_RETRIES`]) so
+    /// a sweep exercises both the tolerated-after-retry and the fail-closed
+    /// exits of each loop.
+    ///
+    /// [`GATE_RETRY_MAX`]: fidelius_core::gates::GATE_RETRY_MAX
+    /// [`EVENT_SEND_RETRIES`]: fidelius_xen::system::System::EVENT_SEND_RETRIES
+    pub fn from_seed(seed: u64, kind: FaultKind) -> FaultPlan {
+        let idx = FaultKind::ALL.iter().position(|k| *k == kind).unwrap_or(0) as u64;
+        let mut rng = Rng::new(seed ^ idx.wrapping_mul(0xA076_1D64_78BD_642F));
+        let point = point_for(kind);
+        let mut repeats = 1u32;
+        // Migration has exactly one eligible crossing per case; everything
+        // else may skip a few crossings first (the workload guarantees
+        // enough of them).
+        let mut fire_after =
+            if point == InjectPoint::MigrateSend { 0 } else { rng.below(2) as u32 };
+        let action = match kind {
+            FaultKind::NptRemap => FaultAction::RemapGpa { page_hint: rng.next_u64() },
+            FaultKind::NptSwap => FaultAction::SwapGpas { page_hint: rng.next_u64() },
+            FaultKind::VmcbTamper => {
+                FaultAction::TamperVmcbField { field_hint: rng.next_u64(), xor: rng.next_u64() }
+            }
+            FaultKind::CiphertextReplay => {
+                FaultAction::ReplayCiphertext { page_hint: rng.next_u64() }
+            }
+            FaultKind::CiphertextSplice => {
+                FaultAction::SpliceCiphertext { page_hint: rng.next_u64() }
+            }
+            FaultKind::GrantRevokeMidIo => FaultAction::RevokeGrants,
+            FaultKind::EventChannelDrop => {
+                // 1..=6 swallowed sends vs. a budget of 1 + EVENT_SEND_RETRIES.
+                repeats = 1 + rng.below(6) as u32;
+                FaultAction::DropEvent
+            }
+            FaultKind::MigrationTruncate => FaultAction::TruncateStream { keep: rng.next_u64() },
+            FaultKind::MigrationCorrupt => FaultAction::CorruptStream {
+                index_hint: rng.next_u64(),
+                xor: (rng.next_u64() as u8) | 1,
+            },
+            FaultKind::VmexitStorm => FaultAction::StormExits { count: 1 + rng.below(6) as u32 },
+            FaultKind::DelayedGate => {
+                // 1..=6 consecutive stalls vs. a budget of GATE_RETRY_MAX.
+                // All stalls are absorbed by one gate crossing's retry
+                // loop, so they must not be deferred past it piecemeal.
+                repeats = 1 + rng.below(6) as u32;
+                fire_after = 0;
+                FaultAction::DelayGate { ticks: 1 + rng.below(500) }
+            }
+        };
+        FaultPlan { kind, point, action, fire_after, repeats }
+    }
+}
+
+/// Executes a [`FaultPlan`]: declines at foreign points, counts down the
+/// skip budget, then fires the planned action `repeats` times.
+#[derive(Debug)]
+pub struct ScheduledInjector {
+    plan: FaultPlan,
+    skip: u32,
+    left: u32,
+}
+
+impl ScheduledInjector {
+    /// Wraps `plan` for installation into an injector handle.
+    pub fn new(plan: FaultPlan) -> ScheduledInjector {
+        ScheduledInjector { skip: plan.fire_after, left: plan.repeats, plan }
+    }
+}
+
+impl FaultInjector for ScheduledInjector {
+    fn decide(&mut self, point: InjectPoint) -> Option<FaultAction> {
+        if point != self.plan.point || self.left == 0 {
+            return None;
+        }
+        if self.skip > 0 {
+            self.skip -= 1;
+            return None;
+        }
+        self.left -= 1;
+        Some(self.plan.action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_maps_to_its_hook_point_and_action() {
+        for kind in FaultKind::ALL {
+            let plan = FaultPlan::from_seed(1, kind);
+            assert_eq!(plan.point, point_for(kind));
+            assert_eq!(plan.action.kind(), kind, "action must realize its own taxonomy entry");
+            assert!(plan.repeats >= 1);
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic_in_the_seed() {
+        for kind in FaultKind::ALL {
+            let a = FaultPlan::from_seed(99, kind);
+            let b = FaultPlan::from_seed(99, kind);
+            assert_eq!(a.action, b.action);
+            assert_eq!(a.fire_after, b.fire_after);
+            assert_eq!(a.repeats, b.repeats);
+        }
+    }
+
+    #[test]
+    fn injector_skips_then_fires_then_exhausts() {
+        let plan = FaultPlan {
+            kind: FaultKind::EventChannelDrop,
+            point: InjectPoint::EventSend,
+            action: FaultAction::DropEvent,
+            fire_after: 1,
+            repeats: 2,
+        };
+        let mut inj = ScheduledInjector::new(plan);
+        assert!(inj.decide(InjectPoint::Hypercall).is_none(), "foreign point must pass");
+        assert!(inj.decide(InjectPoint::EventSend).is_none(), "first crossing is skipped");
+        assert_eq!(inj.decide(InjectPoint::EventSend), Some(FaultAction::DropEvent));
+        assert_eq!(inj.decide(InjectPoint::EventSend), Some(FaultAction::DropEvent));
+        assert!(inj.decide(InjectPoint::EventSend).is_none(), "schedule exhausted");
+    }
+}

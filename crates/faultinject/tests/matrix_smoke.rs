@@ -1,0 +1,29 @@
+//! One-seed smoke sweep of the full fault matrix: every taxonomy entry
+//! fires against a live protected guest and is disposed of without silent
+//! corruption. The wide sweep (64+ seeds) runs via the
+//! `faultinject_matrix` binary; this keeps `cargo test` fast while still
+//! exercising every kind end-to-end.
+
+use fidelius_faultinject::harness::run_matrix;
+use fidelius_telemetry::{FaultKind, InjectionOutcome};
+
+#[test]
+fn every_fault_kind_is_disposed_without_silent_corruption() {
+    let reports = run_matrix([0xF1DE_u64]);
+    assert_eq!(reports.len(), FaultKind::ALL.len());
+    for report in &reports {
+        assert!(
+            report.passed(),
+            "seed {} kind {}: {:?}",
+            report.seed,
+            report.kind.as_str(),
+            report.violations
+        );
+        assert!(report.injected > 0, "kind {} never fired", report.kind.as_str());
+        assert!(
+            !report.outcomes.iter().any(|o| matches!(o, InjectionOutcome::Corrupted)),
+            "kind {} corrupted guest state",
+            report.kind.as_str()
+        );
+    }
+}

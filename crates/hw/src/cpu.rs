@@ -24,6 +24,7 @@
 
 use crate::cycles::{CostModel, CycleCategory, Cycles};
 use crate::error::{AccessKind, Fault, FaultReason, HwError};
+use crate::inject::{FaultAction, InjectPoint, InjectorHandle};
 use crate::mem::Dram;
 use crate::memctrl::{EncSel, MemoryController};
 use crate::paging::{permits, walk, Translation};
@@ -180,6 +181,9 @@ pub struct Machine {
     /// The telemetry tracer every layer above shares (clones of this handle
     /// all feed one ring buffer and one metrics registry).
     pub trace: Tracer,
+    /// The fault-injection handle every layer above shares. Disarmed by
+    /// default; the fault-injection harness installs a seeded schedule here.
+    pub inject: InjectorHandle,
 }
 
 impl Machine {
@@ -193,7 +197,20 @@ impl Machine {
             cost: CostModel::default(),
             cpu: Cpu::new(),
             trace,
+            inject: InjectorHandle::new(),
         }
+    }
+
+    /// Queries the fault-injection handle at `point`, emitting a
+    /// [`Event::FaultInjected`] telemetry event when a fault fires so every
+    /// injection is visible on the trace before its outcome is known.
+    ///
+    /// Hook sites in the layers above call this (one relaxed atomic load
+    /// when disarmed) and apply whatever adversarial action comes back.
+    pub fn inject_at(&mut self, point: InjectPoint) -> Option<FaultAction> {
+        let action = self.inject.decide(point)?;
+        self.trace.emit(Event::FaultInjected { kind: action.kind(), point: point.as_str() });
+        Some(action)
     }
 
     /// A point-in-time telemetry rollup: the tracer's metrics with the TLB
@@ -940,5 +957,57 @@ mod tests {
         let before = m.cycles.total();
         m.host_write(Hva(0x1000), &[0u8; 64]).unwrap();
         assert!(m.cycles.total() > before);
+    }
+
+    #[derive(Debug)]
+    struct FireAt(InjectPoint, Option<FaultAction>);
+    impl crate::inject::FaultInjector for FireAt {
+        fn decide(&mut self, point: InjectPoint) -> Option<FaultAction> {
+            if point == self.0 {
+                self.1.take()
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn inject_at_pairs_action_with_telemetry() {
+        let (mut m, _a, _mp) = host_machine();
+        assert_eq!(m.inject_at(InjectPoint::PostExit), None, "disarmed hooks stay silent");
+        assert!(m.trace.events().is_empty());
+        let tamper = FaultAction::TamperVmcbField { field_hint: 1, xor: 0xFF };
+        m.inject.install(Box::new(FireAt(InjectPoint::PostExit, Some(tamper))));
+        assert_eq!(m.inject_at(InjectPoint::GateEntry), None, "wrong point declines");
+        assert_eq!(m.inject_at(InjectPoint::PostExit), Some(tamper));
+        let events = m.trace.events();
+        assert!(
+            events.iter().any(|e| matches!(
+                e.event,
+                Event::FaultInjected {
+                    kind: fidelius_telemetry::FaultKind::VmcbTamper,
+                    point: "post-exit"
+                }
+            )),
+            "injection must leave a telemetry record: {events:?}"
+        );
+    }
+
+    #[test]
+    fn tampered_vmcb_field_is_visible_to_reload() {
+        // The mechanism behind shadow-and-verify (§4.2.1): the VMCB is
+        // plain hypervisor-writable memory, so a between-exits field write
+        // really lands and a subsequent load observes it.
+        let (mut m, _a, _mp) = host_machine();
+        let pa = Hpa(0x8000);
+        let mut img = VmcbImage::new();
+        img.set(VmcbField::NCr3, 0xAAAA_0000);
+        img.store(&mut m.mc, pa).unwrap();
+        let off = 8 * VmcbField::NCr3 as u64;
+        let cur = m.host_read_u64(Hva(pa.0 + off)).unwrap();
+        m.host_write_u64(Hva(pa.0 + off), cur ^ 0x55).unwrap();
+        let reloaded = VmcbImage::load(&m.mc, pa).unwrap();
+        assert_eq!(reloaded.get(VmcbField::NCr3), 0xAAAA_0000 ^ 0x55);
+        assert_eq!(img.diff(&reloaded), vec![VmcbField::NCr3]);
     }
 }

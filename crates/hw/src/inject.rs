@@ -1,0 +1,267 @@
+//! Fault-injection hooks — the "adversarial hypervisor" seam.
+//!
+//! The Fidelius threat model (paper Table 1) grants the hypervisor the
+//! power to misbehave at *any* point where it holds the CPU: remapping NPT
+//! entries mid-operation, tampering with the VMCB between exit and entry,
+//! replaying ciphertext, revoking grants under an in-flight I/O, mangling a
+//! migration stream, or simply stalling and storming. The scripted attacks
+//! in `fidelius-attacks` cover single known exploits; this module provides
+//! the *mechanism* for unscripted, schedule-driven misbehaviour.
+//!
+//! Layering mirrors the tracer: this crate defines the hook vocabulary
+//! ([`InjectPoint`], [`FaultAction`]) and a cheaply cloneable
+//! [`InjectorHandle`] that is zero-cost when disarmed (one relaxed atomic
+//! load per hook). The *policy* — which faults fire when, derived from a
+//! seed — lives upstream in `fidelius-faultinject`, which implements
+//! [`FaultInjector`] and arms the handle. Production-shaped code paths in
+//! `fidelius-xen` and `fidelius-core` query the handle at their hook points
+//! and apply whatever adversarial action comes back.
+
+use fidelius_telemetry::FaultKind;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A hook point where the adversarial hypervisor may act.
+///
+/// Each point corresponds to a moment in the real system where the
+/// hypervisor holds the CPU and the guest (or Fidelius) must tolerate
+/// whatever it does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InjectPoint {
+    /// Inside hypercall dispatch, while servicing a guest request.
+    Hypercall,
+    /// After a VMEXIT has been handled, before the next entry.
+    PostExit,
+    /// Immediately after a successful guest entry.
+    GuestEntered,
+    /// At a Fidelius gate entry (the hypervisor schedules gate responses).
+    GateEntry,
+    /// While delivering an event-channel notification.
+    EventSend,
+    /// While the migration stream is in the hypervisor's hands.
+    MigrateSend,
+}
+
+impl InjectPoint {
+    /// Stable label for telemetry.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            InjectPoint::Hypercall => "hypercall",
+            InjectPoint::PostExit => "post-exit",
+            InjectPoint::GuestEntered => "guest-entered",
+            InjectPoint::GateEntry => "gate-entry",
+            InjectPoint::EventSend => "event-send",
+            InjectPoint::MigrateSend => "migrate-send",
+        }
+    }
+}
+
+impl fmt::Display for InjectPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One concrete adversarial action, decided by an armed [`FaultInjector`].
+///
+/// Actions carry only primitive *hints* (page indices, xor masks) — the
+/// hook site resolves them against whatever state is actually in scope, so
+/// the schedule generator needs no knowledge of simulator internals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Remap a populated guest GPA (selected by hint) onto another frame.
+    RemapGpa {
+        /// Selects which populated page to attack (`hint % populated`).
+        page_hint: u64,
+    },
+    /// Swap the frames backing two populated guest GPAs.
+    SwapGpas {
+        /// Selects the first of the two pages (`hint % populated`).
+        page_hint: u64,
+    },
+    /// XOR a policy-protected VMCB field between exit and re-entry.
+    TamperVmcbField {
+        /// Selects which protected field to hit.
+        field_hint: u64,
+        /// Non-zero mask XORed into the stored field value.
+        xor: u64,
+    },
+    /// Write previously captured ciphertext back over the same frame.
+    ReplayCiphertext {
+        /// Selects which guest page's ciphertext to replay.
+        page_hint: u64,
+    },
+    /// Write ciphertext captured from one frame over a different frame.
+    SpliceCiphertext {
+        /// Selects the victim page pair.
+        page_hint: u64,
+    },
+    /// Invalidate every grant of the calling domain mid-I/O.
+    RevokeGrants,
+    /// Swallow the event-channel notification being delivered.
+    DropEvent,
+    /// Truncate the outgoing migration stream to `keep` pages.
+    TruncateStream {
+        /// Pages to keep (`keep % (total + 1)`).
+        keep: u64,
+    },
+    /// Flip bits inside the outgoing migration stream.
+    CorruptStream {
+        /// Selects which streamed page to corrupt.
+        index_hint: u64,
+        /// Non-zero mask XORed into one byte of that page.
+        xor: u8,
+    },
+    /// Bounce the guest through `count` spurious VMEXIT/VMRUN round trips.
+    StormExits {
+        /// Number of spurious round trips.
+        count: u32,
+    },
+    /// Stall the gate response, charging `ticks` cycles before the caller
+    /// may retry. Consecutive `DelayGate` decisions at the same gate model
+    /// a hypervisor that keeps stalling.
+    DelayGate {
+        /// Cycles of stall per attempt.
+        ticks: u64,
+    },
+}
+
+impl FaultAction {
+    /// The taxonomy kind this action realizes (for telemetry tagging).
+    pub fn kind(&self) -> FaultKind {
+        match self {
+            FaultAction::RemapGpa { .. } => FaultKind::NptRemap,
+            FaultAction::SwapGpas { .. } => FaultKind::NptSwap,
+            FaultAction::TamperVmcbField { .. } => FaultKind::VmcbTamper,
+            FaultAction::ReplayCiphertext { .. } => FaultKind::CiphertextReplay,
+            FaultAction::SpliceCiphertext { .. } => FaultKind::CiphertextSplice,
+            FaultAction::RevokeGrants => FaultKind::GrantRevokeMidIo,
+            FaultAction::DropEvent => FaultKind::EventChannelDrop,
+            FaultAction::TruncateStream { .. } => FaultKind::MigrationTruncate,
+            FaultAction::CorruptStream { .. } => FaultKind::MigrationCorrupt,
+            FaultAction::StormExits { .. } => FaultKind::VmexitStorm,
+            FaultAction::DelayGate { .. } => FaultKind::DelayedGate,
+        }
+    }
+}
+
+/// The decision policy behind an armed handle.
+///
+/// Implementations are stateful: the handle calls [`decide`] every time a
+/// hook point is crossed, and the injector consumes its schedule (so a
+/// planned fault fires exactly once unless the schedule says otherwise).
+///
+/// [`decide`]: FaultInjector::decide
+pub trait FaultInjector: fmt::Debug + Send {
+    /// Called at every hook crossing while armed. Return `Some(action)` to
+    /// fire a fault at this crossing, `None` to let it pass.
+    fn decide(&mut self, point: InjectPoint) -> Option<FaultAction>;
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    armed: AtomicBool,
+    slot: Mutex<Option<Box<dyn FaultInjector>>>,
+}
+
+/// Cheaply cloneable fault-injection handle carried by the machine.
+///
+/// Disarmed (the default), every hook crossing costs one relaxed atomic
+/// load and returns `None` — the zero-cost-when-disabled contract. Arming
+/// installs a boxed [`FaultInjector`] whose decisions the hook sites apply.
+#[derive(Debug, Clone, Default)]
+pub struct InjectorHandle {
+    inner: Arc<Inner>,
+}
+
+impl InjectorHandle {
+    /// A fresh, disarmed handle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether an injector is currently installed.
+    pub fn is_armed(&self) -> bool {
+        self.inner.armed.load(Ordering::Relaxed)
+    }
+
+    /// Installs `injector` and arms every clone of this handle.
+    pub fn install(&self, injector: Box<dyn FaultInjector>) {
+        *self.inner.slot.lock().expect("injector lock") = Some(injector);
+        self.inner.armed.store(true, Ordering::Relaxed);
+    }
+
+    /// Removes the injector and disarms every clone of this handle.
+    pub fn clear(&self) {
+        self.inner.armed.store(false, Ordering::Relaxed);
+        *self.inner.slot.lock().expect("injector lock") = None;
+    }
+
+    /// Queries the installed injector at `point`. Returns `None` when
+    /// disarmed (the fast path) or when the injector declines to fire.
+    pub fn decide(&self, point: InjectPoint) -> Option<FaultAction> {
+        if !self.is_armed() {
+            return None;
+        }
+        self.inner.slot.lock().expect("injector lock").as_mut()?.decide(point)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct FireOnce(Option<FaultAction>);
+    impl FaultInjector for FireOnce {
+        fn decide(&mut self, point: InjectPoint) -> Option<FaultAction> {
+            if point == InjectPoint::PostExit {
+                self.0.take()
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn disarmed_handle_returns_none() {
+        let h = InjectorHandle::new();
+        assert!(!h.is_armed());
+        assert_eq!(h.decide(InjectPoint::Hypercall), None);
+    }
+
+    #[test]
+    fn armed_handle_fires_once_and_clones_share_state() {
+        let h = InjectorHandle::new();
+        let clone = h.clone();
+        h.install(Box::new(FireOnce(Some(FaultAction::RevokeGrants))));
+        assert!(clone.is_armed());
+        assert_eq!(clone.decide(InjectPoint::GateEntry), None);
+        assert_eq!(clone.decide(InjectPoint::PostExit), Some(FaultAction::RevokeGrants));
+        assert_eq!(clone.decide(InjectPoint::PostExit), None);
+        h.clear();
+        assert!(!clone.is_armed());
+    }
+
+    #[test]
+    fn every_action_maps_to_its_kind() {
+        use fidelius_telemetry::FaultKind;
+        let pairs = [
+            (FaultAction::RemapGpa { page_hint: 0 }, FaultKind::NptRemap),
+            (FaultAction::SwapGpas { page_hint: 0 }, FaultKind::NptSwap),
+            (FaultAction::TamperVmcbField { field_hint: 0, xor: 1 }, FaultKind::VmcbTamper),
+            (FaultAction::ReplayCiphertext { page_hint: 0 }, FaultKind::CiphertextReplay),
+            (FaultAction::SpliceCiphertext { page_hint: 0 }, FaultKind::CiphertextSplice),
+            (FaultAction::RevokeGrants, FaultKind::GrantRevokeMidIo),
+            (FaultAction::DropEvent, FaultKind::EventChannelDrop),
+            (FaultAction::TruncateStream { keep: 0 }, FaultKind::MigrationTruncate),
+            (FaultAction::CorruptStream { index_hint: 0, xor: 1 }, FaultKind::MigrationCorrupt),
+            (FaultAction::StormExits { count: 1 }, FaultKind::VmexitStorm),
+            (FaultAction::DelayGate { ticks: 10 }, FaultKind::DelayedGate),
+        ];
+        for (action, kind) in pairs {
+            assert_eq!(action.kind(), kind);
+        }
+    }
+}

@@ -9,6 +9,16 @@
 //!
 //! The raw DRAM underneath ([`MemoryController::dram`]) holds ciphertext;
 //! that is the view physical attacks get.
+//!
+//! In the paper's protection scheme (§2.1, §4.3.4) this engine is the
+//! root of the memory-confidentiality guarantee: because the tweak is the
+//! physical address and the key is per-ASID, a hypervisor that remaps a
+//! guest page or splices ciphertext between frames produces garbage
+//! plaintext rather than meaningful data — which is why the NPT policies
+//! in `fidelius-core` only need to make such remapping *detectable*, not
+//! impossible. The fault matrix drives exactly those adversarial writes
+//! through [`MemoryController::write`] with [`EncSel::None`] and asserts
+//! the guest-visible outcome.
 
 use crate::error::HwError;
 use crate::mem::Dram;
@@ -43,7 +53,13 @@ impl EncSel {
     }
 }
 
-/// The memory controller.
+/// The memory controller: all DRAM traffic, keyed per the access's
+/// [`EncSel`], with optional telemetry of every crypto engagement.
+///
+/// Holds the SME host key and one `Kvek` per active ASID — the hardware
+/// state that the SEV firmware's `ACTIVATE`/`DEACTIVATE` commands manage
+/// and that the hypervisor can never read out (paper Table 1, row
+/// "memory encryption keys").
 pub struct MemoryController {
     dram: Dram,
     sme: Option<PaTweakCipher>,

@@ -153,6 +153,101 @@ impl GrantAction {
     }
 }
 
+/// The adversarial-hypervisor fault taxonomy (fault-injection layer).
+///
+/// Each variant names one unscripted hypervisor behaviour the Fidelius
+/// threat model must survive. The injection *mechanism* lives in
+/// `fidelius-hw`, the seeded *schedule* in `fidelius-faultinject`; this
+/// enum is only the shared vocabulary so every layer can tag telemetry
+/// with the same kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// Remap a populated guest GPA onto a different frame mid-operation.
+    NptRemap,
+    /// Swap the frames backing two in-domain GPAs (in-place replay setup).
+    NptSwap,
+    /// Flip bits in a policy-protected VMCB field between exit and entry.
+    VmcbTamper,
+    /// Write previously captured ciphertext back over a guest frame.
+    CiphertextReplay,
+    /// Write ciphertext captured from one frame over a *different* frame.
+    CiphertextSplice,
+    /// Invalidate the backend's grants while a block request is in flight.
+    GrantRevokeMidIo,
+    /// Drop the tail of an outgoing migration stream.
+    MigrationTruncate,
+    /// Flip bits inside an outgoing migration stream.
+    MigrationCorrupt,
+    /// Bounce the guest through a burst of spurious VMEXITs.
+    VmexitStorm,
+    /// Stall gate responses, forcing the bounded-retry path.
+    DelayedGate,
+    /// Swallow event-channel notifications, forcing the bounded-retry path.
+    EventChannelDrop,
+}
+
+impl FaultKind {
+    /// Stable label (used in JSON and CLI arguments).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FaultKind::NptRemap => "npt-remap",
+            FaultKind::NptSwap => "npt-swap",
+            FaultKind::VmcbTamper => "vmcb-tamper",
+            FaultKind::CiphertextReplay => "ciphertext-replay",
+            FaultKind::CiphertextSplice => "ciphertext-splice",
+            FaultKind::GrantRevokeMidIo => "grant-revoke-mid-io",
+            FaultKind::MigrationTruncate => "migration-truncate",
+            FaultKind::MigrationCorrupt => "migration-corrupt",
+            FaultKind::VmexitStorm => "vmexit-storm",
+            FaultKind::DelayedGate => "delayed-gate",
+            FaultKind::EventChannelDrop => "event-drop",
+        }
+    }
+
+    /// Every fault kind, for matrix sweeps.
+    pub const ALL: [FaultKind; 11] = [
+        FaultKind::NptRemap,
+        FaultKind::NptSwap,
+        FaultKind::VmcbTamper,
+        FaultKind::CiphertextReplay,
+        FaultKind::CiphertextSplice,
+        FaultKind::GrantRevokeMidIo,
+        FaultKind::MigrationTruncate,
+        FaultKind::MigrationCorrupt,
+        FaultKind::VmexitStorm,
+        FaultKind::DelayedGate,
+        FaultKind::EventChannelDrop,
+    ];
+
+    /// Parses a label produced by [`FaultKind::as_str`].
+    pub fn parse(s: &str) -> Option<FaultKind> {
+        FaultKind::ALL.into_iter().find(|k| k.as_str() == s)
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How the system disposed of one injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InjectionOutcome {
+    /// Absorbed with guest-visible state identical; no retry was needed.
+    Tolerated,
+    /// Absorbed after bounded retries (the count is attempts beyond the
+    /// first); guest-visible state identical.
+    ToleratedAfterRetry(u32),
+    /// Refused fail-closed with this typed reason on the audit trail.
+    FailClosed(DenialReason),
+    /// The fault landed: guest-visible state may now differ. This is the
+    /// no-silent-corruption invariant's failure witness — it is emitted
+    /// when an unprotected guardian lets an adversarial write through, and
+    /// the fault matrix asserts it never appears under Fidelius.
+    Corrupted,
+}
+
 /// One structured trace event.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -247,6 +342,22 @@ pub enum Event {
         /// The frame number involved.
         frame: u64,
     },
+    /// The fault-injection layer fired a fault at a hook point.
+    FaultInjected {
+        /// Which taxonomy entry fired.
+        kind: FaultKind,
+        /// The static label of the hook point that fired it.
+        point: &'static str,
+    },
+    /// The system disposed of an injected fault. Every [`Event::FaultInjected`]
+    /// must be followed by exactly one of these (the matrix harness pairs
+    /// them); a missing outcome means silent corruption.
+    FaultOutcome {
+        /// Which taxonomy entry this closes out.
+        kind: FaultKind,
+        /// How the fault was absorbed or refused.
+        outcome: InjectionOutcome,
+    },
 }
 
 impl Event {
@@ -264,6 +375,8 @@ impl Event {
             Event::TlbFlush { .. } => "tlb-flush",
             Event::Crypto { .. } => "crypto",
             Event::Grant { .. } => "grant",
+            Event::FaultInjected { .. } => "fault-injected",
+            Event::FaultOutcome { .. } => "fault-outcome",
         }
     }
 
@@ -339,6 +452,25 @@ impl Event {
                 put("peer", Json::Num(*peer as f64));
                 put("frame", Json::Num(*frame as f64));
             }
+            Event::FaultInjected { kind, point } => {
+                put("kind", Json::str(kind.as_str()));
+                put("point", Json::str(*point));
+            }
+            Event::FaultOutcome { kind, outcome } => {
+                put("kind", Json::str(kind.as_str()));
+                match outcome {
+                    InjectionOutcome::Tolerated => put("outcome", Json::str("tolerated")),
+                    InjectionOutcome::ToleratedAfterRetry(n) => {
+                        put("outcome", Json::str("tolerated-after-retry"));
+                        put("retries", Json::Num(*n as f64));
+                    }
+                    InjectionOutcome::FailClosed(reason) => {
+                        put("outcome", Json::str("fail-closed"));
+                        put("reason", Json::str(reason.as_str()));
+                    }
+                    InjectionOutcome::Corrupted => put("outcome", Json::str("corrupted")),
+                }
+            }
         }
         Json::Obj(pairs)
     }
@@ -376,5 +508,37 @@ mod tests {
     fn key_labels() {
         assert_eq!(EncKey::Sme.label(), "sme");
         assert_eq!(EncKey::Guest(3).label(), "asid3");
+    }
+
+    #[test]
+    fn fault_kind_labels_round_trip() {
+        for k in FaultKind::ALL {
+            assert_eq!(FaultKind::parse(k.as_str()), Some(k));
+        }
+        assert_eq!(FaultKind::parse("not-a-fault"), None);
+    }
+
+    #[test]
+    fn fault_events_render() {
+        let e = Event::FaultInjected { kind: FaultKind::NptRemap, point: "hypercall" };
+        let j = e.to_json();
+        assert_eq!(j.get("ev").unwrap().as_str(), Some("fault-injected"));
+        assert_eq!(j.get("kind").unwrap().as_str(), Some("npt-remap"));
+
+        let e = Event::FaultOutcome {
+            kind: FaultKind::DelayedGate,
+            outcome: InjectionOutcome::ToleratedAfterRetry(2),
+        };
+        let j = e.to_json();
+        assert_eq!(j.get("outcome").unwrap().as_str(), Some("tolerated-after-retry"));
+        assert_eq!(j.get("retries").unwrap().as_u64(), Some(2));
+
+        let e = Event::FaultOutcome {
+            kind: FaultKind::MigrationTruncate,
+            outcome: InjectionOutcome::FailClosed(DenialReason::MigrationStreamTruncated),
+        };
+        let j = e.to_json();
+        assert_eq!(j.get("outcome").unwrap().as_str(), Some("fail-closed"));
+        assert_eq!(j.get("reason").unwrap().as_str(), Some("migration stream truncated"));
     }
 }

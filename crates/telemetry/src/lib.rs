@@ -43,7 +43,8 @@ pub mod tracer;
 
 pub use category::{CycleBreakdown, CycleCategory};
 pub use event::{
-    CryptoDir, EncKey, Event, FlushScope, GateKind, GrantAction, PolicyObject, VerifyOutcome,
+    CryptoDir, EncKey, Event, FaultKind, FlushScope, GateKind, GrantAction, InjectionOutcome,
+    PolicyObject, VerifyOutcome,
 };
 pub use json::Json;
 pub use metrics::{Histogram, Metrics};

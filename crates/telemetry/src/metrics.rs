@@ -128,6 +128,11 @@ pub struct Metrics {
     pub crypto_run_bytes: BTreeMap<CryptoDir, Histogram>,
     /// Grant operations by action label.
     pub grant_ops: BTreeMap<&'static str, u64>,
+    /// Injected faults by taxonomy kind.
+    pub faults_injected: BTreeMap<crate::event::FaultKind, u64>,
+    /// Fault outcomes by (kind, outcome label) — "tolerated",
+    /// "tolerated-after-retry" or "fail-closed".
+    pub fault_outcomes: BTreeMap<(crate::event::FaultKind, &'static str), u64>,
 }
 
 impl Metrics {
@@ -171,6 +176,20 @@ impl Metrics {
             }
             Event::Grant { action, .. } => {
                 *self.grant_ops.entry(action.as_str()).or_default() += 1;
+            }
+            Event::FaultInjected { kind, .. } => {
+                *self.faults_injected.entry(*kind).or_default() += 1;
+            }
+            Event::FaultOutcome { kind, outcome } => {
+                let label = match outcome {
+                    crate::event::InjectionOutcome::Tolerated => "tolerated",
+                    crate::event::InjectionOutcome::ToleratedAfterRetry(_) => {
+                        "tolerated-after-retry"
+                    }
+                    crate::event::InjectionOutcome::FailClosed(_) => "fail-closed",
+                    crate::event::InjectionOutcome::Corrupted => "corrupted",
+                };
+                *self.fault_outcomes.entry((*kind, label)).or_default() += 1;
             }
         }
     }

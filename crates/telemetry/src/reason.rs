@@ -131,6 +131,25 @@ pub enum DenialReason {
     /// The nCR3 at first entry does not match the sealed NPT root.
     Ncr3MismatchAtEntry,
 
+    // --- life-cycle / migration integrity (§4.3.4–4.3.6) ---
+    /// The hypervisor touched a sealed guest frame through its own mappings.
+    SealedFrameAccess,
+    /// The incoming migration stream failed tag verification (corruption or
+    /// splice in transit); the half-restored domain was rolled back.
+    MigrationStreamTampered,
+    /// The incoming migration stream was shorter than the sealed
+    /// measurement covers; the half-restored domain was rolled back.
+    MigrationStreamTruncated,
+
+    // --- availability / degradation (fault-injection layer) ---
+    /// A backend grant vanished while an I/O request was in flight.
+    GrantRevokedMidIo,
+    /// A gate response stayed delayed past the bounded retry budget.
+    GateResponseTimeout,
+    /// An event-channel notification kept being dropped past the bounded
+    /// retry budget.
+    EventChannelStarved,
+
     // --- other ---
     /// VMRUN for a domain Fidelius has never seen.
     UnknownDomainAtEntry,
@@ -173,6 +192,12 @@ impl DenialReason {
             GuestRipDiverted => "guest rip diverted",
             AsidMismatchAtEntry => "asid mismatch at first entry",
             Ncr3MismatchAtEntry => "nCR3 mismatch at first entry",
+            SealedFrameAccess => "hypervisor access to a sealed guest frame",
+            MigrationStreamTampered => "migration stream tampered",
+            MigrationStreamTruncated => "migration stream truncated",
+            GrantRevokedMidIo => "grant revoked while I/O in flight",
+            GateResponseTimeout => "gate response delayed past retry budget",
+            EventChannelStarved => "event channel starved past retry budget",
             UnknownDomainAtEntry => "unknown domain at entry",
             Legacy(s) => s,
         }
@@ -203,15 +228,22 @@ impl DenialReason {
             | PreSharingRelayMismatch => AuditKind::GitViolation,
             Cr0PgClear | Cr0WpClear | Cr4SmepClear | EferNxeClear | EferSvmeClear
             | Cr3InvalidRoot | VmrunOutsideBoundary => AuditKind::InstrViolation,
-            VmcbFieldTampered | GuestRipDiverted | AsidMismatchAtEntry | Ncr3MismatchAtEntry => {
-                AuditKind::IntegrityViolation
+            VmcbFieldTampered
+            | GuestRipDiverted
+            | AsidMismatchAtEntry
+            | Ncr3MismatchAtEntry
+            | MigrationStreamTampered
+            | MigrationStreamTruncated => AuditKind::IntegrityViolation,
+            SealedFrameAccess => AuditKind::PitViolation,
+            GrantRevokedMidIo => AuditKind::GitViolation,
+            GateResponseTimeout | EventChannelStarved | UnknownDomainAtEntry | Legacy(_) => {
+                AuditKind::Other
             }
-            UnknownDomainAtEntry | Legacy(_) => AuditKind::Other,
         }
     }
 
     /// Every non-`Legacy` variant (for exhaustive tests and reports).
-    pub const ALL: [DenialReason; 30] = {
+    pub const ALL: [DenialReason; 36] = {
         use DenialReason::*;
         [
             WriteOnceAlreadyInitialized,
@@ -243,6 +275,12 @@ impl DenialReason {
             GuestRipDiverted,
             AsidMismatchAtEntry,
             Ncr3MismatchAtEntry,
+            SealedFrameAccess,
+            MigrationStreamTampered,
+            MigrationStreamTruncated,
+            GrantRevokedMidIo,
+            GateResponseTimeout,
+            EventChannelStarved,
             UnknownDomainAtEntry,
         ]
     };
@@ -302,6 +340,14 @@ mod tests {
             // fixes that, so it is exempt from the agreement check.
             if r == DenialReason::Ncr3MismatchAtEntry {
                 assert_eq!(legacy_classify(r.as_str()), AuditKind::InstrViolation);
+                assert_eq!(r.kind(), AuditKind::IntegrityViolation);
+                continue;
+            }
+            // A truncated migration stream is an integrity failure (the tag
+            // does not cover what arrived), but its string carries none of
+            // the heuristic's keywords. The typed kind files it correctly.
+            if r == DenialReason::MigrationStreamTruncated {
+                assert_eq!(legacy_classify(r.as_str()), AuditKind::Other);
                 assert_eq!(r.kind(), AuditKind::IntegrityViolation);
                 continue;
             }

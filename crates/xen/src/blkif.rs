@@ -8,11 +8,14 @@
 //! it, which is exactly why the front-end encrypts them (AES-NI path) or
 //! Fidelius does (SEV-API path) before they land there.
 
+use crate::domain::DomainId;
+use crate::grants::read_entry_phys;
 use crate::layout::direct_map;
 use crate::platform::Platform;
 use crate::XenError;
 use fidelius_crypto::modes::SECTOR_SIZE;
 use fidelius_hw::{Hpa, PAGE_SIZE};
+use fidelius_telemetry::{DenialReason, Event, FaultKind, InjectionOutcome};
 
 /// Request slots in the ring.
 pub const RING_SLOTS: u64 = 16;
@@ -78,6 +81,13 @@ pub struct BlockBackend {
     ring_frame: Option<Hpa>,
     buf_frames: Vec<Hpa>,
     req_cons: u64,
+    /// Grant references backing `ring_frame`/`buf_frames`, plus the grant
+    /// table base, when known. A well-behaved back-end re-validates its
+    /// grants before touching the shared pages — a grant can be revoked at
+    /// any instant by the guest or the (adversarial) hypervisor, and the
+    /// back-end must fail the request closed rather than read through a
+    /// stale mapping.
+    grants: Option<(u64, Vec<u64>, Hpa)>,
 }
 
 impl BlockBackend {
@@ -87,12 +97,56 @@ impl BlockBackend {
     }
 
     /// Attaches the device: the disk image plus the granted frames.
+    ///
+    /// Without grant references the back-end cannot re-validate its
+    /// mappings mid-I/O; prefer [`BlockBackend::attach_with_grants`].
     pub fn attach(&mut self, disk: Vec<u8>, ring_frame: Hpa, buf_frames: Vec<Hpa>) {
         assert_eq!(disk.len() % SECTOR_SIZE, 0, "disk must be whole sectors");
         self.disk = disk;
         self.ring_frame = Some(ring_frame);
         self.buf_frames = buf_frames;
         self.req_cons = 0;
+        self.grants = None;
+    }
+
+    /// Attaches the device and remembers which grant references back each
+    /// mapped frame, so every request re-validates them against the grant
+    /// table at `grant_table_pa` before the shared pages are touched.
+    pub fn attach_with_grants(
+        &mut self,
+        disk: Vec<u8>,
+        ring: (Hpa, u64),
+        bufs: Vec<(Hpa, u64)>,
+        grant_table_pa: Hpa,
+    ) {
+        let (ring_frame, ring_ref) = ring;
+        let (buf_frames, buf_refs): (Vec<Hpa>, Vec<u64>) = bufs.into_iter().unzip();
+        self.attach(disk, ring_frame, buf_frames);
+        self.grants = Some((ring_ref, buf_refs, grant_table_pa));
+    }
+
+    /// Re-validates that grant `grant_ref` is still live, granted to dom0
+    /// and still backed by `frame`. `true` when no grant bookkeeping is
+    /// attached (legacy attach, nothing to check against).
+    fn grant_still_valid(&self, plat: &Platform, grant_ref: u64, frame: Hpa) -> bool {
+        let Some((_, _, table)) = self.grants else { return true };
+        match read_entry_phys(&plat.machine.mc, table, grant_ref) {
+            Ok(e) => e.valid && e.grantee == DomainId::DOM0.0 && e.frame == frame,
+            Err(_) => false,
+        }
+    }
+
+    /// Emits the typed audit trail for a grant that vanished mid-I/O: a
+    /// denial event, plus a fault-outcome event when the fault-injection
+    /// layer is armed (so the matrix can pair injection with disposal).
+    fn report_revoked(&self, plat: &mut Platform) {
+        plat.machine.trace.emit(Event::Denial { reason: DenialReason::GrantRevokedMidIo });
+        if plat.machine.inject.is_armed() {
+            plat.machine.trace.emit(Event::FaultOutcome {
+                kind: FaultKind::GrantRevokeMidIo,
+                outcome: InjectionOutcome::FailClosed(DenialReason::GrantRevokedMidIo),
+            });
+        }
     }
 
     /// Whether a device is attached.
@@ -126,6 +180,14 @@ impl BlockBackend {
     /// Access faults (e.g. if protection revoked the mapping).
     pub fn process(&mut self, plat: &mut Platform) -> Result<u64, XenError> {
         let ring = self.ring_frame.ok_or(XenError::BadBlockRequest)?;
+        // The ring page itself rides on a grant; if that grant is gone the
+        // back-end cannot even respond — fail the whole pass closed.
+        if let Some((ring_ref, _, _)) = self.grants {
+            if !self.grant_still_valid(plat, ring_ref, ring) {
+                self.report_revoked(plat);
+                return Err(XenError::FailClosed(DenialReason::GrantRevokedMidIo));
+            }
+        }
         let req_prod = plat.machine.host_read_u64(direct_map(ring.add(OFF_REQ_PROD)))?;
         let mut handled = 0;
         while self.req_cons < req_prod {
@@ -161,6 +223,16 @@ impl BlockBackend {
         let pages_needed = count.div_ceil(SECTORS_PER_PAGE);
         if buf_page + pages_needed > self.buf_frames.len() as u64 {
             return Ok(BlkStatus::Error);
+        }
+        // Re-validate the buffer grants this request will touch.
+        if let Some((_, buf_refs, _)) = self.grants.clone() {
+            for p in buf_page..buf_page + pages_needed {
+                let frame = self.buf_frames[p as usize];
+                if !self.grant_still_valid(plat, buf_refs[p as usize], frame) {
+                    self.report_revoked(plat);
+                    return Ok(BlkStatus::Error);
+                }
+            }
         }
         for s in 0..count {
             let disk_off = ((sector + s) * SECTOR_SIZE as u64) as usize;

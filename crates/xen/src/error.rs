@@ -4,6 +4,7 @@ use crate::domain::DomainId;
 use crate::guardian::GuardError;
 use fidelius_hw::{Fault, HwError};
 use fidelius_sev::SevError;
+use fidelius_telemetry::DenialReason;
 use std::error::Error;
 use std::fmt;
 
@@ -33,6 +34,10 @@ pub enum XenError {
     BadGpa(u64),
     /// Out of guest memory or heap frames.
     OutOfMemory,
+    /// The operation was refused fail-closed with a typed, audited reason
+    /// (graceful-degradation paths: starved event channels, revoked grants,
+    /// rolled-back migrations).
+    FailClosed(DenialReason),
 }
 
 impl fmt::Display for XenError {
@@ -49,6 +54,7 @@ impl fmt::Display for XenError {
             XenError::BadBlockRequest => write!(f, "bad block request"),
             XenError::BadGpa(g) => write!(f, "guest physical address {g:#x} out of range"),
             XenError::OutOfMemory => write!(f, "out of memory"),
+            XenError::FailClosed(reason) => write!(f, "failed closed: {reason}"),
         }
     }
 }

@@ -15,12 +15,13 @@ use crate::hypercall::*;
 use crate::layout::{direct_map, InstrSites};
 use crate::platform::{BootInfo, Platform, FIDELIUS_CODE_PA, XEN_CODE_PA};
 use crate::XenError;
+use fidelius_hw::inject::{FaultAction, InjectPoint};
 use fidelius_hw::mem::FrameAllocator;
 use fidelius_hw::paging::{table_index, Pte, PTE_C_BIT, PTE_PRESENT, PTE_WRITABLE};
 use fidelius_hw::regs::Gpr;
 use fidelius_hw::vmcb::{ExitCode, VmcbField, VmcbImage};
 use fidelius_hw::{Asid, Gpa, Hpa, PAGE_SIZE};
-use fidelius_telemetry::{Event, FlushScope, GrantAction};
+use fidelius_telemetry::{DenialReason, Event, FlushScope, GrantAction, InjectionOutcome};
 use std::collections::BTreeMap;
 
 /// What the run loop should do after an exit was handled.
@@ -555,10 +556,49 @@ impl Hypervisor {
     ) -> Result<u64, XenError> {
         plat.machine.cycles.charge(plat.machine.cost.hypercall_base);
         plat.machine.trace.emit(Event::Hypercall { dom: id.0, nr });
+        // Adversarial hook: while the hypervisor holds the CPU to service a
+        // request, it may misuse its NPT-management powers (Table 1).
+        if let Some(action) = plat.machine.inject_at(InjectPoint::Hypercall) {
+            self.apply_npt_adversary(plat, guardian, id, action)?;
+        }
         match nr {
             HC_VOID => Ok(RET_OK),
             HC_CONSOLE_IO => Ok(RET_OK),
             HC_EVTCHN_SEND => {
+                // Adversarial hook: notifications pass through hypervisor
+                // hands — it can swallow them, or use the delivery window
+                // to yank the grants the pending I/O depends on.
+                if let Some(action) = plat.machine.inject_at(InjectPoint::EventSend) {
+                    match action {
+                        FaultAction::DropEvent => {
+                            // The notification is silently discarded; the
+                            // sender observes the error return and retries
+                            // (the outcome event is emitted by whoever owns
+                            // the retry loop).
+                            return Ok(RET_ERROR);
+                        }
+                        FaultAction::RevokeGrants => {
+                            match self.revoke_all_grants(plat, guardian, id) {
+                                // Outcome is emitted by the back-end when
+                                // its re-validation trips over this.
+                                Ok(()) => {}
+                                Err(XenError::Guard(_)) => {
+                                    plat.machine.trace.emit(Event::FaultOutcome {
+                                        kind: fidelius_telemetry::FaultKind::GrantRevokeMidIo,
+                                        outcome: InjectionOutcome::Tolerated,
+                                    });
+                                }
+                                Err(e) => return Err(e),
+                            }
+                        }
+                        other => {
+                            plat.machine.trace.emit(Event::FaultOutcome {
+                                kind: other.kind(),
+                                outcome: InjectionOutcome::Tolerated,
+                            });
+                        }
+                    }
+                }
                 let port = args[0] as u32;
                 match self.events.send(id, port) {
                     Some(_peer) => Ok(RET_OK),
@@ -611,6 +651,115 @@ impl Hypervisor {
             },
             _ => Ok(RET_ENOSYS),
         }
+    }
+
+    /// Applies an injected NPT remap/swap against domain `id`'s populated
+    /// pages and reports the disposal: under a guardian that mediates NPT
+    /// writes the attempt fails closed with the policy's typed reason;
+    /// under an unprotected guardian it lands and a `Corrupted` outcome is
+    /// emitted so the corruption is never silent on the trace.
+    fn apply_npt_adversary(
+        &mut self,
+        plat: &mut Platform,
+        guardian: &mut dyn Guardian,
+        id: DomainId,
+        action: FaultAction,
+    ) -> Result<(), XenError> {
+        use fidelius_telemetry::FaultKind;
+        let (page_hint, swap) = match action {
+            FaultAction::RemapGpa { page_hint } => (page_hint, false),
+            FaultAction::SwapGpas { page_hint } => (page_hint, true),
+            other => {
+                // A schedule that fires anything else here has nothing to
+                // act on — trivially tolerated.
+                plat.machine.trace.emit(Event::FaultOutcome {
+                    kind: other.kind(),
+                    outcome: InjectionOutcome::Tolerated,
+                });
+                return Ok(());
+            }
+        };
+        let kind = if swap { FaultKind::NptSwap } else { FaultKind::NptRemap };
+        let dom = self.domain(id)?;
+        let populated: Vec<(u64, Hpa)> =
+            (0..dom.mem_pages()).filter_map(|p| dom.frame_of(p).map(|f| (p, f))).collect();
+        if populated.len() < 2 {
+            plat.machine
+                .trace
+                .emit(Event::FaultOutcome { kind, outcome: InjectionOutcome::Tolerated });
+            return Ok(());
+        }
+        let i = (page_hint as usize) % populated.len();
+        let j = (i + 1) % populated.len();
+        let (p1, f1) = populated[i];
+        let (p2, f2) = populated[j];
+        let root = dom.npt_root;
+        let asid = dom.asid.0;
+        let flags = PTE_PRESENT | PTE_WRITABLE | if dom.npt_c_default { PTE_C_BIT } else { 0 };
+        let res: Result<(), crate::guardian::GuardError> = (|| {
+            let e1 = self
+                .npt_leaf_entry(plat, guardian, id, root, p1)
+                .map_err(|_| crate::guardian::GuardError::Policy("npt walk refused"))?;
+            guardian.npt_write(plat, id, e1, Pte::new(f2, flags).0)?;
+            if swap {
+                let e2 = self
+                    .npt_leaf_entry(plat, guardian, id, root, p2)
+                    .map_err(|_| crate::guardian::GuardError::Policy("npt walk refused"))?;
+                guardian.npt_write(plat, id, e2, Pte::new(f1, flags).0)?;
+            }
+            Ok(())
+        })();
+        match res {
+            Ok(()) => {
+                // The remap landed. Flush stale translations so the damage
+                // is architecturally visible, and mark it on the trace.
+                plat.machine.tlb.flush_space(fidelius_hw::tlb::Space::Guest(asid));
+                plat.machine
+                    .trace
+                    .emit(Event::FaultOutcome { kind, outcome: InjectionOutcome::Corrupted });
+            }
+            Err(crate::guardian::GuardError::Policy(s)) => {
+                plat.machine.trace.emit(Event::FaultOutcome {
+                    kind,
+                    outcome: InjectionOutcome::FailClosed(DenialReason::Legacy(s)),
+                });
+            }
+            Err(_) => {
+                plat.machine.trace.emit(Event::FaultOutcome {
+                    kind,
+                    outcome: InjectionOutcome::FailClosed(DenialReason::Legacy(
+                        "npt write refused",
+                    )),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Invalidates every live grant owned by `id` — the adversarial
+    /// revocation-under-I/O scenario. The writes go through the guardian
+    /// like any legitimate grant-table update (revocation is within the
+    /// hypervisor's Table-1 management rights); the burden of surviving it
+    /// falls on the back-end's re-validation.
+    fn revoke_all_grants(
+        &mut self,
+        plat: &mut Platform,
+        guardian: &mut dyn Guardian,
+        id: DomainId,
+    ) -> Result<(), XenError> {
+        for i in 0..GRANT_TABLE_ENTRIES {
+            let e = read_entry_phys(&plat.machine.mc, self.grant_table_pa, i)?;
+            if e.valid && DomainId(e.owner) == id {
+                guardian.grant_write(plat, i, GrantEntry::default())?;
+                plat.machine.trace.emit(Event::Grant {
+                    action: GrantAction::End,
+                    granter: id.0,
+                    peer: e.grantee,
+                    frame: e.frame.pfn(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Fidelius-enc support: set the C-bit on all current and future NPT

@@ -20,11 +20,13 @@ use crate::platform::Platform;
 use crate::XenError;
 use fidelius_crypto::modes::SECTOR_SIZE;
 use fidelius_crypto::Key128;
+use fidelius_hw::inject::{FaultAction, InjectPoint};
 use fidelius_hw::mem::FrameAllocator;
 use fidelius_hw::paging::{Mapper, PTE_C_BIT, PTE_WRITABLE};
 use fidelius_hw::regs::Gpr;
-use fidelius_hw::vmcb::ExitCode;
+use fidelius_hw::vmcb::{ExitCode, VmcbField};
 use fidelius_hw::{Fault, Gpa, Hpa, PAGE_SIZE};
+use fidelius_telemetry::{DenialReason, Event, FaultKind, InjectionOutcome};
 use std::collections::HashMap;
 
 /// Configuration for creating a guest.
@@ -97,6 +99,36 @@ impl System {
     ///
     /// Guardian integrity rejections, faults.
     pub fn enter(&mut self, dom: DomainId) -> Result<(), XenError> {
+        self.enter_raw(dom)?;
+        // Adversarial hook: the hypervisor may bounce the freshly entered
+        // guest through a burst of spurious exits. Each round trip runs the
+        // full capture/verify machinery; the guest must come out identical.
+        if let Some(action) = self.plat.machine.inject_at(InjectPoint::GuestEntered) {
+            match action {
+                FaultAction::StormExits { count } => {
+                    for _ in 0..count {
+                        self.exit_and_handle(ExitCode::Intr, 0, 0)?;
+                        self.enter_raw(dom)?;
+                    }
+                    self.plat.machine.trace.emit(Event::FaultOutcome {
+                        kind: FaultKind::VmexitStorm,
+                        outcome: InjectionOutcome::Tolerated,
+                    });
+                }
+                other => {
+                    self.plat.machine.trace.emit(Event::FaultOutcome {
+                        kind: other.kind(),
+                        outcome: InjectionOutcome::Tolerated,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The world switch itself, without the injection hook (so storm round
+    /// trips do not re-query the schedule recursively).
+    fn enter_raw(&mut self, dom: DomainId) -> Result<(), XenError> {
         assert!(self.current_guest.is_none(), "already in guest mode");
         let d = self.xen.domains.get_mut(&dom).ok_or(XenError::NoSuchDomain(dom))?;
         self.guardian.enter_guest(&mut self.plat, d)?;
@@ -120,7 +152,113 @@ impl System {
         self.plat.machine.vmexit(code, info1, info2)?;
         let d = self.xen.domains.get_mut(&dom).ok_or(XenError::NoSuchDomain(dom))?;
         self.guardian.on_vmexit(&mut self.plat, d)?;
-        self.xen.handle_exit(&mut self.plat, &mut *self.guardian, dom)
+        let action = self.xen.handle_exit(&mut self.plat, &mut *self.guardian, dom)?;
+        // Adversarial hook: between exit handling and the next entry the
+        // hypervisor holds the CPU and may tamper with the (unencrypted)
+        // VMCB or go after the guest's sealed memory.
+        if action != ExitAction::Destroyed {
+            if let Some(fault) = self.plat.machine.inject_at(InjectPoint::PostExit) {
+                self.apply_post_exit_adversary(dom, fault)?;
+            }
+        }
+        Ok(action)
+    }
+
+    /// Applies a post-exit adversarial action against `dom`.
+    ///
+    /// VMCB tampering always lands (SEV leaves the VMCB hypervisor-
+    /// writable — the paper's §4.2.1 motivation); its outcome is decided at
+    /// the next entry, where a shadowing guardian detects the divergence.
+    /// Ciphertext replay/splice is attempted through the hypervisor's own
+    /// mappings and fails closed when the guest's frames are sealed.
+    fn apply_post_exit_adversary(
+        &mut self,
+        dom: DomainId,
+        fault: FaultAction,
+    ) -> Result<(), XenError> {
+        match fault {
+            FaultAction::TamperVmcbField { field_hint, xor } => {
+                // All five targets are fields the exit policies never make
+                // hypervisor-writable; a shadowing guardian must refuse the
+                // next entry.
+                const TARGETS: [VmcbField; 5] = [
+                    VmcbField::NCr3,
+                    VmcbField::Asid,
+                    VmcbField::Cr3,
+                    VmcbField::Efer,
+                    VmcbField::Rip,
+                ];
+                let field = TARGETS[(field_hint as usize) % TARGETS.len()];
+                let pa = self.xen.domain(dom)?.vmcb_pa.add(8 * field as u64);
+                let cur = self.plat.machine.host_read_u64(direct_map(pa))?;
+                self.plat.machine.host_write_u64(direct_map(pa), cur ^ (xor | 1))?;
+                // No outcome here: the verdict falls at the next entry
+                // (shadow verify under Fidelius emits it; under an
+                // unprotected guardian the tamper runs — which is exactly
+                // the vulnerability the unit tests demonstrate).
+            }
+            FaultAction::ReplayCiphertext { page_hint }
+            | FaultAction::SpliceCiphertext { page_hint } => {
+                let kind = fault.kind();
+                let splice = matches!(fault, FaultAction::SpliceCiphertext { .. });
+                let d = self.xen.domain(dom)?;
+                // Only private pages: shared ring/buffer pages are
+                // hypervisor-writable by design and prove nothing.
+                let shared_lo = gplayout::RING_PAGE;
+                let shared_hi = gplayout::BUF_PAGE + gplayout::BUF_PAGES;
+                let private: Vec<Hpa> = (0..d.mem_pages())
+                    .filter(|p| *p < shared_lo || *p >= shared_hi)
+                    .filter_map(|p| d.frame_of(p))
+                    .collect();
+                if private.is_empty() {
+                    self.plat
+                        .machine
+                        .trace
+                        .emit(Event::FaultOutcome { kind, outcome: InjectionOutcome::Tolerated });
+                    return Ok(());
+                }
+                let target = private[(page_hint as usize) % private.len()];
+                let source =
+                    if splice { private[(page_hint as usize + 1) % private.len()] } else { target };
+                // Physical capture of the source ciphertext (the attacker's
+                // recorder sees DRAM), then a *software* write through the
+                // hypervisor's direct map — the move SEV alone permits.
+                let mut ct = vec![0u8; 64];
+                self.plat.machine.mc.dram().read_raw(source, &mut ct)?;
+                match self.plat.machine.host_write(direct_map(target), &ct) {
+                    Ok(()) => {
+                        // The write landed. In-place replay of the current
+                        // ciphertext is an identity; a cross-frame splice
+                        // really corrupts.
+                        let outcome = if splice && source != target {
+                            InjectionOutcome::Corrupted
+                        } else {
+                            InjectionOutcome::Tolerated
+                        };
+                        self.plat.machine.trace.emit(Event::FaultOutcome { kind, outcome });
+                    }
+                    Err(_) => {
+                        // Sealed frames are unmapped from every hypervisor
+                        // view; the attempt faults and is audited.
+                        self.plat
+                            .machine
+                            .trace
+                            .emit(Event::Denial { reason: DenialReason::SealedFrameAccess });
+                        self.plat.machine.trace.emit(Event::FaultOutcome {
+                            kind,
+                            outcome: InjectionOutcome::FailClosed(DenialReason::SealedFrameAccess),
+                        });
+                    }
+                }
+            }
+            other => {
+                self.plat.machine.trace.emit(Event::FaultOutcome {
+                    kind: other.kind(),
+                    outcome: InjectionOutcome::Tolerated,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Ensures the CPU is in `dom`'s guest context.
@@ -165,7 +303,9 @@ impl System {
         regs.set(Gpr::Rdx, args[2]);
         regs.set(Gpr::R10, args[3]);
         let action = self.exit_and_handle(ExitCode::Vmmcall, 0, 0)?;
-        debug_assert_eq!(action, ExitAction::Resume);
+        if action != ExitAction::Resume {
+            return Err(XenError::BadDomainState(dom));
+        }
         self.enter(dom)?;
         Ok(self.plat.machine.cpu.regs.get(Gpr::Rax))
     }
@@ -384,7 +524,7 @@ impl System {
             .and_then(|s| s.parse().ok())
             .ok_or(XenError::BadBlockRequest)?;
         let ring_frame = self.backend_map_grant(ring_ref)?;
-        let mut buf_frames = Vec::new();
+        let mut bufs = Vec::new();
         for i in 0..gplayout::BUF_PAGES {
             let r: u64 = self
                 .xen
@@ -392,13 +532,56 @@ impl System {
                 .read(&format!("{prefix}/buf-ref/{i}"))
                 .and_then(|s| s.parse().ok())
                 .ok_or(XenError::BadBlockRequest)?;
-            buf_frames.push(self.backend_map_grant(r)?);
+            bufs.push((self.backend_map_grant(r)?, r));
         }
-        self.xen.backend.attach(disk, ring_frame, buf_frames);
+        let table = self.xen.grant_table_pa;
+        self.xen.backend.attach_with_grants(disk, (ring_frame, ring_ref), bufs, table);
 
         let port = self.xen.events.bind(dom, DomainId::DOM0);
         self.frontends.insert(dom, FrontEnd::new(io_path, kblk, port));
         Ok(())
+    }
+
+    /// Retries after this many failed sends before declaring the channel
+    /// starved (so `1 + EVENT_SEND_RETRIES` sends total).
+    pub const EVENT_SEND_RETRIES: u32 = 4;
+
+    /// Notifies the back-end over event channel `port`, with graceful
+    /// degradation: a hypervisor may drop (or pretend to fail) the send, so
+    /// the front-end retries with doubling backoff up to
+    /// [`System::EVENT_SEND_RETRIES`] times before failing closed with a
+    /// typed, audited denial.
+    ///
+    /// # Errors
+    ///
+    /// [`XenError::FailClosed`] with [`DenialReason::EventChannelStarved`]
+    /// once the retry budget is exhausted; world-switch failures.
+    fn notify_backend(&mut self, dom: DomainId, port: u32) -> Result<(), XenError> {
+        let mut backoff = self.plat.machine.cost.hypercall_base;
+        for attempt in 0..=Self::EVENT_SEND_RETRIES {
+            let ret = self.hypercall(dom, HC_EVTCHN_SEND, [port as u64, 0, 0, 0])?;
+            if ret == RET_OK {
+                if attempt > 0 && self.plat.machine.inject.is_armed() {
+                    self.plat.machine.trace.emit(Event::FaultOutcome {
+                        kind: FaultKind::EventChannelDrop,
+                        outcome: InjectionOutcome::ToleratedAfterRetry(attempt),
+                    });
+                }
+                return Ok(());
+            }
+            // Model the wait between attempts; doubling keeps the total
+            // bounded while giving a flaky channel room to recover.
+            self.plat.machine.cycles.charge(backoff);
+            backoff *= 2.0;
+        }
+        self.plat.machine.trace.emit(Event::Denial { reason: DenialReason::EventChannelStarved });
+        if self.plat.machine.inject.is_armed() {
+            self.plat.machine.trace.emit(Event::FaultOutcome {
+                kind: FaultKind::EventChannelDrop,
+                outcome: InjectionOutcome::FailClosed(DenialReason::EventChannelStarved),
+            });
+        }
+        Err(XenError::FailClosed(DenialReason::EventChannelStarved))
     }
 
     /// dom0's view of a granted frame (its `map_grant_ref`): validates the
@@ -426,7 +609,7 @@ impl System {
         let slot = fe.push_request(&mut self.plat.machine, BlkOp::Write, sector, count, 0)?;
         let port = fe.port;
         let uses_md = fe.uses_md();
-        self.hypercall(dom, HC_EVTCHN_SEND, [port as u64, 0, 0, 0])?;
+        self.notify_backend(dom, port)?;
         self.ensure_host()?;
         if uses_md {
             // Fidelius transforms Md (Kvek) → shared buffer (Ktek),
@@ -435,7 +618,7 @@ impl System {
         }
         self.xen.backend.process(&mut self.plat)?;
         self.ensure_guest(dom)?;
-        let fe = self.frontends.get_mut(&dom).expect("frontend exists");
+        let fe = self.frontends.get_mut(&dom).ok_or(XenError::BadBlockRequest)?;
         let status = fe.slot_status(&mut self.plat.machine, slot)?;
         if status != BlkStatus::Ok {
             return Err(XenError::BadBlockRequest);
@@ -459,14 +642,14 @@ impl System {
         let slot = fe.push_request(&mut self.plat.machine, BlkOp::Read, sector, count, 0)?;
         let port = fe.port;
         let uses_md = fe.uses_md();
-        self.hypercall(dom, HC_EVTCHN_SEND, [port as u64, 0, 0, 0])?;
+        self.notify_backend(dom, port)?;
         self.ensure_host()?;
         self.xen.backend.process(&mut self.plat)?;
         if uses_md {
             self.sev_io_transform(dom, IoDir::SharedToGuest, sector, count)?;
         }
         self.ensure_guest(dom)?;
-        let fe = self.frontends.get_mut(&dom).expect("frontend exists");
+        let fe = self.frontends.get_mut(&dom).ok_or(XenError::BadBlockRequest)?;
         let status = fe.slot_status(&mut self.plat.machine, slot)?;
         if status != BlkStatus::Ok {
             return Err(XenError::BadBlockRequest);
@@ -675,6 +858,67 @@ mod tests {
         assert_ne!(&ra, b"guest A secret!!");
         assert_ne!(&rb, b"guest B secret!!");
         assert_ne!(ra, rb);
+    }
+
+    #[test]
+    fn revoked_ring_grant_mid_io_fails_closed() {
+        use crate::grants::GrantEntry;
+        let mut sys = vanilla();
+        let dom = sys.create_guest(GuestConfig::default()).unwrap();
+        sys.setup_block_device(dom, vec![0u8; 16 * SECTOR_SIZE], IoPath::Plain, None).unwrap();
+        sys.disk_write(dom, 0, &vec![1u8; SECTOR_SIZE]).unwrap();
+        sys.ensure_host().unwrap();
+        // The ring grant vanishes under the back-end (revocation is within
+        // the hypervisor's Table-1 rights); re-validation must catch it.
+        let ring_ref: u64 = sys
+            .xen
+            .xenstore
+            .read(&format!("/local/domain/{}/device/vbd/ring-ref", dom.0))
+            .unwrap()
+            .parse()
+            .unwrap();
+        sys.guardian.grant_write(&mut sys.plat, ring_ref, GrantEntry::default()).unwrap();
+        let err = sys.disk_write(dom, 0, &vec![2u8; SECTOR_SIZE]);
+        assert!(
+            matches!(err, Err(XenError::FailClosed(DenialReason::GrantRevokedMidIo))),
+            "expected typed fail-closed, got {err:?}"
+        );
+        // Audit-trail shape: a typed denial event was emitted.
+        assert!(sys
+            .plat
+            .machine
+            .trace
+            .events()
+            .iter()
+            .any(|e| matches!(e.event, Event::Denial { reason: DenialReason::GrantRevokedMidIo })));
+    }
+
+    #[test]
+    fn revoked_buffer_grant_fails_request_closed() {
+        use crate::grants::GrantEntry;
+        let mut sys = vanilla();
+        let dom = sys.create_guest(GuestConfig::default()).unwrap();
+        sys.setup_block_device(dom, vec![0u8; 16 * SECTOR_SIZE], IoPath::Plain, None).unwrap();
+        sys.ensure_host().unwrap();
+        let buf_ref: u64 = sys
+            .xen
+            .xenstore
+            .read(&format!("/local/domain/{}/device/vbd/buf-ref/0", dom.0))
+            .unwrap()
+            .parse()
+            .unwrap();
+        sys.guardian.grant_write(&mut sys.plat, buf_ref, GrantEntry::default()).unwrap();
+        // The ring still works, so the request completes — with an error
+        // status instead of data movement, plus the audit trail.
+        let err = sys.disk_write(dom, 0, &vec![3u8; SECTOR_SIZE]);
+        assert!(matches!(err, Err(XenError::BadBlockRequest)), "got {err:?}");
+        assert!(sys
+            .plat
+            .machine
+            .trace
+            .events()
+            .iter()
+            .any(|e| matches!(e.event, Event::Denial { reason: DenialReason::GrantRevokedMidIo })));
     }
 
     #[test]

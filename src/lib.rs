@@ -14,7 +14,10 @@
 //! - [`attacks`] — the attack scenarios and XSA analysis;
 //! - [`workloads`] — the SPEC/PARSEC/fio evaluation harness;
 //! - [`telemetry`] — the zero-dependency event tracer, metrics registry
-//!   and cycle-attribution sinks threaded through every layer above.
+//!   and cycle-attribution sinks threaded through every layer above;
+//! - [`faultinject`] — the deterministic adversarial-hypervisor layer:
+//!   seeded fault schedules, graceful-degradation audits and the
+//!   `faultinject_matrix` sweep binary.
 //!
 //! # Quick start
 //!
@@ -40,6 +43,7 @@
 pub use fidelius_attacks as attacks;
 pub use fidelius_core as core;
 pub use fidelius_crypto as crypto;
+pub use fidelius_faultinject as faultinject;
 pub use fidelius_hw as hw;
 pub use fidelius_sev as sev;
 pub use fidelius_telemetry as telemetry;
