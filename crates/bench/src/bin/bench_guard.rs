@@ -1,0 +1,94 @@
+//! CI throughput regression guard.
+//!
+//! Compares a fresh `micro_memstream --json` run against the committed
+//! baseline and exits non-zero when any scenario's `mb_per_s` drops more
+//! than the allowed percentage — CI machines are noisy, so the default
+//! tolerance is wide (30%); the gate exists to catch order-of-magnitude
+//! regressions (an accidental `clone()` in the hot loop, a lost batch
+//! path), not single-digit drift.
+//!
+//! Usage:
+//!   bench_guard --baseline BENCH_memstream.json --current current.json \
+//!               [--max-drop-pct 30]
+
+use fidelius_telemetry::Json;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Extracts `bench -> mb_per_s` from a JSON-lines document, ignoring any
+/// non-throughput lines.
+fn throughputs(doc: &str) -> Result<BTreeMap<String, f64>, String> {
+    let lines = Json::parse_lines(doc).map_err(|e| e.to_string())?;
+    let mut out = BTreeMap::new();
+    for line in lines {
+        if let (Some(bench), Some(mbs)) =
+            (line.get("bench").and_then(Json::as_str), line.get("mb_per_s").and_then(Json::as_f64))
+        {
+            out.insert(bench.to_string(), mbs);
+        }
+    }
+    Ok(out)
+}
+
+fn run() -> Result<bool, String> {
+    let baseline_path = arg_value("--baseline").ok_or("missing --baseline <file>")?;
+    let current_path = arg_value("--current").ok_or("missing --current <file>")?;
+    let max_drop_pct = arg_value("--max-drop-pct")
+        .map(|v| v.parse::<f64>().map_err(|_| "bad --max-drop-pct"))
+        .transpose()?
+        .unwrap_or(30.0);
+
+    let baseline = throughputs(
+        &std::fs::read_to_string(&baseline_path).map_err(|e| format!("{baseline_path}: {e}"))?,
+    )?;
+    let current = throughputs(
+        &std::fs::read_to_string(&current_path).map_err(|e| format!("{current_path}: {e}"))?,
+    )?;
+    if baseline.is_empty() {
+        return Err(format!("{baseline_path}: no throughput lines found"));
+    }
+
+    let mut ok = true;
+    for (bench, &base_mbs) in &baseline {
+        match current.get(bench) {
+            None => {
+                println!("FAIL {bench}: missing from current run");
+                ok = false;
+            }
+            Some(&cur_mbs) => {
+                let floor = base_mbs * (1.0 - max_drop_pct / 100.0);
+                let verdict = if cur_mbs < floor { "FAIL" } else { "ok  " };
+                println!(
+                    "{verdict} {bench}: {cur_mbs:.2} MB/s vs baseline {base_mbs:.2} MB/s \
+                     (floor {floor:.2} at -{max_drop_pct}%)"
+                );
+                ok &= cur_mbs >= floor;
+            }
+        }
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            println!("throughput regression beyond the allowed drop — see FAIL lines above");
+            ExitCode::FAILURE
+        }
+        Err(msg) => {
+            eprintln!("bench_guard: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

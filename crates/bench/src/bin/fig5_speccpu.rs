@@ -2,7 +2,8 @@
 //! Fidelius-enc over original Xen.
 
 fn main() {
-    let costs = fidelius_workloads::measure_event_costs().expect("measure");
+    let (costs, snapshot) =
+        fidelius_workloads::runner::measure_event_costs_with_snapshot().expect("measure");
     fidelius_bench::note!("measured event costs: {costs:?}");
     let rows =
         fidelius_workloads::runner::figure_rows(&fidelius_workloads::spec_profiles(), &costs);
@@ -24,4 +25,6 @@ fn main() {
     let (avg_fid, avg_enc) = fidelius_workloads::runner::averages(&rows);
     fidelius_bench::note!("\n  average: Fidelius {avg_fid:.2}% (paper: 0.88%), Fidelius-enc {avg_enc:.2}% (paper: 5.38%)");
     fidelius_bench::note!("  paper outliers: mcf 17.3%, omnetpp 16.3%");
+    // Telemetry of the measurement machine (TLB/walk counters included).
+    fidelius_bench::emit_snapshot(&snapshot);
 }

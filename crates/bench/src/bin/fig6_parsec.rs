@@ -2,7 +2,8 @@
 //! over original Xen.
 
 fn main() {
-    let costs = fidelius_workloads::measure_event_costs().expect("measure");
+    let (costs, snapshot) =
+        fidelius_workloads::runner::measure_event_costs_with_snapshot().expect("measure");
     let rows =
         fidelius_workloads::runner::figure_rows(&fidelius_workloads::parsec_profiles(), &costs);
     let table: Vec<Vec<String>> = rows
@@ -25,4 +26,6 @@ fn main() {
     let (_, avg_rest) = fidelius_workloads::runner::averages(&rest);
     fidelius_bench::note!("\n  average: Fidelius {avg_fid:.2}% (paper: 0.43%), Fidelius-enc {avg_enc:.2}% (paper: 1.97%)");
     fidelius_bench::note!("  excluding canneal: Fidelius-enc {avg_rest:.2}% (paper: 0.95%)");
+    // Telemetry of the measurement machine (TLB/walk counters included).
+    fidelius_bench::emit_snapshot(&snapshot);
 }

@@ -1,0 +1,97 @@
+//! Host wall-clock throughput of the simulated memory/crypto path.
+//!
+//! Unlike the paper-figure binaries, this measures *our own simulator's*
+//! speed, not the modeled system: MB/s of host time for each layer the
+//! encrypted-memory traffic crosses. The committed `BENCH_memstream.json`
+//! baseline plus the `bench_guard` binary turn these numbers into a CI
+//! regression gate.
+//!
+//! Scenarios:
+//! - `memctrl_guest_stream` — full controller path: an aligned buffer
+//!   written then read back through [`EncSel::Guest`] (tweaked AES +
+//!   DRAM + telemetry accounting per access).
+//! - `memctrl_unaligned`    — same, but offset by 5 bytes so every pass
+//!   pays the partial-block read-modify-write at both ends.
+//! - `pa_tweak_stream`      — the engine cipher alone, streaming
+//!   consecutive blocks with an incrementally derived tweak.
+//! - `ctr128`               — transport CTR mode (SEND/RECEIVE payloads).
+//! - `sector_cipher`        — the `Kblk` disk path, sector by sector.
+//! - `soft_aes_ctr`         — the deliberately software-shaped AES the
+//!   paper charges >20x for (table-assisted but not T-table).
+//!
+//! Flags: `--json` (JSON lines), `--iters N` (timed iterations per
+//! scenario, default 9), `--mb N` (buffer megabytes, default 4).
+
+use fidelius_bench::{emit_throughput, measure_throughput, note};
+use fidelius_crypto::aes_soft::SoftAes128;
+use fidelius_crypto::modes::{Ctr128, PaTweakCipher, SectorCipher, SECTOR_SIZE};
+use fidelius_hw::mem::Dram;
+use fidelius_hw::memctrl::{EncSel, MemoryController};
+use fidelius_hw::{Asid, Hpa, PAGE_SIZE};
+
+fn main() {
+    let iters = fidelius_bench::arg_u64("--iters", 9) as u32;
+    let mb = fidelius_bench::arg_u64("--mb", 4).max(1);
+    let len = (mb * 1024 * 1024) as usize;
+    note!("== Simulator memory-path throughput (host wall-clock, {mb} MiB buffer) ==");
+
+    let mut buf = vec![0xA5u8; len];
+
+    // Full memory-controller path, aligned: write + read through Kvek.
+    {
+        let dram_pages = (len as u64 / PAGE_SIZE + 2).next_power_of_two();
+        let mut mc = MemoryController::new(Dram::new(dram_pages * PAGE_SIZE));
+        mc.install_guest_key(Asid(1), &[0x5C; 16]);
+        let sel = EncSel::Guest(Asid(1));
+        let t = measure_throughput("memctrl_guest_stream", 2 * len as u64, iters, || {
+            mc.write(Hpa(0), &buf, sel).expect("write");
+            mc.read(Hpa(0), &mut buf, sel).expect("read");
+        });
+        emit_throughput(&t);
+
+        // Unaligned: every iteration pays head+tail RMW around the stream.
+        let t = measure_throughput("memctrl_unaligned", 2 * (len as u64 - 32), iters, || {
+            mc.write(Hpa(5), &buf[..len - 32], sel).expect("write");
+            mc.read(Hpa(5), &mut buf[..len - 32], sel).expect("read");
+        });
+        emit_throughput(&t);
+    }
+
+    // Engine cipher alone, streaming tweak.
+    {
+        let engine = PaTweakCipher::new(&[0x31; 16]);
+        let t = measure_throughput("pa_tweak_stream", len as u64, iters, || {
+            engine.encrypt_blocks(0x4000, &mut buf);
+        });
+        emit_throughput(&t);
+    }
+
+    // Transport CTR.
+    {
+        let ctr = Ctr128::new(&[7; 16], 0xFEED);
+        let t = measure_throughput("ctr128", len as u64, iters, || {
+            ctr.apply(0, &mut buf);
+        });
+        emit_throughput(&t);
+    }
+
+    // Disk sectors under Kblk.
+    {
+        let sc = SectorCipher::new(&[0x11; 16]);
+        let t = measure_throughput("sector_cipher", len as u64, iters, || {
+            for (i, sector) in buf.chunks_exact_mut(SECTOR_SIZE).enumerate() {
+                sc.encrypt_sector(i as u64, sector);
+            }
+        });
+        emit_throughput(&t);
+    }
+
+    // The software AES the paper's >20x slowdown models.
+    {
+        let soft = SoftAes128::new(&[7; 16]);
+        let t = measure_throughput("soft_aes_ctr", len as u64, iters, || {
+            soft.ctr_apply(0x1234, &mut buf);
+        });
+        emit_throughput(&t);
+    }
+}

@@ -103,6 +103,58 @@ pub fn pct(v: f64) -> String {
     format!("{v:.2}%")
 }
 
+/// One wall-clock throughput measurement (host time, *not* modeled
+/// cycles — see DESIGN.md's "modeled cycles vs host wall-clock" note).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Throughput {
+    /// Scenario name (stable key for the regression guard).
+    pub bench: String,
+    /// Bytes processed per iteration.
+    pub bytes: u64,
+    /// Median wall time of one iteration, nanoseconds.
+    pub wall_ns: u64,
+    /// Throughput derived from the median: `bytes / wall_ns`, in MB/s
+    /// (decimal megabytes, 10^6 bytes).
+    pub mb_per_s: f64,
+}
+
+/// Measures `f` (which processes `bytes` bytes per call): one warm-up
+/// call, then `iters` timed iterations, reporting the *median* so a
+/// stray scheduler hiccup cannot skew the number either way.
+pub fn measure_throughput(bench: &str, bytes: u64, iters: u32, mut f: impl FnMut()) -> Throughput {
+    f(); // warm-up: page in buffers, build key schedules, fill caches
+    let mut samples: Vec<u64> = (0..iters.max(1))
+        .map(|_| {
+            let start = std::time::Instant::now();
+            f();
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    let wall_ns = samples[samples.len() / 2].max(1);
+    let mb_per_s = bytes as f64 / wall_ns as f64 * 1e9 / 1e6;
+    Throughput { bench: bench.to_string(), bytes, wall_ns, mb_per_s }
+}
+
+/// Emits a throughput measurement: a `{"bench": ..., "wall_ns": ...,
+/// "mb_per_s": ...}` JSON line under `--json`, a text line otherwise.
+pub fn emit_throughput(t: &Throughput) {
+    if json_mode() {
+        let json = Json::obj(vec![
+            ("bench", Json::str(t.bench.as_str())),
+            ("bytes", Json::Num(t.bytes as f64)),
+            ("wall_ns", Json::Num(t.wall_ns as f64)),
+            ("mb_per_s", Json::Num((t.mb_per_s * 100.0).round() / 100.0)),
+        ]);
+        println!("{json}");
+    } else {
+        println!(
+            "  {:<24} {:>10.2} MB/s  (median {} ns / {} bytes per iteration)",
+            t.bench, t.mb_per_s, t.wall_ns, t.bytes
+        );
+    }
+}
+
 /// Times `f` over `iters` iterations (after one warm-up call) and returns
 /// nanoseconds per iteration. The plain replacement for the external
 /// benchmark harness in `benches/`.

@@ -84,3 +84,43 @@ fn table2_json_round_trips() {
         assert_eq!(cells[3].as_str(), Some("denied"));
     }
 }
+
+#[test]
+fn micro_memstream_json_round_trips() {
+    let lines = run_json(env!("CARGO_BIN_EXE_micro_memstream"), &["--iters", "3", "--mb", "1"]);
+    let benches: Vec<&str> =
+        lines.iter().filter_map(|j| j.get("bench").and_then(Json::as_str)).collect();
+    assert_eq!(
+        benches,
+        [
+            "memctrl_guest_stream",
+            "memctrl_unaligned",
+            "pa_tweak_stream",
+            "ctr128",
+            "sector_cipher",
+            "soft_aes_ctr"
+        ],
+        "one throughput line per scenario, in order"
+    );
+    for line in &lines {
+        assert!(line.get("wall_ns").unwrap().as_f64().unwrap() > 0.0);
+        assert!(line.get("mb_per_s").unwrap().as_f64().unwrap() > 0.0);
+        assert!(line.get("bytes").unwrap().as_u64().unwrap() >= 1024 * 1024);
+    }
+}
+
+#[test]
+fn fig5_telemetry_includes_tlb_counters() {
+    let lines = run_json(env!("CARGO_BIN_EXE_fig5_speccpu"), &[]);
+    let snap = lines.iter().find_map(|j| j.get("telemetry")).expect("telemetry line");
+    let metrics = snap.get("metrics").unwrap();
+    // The measurement machine ran real guests, so the TLB saw traffic and
+    // every miss walked a table; the default capacity never evicts here.
+    assert!(metrics.get("tlb_hits").unwrap().as_u64().unwrap() > 0);
+    assert!(metrics.get("tlb_misses").unwrap().as_u64().unwrap() > 0);
+    assert!(
+        metrics.get("pt_walks").unwrap().as_u64().unwrap()
+            >= metrics.get("tlb_misses").unwrap().as_u64().unwrap()
+    );
+    assert_eq!(metrics.get("tlb_evictions").unwrap().as_u64(), Some(0));
+}

@@ -1,15 +1,26 @@
 //! Table-based AES (the simulation's "AES-NI" fast path).
 //!
-//! This is a straightforward, constant-table implementation of FIPS-197
-//! supporting 128-, 192- and 256-bit keys. In the Fidelius model it stands
-//! in for hardware AES:
+//! This is a constant-table implementation of FIPS-197 supporting 128-,
+//! 192- and 256-bit keys. In the Fidelius model it stands in for hardware
+//! AES:
 //!
 //! - the guest front-end driver uses it for `Kblk` disk encryption
 //!   ("AES-NI based I/O protection", paper §4.3.5);
 //! - the simulated memory-encryption engine
 //!   (`fidelius-hw::memctrl`) uses it for the per-ASID `Kvek` / SME key.
 //!
-//! The deliberately slow sibling lives in [`crate::aes_soft`].
+//! Because every simulated DRAM access funnels through this cipher, it is
+//! the hottest host-wall-clock code in the whole repository. The round
+//! function therefore uses the classic four-table ("T-table") formulation:
+//! SubBytes, ShiftRows and MixColumns collapse into four 256-entry `u32`
+//! lookups per column, all precomputed at compile time by `const fn`s from
+//! the same GF(2⁸) math the byte-wise form would evaluate per access.
+//! Decryption uses the equivalent inverse cipher with an
+//! InvMixColumns-transformed key schedule. The modeled *cycle* cost of
+//! encryption is charged by `fidelius-hw::cycles` and is unaffected by any
+//! of this — these tables only buy host throughput.
+//!
+//! The deliberately naive sibling lives in [`crate::aes_soft`].
 
 /// The AES S-box, computed at compile time from the GF(2⁸) inverse plus the
 /// FIPS-197 affine transform.
@@ -17,6 +28,15 @@ pub const SBOX: [u8; 256] = build_sbox();
 
 /// The inverse AES S-box.
 pub const INV_SBOX: [u8; 256] = build_inv_sbox();
+
+/// Encryption T-tables: `TE[j][x]` is the 32-bit column contribution of
+/// input byte `x` arriving via ShiftRows lane `j`, with SubBytes and
+/// MixColumns folded in (row 0 in the most-significant byte).
+const TE: [[u32; 256]; 4] = build_te();
+
+/// Decryption T-tables for the equivalent inverse cipher (InvSubBytes and
+/// InvMixColumns folded in).
+const TD: [[u32; 256]; 4] = build_td();
 
 const fn build_sbox() -> [u8; 256] {
     // Walk the multiplicative group of GF(2^8) with generator 3: p runs
@@ -55,13 +75,52 @@ const fn build_inv_sbox() -> [u8; 256] {
     inv
 }
 
+const fn build_te() -> [[u32; 256]; 4] {
+    let mut te = [[0u32; 256]; 4];
+    let mut i = 0usize;
+    while i < 256 {
+        let s = SBOX[i];
+        let s2 = xtime(s);
+        let s3 = s2 ^ s;
+        // MixColumns column for a byte entering in row 0: [2s, s, s, 3s].
+        let t0 = ((s2 as u32) << 24) | ((s as u32) << 16) | ((s as u32) << 8) | (s3 as u32);
+        te[0][i] = t0;
+        te[1][i] = t0.rotate_right(8);
+        te[2][i] = t0.rotate_right(16);
+        te[3][i] = t0.rotate_right(24);
+        i += 1;
+    }
+    te
+}
+
+const fn build_td() -> [[u32; 256]; 4] {
+    let mut td = [[0u32; 256]; 4];
+    let mut i = 0usize;
+    while i < 256 {
+        let s = INV_SBOX[i];
+        // InvMixColumns column for a byte entering in row 0:
+        // [14s, 9s, 13s, 11s].
+        let t0 = ((gmul(s, 14) as u32) << 24)
+            | ((gmul(s, 9) as u32) << 16)
+            | ((gmul(s, 13) as u32) << 8)
+            | (gmul(s, 11) as u32);
+        td[0][i] = t0;
+        td[1][i] = t0.rotate_right(8);
+        td[2][i] = t0.rotate_right(16);
+        td[3][i] = t0.rotate_right(24);
+        i += 1;
+    }
+    td
+}
+
 /// Multiply by 2 in GF(2⁸) with the AES reduction polynomial.
 #[inline]
 const fn xtime(b: u8) -> u8 {
     (b << 1) ^ (if b & 0x80 != 0 { 0x1B } else { 0 })
 }
 
-/// General GF(2⁸) multiplication (used by the inverse MixColumns).
+/// General GF(2⁸) multiplication (used to build the decryption tables and
+/// the transformed key schedule).
 #[inline]
 const fn gmul(mut a: u8, mut b: u8) -> u8 {
     let mut acc = 0u8;
@@ -79,6 +138,29 @@ const fn gmul(mut a: u8, mut b: u8) -> u8 {
 
 const RCON: [u8; 11] = [0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36];
 
+/// One 16-byte round key as four big-endian column words.
+#[inline]
+fn rk_words(rk: &[u8; 16]) -> [u32; 4] {
+    [
+        u32::from_be_bytes([rk[0], rk[1], rk[2], rk[3]]),
+        u32::from_be_bytes([rk[4], rk[5], rk[6], rk[7]]),
+        u32::from_be_bytes([rk[8], rk[9], rk[10], rk[11]]),
+        u32::from_be_bytes([rk[12], rk[13], rk[14], rk[15]]),
+    ]
+}
+
+/// InvMixColumns over a 16-byte round key, for the equivalent inverse
+/// cipher's transformed schedule.
+fn inv_mix_columns_bytes(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
+        state[4 * c + 1] = gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
+        state[4 * c + 2] = gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
+        state[4 * c + 3] = gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
+    }
+}
+
 /// An expanded AES key schedule for any of the three standard key sizes.
 ///
 /// Prefer the typed wrappers [`Aes128`] and [`Aes256`] in new code; the raw
@@ -86,7 +168,11 @@ const RCON: [u8; 11] = [0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x
 /// select a key size at runtime.
 #[derive(Clone)]
 pub struct KeySchedule {
-    round_keys: Vec<[u8; 16]>,
+    /// Encryption round keys as column words.
+    enc: Vec<[u32; 4]>,
+    /// Equivalent-inverse-cipher round keys (InvMixColumns applied to the
+    /// inner rounds), indexed like `enc`.
+    dec: Vec<[u32; 4]>,
     rounds: usize,
 }
 
@@ -132,15 +218,20 @@ impl KeySchedule {
                 w[i][j] = w[i - nk][j] ^ temp[j];
             }
         }
-        let mut round_keys = Vec::with_capacity(rounds + 1);
+        let mut enc = Vec::with_capacity(rounds + 1);
+        let mut dec = Vec::with_capacity(rounds + 1);
         for r in 0..=rounds {
             let mut rk = [0u8; 16];
             for c in 0..4 {
                 rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
             }
-            round_keys.push(rk);
+            enc.push(rk_words(&rk));
+            if r > 0 && r < rounds {
+                inv_mix_columns_bytes(&mut rk);
+            }
+            dec.push(rk_words(&rk));
         }
-        Ok(KeySchedule { round_keys, rounds })
+        Ok(KeySchedule { enc, dec, rounds })
     }
 
     /// Number of AES rounds for this key size (10, 12 or 14).
@@ -150,97 +241,135 @@ impl KeySchedule {
 
     /// Encrypts one 16-byte block in place.
     pub fn encrypt_block(&self, block: &mut [u8; 16]) {
-        add_round_key(block, &self.round_keys[0]);
+        let k0 = &self.enc[0];
+        let mut w = [
+            u32::from_be_bytes([block[0], block[1], block[2], block[3]]) ^ k0[0],
+            u32::from_be_bytes([block[4], block[5], block[6], block[7]]) ^ k0[1],
+            u32::from_be_bytes([block[8], block[9], block[10], block[11]]) ^ k0[2],
+            u32::from_be_bytes([block[12], block[13], block[14], block[15]]) ^ k0[3],
+        ];
         for r in 1..self.rounds {
-            sub_bytes(block);
-            shift_rows(block);
-            mix_columns(block);
-            add_round_key(block, &self.round_keys[r]);
+            let k = &self.enc[r];
+            w = [
+                TE[0][(w[0] >> 24) as usize]
+                    ^ TE[1][(w[1] >> 16) as usize & 0xFF]
+                    ^ TE[2][(w[2] >> 8) as usize & 0xFF]
+                    ^ TE[3][w[3] as usize & 0xFF]
+                    ^ k[0],
+                TE[0][(w[1] >> 24) as usize]
+                    ^ TE[1][(w[2] >> 16) as usize & 0xFF]
+                    ^ TE[2][(w[3] >> 8) as usize & 0xFF]
+                    ^ TE[3][w[0] as usize & 0xFF]
+                    ^ k[1],
+                TE[0][(w[2] >> 24) as usize]
+                    ^ TE[1][(w[3] >> 16) as usize & 0xFF]
+                    ^ TE[2][(w[0] >> 8) as usize & 0xFF]
+                    ^ TE[3][w[1] as usize & 0xFF]
+                    ^ k[2],
+                TE[0][(w[3] >> 24) as usize]
+                    ^ TE[1][(w[0] >> 16) as usize & 0xFF]
+                    ^ TE[2][(w[1] >> 8) as usize & 0xFF]
+                    ^ TE[3][w[2] as usize & 0xFF]
+                    ^ k[3],
+            ];
         }
-        sub_bytes(block);
-        shift_rows(block);
-        add_round_key(block, &self.round_keys[self.rounds]);
+        // Final round: SubBytes + ShiftRows, no MixColumns.
+        let k = &self.enc[self.rounds];
+        for c in 0..4 {
+            let out = ((SBOX[(w[c] >> 24) as usize] as u32) << 24)
+                | ((SBOX[(w[(c + 1) % 4] >> 16) as usize & 0xFF] as u32) << 16)
+                | ((SBOX[(w[(c + 2) % 4] >> 8) as usize & 0xFF] as u32) << 8)
+                | (SBOX[w[(c + 3) % 4] as usize & 0xFF] as u32);
+            block[4 * c..4 * c + 4].copy_from_slice(&(out ^ k[c]).to_be_bytes());
+        }
     }
 
     /// Decrypts one 16-byte block in place.
     pub fn decrypt_block(&self, block: &mut [u8; 16]) {
-        add_round_key(block, &self.round_keys[self.rounds]);
-        inv_shift_rows(block);
-        inv_sub_bytes(block);
+        let kn = &self.dec[self.rounds];
+        let mut w = [
+            u32::from_be_bytes([block[0], block[1], block[2], block[3]]) ^ kn[0],
+            u32::from_be_bytes([block[4], block[5], block[6], block[7]]) ^ kn[1],
+            u32::from_be_bytes([block[8], block[9], block[10], block[11]]) ^ kn[2],
+            u32::from_be_bytes([block[12], block[13], block[14], block[15]]) ^ kn[3],
+        ];
         for r in (1..self.rounds).rev() {
-            add_round_key(block, &self.round_keys[r]);
-            inv_mix_columns(block);
-            inv_shift_rows(block);
-            inv_sub_bytes(block);
+            let k = &self.dec[r];
+            w = [
+                TD[0][(w[0] >> 24) as usize]
+                    ^ TD[1][(w[3] >> 16) as usize & 0xFF]
+                    ^ TD[2][(w[2] >> 8) as usize & 0xFF]
+                    ^ TD[3][w[1] as usize & 0xFF]
+                    ^ k[0],
+                TD[0][(w[1] >> 24) as usize]
+                    ^ TD[1][(w[0] >> 16) as usize & 0xFF]
+                    ^ TD[2][(w[3] >> 8) as usize & 0xFF]
+                    ^ TD[3][w[2] as usize & 0xFF]
+                    ^ k[1],
+                TD[0][(w[2] >> 24) as usize]
+                    ^ TD[1][(w[1] >> 16) as usize & 0xFF]
+                    ^ TD[2][(w[0] >> 8) as usize & 0xFF]
+                    ^ TD[3][w[3] as usize & 0xFF]
+                    ^ k[2],
+                TD[0][(w[3] >> 24) as usize]
+                    ^ TD[1][(w[2] >> 16) as usize & 0xFF]
+                    ^ TD[2][(w[1] >> 8) as usize & 0xFF]
+                    ^ TD[3][w[0] as usize & 0xFF]
+                    ^ k[3],
+            ];
         }
-        add_round_key(block, &self.round_keys[0]);
-    }
-}
-
-// The state is kept in the FIPS-197 byte order: block[4*c + r] is row r,
-// column c.
-
-#[inline]
-fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
-    for i in 0..16 {
-        state[i] ^= rk[i];
-    }
-}
-
-#[inline]
-fn sub_bytes(state: &mut [u8; 16]) {
-    for b in state.iter_mut() {
-        *b = SBOX[*b as usize];
-    }
-}
-
-#[inline]
-fn inv_sub_bytes(state: &mut [u8; 16]) {
-    for b in state.iter_mut() {
-        *b = INV_SBOX[*b as usize];
-    }
-}
-
-#[inline]
-fn shift_rows(state: &mut [u8; 16]) {
-    // Row r rotates left by r.
-    let s = *state;
-    for r in 1..4 {
+        // Final round: InvShiftRows + InvSubBytes, key 0 untransformed.
+        let k = &self.dec[0];
         for c in 0..4 {
-            state[4 * c + r] = s[4 * ((c + r) % 4) + r];
+            let out = ((INV_SBOX[(w[c] >> 24) as usize] as u32) << 24)
+                | ((INV_SBOX[(w[(c + 3) % 4] >> 16) as usize & 0xFF] as u32) << 16)
+                | ((INV_SBOX[(w[(c + 2) % 4] >> 8) as usize & 0xFF] as u32) << 8)
+                | (INV_SBOX[w[(c + 1) % 4] as usize & 0xFF] as u32);
+            block[4 * c..4 * c + 4].copy_from_slice(&(out ^ k[c]).to_be_bytes());
         }
     }
-}
 
-#[inline]
-fn inv_shift_rows(state: &mut [u8; 16]) {
-    let s = *state;
-    for r in 1..4 {
-        for c in 0..4 {
-            state[4 * ((c + r) % 4) + r] = s[4 * c + r];
+    /// Encrypts a run of consecutive 16-byte blocks in place (ECB over the
+    /// slice) — the batched entry point the streaming memory-controller and
+    /// mode implementations use to avoid per-block dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks.len()` is not a multiple of 16.
+    pub fn encrypt_blocks(&self, blocks: &mut [u8]) {
+        assert_eq!(blocks.len() % 16, 0, "encrypt_blocks needs whole 16-byte blocks");
+        for chunk in blocks.chunks_exact_mut(16) {
+            let block: &mut [u8; 16] = chunk.try_into().expect("chunk is 16 bytes");
+            self.encrypt_block(block);
         }
     }
-}
 
-#[inline]
-fn mix_columns(state: &mut [u8; 16]) {
-    for c in 0..4 {
-        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
-        state[4 * c] = xtime(col[0]) ^ xtime(col[1]) ^ col[1] ^ col[2] ^ col[3];
-        state[4 * c + 1] = col[0] ^ xtime(col[1]) ^ xtime(col[2]) ^ col[2] ^ col[3];
-        state[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ xtime(col[3]) ^ col[3];
-        state[4 * c + 3] = xtime(col[0]) ^ col[0] ^ col[1] ^ col[2] ^ xtime(col[3]);
+    /// Decrypts a run of consecutive 16-byte blocks in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks.len()` is not a multiple of 16.
+    pub fn decrypt_blocks(&self, blocks: &mut [u8]) {
+        assert_eq!(blocks.len() % 16, 0, "decrypt_blocks needs whole 16-byte blocks");
+        for chunk in blocks.chunks_exact_mut(16) {
+            let block: &mut [u8; 16] = chunk.try_into().expect("chunk is 16 bytes");
+            self.decrypt_block(block);
+        }
     }
-}
 
-#[inline]
-fn inv_mix_columns(state: &mut [u8; 16]) {
-    for c in 0..4 {
-        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
-        state[4 * c] = gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
-        state[4 * c + 1] = gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
-        state[4 * c + 2] = gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
-        state[4 * c + 3] = gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
+    /// XORs `data` with the keystream obtained by encrypting
+    /// `counter_block(i)` for each 16-byte chunk `i` (the final chunk may be
+    /// short). This is the shared engine behind [`crate::modes::Ctr128`] and
+    /// [`crate::modes::SectorCipher`]: one closure call and one block
+    /// encryption per chunk, no per-chunk cipher construction.
+    pub fn xor_keystream(&self, mut counter_block: impl FnMut(u64) -> [u8; 16], data: &mut [u8]) {
+        for (i, chunk) in data.chunks_mut(16).enumerate() {
+            let mut ks = counter_block(i as u64);
+            self.encrypt_block(&mut ks);
+            for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+                *d ^= *k;
+            }
+        }
     }
 }
 
@@ -273,6 +402,24 @@ macro_rules! aes_variant {
             /// Decrypts one 16-byte block in place.
             pub fn decrypt_block(&self, block: &mut [u8; 16]) {
                 self.schedule.decrypt_block(block);
+            }
+
+            /// Encrypts consecutive 16-byte blocks in place (batched).
+            ///
+            /// # Panics
+            ///
+            /// Panics if the length is not a multiple of 16.
+            pub fn encrypt_blocks(&self, blocks: &mut [u8]) {
+                self.schedule.encrypt_blocks(blocks);
+            }
+
+            /// Decrypts consecutive 16-byte blocks in place (batched).
+            ///
+            /// # Panics
+            ///
+            /// Panics if the length is not a multiple of 16.
+            pub fn decrypt_blocks(&self, blocks: &mut [u8]) {
+                self.schedule.decrypt_blocks(blocks);
             }
 
             /// Borrows the underlying schedule (for mode implementations).
@@ -317,6 +464,26 @@ mod tests {
         }
     }
 
+    #[test]
+    fn t_tables_match_their_definition() {
+        for x in 0..256usize {
+            let s = SBOX[x];
+            let expect = ((gmul(s, 2) as u32) << 24)
+                | ((s as u32) << 16)
+                | ((s as u32) << 8)
+                | (gmul(s, 3) as u32);
+            assert_eq!(TE[0][x], expect, "TE0 mismatch at {x:#x}");
+            assert_eq!(TE[1][x], expect.rotate_right(8));
+            let si = INV_SBOX[x];
+            let expect_d = ((gmul(si, 14) as u32) << 24)
+                | ((gmul(si, 9) as u32) << 16)
+                | ((gmul(si, 13) as u32) << 8)
+                | (gmul(si, 11) as u32);
+            assert_eq!(TD[0][x], expect_d, "TD0 mismatch at {x:#x}");
+            assert_eq!(TD[3][x], expect_d.rotate_right(24));
+        }
+    }
+
     // FIPS-197 Appendix C known-answer tests.
     #[test]
     fn fips197_aes128() {
@@ -337,6 +504,8 @@ mod tests {
         let cipher = Aes192::new(&key);
         cipher.encrypt_block(&mut block);
         assert_eq!(block.to_vec(), hex("dda97ca4864cdfe06eaf70a0ec0d7191"));
+        cipher.decrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("00112233445566778899aabbccddeeff"));
     }
 
     #[test]
@@ -379,5 +548,73 @@ mod tests {
             cipher.decrypt_block(&mut block);
             assert_eq!(block, original);
         }
+    }
+
+    #[test]
+    fn roundtrips_all_key_sizes() {
+        for seed in 0u8..8 {
+            let plain = [seed.wrapping_mul(0x1D); 16];
+            let mut b = plain;
+            let c192 = Aes192::new(&[seed.wrapping_add(5); 24]);
+            c192.encrypt_block(&mut b);
+            c192.decrypt_block(&mut b);
+            assert_eq!(b, plain);
+            let c256 = Aes256::new(&[seed.wrapping_add(9); 32]);
+            c256.encrypt_block(&mut b);
+            c256.decrypt_block(&mut b);
+            assert_eq!(b, plain);
+        }
+    }
+
+    #[test]
+    fn encrypt_blocks_matches_per_block_calls() {
+        let cipher = Aes128::new(&[0x5Au8; 16]);
+        let mut batch = vec![0u8; 16 * 9];
+        for (i, b) in batch.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(31);
+        }
+        let mut single = batch.clone();
+        cipher.encrypt_blocks(&mut batch);
+        for chunk in single.chunks_exact_mut(16) {
+            let block: &mut [u8; 16] = chunk.try_into().unwrap();
+            cipher.encrypt_block(block);
+        }
+        assert_eq!(batch, single);
+        cipher.decrypt_blocks(&mut batch);
+        for (i, b) in batch.iter().enumerate() {
+            assert_eq!(*b, (i as u8).wrapping_mul(31));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "whole 16-byte blocks")]
+    fn encrypt_blocks_rejects_partial_block() {
+        Aes128::new(&[0u8; 16]).encrypt_blocks(&mut [0u8; 17]);
+    }
+
+    #[test]
+    fn xor_keystream_is_an_involution_and_matches_manual_ctr() {
+        let cipher = Aes128::new(&[0x77u8; 16]);
+        let mut data = vec![0xC4u8; 100]; // deliberately not block-aligned
+        let original = data.clone();
+        let block_fn = |i: u64| {
+            let mut b = [0u8; 16];
+            b[8..].copy_from_slice(&i.to_be_bytes());
+            b
+        };
+        cipher.schedule().xor_keystream(block_fn, &mut data);
+        assert_ne!(data, original);
+        // Manual per-block CTR must agree.
+        let mut manual = original.clone();
+        for (i, chunk) in manual.chunks_mut(16).enumerate() {
+            let mut ks = block_fn(i as u64);
+            cipher.encrypt_block(&mut ks);
+            for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+                *d ^= *k;
+            }
+        }
+        assert_eq!(data, manual);
+        cipher.schedule().xor_keystream(block_fn, &mut data);
+        assert_eq!(data, original);
     }
 }

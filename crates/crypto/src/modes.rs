@@ -12,6 +12,11 @@
 //!   ciphertext *moved* between addresses decrypts to garbage — but
 //!   ciphertext *replayed in place* decrypts fine, which is exactly the
 //!   replay weakness the paper's §2.2 describes and Fidelius closes.
+//!
+//! All three modes route bulk traffic through
+//! [`crate::aes::KeySchedule::xor_keystream`] or the batched
+//! `encrypt_blocks`/`decrypt_blocks` entry points so large buffers pay one
+//! dispatch per 16-byte block into the T-table core and nothing else.
 
 use crate::aes::Aes128;
 
@@ -32,17 +37,16 @@ impl Ctr128 {
     /// Encrypts or decrypts `data` starting at block offset `block_offset`.
     /// CTR is an involution, so the same call performs both directions.
     pub fn apply(&self, block_offset: u64, data: &mut [u8]) {
-        let mut counter = block_offset;
-        for chunk in data.chunks_mut(16) {
-            let mut ks = [0u8; 16];
-            ks[..8].copy_from_slice(&self.nonce.to_be_bytes());
-            ks[8..].copy_from_slice(&counter.to_be_bytes());
-            self.cipher.encrypt_block(&mut ks);
-            for (d, k) in chunk.iter_mut().zip(ks.iter()) {
-                *d ^= *k;
-            }
-            counter = counter.wrapping_add(1);
-        }
+        let nonce = self.nonce.to_be_bytes();
+        self.cipher.schedule().xor_keystream(
+            |i| {
+                let mut ks = [0u8; 16];
+                ks[..8].copy_from_slice(&nonce);
+                ks[8..].copy_from_slice(&block_offset.wrapping_add(i).to_be_bytes());
+                ks
+            },
+            data,
+        );
     }
 }
 
@@ -85,15 +89,16 @@ impl SectorCipher {
 
     fn apply(&self, sector_no: u64, sector: &mut [u8]) {
         assert_eq!(sector.len(), SECTOR_SIZE, "sector must be {SECTOR_SIZE} bytes");
-        for (i, chunk) in sector.chunks_mut(16).enumerate() {
-            let mut ks = [0u8; 16];
-            ks[..8].copy_from_slice(&sector_no.to_be_bytes());
-            ks[8..].copy_from_slice(&(i as u64).to_be_bytes());
-            self.cipher.encrypt_block(&mut ks);
-            for (d, k) in chunk.iter_mut().zip(ks.iter()) {
-                *d ^= *k;
-            }
-        }
+        let sector_be = sector_no.to_be_bytes();
+        self.cipher.schedule().xor_keystream(
+            |i| {
+                let mut ks = [0u8; 16];
+                ks[..8].copy_from_slice(&sector_be);
+                ks[8..].copy_from_slice(&i.to_be_bytes());
+                ks
+            },
+            sector,
+        );
     }
 }
 
@@ -110,37 +115,77 @@ impl PaTweakCipher {
         PaTweakCipher { cipher: Aes128::new(key) }
     }
 
-    fn tweak(pa: u64) -> [u8; 16] {
-        // A simple public diffusion of the physical block address; the real
-        // engine uses an undocumented tweak function with the same contract.
-        let mut t = [0u8; 16];
+    /// The two 64-bit halves of the tweak for physical address `pa`.
+    ///
+    /// A simple public diffusion of the physical block address; the real
+    /// engine uses an undocumented tweak function with the same contract.
+    #[inline]
+    fn tweak_halves(pa: u64) -> (u64, u64) {
         let x = pa ^ pa.rotate_left(23) ^ 0x9E37_79B9_7F4A_7C15;
-        t[..8].copy_from_slice(&x.to_le_bytes());
-        t[8..].copy_from_slice(&(!x).rotate_left(17).to_le_bytes());
-        t
+        (x, (!x).rotate_left(17))
+    }
+
+    #[inline]
+    fn xor_tweak(pa: u64, block: &mut [u8; 16]) {
+        let (lo, hi) = Self::tweak_halves(pa);
+        let a = u64::from_le_bytes(block[..8].try_into().expect("8 bytes")) ^ lo;
+        let b = u64::from_le_bytes(block[8..].try_into().expect("8 bytes")) ^ hi;
+        block[..8].copy_from_slice(&a.to_le_bytes());
+        block[8..].copy_from_slice(&b.to_le_bytes());
     }
 
     /// Encrypts one 16-byte block located at physical address `pa`.
     pub fn encrypt_block(&self, pa: u64, block: &mut [u8; 16]) {
-        let t = Self::tweak(pa);
-        for (b, t) in block.iter_mut().zip(t.iter()) {
-            *b ^= *t;
-        }
+        Self::xor_tweak(pa, block);
         self.cipher.encrypt_block(block);
-        for (b, t) in block.iter_mut().zip(t.iter()) {
-            *b ^= *t;
-        }
+        Self::xor_tweak(pa, block);
     }
 
     /// Decrypts one 16-byte block located at physical address `pa`.
     pub fn decrypt_block(&self, pa: u64, block: &mut [u8; 16]) {
-        let t = Self::tweak(pa);
-        for (b, t) in block.iter_mut().zip(t.iter()) {
-            *b ^= *t;
-        }
+        Self::xor_tweak(pa, block);
         self.cipher.decrypt_block(block);
-        for (b, t) in block.iter_mut().zip(t.iter()) {
-            *b ^= *t;
+        Self::xor_tweak(pa, block);
+    }
+
+    /// Encrypts consecutive 16-byte blocks in place, the block at offset
+    /// `16 * i` being located at physical address `base_pa + 16 * i`. The
+    /// tweak advances with the running address instead of being re-derived
+    /// through a fresh call per block — this is the memory controller's
+    /// streaming write path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of 16.
+    pub fn encrypt_blocks(&self, base_pa: u64, data: &mut [u8]) {
+        assert_eq!(data.len() % 16, 0, "streaming tweak path needs whole blocks");
+        let schedule = self.cipher.schedule();
+        let mut pa = base_pa;
+        for chunk in data.chunks_exact_mut(16) {
+            let block: &mut [u8; 16] = chunk.try_into().expect("chunk is 16 bytes");
+            Self::xor_tweak(pa, block);
+            schedule.encrypt_block(block);
+            Self::xor_tweak(pa, block);
+            pa = pa.wrapping_add(16);
+        }
+    }
+
+    /// Decrypts consecutive 16-byte blocks in place; see
+    /// [`PaTweakCipher::encrypt_blocks`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of 16.
+    pub fn decrypt_blocks(&self, base_pa: u64, data: &mut [u8]) {
+        assert_eq!(data.len() % 16, 0, "streaming tweak path needs whole blocks");
+        let schedule = self.cipher.schedule();
+        let mut pa = base_pa;
+        for chunk in data.chunks_exact_mut(16) {
+            let block: &mut [u8; 16] = chunk.try_into().expect("chunk is 16 bytes");
+            Self::xor_tweak(pa, block);
+            schedule.decrypt_block(block);
+            Self::xor_tweak(pa, block);
+            pa = pa.wrapping_add(16);
         }
     }
 }
@@ -168,6 +213,33 @@ mod tests {
         ctr.apply(2, &mut tail);
         assert_eq!(&whole[..32], head.as_slice());
         assert_eq!(&whole[32..], tail.as_slice());
+    }
+
+    /// The batched keystream path must produce byte-identical output to the
+    /// seed implementation's per-block loop (same counter-block layout).
+    #[test]
+    fn ctr_matches_manual_per_block_loop() {
+        let key = [3u8; 16];
+        let nonce = 77u64;
+        let ctr = Ctr128::new(&key, nonce);
+        let mut data: Vec<u8> = (0..=254u8).collect(); // 255 bytes, partial tail
+        let original = data.clone();
+        ctr.apply(5, &mut data);
+
+        let cipher = crate::aes::Aes128::new(&key);
+        let mut manual = original.clone();
+        let mut counter = 5u64;
+        for chunk in manual.chunks_mut(16) {
+            let mut ks = [0u8; 16];
+            ks[..8].copy_from_slice(&nonce.to_be_bytes());
+            ks[8..].copy_from_slice(&counter.to_be_bytes());
+            cipher.encrypt_block(&mut ks);
+            for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+                *d ^= *k;
+            }
+            counter = counter.wrapping_add(1);
+        }
+        assert_eq!(data, manual);
     }
 
     #[test]
@@ -218,6 +290,25 @@ mod tests {
         let mut replayed = at_a;
         c.decrypt_block(0xA000, &mut replayed);
         assert_eq!(replayed, plain);
+    }
+
+    /// The streaming block path must equal per-block encryption at the same
+    /// addresses — this is what keeps DRAM ciphertext byte-identical when
+    /// the memory controller switches to it.
+    #[test]
+    fn pa_tweak_stream_matches_per_block() {
+        let c = PaTweakCipher::new(&[0x31u8; 16]);
+        let mut data: Vec<u8> = (0..160u8).map(|b| b.wrapping_mul(7)).collect();
+        let original = data.clone();
+        c.encrypt_blocks(0x2340, &mut data);
+        let mut manual = original.clone();
+        for (i, chunk) in manual.chunks_exact_mut(16).enumerate() {
+            let block: &mut [u8; 16] = chunk.try_into().unwrap();
+            c.encrypt_block(0x2340 + 16 * i as u64, block);
+        }
+        assert_eq!(data, manual);
+        c.decrypt_blocks(0x2340, &mut data);
+        assert_eq!(data, original);
     }
 
     #[test]

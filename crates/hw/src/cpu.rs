@@ -217,8 +217,8 @@ impl Machine {
     /// lookup counters folded in, plus the per-category cycle breakdown.
     pub fn telemetry_snapshot(&self) -> Snapshot {
         let mut metrics = self.trace.metrics();
-        let (hits, misses) = self.tlb.stats();
-        metrics.set_tlb(hits, misses);
+        let c = self.tlb.counters();
+        metrics.set_tlb_counters(c.hits, c.misses, c.evictions, c.walks);
         Snapshot { metrics, cycles: self.cycles.breakdown() }
     }
 
@@ -236,6 +236,7 @@ impl Machine {
         self.cycles.charge(self.cost.mem_access);
         if !hit {
             self.cycles.charge_as(CycleCategory::Paging, self.cost.gpt_walk);
+            self.tlb.record_walks(1);
         }
         let t = self.walk_host(va, access)?;
         if !hit {
@@ -558,6 +559,7 @@ impl Machine {
             self.cycles.charge(self.cost.mem_access);
             if !hit {
                 self.cycles.charge_as(CycleCategory::Paging, self.cost.npt_walk);
+                self.tlb.record_walks(1);
             }
             let (hpa, npt_c) = self.npt_translate_full(cur, AccessKind::Read)?;
             if !hit {
@@ -600,6 +602,7 @@ impl Machine {
             self.cycles.charge(self.cost.mem_access);
             if !hit {
                 self.cycles.charge_as(CycleCategory::Paging, self.cost.npt_walk);
+                self.tlb.record_walks(1);
             }
             let (hpa, npt_c) = self.npt_translate_full(cur, AccessKind::Write)?;
             if !hit {
@@ -688,6 +691,8 @@ impl Machine {
         self.cycles.charge(self.cost.mem_access);
         if !hit {
             self.cycles.charge_as(CycleCategory::Paging, self.cost.gpt_walk + self.cost.npt_walk);
+            // A guest-virtual miss walks both the guest table and the NPT.
+            self.tlb.record_walks(2);
         }
 
         // Stage-1 walk; every table access is itself a GPA that must pass

@@ -6,8 +6,16 @@
 //! interact with it faithfully — a type-3 gate pays a per-entry `invlpg`
 //! (128 cycles) and a CR3 switch pays a full flush, which is precisely the
 //! cost trade-off the paper's §4.1.3 discusses.
+//!
+//! Flushes are generation-tagged rather than eager: every entry is stamped
+//! with the global generation and its space's generation at insert time,
+//! and is valid only while both still match. [`Tlb::flush_all`] and
+//! [`Tlb::flush_space`] therefore bump a counter in O(1) — no scan over
+//! the entry map, no matter how many translations are cached — and stale
+//! entries are reaped lazily when a lookup trips over them or when the
+//! bounded-capacity FIFO eviction recycles their slot.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Identifies an address space in the TLB: the host, or a guest ASID.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -18,37 +26,137 @@ pub enum Space {
     Guest(u16),
 }
 
-/// The TLB: cached translations per (space, virtual page).
-#[derive(Debug, Default)]
+/// Default entry capacity. Sized like a generously large second-level TLB
+/// so the simulated workloads' working sets never evict — eviction only
+/// engages for adversarial or synthetic pressure (and in tests).
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// Lifetime counters the TLB exports to telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbCounters {
+    /// Lookups that found a valid entry.
+    pub hits: u64,
+    /// Lookups that found nothing (or a flushed-out stale entry).
+    pub misses: u64,
+    /// Valid entries displaced by capacity pressure (not by flushes).
+    pub evictions: u64,
+    /// Page-table walks performed on misses (a guest-virtual miss walks
+    /// both the guest table and the NPT, so this can exceed `misses`).
+    pub walks: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    pfn: u64,
+    global_gen: u64,
+    space_gen: u64,
+    /// Monotonic insertion stamp; pairs map entries with their FIFO slot
+    /// so a re-inserted key's abandoned slot is recognised as debris.
+    stamp: u64,
+}
+
+/// The TLB: cached translations per (space, virtual page), with O(1)
+/// generation flushes and bounded-capacity FIFO eviction.
+#[derive(Debug)]
 pub struct Tlb {
-    entries: HashMap<(Space, u64), u64>,
-    hits: u64,
-    misses: u64,
+    entries: HashMap<(Space, u64), Entry>,
+    fifo: VecDeque<((Space, u64), u64)>,
+    space_gens: HashMap<Space, u64>,
+    global_gen: u64,
+    next_stamp: u64,
+    capacity: usize,
+    counters: TlbCounters,
+}
+
+impl Default for Tlb {
+    fn default() -> Self {
+        Tlb::new()
+    }
 }
 
 impl Tlb {
-    /// An empty TLB.
+    /// An empty TLB with [`DEFAULT_CAPACITY`] entries.
     pub fn new() -> Self {
-        Tlb::default()
+        Tlb::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// An empty TLB holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB capacity must be non-zero");
+        Tlb {
+            entries: HashMap::new(),
+            fifo: VecDeque::new(),
+            space_gens: HashMap::new(),
+            global_gen: 0,
+            next_stamp: 0,
+            capacity,
+            counters: TlbCounters::default(),
+        }
+    }
+
+    fn space_gen(&self, space: Space) -> u64 {
+        self.space_gens.get(&space).copied().unwrap_or(0)
+    }
+
+    fn is_valid(&self, space: Space, entry: &Entry) -> bool {
+        entry.global_gen == self.global_gen && entry.space_gen == self.space_gen(space)
     }
 
     /// Looks up a virtual page; returns the cached physical page.
     pub fn lookup(&mut self, space: Space, vpn: u64) -> Option<u64> {
         match self.entries.get(&(space, vpn)) {
-            Some(&pfn) => {
-                self.hits += 1;
-                Some(pfn)
+            Some(entry) if self.is_valid(space, entry) => {
+                self.counters.hits += 1;
+                Some(entry.pfn)
+            }
+            Some(_) => {
+                // Flushed-out generation: reap lazily, count as a miss.
+                self.entries.remove(&(space, vpn));
+                self.counters.misses += 1;
+                None
             }
             None => {
-                self.misses += 1;
+                self.counters.misses += 1;
                 None
             }
         }
     }
 
-    /// Inserts a translation after a walk.
+    /// Inserts a translation after a walk, evicting the oldest entry when
+    /// over capacity.
     pub fn insert(&mut self, space: Space, vpn: u64, pfn: u64) {
-        self.entries.insert((space, vpn), pfn);
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        let entry =
+            Entry { pfn, global_gen: self.global_gen, space_gen: self.space_gen(space), stamp };
+        self.entries.insert((space, vpn), entry);
+        self.fifo.push_back(((space, vpn), stamp));
+        while self.entries.len() > self.capacity {
+            self.evict_oldest();
+        }
+    }
+
+    /// Removes the oldest still-mapped entry. FIFO slots whose stamp no
+    /// longer matches the map (the key was re-inserted or flushed by
+    /// `invlpg`) are debris and skipped.
+    fn evict_oldest(&mut self) {
+        while let Some((key, stamp)) = self.fifo.pop_front() {
+            match self.entries.get(&key) {
+                Some(entry) if entry.stamp == stamp => {
+                    let was_valid = self.is_valid(key.0, entry);
+                    self.entries.remove(&key);
+                    if was_valid {
+                        self.counters.evictions += 1;
+                    }
+                    return;
+                }
+                _ => continue,
+            }
+        }
     }
 
     /// `invlpg` — drops one entry.
@@ -56,29 +164,45 @@ impl Tlb {
         self.entries.remove(&(space, vpn));
     }
 
-    /// Drops every entry of one space (ASID-selective flush).
+    /// Invalidates every entry of one space (ASID-selective flush) by
+    /// bumping the space's generation — O(1).
     pub fn flush_space(&mut self, space: Space) {
-        self.entries.retain(|(s, _), _| *s != space);
+        *self.space_gens.entry(space).or_insert(0) += 1;
     }
 
-    /// Full flush (CR3 write without PCID).
+    /// Full flush (CR3 write without PCID) — an O(1) generation bump.
     pub fn flush_all(&mut self) {
-        self.entries.clear();
+        self.global_gen += 1;
+    }
+
+    /// Records `n` page-table walks (charged by the CPU on misses).
+    pub fn record_walks(&mut self, n: u64) {
+        self.counters.walks += n;
     }
 
     /// (hits, misses) so far.
     pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+        (self.counters.hits, self.counters.misses)
     }
 
-    /// Number of live entries.
+    /// All lifetime counters (hits, misses, evictions, walks).
+    pub fn counters(&self) -> TlbCounters {
+        self.counters
+    }
+
+    /// Maximum number of cached entries before eviction engages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of live (valid-generation) entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.iter().filter(|((space, _), e)| self.is_valid(*space, e)).count()
     }
 
-    /// Whether the TLB is empty.
+    /// Whether the TLB caches no valid translation.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 }
 
@@ -117,5 +241,163 @@ mod tests {
         assert_eq!(tlb.lookup(Space::Host, 2), Some(20));
         tlb.flush_all();
         assert!(tlb.is_empty());
+    }
+
+    #[test]
+    fn insert_after_flush_is_visible() {
+        // A generation bump must not blind the TLB to entries inserted
+        // *afterwards* in the same space.
+        let mut tlb = Tlb::new();
+        tlb.insert(Space::Host, 1, 10);
+        tlb.flush_all();
+        tlb.insert(Space::Host, 2, 20);
+        assert_eq!(tlb.lookup(Space::Host, 1), None);
+        assert_eq!(tlb.lookup(Space::Host, 2), Some(20));
+        tlb.flush_space(Space::Host);
+        tlb.insert(Space::Host, 3, 30);
+        assert_eq!(tlb.lookup(Space::Host, 2), None);
+        assert_eq!(tlb.lookup(Space::Host, 3), Some(30));
+        assert_eq!(tlb.len(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let mut tlb = Tlb::with_capacity(2);
+        tlb.insert(Space::Host, 1, 10);
+        tlb.insert(Space::Host, 2, 20);
+        tlb.insert(Space::Host, 3, 30);
+        assert_eq!(tlb.lookup(Space::Host, 1), None, "oldest entry evicted");
+        assert_eq!(tlb.lookup(Space::Host, 2), Some(20));
+        assert_eq!(tlb.lookup(Space::Host, 3), Some(30));
+        assert_eq!(tlb.counters().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_refreshes_fifo_position() {
+        let mut tlb = Tlb::with_capacity(2);
+        tlb.insert(Space::Host, 1, 10);
+        tlb.insert(Space::Host, 2, 20);
+        // Re-inserting key 1 moves it to the back of the FIFO...
+        tlb.insert(Space::Host, 1, 11);
+        // ...so the next eviction takes key 2, not key 1.
+        tlb.insert(Space::Host, 3, 30);
+        assert_eq!(tlb.lookup(Space::Host, 1), Some(11));
+        assert_eq!(tlb.lookup(Space::Host, 2), None);
+        assert_eq!(tlb.lookup(Space::Host, 3), Some(30));
+    }
+
+    #[test]
+    fn flushed_entries_do_not_count_as_evictions() {
+        let mut tlb = Tlb::with_capacity(2);
+        tlb.insert(Space::Host, 1, 10);
+        tlb.insert(Space::Host, 2, 20);
+        tlb.flush_all();
+        // Capacity pressure now recycles stale slots silently.
+        tlb.insert(Space::Host, 3, 30);
+        tlb.insert(Space::Host, 4, 40);
+        tlb.insert(Space::Host, 5, 50);
+        let c = tlb.counters();
+        assert_eq!(c.evictions, 1, "only the valid entry 3 was evicted");
+        assert_eq!(tlb.lookup(Space::Host, 4), Some(40));
+        assert_eq!(tlb.lookup(Space::Host, 5), Some(50));
+    }
+
+    #[test]
+    fn walk_counter_accumulates() {
+        let mut tlb = Tlb::new();
+        tlb.record_walks(1);
+        tlb.record_walks(2);
+        assert_eq!(tlb.counters().walks, 3);
+    }
+
+    // ---- equivalence with the seed's retain-based flush semantics ----
+
+    /// The seed implementation, verbatim, as an oracle.
+    #[derive(Default)]
+    struct RetainTlb {
+        entries: HashMap<(Space, u64), u64>,
+        hits: u64,
+        misses: u64,
+    }
+
+    impl RetainTlb {
+        fn lookup(&mut self, space: Space, vpn: u64) -> Option<u64> {
+            match self.entries.get(&(space, vpn)) {
+                Some(&pfn) => {
+                    self.hits += 1;
+                    Some(pfn)
+                }
+                None => {
+                    self.misses += 1;
+                    None
+                }
+            }
+        }
+        fn insert(&mut self, space: Space, vpn: u64, pfn: u64) {
+            self.entries.insert((space, vpn), pfn);
+        }
+        fn flush_page(&mut self, space: Space, vpn: u64) {
+            self.entries.remove(&(space, vpn));
+        }
+        fn flush_space(&mut self, space: Space) {
+            self.entries.retain(|(s, _), _| *s != space);
+        }
+        fn flush_all(&mut self) {
+            self.entries.clear();
+        }
+    }
+
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *state >> 11
+    }
+
+    /// Under random op sequences (within capacity, where the seed had no
+    /// eviction either) the generation-tagged TLB must return the same
+    /// lookup results, the same hit/miss stats, and the same live-entry
+    /// count as the retain-based seed.
+    #[test]
+    fn generation_flush_matches_retain_semantics() {
+        let spaces = [Space::Host, Space::Guest(1), Space::Guest(2)];
+        for seed in 1..=8u64 {
+            let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut fast = Tlb::new();
+            let mut oracle = RetainTlb::default();
+            for step in 0..2000 {
+                let space = spaces[(lcg(&mut rng) % 3) as usize];
+                let vpn = lcg(&mut rng) % 64;
+                match lcg(&mut rng) % 10 {
+                    0..=3 => {
+                        let got = fast.lookup(space, vpn);
+                        let want = oracle.lookup(space, vpn);
+                        assert_eq!(got, want, "seed {seed} step {step}: lookup diverged");
+                    }
+                    4..=7 => {
+                        let pfn = lcg(&mut rng);
+                        fast.insert(space, vpn, pfn);
+                        oracle.insert(space, vpn, pfn);
+                    }
+                    8 => {
+                        if lcg(&mut rng) % 4 == 0 {
+                            fast.flush_all();
+                            oracle.flush_all();
+                        } else {
+                            fast.flush_space(space);
+                            oracle.flush_space(space);
+                        }
+                    }
+                    _ => {
+                        fast.flush_page(space, vpn);
+                        oracle.flush_page(space, vpn);
+                    }
+                }
+                assert_eq!(
+                    fast.len(),
+                    oracle.entries.len(),
+                    "seed {seed} step {step}: live-entry count diverged"
+                );
+            }
+            assert_eq!(fast.stats(), (oracle.hits, oracle.misses), "seed {seed}: stats diverged");
+        }
     }
 }

@@ -122,6 +122,12 @@ pub struct Metrics {
     pub tlb_hits: u64,
     /// TLB lookup misses (folded in at snapshot time).
     pub tlb_misses: u64,
+    /// TLB entries displaced by capacity pressure (folded in at snapshot
+    /// time; flushes are counted separately under `tlb_flushes`).
+    pub tlb_evictions: u64,
+    /// Page-table walks performed on TLB misses (folded in at snapshot
+    /// time; a guest-virtual miss walks both the GPT and the NPT).
+    pub pt_walks: u64,
     /// Bytes moved through the crypto engine, by key label and direction.
     pub crypto_bytes: BTreeMap<(String, CryptoDir), u64>,
     /// Distribution of per-run coalesced crypto sizes, by direction.
@@ -205,6 +211,15 @@ impl Metrics {
         self.tlb_misses = misses;
     }
 
+    /// Folds the full hardware TLB counter set in, including eviction and
+    /// page-table-walk counts (call before reading/reporting).
+    pub fn set_tlb_counters(&mut self, hits: u64, misses: u64, evictions: u64, walks: u64) {
+        self.tlb_hits = hits;
+        self.tlb_misses = misses;
+        self.tlb_evictions = evictions;
+        self.pt_walks = walks;
+    }
+
     /// Total gate round trips across all types.
     pub fn gates_total(&self) -> u64 {
         self.gates_by_type.iter().sum()
@@ -268,6 +283,8 @@ impl Metrics {
             ("tlb_flushes", map_str(&self.tlb_flushes)),
             ("tlb_hits", Json::Num(self.tlb_hits as f64)),
             ("tlb_misses", Json::Num(self.tlb_misses as f64)),
+            ("tlb_evictions", Json::Num(self.tlb_evictions as f64)),
+            ("pt_walks", Json::Num(self.pt_walks as f64)),
             (
                 "crypto_bytes",
                 Json::Obj(

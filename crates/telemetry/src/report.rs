@@ -59,8 +59,8 @@ impl Snapshot {
         );
         let _ = writeln!(
             out,
-            "tlb: {} hits, {} misses, flushes {:?}",
-            m.tlb_hits, m.tlb_misses, m.tlb_flushes
+            "tlb: {} hits, {} misses, {} evictions, {} walks, flushes {:?}",
+            m.tlb_hits, m.tlb_misses, m.tlb_evictions, m.pt_walks, m.tlb_flushes
         );
         if !m.denials_by_kind.is_empty() {
             let _ = writeln!(out, "policy denials:");

@@ -57,6 +57,19 @@ fn void_hypercall_cycles(sys: &mut System, dom: fidelius_xen::DomainId) -> Resul
 ///
 /// Propagates setup failures.
 pub fn measure_event_costs() -> Result<EventCosts, XenError> {
+    measure_event_costs_with_snapshot().map(|(costs, _)| costs)
+}
+
+/// Like [`measure_event_costs`], additionally returning the Fidelius
+/// system's telemetry snapshot after measurement — so figure reports can
+/// show the TLB hit/miss/eviction and page-table-walk counters of the
+/// machine the costs were measured on.
+///
+/// # Errors
+///
+/// Propagates setup failures.
+pub fn measure_event_costs_with_snapshot(
+) -> Result<(EventCosts, fidelius_telemetry::Snapshot), XenError> {
     // Vanilla baseline.
     let mut xen = System::new(MEASURE_DRAM, 0xBE7C, Box::new(Unprotected::new()))?;
     let dom_x = xen.create_guest(GuestConfig { mem_pages: 192, sev: false, kernel: vec![0x90] })?;
@@ -87,12 +100,13 @@ pub fn measure_event_costs() -> Result<EventCosts, XenError> {
     };
 
     let engine_line = fid.plat.machine.cost.engine_line_extra;
-    Ok(EventCosts {
+    let costs = EventCosts {
         exit_extra: (protected - base).max(0.0),
         npt_update: npt_update.max(0.0),
         engine_line,
         hypercall_base: base,
-    })
+    };
+    Ok((costs, fid.plat.machine.telemetry_snapshot()))
 }
 
 /// One bar of Figure 5/6.
