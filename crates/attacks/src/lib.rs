@@ -26,4 +26,4 @@ pub mod scenarios;
 pub mod xsa;
 
 pub use defense::{Defense, SevEsSim, VictimSetup};
-pub use scenarios::{all_attacks, run_matrix, Attack, AttackOutcome, AttackReport};
+pub use scenarios::{all_attacks, run_matrix, run_matrix_par, Attack, AttackOutcome, AttackReport};

@@ -657,13 +657,19 @@ pub fn all_attacks() -> Vec<Attack> {
 
 /// Runs every attack against every defense; the §6 comparison matrix.
 pub fn run_matrix() -> Vec<AttackReport> {
-    let mut out = Vec::new();
-    for attack in all_attacks() {
-        for defense in Defense::ALL {
-            out.push((attack.run)(defense));
-        }
-    }
-    out
+    run_matrix_par(1)
+}
+
+/// Runs every attack against every defense across up to `threads` worker
+/// threads. Each `(attack, defense)` cell builds its own fresh victim, so
+/// cells are shared-nothing; results come back in the sequential order
+/// ([`all_attacks`] outer, [`Defense::ALL`] inner) at any thread count.
+pub fn run_matrix_par(threads: usize) -> Vec<AttackReport> {
+    let cells: Vec<(Attack, Defense)> = all_attacks()
+        .into_iter()
+        .flat_map(|attack| Defense::ALL.into_iter().map(move |defense| (attack, defense)))
+        .collect();
+    fidelius_par::par_map_ordered(&cells, threads, |_, &(attack, defense)| (attack.run)(defense))
 }
 
 #[cfg(test)]
@@ -676,6 +682,20 @@ mod tests {
 
     use AttackOutcome::{Blocked, NotApplicable, Succeeded};
     use Defense::{Fidelius, VanillaXen, XenSev, XenSevEs};
+
+    #[test]
+    fn parallel_matrix_matches_sequential() {
+        let seq = run_matrix();
+        let par = run_matrix_par(4);
+        assert_eq!(seq.len(), par.len());
+        assert_eq!(seq.len(), all_attacks().len() * Defense::ALL.len());
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.attack, p.attack);
+            assert_eq!(s.defense, p.defense);
+            assert_eq!(s.outcome, p.outcome);
+            assert_eq!(s.detail, p.detail);
+        }
+    }
 
     #[test]
     fn fidelius_blocks_every_attack() {

@@ -1,27 +1,41 @@
 //! The §6 qualitative security matrix: every attack vs every defense.
+//!
+//! Cells run across `--threads` worker threads (default: host
+//! parallelism); each cell builds a fresh victim, and results are
+//! collected in input order, so the table is identical at any thread
+//! count. `--timing` appends an `attacks_wall` latency line for the
+//! regression guard.
 
-use fidelius_attacks::{all_attacks, Defense};
+use fidelius_attacks::{all_attacks, run_matrix_par, Defense};
 
 fn main() {
+    let threads = fidelius_bench::arg_threads();
+    let attacks = all_attacks();
     fidelius_bench::note!(
-        "running {} attacks x {} defenses (fresh victim each run)...",
-        all_attacks().len(),
+        "running {} attacks x {} defenses (fresh victim each run, {threads} threads)...",
+        attacks.len(),
         Defense::ALL.len()
     );
-    let mut rows = Vec::new();
-    for attack in all_attacks() {
-        let mut row = vec![attack.name.to_string()];
-        for d in Defense::ALL {
-            let rep = (attack.run)(d);
-            row.push(rep.outcome.label().to_string());
-        }
-        rows.push(row);
-    }
+    let start = std::time::Instant::now();
+    let reports = run_matrix_par(threads);
+    let wall_ns = start.elapsed().as_nanos() as u64;
+
+    let rows: Vec<Vec<String>> = reports
+        .chunks(Defense::ALL.len())
+        .map(|cells| {
+            let mut row = vec![cells[0].attack.to_string()];
+            row.extend(cells.iter().map(|r| r.outcome.label().to_string()));
+            row
+        })
+        .collect();
     fidelius_bench::emit_table(
         "Attack outcome matrix",
         &["attack", "Xen", "Xen+SEV", "Xen+SEV-ES", "Fidelius"],
         &rows,
     );
+    if fidelius_bench::timing_mode() {
+        fidelius_bench::emit_wall("attacks_wall", wall_ns);
+    }
     fidelius_bench::note!(
         "\n  Fidelius blocks every scenario; SEV alone leaves the §2.2 surfaces open."
     );

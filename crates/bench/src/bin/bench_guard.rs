@@ -1,15 +1,24 @@
-//! CI throughput regression guard.
+//! CI performance regression guard over a multi-bench baseline.
 //!
-//! Compares a fresh `micro_memstream --json` run against the committed
-//! baseline and exits non-zero when any scenario's `mb_per_s` drops more
-//! than the allowed percentage — CI machines are noisy, so the default
-//! tolerance is wide (30%); the gate exists to catch order-of-magnitude
-//! regressions (an accidental `clone()` in the hot loop, a lost batch
-//! path), not single-digit drift.
+//! Compares fresh `--json` runs against the committed baseline and exits
+//! non-zero on a regression. Two entry shapes share the baseline file:
+//!
+//! * **throughput** entries (`micro_memstream`): lines with `bench` and
+//!   `mb_per_s`; a drop of more than `--max-drop-pct` (default 30%)
+//!   below the baseline fails;
+//! * **latency** entries (sweep wall times from `--timing`:
+//!   `matrix_wall`, `fig5_wall`, `fig6_wall`, ...): lines with `bench`
+//!   and `wall_ns` but no `mb_per_s`; a rise of more than
+//!   `--max-rise-pct` (default 200%) above the baseline fails.
+//!
+//! CI machines are noisy, so both tolerances are wide: the gate exists to
+//! catch order-of-magnitude regressions (an accidental `clone()` in the
+//! hot loop, a lost batch path, a sweep gone sequential), not
+//! single-digit drift.
 //!
 //! Usage:
 //!   bench_guard --baseline BENCH_memstream.json --current current.json \
-//!               [--max-drop-pct 30]
+//!               [--max-drop-pct 30] [--max-rise-pct 200]
 
 use fidelius_telemetry::Json;
 use std::collections::BTreeMap;
@@ -25,16 +34,26 @@ fn arg_value(name: &str) -> Option<String> {
     None
 }
 
-/// Extracts `bench -> mb_per_s` from a JSON-lines document, ignoring any
-/// non-throughput lines.
-fn throughputs(doc: &str) -> Result<BTreeMap<String, f64>, String> {
+/// One baseline/current entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Entry {
+    /// MB/s — higher is better, guarded with a floor.
+    Throughput(f64),
+    /// Wall nanoseconds — lower is better, guarded with a ceiling.
+    Latency(f64),
+}
+
+/// Extracts `bench -> entry` from a JSON-lines document, ignoring any
+/// non-bench lines (tables, telemetry, per-case records).
+fn entries(doc: &str) -> Result<BTreeMap<String, Entry>, String> {
     let lines = Json::parse_lines(doc).map_err(|e| e.to_string())?;
     let mut out = BTreeMap::new();
     for line in lines {
-        if let (Some(bench), Some(mbs)) =
-            (line.get("bench").and_then(Json::as_str), line.get("mb_per_s").and_then(Json::as_f64))
-        {
-            out.insert(bench.to_string(), mbs);
+        let Some(bench) = line.get("bench").and_then(Json::as_str) else { continue };
+        if let Some(mbs) = line.get("mb_per_s").and_then(Json::as_f64) {
+            out.insert(bench.to_string(), Entry::Throughput(mbs));
+        } else if let Some(wall) = line.get("wall_ns").and_then(Json::as_f64) {
+            out.insert(bench.to_string(), Entry::Latency(wall));
         }
     }
     Ok(out)
@@ -43,29 +62,34 @@ fn throughputs(doc: &str) -> Result<BTreeMap<String, f64>, String> {
 fn run() -> Result<bool, String> {
     let baseline_path = arg_value("--baseline").ok_or("missing --baseline <file>")?;
     let current_path = arg_value("--current").ok_or("missing --current <file>")?;
-    let max_drop_pct = arg_value("--max-drop-pct")
-        .map(|v| v.parse::<f64>().map_err(|_| "bad --max-drop-pct"))
-        .transpose()?
-        .unwrap_or(30.0);
+    let pct_arg = |name: &str, default: f64| {
+        arg_value(name)
+            .map(|v| v.parse::<f64>().map_err(|_| format!("bad {name}")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let max_drop_pct = pct_arg("--max-drop-pct", 30.0)?;
+    let max_rise_pct = pct_arg("--max-rise-pct", 200.0)?;
 
-    let baseline = throughputs(
+    let baseline = entries(
         &std::fs::read_to_string(&baseline_path).map_err(|e| format!("{baseline_path}: {e}"))?,
     )?;
-    let current = throughputs(
+    let current = entries(
         &std::fs::read_to_string(&current_path).map_err(|e| format!("{current_path}: {e}"))?,
     )?;
     if baseline.is_empty() {
-        return Err(format!("{baseline_path}: no throughput lines found"));
+        return Err(format!("{baseline_path}: no bench entries found"));
     }
 
     let mut ok = true;
-    for (bench, &base_mbs) in &baseline {
-        match current.get(bench) {
-            None => {
-                println!("FAIL {bench}: missing from current run");
-                ok = false;
-            }
-            Some(&cur_mbs) => {
+    for (bench, &base) in &baseline {
+        let Some(&cur) = current.get(bench) else {
+            println!("FAIL {bench}: missing from current run");
+            ok = false;
+            continue;
+        };
+        match (base, cur) {
+            (Entry::Throughput(base_mbs), Entry::Throughput(cur_mbs)) => {
                 let floor = base_mbs * (1.0 - max_drop_pct / 100.0);
                 let verdict = if cur_mbs < floor { "FAIL" } else { "ok  " };
                 println!(
@@ -73,6 +97,22 @@ fn run() -> Result<bool, String> {
                      (floor {floor:.2} at -{max_drop_pct}%)"
                 );
                 ok &= cur_mbs >= floor;
+            }
+            (Entry::Latency(base_ns), Entry::Latency(cur_ns)) => {
+                let ceiling = base_ns * (1.0 + max_rise_pct / 100.0);
+                let verdict = if cur_ns > ceiling { "FAIL" } else { "ok  " };
+                println!(
+                    "{verdict} {bench}: {:.3} ms wall vs baseline {:.3} ms \
+                     (ceiling {:.3} at +{max_rise_pct}%)",
+                    cur_ns / 1e6,
+                    base_ns / 1e6,
+                    ceiling / 1e6
+                );
+                ok &= cur_ns <= ceiling;
+            }
+            _ => {
+                println!("FAIL {bench}: baseline and current entry kinds disagree");
+                ok = false;
             }
         }
     }
@@ -83,7 +123,7 @@ fn main() -> ExitCode {
     match run() {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => {
-            println!("throughput regression beyond the allowed drop — see FAIL lines above");
+            println!("performance regression beyond the allowed envelope — see FAIL lines above");
             ExitCode::FAILURE
         }
         Err(msg) => {

@@ -1,30 +1,38 @@
 //! Figure 5: SPEC CPU2006 normalized overhead of Fidelius and
 //! Fidelius-enc over original Xen.
+//!
+//! `--threads N` (default: host parallelism) boots the two measurement
+//! systems and projects the per-benchmark rows on worker threads; every
+//! system owns its modeled clock, so the figure is identical at any
+//! thread count. `--timing` appends a `fig5_wall` latency line for the
+//! regression guard, after the artifact.
+
+use fidelius_workloads::runner;
 
 fn main() {
-    let (costs, snapshot) =
-        fidelius_workloads::runner::measure_event_costs_with_snapshot().expect("measure");
-    fidelius_bench::note!("measured event costs: {costs:?}");
-    let rows =
-        fidelius_workloads::runner::figure_rows(&fidelius_workloads::spec_profiles(), &costs);
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.name.to_string(),
-                fidelius_bench::pct(r.fidelius_pct),
-                fidelius_bench::pct(r.fidelius_enc_pct),
-            ]
-        })
-        .collect();
-    fidelius_bench::emit_table(
-        "Figure 5 — SPEC CPU2006 normalized overhead vs Xen",
-        &["benchmark", "Fidelius", "Fidelius-enc"],
-        &table,
-    );
-    let (avg_fid, avg_enc) = fidelius_workloads::runner::averages(&rows);
-    fidelius_bench::note!("\n  average: Fidelius {avg_fid:.2}% (paper: 0.88%), Fidelius-enc {avg_enc:.2}% (paper: 5.38%)");
-    fidelius_bench::note!("  paper outliers: mcf 17.3%, omnetpp 16.3%");
-    // Telemetry of the measurement machine (TLB/walk counters included).
-    fidelius_bench::emit_snapshot(&snapshot);
+    let threads = fidelius_bench::arg_threads();
+    let start = std::time::Instant::now();
+    let (costs, snapshot) = runner::measure_event_costs_threaded(threads).expect("measure");
+    fidelius_bench::note!("measured event costs ({threads} threads): {costs:?}");
+    let rows = runner::figure_rows_par(&fidelius_workloads::spec_profiles(), &costs, threads);
+    let wall_ns = start.elapsed().as_nanos() as u64;
+
+    let title = "Figure 5 — SPEC CPU2006 normalized overhead vs Xen";
+    if fidelius_bench::json_mode() {
+        print!("{}", runner::figure_artifact(title, &rows, &snapshot));
+    } else {
+        fidelius_bench::print_table(
+            title,
+            &runner::FIGURE_HEADERS,
+            &runner::figure_table_rows(&rows),
+        );
+        let (avg_fid, avg_enc) = runner::averages(&rows);
+        println!("\n  average: Fidelius {avg_fid:.2}% (paper: 0.88%), Fidelius-enc {avg_enc:.2}% (paper: 5.38%)");
+        println!("  paper outliers: mcf 17.3%, omnetpp 16.3%");
+        // Telemetry of the measurement machine (TLB/walk counters included).
+        fidelius_bench::emit_snapshot(&snapshot);
+    }
+    if fidelius_bench::timing_mode() {
+        fidelius_bench::emit_wall("fig5_wall", wall_ns);
+    }
 }

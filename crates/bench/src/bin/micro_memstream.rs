@@ -20,78 +20,104 @@
 //!   paper charges >20x for (table-assisted but not T-table).
 //!
 //! Flags: `--json` (JSON lines), `--iters N` (timed iterations per
-//! scenario, default 9), `--mb N` (buffer megabytes, default 4).
+//! scenario, default 9), `--mb N` (buffer megabytes, default 4),
+//! `--threads N` (scenarios measured concurrently; each scenario owns its
+//! buffers and results print in scenario order).
+//!
+//! Unlike the sweep binaries, `--threads` **defaults to 1** here: the
+//! scenarios exist to measure wall-clock speed, and co-scheduling them
+//! inflates every number they report. Parallel runs are for quick smoke
+//! checks, not for regenerating the committed baseline.
 
-use fidelius_bench::{emit_throughput, measure_throughput, note};
+use fidelius_bench::{arg_u64, emit_throughput, measure_throughput, note, Throughput};
 use fidelius_crypto::aes_soft::SoftAes128;
 use fidelius_crypto::modes::{Ctr128, PaTweakCipher, SectorCipher, SECTOR_SIZE};
 use fidelius_hw::mem::Dram;
 use fidelius_hw::memctrl::{EncSel, MemoryController};
 use fidelius_hw::{Asid, Hpa, PAGE_SIZE};
 
-fn main() {
-    let iters = fidelius_bench::arg_u64("--iters", 9) as u32;
-    let mb = fidelius_bench::arg_u64("--mb", 4).max(1);
-    let len = (mb * 1024 * 1024) as usize;
-    note!("== Simulator memory-path throughput (host wall-clock, {mb} MiB buffer) ==");
-
+/// Full memory-controller path, aligned: write + read through Kvek.
+fn memctrl_guest_stream(iters: u32, len: usize) -> Throughput {
     let mut buf = vec![0xA5u8; len];
+    let dram_pages = (len as u64 / PAGE_SIZE + 2).next_power_of_two();
+    let mut mc = MemoryController::new(Dram::new(dram_pages * PAGE_SIZE));
+    mc.install_guest_key(Asid(1), &[0x5C; 16]);
+    let sel = EncSel::Guest(Asid(1));
+    measure_throughput("memctrl_guest_stream", 2 * len as u64, iters, || {
+        mc.write(Hpa(0), &buf, sel).expect("write");
+        mc.read(Hpa(0), &mut buf, sel).expect("read");
+    })
+}
 
-    // Full memory-controller path, aligned: write + read through Kvek.
-    {
-        let dram_pages = (len as u64 / PAGE_SIZE + 2).next_power_of_two();
-        let mut mc = MemoryController::new(Dram::new(dram_pages * PAGE_SIZE));
-        mc.install_guest_key(Asid(1), &[0x5C; 16]);
-        let sel = EncSel::Guest(Asid(1));
-        let t = measure_throughput("memctrl_guest_stream", 2 * len as u64, iters, || {
-            mc.write(Hpa(0), &buf, sel).expect("write");
-            mc.read(Hpa(0), &mut buf, sel).expect("read");
-        });
-        emit_throughput(&t);
+/// Unaligned: every iteration pays head+tail RMW around the stream.
+fn memctrl_unaligned(iters: u32, len: usize) -> Throughput {
+    let mut buf = vec![0xA5u8; len];
+    let dram_pages = (len as u64 / PAGE_SIZE + 2).next_power_of_two();
+    let mut mc = MemoryController::new(Dram::new(dram_pages * PAGE_SIZE));
+    mc.install_guest_key(Asid(1), &[0x5C; 16]);
+    let sel = EncSel::Guest(Asid(1));
+    measure_throughput("memctrl_unaligned", 2 * (len as u64 - 32), iters, || {
+        mc.write(Hpa(5), &buf[..len - 32], sel).expect("write");
+        mc.read(Hpa(5), &mut buf[..len - 32], sel).expect("read");
+    })
+}
 
-        // Unaligned: every iteration pays head+tail RMW around the stream.
-        let t = measure_throughput("memctrl_unaligned", 2 * (len as u64 - 32), iters, || {
-            mc.write(Hpa(5), &buf[..len - 32], sel).expect("write");
-            mc.read(Hpa(5), &mut buf[..len - 32], sel).expect("read");
-        });
-        emit_throughput(&t);
-    }
+/// Engine cipher alone, streaming tweak.
+fn pa_tweak_stream(iters: u32, len: usize) -> Throughput {
+    let mut buf = vec![0xA5u8; len];
+    let engine = PaTweakCipher::new(&[0x31; 16]);
+    measure_throughput("pa_tweak_stream", len as u64, iters, || {
+        engine.encrypt_blocks(0x4000, &mut buf);
+    })
+}
 
-    // Engine cipher alone, streaming tweak.
-    {
-        let engine = PaTweakCipher::new(&[0x31; 16]);
-        let t = measure_throughput("pa_tweak_stream", len as u64, iters, || {
-            engine.encrypt_blocks(0x4000, &mut buf);
-        });
-        emit_throughput(&t);
-    }
+/// Transport CTR.
+fn ctr128(iters: u32, len: usize) -> Throughput {
+    let mut buf = vec![0xA5u8; len];
+    let ctr = Ctr128::new(&[7; 16], 0xFEED);
+    measure_throughput("ctr128", len as u64, iters, || {
+        ctr.apply(0, &mut buf);
+    })
+}
 
-    // Transport CTR.
-    {
-        let ctr = Ctr128::new(&[7; 16], 0xFEED);
-        let t = measure_throughput("ctr128", len as u64, iters, || {
-            ctr.apply(0, &mut buf);
-        });
-        emit_throughput(&t);
-    }
+/// Disk sectors under Kblk.
+fn sector_cipher(iters: u32, len: usize) -> Throughput {
+    let mut buf = vec![0xA5u8; len];
+    let sc = SectorCipher::new(&[0x11; 16]);
+    measure_throughput("sector_cipher", len as u64, iters, || {
+        for (i, sector) in buf.chunks_exact_mut(SECTOR_SIZE).enumerate() {
+            sc.encrypt_sector(i as u64, sector);
+        }
+    })
+}
 
-    // Disk sectors under Kblk.
-    {
-        let sc = SectorCipher::new(&[0x11; 16]);
-        let t = measure_throughput("sector_cipher", len as u64, iters, || {
-            for (i, sector) in buf.chunks_exact_mut(SECTOR_SIZE).enumerate() {
-                sc.encrypt_sector(i as u64, sector);
-            }
-        });
-        emit_throughput(&t);
-    }
+/// The software AES the paper's >20x slowdown models.
+fn soft_aes_ctr(iters: u32, len: usize) -> Throughput {
+    let mut buf = vec![0xA5u8; len];
+    let soft = SoftAes128::new(&[7; 16]);
+    measure_throughput("soft_aes_ctr", len as u64, iters, || {
+        soft.ctr_apply(0x1234, &mut buf);
+    })
+}
 
-    // The software AES the paper's >20x slowdown models.
-    {
-        let soft = SoftAes128::new(&[7; 16]);
-        let t = measure_throughput("soft_aes_ctr", len as u64, iters, || {
-            soft.ctr_apply(0x1234, &mut buf);
-        });
-        emit_throughput(&t);
+fn main() {
+    let iters = arg_u64("--iters", 9) as u32;
+    let mb = arg_u64("--mb", 4).max(1);
+    let threads = arg_u64("--threads", 1).max(1) as usize;
+    let len = (mb * 1024 * 1024) as usize;
+    note!("== Simulator memory-path throughput (host wall-clock, {mb} MiB buffer, {threads} threads) ==");
+
+    let scenarios: [fn(u32, usize) -> Throughput; 6] = [
+        memctrl_guest_stream,
+        memctrl_unaligned,
+        pa_tweak_stream,
+        ctr128,
+        sector_cipher,
+        soft_aes_ctr,
+    ];
+    let results =
+        fidelius_par::par_map_ordered(&scenarios, threads, |_, scenario| scenario(iters, len));
+    for t in &results {
+        emit_throughput(t);
     }
 }

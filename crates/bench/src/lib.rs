@@ -42,21 +42,42 @@ macro_rules! note {
     };
 }
 
+/// Value of a `--threads N` override, or the host's advertised
+/// parallelism. Every sweep binary whose cases are shared-nothing
+/// defaults to this; wall-clock *timing* binaries default to 1 instead
+/// (parallel co-scheduling distorts the numbers they exist to measure).
+pub fn arg_threads() -> usize {
+    arg_u64("--threads", fidelius_par::default_threads() as u64).max(1) as usize
+}
+
+/// Whether `--timing` was passed: sweep binaries then append a
+/// `{"bench": "<name>_wall", "wall_ns": ...}` line after their artifact.
+/// Kept behind a flag (and emitted *after* the artifact) so determinism
+/// checks can diff artifacts across thread counts without the
+/// run-to-run-varying wall clock getting in the way.
+pub fn timing_mode() -> bool {
+    std::env::args().any(|a| a == "--timing")
+}
+
+/// Emits a sweep wall-time measurement (a latency-style entry for the
+/// regression guard): `{"bench": ..., "wall_ns": ...}` under `--json`, a
+/// text line otherwise.
+pub fn emit_wall(bench: &str, wall_ns: u64) {
+    if json_mode() {
+        println!(
+            "{}",
+            Json::obj(vec![("bench", Json::str(bench)), ("wall_ns", Json::Num(wall_ns as f64)),])
+        );
+    } else {
+        println!("  {bench:<24} {:>12.3} ms wall", wall_ns as f64 / 1e6);
+    }
+}
+
 /// Emits a result table: fixed-width text normally, one JSON object line
 /// under `--json`.
 pub fn emit_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     if json_mode() {
-        let json = Json::obj(vec![
-            ("table", Json::str(title)),
-            ("headers", Json::Arr(headers.iter().map(|h| Json::str(*h)).collect())),
-            (
-                "rows",
-                Json::Arr(
-                    rows.iter().map(|r| Json::Arr(r.iter().map(Json::str).collect())).collect(),
-                ),
-            ),
-        ]);
-        println!("{json}");
+        println!("{}", Json::table(title, headers, rows));
     } else {
         print_table(title, headers, rows);
     }
@@ -113,16 +134,69 @@ pub struct Throughput {
     pub bytes: u64,
     /// Median wall time of one iteration, nanoseconds.
     pub wall_ns: u64,
+    /// Fastest iteration, nanoseconds (flakiness triage: a `min` far
+    /// below the median means the machine, not the code, was slow).
+    pub min_ns: u64,
+    /// Slowest iteration, nanoseconds.
+    pub max_ns: u64,
     /// Throughput derived from the median: `bytes / wall_ns`, in MB/s
     /// (decimal megabytes, 10^6 bytes).
     pub mb_per_s: f64,
 }
 
 /// Measures `f` (which processes `bytes` bytes per call): one warm-up
-/// call, then `iters` timed iterations, reporting the *median* so a
-/// stray scheduler hiccup cannot skew the number either way.
+/// call, then `iters` timed iterations, reporting the *median* (so a
+/// stray scheduler hiccup cannot skew the number either way) plus the
+/// min/max spread for flakiness triage.
 pub fn measure_throughput(bench: &str, bytes: u64, iters: u32, mut f: impl FnMut()) -> Throughput {
     f(); // warm-up: page in buffers, build key schedules, fill caches
+    let stats = sample_iters(iters, f);
+    let wall_ns = stats.median_ns.max(1);
+    let mb_per_s = bytes as f64 / wall_ns as f64 * 1e9 / 1e6;
+    Throughput {
+        bench: bench.to_string(),
+        bytes,
+        wall_ns,
+        min_ns: stats.min_ns,
+        max_ns: stats.max_ns,
+        mb_per_s,
+    }
+}
+
+/// Emits a throughput measurement: a `{"bench": ..., "wall_ns": ...,
+/// "min_ns": ..., "max_ns": ..., "mb_per_s": ...}` JSON line under
+/// `--json`, a text line otherwise.
+pub fn emit_throughput(t: &Throughput) {
+    if json_mode() {
+        let json = Json::obj(vec![
+            ("bench", Json::str(t.bench.as_str())),
+            ("bytes", Json::Num(t.bytes as f64)),
+            ("wall_ns", Json::Num(t.wall_ns as f64)),
+            ("min_ns", Json::Num(t.min_ns as f64)),
+            ("max_ns", Json::Num(t.max_ns as f64)),
+            ("mb_per_s", Json::Num((t.mb_per_s * 100.0).round() / 100.0)),
+        ]);
+        println!("{json}");
+    } else {
+        println!(
+            "  {:<24} {:>10.2} MB/s  (median {} ns, min {} ns, max {} ns / {} bytes per iteration)",
+            t.bench, t.mb_per_s, t.wall_ns, t.min_ns, t.max_ns, t.bytes
+        );
+    }
+}
+
+/// Per-iteration timing statistics from [`time_iter_stats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterStats {
+    /// Median nanoseconds per iteration (the headline number).
+    pub median_ns: u64,
+    /// Fastest iteration, nanoseconds.
+    pub min_ns: u64,
+    /// Slowest iteration, nanoseconds.
+    pub max_ns: u64,
+}
+
+fn sample_iters(iters: u32, mut f: impl FnMut()) -> IterStats {
     let mut samples: Vec<u64> = (0..iters.max(1))
         .map(|_| {
             let start = std::time::Instant::now();
@@ -131,40 +205,50 @@ pub fn measure_throughput(bench: &str, bytes: u64, iters: u32, mut f: impl FnMut
         })
         .collect();
     samples.sort_unstable();
-    let wall_ns = samples[samples.len() / 2].max(1);
-    let mb_per_s = bytes as f64 / wall_ns as f64 * 1e9 / 1e6;
-    Throughput { bench: bench.to_string(), bytes, wall_ns, mb_per_s }
+    IterStats {
+        median_ns: samples[samples.len() / 2],
+        min_ns: samples[0],
+        max_ns: samples[samples.len() - 1],
+    }
 }
 
-/// Emits a throughput measurement: a `{"bench": ..., "wall_ns": ...,
-/// "mb_per_s": ...}` JSON line under `--json`, a text line otherwise.
-pub fn emit_throughput(t: &Throughput) {
-    if json_mode() {
-        let json = Json::obj(vec![
-            ("bench", Json::str(t.bench.as_str())),
-            ("bytes", Json::Num(t.bytes as f64)),
-            ("wall_ns", Json::Num(t.wall_ns as f64)),
-            ("mb_per_s", Json::Num((t.mb_per_s * 100.0).round() / 100.0)),
-        ]);
-        println!("{json}");
-    } else {
-        println!(
-            "  {:<24} {:>10.2} MB/s  (median {} ns / {} bytes per iteration)",
-            t.bench, t.mb_per_s, t.wall_ns, t.bytes
-        );
+/// Times `f` per iteration (after one warm-up call) and returns the
+/// median/min/max spread — the min/max answer "was that slow run the
+/// code or the machine?" in CI triage.
+///
+/// Iterations are timed in up to 32 equal batches (so the clock-read
+/// overhead stays amortized even for nanosecond-scale bodies); each
+/// sample is the per-iteration average of one batch.
+pub fn time_iter_stats<R>(iters: u32, mut f: impl FnMut() -> R) -> IterStats {
+    std::hint::black_box(f());
+    let iters = iters.max(1);
+    let batches = iters.min(32);
+    let per_batch = iters / batches;
+    let mut samples: Vec<u64> = (0..batches)
+        .map(|b| {
+            // The last batch absorbs the remainder.
+            let n = if b == batches - 1 { iters - per_batch * (batches - 1) } else { per_batch };
+            let start = std::time::Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(f());
+            }
+            (start.elapsed().as_nanos() / u128::from(n)) as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    IterStats {
+        median_ns: samples[samples.len() / 2],
+        min_ns: samples[0],
+        max_ns: samples[samples.len() - 1],
     }
 }
 
 /// Times `f` over `iters` iterations (after one warm-up call) and returns
-/// nanoseconds per iteration. The plain replacement for the external
-/// benchmark harness in `benches/`.
-pub fn time_ns_per_iter<R>(iters: u32, mut f: impl FnMut() -> R) -> f64 {
-    std::hint::black_box(f());
-    let start = std::time::Instant::now();
-    for _ in 0..iters {
-        std::hint::black_box(f());
-    }
-    start.elapsed().as_nanos() as f64 / f64::from(iters.max(1))
+/// the *median* nanoseconds per iteration. The plain replacement for the
+/// external benchmark harness in `benches/`; use [`time_iter_stats`] when
+/// the min/max spread matters.
+pub fn time_ns_per_iter<R>(iters: u32, f: impl FnMut() -> R) -> f64 {
+    time_iter_stats(iters, f).median_ns as f64
 }
 
 #[cfg(test)]
@@ -191,5 +275,26 @@ mod tests {
     #[test]
     fn arg_u64_falls_back_to_default() {
         assert_eq!(super::arg_u64("--definitely-not-passed", 42), 42);
+    }
+
+    #[test]
+    fn arg_threads_defaults_to_host_parallelism() {
+        assert!(super::arg_threads() >= 1);
+    }
+
+    #[test]
+    fn iter_stats_order_and_throughput_spread() {
+        let mut x = 0u64;
+        let stats = super::time_iter_stats(100, || {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert!(stats.min_ns <= stats.median_ns && stats.median_ns <= stats.max_ns);
+
+        let t = super::measure_throughput("spread", 1024, 5, || {
+            std::hint::black_box(vec![0u8; 4096]);
+        });
+        assert!(t.min_ns <= t.wall_ns && t.wall_ns <= t.max_ns);
+        assert!(t.mb_per_s > 0.0);
     }
 }

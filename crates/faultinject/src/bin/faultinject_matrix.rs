@@ -3,112 +3,64 @@
 //! trail — never silent corruption.
 //!
 //! ```text
-//! faultinject_matrix [--seeds N] [--seed-base B] [--json]
+//! faultinject_matrix [--seeds N] [--seed-base B] [--threads T] [--json] [--timing]
 //! ```
 //!
-//! Under `--json` each case prints one JSON line and the per-kind summary
-//! prints in the shared bench table format
-//! (`{"table": ..., "headers": [...], "rows": [[...]]}`). On any
-//! violation the failing `(seed, kind)` pairs and a reproduction command
-//! are printed and the process exits non-zero.
+//! Cases are fanned out across `--threads` worker threads (default: the
+//! host's advertised parallelism). Each `(seed, kind)` case boots its own
+//! `System` and owns its own modeled clock and telemetry, and results are
+//! collected in input order, so the artifact below is **byte-identical at
+//! any thread count** — only the wall clock changes.
+//!
+//! Under `--json` the artifact is: one JSON line per case (kind-major
+//! order), the per-kind summary in the shared bench table format
+//! (`{"table": ..., "headers": [...], "rows": [[...]]}`), and a final
+//! `{"telemetry": ...}` rollup merged from the per-case snapshots in
+//! case-index order. `--timing` appends a `{"bench": "matrix_wall",
+//! "wall_ns": ...}` line *after* the artifact (excluded from determinism
+//! diffs; fed to `bench_guard` as a latency entry).
+//!
+//! On any violation the failing `(seed, kind)` pairs — in input order,
+//! regardless of completion order — and a reproduction command for the
+//! *first* failure are printed and the process exits non-zero.
 
-use fidelius_bench::{arg_u64, emit_table, json_mode, note};
-use fidelius_faultinject::harness::{outcome_label, run_case, CaseReport};
-use fidelius_telemetry::{FaultKind, InjectionOutcome, Json};
-
-fn case_json(report: &CaseReport) -> Json {
-    Json::obj([
-        ("case", Json::str("fault-matrix")),
-        ("seed", Json::Num(report.seed as f64)),
-        ("kind", Json::str(report.kind.as_str())),
-        ("injected", Json::Num(report.injected as f64)),
-        (
-            "outcomes",
-            Json::Arr(report.outcomes.iter().map(|o| Json::str(outcome_label(*o))).collect()),
-        ),
-        ("denials", Json::Num(report.denials as f64)),
-        ("typed_errors", Json::Num(report.typed_errors as f64)),
-        ("violations", Json::Arr(report.violations.iter().map(Json::str).collect())),
-    ])
-}
-
-#[derive(Default)]
-struct KindAgg {
-    cases: u64,
-    injected: u64,
-    tolerated: u64,
-    retried: u64,
-    fail_closed: u64,
-    corrupted: u64,
-    violations: u64,
-}
+use fidelius_bench::{arg_threads, arg_u64, emit_table, emit_wall, json_mode, note, timing_mode};
+use fidelius_faultinject::harness::{
+    first_failure, kind_summary_rows, matrix_artifact, repro_command, run_matrix_par,
+    MATRIX_HEADERS,
+};
+use fidelius_telemetry::FaultKind;
 
 fn main() {
     let seeds = arg_u64("--seeds", 64);
     let base = arg_u64("--seed-base", 0xF1DE);
-    note!("fault matrix: {seeds} seeds x {} kinds (seed base {base:#x})", FaultKind::ALL.len());
-
-    let mut rows: Vec<Vec<String>> = Vec::new();
-    let mut failures: Vec<CaseReport> = Vec::new();
-    for kind in FaultKind::ALL {
-        let mut agg = KindAgg::default();
-        for s in 0..seeds {
-            let report = run_case(base + s, kind);
-            if json_mode() {
-                println!("{}", case_json(&report));
-            }
-            agg.cases += 1;
-            agg.injected += report.injected as u64;
-            for outcome in &report.outcomes {
-                match outcome {
-                    InjectionOutcome::Tolerated => agg.tolerated += 1,
-                    InjectionOutcome::ToleratedAfterRetry(_) => agg.retried += 1,
-                    InjectionOutcome::FailClosed(_) => agg.fail_closed += 1,
-                    InjectionOutcome::Corrupted => agg.corrupted += 1,
-                }
-            }
-            agg.violations += report.violations.len() as u64;
-            if !report.passed() {
-                failures.push(report);
-            }
-        }
-        rows.push(vec![
-            kind.as_str().to_string(),
-            agg.cases.to_string(),
-            agg.injected.to_string(),
-            agg.tolerated.to_string(),
-            agg.retried.to_string(),
-            agg.fail_closed.to_string(),
-            agg.corrupted.to_string(),
-            agg.violations.to_string(),
-        ]);
-    }
-
-    emit_table(
-        "fault-matrix",
-        &[
-            "kind",
-            "cases",
-            "injected",
-            "tolerated",
-            "retried",
-            "fail-closed",
-            "corrupted",
-            "violations",
-        ],
-        &rows,
+    let threads = arg_threads();
+    note!(
+        "fault matrix: {seeds} seeds x {} kinds (seed base {base:#x}, {threads} threads)",
+        FaultKind::ALL.len()
     );
 
-    if failures.is_empty() {
+    let start = std::time::Instant::now();
+    let seed_list: Vec<u64> = (0..seeds).map(|s| base + s).collect();
+    let reports = run_matrix_par(&seed_list, threads);
+    let wall_ns = start.elapsed().as_nanos() as u64;
+
+    if json_mode() {
+        print!("{}", matrix_artifact(&reports));
+    } else {
+        emit_table("fault-matrix", &MATRIX_HEADERS, &kind_summary_rows(&reports));
+    }
+    if timing_mode() {
+        emit_wall("matrix_wall", wall_ns);
+    }
+
+    let Some(first) = first_failure(&reports) else {
         note!("fault matrix clean: every injected fault was tolerated or failed closed with an audit trail");
         return;
-    }
-    for f in &failures {
+    };
+    for f in reports.iter().filter(|r| !r.passed()) {
         eprintln!("FAIL seed={} kind={}: {}", f.seed, f.kind.as_str(), f.violations.join("; "));
-        eprintln!(
-            "  reproduce: cargo run --release -p fidelius-faultinject --bin faultinject_matrix -- --seeds 1 --seed-base {}",
-            f.seed
-        );
     }
+    eprintln!("  reproduce first failure: {}", repro_command(first));
     std::process::exit(1);
 }

@@ -27,7 +27,9 @@ use fidelius_core::Fidelius;
 use fidelius_crypto::modes::SECTOR_SIZE;
 use fidelius_hw::{Gpa, PAGE_SIZE};
 use fidelius_sev::GuestOwner;
-use fidelius_telemetry::{Event, FaultKind, InjectionOutcome, TracedEvent, VerifyOutcome};
+use fidelius_telemetry::{
+    Event, FaultKind, InjectionOutcome, Json, Snapshot, TracedEvent, VerifyOutcome,
+};
 use fidelius_xen::frontend::{gplayout, IoPath};
 use fidelius_xen::{DomainId, DomainState, System, XenError};
 
@@ -65,6 +67,11 @@ pub struct CaseReport {
     pub typed_errors: usize,
     /// Invariant violations; empty means the case passed.
     pub violations: Vec<String>,
+    /// Telemetry of every system this case touched (source then
+    /// destination for migration cases), captured after the faulted
+    /// epoch. Each case owns its tracers, so per-case snapshots merge
+    /// into a sweep-level rollup deterministically by case index.
+    pub snapshot: Snapshot,
 }
 
 impl CaseReport {
@@ -97,6 +104,7 @@ pub fn run_case(seed: u64, kind: FaultKind) -> CaseReport {
         denials: 0,
         typed_errors: 0,
         violations: Vec::new(),
+        snapshot: Snapshot::default(),
     };
     let migrates = matches!(kind, FaultKind::MigrationTruncate | FaultKind::MigrationCorrupt);
     let result = if migrates {
@@ -110,15 +118,119 @@ pub fn run_case(seed: u64, kind: FaultKind) -> CaseReport {
     report
 }
 
-/// Runs every kind over every seed in `seeds`.
+/// Runs every kind over every seed in `seeds`, sequentially.
 pub fn run_matrix(seeds: impl IntoIterator<Item = u64> + Clone) -> Vec<CaseReport> {
-    let mut reports = Vec::new();
-    for kind in FaultKind::ALL {
-        for seed in seeds.clone() {
-            reports.push(run_case(seed, kind));
-        }
+    run_matrix_par(&seeds.into_iter().collect::<Vec<_>>(), 1)
+}
+
+/// Runs every kind over every seed across up to `threads` worker threads.
+///
+/// Each `(seed, kind)` case boots its own `System`(s) inside its worker —
+/// cases share nothing, and every case owns its modeled clock — so the
+/// returned reports are identical to the sequential run's at any thread
+/// count, in the same kind-major order ([`FaultKind::ALL`] outer, seeds
+/// inner). Artifacts, failure lists and repro commands derived from the
+/// returned order are therefore byte-stable under parallelism.
+pub fn run_matrix_par(seeds: &[u64], threads: usize) -> Vec<CaseReport> {
+    let cases: Vec<(FaultKind, u64)> = FaultKind::ALL
+        .into_iter()
+        .flat_map(|kind| seeds.iter().map(move |&seed| (kind, seed)))
+        .collect();
+    fidelius_par::par_map_ordered(&cases, threads, |_, &(kind, seed)| run_case(seed, kind))
+}
+
+/// The first failing case **by input order** (kind-major, seeds in the
+/// order given), not by completion order — so the repro command a
+/// parallel sweep prints is the one the sequential sweep would print.
+pub fn first_failure(reports: &[CaseReport]) -> Option<&CaseReport> {
+    reports.iter().find(|r| !r.passed())
+}
+
+/// The exact command that replays one case.
+pub fn repro_command(report: &CaseReport) -> String {
+    format!(
+        "cargo run --release -p fidelius-faultinject --bin faultinject_matrix -- \
+         --seeds 1 --seed-base {}",
+        report.seed
+    )
+}
+
+/// One case as a JSON object (one line of the `--json` artifact).
+pub fn case_json(report: &CaseReport) -> Json {
+    Json::obj([
+        ("case", Json::str("fault-matrix")),
+        ("seed", Json::Num(report.seed as f64)),
+        ("kind", Json::str(report.kind.as_str())),
+        ("injected", Json::Num(report.injected as f64)),
+        (
+            "outcomes",
+            Json::Arr(report.outcomes.iter().map(|o| Json::str(outcome_label(*o))).collect()),
+        ),
+        ("denials", Json::Num(report.denials as f64)),
+        ("typed_errors", Json::Num(report.typed_errors as f64)),
+        ("violations", Json::Arr(report.violations.iter().map(Json::str).collect())),
+    ])
+}
+
+/// Headers of the per-kind summary table.
+pub const MATRIX_HEADERS: [&str; 8] =
+    ["kind", "cases", "injected", "tolerated", "retried", "fail-closed", "corrupted", "violations"];
+
+/// Aggregates the per-kind summary rows (one row per [`FaultKind::ALL`]
+/// entry, in that order).
+pub fn kind_summary_rows(reports: &[CaseReport]) -> Vec<Vec<String>> {
+    FaultKind::ALL
+        .into_iter()
+        .map(|kind| {
+            let (mut cases, mut injected, mut tolerated, mut retried) = (0u64, 0u64, 0u64, 0u64);
+            let (mut fail_closed, mut corrupted, mut violations) = (0u64, 0u64, 0u64);
+            for report in reports.iter().filter(|r| r.kind == kind) {
+                cases += 1;
+                injected += report.injected as u64;
+                for outcome in &report.outcomes {
+                    match outcome {
+                        InjectionOutcome::Tolerated => tolerated += 1,
+                        InjectionOutcome::ToleratedAfterRetry(_) => retried += 1,
+                        InjectionOutcome::FailClosed(_) => fail_closed += 1,
+                        InjectionOutcome::Corrupted => corrupted += 1,
+                    }
+                }
+                violations += report.violations.len() as u64;
+            }
+            vec![
+                kind.as_str().to_string(),
+                cases.to_string(),
+                injected.to_string(),
+                tolerated.to_string(),
+                retried.to_string(),
+                fail_closed.to_string(),
+                corrupted.to_string(),
+                violations.to_string(),
+            ]
+        })
+        .collect()
+}
+
+/// The complete `--json` artifact for a sweep: one JSON line per case (in
+/// report order), the per-kind summary table, and the sweep-level
+/// telemetry rollup merged from the per-case snapshots in case-index
+/// order. Built from the ordered reports alone, so two runs that produce
+/// equal reports produce byte-identical artifacts — the property the
+/// determinism CI job diffs across thread counts.
+pub fn matrix_artifact(reports: &[CaseReport]) -> String {
+    let mut out = String::new();
+    for report in reports {
+        out.push_str(&case_json(report).to_string());
+        out.push('\n');
     }
-    reports
+    out.push_str(
+        &Json::table("fault-matrix", &MATRIX_HEADERS, &kind_summary_rows(reports)).to_string(),
+    );
+    out.push('\n');
+    let merged = Snapshot::merged(reports.iter().map(|r| &r.snapshot));
+    out.push_str(&Json::obj([("telemetry", merged.to_json())]).to_string());
+    out.push('\n');
+    out
 }
 
 fn protected_system(seed: u64) -> Result<System, XenError> {
@@ -179,6 +291,7 @@ fn runtime_case(seed: u64, plan: &FaultPlan, report: &mut CaseReport) -> Result<
     }
 
     audit(&sys.plat.machine.trace.events(), report);
+    report.snapshot = sys.plat.machine.telemetry_snapshot();
     Ok(())
 }
 
@@ -222,6 +335,8 @@ fn migration_case(seed: u64, plan: &FaultPlan, report: &mut CaseReport) -> Resul
     let mut events = src.plat.machine.trace.events();
     events.extend(dst.plat.machine.trace.events());
     audit(&events, report);
+    report.snapshot = src.plat.machine.telemetry_snapshot();
+    report.snapshot.merge(&dst.plat.machine.telemetry_snapshot());
     Ok(())
 }
 
@@ -281,6 +396,7 @@ mod tests {
             denials: 0,
             typed_errors: 0,
             violations: Vec::new(),
+            snapshot: Snapshot::default(),
         }
     }
 
@@ -345,6 +461,68 @@ mod tests {
         });
         audit(&with_denial, &mut report);
         assert!(report.passed(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn first_failure_is_input_order_not_completion_order() {
+        let mut reports: Vec<CaseReport> = FaultKind::ALL
+            .into_iter()
+            .flat_map(|kind| {
+                (0..4u64).map(move |seed| {
+                    let mut r = blank(kind);
+                    r.seed = seed;
+                    r
+                })
+            })
+            .collect();
+        assert!(first_failure(&reports).is_none());
+        // Plant failures late and early; the early one (input order) wins
+        // even though a parallel run may complete the late one first.
+        reports[30].violations.push("late".into());
+        reports[7].violations.push("early".into());
+        let first = first_failure(&reports).expect("a failure");
+        assert_eq!(first.seed, reports[7].seed);
+        assert_eq!(first.kind, reports[7].kind);
+        assert!(first.violations.contains(&"early".to_string()));
+        assert_eq!(
+            repro_command(first),
+            format!(
+                "cargo run --release -p fidelius-faultinject --bin faultinject_matrix -- \
+                 --seeds 1 --seed-base {}",
+                first.seed
+            )
+        );
+    }
+
+    #[test]
+    fn summary_rows_cover_every_kind_in_order() {
+        let mut r = blank(FaultKind::ALL[0]);
+        r.injected = 2;
+        r.outcomes = vec![InjectionOutcome::Tolerated, InjectionOutcome::ToleratedAfterRetry(1)];
+        let rows = kind_summary_rows(&[r]);
+        assert_eq!(rows.len(), FaultKind::ALL.len());
+        for (row, kind) in rows.iter().zip(FaultKind::ALL) {
+            assert_eq!(row[0], kind.as_str());
+        }
+        assert_eq!(rows[0][1], "1"); // one case for the first kind
+        assert_eq!(rows[0][3], "1"); // tolerated
+        assert_eq!(rows[0][4], "1"); // retried
+        assert_eq!(rows[1][1], "0"); // no cases for the second kind
+    }
+
+    #[test]
+    fn artifact_is_a_pure_function_of_the_reports() {
+        let mut a = blank(FaultKind::ALL[0]);
+        a.injected = 1;
+        a.outcomes = vec![InjectionOutcome::Tolerated];
+        let artifact = matrix_artifact(&[a.clone()]);
+        assert_eq!(artifact, matrix_artifact(&[a.clone()]));
+        let parsed = Json::parse_lines(&artifact).expect("valid json lines");
+        // cases + table + telemetry rollup
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed[0].get("case").and_then(Json::as_str), Some("fault-matrix"));
+        assert_eq!(parsed[1].get("table").and_then(Json::as_str), Some("fault-matrix"));
+        assert!(parsed[2].get("telemetry").is_some());
     }
 
     #[test]

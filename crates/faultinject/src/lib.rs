@@ -49,6 +49,9 @@ pub mod harness;
 pub mod rng;
 pub mod schedule;
 
-pub use harness::{outcome_label, run_case, run_matrix, CaseReport};
+pub use harness::{
+    first_failure, matrix_artifact, outcome_label, repro_command, run_case, run_matrix,
+    run_matrix_par, CaseReport,
+};
 pub use rng::Rng;
 pub use schedule::{point_for, FaultPlan, ScheduledInjector};

@@ -1,0 +1,173 @@
+//! Deterministic parallel execution for shared-nothing sweep cases.
+//!
+//! Every sweep binary in this workspace (the fault matrix, the attack
+//! matrix, the figure-5/6 workload sweeps, the multi-scenario throughput
+//! drivers) runs many *independent* cases: each case boots its own
+//! simulated `System`, owns its own modeled clock and telemetry, and never
+//! shares mutable state with its siblings. That makes them trivially
+//! parallel — but only if the parallelism cannot change what the sweep
+//! *reports*.
+//!
+//! [`par_map_ordered`] is the one primitive the sweeps build on. It fans
+//! case closures out across a bounded pool of scoped worker threads
+//! (work-stealing off a single atomic cursor, so long cases do not stall
+//! the queue behind them) and collects results **by input index**, not by
+//! completion order. Consumers therefore observe exactly the sequence a
+//! sequential loop would have produced: JSON artifacts, summary tables,
+//! failure lists, repro commands and exit codes are byte-identical at any
+//! thread count, which CI enforces by diffing artifacts across thread
+//! counts.
+//!
+//! Determinism contract (the caller's side of the bargain):
+//!
+//! * `f` must be a pure function of `(index, item)` — no shared mutable
+//!   state, no ambient randomness, no wall-clock-dependent output;
+//! * anything order-sensitive (printing, aggregation, telemetry merging)
+//!   happens *after* the call, iterating the returned `Vec` in order.
+//!
+//! The crate is dependency-free and uses only `std::thread::scope`, so a
+//! panicking case aborts the sweep exactly like it would sequentially
+//! (the panic is propagated, not swallowed).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The default worker count for sweep binaries: the parallelism the host
+/// advertises, clamped to at least 1. (`--threads N` overrides it.)
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to `threads` worker threads, returning the
+/// results **in input order** regardless of completion order.
+///
+/// `threads` is clamped to `[1, items.len()]`; with one worker (or one
+/// item) the closure runs inline on the caller's thread, so a
+/// `--threads 1` run is *literally* the sequential loop, not a
+/// single-worker simulation of it.
+///
+/// Scheduling is dynamic (workers pull the next unclaimed index off an
+/// atomic cursor), so heterogeneous case costs balance automatically;
+/// scheduling order can never leak into the output because every result
+/// lands in its input slot.
+///
+/// # Panics
+///
+/// Propagates the first worker panic after all workers have stopped
+/// (`std::thread::scope` joins before unwinding), same observable effect
+/// as the sequential loop panicking on that case.
+pub fn par_map_ordered<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    let result = f(i, item);
+                    *slots[i].lock().expect("result slot") = Some(result);
+                })
+            })
+            .collect();
+        // Join explicitly so a case panic surfaces with its original
+        // payload (what the sequential loop would have shown), not the
+        // scope's generic "a scoped thread panicked".
+        let mut first_panic = None;
+        for worker in workers {
+            if let Err(payload) = worker.join() {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner().expect("result slot").expect("every index was claimed exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let seq = par_map_ordered(&items, 1, |i, &x| (i, x * x));
+        for threads in [2, 3, 8, 64] {
+            let par = par_map_ordered(&items, threads, |i, &x| (i, x * x));
+            assert_eq!(par, seq, "threads={threads}");
+        }
+        assert_eq!(seq[13], (13, 169));
+    }
+
+    #[test]
+    fn handles_empty_and_oversized_thread_counts() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map_ordered(&empty, 8, |_, &x| x).is_empty());
+        assert_eq!(par_map_ordered(&[7u8], 0, |_, &x| x + 1), vec![8]);
+        assert_eq!(par_map_ordered(&[1u8, 2], 1000, |_, &x| x), vec![1, 2]);
+    }
+
+    #[test]
+    fn uneven_case_costs_still_land_in_input_slots() {
+        // Early indices do the most work, so completion order is roughly
+        // reversed — the output order must not be.
+        let items: Vec<u64> = (0..32).collect();
+        let out = par_map_ordered(&items, 4, |_, &x| {
+            let spin = (32 - x) * 1000;
+            let mut acc = 0u64;
+            for i in 0..spin {
+                acc = acc.wrapping_add(i ^ x);
+            }
+            std::hint::black_box(acc);
+            x
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        use std::sync::atomic::AtomicU64;
+        let calls: Vec<AtomicU64> = (0..50).map(|_| AtomicU64::new(0)).collect();
+        par_map_ordered(&(0..50usize).collect::<Vec<_>>(), 6, |i, _| {
+            calls[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(calls.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "case 3 exploded")]
+    fn worker_panic_propagates() {
+        let items: Vec<u64> = (0..8).collect();
+        par_map_ordered(&items, 4, |i, _| {
+            if i == 3 {
+                panic!("case 3 exploded");
+            }
+            i
+        });
+    }
+}

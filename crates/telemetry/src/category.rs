@@ -87,6 +87,16 @@ impl CycleBreakdown {
         self.by_category[cat.index()]
     }
 
+    /// Adds another breakdown in, category by category. Float addition is
+    /// not associative, so sweep reports merge per-case breakdowns in
+    /// case-index order — the same fold a sequential run performs — to
+    /// stay bit-identical at any thread count.
+    pub fn merge(&mut self, other: &CycleBreakdown) {
+        for (v, ov) in self.by_category.iter_mut().zip(other.by_category.iter()) {
+            *v += ov;
+        }
+    }
+
     /// `(category, cycles)` pairs in canonical order.
     pub fn iter(&self) -> impl Iterator<Item = (CycleCategory, f64)> + '_ {
         CycleCategory::ALL.iter().map(move |&c| (c, self.get(c)))

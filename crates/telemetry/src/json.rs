@@ -53,6 +53,23 @@ impl Json {
         Json::Str(s.into())
     }
 
+    /// The shared bench-table object:
+    /// `{"table": ..., "headers": [...], "rows": [[...]]}` — the one shape
+    /// every sweep binary emits under `--json`, built here so binaries,
+    /// artifact renderers and equivalence tests construct it identically.
+    pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Json {
+        Json::obj([
+            ("table", Json::str(title)),
+            ("headers", Json::Arr(headers.iter().map(|h| Json::str(*h)).collect())),
+            (
+                "rows",
+                Json::Arr(
+                    rows.iter().map(|r| Json::Arr(r.iter().map(Json::str).collect())).collect(),
+                ),
+            ),
+        ])
+    }
+
     /// Member lookup on an object (first match).
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {

@@ -81,6 +81,25 @@ impl Histogram {
             .map(|(i, &c)| (1u64.checked_shl(i as u32).unwrap_or(u64::MAX), c))
     }
 
+    /// Folds another histogram in, as if every value it recorded had been
+    /// recorded here too. Bucket counts, count and sum add; min/max widen.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 || other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+        for (b, ob) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += ob;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
     /// Compact JSON summary.
     pub fn to_json(&self) -> Json {
         Json::obj([
@@ -220,6 +239,60 @@ impl Metrics {
         self.pt_walks = walks;
     }
 
+    /// Folds another registry in: every counter family adds, histograms
+    /// merge. The result equals observing the concatenation of both event
+    /// streams, so a sweep can give each worker its own registry and fold
+    /// the per-case registries back together **in case-index order** —
+    /// u64 addition is associative, but fixed fold order keeps reports
+    /// byte-identical at any thread count by construction, not by
+    /// argument.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.vmruns += other.vmruns;
+        for (k, v) in &other.vmexits_by_code {
+            *self.vmexits_by_code.entry(*k).or_default() += v;
+        }
+        for (k, v) in &other.hypercalls_by_nr {
+            *self.hypercalls_by_nr.entry(*k).or_default() += v;
+        }
+        for (g, og) in self.gates_by_type.iter_mut().zip(other.gates_by_type.iter()) {
+            *g += og;
+        }
+        for (k, v) in &other.denials_by_kind {
+            *self.denials_by_kind.entry(*k).or_default() += v;
+        }
+        for (k, v) in &other.decisions_allowed {
+            *self.decisions_allowed.entry(k).or_default() += v;
+        }
+        for (k, v) in &other.decisions_denied {
+            *self.decisions_denied.entry(k).or_default() += v;
+        }
+        self.shadow_captures += other.shadow_captures;
+        self.shadow_verify_clean += other.shadow_verify_clean;
+        self.shadow_verify_tampered += other.shadow_verify_tampered;
+        for (k, v) in &other.tlb_flushes {
+            *self.tlb_flushes.entry(k).or_default() += v;
+        }
+        self.tlb_hits += other.tlb_hits;
+        self.tlb_misses += other.tlb_misses;
+        self.tlb_evictions += other.tlb_evictions;
+        self.pt_walks += other.pt_walks;
+        for (k, v) in &other.crypto_bytes {
+            *self.crypto_bytes.entry(k.clone()).or_default() += v;
+        }
+        for (dir, h) in &other.crypto_run_bytes {
+            self.crypto_run_bytes.entry(*dir).or_default().merge(h);
+        }
+        for (k, v) in &other.grant_ops {
+            *self.grant_ops.entry(k).or_default() += v;
+        }
+        for (k, v) in &other.faults_injected {
+            *self.faults_injected.entry(*k).or_default() += v;
+        }
+        for (k, v) in &other.fault_outcomes {
+            *self.fault_outcomes.entry(*k).or_default() += v;
+        }
+    }
+
     /// Total gate round trips across all types.
     pub fn gates_total(&self) -> u64 {
         self.gates_by_type.iter().sum()
@@ -332,6 +405,72 @@ mod tests {
         // leading_zeros math: value 1 → bucket 1, value 0 → bucket 0,
         // 2..=3 → bucket 2, 1024 → bucket 11.
         assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn histogram_merge_matches_joint_recording() {
+        let (mut a, mut b, mut joint) =
+            (Histogram::default(), Histogram::default(), Histogram::default());
+        for v in [3u64, 9, 1024] {
+            a.record(v);
+            joint.record(v);
+        }
+        for v in [0u64, 7, 1 << 40] {
+            b.record(v);
+            joint.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, joint);
+        // Merging an empty histogram is a no-op, both ways.
+        let empty = Histogram::default();
+        a.merge(&empty);
+        assert_eq!(a, joint);
+        let mut from_empty = Histogram::default();
+        from_empty.merge(&joint);
+        assert_eq!(from_empty, joint);
+    }
+
+    #[test]
+    fn metrics_merge_matches_joint_observation() {
+        let stream_a = [
+            Event::Vmrun { asid: 1, sev: true },
+            Event::Vmexit { exit_code: 0x81, asid: 1 },
+            Event::Gate { kind: GateKind::Type1, op: "npt-write" },
+            Event::Denial { reason: DenialReason::RemapPopulatedGpa },
+        ];
+        let stream_b = [
+            Event::Vmexit { exit_code: 0x81, asid: 2 },
+            Event::Vmexit { exit_code: 0x60, asid: 2 },
+            Event::Gate { kind: GateKind::Type3, op: "vmrun" },
+            Event::TlbFlush { scope: FlushScope::Full },
+        ];
+        let (mut a, mut b, mut joint) =
+            (Metrics::default(), Metrics::default(), Metrics::default());
+        for e in &stream_a {
+            a.observe(e, 0, 0);
+            joint.observe(e, 0, 0);
+        }
+        for e in &stream_b {
+            b.observe(e, 0, 0);
+            joint.observe(e, 0, 0);
+        }
+        a.set_tlb_counters(10, 2, 1, 3);
+        joint.set_tlb_counters(10, 2, 1, 3);
+        b.set_tlb_counters(5, 1, 0, 1);
+        joint.tlb_hits += 5;
+        joint.tlb_misses += 1;
+        joint.pt_walks += 1;
+        let crypto =
+            Event::Crypto { key: EncKey::Guest(2), dir: CryptoDir::Encrypt, bytes: 64, ops: 1 };
+        b.observe(&crypto, 64, 1);
+        joint.observe(&crypto, 64, 1);
+        b.record_crypto_run(CryptoDir::Encrypt, 64);
+        joint.record_crypto_run(CryptoDir::Encrypt, 64);
+
+        a.merge(&b);
+        assert_eq!(a, joint);
+        assert_eq!(a.vmexits_total(), 3);
+        assert_eq!(a.gates_total(), 2);
     }
 
     #[test]

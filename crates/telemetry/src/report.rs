@@ -8,7 +8,7 @@ use std::fmt::Write;
 /// A point-in-time rollup: the metrics registry plus the cycle breakdown.
 /// `fidelius-hw`'s `Machine::telemetry_snapshot()` builds one with the TLB
 /// counters already folded in.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Snapshot {
     /// The counter/histogram registry.
     pub metrics: Metrics,
@@ -17,6 +17,26 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
+    /// Folds another snapshot in: counters add, histograms merge, cycle
+    /// categories add. Parallel sweeps give every worker case its own
+    /// tracer and fold the per-case snapshots back together in case-index
+    /// order, so the merged rollup is byte-identical to the sequential
+    /// run's at any thread count.
+    pub fn merge(&mut self, other: &Snapshot) {
+        self.metrics.merge(&other.metrics);
+        self.cycles.merge(&other.cycles);
+    }
+
+    /// Merges an ordered sequence of per-case snapshots (case-index order)
+    /// into one sweep-level rollup.
+    pub fn merged<'a>(snapshots: impl IntoIterator<Item = &'a Snapshot>) -> Snapshot {
+        let mut out = Snapshot { metrics: Metrics::default(), cycles: CycleBreakdown::default() };
+        for s in snapshots {
+            out.merge(s);
+        }
+        out
+    }
+
     /// JSON object `{"metrics": {...}, "cycles": {...}}`.
     pub fn to_json(&self) -> Json {
         Json::obj([("metrics", self.metrics.to_json()), ("cycles", self.cycles.to_json())])
@@ -84,6 +104,28 @@ mod tests {
     use crate::category::CycleCategory;
     use crate::event::Event;
     use crate::tracer::Tracer;
+
+    #[test]
+    fn merged_snapshots_fold_in_order() {
+        let mk = |vmruns: u64, baseline: f64| {
+            let t = Tracer::new(8);
+            for _ in 0..vmruns {
+                t.emit(Event::Vmrun { asid: 1, sev: true });
+            }
+            let mut cycles = CycleBreakdown::default();
+            cycles.by_category[CycleCategory::Baseline.index()] = baseline;
+            Snapshot { metrics: t.metrics(), cycles }
+        };
+        let cases = [mk(1, 10.5), mk(2, 0.25), mk(0, 100.0)];
+        let merged = Snapshot::merged(&cases);
+        assert_eq!(merged.metrics.vmruns, 3);
+        assert_eq!(merged.cycles.get(CycleCategory::Baseline), 10.5 + 0.25 + 100.0);
+        // Pairwise merge agrees with the bulk fold.
+        let mut step = cases[0].clone();
+        step.merge(&cases[1]);
+        step.merge(&cases[2]);
+        assert_eq!(step, merged);
+    }
 
     #[test]
     fn report_renders_and_json_parses() {

@@ -60,6 +60,59 @@ pub fn measure_event_costs() -> Result<EventCosts, XenError> {
     measure_event_costs_with_snapshot().map(|(costs, _)| costs)
 }
 
+/// What the vanilla-Xen measurement system produces: the baseline void
+/// hypercall round trip.
+fn measure_vanilla_base() -> Result<f64, XenError> {
+    let mut xen = System::new(MEASURE_DRAM, 0xBE7C, Box::new(Unprotected::new()))?;
+    let dom_x = xen.create_guest(GuestConfig { mem_pages: 192, sev: false, kernel: vec![0x90] })?;
+    void_hypercall_cycles(&mut xen, dom_x)
+}
+
+/// What the Fidelius measurement system produces. Deliberately contains
+/// everything derivable from that system *alone* — the baseline term
+/// cancels out of the per-page NPT formula — so the vanilla and Fidelius
+/// systems can be measured on different worker threads, each on its own
+/// modeled clock, and still yield results identical to the sequential
+/// run.
+struct FideliusMeasure {
+    protected: f64,
+    npt_update: f64,
+    engine_line: f64,
+    snapshot: fidelius_telemetry::Snapshot,
+}
+
+fn measure_fidelius() -> Result<FideliusMeasure, XenError> {
+    let mut fid = System::new(MEASURE_DRAM, 0xBE7C, Box::new(Fidelius::new()))?;
+    let dom_f = {
+        let mut owner = fidelius_sev::GuestOwner::new(0xBE7C);
+        let image = owner.package_image(&[0x90], &fid.plat.firmware.pdh_public());
+        fidelius_core::lifecycle::boot_encrypted_guest(&mut fid, &image, 192)?
+    };
+    let protected = void_hypercall_cycles(&mut fid, dom_f)?;
+
+    // One NPT update through the gate: measured as the cost of switching
+    // a mapped page's C-bit (an in-place leaf rewrite). Subtract one
+    // protected hypercall round trip; the rest is per-page gate work.
+    let npt_update = {
+        let before = fid.plat.machine.cycles.total_f64();
+        fid.ensure_host()?;
+        let mid = fid.plat.machine.cycles.total_f64();
+        let ret = fid.hypercall(dom_f, HC_MEM_ENCRYPT, [0; 4])?;
+        assert_eq!(ret, RET_OK);
+        let after = fid.plat.machine.cycles.total_f64();
+        let pages = fid.xen.domain(dom_f)?.mem_pages() as f64;
+        let _ = before;
+        ((after - mid) - protected) / pages
+    };
+
+    Ok(FideliusMeasure {
+        protected,
+        npt_update,
+        engine_line: fid.plat.machine.cost.engine_line_extra,
+        snapshot: fid.plat.machine.telemetry_snapshot(),
+    })
+}
+
 /// Like [`measure_event_costs`], additionally returning the Fidelius
 /// system's telemetry snapshot after measurement — so figure reports can
 /// show the TLB hit/miss/eviction and page-table-walk counters of the
@@ -70,43 +123,41 @@ pub fn measure_event_costs() -> Result<EventCosts, XenError> {
 /// Propagates setup failures.
 pub fn measure_event_costs_with_snapshot(
 ) -> Result<(EventCosts, fidelius_telemetry::Snapshot), XenError> {
-    // Vanilla baseline.
-    let mut xen = System::new(MEASURE_DRAM, 0xBE7C, Box::new(Unprotected::new()))?;
-    let dom_x = xen.create_guest(GuestConfig { mem_pages: 192, sev: false, kernel: vec![0x90] })?;
-    let base = void_hypercall_cycles(&mut xen, dom_x)?;
+    measure_event_costs_threaded(1)
+}
 
-    // Fidelius.
-    let mut fid = System::new(MEASURE_DRAM, 0xBE7C, Box::new(Fidelius::new()))?;
-    let dom_f = {
-        let mut owner = fidelius_sev::GuestOwner::new(0xBE7C);
-        let image = owner.package_image(&[0x90], &fid.plat.firmware.pdh_public());
-        fidelius_core::lifecycle::boot_encrypted_guest(&mut fid, &image, 192)?
+/// [`measure_event_costs_with_snapshot`] with the two measurement systems
+/// (vanilla Xen, Fidelius) booted and exercised on up to `threads` worker
+/// threads. The systems share nothing and each owns its modeled clock;
+/// every cost is computed from one system's own counters, so the result
+/// is identical to the sequential run at any thread count.
+///
+/// # Errors
+///
+/// Propagates setup failures.
+pub fn measure_event_costs_threaded(
+    threads: usize,
+) -> Result<(EventCosts, fidelius_telemetry::Snapshot), XenError> {
+    enum Measured {
+        Base(Result<f64, XenError>),
+        Fid(Box<Result<FideliusMeasure, XenError>>),
+    }
+    let mut results = fidelius_par::par_map_ordered(&[(); 2], threads, |i, ()| match i {
+        0 => Measured::Base(measure_vanilla_base()),
+        _ => Measured::Fid(Box::new(measure_fidelius())),
+    });
+    let (Measured::Base(base), Measured::Fid(fid)) = (results.remove(0), results.remove(0)) else {
+        unreachable!("par_map_ordered returns results in input order");
     };
-    let protected = void_hypercall_cycles(&mut fid, dom_f)?;
-
-    // One NPT update through the gate: measured as the cost of switching
-    // a mapped page's C-bit (an in-place leaf rewrite).
-    let npt_update = {
-        let before = fid.plat.machine.cycles.total_f64();
-        fid.ensure_host()?;
-        let mid = fid.plat.machine.cycles.total_f64();
-        let ret = fid.hypercall(dom_f, HC_MEM_ENCRYPT, [0; 4])?;
-        assert_eq!(ret, RET_OK);
-        let after = fid.plat.machine.cycles.total_f64();
-        let pages = fid.xen.domain(dom_f)?.mem_pages() as f64;
-        let _ = before;
-        // Subtract one hypercall round trip; the rest is per-page gate work.
-        ((after - mid) - (base + (protected - base))) / pages
-    };
-
-    let engine_line = fid.plat.machine.cost.engine_line_extra;
+    let base = base?;
+    let fid = (*fid)?;
     let costs = EventCosts {
-        exit_extra: (protected - base).max(0.0),
-        npt_update: npt_update.max(0.0),
-        engine_line,
+        exit_extra: (fid.protected - base).max(0.0),
+        npt_update: fid.npt_update.max(0.0),
+        engine_line: fid.engine_line,
         hypercall_base: base,
     };
-    Ok((costs, fid.plat.machine.telemetry_snapshot()))
+    Ok((costs, fid.snapshot))
 }
 
 /// One bar of Figure 5/6.
@@ -141,19 +192,64 @@ pub fn run_profile(profile: &WorkloadProfile, costs: &EventCosts, config: Config
 
 /// Computes the overhead rows for a suite.
 pub fn figure_rows(profiles: &[WorkloadProfile], costs: &EventCosts) -> Vec<FigureRow> {
-    profiles
-        .iter()
-        .map(|p| {
-            let base = run_profile(p, costs, Config::Xen);
-            let fid = run_profile(p, costs, Config::Fidelius);
-            let enc = run_profile(p, costs, Config::FideliusEnc);
-            FigureRow {
-                name: p.name,
-                fidelius_pct: 100.0 * (fid - base) / base,
-                fidelius_enc_pct: 100.0 * (enc - base) / base,
-            }
+    figure_rows_par(profiles, costs, 1)
+}
+
+/// [`figure_rows`] with profile projections fanned out across up to
+/// `threads` workers. Each row is a pure function of `(profile, costs)`
+/// and rows come back in profile order, so the figure is identical at any
+/// thread count.
+pub fn figure_rows_par(
+    profiles: &[WorkloadProfile],
+    costs: &EventCosts,
+    threads: usize,
+) -> Vec<FigureRow> {
+    fidelius_par::par_map_ordered(profiles, threads, |_, p| {
+        let base = run_profile(p, costs, Config::Xen);
+        let fid = run_profile(p, costs, Config::Fidelius);
+        let enc = run_profile(p, costs, Config::FideliusEnc);
+        FigureRow {
+            name: p.name,
+            fidelius_pct: 100.0 * (fid - base) / base,
+            fidelius_enc_pct: 100.0 * (enc - base) / base,
+        }
+    })
+}
+
+/// Headers of the figure-5/6 overhead tables.
+pub const FIGURE_HEADERS: [&str; 3] = ["benchmark", "Fidelius", "Fidelius-enc"];
+
+/// Formats the figure rows as table cells (the one formatting both the
+/// text table and the JSON artifact go through).
+pub fn figure_table_rows(rows: &[FigureRow]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                format!("{:.2}%", r.fidelius_pct),
+                format!("{:.2}%", r.fidelius_enc_pct),
+            ]
         })
         .collect()
+}
+
+/// The complete `--json` artifact for one figure sweep: the overhead
+/// table plus the measurement machine's telemetry rollup. A pure function
+/// of its inputs, so two runs with equal measurements produce
+/// byte-identical artifacts — diffed across thread counts by the
+/// determinism CI job.
+pub fn figure_artifact(
+    title: &str,
+    rows: &[FigureRow],
+    snapshot: &fidelius_telemetry::Snapshot,
+) -> String {
+    use fidelius_telemetry::Json;
+    let mut out = String::new();
+    out.push_str(&Json::table(title, &FIGURE_HEADERS, &figure_table_rows(rows)).to_string());
+    out.push('\n');
+    out.push_str(&Json::obj([("telemetry", snapshot.to_json())]).to_string());
+    out.push('\n');
+    out
 }
 
 /// Arithmetic mean of each overhead column.
@@ -174,7 +270,19 @@ pub fn averages(rows: &[FigureRow]) -> (f64, f64) {
 ///
 /// Propagates setup failures.
 pub fn executed_microworkload() -> Result<(f64, f64, f64), XenError> {
-    let run = |sys: &mut System, dom, enc_hc: bool| -> Result<f64, XenError> {
+    executed_microworkload_threaded(1)
+}
+
+/// [`executed_microworkload`] with the three configurations (vanilla,
+/// Fidelius, Fidelius-enc) executed on up to `threads` worker threads.
+/// Each configuration boots its own system with its own modeled clock,
+/// so the measured cycle counts are identical at any thread count.
+///
+/// # Errors
+///
+/// Propagates setup failures.
+pub fn executed_microworkload_threaded(threads: usize) -> Result<(f64, f64, f64), XenError> {
+    fn run(sys: &mut System, dom: fidelius_xen::DomainId, enc_hc: bool) -> Result<f64, XenError> {
         if enc_hc {
             sys.hypercall(dom, HC_MEM_ENCRYPT, [0; 4])?;
         }
@@ -189,24 +297,29 @@ pub fn executed_microworkload() -> Result<(f64, f64, f64), XenError> {
                 .map_err(XenError::Fault)?;
         }
         Ok(sys.plat.machine.cycles.total_f64() - start)
-    };
+    }
 
-    let mut xen = System::new(MEASURE_DRAM, 0x11, Box::new(Unprotected::new()))?;
-    let d1 = xen.create_guest(GuestConfig { mem_pages: 192, sev: false, kernel: vec![0x90] })?;
-    let base = run(&mut xen, d1, false)?;
+    fn run_fidelius(seed: u64, enc_hc: bool) -> Result<f64, XenError> {
+        let mut fid = System::new(MEASURE_DRAM, seed, Box::new(Fidelius::new()))?;
+        let mut owner = fidelius_sev::GuestOwner::new(seed);
+        let image = owner.package_image(&[0x90], &fid.plat.firmware.pdh_public());
+        let dom = fidelius_core::lifecycle::boot_encrypted_guest(&mut fid, &image, 192)?;
+        run(&mut fid, dom, enc_hc)
+    }
 
-    let mut fid = System::new(MEASURE_DRAM, 0x11, Box::new(Fidelius::new()))?;
-    let mut owner = fidelius_sev::GuestOwner::new(0x11);
-    let image = owner.package_image(&[0x90], &fid.plat.firmware.pdh_public());
-    let d2 = fidelius_core::lifecycle::boot_encrypted_guest(&mut fid, &image, 192)?;
-    let fid_plain = run(&mut fid, d2, false)?;
-
-    let mut fid2 = System::new(MEASURE_DRAM, 0x12, Box::new(Fidelius::new()))?;
-    let mut owner2 = fidelius_sev::GuestOwner::new(0x12);
-    let image2 = owner2.package_image(&[0x90], &fid2.plat.firmware.pdh_public());
-    let d3 = fidelius_core::lifecycle::boot_encrypted_guest(&mut fid2, &image2, 192)?;
-    let fid_enc = run(&mut fid2, d3, true)?;
-
+    let mut results = fidelius_par::par_map_ordered(&[(); 3], threads, |i, ()| match i {
+        0 => {
+            let mut xen = System::new(MEASURE_DRAM, 0x11, Box::new(Unprotected::new()))?;
+            let dom =
+                xen.create_guest(GuestConfig { mem_pages: 192, sev: false, kernel: vec![0x90] })?;
+            run(&mut xen, dom, false)
+        }
+        1 => run_fidelius(0x11, false),
+        _ => run_fidelius(0x12, true),
+    });
+    let fid_enc = results.remove(2)?;
+    let fid_plain = results.remove(1)?;
+    let base = results.remove(0)?;
     Ok((base, fid_plain, fid_enc))
 }
 
@@ -265,5 +378,26 @@ mod tests {
         let (base, fid, enc) = executed_microworkload().unwrap();
         assert!(fid >= base * 0.99, "fidelius {fid} vs base {base}");
         assert!(enc > fid, "enc {enc} must exceed fidelius {fid}");
+    }
+
+    #[test]
+    fn threaded_measurement_is_bit_identical_to_sequential() {
+        let (c1, s1) = measure_event_costs_threaded(1).unwrap();
+        let (c2, s2) = measure_event_costs_threaded(2).unwrap();
+        assert_eq!(c1, c2, "event costs must not depend on thread count");
+        assert_eq!(s1, s2, "telemetry must not depend on thread count");
+
+        let rows_seq = figure_rows_par(&spec_profiles(), &c1, 1);
+        let rows_par = figure_rows_par(&spec_profiles(), &c1, 4);
+        assert_eq!(rows_seq, rows_par);
+        assert_eq!(
+            figure_artifact("Figure 5", &rows_seq, &s1),
+            figure_artifact("Figure 5", &rows_par, &s2),
+            "figure artifact must be byte-identical across thread counts"
+        );
+
+        let seq = executed_microworkload_threaded(1).unwrap();
+        let par = executed_microworkload_threaded(3).unwrap();
+        assert_eq!(seq, par, "executed cycle counts must not depend on thread count");
     }
 }

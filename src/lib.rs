@@ -17,7 +17,10 @@
 //!   and cycle-attribution sinks threaded through every layer above;
 //! - [`faultinject`] — the deterministic adversarial-hypervisor layer:
 //!   seeded fault schedules, graceful-degradation audits and the
-//!   `faultinject_matrix` sweep binary.
+//!   `faultinject_matrix` sweep binary;
+//! - [`par`] — the deterministic parallel sweep engine: ordered fan-out
+//!   of independent cases across `std::thread` workers with
+//!   bit-identical artifacts at any thread count.
 //!
 //! # Quick start
 //!
@@ -45,6 +48,7 @@ pub use fidelius_core as core;
 pub use fidelius_crypto as crypto;
 pub use fidelius_faultinject as faultinject;
 pub use fidelius_hw as hw;
+pub use fidelius_par as par;
 pub use fidelius_sev as sev;
 pub use fidelius_telemetry as telemetry;
 pub use fidelius_workloads as workloads;

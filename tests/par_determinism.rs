@@ -1,0 +1,65 @@
+//! End-to-end determinism of the parallel sweep engine.
+//!
+//! The contract `fidelius-par` sells is stronger than "same set of
+//! results": the JSON artifacts our sweep binaries print must be
+//! **byte-identical** at any `--threads` value, so CI can diff them and
+//! a repro command from a parallel run always names the same first
+//! failure a sequential run would. These tests exercise that contract
+//! through the same library entry points the binaries use.
+
+use fidelius::faultinject::{first_failure, matrix_artifact, repro_command, run_matrix_par};
+use fidelius::workloads::runner;
+use fidelius::workloads::spec_profiles;
+
+/// The full 8-seed x 11-kind matrix (88 systems booted per run) renders
+/// the same bytes at `--threads 1` and `--threads 4`.
+#[test]
+fn matrix_artifact_identical_at_threads_1_and_4() {
+    // Same seed construction as the faultinject_matrix binary.
+    let seeds: Vec<u64> = (0..8).map(|s| 0xF1DE + s).collect();
+
+    let seq = run_matrix_par(&seeds, 1);
+    let par = run_matrix_par(&seeds, 4);
+
+    assert_eq!(seq.len(), par.len());
+    for (a, b) in seq.iter().zip(&par) {
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.kind, b.kind);
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.violations, b.violations);
+    }
+    assert_eq!(
+        matrix_artifact(&seq),
+        matrix_artifact(&par),
+        "matrix JSON artifact must not depend on the thread count"
+    );
+
+    // The failure report is also order-stable: same first failure (none
+    // here — the matrix passes) regardless of completion order.
+    match (first_failure(&seq), first_failure(&par)) {
+        (None, None) => {}
+        (Some(a), Some(b)) => assert_eq!(repro_command(a), repro_command(b)),
+        (a, b) => panic!("divergent failure verdicts: {} vs {}", a.is_some(), b.is_some()),
+    }
+}
+
+/// One fig5 sweep — event-cost measurement plus the per-benchmark
+/// projection — is byte-identical at `--threads 1` and `--threads 4`.
+#[test]
+fn fig5_artifact_identical_at_threads_1_and_4() {
+    let (costs_seq, snap_seq) = runner::measure_event_costs_threaded(1).expect("measure seq");
+    let (costs_par, snap_par) = runner::measure_event_costs_threaded(4).expect("measure par");
+    assert_eq!(costs_seq, costs_par);
+    assert_eq!(snap_seq, snap_par);
+
+    let profiles = spec_profiles();
+    let rows_seq = runner::figure_rows_par(&profiles, &costs_seq, 1);
+    let rows_par = runner::figure_rows_par(&profiles, &costs_par, 4);
+
+    let title = "Figure 5 — SPEC CPU2006 normalized overhead vs Xen";
+    assert_eq!(
+        runner::figure_artifact(title, &rows_seq, &snap_seq),
+        runner::figure_artifact(title, &rows_par, &snap_par),
+        "fig5 JSON artifact must not depend on the thread count"
+    );
+}
