@@ -18,6 +18,19 @@
 //! - `sector_cipher`        — the `Kblk` disk path, sector by sector.
 //! - `soft_aes_ctr`         — the deliberately software-shaped AES the
 //!   paper charges >20x for (table-assisted but not T-table).
+//! - `guest_gpa_stream`     — an SEV guest linearly sweeps a 1 MiB
+//!   guest-physical window the way a VM actually touches its RAM: small
+//!   accesses through an *identity* virtual mapping, so every access
+//!   pays two-stage translation (guest table under the guest key, then
+//!   the NPT) unless the TLB's cached payload short-circuits it.
+//! - `guest_gpa_stream_walk` — the same stream with the machine pinned to
+//!   `walk_always` (the seed's walk-every-access behaviour); the ratio to
+//!   `guest_gpa_stream` is the translation-cache speedup.
+//! - `guest_virt_stream`     — the same sweep through a *permuted*
+//!   virtual mapping: frames are scattered, so cached translations are
+//!   never host-contiguous and the pure per-page cached path (no span
+//!   coalescing) is what's measured.
+//! - `guest_virt_stream_walk` — `walk_always` baseline for the above.
 //!
 //! Flags: `--json` (JSON lines), `--iters N` (timed iterations per
 //! scenario, default 9), `--mb N` (buffer megabytes, default 4),
@@ -32,9 +45,13 @@
 use fidelius_bench::{arg_u64, emit_throughput, measure_throughput, note, Throughput};
 use fidelius_crypto::aes_soft::SoftAes128;
 use fidelius_crypto::modes::{Ctr128, PaTweakCipher, SectorCipher, SECTOR_SIZE};
-use fidelius_hw::mem::Dram;
+use fidelius_hw::cpu::{Machine, PrivOp};
+use fidelius_hw::mem::{Dram, FrameAllocator};
 use fidelius_hw::memctrl::{EncSel, MemoryController};
-use fidelius_hw::{Asid, Hpa, PAGE_SIZE};
+use fidelius_hw::paging::{Mapper, OffsetPtAccess, PhysPtAccess, PTE_WRITABLE};
+use fidelius_hw::regs::{Cr0, Efer};
+use fidelius_hw::vmcb::{VmcbField, VmcbImage};
+use fidelius_hw::{Asid, Gva, Hpa, Hva, PAGE_SIZE};
 
 /// Full memory-controller path, aligned: write + read through Kvek.
 fn memctrl_guest_stream(iters: u32, len: usize) -> Throughput {
@@ -100,6 +117,114 @@ fn soft_aes_ctr(iters: u32, len: usize) -> Throughput {
     })
 }
 
+/// Host-physical base of the guest's memory for the stream scenarios.
+const GUEST_BASE: Hpa = Hpa(0x10_0000);
+/// Pages in the streamed guest window (1 MiB of translations).
+const STREAM_PAGES: u64 = 256;
+/// Bytes per guest access. Deliberately small: each access costs one
+/// translation, so the walk-vs-hit difference dominates the data copy.
+const STREAM_ACCESS: usize = 32;
+
+/// A running SEV guest whose GPA pages 0..[`STREAM_PAGES`] map onto host
+/// memory at [`GUEST_BASE`], with a stage-1 table mapping the same range
+/// of GVA pages either identity (`permute == false`) or scattered by a
+/// page permutation. The guest page tables live just past the data
+/// window; the stage-1 leaves carry no C-bit so the data path itself is
+/// raw and only translation cost varies between the cached and
+/// walk-always runs — under SEV the *tables* are still read through the
+/// guest key, which is exactly what makes a walk expensive.
+fn stream_guest_machine(permute: bool) -> Machine {
+    let npt_pages = STREAM_PAGES + 16;
+    let alloc_base = Hpa(GUEST_BASE.0 + npt_pages * PAGE_SIZE);
+    let mut m = Machine::new((alloc_base.0 + 64 * PAGE_SIZE).next_power_of_two());
+    let mut alloc = FrameAllocator::new(alloc_base, 64);
+    let host_mapper = {
+        let mut acc = PhysPtAccess::new(&mut m.mc, EncSel::None);
+        let mapper = Mapper::create(&mut acc, &mut alloc).expect("host mapper");
+        mapper.map_range(&mut acc, &mut alloc, 0, Hpa(0), 256, PTE_WRITABLE).expect("host map");
+        mapper
+    };
+    m.cpu.cr3 = host_mapper.root();
+    m.cpu.cr0 = Cr0::enabled();
+    m.cpu.efer = Efer { nxe: true, svme: true };
+
+    let asid = Asid(7);
+    m.mc.install_guest_key(asid, &[0x5C; 16]);
+    let npt = {
+        let mut acc = PhysPtAccess::new(&mut m.mc, EncSel::None);
+        let npt = Mapper::create(&mut acc, &mut alloc).expect("npt");
+        npt.map_range(&mut acc, &mut alloc, 0, GUEST_BASE, npt_pages, PTE_WRITABLE)
+            .expect("npt map");
+        npt
+    };
+    let gcr3 = {
+        let mut galloc = FrameAllocator::new(Hpa(STREAM_PAGES * PAGE_SIZE), 16);
+        let mut acc = OffsetPtAccess::new(&mut m.mc, GUEST_BASE, EncSel::Guest(asid));
+        let gpt = Mapper::create(&mut acc, &mut galloc).expect("guest mapper");
+        for page in 0..STREAM_PAGES {
+            // 77 is coprime to STREAM_PAGES, so the permuted map is a
+            // bijection over the window.
+            let frame = if permute { (page * 77 + 13) % STREAM_PAGES } else { page };
+            gpt.map(&mut acc, &mut galloc, page * PAGE_SIZE, Hpa(frame * PAGE_SIZE), PTE_WRITABLE)
+                .expect("guest map");
+        }
+        gpt.root().0
+    };
+    let vmcb_pa = Hpa(0xF000);
+    let mut img = VmcbImage::new();
+    img.set(VmcbField::Asid, asid.0 as u64)
+        .set(VmcbField::SevEnable, 1)
+        .set(VmcbField::NCr3, npt.root().0)
+        .set(VmcbField::Cr3, gcr3)
+        .set(VmcbField::Rip, 0x1000)
+        .set(VmcbField::Cr0, Cr0::enabled().to_bits());
+    img.store(&mut m.mc, vmcb_pa).expect("vmcb store");
+    m.host_write(Hva(0x2100), &[0x0F, 0x01, 0xD8]).expect("plant vmrun");
+    m.exec_priv(Hva(0x2100), PrivOp::Vmrun(vmcb_pa)).expect("vmrun");
+    m
+}
+
+/// Guest write+read sweep through the guest's own page tables; `permute`
+/// selects the scattered stage-1 mapping and `walk` pins the seed's
+/// walk-every-access oracle mode.
+fn run_guest_stream(
+    name: &'static str,
+    permute: bool,
+    walk: bool,
+    iters: u32,
+    len: usize,
+) -> Throughput {
+    let mut m = stream_guest_machine(permute);
+    m.set_walk_always(walk);
+    let window = (STREAM_PAGES * PAGE_SIZE) as usize;
+    let wbuf = [0xA5u8; STREAM_ACCESS];
+    let mut rbuf = [0u8; STREAM_ACCESS];
+    let steps = len / (2 * STREAM_ACCESS);
+    measure_throughput(name, len as u64, iters, || {
+        for s in 0..steps {
+            let va = Gva(((s * 2 * STREAM_ACCESS) % window) as u64);
+            m.guest_write(va, &wbuf).expect("guest write");
+            m.guest_read(va, &mut rbuf).expect("guest read");
+        }
+    })
+}
+
+fn guest_gpa_stream(iters: u32, len: usize) -> Throughput {
+    run_guest_stream("guest_gpa_stream", false, false, iters, len)
+}
+
+fn guest_gpa_stream_walk(iters: u32, len: usize) -> Throughput {
+    run_guest_stream("guest_gpa_stream_walk", false, true, iters, len)
+}
+
+fn guest_virt_stream(iters: u32, len: usize) -> Throughput {
+    run_guest_stream("guest_virt_stream", true, false, iters, len)
+}
+
+fn guest_virt_stream_walk(iters: u32, len: usize) -> Throughput {
+    run_guest_stream("guest_virt_stream_walk", true, true, iters, len)
+}
+
 fn main() {
     let iters = arg_u64("--iters", 9) as u32;
     let mb = arg_u64("--mb", 4).max(1);
@@ -107,13 +232,17 @@ fn main() {
     let len = (mb * 1024 * 1024) as usize;
     note!("== Simulator memory-path throughput (host wall-clock, {mb} MiB buffer, {threads} threads) ==");
 
-    let scenarios: [fn(u32, usize) -> Throughput; 6] = [
+    let scenarios: [fn(u32, usize) -> Throughput; 10] = [
         memctrl_guest_stream,
         memctrl_unaligned,
         pa_tweak_stream,
         ctr128,
         sector_cipher,
         soft_aes_ctr,
+        guest_gpa_stream,
+        guest_gpa_stream_walk,
+        guest_virt_stream,
+        guest_virt_stream_walk,
     ];
     let results =
         fidelius_par::par_map_ordered(&scenarios, threads, |_, scenario| scenario(iters, len));

@@ -98,7 +98,11 @@ fn micro_memstream_json_round_trips() {
             "pa_tweak_stream",
             "ctr128",
             "sector_cipher",
-            "soft_aes_ctr"
+            "soft_aes_ctr",
+            "guest_gpa_stream",
+            "guest_gpa_stream_walk",
+            "guest_virt_stream",
+            "guest_virt_stream_walk"
         ],
         "one throughput line per scenario, in order"
     );

@@ -309,6 +309,13 @@ impl Fidelius {
         let mut acc = PhysPtAccess::new(&mut plat.machine.mc, EncSel::None);
         let old = Pte(acc.read_entry(entry_pa).map_err(GuardError::Hw)?);
         acc.write_entry(entry_pa, f(old).0).map_err(GuardError::Hw)?;
+        // The TLB caches the full translation; an edited direct-map leaf
+        // (unmap, write-protect, remap) must take effect on the very next
+        // host access or the hypervisor keeps reaching a frame Fidelius
+        // just revoked. Demote rather than flush so hit accounting matches
+        // the walk-every-access model, which applied edits without any
+        // architectural flush.
+        plat.machine.tlb.demote_page(fidelius_hw::tlb::Space::Host, direct_map(pa).pfn());
         Ok(())
     }
 
@@ -533,6 +540,12 @@ impl Guardian for Fidelius {
             plat.machine.host_write_u64(direct_map(entry_pa), value).map_err(GuardError::Fault)
         });
         self.gates = Some(gates);
+        // The entry's mapped VA is unknown here (the hypervisor hands us a
+        // raw entry address), so conservatively demote every cached host
+        // translation; residency and hit accounting are untouched.
+        if result.is_ok() {
+            plat.machine.tlb.demote_space(fidelius_hw::tlb::Space::Host);
+        }
         result
     }
 

@@ -15,7 +15,7 @@
 //! cross-check oracles for each other.
 //!
 //! The original run-per-byte implementation is retained verbatim in
-//! [`reference`] and asserted equivalent in tests, keeping the textbook
+//! [`mod@reference`] and asserted equivalent in tests, keeping the textbook
 //! math reviewable next to the tables it generates.
 
 /// Bit-level GF(2⁸) multiply (no tables).

@@ -17,7 +17,7 @@
 //!   bytes**. This makes Fidelius's instruction-unmapping and binary-
 //!   scanning defenses architecturally enforceable: an attacker simply
 //!   cannot execute `VMRUN` if no executable mapping contains its bytes.
-//! - world switches ([`Machine::vmrun`] via `exec_priv`, [`Machine::vmexit`])
+//! - world switches (`Machine::vmrun` via `exec_priv`, [`Machine::vmexit`])
 //!   move guest state between the register file and the in-memory VMCB
 //!   exactly as AMD-V does — including SEV's omission: the VMCB and GPRs
 //!   cross the boundary in plaintext.
@@ -29,7 +29,7 @@ use crate::mem::Dram;
 use crate::memctrl::{EncSel, MemoryController};
 use crate::paging::{permits, walk, Translation};
 use crate::regs::{Cr0, Cr4, Efer, RegFile};
-use crate::tlb::{Space, Tlb};
+use crate::tlb::{CachedTranslation, Space, Tlb, TransKind};
 use crate::vmcb::{ExitCode, VmcbField, VmcbImage};
 use crate::{Asid, Gpa, Gva, Hpa, Hva, PAGE_SIZE};
 use fidelius_telemetry::{Event, FlushScope, Snapshot, Tracer};
@@ -165,6 +165,21 @@ impl PrivOp {
     }
 }
 
+/// A pending coalesced memory-controller call: a run of consecutive
+/// virtual pages whose translations were host-contiguous under one
+/// [`EncSel`], folded into a single streaming `mc.read`/`mc.write`.
+#[derive(Debug, Clone, Copy)]
+struct PendingRun {
+    /// Start offset of the run in the caller's buffer.
+    buf_off: usize,
+    /// Host-physical start of the run.
+    hpa: Hpa,
+    /// Encryption selection shared by every page of the run.
+    enc: EncSel,
+    /// Bytes accumulated so far.
+    len: usize,
+}
+
 /// The machine: memory system + one CPU + cycle accounting.
 #[derive(Debug)]
 pub struct Machine {
@@ -184,6 +199,10 @@ pub struct Machine {
     /// The fault-injection handle every layer above shares. Disarmed by
     /// default; the fault-injection harness installs a seeded schedule here.
     pub inject: InjectorHandle,
+    /// Oracle mode: when set, every access takes the full software-walk
+    /// path even on a TLB hit (the pre-cache behaviour). See
+    /// [`Machine::set_walk_always`].
+    walk_always: bool,
 }
 
 impl Machine {
@@ -198,7 +217,24 @@ impl Machine {
             cpu: Cpu::new(),
             trace,
             inject: InjectorHandle::new(),
+            walk_always: false,
         }
+    }
+
+    /// Forces every translation onto the full software-walk path (the
+    /// walk-every-access behaviour this codebase started with), keeping
+    /// the TLB for hit/miss accounting only. The differential oracle
+    /// tests and the `micro_memstream` walk baselines run in this mode;
+    /// as long as every page-table edit is followed by the architectural
+    /// flush it requires, cached mode must be bit-identical to it in
+    /// data, faults, modeled cycles, and TLB counters.
+    pub fn set_walk_always(&mut self, on: bool) {
+        self.walk_always = on;
+    }
+
+    /// Whether the walk-everything oracle mode is active.
+    pub fn walk_always(&self) -> bool {
+        self.walk_always
     }
 
     /// Queries the fault-injection handle at `point`, emitting a
@@ -232,15 +268,48 @@ impl Machine {
             return Ok((Hpa(va.0), EncSel::None));
         }
         let vpn = va.pfn();
-        let hit = self.tlb.lookup(Space::Host, vpn).is_some();
+        let cached = self.tlb.lookup(Space::Host, vpn);
         self.cycles.charge(self.cost.mem_access);
+        let hit = cached.is_hit();
         if !hit {
             self.cycles.charge_as(CycleCategory::Paging, self.cost.gpt_walk);
             self.tlb.record_walks(1);
         }
+        if !self.walk_always {
+            if let Some(c) = cached.cached() {
+                if c.kind == TransKind::HostVirt {
+                    // Permission bits are cached raw and judged against the
+                    // *current* CR0.WP — a type-1 gate clears WP without any
+                    // flush and the next write must go through (same rules
+                    // as `paging::permits`).
+                    let fault = |reason| Fault::HostPageFault { va, access, reason };
+                    match access {
+                        AccessKind::Write if !c.writable && self.cpu.cr0.wp => {
+                            return Err(fault(FaultReason::WriteProtected));
+                        }
+                        AccessKind::Execute if c.nx => return Err(fault(FaultReason::NoExecute)),
+                        _ => {}
+                    }
+                    let pa = Hpa(c.hpfn * PAGE_SIZE + va.page_offset());
+                    let enc = if c.c_bit { EncSel::Sme } else { EncSel::None };
+                    return Ok((pa, enc));
+                }
+            }
+        }
+        let usable = cached.cached().is_some_and(|c| c.kind == TransKind::HostVirt);
         let t = self.walk_host(va, access)?;
-        if !hit {
-            self.tlb.insert(Space::Host, vpn, t.pa.pfn());
+        let fresh = CachedTranslation::host(t.pa.pfn(), t.writable, t.nx, t.c_bit);
+        if hit {
+            // Demoted or wrong-kind hit: the walk re-validated the payload;
+            // repair it in place so residency and eviction order stay
+            // exactly as if the entry had never gone stale. A usable hit
+            // (reached only in walk-always mode) already matches the walk,
+            // so there is nothing to repair.
+            if !usable {
+                self.tlb.refresh(Space::Host, vpn, fresh);
+            }
+        } else {
+            self.tlb.insert(Space::Host, vpn, fresh);
         }
         let enc = if t.c_bit { EncSel::Sme } else { EncSel::None };
         Ok((t.pa, enc))
@@ -521,17 +590,114 @@ impl Machine {
         gpa: Gpa,
         access: AccessKind,
     ) -> Result<(Hpa, bool), Fault> {
-        let guest = self.cpu.guest.expect("guest access requires guest mode");
-        let fault = |reason| Fault::NestedPageFault { gpa, access, reason };
-        let t = match walk(&self.mc, guest.ncr3, gpa.0, EncSel::None) {
-            Err(_) => return Err(fault(FaultReason::BadPhysicalAddress)),
-            Ok(Err(_)) => return Err(fault(FaultReason::NotPresent)),
-            Ok(Ok(t)) => t,
-        };
+        let t = self.npt_walk_translation(gpa, access)?;
         if access == AccessKind::Write && !t.writable {
-            return Err(fault(FaultReason::WriteProtected));
+            return Err(Fault::NestedPageFault {
+                gpa,
+                access,
+                reason: FaultReason::WriteProtected,
+            });
         }
         Ok((t.pa, t.c_bit))
+    }
+
+    /// The raw NPT walk (no TLB interaction, no permission check), with
+    /// walk misses mapped to [`Fault::NestedPageFault`].
+    fn npt_walk_translation(&self, gpa: Gpa, access: AccessKind) -> Result<Translation, Fault> {
+        let guest = self.cpu.guest.expect("guest access requires guest mode");
+        let fault = |reason| Fault::NestedPageFault { gpa, access, reason };
+        match walk(&self.mc, guest.ncr3, gpa.0, EncSel::None) {
+            Err(_) => Err(fault(FaultReason::BadPhysicalAddress)),
+            Ok(Err(_)) => Err(fault(FaultReason::NotPresent)),
+            Ok(Ok(t)) => Ok(t),
+        }
+    }
+
+    /// Translates one guest-physical page with TLB accounting: the cycle
+    /// charges, counters, insertions, and faults are those of the
+    /// walk-every-access loop, but a valid [`TransKind::GuestPhys`] hit
+    /// skips the NPT walk entirely. Returns the translated address and
+    /// the NPT leaf C-bit.
+    fn gpa_translate_page(
+        &mut self,
+        guest: GuestCtx,
+        gpa: Gpa,
+        access: AccessKind,
+    ) -> Result<(Hpa, bool), Fault> {
+        let space = Space::Guest(guest.asid.0);
+        let cached = self.tlb.lookup(space, gpa.pfn());
+        self.cycles.charge(self.cost.mem_access);
+        let hit = cached.is_hit();
+        if !hit {
+            self.cycles.charge_as(CycleCategory::Paging, self.cost.npt_walk);
+            self.tlb.record_walks(1);
+        }
+        if !self.walk_always {
+            if let Some(c) = cached.cached() {
+                if c.kind == TransKind::GuestPhys {
+                    if access == AccessKind::Write && !c.npt_writable {
+                        return Err(Fault::NestedPageFault {
+                            gpa,
+                            access,
+                            reason: FaultReason::WriteProtected,
+                        });
+                    }
+                    return Ok((Hpa(c.hpfn * PAGE_SIZE + gpa.page_offset()), c.npt_c));
+                }
+            }
+        }
+        let usable = cached.cached().is_some_and(|c| c.kind == TransKind::GuestPhys);
+        let t = self.npt_walk_translation(gpa, access)?;
+        if access == AccessKind::Write && !t.writable {
+            return Err(Fault::NestedPageFault {
+                gpa,
+                access,
+                reason: FaultReason::WriteProtected,
+            });
+        }
+        let fresh = CachedTranslation::guest_phys(gpa.pfn(), t.pa.pfn(), t.writable, t.c_bit);
+        if hit {
+            if !usable {
+                self.tlb.refresh(space, gpa.pfn(), fresh);
+            }
+        } else {
+            self.tlb.insert(space, gpa.pfn(), fresh);
+        }
+        Ok((t.pa, t.c_bit))
+    }
+
+    /// The encryption selection for a guest-physical access: the guest key
+    /// when the guest asked for an encrypted mapping under SEV, otherwise
+    /// the SME key when the NPT leaf carries the C-bit.
+    fn select_gpa_enc(guest: GuestCtx, encrypted: bool, npt_c: bool) -> EncSel {
+        if encrypted && guest.sev {
+            EncSel::Guest(guest.asid)
+        } else if npt_c {
+            EncSel::Sme
+        } else {
+            EncSel::None
+        }
+    }
+
+    /// Commits a pending coalesced read span. Spans are only opened over
+    /// accesses [`MemoryController::access_infallible`] vouched for, so
+    /// the controller call cannot fail here.
+    fn commit_read_run(&mut self, run: Option<PendingRun>, buf: &mut [u8]) {
+        if let Some(r) = run {
+            self.mc
+                .read(r.hpa, &mut buf[r.buf_off..r.buf_off + r.len], r.enc)
+                .expect("coalesced span pre-checked against DRAM and keys");
+        }
+    }
+
+    /// Commits a pending coalesced write span; see
+    /// [`Machine::commit_read_run`].
+    fn commit_write_run(&mut self, run: Option<PendingRun>, data: &[u8]) {
+        if let Some(r) = run {
+            self.mc
+                .write(r.hpa, &data[r.buf_off..r.buf_off + r.len], r.enc)
+                .expect("coalesced span pre-checked against DRAM and keys");
+        }
     }
 
     /// Direct guest-physical access (how the guest kernel touches page
@@ -550,38 +716,48 @@ impl Machine {
     ) -> Result<(), Fault> {
         assert_eq!(self.cpu.mode, Mode::Guest);
         let guest = self.cpu.guest.expect("guest mode");
+        let mut run: Option<PendingRun> = None;
         let mut off = 0usize;
         while off < buf.len() {
             let cur = Gpa(gpa.0 + off as u64);
             let in_page = (PAGE_SIZE - cur.page_offset()) as usize;
             let take = in_page.min(buf.len() - off);
-            let hit = self.tlb.lookup(Space::Guest(guest.asid.0), cur.pfn()).is_some();
-            self.cycles.charge(self.cost.mem_access);
-            if !hit {
-                self.cycles.charge_as(CycleCategory::Paging, self.cost.npt_walk);
-                self.tlb.record_walks(1);
-            }
-            let (hpa, npt_c) = self.npt_translate_full(cur, AccessKind::Read)?;
-            if !hit {
-                self.tlb.insert(Space::Guest(guest.asid.0), cur.pfn(), hpa.pfn());
-            }
-            let enc = if encrypted && guest.sev {
-                EncSel::Guest(guest.asid)
-            } else if npt_c {
-                EncSel::Sme
-            } else {
-                EncSel::None
-            };
-            self.charge_engine(enc, take as u64);
-            self.mc.read(hpa, &mut buf[off..off + take], enc).map_err(|_| {
-                Fault::NestedPageFault {
-                    gpa: cur,
-                    access: AccessKind::Read,
-                    reason: FaultReason::BadPhysicalAddress,
+            let (hpa, npt_c) = match self.gpa_translate_page(guest, cur, AccessKind::Read) {
+                Ok(v) => v,
+                Err(fault) => {
+                    // Pages before the faulting one still commit, exactly
+                    // as the per-page loop did.
+                    self.commit_read_run(run.take(), buf);
+                    return Err(fault);
                 }
-            })?;
+            };
+            let enc = Self::select_gpa_enc(guest, encrypted, npt_c);
+            self.charge_engine(enc, take as u64);
+            if !self.walk_always && self.mc.access_infallible(hpa, take as u64, enc) {
+                match &mut run {
+                    Some(r) if r.enc == enc && r.hpa.0 + r.len as u64 == hpa.0 => r.len += take,
+                    _ => {
+                        let started = PendingRun { buf_off: off, hpa, enc, len: take };
+                        let prev = run.replace(started);
+                        self.commit_read_run(prev, buf);
+                    }
+                }
+            } else {
+                // A span the controller may reject keeps the per-page call
+                // so partial-commit state and the faulting GPA stay
+                // identical to the walking loop.
+                self.commit_read_run(run.take(), buf);
+                self.mc.read(hpa, &mut buf[off..off + take], enc).map_err(|_| {
+                    Fault::NestedPageFault {
+                        gpa: cur,
+                        access: AccessKind::Read,
+                        reason: FaultReason::BadPhysicalAddress,
+                    }
+                })?;
+            }
             off += take;
         }
+        self.commit_read_run(run.take(), buf);
         Ok(())
     }
 
@@ -593,38 +769,43 @@ impl Machine {
     pub fn guest_write_gpa(&mut self, gpa: Gpa, data: &[u8], encrypted: bool) -> Result<(), Fault> {
         assert_eq!(self.cpu.mode, Mode::Guest);
         let guest = self.cpu.guest.expect("guest mode");
+        let mut run: Option<PendingRun> = None;
         let mut off = 0usize;
         while off < data.len() {
             let cur = Gpa(gpa.0 + off as u64);
             let in_page = (PAGE_SIZE - cur.page_offset()) as usize;
             let take = in_page.min(data.len() - off);
-            let hit = self.tlb.lookup(Space::Guest(guest.asid.0), cur.pfn()).is_some();
-            self.cycles.charge(self.cost.mem_access);
-            if !hit {
-                self.cycles.charge_as(CycleCategory::Paging, self.cost.npt_walk);
-                self.tlb.record_walks(1);
-            }
-            let (hpa, npt_c) = self.npt_translate_full(cur, AccessKind::Write)?;
-            if !hit {
-                self.tlb.insert(Space::Guest(guest.asid.0), cur.pfn(), hpa.pfn());
-            }
-            let enc = if encrypted && guest.sev {
-                EncSel::Guest(guest.asid)
-            } else if npt_c {
-                EncSel::Sme
-            } else {
-                EncSel::None
-            };
-            self.charge_engine(enc, take as u64);
-            self.mc.write(hpa, &data[off..off + take], enc).map_err(|_| {
-                Fault::NestedPageFault {
-                    gpa: cur,
-                    access: AccessKind::Write,
-                    reason: FaultReason::BadPhysicalAddress,
+            let (hpa, npt_c) = match self.gpa_translate_page(guest, cur, AccessKind::Write) {
+                Ok(v) => v,
+                Err(fault) => {
+                    self.commit_write_run(run.take(), data);
+                    return Err(fault);
                 }
-            })?;
+            };
+            let enc = Self::select_gpa_enc(guest, encrypted, npt_c);
+            self.charge_engine(enc, take as u64);
+            if !self.walk_always && self.mc.access_infallible(hpa, take as u64, enc) {
+                match &mut run {
+                    Some(r) if r.enc == enc && r.hpa.0 + r.len as u64 == hpa.0 => r.len += take,
+                    _ => {
+                        let started = PendingRun { buf_off: off, hpa, enc, len: take };
+                        let prev = run.replace(started);
+                        self.commit_write_run(prev, data);
+                    }
+                }
+            } else {
+                self.commit_write_run(run.take(), data);
+                self.mc.write(hpa, &data[off..off + take], enc).map_err(|_| {
+                    Fault::NestedPageFault {
+                        gpa: cur,
+                        access: AccessKind::Write,
+                        reason: FaultReason::BadPhysicalAddress,
+                    }
+                })?;
+            }
             off += take;
         }
+        self.commit_write_run(run.take(), data);
         Ok(())
     }
 
@@ -637,22 +818,42 @@ impl Machine {
     ///
     /// Guest page faults (stage 1) and nested page faults (stage 2).
     pub fn guest_read(&mut self, va: Gva, buf: &mut [u8]) -> Result<(), Fault> {
+        let mut run: Option<PendingRun> = None;
         let mut off = 0usize;
         while off < buf.len() {
             let cur = Gva(va.0 + off as u64);
             let in_page = (PAGE_SIZE - cur.page_offset()) as usize;
             let take = in_page.min(buf.len() - off);
-            let (hpa, enc) = self.guest_translate(cur, AccessKind::Read)?;
-            self.charge_engine(enc, take as u64);
-            self.mc.read(hpa, &mut buf[off..off + take], enc).map_err(|_| {
-                Fault::GuestPageFault {
-                    va: cur,
-                    access: AccessKind::Read,
-                    reason: FaultReason::BadPhysicalAddress,
+            let (hpa, enc) = match self.guest_translate(cur, AccessKind::Read) {
+                Ok(v) => v,
+                Err(fault) => {
+                    self.commit_read_run(run.take(), buf);
+                    return Err(fault);
                 }
-            })?;
+            };
+            self.charge_engine(enc, take as u64);
+            if !self.walk_always && self.mc.access_infallible(hpa, take as u64, enc) {
+                match &mut run {
+                    Some(r) if r.enc == enc && r.hpa.0 + r.len as u64 == hpa.0 => r.len += take,
+                    _ => {
+                        let started = PendingRun { buf_off: off, hpa, enc, len: take };
+                        let prev = run.replace(started);
+                        self.commit_read_run(prev, buf);
+                    }
+                }
+            } else {
+                self.commit_read_run(run.take(), buf);
+                self.mc.read(hpa, &mut buf[off..off + take], enc).map_err(|_| {
+                    Fault::GuestPageFault {
+                        va: cur,
+                        access: AccessKind::Read,
+                        reason: FaultReason::BadPhysicalAddress,
+                    }
+                })?;
+            }
             off += take;
         }
+        self.commit_read_run(run.take(), buf);
         Ok(())
     }
 
@@ -662,20 +863,42 @@ impl Machine {
     ///
     /// Guest page faults (stage 1) and nested page faults (stage 2).
     pub fn guest_write(&mut self, va: Gva, data: &[u8]) -> Result<(), Fault> {
+        let mut run: Option<PendingRun> = None;
         let mut off = 0usize;
         while off < data.len() {
             let cur = Gva(va.0 + off as u64);
             let in_page = (PAGE_SIZE - cur.page_offset()) as usize;
             let take = in_page.min(data.len() - off);
-            let (hpa, enc) = self.guest_translate(cur, AccessKind::Write)?;
+            let (hpa, enc) = match self.guest_translate(cur, AccessKind::Write) {
+                Ok(v) => v,
+                Err(fault) => {
+                    self.commit_write_run(run.take(), data);
+                    return Err(fault);
+                }
+            };
             self.charge_engine(enc, take as u64);
-            self.mc.write(hpa, &data[off..off + take], enc).map_err(|_| Fault::GuestPageFault {
-                va: cur,
-                access: AccessKind::Write,
-                reason: FaultReason::BadPhysicalAddress,
-            })?;
+            if !self.walk_always && self.mc.access_infallible(hpa, take as u64, enc) {
+                match &mut run {
+                    Some(r) if r.enc == enc && r.hpa.0 + r.len as u64 == hpa.0 => r.len += take,
+                    _ => {
+                        let started = PendingRun { buf_off: off, hpa, enc, len: take };
+                        let prev = run.replace(started);
+                        self.commit_write_run(prev, data);
+                    }
+                }
+            } else {
+                self.commit_write_run(run.take(), data);
+                self.mc.write(hpa, &data[off..off + take], enc).map_err(|_| {
+                    Fault::GuestPageFault {
+                        va: cur,
+                        access: AccessKind::Write,
+                        reason: FaultReason::BadPhysicalAddress,
+                    }
+                })?;
+            }
             off += take;
         }
+        self.commit_write_run(run.take(), data);
         Ok(())
     }
 
@@ -687,14 +910,46 @@ impl Machine {
         let table_enc = if guest.sev { EncSel::Guest(guest.asid) } else { EncSel::None };
         let gfault = |reason| Fault::GuestPageFault { va, access, reason };
 
-        let hit = self.tlb.lookup(Space::Guest(guest.asid.0), va.pfn()).is_some();
+        let cached = self.tlb.lookup(Space::Guest(guest.asid.0), va.pfn());
         self.cycles.charge(self.cost.mem_access);
+        let hit = cached.is_hit();
         if !hit {
             self.cycles.charge_as(CycleCategory::Paging, self.cost.gpt_walk + self.cost.npt_walk);
             // A guest-virtual miss walks both the guest table and the NPT.
             self.tlb.record_walks(2);
         }
+        if !self.walk_always {
+            if let Some(c) = cached.cached() {
+                if c.kind == TransKind::GuestVirt {
+                    // Stage-1 permission faults precede stage-2 ones, in
+                    // walk order.
+                    match access {
+                        AccessKind::Write if !c.writable => {
+                            return Err(gfault(FaultReason::WriteProtected));
+                        }
+                        AccessKind::Execute if c.nx => return Err(gfault(FaultReason::NoExecute)),
+                        _ => {}
+                    }
+                    if access == AccessKind::Write && !c.npt_writable {
+                        return Err(Fault::NestedPageFault {
+                            gpa: Gpa(c.gpfn * PAGE_SIZE + va.page_offset()),
+                            access,
+                            reason: FaultReason::WriteProtected,
+                        });
+                    }
+                    let enc = if guest.sev && c.c_bit {
+                        EncSel::Guest(guest.asid)
+                    } else if c.npt_c {
+                        EncSel::Sme
+                    } else {
+                        EncSel::None
+                    };
+                    return Ok((Hpa(c.hpfn * PAGE_SIZE + va.page_offset()), enc));
+                }
+            }
+        }
 
+        let usable = cached.cached().is_some_and(|c| c.kind == TransKind::GuestVirt);
         // Stage-1 walk; every table access is itself a GPA that must pass
         // through the NPT.
         let mut table_gpa = guest.gcr3;
@@ -727,18 +982,38 @@ impl Machine {
         }
         // Stage 2 for the final data page.
         let gpa = Gpa(leaf.addr().0 + va.page_offset());
-        let (hpa, npt_c) = self.npt_translate_full(gpa, access)?;
-        if !hit {
-            self.tlb.insert(Space::Guest(guest.asid.0), va.pfn(), hpa.pfn());
+        let t2 = self.npt_walk_translation(gpa, access)?;
+        if access == AccessKind::Write && !t2.writable {
+            return Err(Fault::NestedPageFault {
+                gpa,
+                access,
+                reason: FaultReason::WriteProtected,
+            });
+        }
+        let fresh = CachedTranslation::guest_virt(
+            t2.pa.pfn(),
+            leaf.addr().pfn(),
+            writable,
+            nx,
+            leaf.c_bit(),
+            t2.writable,
+            t2.c_bit,
+        );
+        if hit {
+            if !usable {
+                self.tlb.refresh(Space::Guest(guest.asid.0), va.pfn(), fresh);
+            }
+        } else {
+            self.tlb.insert(Space::Guest(guest.asid.0), va.pfn(), fresh);
         }
         let enc = if guest.sev && leaf.c_bit() {
             EncSel::Guest(guest.asid)
-        } else if npt_c {
+        } else if t2.c_bit {
             EncSel::Sme
         } else {
             EncSel::None
         };
-        Ok((hpa, enc))
+        Ok((t2.pa, enc))
     }
 }
 

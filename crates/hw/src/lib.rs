@@ -38,6 +38,7 @@ pub mod bmt;
 pub mod cpu;
 pub mod cycles;
 pub mod error;
+pub mod fxhash;
 pub mod inject;
 pub mod mem;
 pub mod memctrl;

@@ -29,6 +29,7 @@
 //! identical to the original implementation.
 
 use crate::error::HwError;
+use crate::fxhash::FxBuildHasher;
 use crate::mem::Dram;
 use crate::{Asid, Hpa};
 use fidelius_crypto::modes::PaTweakCipher;
@@ -75,7 +76,7 @@ impl EncSel {
 pub struct MemoryController {
     dram: Dram,
     sme: Option<PaTweakCipher>,
-    guests: HashMap<u16, PaTweakCipher>,
+    guests: HashMap<u16, PaTweakCipher, FxBuildHasher>,
     trace: Option<Tracer>,
 }
 
@@ -92,7 +93,7 @@ impl std::fmt::Debug for MemoryController {
 impl MemoryController {
     /// Wraps physical memory with an (initially key-less) engine.
     pub fn new(dram: Dram) -> Self {
-        MemoryController { dram, sme: None, guests: HashMap::new(), trace: None }
+        MemoryController { dram, sme: None, guests: HashMap::default(), trace: None }
     }
 
     /// Attaches a tracer; every engine-engaged access is then accounted as
@@ -136,7 +137,7 @@ impl MemoryController {
     /// so `write` can hold the cipher by reference while mutating DRAM.
     fn engine_of<'a>(
         sme: &'a Option<PaTweakCipher>,
-        guests: &'a HashMap<u16, PaTweakCipher>,
+        guests: &'a HashMap<u16, PaTweakCipher, FxBuildHasher>,
         sel: EncSel,
     ) -> Result<Option<&'a PaTweakCipher>, HwError> {
         match sel {
@@ -160,6 +161,20 @@ impl MemoryController {
             Some(span_end) => span_end <= dram.size(),
             None => false,
         }
+    }
+
+    /// Whether an access to `[pa, pa + len)` under `sel` is guaranteed to
+    /// succeed: the span lies in DRAM and, for a guest selection, the
+    /// ASID has a key installed. The CPU's coalesced guest streaming path
+    /// uses this to decide whether consecutive pages may share one
+    /// controller call without changing which page a failure would be
+    /// charged to.
+    pub fn access_infallible(&self, pa: Hpa, len: u64, sel: EncSel) -> bool {
+        let key_ok = match sel {
+            EncSel::Guest(asid) => self.has_guest_key(asid),
+            EncSel::None | EncSel::Sme => true,
+        };
+        key_ok && Self::span_in_dram(&self.dram, pa, len)
     }
 
     /// Reads memory through the engine.

@@ -1,11 +1,13 @@
-//! A TLB model.
+//! A TLB model that is also a real translation cache.
 //!
-//! The TLB is a *performance* structure in this simulation: hits and misses
-//! change the cycle charge (a miss pays a table walk), while correctness is
-//! always derived from the current page tables. The paper's gates still
+//! Each entry caches the *full* result of a page-table walk — host frame,
+//! permissions, C-bits — so a valid hit lets the CPU skip the software
+//! walk entirely (see `Machine::host_translate` and the guest paths in
+//! `cpu.rs`). Hits and misses still change the cycle charge exactly as
+//! before (a miss pays a table walk), and the paper's gates still
 //! interact with it faithfully — a type-3 gate pays a per-entry `invlpg`
-//! (128 cycles) and a CR3 switch pays a full flush, which is precisely the
-//! cost trade-off the paper's §4.1.3 discusses.
+//! (128 cycles) and a CR3 switch pays a full flush, which is precisely
+//! the cost trade-off the paper's §4.1.3 discusses.
 //!
 //! Flushes are generation-tagged rather than eager: every entry is stamped
 //! with the global generation and its space's generation at insert time,
@@ -15,6 +17,7 @@
 //! entries are reaped lazily when a lookup trips over them or when the
 //! bounded-capacity FIFO eviction recycles their slot.
 
+use crate::fxhash::FxBuildHasher;
 use std::collections::{HashMap, VecDeque};
 
 /// Identifies an address space in the TLB: the host, or a guest ASID.
@@ -24,6 +27,107 @@ pub enum Space {
     Host,
     /// A guest address space tagged by ASID.
     Guest(u16),
+}
+
+/// Which walk produced a cached translation. Guest-physical and
+/// guest-virtual translations share `Space::Guest(asid)` keyed by page
+/// number (as on hardware, where a flat-mapped guest aliases them), so the
+/// kind disambiguates which walk a cached payload belongs to; a hit of the
+/// wrong kind is still a *hit* for accounting but cannot satisfy the
+/// access, which silently re-walks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransKind {
+    /// Host-virtual → host-physical through the host page tables.
+    HostVirt,
+    /// Guest-physical → host-physical through the NPT alone.
+    GuestPhys,
+    /// Guest-virtual → host-physical through guest tables + NPT.
+    GuestVirt,
+}
+
+/// The full result of a translation walk, cached so a valid hit can skip
+/// the software walk. Permission bits are stored raw (not pre-validated
+/// against an access kind) because `CR0.WP` can change between insert and
+/// hit without any architectural flush — a type-1 gate clears WP and the
+/// very next write through a cached read-only mapping must succeed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachedTranslation {
+    /// Which walk produced this entry.
+    pub kind: TransKind,
+    /// Host-physical frame number the page maps to.
+    pub hpfn: u64,
+    /// Guest-physical frame of the data page: for [`TransKind::GuestVirt`]
+    /// the stage-1 leaf target (needed to name the GPA in nested-fault
+    /// delivery on a cached stage-2 permission fault); for
+    /// [`TransKind::GuestPhys`] it equals the key; unused for the host.
+    pub gpfn: u64,
+    /// Stage-1 accumulated writable (host tables or guest tables). For
+    /// [`TransKind::GuestPhys`] there is no stage 1; stored as `true`.
+    pub writable: bool,
+    /// Stage-1 accumulated NX.
+    pub nx: bool,
+    /// Stage-2 (NPT) leaf writable. Stored as `true` for the host, which
+    /// has no stage 2.
+    pub npt_writable: bool,
+    /// Stage-1 leaf C-bit (host PT C-bit, or the guest leaf C-bit that
+    /// selects `Kvek` under SEV). `false` for [`TransKind::GuestPhys`].
+    pub c_bit: bool,
+    /// NPT leaf C-bit (routes through the host SME key — the paper's
+    /// "Fidelius-enc" mechanism). `false` for the host.
+    pub npt_c: bool,
+}
+
+impl CachedTranslation {
+    /// A host-virtual translation (no stage 2).
+    pub fn host(hpfn: u64, writable: bool, nx: bool, c_bit: bool) -> Self {
+        CachedTranslation {
+            kind: TransKind::HostVirt,
+            hpfn,
+            gpfn: 0,
+            writable,
+            nx,
+            npt_writable: true,
+            c_bit,
+            npt_c: false,
+        }
+    }
+
+    /// A guest-physical translation (NPT only).
+    pub fn guest_phys(gpfn: u64, hpfn: u64, npt_writable: bool, npt_c: bool) -> Self {
+        CachedTranslation {
+            kind: TransKind::GuestPhys,
+            hpfn,
+            gpfn,
+            writable: true,
+            nx: false,
+            npt_writable,
+            c_bit: false,
+            npt_c,
+        }
+    }
+
+    /// A guest-virtual translation (guest tables + NPT).
+    #[allow(clippy::too_many_arguments)]
+    pub fn guest_virt(
+        hpfn: u64,
+        gpfn: u64,
+        writable: bool,
+        nx: bool,
+        c_bit: bool,
+        npt_writable: bool,
+        npt_c: bool,
+    ) -> Self {
+        CachedTranslation {
+            kind: TransKind::GuestVirt,
+            hpfn,
+            gpfn,
+            writable,
+            nx,
+            npt_writable,
+            c_bit,
+            npt_c,
+        }
+    }
 }
 
 /// Default entry capacity. Sized like a generously large second-level TLB
@@ -47,21 +151,61 @@ pub struct TlbCounters {
 
 #[derive(Debug, Clone, Copy)]
 struct Entry {
-    pfn: u64,
+    cached: CachedTranslation,
     global_gen: u64,
     space_gen: u64,
+    /// Demotion generation of the space at insert/refresh time; the cached
+    /// payload is only trusted while this still matches (see
+    /// [`Tlb::demote_space`]).
+    demote_gen: u64,
+    /// Set by [`Tlb::demote_page`]: the entry stays resident for hit
+    /// accounting but its payload must be re-validated by a walk.
+    stale: bool,
     /// Monotonic insertion stamp; pairs map entries with their FIFO slot
     /// so a re-inserted key's abandoned slot is recognised as debris.
     stamp: u64,
+}
+
+/// The outcome of a TLB lookup.
+///
+/// A *hit* means the entry is resident under the current flush
+/// generations — exactly the condition the seed TLB counted as a hit and
+/// charged cheaply. Whether the hit also carries a usable payload is a
+/// separate question: a demoted entry (its translation was edited without
+/// an architectural flush, see [`Tlb::demote_page`]) and a wrong-kind
+/// alias both hit for accounting but force the caller to re-walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// No resident entry (or a flushed-out generation, reaped lazily).
+    Miss,
+    /// Resident entry; `Some` payload may satisfy the access, `None`
+    /// (demoted) requires a re-walk that should end in [`Tlb::refresh`].
+    Hit(Option<CachedTranslation>),
+}
+
+impl Lookup {
+    /// Whether the lookup counted as a hit (cheap cycle charge).
+    pub fn is_hit(&self) -> bool {
+        matches!(self, Lookup::Hit(_))
+    }
+
+    /// The usable cached payload, if any.
+    pub fn cached(&self) -> Option<CachedTranslation> {
+        match self {
+            Lookup::Hit(c) => *c,
+            Lookup::Miss => None,
+        }
+    }
 }
 
 /// The TLB: cached translations per (space, virtual page), with O(1)
 /// generation flushes and bounded-capacity FIFO eviction.
 #[derive(Debug)]
 pub struct Tlb {
-    entries: HashMap<(Space, u64), Entry>,
+    entries: HashMap<(Space, u64), Entry, FxBuildHasher>,
     fifo: VecDeque<((Space, u64), u64)>,
-    space_gens: HashMap<Space, u64>,
+    space_gens: HashMap<Space, u64, FxBuildHasher>,
+    space_demote_gens: HashMap<Space, u64, FxBuildHasher>,
     global_gen: u64,
     next_stamp: u64,
     capacity: usize,
@@ -88,9 +232,10 @@ impl Tlb {
     pub fn with_capacity(capacity: usize) -> Self {
         assert!(capacity > 0, "TLB capacity must be non-zero");
         Tlb {
-            entries: HashMap::new(),
+            entries: HashMap::default(),
             fifo: VecDeque::new(),
-            space_gens: HashMap::new(),
+            space_gens: HashMap::default(),
+            space_demote_gens: HashMap::default(),
             global_gen: 0,
             next_stamp: 0,
             capacity,
@@ -102,42 +247,69 @@ impl Tlb {
         self.space_gens.get(&space).copied().unwrap_or(0)
     }
 
+    fn space_demote_gen(&self, space: Space) -> u64 {
+        self.space_demote_gens.get(&space).copied().unwrap_or(0)
+    }
+
     fn is_valid(&self, space: Space, entry: &Entry) -> bool {
         entry.global_gen == self.global_gen && entry.space_gen == self.space_gen(space)
     }
 
-    /// Looks up a virtual page; returns the cached physical page.
-    pub fn lookup(&mut self, space: Space, vpn: u64) -> Option<u64> {
+    /// Looks up a virtual page. A resident entry under the current flush
+    /// generations is a hit; the payload is returned only if it has not
+    /// been demoted since insert/refresh.
+    pub fn lookup(&mut self, space: Space, vpn: u64) -> Lookup {
         match self.entries.get(&(space, vpn)) {
             Some(entry) if self.is_valid(space, entry) => {
                 self.counters.hits += 1;
-                Some(entry.pfn)
+                let usable = !entry.stale && entry.demote_gen == self.space_demote_gen(space);
+                Lookup::Hit(if usable { Some(entry.cached) } else { None })
             }
             Some(_) => {
                 // Flushed-out generation: reap lazily, count as a miss.
                 self.entries.remove(&(space, vpn));
                 self.counters.misses += 1;
-                None
+                Lookup::Miss
             }
             None => {
                 self.counters.misses += 1;
-                None
+                Lookup::Miss
             }
         }
     }
 
     /// Inserts a translation after a walk, evicting the oldest entry when
     /// over capacity.
-    pub fn insert(&mut self, space: Space, vpn: u64, pfn: u64) {
+    pub fn insert(&mut self, space: Space, vpn: u64, cached: CachedTranslation) {
         let stamp = self.next_stamp;
         self.next_stamp += 1;
-        let entry =
-            Entry { pfn, global_gen: self.global_gen, space_gen: self.space_gen(space), stamp };
+        let entry = Entry {
+            cached,
+            global_gen: self.global_gen,
+            space_gen: self.space_gen(space),
+            demote_gen: self.space_demote_gen(space),
+            stale: false,
+            stamp,
+        };
         self.entries.insert((space, vpn), entry);
         self.fifo.push_back(((space, vpn), stamp));
         while self.entries.len() > self.capacity {
             self.evict_oldest();
         }
+        // Re-insertions and `invlpg` orphan FIFO slots without shrinking
+        // the queue; compact once debris outnumbers live slots so `fifo`
+        // stays bounded by 2× capacity instead of growing forever.
+        if self.fifo.len() > 2 * self.capacity {
+            self.compact_fifo();
+        }
+    }
+
+    /// Drops every FIFO slot whose stamp no longer matches its map entry
+    /// (the key was re-inserted or flushed by `invlpg`). Afterwards
+    /// `fifo.len() == entries.len() <= capacity`.
+    fn compact_fifo(&mut self) {
+        let entries = &self.entries;
+        self.fifo.retain(|(key, stamp)| entries.get(key).is_some_and(|e| e.stamp == *stamp));
     }
 
     /// Removes the oldest still-mapped entry. FIFO slots whose stamp no
@@ -157,6 +329,45 @@ impl Tlb {
                 _ => continue,
             }
         }
+    }
+
+    /// Re-validates a *resident* entry's payload after a walk, in place:
+    /// no FIFO movement, no new stamp, no counter change. This is how the
+    /// CPU repairs a demoted (or wrong-kind-aliased) hit — the entry's
+    /// residency, and therefore every future hit/miss/eviction decision,
+    /// is exactly as if the payload had never gone stale. A missing or
+    /// flushed-out entry is left alone (re-validation is not insertion).
+    pub fn refresh(&mut self, space: Space, vpn: u64, cached: CachedTranslation) {
+        let gen_ok = {
+            let Some(entry) = self.entries.get(&(space, vpn)) else { return };
+            self.is_valid(space, entry)
+        };
+        if gen_ok {
+            let demote_gen = self.space_demote_gen(space);
+            let entry = self.entries.get_mut(&(space, vpn)).expect("checked above");
+            entry.cached = cached;
+            entry.demote_gen = demote_gen;
+            entry.stale = false;
+        }
+    }
+
+    /// Marks one page's cached payload untrusted without evicting the
+    /// entry. Used at page-table edit sites that, architecturally, do
+    /// *not* flush (the seed model walked on every access, so an edit
+    /// took effect immediately while the entry stayed resident as a hit).
+    /// A demoted hit still charges as a hit; the CPU re-walks for the
+    /// translation and [`Tlb::refresh`]es the payload.
+    pub fn demote_page(&mut self, space: Space, vpn: u64) {
+        if let Some(entry) = self.entries.get_mut(&(space, vpn)) {
+            entry.stale = true;
+        }
+    }
+
+    /// Marks every cached payload of one space untrusted — O(1), by
+    /// bumping the space's demotion generation. Residency, hit accounting
+    /// and eviction order are unaffected; see [`Tlb::demote_page`].
+    pub fn demote_space(&mut self, space: Space) {
+        *self.space_demote_gens.entry(space).or_insert(0) += 1;
     }
 
     /// `invlpg` — drops one entry.
@@ -210,35 +421,102 @@ impl Tlb {
 mod tests {
     use super::*;
 
+    /// Test shorthand: a permissive host entry whose only payload of
+    /// interest is the frame number.
+    fn pfn_entry(pfn: u64) -> CachedTranslation {
+        CachedTranslation::host(pfn, true, false, false)
+    }
+
+    /// Test shorthand: the frame number of a lookup result.
+    fn pfn_of(l: Lookup) -> Option<u64> {
+        l.cached().map(|c| c.hpfn)
+    }
+
     #[test]
     fn hit_miss_accounting() {
         let mut tlb = Tlb::new();
-        assert_eq!(tlb.lookup(Space::Host, 1), None);
-        tlb.insert(Space::Host, 1, 42);
-        assert_eq!(tlb.lookup(Space::Host, 1), Some(42));
+        assert_eq!(tlb.lookup(Space::Host, 1), Lookup::Miss);
+        tlb.insert(Space::Host, 1, pfn_entry(42));
+        assert_eq!(pfn_of(tlb.lookup(Space::Host, 1)), Some(42));
         assert_eq!(tlb.stats(), (1, 1));
+    }
+
+    #[test]
+    fn cached_payload_round_trips() {
+        let mut tlb = Tlb::new();
+        let c = CachedTranslation::guest_virt(7, 9, false, true, true, false, true);
+        tlb.insert(Space::Guest(4), 2, c);
+        assert_eq!(tlb.lookup(Space::Guest(4), 2), Lookup::Hit(Some(c)));
+    }
+
+    #[test]
+    fn demoted_entry_hits_without_payload_until_refreshed() {
+        let mut tlb = Tlb::new();
+        tlb.insert(Space::Host, 1, pfn_entry(10));
+        tlb.demote_page(Space::Host, 1);
+        // Still a hit for accounting, but the payload is untrusted.
+        assert_eq!(tlb.lookup(Space::Host, 1), Lookup::Hit(None));
+        assert_eq!(tlb.stats(), (1, 0));
+        // A walk re-validates in place.
+        tlb.refresh(Space::Host, 1, pfn_entry(11));
+        assert_eq!(pfn_of(tlb.lookup(Space::Host, 1)), Some(11));
+        assert_eq!(tlb.stats(), (2, 0));
+    }
+
+    #[test]
+    fn demote_space_is_per_space_and_survives_until_refresh() {
+        let mut tlb = Tlb::new();
+        tlb.insert(Space::Guest(1), 1, pfn_entry(10));
+        tlb.insert(Space::Guest(2), 1, pfn_entry(20));
+        tlb.demote_space(Space::Guest(1));
+        assert_eq!(tlb.lookup(Space::Guest(1), 1), Lookup::Hit(None));
+        assert_eq!(pfn_of(tlb.lookup(Space::Guest(2), 1)), Some(20));
+        // Refresh restores only the refreshed page.
+        tlb.insert(Space::Guest(1), 2, pfn_entry(30));
+        tlb.refresh(Space::Guest(1), 1, pfn_entry(11));
+        assert_eq!(pfn_of(tlb.lookup(Space::Guest(1), 1)), Some(11));
+        assert_eq!(pfn_of(tlb.lookup(Space::Guest(1), 2)), Some(30));
+    }
+
+    #[test]
+    fn refresh_does_not_resurrect_or_reorder() {
+        // Refresh of a missing key must not create an entry.
+        let mut tlb = Tlb::new();
+        tlb.refresh(Space::Host, 9, pfn_entry(9));
+        assert_eq!(tlb.lookup(Space::Host, 9), Lookup::Miss);
+        // Refresh of a resident key must not move it in the FIFO: key 1
+        // stays oldest and is still the eviction victim.
+        let mut small = Tlb::with_capacity(2);
+        small.insert(Space::Host, 1, pfn_entry(1));
+        small.insert(Space::Host, 2, pfn_entry(2));
+        small.demote_page(Space::Host, 1);
+        small.refresh(Space::Host, 1, pfn_entry(11));
+        small.insert(Space::Host, 3, pfn_entry(3));
+        assert_eq!(small.lookup(Space::Host, 1), Lookup::Miss, "key 1 still oldest");
+        assert_eq!(pfn_of(small.lookup(Space::Host, 2)), Some(2));
+        assert_eq!(pfn_of(small.lookup(Space::Host, 3)), Some(3));
     }
 
     #[test]
     fn spaces_are_isolated() {
         let mut tlb = Tlb::new();
-        tlb.insert(Space::Host, 1, 10);
-        tlb.insert(Space::Guest(1), 1, 20);
-        assert_eq!(tlb.lookup(Space::Host, 1), Some(10));
-        assert_eq!(tlb.lookup(Space::Guest(1), 1), Some(20));
+        tlb.insert(Space::Host, 1, pfn_entry(10));
+        tlb.insert(Space::Guest(1), 1, pfn_entry(20));
+        assert_eq!(pfn_of(tlb.lookup(Space::Host, 1)), Some(10));
+        assert_eq!(pfn_of(tlb.lookup(Space::Guest(1), 1)), Some(20));
         tlb.flush_space(Space::Guest(1));
-        assert_eq!(tlb.lookup(Space::Guest(1), 1), None);
-        assert_eq!(tlb.lookup(Space::Host, 1), Some(10));
+        assert_eq!(tlb.lookup(Space::Guest(1), 1), Lookup::Miss);
+        assert_eq!(pfn_of(tlb.lookup(Space::Host, 1)), Some(10));
     }
 
     #[test]
     fn flush_page_and_all() {
         let mut tlb = Tlb::new();
-        tlb.insert(Space::Host, 1, 10);
-        tlb.insert(Space::Host, 2, 20);
+        tlb.insert(Space::Host, 1, pfn_entry(10));
+        tlb.insert(Space::Host, 2, pfn_entry(20));
         tlb.flush_page(Space::Host, 1);
-        assert_eq!(tlb.lookup(Space::Host, 1), None);
-        assert_eq!(tlb.lookup(Space::Host, 2), Some(20));
+        assert_eq!(tlb.lookup(Space::Host, 1), Lookup::Miss);
+        assert_eq!(pfn_of(tlb.lookup(Space::Host, 2)), Some(20));
         tlb.flush_all();
         assert!(tlb.is_empty());
     }
@@ -248,58 +526,58 @@ mod tests {
         // A generation bump must not blind the TLB to entries inserted
         // *afterwards* in the same space.
         let mut tlb = Tlb::new();
-        tlb.insert(Space::Host, 1, 10);
+        tlb.insert(Space::Host, 1, pfn_entry(10));
         tlb.flush_all();
-        tlb.insert(Space::Host, 2, 20);
-        assert_eq!(tlb.lookup(Space::Host, 1), None);
-        assert_eq!(tlb.lookup(Space::Host, 2), Some(20));
+        tlb.insert(Space::Host, 2, pfn_entry(20));
+        assert_eq!(tlb.lookup(Space::Host, 1), Lookup::Miss);
+        assert_eq!(pfn_of(tlb.lookup(Space::Host, 2)), Some(20));
         tlb.flush_space(Space::Host);
-        tlb.insert(Space::Host, 3, 30);
-        assert_eq!(tlb.lookup(Space::Host, 2), None);
-        assert_eq!(tlb.lookup(Space::Host, 3), Some(30));
+        tlb.insert(Space::Host, 3, pfn_entry(30));
+        assert_eq!(tlb.lookup(Space::Host, 2), Lookup::Miss);
+        assert_eq!(pfn_of(tlb.lookup(Space::Host, 3)), Some(30));
         assert_eq!(tlb.len(), 1);
     }
 
     #[test]
     fn capacity_evicts_oldest_first() {
         let mut tlb = Tlb::with_capacity(2);
-        tlb.insert(Space::Host, 1, 10);
-        tlb.insert(Space::Host, 2, 20);
-        tlb.insert(Space::Host, 3, 30);
-        assert_eq!(tlb.lookup(Space::Host, 1), None, "oldest entry evicted");
-        assert_eq!(tlb.lookup(Space::Host, 2), Some(20));
-        assert_eq!(tlb.lookup(Space::Host, 3), Some(30));
+        tlb.insert(Space::Host, 1, pfn_entry(10));
+        tlb.insert(Space::Host, 2, pfn_entry(20));
+        tlb.insert(Space::Host, 3, pfn_entry(30));
+        assert_eq!(tlb.lookup(Space::Host, 1), Lookup::Miss, "oldest entry evicted");
+        assert_eq!(pfn_of(tlb.lookup(Space::Host, 2)), Some(20));
+        assert_eq!(pfn_of(tlb.lookup(Space::Host, 3)), Some(30));
         assert_eq!(tlb.counters().evictions, 1);
     }
 
     #[test]
     fn reinsert_refreshes_fifo_position() {
         let mut tlb = Tlb::with_capacity(2);
-        tlb.insert(Space::Host, 1, 10);
-        tlb.insert(Space::Host, 2, 20);
+        tlb.insert(Space::Host, 1, pfn_entry(10));
+        tlb.insert(Space::Host, 2, pfn_entry(20));
         // Re-inserting key 1 moves it to the back of the FIFO...
-        tlb.insert(Space::Host, 1, 11);
+        tlb.insert(Space::Host, 1, pfn_entry(11));
         // ...so the next eviction takes key 2, not key 1.
-        tlb.insert(Space::Host, 3, 30);
-        assert_eq!(tlb.lookup(Space::Host, 1), Some(11));
-        assert_eq!(tlb.lookup(Space::Host, 2), None);
-        assert_eq!(tlb.lookup(Space::Host, 3), Some(30));
+        tlb.insert(Space::Host, 3, pfn_entry(30));
+        assert_eq!(pfn_of(tlb.lookup(Space::Host, 1)), Some(11));
+        assert_eq!(tlb.lookup(Space::Host, 2), Lookup::Miss);
+        assert_eq!(pfn_of(tlb.lookup(Space::Host, 3)), Some(30));
     }
 
     #[test]
     fn flushed_entries_do_not_count_as_evictions() {
         let mut tlb = Tlb::with_capacity(2);
-        tlb.insert(Space::Host, 1, 10);
-        tlb.insert(Space::Host, 2, 20);
+        tlb.insert(Space::Host, 1, pfn_entry(10));
+        tlb.insert(Space::Host, 2, pfn_entry(20));
         tlb.flush_all();
         // Capacity pressure now recycles stale slots silently.
-        tlb.insert(Space::Host, 3, 30);
-        tlb.insert(Space::Host, 4, 40);
-        tlb.insert(Space::Host, 5, 50);
+        tlb.insert(Space::Host, 3, pfn_entry(30));
+        tlb.insert(Space::Host, 4, pfn_entry(40));
+        tlb.insert(Space::Host, 5, pfn_entry(50));
         let c = tlb.counters();
         assert_eq!(c.evictions, 1, "only the valid entry 3 was evicted");
-        assert_eq!(tlb.lookup(Space::Host, 4), Some(40));
-        assert_eq!(tlb.lookup(Space::Host, 5), Some(50));
+        assert_eq!(pfn_of(tlb.lookup(Space::Host, 4)), Some(40));
+        assert_eq!(pfn_of(tlb.lookup(Space::Host, 5)), Some(50));
     }
 
     #[test]
@@ -308,6 +586,38 @@ mod tests {
         tlb.record_walks(1);
         tlb.record_walks(2);
         assert_eq!(tlb.counters().walks, 3);
+    }
+
+    #[test]
+    fn fifo_debris_stays_bounded_under_reinsertion() {
+        // Re-inserting the same keys forever used to leave one dead slot
+        // per insert in `fifo` — unbounded growth relative to `entries`.
+        let mut tlb = Tlb::with_capacity(8);
+        for round in 0..10_000u64 {
+            tlb.insert(Space::Host, round % 4, pfn_entry(round));
+            assert!(
+                tlb.fifo.len() <= 2 * tlb.capacity(),
+                "round {round}: fifo grew to {} (> 2x capacity {})",
+                tlb.fifo.len(),
+                tlb.capacity()
+            );
+        }
+        // `invlpg` debris is bounded the same way.
+        for round in 0..10_000u64 {
+            tlb.insert(Space::Guest(1), round % 4, pfn_entry(round));
+            tlb.flush_page(Space::Guest(1), round % 4);
+            assert!(tlb.fifo.len() <= 2 * tlb.capacity(), "invlpg round {round}");
+        }
+        // Eviction order still works after compaction.
+        let mut small = Tlb::with_capacity(2);
+        for _ in 0..100 {
+            small.insert(Space::Host, 1, pfn_entry(1));
+        }
+        small.insert(Space::Host, 2, pfn_entry(2));
+        small.insert(Space::Host, 3, pfn_entry(3));
+        assert_eq!(small.lookup(Space::Host, 1), Lookup::Miss, "oldest (key 1) evicted");
+        assert_eq!(pfn_of(small.lookup(Space::Host, 2)), Some(2));
+        assert_eq!(pfn_of(small.lookup(Space::Host, 3)), Some(3));
     }
 
     // ---- equivalence with the seed's retain-based flush semantics ----
@@ -368,17 +678,17 @@ mod tests {
                 let vpn = lcg(&mut rng) % 64;
                 match lcg(&mut rng) % 10 {
                     0..=3 => {
-                        let got = fast.lookup(space, vpn);
+                        let got = pfn_of(fast.lookup(space, vpn));
                         let want = oracle.lookup(space, vpn);
                         assert_eq!(got, want, "seed {seed} step {step}: lookup diverged");
                     }
                     4..=7 => {
                         let pfn = lcg(&mut rng);
-                        fast.insert(space, vpn, pfn);
+                        fast.insert(space, vpn, pfn_entry(pfn));
                         oracle.insert(space, vpn, pfn);
                     }
                     8 => {
-                        if lcg(&mut rng) % 4 == 0 {
+                        if lcg(&mut rng).is_multiple_of(4) {
                             fast.flush_all();
                             oracle.flush_all();
                         } else {

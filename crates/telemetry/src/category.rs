@@ -127,8 +127,7 @@ mod tests {
 
     #[test]
     fn breakdown_total_is_fixed_order_sum() {
-        let mut b = CycleBreakdown::default();
-        b.by_category = [1.5, 2.25, 0.0, 4.0, 8.125, 16.0];
+        let b = CycleBreakdown { by_category: [1.5, 2.25, 0.0, 4.0, 8.125, 16.0] };
         assert_eq!(b.total(), 1.5 + 2.25 + 0.0 + 4.0 + 8.125 + 16.0);
         assert_eq!(b.get(CycleCategory::CryptoEngine), 8.125);
     }

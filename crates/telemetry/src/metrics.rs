@@ -1,7 +1,7 @@
 //! The metrics registry: counters and simple histograms derived from the
 //! event stream.
 //!
-//! [`Metrics::observe`] is called by the tracer for every emitted event, so
+//! `Metrics::observe` is called by the tracer for every emitted event, so
 //! the registry can never disagree with the ring buffer. Hot-path inputs
 //! that are too frequent to trace per-operation (TLB lookups) are folded in
 //! at snapshot time via [`Metrics::set_tlb`].

@@ -283,6 +283,9 @@ impl Guardian for Unprotected {
         value: u64,
     ) -> Result<(), GuardError> {
         plat.machine.host_write_u64(direct_map(entry_pa), value)?;
+        // The mapped VA is unknown from the raw entry address, so demote
+        // every cached host translation (hit accounting unaffected).
+        plat.machine.tlb.demote_space(fidelius_hw::tlb::Space::Host);
         Ok(())
     }
 

@@ -199,9 +199,19 @@ impl Hypervisor {
         frame: Hpa,
         flags: u64,
     ) -> Result<(), XenError> {
-        let root = self.domain(id)?.npt_root;
+        let (root, asid) = {
+            let dom = self.domain(id)?;
+            (dom.npt_root, dom.asid.0)
+        };
         let entry_pa = self.npt_leaf_entry(plat, guardian, id, root, gpa_page)?;
         guardian.npt_write(plat, id, entry_pa, Pte::new(frame, flags | PTE_PRESENT).0)?;
+        // The TLB caches full translations, so a leaf rewrite must stop
+        // the stale payload from being served — a remapped grant page
+        // reached through a stale cached translation would be a security
+        // bug, not a perf bug. Demotion (not flush) keeps the entry
+        // resident for hit accounting, exactly like the walk-every-access
+        // model where an edit took effect immediately without a flush.
+        plat.machine.tlb.demote_page(fidelius_hw::tlb::Space::Guest(asid), gpa_page);
         Ok(())
     }
 
@@ -217,7 +227,10 @@ impl Hypervisor {
         id: DomainId,
         gpa_page: u64,
     ) -> Result<(), XenError> {
-        let root = self.domain(id)?.npt_root;
+        let (root, asid) = {
+            let dom = self.domain(id)?;
+            (dom.npt_root, dom.asid.0)
+        };
         let va = gpa_page * PAGE_SIZE;
         let mut table = root;
         for level in (1..=3u8).rev() {
@@ -230,6 +243,9 @@ impl Hypervisor {
         }
         let leaf_pa = table.add(table_index(va, 0) * 8);
         guardian.npt_write(plat, id, leaf_pa, 0)?;
+        // Unmapping must stop the cached translation from being served, or
+        // the guest keeps reaching the revoked frame through the TLB.
+        plat.machine.tlb.demote_page(fidelius_hw::tlb::Space::Guest(asid), gpa_page);
         Ok(())
     }
 
@@ -696,11 +712,13 @@ impl Hypervisor {
         let root = dom.npt_root;
         let asid = dom.asid.0;
         let flags = PTE_PRESENT | PTE_WRITABLE | if dom.npt_c_default { PTE_C_BIT } else { 0 };
+        let mut wrote = false;
         let res: Result<(), crate::guardian::GuardError> = (|| {
             let e1 = self
                 .npt_leaf_entry(plat, guardian, id, root, p1)
                 .map_err(|_| crate::guardian::GuardError::Policy("npt walk refused"))?;
             guardian.npt_write(plat, id, e1, Pte::new(f2, flags).0)?;
+            wrote = true;
             if swap {
                 let e2 = self
                     .npt_leaf_entry(plat, guardian, id, root, p2)
@@ -709,6 +727,14 @@ impl Hypervisor {
             }
             Ok(())
         })();
+        // Even a partially-landed remap (first write accepted, second
+        // denied) rewrote a leaf; the TLB caches full translations and
+        // must never serve the pre-remap frame. Demotion keeps hit
+        // accounting as if no flush happened (the fail-closed paths never
+        // flushed), while the success path below keeps its full flush.
+        if wrote && res.is_err() {
+            plat.machine.tlb.demote_space(fidelius_hw::tlb::Space::Guest(asid));
+        }
         match res {
             Ok(()) => {
                 // The remap landed. Flush stale translations so the damage
