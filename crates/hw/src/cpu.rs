@@ -775,6 +775,19 @@ impl Machine {
             let cur = Gpa(gpa.0 + off as u64);
             let in_page = (PAGE_SIZE - cur.page_offset()) as usize;
             let take = in_page.min(data.len() - off);
+            // A miss (or demoted/wrong-kind hit) software-walks the NPT
+            // through the memory controller; commit the pending span first
+            // so a write whose earlier pages land in table pages is
+            // visible to that walk, exactly as the per-page loop committed
+            // each page before the next translate.
+            if run.is_some()
+                && self
+                    .tlb
+                    .peek(Space::Guest(guest.asid.0), cur.pfn())
+                    .is_none_or(|c| c.kind != TransKind::GuestPhys)
+            {
+                self.commit_write_run(run.take(), data);
+            }
             let (hpa, npt_c) = match self.gpa_translate_page(guest, cur, AccessKind::Write) {
                 Ok(v) => v,
                 Err(fault) => {
@@ -869,6 +882,22 @@ impl Machine {
             let cur = Gva(va.0 + off as u64);
             let in_page = (PAGE_SIZE - cur.page_offset()) as usize;
             let take = in_page.min(data.len() - off);
+            // Commit the pending span before any software walk, so a write
+            // whose earlier pages land in guest page-table pages is
+            // visible to a later page's walk in the same call (the
+            // per-page loop committed each page before the next
+            // translate). A pending run implies a prior successful guest
+            // translation, so guest mode is established.
+            if run.is_some() {
+                let g = self.cpu.guest.expect("a pending run implies guest mode");
+                if self
+                    .tlb
+                    .peek(Space::Guest(g.asid.0), cur.pfn())
+                    .is_none_or(|c| c.kind != TransKind::GuestVirt)
+                {
+                    self.commit_write_run(run.take(), data);
+                }
+            }
             let (hpa, enc) = match self.guest_translate(cur, AccessKind::Write) {
                 Ok(v) => v,
                 Err(fault) => {

@@ -278,6 +278,19 @@ impl Tlb {
         }
     }
 
+    /// Non-counting peek: the usable payload [`Tlb::lookup`] would return
+    /// right now, if any. No hit/miss accounting, no lazy reaping. The
+    /// memory path uses this to tell whether the next translation will
+    /// need a software walk (and must therefore see pending coalesced
+    /// writes committed first) without disturbing the counters.
+    pub fn peek(&self, space: Space, vpn: u64) -> Option<CachedTranslation> {
+        let entry = self.entries.get(&(space, vpn))?;
+        let usable = self.is_valid(space, entry)
+            && !entry.stale
+            && entry.demote_gen == self.space_demote_gen(space);
+        usable.then_some(entry.cached)
+    }
+
     /// Inserts a translation after a walk, evicting the oldest entry when
     /// over capacity.
     pub fn insert(&mut self, space: Space, vpn: u64, cached: CachedTranslation) {
@@ -578,6 +591,23 @@ mod tests {
         assert_eq!(c.evictions, 1, "only the valid entry 3 was evicted");
         assert_eq!(pfn_of(tlb.lookup(Space::Host, 4)), Some(40));
         assert_eq!(pfn_of(tlb.lookup(Space::Host, 5)), Some(50));
+    }
+
+    #[test]
+    fn peek_matches_lookup_without_counting() {
+        let mut tlb = Tlb::new();
+        assert_eq!(tlb.peek(Space::Host, 1), None);
+        tlb.insert(Space::Host, 1, pfn_entry(10));
+        assert_eq!(tlb.peek(Space::Host, 1), Some(pfn_entry(10)));
+        tlb.demote_page(Space::Host, 1);
+        assert_eq!(tlb.peek(Space::Host, 1), None, "demoted payload is not usable");
+        tlb.refresh(Space::Host, 1, pfn_entry(11));
+        assert_eq!(tlb.peek(Space::Host, 1), Some(pfn_entry(11)));
+        tlb.demote_space(Space::Host);
+        assert_eq!(tlb.peek(Space::Host, 1), None, "space demotion hides the payload");
+        tlb.flush_all();
+        assert_eq!(tlb.peek(Space::Host, 1), None, "flushed-out entry is not usable");
+        assert_eq!(tlb.stats(), (0, 0), "peek must not count hits or misses");
     }
 
     #[test]

@@ -110,12 +110,14 @@ fn assert_observables_equal(cached: &Machine, oracle: &Machine, ctx: &str) {
 }
 
 /// Applies the same NPT leaf edit to both machines, followed by the same
-/// invalidation the hypervisor performs (`demote_page` of the edited
-/// guest page — see `Hypervisor::npt_map`).
+/// invalidation the hypervisor performs: an ASID-wide demotion, because
+/// guest-virtual entries caching the edited leaf's result are keyed by
+/// guest-virtual page and cannot be named by the GPA — see
+/// `Hypervisor::npt_map`.
 fn npt_edit(machines: &mut [&mut Machine; 2], leaf_pas: &[Hpa], page: u64, value: Pte) {
     for m in machines.iter_mut() {
         m.mc.write_u64(leaf_pas[page as usize], value.0, EncSel::None).unwrap();
-        m.tlb.demote_page(Space::Guest(ASID), page);
+        m.tlb.demote_space(Space::Guest(ASID));
     }
 }
 
@@ -204,10 +206,15 @@ fn gpa_stream_matches_walk_oracle() {
                         }
                     }
                     _ => {
-                        // invlpg of one guest page.
+                        // invlpg or a precise demotion of one guest page.
                         let page = lcg(&mut rng) % (GUEST_PAGES + 2);
-                        cached.tlb.flush_page(Space::Guest(ASID), page);
-                        oracle.tlb.flush_page(Space::Guest(ASID), page);
+                        if lcg(&mut rng).is_multiple_of(2) {
+                            cached.tlb.flush_page(Space::Guest(ASID), page);
+                            oracle.tlb.flush_page(Space::Guest(ASID), page);
+                        } else {
+                            cached.tlb.demote_page(Space::Guest(ASID), page);
+                            oracle.tlb.demote_page(Space::Guest(ASID), page);
+                        }
                     }
                 }
             }
@@ -328,6 +335,62 @@ fn gva_stream_matches_walk_oracle() {
             assert_observables_equal(&cached, &oracle, &format!("sev={sev} seed={seed} end"));
         }
     }
+}
+
+/// A multi-page guest write whose *earlier* bytes rewrite a guest
+/// page-table entry that a *later* page's walk (TLB miss) must read in
+/// the same call. Span coalescing must commit the pending run before any
+/// software walk — otherwise the walk sees pre-write table contents and
+/// the tail of the write lands in the old frame, diverging from the
+/// walk-every-access oracle.
+#[test]
+fn self_referential_write_commits_before_walk() {
+    let (mut cached, _npt, gcr3) = guest_machine(false);
+    let (mut oracle, _, _) = guest_machine(false);
+    oracle.set_walk_always(true);
+
+    // The stage-1 leaf table page T (guest-physical) covering GVAs below
+    // 2 MiB — shared by every mapping this harness creates.
+    let t_gpa = {
+        let mut acc = OffsetPtAccess::new(&mut cached.mc, GUEST_BASE, EncSel::None);
+        let leaf = Mapper::from_root(Hpa(gcr3.0)).leaf_entry_pa(&mut acc, 0x8000).unwrap().unwrap();
+        leaf.0 & !(PAGE_SIZE - 1)
+    };
+
+    // Page A (GVA 0x1FE000) maps T itself; page B (GVA 0x1FF000, the
+    // virtually next page, leaf index 511 — i.e. the *last* 8 bytes of T)
+    // initially maps the shared page at GPA 0x8000. The existing leaf
+    // table covers both VAs, so the allocator is never consulted.
+    for m in [&mut cached, &mut oracle] {
+        let mut galloc = FrameAllocator::new(Hpa(0x1C000), 1);
+        let mut acc = OffsetPtAccess::new(&mut m.mc, GUEST_BASE, EncSel::None);
+        let gpt = Mapper::from_root(Hpa(gcr3.0));
+        gpt.map(&mut acc, &mut galloc, 0x1FE000, Hpa(t_gpa), PTE_WRITABLE).unwrap();
+        gpt.map(&mut acc, &mut galloc, 0x1FF000, Hpa(0x8000), PTE_WRITABLE).unwrap();
+    }
+
+    // Warm A's translation so the cached machine opens a coalesced span
+    // over it; B stays uncached so its translation mid-write must walk.
+    for m in [&mut cached, &mut oracle] {
+        let mut scratch = [0u8; 8];
+        m.guest_read(Gva(0x1FE000), &mut scratch).unwrap();
+    }
+
+    // One write spanning A's last 8 bytes (= T's entry for B, remapping
+    // B to GPA 0x7000) and continuing into B. The walk for B must see
+    // the just-written entry, so the tail lands in the *new* frame.
+    let new_pte = Pte::new(Hpa(0x7000), PTE_PRESENT | PTE_WRITABLE);
+    let mut data = new_pte.0.to_le_bytes().to_vec();
+    data.extend_from_slice(&[0xAB; 16]);
+    let va = Gva(0x1FE000 + (PAGE_SIZE - 8));
+    let ra = cached.guest_write(va, &data);
+    let rb = oracle.guest_write(va, &data);
+    assert_eq!(ra, rb, "write fault diverged");
+
+    let mut got = [0u8; 16];
+    cached.mc.dram().read_raw(GUEST_BASE.add(0x7000), &mut got).unwrap();
+    assert_eq!(got, [0xAB; 16], "tail of the write must land in the remapped frame");
+    assert_observables_equal(&cached, &oracle, "self-referential write");
 }
 
 /// Host-virtual accesses vs. host page-table edits (with the guardian's

@@ -208,10 +208,15 @@ impl Hypervisor {
         // The TLB caches full translations, so a leaf rewrite must stop
         // the stale payload from being served — a remapped grant page
         // reached through a stale cached translation would be a security
-        // bug, not a perf bug. Demotion (not flush) keeps the entry
-        // resident for hit accounting, exactly like the walk-every-access
-        // model where an edit took effect immediately without a flush.
-        plat.machine.tlb.demote_page(fidelius_hw::tlb::Space::Guest(asid), gpa_page);
+        // bug, not a perf bug. A GPA-keyed demotion cannot name the
+        // guest-*virtual* entries that cached this leaf's result (they
+        // are keyed by guest-virtual page, and vpn != gpfn in general),
+        // so the whole ASID is demoted — an O(1) generation bump, the
+        // same reason real hypervisors invalidate the ASID on NPT edits.
+        // Demotion (not flush) keeps every entry resident for hit
+        // accounting, exactly like the walk-every-access model where an
+        // edit took effect immediately without a flush.
+        plat.machine.tlb.demote_space(fidelius_hw::tlb::Space::Guest(asid));
         Ok(())
     }
 
@@ -244,8 +249,10 @@ impl Hypervisor {
         let leaf_pa = table.add(table_index(va, 0) * 8);
         guardian.npt_write(plat, id, leaf_pa, 0)?;
         // Unmapping must stop the cached translation from being served, or
-        // the guest keeps reaching the revoked frame through the TLB.
-        plat.machine.tlb.demote_page(fidelius_hw::tlb::Space::Guest(asid), gpa_page);
+        // the guest keeps reaching the revoked frame through the TLB. As
+        // in `npt_map`, guest-virtual entries caching this leaf's result
+        // cannot be named by the GPA, so the whole ASID is demoted.
+        plat.machine.tlb.demote_space(fidelius_hw::tlb::Space::Guest(asid));
         Ok(())
     }
 

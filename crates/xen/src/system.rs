@@ -737,6 +737,64 @@ mod tests {
     }
 
     #[test]
+    fn npt_remap_invalidates_gva_keyed_translations() {
+        // A guest-virtual TLB entry is keyed by guest-virtual page but
+        // caches the stage-2 (NPT) result. When the two differ, a
+        // GPA-keyed invalidation cannot name the entry — the hypervisor
+        // must demote the whole ASID on NPT edits or the guest keeps
+        // reaching the old frame through the stale cached translation.
+        let mut sys = vanilla();
+        let dom = sys
+            .create_guest(GuestConfig { mem_pages: 256, sev: false, kernel: b"k".to_vec() })
+            .unwrap();
+
+        // A stage-1 mapping whose vpn differs from its gpfn: GVA page 300
+        // → GPA HEAP_PAGE. The boot-time leaf table already covers VAs
+        // below 2 MiB, so the allocator is never consulted.
+        sys.ensure_guest(dom).unwrap();
+        {
+            let mut pt_alloc = FrameAllocator::new(Hpa(0), 1);
+            let mut acc = GuestPtAccess::new(&mut sys.plat.machine, false);
+            Mapper::from_root(Hpa(gplayout::PT_POOL_PAGE * PAGE_SIZE))
+                .map(
+                    &mut acc,
+                    &mut pt_alloc,
+                    300 * PAGE_SIZE,
+                    Hpa(gplayout::HEAP_PAGE * PAGE_SIZE),
+                    PTE_WRITABLE,
+                )
+                .unwrap();
+        }
+        let va = fidelius_hw::Gva(300 * PAGE_SIZE);
+        // Caches the guest-virtual translation for vpn 300.
+        sys.plat.machine.guest_write(va, b"pre-remap secret").unwrap();
+
+        // The hypervisor remaps HEAP_PAGE to a fresh frame.
+        sys.ensure_host().unwrap();
+        let fresh = sys.xen.heap.alloc().unwrap();
+        sys.plat.machine.host_write(direct_map(fresh), &[0x5A; 16]).unwrap();
+        sys.xen
+            .npt_map(
+                &mut sys.plat,
+                &mut *sys.guardian,
+                dom,
+                gplayout::HEAP_PAGE,
+                fresh,
+                PTE_WRITABLE,
+            )
+            .unwrap();
+
+        // The guest must now see the remapped frame through the same GVA.
+        sys.ensure_guest(dom).unwrap();
+        let mut got = [0u8; 16];
+        sys.plat.machine.guest_read(va, &mut got).unwrap();
+        assert_eq!(
+            got, [0x5A; 16],
+            "stale GVA-keyed translation served the revoked frame after an NPT remap"
+        );
+    }
+
+    #[test]
     fn sev_guest_memory_is_ciphertext_in_dram() {
         let mut sys = vanilla();
         let dom = sys
