@@ -1,0 +1,72 @@
+//! Flight-recorder report: re-runs the Figure-5 event-cost measurement
+//! with the cycle-true span recorder armed and exports the recording.
+//!
+//! Writes two files to `--out DIR` (default: current directory):
+//!
+//! - `fig5_trace.json` — Chrome trace_event JSON; load in Perfetto
+//!   (ui.perfetto.dev) or chrome://tracing. One track per ASID, host
+//!   (dom0) work on track 0, timestamps in modeled cycles.
+//! - `fig5_trace.folded` — folded stacks for flamegraph tooling.
+//!
+//! Stdout gets the top-10 hotspot table (ranked by self-cycles) and a
+//! trace metadata line. `--threads N` fans the two measurement systems
+//! out on worker threads; the files and the table are byte-identical at
+//! any thread count — the determinism CI job diffs them.
+
+use fidelius_trace::export;
+use fidelius_workloads::runner;
+
+fn main() {
+    let threads = fidelius_bench::arg_threads();
+    let out_dir = std::path::PathBuf::from(fidelius_bench::arg_str("--out", "."));
+    let m = runner::measure_event_costs_traced(threads).expect("measure");
+    assert_eq!(m.trace.dropped, 0, "trace ring overflowed; raise TRACE_SPAN_CAPACITY");
+    fidelius_bench::note!("recorded {} spans ({threads} threads)", m.trace.spans.len());
+
+    std::fs::create_dir_all(&out_dir).expect("create --out dir");
+    let chrome_path = out_dir.join("fig5_trace.json");
+    let folded_path = out_dir.join("fig5_trace.folded");
+    std::fs::write(&chrome_path, export::to_chrome_trace(&m.trace)).expect("write chrome trace");
+    std::fs::write(&folded_path, export::folded_stacks(&m.trace)).expect("write folded stacks");
+
+    let top = export::hotspots(&m.trace, 10);
+    let rows: Vec<Vec<String>> = top
+        .iter()
+        .map(|h| {
+            vec![
+                h.label.to_string(),
+                h.kind.to_string(),
+                h.count.to_string(),
+                format!("{:.0}", h.total_cycles),
+                format!("{:.0}", h.self_cycles),
+            ]
+        })
+        .collect();
+    fidelius_bench::emit_table(
+        "Figure 5 trace — top 10 spans by self-cycles",
+        &["span", "kind", "count", "total_cycles", "self_cycles"],
+        &rows,
+    );
+
+    if fidelius_bench::json_mode() {
+        use fidelius_telemetry::Json;
+        println!(
+            "{}",
+            Json::obj(vec![
+                ("trace_spans", Json::Num(m.trace.spans.len() as f64)),
+                ("trace_opened_total", Json::Num(m.trace.opened_total as f64)),
+                ("trace_dropped", Json::Num(m.trace.dropped as f64)),
+            ])
+        );
+    } else {
+        println!(
+            "\n  {} spans recorded ({} opened, {} dropped)",
+            m.trace.spans.len(),
+            m.trace.opened_total,
+            m.trace.dropped
+        );
+        println!("  chrome trace:  {}", chrome_path.display());
+        println!("  folded stacks: {}", folded_path.display());
+        println!("  load the chrome trace in ui.perfetto.dev or chrome://tracing");
+    }
+}

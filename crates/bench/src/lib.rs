@@ -33,6 +33,19 @@ pub fn arg_u64(name: &str, default: u64) -> u64 {
     default
 }
 
+/// Value of a `--name VALUE` string override, or the default.
+pub fn arg_str(name: &str, default: &str) -> String {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            if let Some(v) = args.next() {
+                return v;
+            }
+        }
+    }
+    default.to_string()
+}
+
 /// Prints a note line — suppressed under `--json` so the output stream
 /// stays pure JSON lines.
 #[macro_export]

@@ -114,6 +114,35 @@ fn micro_memstream_json_round_trips() {
 }
 
 #[test]
+fn trace_report_json_round_trips_and_writes_perfetto_trace() {
+    let out = std::env::temp_dir().join(format!("fidelius_trace_report_{}", std::process::id()));
+    let lines = run_json(
+        env!("CARGO_BIN_EXE_trace_report"),
+        &["--threads", "2", "--out", out.to_str().unwrap()],
+    );
+    let tabs = tables(&lines);
+    assert_eq!(tabs.len(), 1, "one hotspot table");
+    let rows = tabs[0].get("rows").unwrap().as_array().unwrap();
+    assert!(!rows.is_empty() && rows.len() <= 10, "top-10 hotspots, got {}", rows.len());
+    let meta = lines.iter().find(|j| j.get("trace_spans").is_some()).expect("trace meta line");
+    assert_eq!(meta.get("trace_dropped").unwrap().as_u64(), Some(0), "ring must not overflow");
+    assert!(meta.get("trace_spans").unwrap().as_u64().unwrap() > 100);
+
+    // The Chrome trace parses with the in-tree JSON parser and carries the
+    // span events plus per-ASID track names.
+    let chrome = std::fs::read_to_string(out.join("fig5_trace.json")).expect("trace written");
+    let parsed = Json::parse(&chrome).expect("Perfetto trace is valid JSON");
+    let events = parsed.get("traceEvents").unwrap().as_array().unwrap();
+    assert!(events.len() > 100, "expected a rich trace, got {} events", events.len());
+    assert!(events.iter().any(|e| e.get("ph").and_then(Json::as_str) == Some("M")));
+    assert!(events.iter().any(|e| e.get("ph").and_then(Json::as_str) == Some("X")));
+
+    let folded = std::fs::read_to_string(out.join("fig5_trace.folded")).expect("folded written");
+    assert!(folded.lines().count() > 5, "expected folded stacks");
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
 fn fig5_telemetry_includes_tlb_counters() {
     let lines = run_json(env!("CARGO_BIN_EXE_fig5_speccpu"), &[]);
     let snap = lines.iter().find_map(|j| j.get("telemetry")).expect("telemetry line");

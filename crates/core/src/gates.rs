@@ -27,6 +27,7 @@ use fidelius_hw::paging::PhysPtAccess;
 use fidelius_hw::regs::Cr0;
 use fidelius_hw::{Hpa, Hva};
 use fidelius_telemetry::{DenialReason, Event, FaultKind, GateKind, InjectionOutcome};
+use fidelius_trace::{ArgValue, SpanKind};
 use fidelius_xen::layout::InstrSites;
 use fidelius_xen::platform::Platform;
 
@@ -155,6 +156,9 @@ impl Gates {
     ) -> Result<R, GuardError> {
         absorb_delays(plat)?;
         self.gate1_count += 1;
+        // Trace span co-located with the cycle-category span, so the
+        // recorder's timeline and the Gates attribution cannot disagree.
+        let tspan = plat.machine.span_open(SpanKind::Gate, "gate:type1", &[]);
         let span = plat.machine.cycles.enter(CycleCategory::Gates);
         let result = (|| {
             let m = &mut plat.machine;
@@ -174,6 +178,7 @@ impl Gates {
             result
         })();
         plat.machine.cycles.exit(span);
+        plat.machine.span_close(tspan);
         plat.machine.trace.emit(Event::Gate { kind: GateKind::Type1, op: "protected-body" });
         result
     }
@@ -202,6 +207,8 @@ impl Gates {
             }
         };
         let m = &mut plat.machine;
+        let tspan =
+            m.span_open(SpanKind::Gate, "gate:type2", &[("op", ArgValue::Str(privop_label(&op)))]);
         let span = m.cycles.enter(CycleCategory::Gates);
         let result = (|| {
             m.cycles.charge(m.cost.sanity_check);
@@ -210,6 +217,7 @@ impl Gates {
             Ok(())
         })();
         m.cycles.exit(span);
+        m.span_close(tspan);
         m.trace.emit(Event::Gate { kind: GateKind::Type2, op: privop_label(&op) });
         result
     }
@@ -229,6 +237,11 @@ impl Gates {
             PrivOp::WriteCr3(_) => (self.cr3_page, self.sites.write_cr3),
             _ => return Err(GuardError::Policy("type-3 gate is for vmrun/mov-cr3")),
         };
+        let tspan = plat.machine.span_open(
+            SpanKind::Gate,
+            "gate:type3",
+            &[("op", ArgValue::Str(privop_label(&op)))],
+        );
         let span = plat.machine.cycles.enter(CycleCategory::Gates);
         let result = (|| {
             let m = &mut plat.machine;
@@ -275,6 +288,7 @@ impl Gates {
             result.map_err(GuardError::from)
         })();
         plat.machine.cycles.exit(span);
+        plat.machine.span_close(tspan);
         plat.machine.trace.emit(Event::Gate { kind: GateKind::Type3, op: privop_label(&op) });
         result
     }

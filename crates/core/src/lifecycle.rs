@@ -21,10 +21,34 @@
 use crate::fidelius::Fidelius;
 use fidelius_hw::PAGE_SIZE;
 use fidelius_sev::{EncryptedImage, GuestPolicy};
+use fidelius_trace::SpanKind;
 use fidelius_xen::domain::DomainId;
 use fidelius_xen::frontend::gplayout;
 use fidelius_xen::layout::direct_map;
 use fidelius_xen::{System, XenError};
+
+/// Runs one lifecycle phase under a flight-recorder span of the given
+/// kind, closing it on success and failure alike.
+pub(crate) fn traced_phase<R>(
+    sys: &mut System,
+    kind: SpanKind,
+    label: &'static str,
+    body: impl FnOnce(&mut System) -> Result<R, XenError>,
+) -> Result<R, XenError> {
+    let span = sys.plat.machine.span_open(kind, label, &[]);
+    let result = body(sys);
+    sys.plat.machine.span_close(span);
+    result
+}
+
+/// [`traced_phase`] pinned to [`SpanKind::LaunchStep`].
+fn step<R>(
+    sys: &mut System,
+    label: &'static str,
+    body: impl FnOnce(&mut System) -> Result<R, XenError>,
+) -> Result<R, XenError> {
+    traced_phase(sys, SpanKind::LaunchStep, label, body)
+}
 
 /// Downcasts the system's guardian to Fidelius.
 ///
@@ -52,11 +76,16 @@ pub fn boot_encrypted_guest(
 ) -> Result<DomainId, XenError> {
     // 1. RECEIVE_START — Fidelius self-maintains the returned handle as
     //    SEV metadata.
-    let handle = sys.plat.firmware.receive_start(&image.session, GuestPolicy::default())?;
+    let handle = step(sys, "launch:receive_start", |sys| {
+        Ok(sys.plat.firmware.receive_start(&image.session, GuestPolicy::default())?)
+    })?;
 
     // 2. Domain shell + memory (the hypervisor's job).
-    let dom = sys.xen.create_domain(&mut sys.plat, &mut *sys.guardian, mem_pages)?;
-    sys.xen.populate_all(&mut sys.plat, &mut *sys.guardian, dom)?;
+    let dom = step(sys, "launch:create_domain", |sys| {
+        let dom = sys.xen.create_domain(&mut sys.plat, &mut *sys.guardian, mem_pages)?;
+        sys.xen.populate_all(&mut sys.plat, &mut *sys.guardian, dom)?;
+        Ok(dom)
+    })?;
 
     // 3. The hypervisor loads the *encrypted* image into guest frames
     //    (boot window: frames are still mapped until sealing).
@@ -64,40 +93,58 @@ pub fn boot_encrypted_guest(
     if gplayout::KERNEL_PAGE + npages > mem_pages {
         return Err(XenError::OutOfMemory);
     }
-    for (i, page) in image.pages.iter().enumerate() {
-        let frame = sys
-            .xen
-            .domain(dom)?
-            .frame_of(gplayout::KERNEL_PAGE + i as u64)
-            .ok_or(XenError::OutOfMemory)?;
-        sys.plat.machine.host_write(direct_map(frame), page)?;
-    }
+    step(sys, "launch:load_image", |sys| {
+        for (i, page) in image.pages.iter().enumerate() {
+            let frame = sys
+                .xen
+                .domain(dom)?
+                .frame_of(gplayout::KERNEL_PAGE + i as u64)
+                .ok_or(XenError::OutOfMemory)?;
+            sys.plat.machine.host_write(direct_map(frame), page)?;
+        }
+        Ok(())
+    })?;
 
     // 4. RECEIVE_UPDATE: in-place re-encryption Ktek → Kvek.
-    for i in 0..npages {
-        let frame = sys
-            .xen
-            .domain(dom)?
-            .frame_of(gplayout::KERNEL_PAGE + i)
-            .ok_or(XenError::OutOfMemory)?;
-        let mut chunk = vec![0u8; PAGE_SIZE as usize];
-        sys.plat.machine.mc.dram().read_raw(frame, &mut chunk).map_err(XenError::Hw)?;
-        sys.plat.firmware.receive_update_page(&mut sys.plat.machine, handle, &chunk, i, frame)?;
-    }
+    step(sys, "launch:receive_update", |sys| {
+        for i in 0..npages {
+            let frame = sys
+                .xen
+                .domain(dom)?
+                .frame_of(gplayout::KERNEL_PAGE + i)
+                .ok_or(XenError::OutOfMemory)?;
+            let mut chunk = vec![0u8; PAGE_SIZE as usize];
+            sys.plat.machine.mc.dram().read_raw(frame, &mut chunk).map_err(XenError::Hw)?;
+            sys.plat.firmware.receive_update_page(
+                &mut sys.plat.machine,
+                handle,
+                &chunk,
+                i,
+                frame,
+            )?;
+        }
+        Ok(())
+    })?;
 
     // 5. RECEIVE_FINISH verifies Mvm; ACTIVATE installs Kvek.
-    sys.plat.firmware.receive_finish(handle, &image.measurement)?;
-    let asid = sys.xen.domain(dom)?.asid;
-    sys.plat.firmware.activate(&mut sys.plat.machine, handle, asid)?;
-    fidelius_mut(sys)?.register_sev_handle(dom, handle);
+    step(sys, "launch:finish_activate", |sys| {
+        sys.plat.firmware.receive_finish(handle, &image.measurement)?;
+        let asid = sys.xen.domain(dom)?.asid;
+        sys.plat.firmware.activate(&mut sys.plat.machine, handle, asid)?;
+        fidelius_mut(sys)?.register_sev_handle(dom, handle);
+        Ok(())
+    })?;
 
     // 6. VMCB + guest early boot (encrypted stage-1 tables), then seal.
-    let gcr3 = fidelius_hw::Gpa(gplayout::PT_POOL_PAGE * PAGE_SIZE);
-    let rip = gplayout::KERNEL_PAGE * PAGE_SIZE;
-    sys.xen.init_vmcb(&mut sys.plat, dom, gcr3, rip, true)?;
-    sys.boot_guest(dom)?;
-    let d = sys.xen.domain(dom)?;
-    sys.guardian.seal_guest(&mut sys.plat, d)?;
+    step(sys, "launch:boot_and_seal", |sys| {
+        let gcr3 = fidelius_hw::Gpa(gplayout::PT_POOL_PAGE * PAGE_SIZE);
+        let rip = gplayout::KERNEL_PAGE * PAGE_SIZE;
+        sys.xen.init_vmcb(&mut sys.plat, dom, gcr3, rip, true)?;
+        sys.boot_guest(dom)?;
+        let d = sys.xen.domain(dom)?;
+        sys.guardian.seal_guest(&mut sys.plat, d)?;
+        Ok(())
+    })?;
     Ok(dom)
 }
 

@@ -8,12 +8,13 @@
 //! is why the paper notes Fidelius does not support *live* migration.
 
 use crate::fidelius::Fidelius;
-use crate::lifecycle::fidelius_mut;
+use crate::lifecycle::{fidelius_mut, traced_phase};
 use fidelius_hw::inject::{FaultAction, InjectPoint};
 use fidelius_hw::{Gpa, PAGE_SIZE};
 use fidelius_sev::firmware::SessionBlob;
 use fidelius_sev::{GuestPolicy, Handle};
 use fidelius_telemetry::{DenialReason, Event, FaultKind, InjectionOutcome};
+use fidelius_trace::SpanKind;
 use fidelius_xen::domain::{DomainId, DomainState};
 use fidelius_xen::frontend::gplayout;
 use fidelius_xen::{System, XenError};
@@ -52,16 +53,25 @@ pub fn migrate_out(
     sys.ensure_host()?;
     let handle = fidelius_mut(sys)?.sev_handle(dom).ok_or(XenError::BadDomainState(dom))?;
     let mem_pages = sys.xen.domain(dom)?.mem_pages();
-    let session = sys.plat.firmware.send_start(handle, target_pdh)?;
-    let mut pages = Vec::new();
-    for p in 0..mem_pages {
-        if let Some(frame) = sys.xen.domain(dom)?.frame_of(p) {
-            let ct = sys.plat.firmware.send_update_page(&mut sys.plat.machine, handle, frame, p)?;
-            pages.push((p, ct));
+    let session = traced_phase(sys, SpanKind::MigratePhase, "migrate:send_start", |sys| {
+        Ok(sys.plat.firmware.send_start(handle, target_pdh)?)
+    })?;
+    let pages = traced_phase(sys, SpanKind::MigratePhase, "migrate:send_pages", |sys| {
+        let mut pages = Vec::new();
+        for p in 0..mem_pages {
+            if let Some(frame) = sys.xen.domain(dom)?.frame_of(p) {
+                let ct =
+                    sys.plat.firmware.send_update_page(&mut sys.plat.machine, handle, frame, p)?;
+                pages.push((p, ct));
+            }
         }
-    }
-    let tag = sys.plat.firmware.send_finish(handle)?;
-    sys.shutdown_guest(dom)?;
+        Ok(pages)
+    })?;
+    let tag = traced_phase(sys, SpanKind::MigratePhase, "migrate:send_finish", |sys| {
+        let tag = sys.plat.firmware.send_finish(handle)?;
+        sys.shutdown_guest(dom)?;
+        Ok(tag)
+    })?;
     let declared_pages = pages.len() as u64;
     let mut package = MigrationPackage { pages, session, tag, mem_pages, declared_pages };
     // Adversarial hook: the hypervisor carries the stream and may shorten
@@ -139,12 +149,16 @@ pub fn migrate_in(sys: &mut System, package: &MigrationPackage) -> Result<Domain
             .emit(Event::Denial { reason: DenialReason::MigrationStreamTruncated });
         return Err(XenError::FailClosed(DenialReason::MigrationStreamTruncated));
     }
-    let handle = sys.plat.firmware.receive_start(&package.session, GuestPolicy::default())?;
+    let handle = traced_phase(sys, SpanKind::MigratePhase, "migrate:receive_start", |sys| {
+        Ok(sys.plat.firmware.receive_start(&package.session, GuestPolicy::default())?)
+    })?;
     let dom = sys.xen.create_domain(&mut sys.plat, &mut *sys.guardian, package.mem_pages)?;
     // From here on the receive is transactional: any failure rolls the
     // half-built domain back (frames freed, firmware state decommissioned)
     // so a tampered stream cannot leak a zombie guest on the target.
-    match receive_body(sys, package, handle, dom) {
+    match traced_phase(sys, SpanKind::MigratePhase, "migrate:receive_body", |sys| {
+        receive_body(sys, package, handle, dom)
+    }) {
         Ok(()) => Ok(dom),
         Err(e) => {
             rollback_receive(sys, dom, handle);

@@ -33,6 +33,7 @@ use crate::tlb::{CachedTranslation, Space, Tlb, TransKind};
 use crate::vmcb::{ExitCode, VmcbField, VmcbImage};
 use crate::{Asid, Gpa, Gva, Hpa, Hva, PAGE_SIZE};
 use fidelius_telemetry::{Event, FlushScope, Snapshot, Tracer};
+use fidelius_trace::{ArgValue, Recorder, SpanId, SpanKind};
 
 /// Whether the CPU is running host (hypervisor/Fidelius) or guest code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -199,6 +200,10 @@ pub struct Machine {
     /// The fault-injection handle every layer above shares. Disarmed by
     /// default; the fault-injection harness installs a seeded schedule here.
     pub inject: InjectorHandle,
+    /// The flight recorder every layer above shares. Disarmed by default
+    /// (one relaxed atomic load per hook crossing); `trace_report` arms a
+    /// clone of this handle and drains the span timeline afterwards.
+    pub rec: Recorder,
     /// Oracle mode: when set, every access takes the full software-walk
     /// path even on a TLB hit (the pre-cache behaviour). See
     /// [`Machine::set_walk_always`].
@@ -217,6 +222,7 @@ impl Machine {
             cpu: Cpu::new(),
             trace,
             inject: InjectorHandle::new(),
+            rec: Recorder::default(),
             walk_always: false,
         }
     }
@@ -255,7 +261,46 @@ impl Machine {
         let mut metrics = self.trace.metrics();
         let c = self.tlb.counters();
         metrics.set_tlb_counters(c.hits, c.misses, c.evictions, c.walks);
-        Snapshot { metrics, cycles: self.cycles.breakdown() }
+        Snapshot {
+            metrics,
+            cycles: self.cycles.breakdown(),
+            events_total: self.trace.total_emitted(),
+            events_dropped: self.trace.dropped(),
+        }
+    }
+
+    /// The flight-recorder track this CPU is currently on: the running
+    /// guest's ASID, or 0 for host (hypervisor/Fidelius/dom0) execution.
+    pub fn span_track(&self) -> u64 {
+        self.cpu.guest.map(|g| g.asid.0 as u64).unwrap_or(0)
+    }
+
+    /// Opens a flight-recorder span stamped with the modeled-cycle clock
+    /// and the current track. Disarmed, this is one relaxed atomic load
+    /// and returns [`SpanId::NONE`] — no float work, no lock.
+    ///
+    /// Every layer above opens its spans through this helper so the
+    /// timestamp source (`cycles.total_f64()`) and track assignment can
+    /// never disagree with the cycle attribution in the same snapshot.
+    pub fn span_open(
+        &self,
+        kind: SpanKind,
+        label: &'static str,
+        args: &[(&'static str, ArgValue)],
+    ) -> SpanId {
+        if !self.rec.is_armed() {
+            return SpanId::NONE;
+        }
+        self.rec.open(kind, label, self.span_track(), self.cycles.total_f64(), args)
+    }
+
+    /// Closes a span at the current modeled-cycle stamp. A null id — what
+    /// [`Machine::span_open`] returns while disarmed — is a no-op.
+    pub fn span_close(&self, id: SpanId) {
+        if id.is_none() {
+            return;
+        }
+        self.rec.close(id, self.cycles.total_f64());
     }
 
     // ----- host-mode accesses ------------------------------------------
@@ -271,7 +316,13 @@ impl Machine {
         let cached = self.tlb.lookup(Space::Host, vpn);
         self.cycles.charge(self.cost.mem_access);
         let hit = cached.is_hit();
+        let mut refill = SpanId::NONE;
         if !hit {
+            refill = self.span_open(
+                SpanKind::TlbRefill,
+                "tlb-refill:host",
+                &[("vpn", ArgValue::U64(vpn))],
+            );
             self.cycles.charge_as(CycleCategory::Paging, self.cost.gpt_walk);
             self.tlb.record_walks(1);
         }
@@ -297,7 +348,9 @@ impl Machine {
             }
         }
         let usable = cached.cached().is_some_and(|c| c.kind == TransKind::HostVirt);
-        let t = self.walk_host(va, access)?;
+        let walked = self.walk_host(va, access);
+        self.span_close(refill);
+        let t = walked?;
         let fresh = CachedTranslation::host(t.pa.pfn(), t.writable, t.nx, t.c_bit);
         if hit {
             // Demoted or wrong-kind hit: the walk re-validated the payload;
@@ -628,7 +681,13 @@ impl Machine {
         let cached = self.tlb.lookup(space, gpa.pfn());
         self.cycles.charge(self.cost.mem_access);
         let hit = cached.is_hit();
+        let mut refill = SpanId::NONE;
         if !hit {
+            refill = self.span_open(
+                SpanKind::NptWalk,
+                "npt-walk",
+                &[("gpfn", ArgValue::U64(gpa.pfn()))],
+            );
             self.cycles.charge_as(CycleCategory::Paging, self.cost.npt_walk);
             self.tlb.record_walks(1);
         }
@@ -647,7 +706,9 @@ impl Machine {
             }
         }
         let usable = cached.cached().is_some_and(|c| c.kind == TransKind::GuestPhys);
-        let t = self.npt_walk_translation(gpa, access)?;
+        let walked = self.npt_walk_translation(gpa, access);
+        self.span_close(refill);
+        let t = walked?;
         if access == AccessKind::Write && !t.writable {
             return Err(Fault::NestedPageFault {
                 gpa,
@@ -684,6 +745,15 @@ impl Machine {
     /// the controller call cannot fail here.
     fn commit_read_run(&mut self, run: Option<PendingRun>, buf: &mut [u8]) {
         if let Some(r) = run {
+            if self.rec.is_armed() {
+                self.rec.instant(
+                    SpanKind::MemStream,
+                    "mem-stream:read",
+                    self.span_track(),
+                    self.cycles.total_f64(),
+                    &[("hpa", ArgValue::U64(r.hpa.0)), ("len", ArgValue::U64(r.len as u64))],
+                );
+            }
             self.mc
                 .read(r.hpa, &mut buf[r.buf_off..r.buf_off + r.len], r.enc)
                 .expect("coalesced span pre-checked against DRAM and keys");
@@ -694,6 +764,15 @@ impl Machine {
     /// [`Machine::commit_read_run`].
     fn commit_write_run(&mut self, run: Option<PendingRun>, data: &[u8]) {
         if let Some(r) = run {
+            if self.rec.is_armed() {
+                self.rec.instant(
+                    SpanKind::MemStream,
+                    "mem-stream:write",
+                    self.span_track(),
+                    self.cycles.total_f64(),
+                    &[("hpa", ArgValue::U64(r.hpa.0)), ("len", ArgValue::U64(r.len as u64))],
+                );
+            }
             self.mc
                 .write(r.hpa, &data[r.buf_off..r.buf_off + r.len], r.enc)
                 .expect("coalesced span pre-checked against DRAM and keys");
@@ -936,13 +1015,18 @@ impl Machine {
     fn guest_translate(&mut self, va: Gva, access: AccessKind) -> Result<(Hpa, EncSel), Fault> {
         assert_eq!(self.cpu.mode, Mode::Guest);
         let guest = self.cpu.guest.expect("guest mode");
-        let table_enc = if guest.sev { EncSel::Guest(guest.asid) } else { EncSel::None };
         let gfault = |reason| Fault::GuestPageFault { va, access, reason };
 
         let cached = self.tlb.lookup(Space::Guest(guest.asid.0), va.pfn());
         self.cycles.charge(self.cost.mem_access);
         let hit = cached.is_hit();
+        let mut refill = SpanId::NONE;
         if !hit {
+            refill = self.span_open(
+                SpanKind::GuestWalk,
+                "guest-walk",
+                &[("vpn", ArgValue::U64(va.pfn()))],
+            );
             self.cycles.charge_as(CycleCategory::Paging, self.cost.gpt_walk + self.cost.npt_walk);
             // A guest-virtual miss walks both the guest table and the NPT.
             self.tlb.record_walks(2);
@@ -979,8 +1063,49 @@ impl Machine {
         }
 
         let usable = cached.cached().is_some_and(|c| c.kind == TransKind::GuestVirt);
-        // Stage-1 walk; every table access is itself a GPA that must pass
-        // through the NPT.
+        let walked = self.guest_two_stage_walk(guest, va, access);
+        self.span_close(refill);
+        let (leaf, writable, nx, t2) = walked?;
+        let fresh = CachedTranslation::guest_virt(
+            t2.pa.pfn(),
+            leaf.addr().pfn(),
+            writable,
+            nx,
+            leaf.c_bit(),
+            t2.writable,
+            t2.c_bit,
+        );
+        if hit {
+            if !usable {
+                self.tlb.refresh(Space::Guest(guest.asid.0), va.pfn(), fresh);
+            }
+        } else {
+            self.tlb.insert(Space::Guest(guest.asid.0), va.pfn(), fresh);
+        }
+        let enc = if guest.sev && leaf.c_bit() {
+            EncSel::Guest(guest.asid)
+        } else if t2.c_bit {
+            EncSel::Sme
+        } else {
+            EncSel::None
+        };
+        Ok((t2.pa, enc))
+    }
+
+    /// The software walk [`Machine::guest_translate`] falls back to on a
+    /// TLB miss: stage 1 through the guest's own page tables (every table
+    /// access is itself a GPA that must pass through the NPT, and table
+    /// reads use the guest key when SEV is on), then stage 2 for the final
+    /// data page. Returns the stage-1 leaf, its accumulated
+    /// writable/no-execute permissions, and the stage-2 translation.
+    fn guest_two_stage_walk(
+        &mut self,
+        guest: GuestCtx,
+        va: Gva,
+        access: AccessKind,
+    ) -> Result<(crate::paging::Pte, bool, bool, Translation), Fault> {
+        let table_enc = if guest.sev { EncSel::Guest(guest.asid) } else { EncSel::None };
+        let gfault = |reason| Fault::GuestPageFault { va, access, reason };
         let mut table_gpa = guest.gcr3;
         let mut writable = true;
         let mut nx = false;
@@ -1009,7 +1134,6 @@ impl Machine {
             AccessKind::Execute if nx => return Err(gfault(FaultReason::NoExecute)),
             _ => {}
         }
-        // Stage 2 for the final data page.
         let gpa = Gpa(leaf.addr().0 + va.page_offset());
         let t2 = self.npt_walk_translation(gpa, access)?;
         if access == AccessKind::Write && !t2.writable {
@@ -1019,30 +1143,7 @@ impl Machine {
                 reason: FaultReason::WriteProtected,
             });
         }
-        let fresh = CachedTranslation::guest_virt(
-            t2.pa.pfn(),
-            leaf.addr().pfn(),
-            writable,
-            nx,
-            leaf.c_bit(),
-            t2.writable,
-            t2.c_bit,
-        );
-        if hit {
-            if !usable {
-                self.tlb.refresh(Space::Guest(guest.asid.0), va.pfn(), fresh);
-            }
-        } else {
-            self.tlb.insert(Space::Guest(guest.asid.0), va.pfn(), fresh);
-        }
-        let enc = if guest.sev && leaf.c_bit() {
-            EncSel::Guest(guest.asid)
-        } else if t2.c_bit {
-            EncSel::Sme
-        } else {
-            EncSel::None
-        };
-        Ok((t2.pa, enc))
+        Ok((leaf, writable, nx, t2))
     }
 }
 

@@ -10,6 +10,7 @@ use fidelius_crypto::x25519::KeyPair;
 use fidelius_crypto::Key128;
 use fidelius_hw::cpu::Machine;
 use fidelius_hw::{Asid, Hpa, PAGE_SIZE};
+use fidelius_trace::{ArgValue, SpanKind};
 use std::collections::HashMap;
 
 /// Platform-wide firmware state.
@@ -428,10 +429,18 @@ impl Firmware {
     ) -> Result<Vec<u8>, SevError> {
         let ctx = self.guest_mut(h)?;
         ctx.require(GuestState::Sending)?;
+        let span = machine.span_open(
+            SpanKind::CryptoRun,
+            "crypto:send_update",
+            &[("page", ArgValue::U64(page_index))],
+        );
         let engine = PaTweakCipher::new(&ctx.kvek);
         let tek = ctx.tek.expect("sending state implies transport keys");
         let mut page = vec![0u8; PAGE_SIZE as usize];
-        machine.mc.dram().read_raw(src_pa, &mut page).map_err(SevError::Hw)?;
+        if let Err(e) = machine.mc.dram().read_raw(src_pa, &mut page) {
+            machine.span_close(span);
+            return Err(SevError::Hw(e));
+        }
         for (i, block) in page.chunks_exact_mut(16).enumerate() {
             let mut b: [u8; 16] = block.try_into().expect("16-byte chunk");
             engine.decrypt_block(src_pa.0 + 16 * i as u64, &mut b);
@@ -445,6 +454,7 @@ impl Firmware {
             fidelius_hw::cycles::CycleCategory::CryptoEngine,
             2.0 * lines as f64 * machine.cost.engine_line_extra,
         );
+        machine.span_close(span);
         Ok(page)
     }
 
@@ -507,6 +517,11 @@ impl Firmware {
         let ctx = self.guest_mut(h)?;
         ctx.require(GuestState::Receiving)?;
         assert_eq!(chunk.len() as u64, PAGE_SIZE, "receive chunks are pages");
+        let span = machine.span_open(
+            SpanKind::CryptoRun,
+            "crypto:receive_update",
+            &[("page", ArgValue::U64(page_index))],
+        );
         let tek = ctx.tek.expect("receiving state implies transport keys");
         let mut page = chunk.to_vec();
         let ctr = Ctr128::new(&tek, 0x7EC0_0000_0000_0000);
@@ -518,12 +533,16 @@ impl Firmware {
             engine.encrypt_block(dst_pa.0 + 16 * i as u64, &mut b);
             block.copy_from_slice(&b);
         }
-        machine.mc.dram_mut().write_raw(dst_pa, &page).map_err(SevError::Hw)?;
+        if let Err(e) = machine.mc.dram_mut().write_raw(dst_pa, &page) {
+            machine.span_close(span);
+            return Err(SevError::Hw(e));
+        }
         let lines = PAGE_SIZE.div_ceil(fidelius_hw::CACHE_LINE);
         machine.cycles.charge_as(
             fidelius_hw::cycles::CycleCategory::CryptoEngine,
             2.0 * lines as f64 * machine.cost.engine_line_extra,
         );
+        machine.span_close(span);
         Ok(())
     }
 

@@ -14,6 +14,13 @@ pub struct Snapshot {
     pub metrics: Metrics,
     /// Per-category cycle totals.
     pub cycles: CycleBreakdown,
+    /// Events ever ingested by the source tracer (including coalesced and
+    /// evicted ones).
+    pub events_total: u64,
+    /// Events evicted from the tracer ring — when nonzero the event log
+    /// behind this rollup is a *suffix* of the history, and the JSON form
+    /// carries an `"events"` object saying so.
+    pub events_dropped: u64,
 }
 
 impl Snapshot {
@@ -25,21 +32,39 @@ impl Snapshot {
     pub fn merge(&mut self, other: &Snapshot) {
         self.metrics.merge(&other.metrics);
         self.cycles.merge(&other.cycles);
+        self.events_total += other.events_total;
+        self.events_dropped += other.events_dropped;
     }
 
     /// Merges an ordered sequence of per-case snapshots (case-index order)
     /// into one sweep-level rollup.
     pub fn merged<'a>(snapshots: impl IntoIterator<Item = &'a Snapshot>) -> Snapshot {
-        let mut out = Snapshot { metrics: Metrics::default(), cycles: CycleBreakdown::default() };
+        let mut out = Snapshot::default();
         for s in snapshots {
             out.merge(s);
         }
         out
     }
 
-    /// JSON object `{"metrics": {...}, "cycles": {...}}`.
+    /// JSON object `{"metrics": {...}, "cycles": {...}}`. When the source
+    /// tracer's ring overflowed, an `"events": {"total": ..., "dropped":
+    /// ...}` member is appended so the truncation is visible in CI
+    /// artifacts; a complete capture emits exactly the historical shape,
+    /// keeping overflow-free figure artifacts byte-identical across
+    /// releases.
     pub fn to_json(&self) -> Json {
-        Json::obj([("metrics", self.metrics.to_json()), ("cycles", self.cycles.to_json())])
+        let mut pairs =
+            vec![("metrics", self.metrics.to_json()), ("cycles", self.cycles.to_json())];
+        if self.events_dropped > 0 {
+            pairs.push((
+                "events",
+                Json::obj([
+                    ("total", Json::Num(self.events_total as f64)),
+                    ("dropped", Json::Num(self.events_dropped as f64)),
+                ]),
+            ));
+        }
+        Json::obj(pairs)
     }
 
     /// A multi-line text report (the `--json`-less sink).
@@ -114,7 +139,7 @@ mod tests {
             }
             let mut cycles = CycleBreakdown::default();
             cycles.by_category[CycleCategory::Baseline.index()] = baseline;
-            Snapshot { metrics: t.metrics(), cycles }
+            Snapshot { metrics: t.metrics(), cycles, ..Snapshot::default() }
         };
         let cases = [mk(1, 10.5), mk(2, 0.25), mk(0, 100.0)];
         let merged = Snapshot::merged(&cases);
@@ -134,11 +159,34 @@ mod tests {
         t.emit(Event::Vmexit { exit_code: 0x81, asid: 1 });
         let mut cycles = CycleBreakdown::default();
         cycles.by_category[CycleCategory::WorldSwitch.index()] = 2100.0;
-        let snap = Snapshot { metrics: t.metrics(), cycles };
+        let snap = Snapshot { metrics: t.metrics(), cycles, ..Snapshot::default() };
         let text = snap.text_report();
         assert!(text.contains("world-switch"));
         assert!(text.contains("1 vmruns, 1 vmexits"));
         let parsed = Json::parse(&snap.to_json().to_string()).unwrap();
         assert_eq!(parsed.get("cycles").unwrap().get("total").unwrap().as_f64(), Some(2100.0));
+    }
+
+    #[test]
+    fn overflow_accounting_round_trips_and_stays_out_of_clean_captures() {
+        // A complete capture: the JSON shape is the historical two-member
+        // object — figure artifacts from overflow-free runs cannot change.
+        let clean = Snapshot { events_total: 17, ..Snapshot::default() };
+        let parsed = Json::parse(&clean.to_json().to_string()).unwrap();
+        assert!(parsed.get("events").is_none(), "no overflow → no events member");
+
+        // An overflowed capture: total and dropped round-trip through JSON.
+        let truncated =
+            Snapshot { events_total: 9000, events_dropped: 4904, ..Snapshot::default() };
+        let parsed = Json::parse(&truncated.to_json().to_string()).unwrap();
+        let events = parsed.get("events").expect("overflow must be visible");
+        assert_eq!(events.get("total").unwrap().as_u64(), Some(9000));
+        assert_eq!(events.get("dropped").unwrap().as_u64(), Some(4904));
+
+        // Merge accumulates the accounting alongside metrics and cycles.
+        let mut merged = clean.clone();
+        merged.merge(&truncated);
+        assert_eq!(merged.events_total, 9017);
+        assert_eq!(merged.events_dropped, 4904);
     }
 }

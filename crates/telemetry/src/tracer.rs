@@ -6,6 +6,7 @@ use crate::event::{CryptoDir, EncKey, Event};
 use crate::json::Json;
 use crate::metrics::Metrics;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Default ring capacity (events retained for forensics/tests).
@@ -40,7 +41,6 @@ struct Inner {
     next_seq: u64,
     dropped: u64,
     metrics: Metrics,
-    enabled: bool,
     /// An open coalesced crypto run: `(key, dir, bytes_so_far)`.
     open_crypto: Option<(EncKey, CryptoDir, u64)>,
 }
@@ -64,8 +64,14 @@ impl Inner {
 
 /// A cheaply cloneable tracing handle. All clones share one ring buffer and
 /// one metrics registry.
+///
+/// The enabled flag lives *outside* the mutex: a disabled tracer rejects
+/// `emit`/`crypto` after one relaxed atomic load, never touching the lock
+/// — the memory-controller path calls `crypto` per engine pass, and a
+/// disabled tracer must not serialize it.
 #[derive(Debug, Clone)]
 pub struct Tracer {
+    enabled: Arc<AtomicBool>,
     inner: Arc<Mutex<Inner>>,
 }
 
@@ -84,25 +90,26 @@ impl Tracer {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "tracer ring needs capacity");
         Tracer {
+            enabled: Arc::new(AtomicBool::new(true)),
             inner: Arc::new(Mutex::new(Inner {
                 ring: VecDeque::with_capacity(capacity),
                 capacity,
                 next_seq: 0,
                 dropped: 0,
                 metrics: Metrics::default(),
-                enabled: true,
                 open_crypto: None,
             })),
         }
     }
 
     /// Emits one event: appends to the ring (evicting the oldest when full)
-    /// and folds it into the metrics registry.
+    /// and folds it into the metrics registry. Disabled, this is one
+    /// relaxed atomic load — the lock is never taken.
     pub fn emit(&self, event: Event) {
-        let mut inner = self.inner.lock().expect("tracer lock");
-        if !inner.enabled {
+        if !self.enabled.load(Ordering::Relaxed) {
             return;
         }
+        let mut inner = self.inner.lock().expect("tracer lock");
         inner.close_crypto_run();
         inner.metrics.observe(&event, 0, 0);
         inner.push(event);
@@ -113,11 +120,11 @@ impl Tracer {
     /// grow, so a bulk copy is one event, not millions; the byte counters in
     /// the metrics registry always account every call exactly.
     pub fn crypto(&self, key: EncKey, dir: CryptoDir, bytes: u64) {
-        let mut guard = self.inner.lock().expect("tracer lock");
-        let inner = &mut *guard;
-        if !inner.enabled {
+        if !self.enabled.load(Ordering::Relaxed) {
             return;
         }
+        let mut guard = self.inner.lock().expect("tracer lock");
+        let inner = &mut *guard;
         let event = Event::Crypto { key, dir, bytes, ops: 1 };
         inner.metrics.observe(&event, bytes, 1);
         match (&mut inner.open_crypto, inner.ring.back_mut()) {
@@ -138,9 +145,9 @@ impl Tracer {
     }
 
     /// Disables (`false`) or re-enables event ingestion. Disabled tracers
-    /// drop events without recording anything.
+    /// drop events without recording anything — and without locking.
     pub fn set_enabled(&self, enabled: bool) {
-        self.inner.lock().expect("tracer lock").enabled = enabled;
+        self.enabled.store(enabled, Ordering::Relaxed);
     }
 
     /// Snapshot of the retained events, oldest first.
@@ -175,10 +182,23 @@ impl Tracer {
         inner.open_crypto = None;
     }
 
-    /// The retained events as a JSON-lines document (one object per line).
+    /// The retained events as a JSON-lines document (one object per line),
+    /// preceded by a header line `{"trace":"events","retained":...,
+    /// "total":...,"dropped":...}` — so a consumer of the artifact can see
+    /// ring overflow (`dropped > 0` means the document is a suffix of the
+    /// full history) instead of silently reading a truncated record.
     pub fn to_json_lines(&self) -> String {
+        let events = self.events();
         let mut out = String::new();
-        for te in self.events() {
+        Json::obj(vec![
+            ("trace", Json::str("events")),
+            ("retained", Json::Num(events.len() as f64)),
+            ("total", Json::Num(self.total_emitted() as f64)),
+            ("dropped", Json::Num(self.dropped() as f64)),
+        ])
+        .write(&mut out);
+        out.push('\n');
+        for te in events {
             te.to_json().write(&mut out);
             out.push('\n');
         }
@@ -250,10 +270,47 @@ mod tests {
         t.emit(Event::Denial { reason: DenialReason::Cr0WpClear });
         let lines = t.to_json_lines();
         let parsed = Json::parse_lines(&lines).expect("valid json lines");
-        assert_eq!(parsed.len(), 2);
-        assert_eq!(parsed[0].get("ev").unwrap().as_str(), Some("vmrun"));
-        assert_eq!(parsed[0].get("seq").unwrap().as_u64(), Some(0));
-        assert_eq!(parsed[1].get("reason").unwrap().as_str(), Some("CR0.WP cannot be cleared"));
+        assert_eq!(parsed.len(), 3, "header line + two events");
+        assert_eq!(parsed[0].get("trace").unwrap().as_str(), Some("events"));
+        assert_eq!(parsed[0].get("retained").unwrap().as_u64(), Some(2));
+        assert_eq!(parsed[0].get("total").unwrap().as_u64(), Some(2));
+        assert_eq!(parsed[0].get("dropped").unwrap().as_u64(), Some(0));
+        assert_eq!(parsed[1].get("ev").unwrap().as_str(), Some("vmrun"));
+        assert_eq!(parsed[1].get("seq").unwrap().as_u64(), Some(0));
+        assert_eq!(parsed[2].get("reason").unwrap().as_str(), Some("CR0.WP cannot be cleared"));
+    }
+
+    #[test]
+    fn json_lines_header_reports_overflow() {
+        let t = Tracer::new(2);
+        for code in 0..5u64 {
+            t.emit(Event::Vmexit { exit_code: code, asid: 1 });
+        }
+        let parsed = Json::parse_lines(&t.to_json_lines()).expect("valid json lines");
+        assert_eq!(parsed[0].get("retained").unwrap().as_u64(), Some(2));
+        assert_eq!(parsed[0].get("total").unwrap().as_u64(), Some(5));
+        assert_eq!(parsed[0].get("dropped").unwrap().as_u64(), Some(3));
+        // The counters round-trip: retained + dropped == total.
+        assert_eq!(parsed.len() as u64 - 1 + 3, 5);
+    }
+
+    #[test]
+    fn disabled_ingestion_never_touches_the_lock() {
+        let t = Tracer::new(4);
+        t.set_enabled(false);
+        // Poison the mutex: any future lock() inside emit/crypto would
+        // panic through `expect("tracer lock")`.
+        let t2 = t.clone();
+        std::thread::spawn(move || {
+            let _guard = t2.inner.lock().unwrap();
+            panic!("poison the tracer lock");
+        })
+        .join()
+        .unwrap_err();
+        // The disabled fast path must bail on the atomic alone, so these
+        // cannot observe the poisoned mutex.
+        t.emit(Event::Vmrun { asid: 1, sev: false });
+        t.crypto(EncKey::Sme, CryptoDir::Encrypt, 64);
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Property tests for the merge algebra the parallel sweeps rely on:
+//! `Metrics::merge`, `Histogram::merge` and `Snapshot::merge` must be
+//! associative with `Default` as the identity, because `fidelius-par`
+//! folds per-case results back together in case-index order and the
+//! grouping of that fold is an implementation detail.
+//!
+//! Seeded and dependency-free, like the rest of the suites: a splitmix64
+//! generator drives randomized inputs, so failures replay exactly.
+//!
+//! Cycle values are generated as *integers cast to f64*: sums of small
+//! integers are exact in f64, so associativity of `CycleBreakdown`'s
+//! float addition holds on this domain. (On arbitrary floats it would
+//! not — which is exactly why the production fold fixes the order.)
+
+use fidelius_telemetry::{
+    CryptoDir, CycleBreakdown, CycleCategory, DenialReason, Event, GateKind, Histogram, Metrics,
+    Snapshot,
+};
+
+/// Splitmix64: tiny, seedable, good enough to scatter test inputs.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+fn random_histogram(rng: &mut Rng) -> Histogram {
+    let mut h = Histogram::default();
+    for _ in 0..rng.below(24) {
+        // Spread across buckets: sometimes tiny, sometimes huge.
+        let v = if rng.below(2) == 0 { rng.below(64) } else { rng.next() >> rng.below(40) };
+        h.record(v);
+    }
+    h
+}
+
+fn random_event(rng: &mut Rng) -> Event {
+    match rng.below(7) {
+        0 => Event::Vmrun { asid: rng.below(4) as u16, sev: rng.below(2) == 0 },
+        1 => Event::Vmexit { exit_code: 0x60 + rng.below(4) * 0x10, asid: rng.below(4) as u16 },
+        2 => Event::Hypercall { dom: rng.below(3) as u16, nr: rng.below(6) },
+        3 => {
+            let kind = match rng.below(3) {
+                0 => GateKind::Type1,
+                1 => GateKind::Type2,
+                _ => GateKind::Type3,
+            };
+            Event::Gate { kind, op: "prop" }
+        }
+        4 => Event::Denial { reason: DenialReason::GrantNotAuthorized },
+        5 => Event::ShadowCapture { vmcb_pa: rng.below(1 << 20), masked_fields: rng.below(8) },
+        _ => Event::TlbFlush { scope: fidelius_telemetry::FlushScope::Full },
+    }
+}
+
+fn random_metrics(rng: &mut Rng) -> Metrics {
+    let t = fidelius_telemetry::Tracer::new(64);
+    for _ in 0..rng.below(20) {
+        t.emit(random_event(rng));
+    }
+    for _ in 0..rng.below(4) {
+        let dir = if rng.below(2) == 0 { CryptoDir::Encrypt } else { CryptoDir::Decrypt };
+        t.crypto(fidelius_telemetry::EncKey::Guest(rng.below(3) as u16), dir, 16 * rng.below(64));
+        // Break the coalescing run half the time so histograms fill.
+        if rng.below(2) == 0 {
+            t.emit(Event::Vmrun { asid: 1, sev: false });
+        }
+    }
+    let mut m = t.metrics();
+    m.set_tlb_counters(rng.below(100), rng.below(20), rng.below(8), rng.below(30));
+    m
+}
+
+fn random_snapshot(rng: &mut Rng) -> Snapshot {
+    let mut cycles = CycleBreakdown::default();
+    for c in CycleCategory::ALL {
+        // Integral f64 values: exact addition, see the module docs.
+        cycles.by_category[c.index()] = rng.below(1 << 20) as f64;
+    }
+    Snapshot {
+        metrics: random_metrics(rng),
+        cycles,
+        events_total: rng.below(10_000),
+        events_dropped: rng.below(500),
+    }
+}
+
+#[test]
+fn histogram_merge_is_associative_with_identity() {
+    let mut rng = Rng(0xC0FFEE);
+    for _ in 0..64 {
+        let (a, b, c) =
+            (random_histogram(&mut rng), random_histogram(&mut rng), random_histogram(&mut rng));
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right, "(a·b)·c != a·(b·c)");
+
+        let mut with_id = Histogram::default();
+        with_id.merge(&a);
+        assert_eq!(with_id, a, "Default is not a left identity");
+        let mut id_right = a.clone();
+        id_right.merge(&Histogram::default());
+        assert_eq!(id_right, a, "Default is not a right identity");
+    }
+}
+
+#[test]
+fn metrics_merge_is_associative_with_identity() {
+    let mut rng = Rng(0xBADD_CAFE);
+    for _ in 0..48 {
+        let (a, b, c) =
+            (random_metrics(&mut rng), random_metrics(&mut rng), random_metrics(&mut rng));
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right, "(a·b)·c != a·(b·c)");
+
+        let mut with_id = Metrics::default();
+        with_id.merge(&a);
+        assert_eq!(with_id, a, "Default is not a left identity");
+        let mut id_right = a.clone();
+        id_right.merge(&Metrics::default());
+        assert_eq!(id_right, a, "Default is not a right identity");
+    }
+}
+
+#[test]
+fn snapshot_merge_is_associative_with_identity() {
+    let mut rng = Rng(0xFEED_5EED);
+    for _ in 0..48 {
+        let (a, b, c) =
+            (random_snapshot(&mut rng), random_snapshot(&mut rng), random_snapshot(&mut rng));
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right, "(a·b)·c != a·(b·c)");
+
+        // Bulk fold agrees with the pairwise fold.
+        assert_eq!(Snapshot::merged([&a, &b, &c]), left);
+
+        let mut with_id = Snapshot::default();
+        with_id.merge(&a);
+        assert_eq!(with_id, a, "Default is not a left identity");
+        let mut id_right = a.clone();
+        id_right.merge(&Snapshot::default());
+        assert_eq!(id_right, a, "Default is not a right identity");
+    }
+}

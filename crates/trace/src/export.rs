@@ -1,0 +1,260 @@
+//! Exporters: Chrome `trace_event` JSON, folded stacks, hotspot table.
+//!
+//! All three consume a [`TraceBuffer`] and are pure functions of its
+//! contents — the sorted-span order is total (begin stamp, then unique
+//! id), so every exporter's bytes are deterministic.
+
+use crate::recorder::TraceBuffer;
+use crate::span::{ArgValue, SpanRecord};
+use fidelius_telemetry::Json;
+use std::collections::BTreeMap;
+
+impl ArgValue {
+    fn to_json(self) -> Json {
+        match self {
+            ArgValue::U64(v) => Json::Num(v as f64),
+            ArgValue::F64(v) => Json::Num(v),
+            ArgValue::Str(s) => Json::str(s),
+        }
+    }
+}
+
+/// Renders the buffer as a Chrome `trace_event` JSON document that loads
+/// directly in Perfetto or `chrome://tracing`.
+///
+/// Modeled cycles are used as the microsecond axis (`ts`/`dur`), so one
+/// "µs" in the viewer is one modeled cycle. Every span becomes a
+/// complete (`"ph":"X"`) event; `pid` is always 1 and `tid` is the
+/// span's track (the guest ASID, 0 for host), with `thread_name`
+/// metadata events naming each track.
+pub fn to_chrome_trace(buf: &TraceBuffer) -> String {
+    let spans = buf.sorted_spans();
+    let mut tracks: Vec<u64> = spans.iter().map(|s| s.track).collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+
+    let mut events: Vec<Json> = Vec::with_capacity(spans.len() + tracks.len());
+    for track in &tracks {
+        let name = if *track == 0 { "host (dom0)".to_string() } else { format!("asid {track}") };
+        events.push(Json::obj([
+            ("name", Json::str("thread_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::Num(1.0)),
+            ("tid", Json::Num(*track as f64)),
+            ("args", Json::obj([("name", Json::str(name))])),
+        ]));
+    }
+    for s in spans {
+        let mut ev = vec![
+            ("name".to_string(), Json::str(s.label)),
+            ("cat".to_string(), Json::str(s.kind.as_str())),
+            ("ph".to_string(), Json::str("X")),
+            ("ts".to_string(), Json::Num(s.begin)),
+            ("dur".to_string(), Json::Num(s.duration())),
+            ("pid".to_string(), Json::Num(1.0)),
+            ("tid".to_string(), Json::Num(s.track as f64)),
+        ];
+        if !s.args.is_empty() {
+            let args = s.args.iter().map(|(k, v)| (k.to_string(), v.to_json())).collect::<Vec<_>>();
+            ev.push(("args".to_string(), Json::Obj(args)));
+        }
+        events.push(Json::Obj(ev));
+    }
+
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::str("ns")),
+        (
+            "metadata",
+            Json::obj([
+                ("clock", Json::str("modeled-cycles")),
+                ("spans", Json::Num(buf.spans.len() as f64)),
+                ("dropped", Json::Num(buf.dropped as f64)),
+                ("opened_total", Json::Num(buf.opened_total as f64)),
+            ]),
+        ),
+    ])
+    .to_string()
+}
+
+/// Walks the parent chain of `span` to build its `a;b;leaf` stack path.
+fn stack_path(span: &SpanRecord, by_id: &BTreeMap<u64, &SpanRecord>) -> String {
+    let mut frames = vec![span.label];
+    let mut cursor = span.parent;
+    while cursor != 0 {
+        let Some(parent) = by_id.get(&cursor) else { break };
+        frames.push(parent.label);
+        cursor = parent.parent;
+    }
+    frames.reverse();
+    frames.join(";")
+}
+
+/// Self cycles per span id: duration minus the durations of direct
+/// children still present in the buffer, clamped at zero (a ring
+/// overflow can evict a parent while keeping its children).
+fn self_cycles(buf: &TraceBuffer) -> BTreeMap<u64, f64> {
+    let mut selfs: BTreeMap<u64, f64> = buf.spans.iter().map(|s| (s.id, s.duration())).collect();
+    for s in &buf.spans {
+        if s.parent != 0 {
+            if let Some(parent_self) = selfs.get_mut(&s.parent) {
+                *parent_self -= s.duration();
+            }
+        }
+    }
+    for v in selfs.values_mut() {
+        *v = v.max(0.0);
+    }
+    selfs
+}
+
+/// Renders folded stacks — one `a;b;leaf <self_cycles>` line per
+/// distinct stack path, sorted by path — ready for
+/// `inferno-flamegraph` / `flamegraph.pl`. Self cycles are rounded to
+/// the nearest integer because the folded format takes integer counts.
+pub fn folded_stacks(buf: &TraceBuffer) -> String {
+    let by_id: BTreeMap<u64, &SpanRecord> = buf.spans.iter().map(|s| (s.id, s)).collect();
+    let selfs = self_cycles(buf);
+    let mut folded: BTreeMap<String, f64> = BTreeMap::new();
+    for s in &buf.spans {
+        *folded.entry(stack_path(s, &by_id)).or_insert(0.0) += selfs[&s.id];
+    }
+    let mut out = String::new();
+    for (path, cycles) in folded {
+        out.push_str(&path);
+        out.push(' ');
+        out.push_str(&format!("{}", cycles.round() as u64));
+        out.push('\n');
+    }
+    out
+}
+
+/// One row of the hotspot table: a span label aggregated over every
+/// occurrence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hotspot {
+    /// Span label (`kind:detail`).
+    pub label: &'static str,
+    /// Kind label (the Chrome `cat`).
+    pub kind: &'static str,
+    /// Number of spans with this label.
+    pub count: u64,
+    /// Total cycles (children included).
+    pub total_cycles: f64,
+    /// Self cycles (children excluded) — the ranking key.
+    pub self_cycles: f64,
+}
+
+/// The top-`n` span labels by aggregate self cycles (ties broken by
+/// label, so the table is deterministic).
+pub fn hotspots(buf: &TraceBuffer, n: usize) -> Vec<Hotspot> {
+    let selfs = self_cycles(buf);
+    let mut by_label: BTreeMap<&'static str, Hotspot> = BTreeMap::new();
+    for s in &buf.spans {
+        let entry = by_label.entry(s.label).or_insert(Hotspot {
+            label: s.label,
+            kind: s.kind.as_str(),
+            count: 0,
+            total_cycles: 0.0,
+            self_cycles: 0.0,
+        });
+        entry.count += 1;
+        entry.total_cycles += s.duration();
+        entry.self_cycles += selfs[&s.id];
+    }
+    let mut rows: Vec<Hotspot> = by_label.into_values().collect();
+    rows.sort_by(|a, b| {
+        b.self_cycles
+            .partial_cmp(&a.self_cycles)
+            .expect("cycle totals are finite")
+            .then(a.label.cmp(b.label))
+    });
+    rows.truncate(n);
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use crate::span::SpanKind;
+
+    fn sample() -> TraceBuffer {
+        let r = Recorder::new(64);
+        r.arm();
+        // asid 1: hypercall containing an NPT walk.
+        let hc = r.open(SpanKind::Hypercall, "hc:void", 1, 100.0, &[("nr", ArgValue::U64(0))]);
+        let walk = r.open(SpanKind::NptWalk, "npt-walk", 1, 110.0, &[]);
+        r.close(walk, 140.0);
+        r.close(hc, 160.0);
+        // host: a bare gate.
+        let gate = r.open(SpanKind::Gate, "gate:type1", 0, 50.0, &[]);
+        r.close(gate, 80.0);
+        r.take()
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_tracks_and_args() {
+        let text = to_chrome_trace(&sample());
+        let v = Json::parse(&text).expect("chrome trace parses");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        // 2 thread_name metadata events + 3 spans.
+        assert_eq!(events.len(), 5);
+        let meta_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .map(|e| e.get("args").unwrap().get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(meta_names, vec!["host (dom0)", "asid 1"]);
+        let hc =
+            events.iter().find(|e| e.get("name").unwrap().as_str() == Some("hc:void")).unwrap();
+        assert_eq!(hc.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(hc.get("ts").unwrap().as_f64(), Some(100.0));
+        assert_eq!(hc.get("dur").unwrap().as_f64(), Some(60.0));
+        assert_eq!(hc.get("tid").unwrap().as_u64(), Some(1));
+        assert_eq!(hc.get("args").unwrap().get("nr").unwrap().as_u64(), Some(0));
+        assert_eq!(v.get("metadata").unwrap().get("dropped").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn folded_stacks_attribute_self_cycles() {
+        let folded = folded_stacks(&sample());
+        let lines: Vec<&str> = folded.lines().collect();
+        // Sorted by path: gate, hc:void, hc:void;npt-walk.
+        assert_eq!(
+            lines,
+            vec!["gate:type1 30", "hc:void 30", "hc:void;npt-walk 30"],
+            "hypercall self = 60 total - 30 child"
+        );
+    }
+
+    #[test]
+    fn hotspots_rank_by_self_cycles_with_stable_ties() {
+        let rows = hotspots(&sample(), 10);
+        assert_eq!(rows.len(), 3);
+        // All three have self 30; ties break by label.
+        assert_eq!(rows[0].label, "gate:type1");
+        assert_eq!(rows[1].label, "hc:void");
+        assert_eq!(rows[2].label, "npt-walk");
+        assert_eq!(rows[1].total_cycles, 60.0);
+        assert_eq!(rows[1].self_cycles, 30.0);
+        assert_eq!(rows[1].count, 1);
+        assert_eq!(hotspots(&sample(), 1).len(), 1);
+    }
+
+    #[test]
+    fn orphan_child_after_eviction_keeps_exports_total() {
+        // Simulate ring eviction of a parent: child points at a missing id.
+        let r = Recorder::new(1);
+        r.arm();
+        let outer = r.open(SpanKind::Hypercall, "hc", 0, 0.0, &[]);
+        let inner = r.open(SpanKind::NptWalk, "walk", 0, 1.0, &[]);
+        r.close(inner, 2.0);
+        r.close(outer, 3.0); // evicts the walk from the capacity-1 ring
+        let buf = r.take();
+        assert_eq!(buf.spans.len(), 1);
+        assert_eq!(buf.dropped, 1);
+        assert!(folded_stacks(&buf).starts_with("hc "));
+        assert_eq!(hotspots(&buf, 5).len(), 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! Cycle-true flight recorder for the Fidelius simulator.
+//!
+//! The paper's evaluation lives on *where modeled cycles go* — gate round
+//! trips, VMCB shadow checks, NPT walks, crypto runs — yet a flat
+//! per-category sum cannot say *which* hypercall or blkif request spent
+//! them, nor what an adversary touched before a denial fired. This crate
+//! records a hierarchical span timeline keyed to the **modeled-cycle
+//! clock** (never wall time), so a trace is a deterministic function of
+//! the simulated execution: byte-identical at any `--threads`, same as
+//! every other artifact in this workspace.
+//!
+//! Three pieces:
+//!
+//! * [`Recorder`] — a cheaply cloneable handle over a bounded ring of
+//!   closed [`SpanRecord`]s plus the open-span stack. Disarmed (the
+//!   default) every hook crossing costs one relaxed atomic load and
+//!   returns a null [`SpanId`] — the `hw::inject` zero-cost-when-disabled
+//!   contract, so bench floors hold with tracing compiled in.
+//! * [`TraceBuffer`] — the drained spans with overflow accounting;
+//!   buffers from per-worker machines [`TraceBuffer::merge`] in
+//!   case-index order, so parallel sweeps emit one deterministic trace.
+//! * [`export`] — Chrome `trace_event` JSON (loads directly in Perfetto
+//!   or `chrome://tracing`, one track per ASID), folded stacks
+//!   (flamegraph-compatible) and a top-N self-cycles hotspot table.
+//!
+//! The crate depends only on `fidelius-telemetry` (for its
+//! dependency-free JSON emitter) and sits right above it in the crate
+//! DAG, so `hw` and everything upward can record spans without cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod recorder;
+pub mod span;
+
+pub use export::Hotspot;
+pub use recorder::{Recorder, TraceBuffer, DEFAULT_SPAN_CAPACITY};
+pub use span::{ArgValue, SpanId, SpanKind, SpanRecord};

@@ -1,0 +1,381 @@
+//! The flight recorder: a bounded ring of closed spans behind a
+//! cheaply cloneable handle, disarmed by default.
+
+use crate::span::{ArgValue, SpanId, SpanKind, SpanRecord};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default ring capacity (closed spans retained). Large enough that the
+/// fig5/fig6 measurement workloads fit without overflow; the `dropped`
+/// counter makes any overflow visible in artifacts rather than silent.
+pub const DEFAULT_SPAN_CAPACITY: usize = 65_536;
+
+#[derive(Debug)]
+struct OpenSpan {
+    id: u64,
+    parent: u64,
+    kind: SpanKind,
+    label: &'static str,
+    track: u64,
+    begin: f64,
+    args: Vec<(&'static str, ArgValue)>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    ring: VecDeque<SpanRecord>,
+    capacity: usize,
+    stack: Vec<OpenSpan>,
+    next_id: u64,
+    dropped: u64,
+    opened_total: u64,
+}
+
+impl Inner {
+    fn push_closed(&mut self, record: SpanRecord) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(record);
+    }
+}
+
+/// A cheaply cloneable span recorder keyed to the modeled-cycle clock.
+///
+/// All clones share one ring and one open-span stack (the simulator is
+/// single-threaded per machine; parallel sweeps give every worker
+/// machine its own recorder and merge the [`TraceBuffer`]s afterwards).
+///
+/// Disarmed — the default — [`Recorder::open`] costs one relaxed atomic
+/// load and returns [`SpanId::NONE`]; [`Recorder::close`] on a null id
+/// returns before touching the lock. This is the same
+/// zero-cost-when-disabled contract as `hw::inject`, and it is what
+/// keeps the bench_guard floors green with tracing compiled into every
+/// hot path.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    armed: Arc<AtomicBool>,
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new(DEFAULT_SPAN_CAPACITY)
+    }
+}
+
+impl Recorder {
+    /// A disarmed recorder retaining up to `capacity` closed spans.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero capacity.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "recorder ring needs capacity");
+        Recorder {
+            armed: Arc::new(AtomicBool::new(false)),
+            inner: Arc::new(Mutex::new(Inner {
+                ring: VecDeque::new(),
+                capacity,
+                stack: Vec::new(),
+                next_id: 0,
+                dropped: 0,
+                opened_total: 0,
+            })),
+        }
+    }
+
+    /// Whether the recorder is currently recording. One relaxed atomic
+    /// load — callers gate timestamp computation on this so the
+    /// disarmed path does no float work either.
+    pub fn is_armed(&self) -> bool {
+        self.armed.load(Ordering::Relaxed)
+    }
+
+    /// Starts recording (every clone of this handle).
+    pub fn arm(&self) {
+        self.armed.store(true, Ordering::Relaxed);
+    }
+
+    /// Stops recording. Spans still open keep their place on the stack
+    /// and close normally when their sites unwind (their ids stay
+    /// valid), so disarming mid-operation cannot corrupt the hierarchy.
+    pub fn disarm(&self) {
+        self.armed.store(false, Ordering::Relaxed);
+    }
+
+    /// Opens a span at modeled-cycle stamp `now`. Returns
+    /// [`SpanId::NONE`] without locking when disarmed.
+    pub fn open(
+        &self,
+        kind: SpanKind,
+        label: &'static str,
+        track: u64,
+        now: f64,
+        args: &[(&'static str, ArgValue)],
+    ) -> SpanId {
+        if !self.is_armed() {
+            return SpanId::NONE;
+        }
+        let mut inner = self.inner.lock().expect("recorder lock");
+        inner.next_id += 1;
+        inner.opened_total += 1;
+        let id = inner.next_id;
+        let parent = inner.stack.last().map(|s| s.id).unwrap_or(0);
+        inner.stack.push(OpenSpan {
+            id,
+            parent,
+            kind,
+            label,
+            track,
+            begin: now,
+            args: args.to_vec(),
+        });
+        SpanId(id)
+    }
+
+    /// Closes the span `id` at modeled-cycle stamp `now`. A null id is a
+    /// no-op. If inner spans were left open above `id` (an error path
+    /// unwound past their close calls), they are closed at `now` too, so
+    /// the hierarchy stays well-formed deterministically.
+    pub fn close(&self, id: SpanId, now: f64) {
+        if id.is_none() {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("recorder lock");
+        let Some(pos) = inner.stack.iter().rposition(|s| s.id == id.0) else {
+            return; // already closed (defensive; keeps close idempotent)
+        };
+        while inner.stack.len() > pos {
+            let open = inner.stack.pop().expect("len > pos implies non-empty");
+            inner.push_closed(SpanRecord {
+                id: open.id,
+                parent: open.parent,
+                kind: open.kind,
+                label: open.label,
+                track: open.track,
+                begin: open.begin,
+                end: now,
+                args: open.args,
+            });
+        }
+    }
+
+    /// Records an instantaneous marker (a zero-duration span) at `now`.
+    pub fn instant(
+        &self,
+        kind: SpanKind,
+        label: &'static str,
+        track: u64,
+        now: f64,
+        args: &[(&'static str, ArgValue)],
+    ) {
+        let id = self.open(kind, label, track, now, args);
+        self.close(id, now);
+    }
+
+    /// Spans evicted from the ring because it was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("recorder lock").dropped
+    }
+
+    /// Spans ever opened (including evicted ones and those still open).
+    pub fn opened_total(&self) -> u64 {
+        self.inner.lock().expect("recorder lock").opened_total
+    }
+
+    /// Drains the closed spans into a [`TraceBuffer`], resetting the
+    /// ring and the overflow counters (ids keep increasing). Spans still
+    /// open stay on the stack and will land in the *next* drain.
+    pub fn take(&self) -> TraceBuffer {
+        let mut inner = self.inner.lock().expect("recorder lock");
+        let spans: Vec<SpanRecord> = std::mem::take(&mut inner.ring).into();
+        let buf = TraceBuffer { spans, dropped: inner.dropped, opened_total: inner.opened_total };
+        inner.dropped = 0;
+        inner.opened_total = 0;
+        buf
+    }
+}
+
+/// A drained trace: closed spans in close order, with overflow
+/// accounting. Buffers from per-worker machines merge in case-index
+/// order into one sweep-level trace whose bytes cannot depend on the
+/// thread count.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceBuffer {
+    /// Closed spans (ring order: close order).
+    pub spans: Vec<SpanRecord>,
+    /// Spans evicted because the ring was full.
+    pub dropped: u64,
+    /// Spans ever opened on the source recorder.
+    pub opened_total: u64,
+}
+
+impl TraceBuffer {
+    /// Folds `other` in after `self`: `other`'s span ids (and parent
+    /// links) are rebased past `self`'s maximum id, so ids stay unique
+    /// and the merged buffer is a pure function of the input order —
+    /// merge per-case buffers in case-index order, exactly like
+    /// `Snapshot::merge`.
+    pub fn merge(&mut self, other: &TraceBuffer) {
+        let base = self.spans.iter().map(|s| s.id).max().unwrap_or(0);
+        self.spans.extend(other.spans.iter().map(|s| {
+            let mut s = s.clone();
+            s.id += base;
+            if s.parent != 0 {
+                s.parent += base;
+            }
+            s
+        }));
+        self.dropped += other.dropped;
+        self.opened_total += other.opened_total;
+    }
+
+    /// Merges an ordered sequence of per-case buffers into one.
+    pub fn merged<'a>(buffers: impl IntoIterator<Item = &'a TraceBuffer>) -> TraceBuffer {
+        let mut out = TraceBuffer::default();
+        for b in buffers {
+            out.merge(b);
+        }
+        out
+    }
+
+    /// The spans sorted for export: by begin stamp, then id — a total
+    /// order (ids are unique), so exporters are deterministic even when
+    /// merged sub-traces interleave on the cycle axis.
+    pub fn sorted_spans(&self) -> Vec<&SpanRecord> {
+        let mut spans: Vec<&SpanRecord> = self.spans.iter().collect();
+        spans.sort_by(|a, b| {
+            a.begin.partial_cmp(&b.begin).expect("cycle stamps are finite").then(a.id.cmp(&b.id))
+        });
+        spans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(r: &Recorder, label: &'static str, begin: f64, end: f64) {
+        let id = r.open(SpanKind::Gate, label, 0, begin, &[]);
+        r.close(id, end);
+    }
+
+    #[test]
+    fn disarmed_recorder_returns_null_ids_and_records_nothing() {
+        let r = Recorder::default();
+        assert!(!r.is_armed());
+        let id = r.open(SpanKind::Hypercall, "hc", 1, 100.0, &[]);
+        assert!(id.is_none());
+        r.close(id, 200.0);
+        r.instant(SpanKind::VmExit, "exit", 1, 150.0, &[]);
+        assert_eq!(r.take(), TraceBuffer::default());
+        assert_eq!(r.opened_total(), 0);
+    }
+
+    #[test]
+    fn spans_nest_and_parent_links_hold() {
+        let r = Recorder::new(16);
+        r.arm();
+        let outer = r.open(SpanKind::Hypercall, "hc:void", 3, 10.0, &[("nr", ArgValue::U64(0))]);
+        let inner = r.open(SpanKind::NptWalk, "walk", 3, 12.0, &[]);
+        r.close(inner, 15.0);
+        r.close(outer, 20.0);
+        let buf = r.take();
+        assert_eq!(buf.spans.len(), 2);
+        // Close order: inner first.
+        assert_eq!(buf.spans[0].label, "walk");
+        assert_eq!(buf.spans[0].parent, buf.spans[1].id);
+        assert_eq!(buf.spans[1].parent, 0);
+        assert_eq!(buf.spans[1].duration(), 10.0);
+        assert_eq!(buf.spans[1].args, vec![("nr", ArgValue::U64(0))]);
+    }
+
+    #[test]
+    fn error_unwind_closes_abandoned_children_at_the_same_stamp() {
+        let r = Recorder::new(16);
+        r.arm();
+        let outer = r.open(SpanKind::MigratePhase, "send", 0, 0.0, &[]);
+        let _abandoned = r.open(SpanKind::CryptoRun, "page", 0, 5.0, &[]);
+        // The error path unwinds past the child's close; closing the
+        // outer span sweeps it up at the same stamp.
+        r.close(outer, 30.0);
+        let buf = r.take();
+        assert_eq!(buf.spans.len(), 2);
+        assert!(buf.spans.iter().all(|s| s.end == 30.0));
+        // Double close is a no-op.
+        r.close(outer, 99.0);
+        assert!(r.take().spans.is_empty());
+    }
+
+    #[test]
+    fn ring_bounds_and_counts_overflow() {
+        let r = Recorder::new(2);
+        r.arm();
+        for i in 0..5 {
+            span(&r, "s", i as f64, i as f64 + 1.0);
+        }
+        assert_eq!(r.dropped(), 3);
+        assert_eq!(r.opened_total(), 5);
+        let buf = r.take();
+        assert_eq!(buf.spans.len(), 2);
+        assert_eq!(buf.dropped, 3);
+        assert_eq!(buf.opened_total, 5);
+        // take() resets the accounting.
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.opened_total(), 0);
+    }
+
+    #[test]
+    fn merge_rebases_ids_and_is_input_order_deterministic() {
+        let mk = |begin: f64| {
+            let r = Recorder::new(8);
+            r.arm();
+            let outer = r.open(SpanKind::Gate, "outer", 0, begin, &[]);
+            let inner = r.open(SpanKind::NptWalk, "inner", 0, begin + 1.0, &[]);
+            r.close(inner, begin + 2.0);
+            r.close(outer, begin + 3.0);
+            r.take()
+        };
+        let (a, b) = (mk(0.0), mk(100.0));
+        let merged = TraceBuffer::merged([&a, &b]);
+        assert_eq!(merged.spans.len(), 4);
+        let ids: Vec<u64> = merged.spans.iter().map(|s| s.id).collect();
+        let unique: std::collections::BTreeSet<u64> = ids.iter().copied().collect();
+        assert_eq!(unique.len(), 4, "merged ids must stay unique");
+        // The rebased child still points at its rebased parent.
+        let child = merged.spans.iter().find(|s| s.label == "inner" && s.begin == 101.0).unwrap();
+        let parent = merged.spans.iter().find(|s| s.id == child.parent).unwrap();
+        assert_eq!(parent.label, "outer");
+        assert_eq!(parent.begin, 100.0);
+        // Identity and order: merging [a,b] differs from [b,a] only in id
+        // assignment, and Default is the identity.
+        let with_identity = TraceBuffer::merged([&TraceBuffer::default(), &a, &b]);
+        assert_eq!(with_identity, merged);
+    }
+
+    #[test]
+    fn sorted_spans_order_by_begin_then_id() {
+        let r = Recorder::new(8);
+        r.arm();
+        span(&r, "b", 5.0, 6.0);
+        span(&r, "a", 1.0, 2.0);
+        span(&r, "c", 5.0, 9.0);
+        let buf = r.take();
+        let labels: Vec<&str> = buf.sorted_spans().iter().map(|s| s.label).collect();
+        assert_eq!(labels, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn clones_share_state_and_arming() {
+        let r = Recorder::new(8);
+        let clone = r.clone();
+        clone.arm();
+        assert!(r.is_armed());
+        let id = r.open(SpanKind::EventSend, "evt", 0, 1.0, &[]);
+        clone.close(id, 2.0);
+        assert_eq!(clone.take().spans.len(), 1);
+    }
+}

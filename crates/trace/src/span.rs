@@ -1,0 +1,176 @@
+//! Span vocabulary: what a recorded interval *is*.
+
+use std::fmt;
+
+/// The kind of work a span covers. One variant per architectural or
+/// policy phase the cycle model distinguishes; exporters use the kind as
+/// the Chrome `cat` field so Perfetto can filter tracks by it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanKind {
+    /// A VMEXIT round trip: exit, hypervisor handling, re-entry.
+    VmExit,
+    /// One hypercall dispatch inside the hypervisor.
+    Hypercall,
+    /// A Fidelius gate round trip (type 1, 2 or 3 — see the label).
+    Gate,
+    /// A nested-page-table walk (stage-2 only).
+    NptWalk,
+    /// A two-stage guest walk (guest tables + NPT).
+    GuestWalk,
+    /// A TLB refill on the host space.
+    TlbRefill,
+    /// A coalesced memory stream through the controller.
+    MemStream,
+    /// A crypto engine run (SEV page re-encryption, transport crypto).
+    CryptoRun,
+    /// One blkif backend ring drain.
+    BlkifDrain,
+    /// One blkif request within a drain.
+    BlkifRequest,
+    /// An event-channel notification delivery.
+    EventSend,
+    /// A migration phase (send/receive start, page stream, finish).
+    MigratePhase,
+    /// A SEV launch/boot step.
+    LaunchStep,
+}
+
+impl SpanKind {
+    /// Stable label (the Chrome trace `cat` field; folded-stack frames
+    /// use the span label instead).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SpanKind::VmExit => "vmexit",
+            SpanKind::Hypercall => "hypercall",
+            SpanKind::Gate => "gate",
+            SpanKind::NptWalk => "npt-walk",
+            SpanKind::GuestWalk => "guest-walk",
+            SpanKind::TlbRefill => "tlb-refill",
+            SpanKind::MemStream => "mem-stream",
+            SpanKind::CryptoRun => "crypto-run",
+            SpanKind::BlkifDrain => "blkif-drain",
+            SpanKind::BlkifRequest => "blkif-request",
+            SpanKind::EventSend => "event-send",
+            SpanKind::MigratePhase => "migrate-phase",
+            SpanKind::LaunchStep => "launch-step",
+        }
+    }
+}
+
+impl fmt::Display for SpanKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A small typed argument value. Spans carry primitive operands only
+/// (page numbers, hypercall numbers, sector counts) so the recorder
+/// needs no knowledge of simulator internals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArgValue {
+    /// An unsigned counter/index/address operand.
+    U64(u64),
+    /// A fractional operand (cycle quantities).
+    F64(f64),
+    /// A static string operand.
+    Str(&'static str),
+}
+
+/// Handle to an open span, returned by [`Recorder::open`] and consumed
+/// by [`Recorder::close`]. The null id ([`SpanId::NONE`]) is what a
+/// disarmed recorder hands out; closing it is a no-op, so hook sites
+/// never need to know whether recording is on.
+///
+/// [`Recorder::open`]: crate::recorder::Recorder::open
+/// [`Recorder::close`]: crate::recorder::Recorder::close
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "pass the id back to `close` when the span ends"]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The null id: what a disarmed recorder returns.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Whether this is the null id.
+    pub fn is_none(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// One closed span: an interval on the modeled-cycle clock with its
+/// place in the hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Unique id within one buffer (1-based; 0 is reserved for "no id").
+    pub id: u64,
+    /// Id of the enclosing span, or 0 for a root span.
+    pub parent: u64,
+    /// What kind of work this is.
+    pub kind: SpanKind,
+    /// Specific name within the kind (e.g. `"hc:evtchn_send"`); this is
+    /// the frame name in folded stacks and the event name in Perfetto.
+    pub label: &'static str,
+    /// Track id: the guest ASID the CPU was running (0 = host/dom0).
+    pub track: u64,
+    /// Modeled-cycle stamp when the span opened.
+    pub begin: f64,
+    /// Modeled-cycle stamp when the span closed.
+    pub end: f64,
+    /// Typed operands.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl SpanRecord {
+    /// Total cycles the span covers (children included).
+    pub fn duration(&self) -> f64 {
+        (self.end - self.begin).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_labels_are_stable_and_distinct() {
+        let kinds = [
+            SpanKind::VmExit,
+            SpanKind::Hypercall,
+            SpanKind::Gate,
+            SpanKind::NptWalk,
+            SpanKind::GuestWalk,
+            SpanKind::TlbRefill,
+            SpanKind::MemStream,
+            SpanKind::CryptoRun,
+            SpanKind::BlkifDrain,
+            SpanKind::BlkifRequest,
+            SpanKind::EventSend,
+            SpanKind::MigratePhase,
+            SpanKind::LaunchStep,
+        ];
+        let labels: std::collections::BTreeSet<&str> = kinds.iter().map(|k| k.as_str()).collect();
+        assert_eq!(labels.len(), kinds.len(), "labels must be distinct");
+        assert_eq!(format!("{}", SpanKind::NptWalk), "npt-walk");
+    }
+
+    #[test]
+    fn null_id_is_none() {
+        assert!(SpanId::NONE.is_none());
+        assert!(!SpanId(3).is_none());
+    }
+
+    #[test]
+    fn duration_clamps_at_zero() {
+        let s = SpanRecord {
+            id: 1,
+            parent: 0,
+            kind: SpanKind::Gate,
+            label: "g",
+            track: 0,
+            begin: 10.0,
+            end: 8.0,
+            args: Vec::new(),
+        };
+        assert_eq!(s.duration(), 0.0);
+    }
+}

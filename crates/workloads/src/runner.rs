@@ -5,6 +5,7 @@ use crate::profiles::WorkloadProfile;
 use fidelius_core::Fidelius;
 use fidelius_hw::Gpa;
 use fidelius_hw::PAGE_SIZE;
+use fidelius_trace::{Recorder, TraceBuffer};
 use fidelius_xen::frontend::gplayout;
 use fidelius_xen::hypercall::{HC_MEM_ENCRYPT, HC_VOID, RET_OK};
 use fidelius_xen::system::GuestConfig;
@@ -60,12 +61,33 @@ pub fn measure_event_costs() -> Result<EventCosts, XenError> {
     measure_event_costs_with_snapshot().map(|(costs, _)| costs)
 }
 
+/// Ring capacity for traced measurement runs: generous enough that the
+/// Figure-5 measurement never evicts a span, so the exported timeline is
+/// complete (`trace_report` asserts `dropped == 0`).
+pub const TRACE_SPAN_CAPACITY: usize = 1 << 20;
+
+/// Installs an armed flight recorder with `capacity` span slots on the
+/// system's machine, so everything from here on — including guest boot —
+/// lands in the recording.
+fn arm_recorder(sys: &mut System, capacity: Option<usize>) {
+    if let Some(cap) = capacity {
+        sys.plat.machine.rec = Recorder::new(cap);
+        sys.plat.machine.rec.arm();
+    }
+}
+
 /// What the vanilla-Xen measurement system produces: the baseline void
-/// hypercall round trip.
-fn measure_vanilla_base() -> Result<f64, XenError> {
+/// hypercall round trip, plus the flight recording when `trace_capacity`
+/// is set.
+fn measure_vanilla_base_traced(
+    trace_capacity: Option<usize>,
+) -> Result<(f64, TraceBuffer), XenError> {
     let mut xen = System::new(MEASURE_DRAM, 0xBE7C, Box::new(Unprotected::new()))?;
+    arm_recorder(&mut xen, trace_capacity);
     let dom_x = xen.create_guest(GuestConfig { mem_pages: 192, sev: false, kernel: vec![0x90] })?;
-    void_hypercall_cycles(&mut xen, dom_x)
+    let base = void_hypercall_cycles(&mut xen, dom_x)?;
+    let trace = xen.plat.machine.rec.take();
+    Ok((base, trace))
 }
 
 /// What the Fidelius measurement system produces. Deliberately contains
@@ -81,8 +103,11 @@ struct FideliusMeasure {
     snapshot: fidelius_telemetry::Snapshot,
 }
 
-fn measure_fidelius() -> Result<FideliusMeasure, XenError> {
+fn measure_fidelius_traced(
+    trace_capacity: Option<usize>,
+) -> Result<(FideliusMeasure, TraceBuffer), XenError> {
     let mut fid = System::new(MEASURE_DRAM, 0xBE7C, Box::new(Fidelius::new()))?;
+    arm_recorder(&mut fid, trace_capacity);
     let dom_f = {
         let mut owner = fidelius_sev::GuestOwner::new(0xBE7C);
         let image = owner.package_image(&[0x90], &fid.plat.firmware.pdh_public());
@@ -105,12 +130,13 @@ fn measure_fidelius() -> Result<FideliusMeasure, XenError> {
         ((after - mid) - protected) / pages
     };
 
-    Ok(FideliusMeasure {
+    let measure = FideliusMeasure {
         protected,
         npt_update,
         engine_line: fid.plat.machine.cost.engine_line_extra,
         snapshot: fid.plat.machine.telemetry_snapshot(),
-    })
+    };
+    Ok((measure, fid.plat.machine.rec.take()))
 }
 
 /// Like [`measure_event_costs`], additionally returning the Fidelius
@@ -138,26 +164,66 @@ pub fn measure_event_costs_with_snapshot(
 pub fn measure_event_costs_threaded(
     threads: usize,
 ) -> Result<(EventCosts, fidelius_telemetry::Snapshot), XenError> {
+    let m = measure_event_costs_impl(threads, None)?;
+    Ok((m.costs, m.snapshot))
+}
+
+/// The result of a traced measurement run: the event costs and telemetry
+/// of [`measure_event_costs_threaded`], plus the merged flight recording
+/// of both measurement systems.
+#[derive(Debug, Clone)]
+pub struct TracedMeasurement {
+    /// Per-event costs (same values as the untraced measurement modulo
+    /// the recorder's own modeled-cost-free bookkeeping).
+    pub costs: EventCosts,
+    /// Telemetry rollup of the Fidelius measurement system.
+    pub snapshot: fidelius_telemetry::Snapshot,
+    /// Merged span recording: vanilla system first, Fidelius second —
+    /// case-index order, so the buffer is identical at any thread count.
+    pub trace: TraceBuffer,
+}
+
+/// [`measure_event_costs_threaded`] with the flight recorder armed on
+/// both measurement systems from before guest boot, returning the merged
+/// recording alongside the costs. Workers record independently; buffers
+/// merge in case-index order, so every exporter view of the trace is
+/// byte-identical at any thread count.
+///
+/// # Errors
+///
+/// Propagates setup failures.
+pub fn measure_event_costs_traced(threads: usize) -> Result<TracedMeasurement, XenError> {
+    measure_event_costs_impl(threads, Some(TRACE_SPAN_CAPACITY))
+}
+
+fn measure_event_costs_impl(
+    threads: usize,
+    trace_capacity: Option<usize>,
+) -> Result<TracedMeasurement, XenError> {
     enum Measured {
-        Base(Result<f64, XenError>),
-        Fid(Box<Result<FideliusMeasure, XenError>>),
+        Base(Result<(f64, TraceBuffer), XenError>),
+        Fid(Box<Result<(FideliusMeasure, TraceBuffer), XenError>>),
     }
     let mut results = fidelius_par::par_map_ordered(&[(); 2], threads, |i, ()| match i {
-        0 => Measured::Base(measure_vanilla_base()),
-        _ => Measured::Fid(Box::new(measure_fidelius())),
+        0 => Measured::Base(measure_vanilla_base_traced(trace_capacity)),
+        _ => Measured::Fid(Box::new(measure_fidelius_traced(trace_capacity))),
     });
     let (Measured::Base(base), Measured::Fid(fid)) = (results.remove(0), results.remove(0)) else {
         unreachable!("par_map_ordered returns results in input order");
     };
-    let base = base?;
-    let fid = (*fid)?;
+    let (base, base_trace) = base?;
+    let (fid, fid_trace) = (*fid)?;
     let costs = EventCosts {
         exit_extra: (fid.protected - base).max(0.0),
         npt_update: fid.npt_update.max(0.0),
         engine_line: fid.engine_line,
         hypercall_base: base,
     };
-    Ok((costs, fid.snapshot))
+    Ok(TracedMeasurement {
+        costs,
+        snapshot: fid.snapshot,
+        trace: TraceBuffer::merged([&base_trace, &fid_trace]),
+    })
 }
 
 /// One bar of Figure 5/6.
@@ -399,5 +465,26 @@ mod tests {
         let seq = executed_microworkload_threaded(1).unwrap();
         let par = executed_microworkload_threaded(3).unwrap();
         assert_eq!(seq, par, "executed cycle counts must not depend on thread count");
+    }
+
+    #[test]
+    fn traced_measurement_is_deterministic_and_unperturbed() {
+        let t1 = measure_event_costs_traced(1).unwrap();
+        let t2 = measure_event_costs_traced(2).unwrap();
+        assert_eq!(t1.costs, t2.costs, "traced costs must not depend on thread count");
+        assert_eq!(t1.trace, t2.trace, "merged trace must not depend on thread count");
+        assert_eq!(t1.trace.dropped, 0, "trace ring must not overflow during measurement");
+        assert!(t1.trace.spans.len() > 100, "thin recording: {} spans", t1.trace.spans.len());
+
+        // The recorder observes; it must not perturb the measurement.
+        let (costs, snapshot) = measure_event_costs_threaded(1).unwrap();
+        assert_eq!(t1.costs, costs, "arming the recorder changed the measured costs");
+        assert_eq!(t1.snapshot, snapshot);
+
+        // Exporters are pure functions of the buffer, so every artifact is
+        // byte-identical across thread counts too.
+        use fidelius_trace::export;
+        assert_eq!(export::to_chrome_trace(&t1.trace), export::to_chrome_trace(&t2.trace));
+        assert_eq!(export::folded_stacks(&t1.trace), export::folded_stacks(&t2.trace));
     }
 }

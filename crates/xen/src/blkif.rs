@@ -16,6 +16,7 @@ use crate::XenError;
 use fidelius_crypto::modes::SECTOR_SIZE;
 use fidelius_hw::{Hpa, PAGE_SIZE};
 use fidelius_telemetry::{DenialReason, Event, FaultKind, InjectionOutcome};
+use fidelius_trace::{ArgValue, SpanKind};
 
 /// Request slots in the ring.
 pub const RING_SLOTS: u64 = 16;
@@ -179,6 +180,13 @@ impl BlockBackend {
     ///
     /// Access faults (e.g. if protection revoked the mapping).
     pub fn process(&mut self, plat: &mut Platform) -> Result<u64, XenError> {
+        let span = plat.machine.span_open(SpanKind::BlkifDrain, "blkif:drain", &[]);
+        let result = self.process_inner(plat);
+        plat.machine.span_close(span);
+        result
+    }
+
+    fn process_inner(&mut self, plat: &mut Platform) -> Result<u64, XenError> {
         let ring = self.ring_frame.ok_or(XenError::BadBlockRequest)?;
         // The ring page itself rides on a grant; if that grant is gone the
         // back-end cannot even respond — fail the whole pass closed.
@@ -198,7 +206,19 @@ impl BlockBackend {
             let count = plat.machine.host_read_u64(direct_map(ring.add(slot + 24)))?;
             let buf_page = plat.machine.host_read_u64(direct_map(ring.add(slot + 32)))?;
             let _ = id;
-            let status = self.handle(plat, op, sector, count, buf_page)?;
+            let label = match op {
+                x if x == BlkOp::Read as u64 => "blkif:read",
+                x if x == BlkOp::Write as u64 => "blkif:write",
+                _ => "blkif:unknown",
+            };
+            let span = plat.machine.span_open(
+                SpanKind::BlkifRequest,
+                label,
+                &[("sector", ArgValue::U64(sector)), ("count", ArgValue::U64(count))],
+            );
+            let handled_res = self.handle(plat, op, sector, count, buf_page);
+            plat.machine.span_close(span);
+            let status = handled_res?;
             plat.machine.host_write_u64(direct_map(ring.add(slot + 40)), status as u64)?;
             self.req_cons += 1;
             handled += 1;

@@ -22,7 +22,21 @@ use fidelius_hw::regs::Gpr;
 use fidelius_hw::vmcb::{ExitCode, VmcbField, VmcbImage};
 use fidelius_hw::{Asid, Gpa, Hpa, PAGE_SIZE};
 use fidelius_telemetry::{DenialReason, Event, FlushScope, GrantAction, InjectionOutcome};
+use fidelius_trace::{ArgValue, SpanKind};
 use std::collections::BTreeMap;
+
+/// Flight-recorder label for a hypercall dispatch.
+fn hc_label(nr: u64) -> &'static str {
+    match nr {
+        HC_VOID => "hc:void",
+        HC_EVTCHN_SEND => "hc:evtchn_send",
+        HC_GRANT_TABLE_OP => "hc:grant_table_op",
+        HC_PRE_SHARING_OP => "hc:pre_sharing_op",
+        HC_MEM_ENCRYPT => "hc:mem_encrypt",
+        HC_CONSOLE_IO => "hc:console_io",
+        _ => "hc:unknown",
+    }
+}
 
 /// What the run loop should do after an exit was handled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -577,6 +591,24 @@ impl Hypervisor {
         nr: u64,
         args: [u64; 4],
     ) -> Result<u64, XenError> {
+        let span = plat.machine.span_open(
+            SpanKind::Hypercall,
+            hc_label(nr),
+            &[("nr", ArgValue::U64(nr)), ("dom", ArgValue::U64(id.0 as u64))],
+        );
+        let result = self.hypercall_inner(plat, guardian, id, nr, args);
+        plat.machine.span_close(span);
+        result
+    }
+
+    fn hypercall_inner(
+        &mut self,
+        plat: &mut Platform,
+        guardian: &mut dyn Guardian,
+        id: DomainId,
+        nr: u64,
+        args: [u64; 4],
+    ) -> Result<u64, XenError> {
         plat.machine.cycles.charge(plat.machine.cost.hypercall_base);
         plat.machine.trace.emit(Event::Hypercall { dom: id.0, nr });
         // Adversarial hook: while the hypervisor holds the CPU to service a
@@ -623,7 +655,14 @@ impl Hypervisor {
                     }
                 }
                 let port = args[0] as u32;
-                match self.events.send(id, port) {
+                let span = plat.machine.span_open(
+                    SpanKind::EventSend,
+                    "evtchn:send",
+                    &[("port", ArgValue::U64(port as u64))],
+                );
+                let sent = self.events.send(id, port);
+                plat.machine.span_close(span);
+                match sent {
                     Some(_peer) => Ok(RET_OK),
                     None => Ok(RET_ERROR),
                 }

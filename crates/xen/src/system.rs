@@ -27,7 +27,22 @@ use fidelius_hw::regs::Gpr;
 use fidelius_hw::vmcb::{ExitCode, VmcbField};
 use fidelius_hw::{Fault, Gpa, Hpa, PAGE_SIZE};
 use fidelius_telemetry::{DenialReason, Event, FaultKind, InjectionOutcome};
+use fidelius_trace::{ArgValue, SpanKind};
 use std::collections::HashMap;
+
+/// Flight-recorder label for a VMEXIT round trip.
+fn exit_label(code: ExitCode) -> &'static str {
+    match code {
+        ExitCode::Cpuid => "vmexit:cpuid",
+        ExitCode::Vmmcall => "vmexit:vmmcall",
+        ExitCode::Hlt => "vmexit:hlt",
+        ExitCode::NestedPageFault => "vmexit:npf",
+        ExitCode::Msr => "vmexit:msr",
+        ExitCode::IoPort => "vmexit:ioport",
+        ExitCode::Intr => "vmexit:intr",
+        ExitCode::Shutdown => "vmexit:shutdown",
+    }
+}
 
 /// Configuration for creating a guest.
 #[derive(Debug, Clone)]
@@ -143,6 +158,26 @@ impl System {
     ///
     /// Handler failures.
     pub fn exit_and_handle(
+        &mut self,
+        code: ExitCode,
+        info1: u64,
+        info2: u64,
+    ) -> Result<ExitAction, XenError> {
+        // The span opens while still in guest mode, so the round trip lands
+        // on the exiting guest's track; everything the hypervisor does in
+        // between (handlers, hypercall dispatch, adversary hooks) nests
+        // under it.
+        let span = self.plat.machine.span_open(
+            SpanKind::VmExit,
+            exit_label(code),
+            &[("code", ArgValue::U64(code as u64))],
+        );
+        let result = self.exit_and_handle_inner(code, info1, info2);
+        self.plat.machine.span_close(span);
+        result
+    }
+
+    fn exit_and_handle_inner(
         &mut self,
         code: ExitCode,
         info1: u64,
