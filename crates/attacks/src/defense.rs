@@ -232,12 +232,12 @@ pub const ATTACK_DRAM: u64 = 32 * 1024 * 1024;
 ///
 /// Setup failures (should not happen in a healthy build).
 pub fn build_victim(defense: Defense) -> Result<VictimSetup, XenError> {
-    let guardian: Box<dyn Guardian> = match defense {
-        Defense::VanillaXen | Defense::XenSev => Box::new(Unprotected::new()),
-        Defense::XenSevEs => Box::new(SevEsSim::new()),
-        Defense::Fidelius => Box::new(Fidelius::new()),
-    };
-    let mut sys = System::new(ATTACK_DRAM, 0xA77AC4, guardian)?;
+    let mut sys = System::new_with_firmware(
+        ATTACK_DRAM,
+        0xA77AC4,
+        firmware_mode_for(defense),
+        guardian_for(defense),
+    )?;
     let sev = defense != Defense::VanillaXen;
     let victim = match defense {
         Defense::Fidelius => {
@@ -254,6 +254,25 @@ pub fn build_victim(defense: Defense) -> Result<VictimSetup, XenError> {
     sys.gpa_write(victim, SECRET_GPA, SECRET, sev)?;
     sys.ensure_host()?;
     Ok(VictimSetup { sys, victim, sev })
+}
+
+/// The guardian a defense configuration runs under.
+pub fn guardian_for(defense: Defense) -> Box<dyn Guardian> {
+    match defense {
+        Defense::VanillaXen | Defense::XenSev => Box::new(Unprotected::new()),
+        Defense::XenSevEs => Box::new(SevEsSim::new()),
+        Defense::Fidelius => Box::new(Fidelius::new()),
+    }
+}
+
+/// The SEV firmware build a defense configuration runs on: only the full
+/// Fidelius stack ships the retrofitted firmware; every other column is
+/// measured against what vanilla SEV actually checks.
+pub fn firmware_mode_for(defense: Defense) -> fidelius_sev::FwMode {
+    match defense {
+        Defense::Fidelius => fidelius_sev::FwMode::Retrofit,
+        _ => fidelius_sev::FwMode::Vanilla,
+    }
 }
 
 /// Scans a byte haystack for the secret.

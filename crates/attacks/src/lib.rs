@@ -23,7 +23,9 @@
 
 pub mod defense;
 pub mod scenarios;
+pub mod successors;
 pub mod xsa;
 
 pub use defense::{Defense, SevEsSim, VictimSetup};
 pub use scenarios::{all_attacks, run_matrix, run_matrix_par, Attack, AttackOutcome, AttackReport};
+pub use successors::successor_attacks;

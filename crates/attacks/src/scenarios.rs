@@ -65,7 +65,7 @@ impl std::fmt::Debug for Attack {
     }
 }
 
-fn report(
+pub(crate) fn report(
     attack: &'static str,
     defense: Defense,
     outcome: AttackOutcome,
@@ -82,7 +82,7 @@ fn raw_leaf_entry(v: &mut VictimSetup, root: Hpa, va: u64) -> Option<Hpa> {
     mapper.leaf_entry_pa(&mut acc, va).ok().flatten()
 }
 
-fn victim_frame(v: &VictimSetup, gpa_page: u64) -> Hpa {
+pub(crate) fn victim_frame(v: &VictimSetup, gpa_page: u64) -> Hpa {
     v.sys.xen.domain(v.victim).expect("victim exists").frame_of(gpa_page).expect("populated")
 }
 
@@ -653,6 +653,9 @@ pub fn all_attacks() -> Vec<Attack> {
             run: atk_iago_rip,
         },
     ]
+    .into_iter()
+    .chain(crate::successors::successor_attacks())
+    .collect()
 }
 
 /// Runs every attack against every defense; the §6 comparison matrix.

@@ -5,8 +5,16 @@
 //! collected in input order, so the table is identical at any thread
 //! count. `--timing` appends an `attacks_wall` latency line for the
 //! regression guard.
+//!
+//! Under `--json` the artifact is, in order: one `{"case":
+//! "attack-matrix", ...}` line per cell in kind-major order (attacks
+//! outer, [`Defense::ALL`] inner — the run order), the outcome table
+//! object, and a `{"summary": "defended-vs-vanilla", ...}` line counting
+//! what Fidelius blocks that the vanilla columns leave open. All of it is
+//! byte-identical at any `--threads` value.
 
-use fidelius_attacks::{all_attacks, run_matrix_par, Defense};
+use fidelius_attacks::{all_attacks, run_matrix_par, AttackOutcome, Defense};
+use fidelius_telemetry::Json;
 
 fn main() {
     let threads = fidelius_bench::arg_threads();
@@ -19,6 +27,23 @@ fn main() {
     let start = std::time::Instant::now();
     let reports = run_matrix_par(threads);
     let wall_ns = start.elapsed().as_nanos() as u64;
+
+    // Per-case artifact lines, kind-major: the report vector is already in
+    // input order (attack outer, defense inner) at any thread count.
+    if fidelius_bench::json_mode() {
+        for r in &reports {
+            println!(
+                "{}",
+                Json::obj([
+                    ("case", Json::str("attack-matrix")),
+                    ("attack", Json::str(r.attack)),
+                    ("defense", Json::str(r.defense.label())),
+                    ("outcome", Json::str(r.outcome.label())),
+                    ("detail", Json::str(r.detail.as_str())),
+                ])
+            );
+        }
+    }
 
     let rows: Vec<Vec<String>> = reports
         .chunks(Defense::ALL.len())
@@ -33,10 +58,32 @@ fn main() {
         &["attack", "Xen", "Xen+SEV", "Xen+SEV-ES", "Fidelius"],
         &rows,
     );
+
+    // Defended-vs-vanilla: the headline comparison the catalog in
+    // docs/THREAT_MODEL.md narrates row by row.
+    let count = |d: Defense, o: AttackOutcome| {
+        reports.iter().filter(|r| r.defense == d && r.outcome == o).count() as f64
+    };
+    let blocked = count(Defense::Fidelius, AttackOutcome::Blocked);
+    let sev_vulnerable = count(Defense::XenSev, AttackOutcome::Succeeded);
+    let xen_vulnerable = count(Defense::VanillaXen, AttackOutcome::Succeeded);
+    if fidelius_bench::json_mode() {
+        println!(
+            "{}",
+            Json::obj([
+                ("summary", Json::str("defended-vs-vanilla")),
+                ("attacks", Json::Num(attacks.len() as f64)),
+                ("fidelius_blocked", Json::Num(blocked)),
+                ("xen_sev_vulnerable", Json::Num(sev_vulnerable)),
+                ("vanilla_xen_vulnerable", Json::Num(xen_vulnerable)),
+            ])
+        );
+    }
     if fidelius_bench::timing_mode() {
         fidelius_bench::emit_wall("attacks_wall", wall_ns);
     }
     fidelius_bench::note!(
-        "\n  Fidelius blocks every scenario; SEV alone leaves the §2.2 surfaces open."
+        "\n  Fidelius blocks {blocked} scenarios that leave Xen+SEV vulnerable in \
+         {sev_vulnerable} cells (plain Xen: {xen_vulnerable}); see docs/THREAT_MODEL.md."
     );
 }

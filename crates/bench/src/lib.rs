@@ -9,6 +9,19 @@
 //! "rows": [[...]]}`), free-text notes are suppressed, and telemetry
 //! snapshots render as `{"telemetry": {...}}` — all parseable with
 //! [`fidelius_telemetry::Json`].
+//!
+//! # Artifact-format guarantee
+//!
+//! Sweep binaries whose cases are shared-nothing (`attack_matrix`,
+//! `faultinject_matrix`) emit their per-case `--json` lines in
+//! **kind-major input order**: outer loop over the case kinds (attack
+//! rows / fault kinds), inner loop over the per-kind instances (defense
+//! columns / seeds), regardless of `--threads`. Parallel runs collect
+//! results by input index, never by completion order, so the artifact —
+//! per-case lines, tables, and summary lines alike — is byte-identical
+//! at any thread count; CI relies on this by diffing `--threads 1`
+//! against `--threads 4`. Run-to-run-varying wall-clock measurements are
+//! only appended behind `--timing`, *after* the stable artifact.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -20,7 +20,8 @@
 
 use crate::fidelius::Fidelius;
 use fidelius_hw::PAGE_SIZE;
-use fidelius_sev::{EncryptedImage, GuestPolicy};
+use fidelius_sev::{EncryptedImage, GuestPolicy, SevError};
+use fidelius_telemetry::{DenialReason, Event};
 use fidelius_trace::SpanKind;
 use fidelius_xen::domain::DomainId;
 use fidelius_xen::frontend::gplayout;
@@ -77,7 +78,22 @@ pub fn boot_encrypted_guest(
     // 1. RECEIVE_START — Fidelius self-maintains the returned handle as
     //    SEV metadata.
     let handle = step(sys, "launch:receive_start", |sys| {
-        Ok(sys.plat.firmware.receive_start(&image.session, GuestPolicy::default())?)
+        match sys.plat.firmware.receive_start(&image.session, GuestPolicy::default()) {
+            Ok(h) => Ok(h),
+            Err(SevError::SessionNonceReplayed) => {
+                // Attestation rollback: the hypervisor replayed a stale
+                // owner session (old firmware / old measurement). The
+                // retrofitted firmware's nonce ledger catches it; surface
+                // it as a typed denial so the attack matrix can assert on
+                // it.
+                sys.plat
+                    .machine
+                    .trace
+                    .emit(Event::Denial { reason: DenialReason::LaunchMeasurementReplayed });
+                Err(XenError::FailClosed(DenialReason::LaunchMeasurementReplayed))
+            }
+            Err(e) => Err(e.into()),
+        }
     })?;
 
     // 2. Domain shell + memory (the hypervisor's job).
@@ -131,7 +147,12 @@ pub fn boot_encrypted_guest(
         sys.plat.firmware.receive_finish(handle, &image.measurement)?;
         let asid = sys.xen.domain(dom)?.asid;
         sys.plat.firmware.activate(&mut sys.plat.machine, handle, asid)?;
-        fidelius_mut(sys)?.register_sev_handle(dom, handle);
+        // Fidelius self-maintains the handle as SEV metadata; other
+        // guardians (the vanilla-firmware victims of the attack matrix)
+        // leave it with the hypervisor, as real SEV does.
+        if let Ok(f) = fidelius_mut(sys) {
+            f.register_sev_handle(dom, handle);
+        }
         Ok(())
     })?;
 

@@ -150,7 +150,20 @@ pub fn migrate_in(sys: &mut System, package: &MigrationPackage) -> Result<Domain
         return Err(XenError::FailClosed(DenialReason::MigrationStreamTruncated));
     }
     let handle = traced_phase(sys, SpanKind::MigratePhase, "migrate:receive_start", |sys| {
-        Ok(sys.plat.firmware.receive_start(&package.session, GuestPolicy::default())?)
+        match sys.plat.firmware.receive_start(&package.session, GuestPolicy::default()) {
+            Ok(h) => Ok(h),
+            Err(fidelius_sev::SevError::SessionNonceReplayed) => {
+                // Rollback on the SEND path: the hypervisor re-presents a
+                // session an earlier successful receive already consumed
+                // (e.g. to resurrect a pre-update snapshot of the guest).
+                sys.plat
+                    .machine
+                    .trace
+                    .emit(Event::Denial { reason: DenialReason::MigrationSessionReplayed });
+                Err(XenError::FailClosed(DenialReason::MigrationSessionReplayed))
+            }
+            Err(e) => Err(e.into()),
+        }
     })?;
     let dom = sys.xen.create_domain(&mut sys.plat, &mut *sys.guardian, package.mem_pages)?;
     // From here on the receive is transactional: any failure rolls the
@@ -189,7 +202,11 @@ fn receive_body(
     sys.plat.firmware.receive_finish(handle, &package.tag)?;
     let asid = sys.xen.domain(dom)?.asid;
     sys.plat.firmware.activate(&mut sys.plat.machine, handle, asid)?;
-    fidelius_mut(sys)?.register_sev_handle(dom, handle);
+    // Only Fidelius takes the handle into its sealed metadata; a
+    // vanilla-firmware destination leaves it hypervisor-managed.
+    if let Ok(f) = fidelius_mut(sys) {
+        f.register_sev_handle(dom, handle);
+    }
 
     // The migrated memory contains the guest's page tables; point the
     // VMCB at them and resume at the kernel entry.
@@ -324,6 +341,58 @@ mod tests {
         // The frames freed by the rollback suffice for the intact stream.
         let new_dom = migrate_in(&mut dst, &good).unwrap();
         assert!(dst.ensure_guest(new_dom).is_ok());
+    }
+
+    /// SEND-side rollback: once a package is admitted, replaying it must
+    /// be refused with a typed reason — the hypervisor cannot resurrect a
+    /// pre-migration snapshot of the guest on retrofitted firmware.
+    #[test]
+    fn migration_replay_refused_on_retrofit_firmware() {
+        let mut src = protected_system(DRAM, 81).unwrap();
+        let mut dst = protected_system(DRAM, 82).unwrap();
+        let mut owner = GuestOwner::new(83);
+        let image = owner.package_image(b"kernel", &src.plat.firmware.pdh_public());
+        let dom = boot_encrypted_guest(&mut src, &image, 192).unwrap();
+        let package = migrate_out(&mut src, dom, &dst.plat.firmware.pdh_public()).unwrap();
+
+        let first = migrate_in(&mut dst, &package).unwrap();
+        dst.ensure_guest(first).unwrap();
+        dst.ensure_host().unwrap();
+
+        let doms_before = dst.xen.domains.len();
+        let err = migrate_in(&mut dst, &package);
+        assert!(
+            matches!(err, Err(XenError::FailClosed(DenialReason::MigrationSessionReplayed))),
+            "expected typed fail-closed, got {err:?}"
+        );
+        assert_eq!(dst.xen.domains.len(), doms_before, "replay must not commit a domain");
+        assert!(dst.plat.machine.trace.events().iter().any(|e| matches!(
+            e.event,
+            fidelius_telemetry::Event::Denial { reason: DenialReason::MigrationSessionReplayed }
+        )));
+    }
+
+    /// The same replay sails through vanilla SEV firmware: no nonce
+    /// ledger, so the stale session is accepted as often as the
+    /// hypervisor presents it.
+    #[test]
+    fn migration_replay_accepted_on_vanilla_firmware() {
+        let mut src = protected_system(DRAM, 84).unwrap();
+        let mut dst = System::new_with_firmware(
+            DRAM,
+            85,
+            fidelius_sev::FwMode::Vanilla,
+            Box::new(fidelius_xen::guardian::Unprotected::new()),
+        )
+        .unwrap();
+        let mut owner = GuestOwner::new(86);
+        let image = owner.package_image(b"kernel", &src.plat.firmware.pdh_public());
+        let dom = boot_encrypted_guest(&mut src, &image, 192).unwrap();
+        let package = migrate_out(&mut src, dom, &dst.plat.firmware.pdh_public()).unwrap();
+
+        let first = migrate_in(&mut dst, &package).unwrap();
+        let second = migrate_in(&mut dst, &package).unwrap();
+        assert_ne!(first, second, "the replayed guest gets its own domain");
     }
 
     #[test]

@@ -134,6 +134,26 @@ impl PaTweakCipher {
         block[8..].copy_from_slice(&b.to_le_bytes());
     }
 
+    /// The 16-byte tweak mask `T(pa)` for physical address `pa`.
+    ///
+    /// The tweak is **keyless**: it depends only on the physical address.
+    /// SEVurity (Wilke et al., 2020) showed the same holds for the first
+    /// SEV generations — the tweak constants were recoverable from a
+    /// single known plaintext/ciphertext pair — which turns the XEX
+    /// construction move-malleable. With the same tweak applied before and
+    /// after AES, placing `C ⊕ T(pa_src) ⊕ T(pa_dst)` at `pa_dst` decrypts
+    /// to `P ⊕ T(pa_src) ⊕ T(pa_dst)`: an attacker who knows one plaintext
+    /// block can inject *chosen* 16-byte plaintext anywhere. The
+    /// `sevurity-tweak-inject` attack scenario exploits exactly this;
+    /// exposing the mask here is the honest model of a public tweak.
+    pub fn tweak_mask(pa: u64) -> [u8; 16] {
+        let (lo, hi) = Self::tweak_halves(pa);
+        let mut mask = [0u8; 16];
+        mask[..8].copy_from_slice(&lo.to_le_bytes());
+        mask[8..].copy_from_slice(&hi.to_le_bytes());
+        mask
+    }
+
     /// Encrypts one 16-byte block located at physical address `pa`.
     pub fn encrypt_block(&self, pa: u64, block: &mut [u8; 16]) {
         Self::xor_tweak(pa, block);
@@ -290,6 +310,33 @@ mod tests {
         let mut replayed = at_a;
         c.decrypt_block(0xA000, &mut replayed);
         assert_eq!(replayed, plain);
+    }
+
+    #[test]
+    fn pa_tweak_adjusted_move_is_fully_predictable() {
+        // The SEVurity malleability theorem: because T(pa) is public and
+        // applied symmetrically around AES, a *tweak-adjusted* move is not
+        // garbage — it decrypts to P ⊕ T(src) ⊕ T(dst), which the attacker
+        // can compute without the key. Garbling unadjusted moves (test
+        // above) is therefore NOT an integrity guarantee.
+        let c = PaTweakCipher::new(&[0x22u8; 16]);
+        let (src_pa, dst_pa) = (0xA000u64, 0xB000u64);
+        let plain = *b"topsecret-data!!";
+        let mut ct = plain;
+        c.encrypt_block(src_pa, &mut ct);
+        let t_src = PaTweakCipher::tweak_mask(src_pa);
+        let t_dst = PaTweakCipher::tweak_mask(dst_pa);
+        let mut adjusted = ct;
+        for i in 0..16 {
+            adjusted[i] ^= t_src[i] ^ t_dst[i];
+        }
+        c.decrypt_block(dst_pa, &mut adjusted);
+        let mut predicted = plain;
+        for i in 0..16 {
+            predicted[i] ^= t_src[i] ^ t_dst[i];
+        }
+        assert_eq!(adjusted, predicted, "adjusted move must decrypt predictably");
+        assert_ne!(adjusted, plain);
     }
 
     /// The streaming block path must equal per-block encryption at the same

@@ -223,6 +223,81 @@ fn gpa_stream_matches_walk_oracle() {
     }
 }
 
+/// Remap-storm regression for the SEVered-style surface: bursts of
+/// `npt_map`/`npt_unmap`-shaped leaf edits — map, unmap (leaf cleared)
+/// and remap onto another guest frame, each followed by the ASID-wide
+/// demotion `Hypervisor::npt_map`/`npt_unmap` perform — interleaved with
+/// the guest *streaming* sequential reads through its pages, the way the
+/// blkif frontend serves its buffer while the adversary edits the NPT
+/// underneath it. The cached machine must stay bit-identical to the
+/// walk-every-access oracle: a stale cached translation surviving an
+/// unmap would keep serving a revoked frame — a security bug, not a
+/// perf bug.
+#[test]
+fn npt_storm_stream_matches_walk_oracle() {
+    for sev in [false, true] {
+        for seed in 1..=6u64 {
+            let (mut cached, npt, _) = guest_machine(sev);
+            let (mut oracle, _, _) = guest_machine(sev);
+            oracle.set_walk_always(true);
+            let leaf_pas = npt_leaf_pas(&mut cached, &npt);
+
+            let mut rng = seed.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ u64::from(sev);
+            for round in 0..60 {
+                // Storm: a back-to-back burst of leaf edits.
+                let burst = 1 + lcg(&mut rng) % 8;
+                for _ in 0..burst {
+                    let page = lcg(&mut rng) % GUEST_PAGES;
+                    let value = match lcg(&mut rng) % 4 {
+                        // npt_unmap: the leaf is cleared outright.
+                        0 => Pte(0),
+                        // Remap onto a rotated frame (what SEVered does).
+                        1 => Pte::new(
+                            GUEST_BASE.add(((page + 29) % GUEST_PAGES) * PAGE_SIZE),
+                            PTE_PRESENT | PTE_WRITABLE,
+                        ),
+                        // (Re-)map in place — possibly resurrecting an
+                        // unmapped page.
+                        _ => Pte::new(GUEST_BASE.add(page * PAGE_SIZE), PTE_PRESENT | PTE_WRITABLE),
+                    };
+                    npt_edit(&mut [&mut cached, &mut oracle], &leaf_pas, page, value);
+                }
+
+                // The guest streams: sequential page-by-page reads, with
+                // the window wrapping past the mapped end for fault
+                // parity on unmapped GPAs.
+                let start = lcg(&mut rng) % GUEST_PAGES;
+                let span_pages = 1 + lcg(&mut rng) % 6;
+                let enc = lcg(&mut rng).is_multiple_of(2);
+                for p in 0..span_pages {
+                    let ctx = format!("sev={sev} seed={seed} round={round} p={p}");
+                    let gpa = Gpa(((start + p) % (GUEST_PAGES + 1)) * PAGE_SIZE);
+                    let mut ba = [0u8; 256];
+                    let mut bb = [0u8; 256];
+                    let ra = cached.guest_read_gpa(gpa, &mut ba, enc);
+                    let rb = oracle.guest_read_gpa(gpa, &mut bb, enc);
+                    assert_eq!(ra, rb, "{ctx}: streamed read fault diverged");
+                    assert_eq!(ba, bb, "{ctx}: streamed read data diverged");
+                }
+
+                // Occasional write mixed into the stream.
+                if lcg(&mut rng).is_multiple_of(3) {
+                    let gpa = Gpa((lcg(&mut rng) % GUEST_PAGES) * PAGE_SIZE + lcg(&mut rng) % 64);
+                    let fill = lcg(&mut rng) as u8;
+                    let data: Vec<u8> = (0..128).map(|i| fill.wrapping_add(i as u8)).collect();
+                    let ra = cached.guest_write_gpa(gpa, &data, sev);
+                    let rb = oracle.guest_write_gpa(gpa, &data, sev);
+                    assert_eq!(
+                        ra, rb,
+                        "sev={sev} seed={seed} round={round}: streamed write fault diverged"
+                    );
+                }
+            }
+            assert_observables_equal(&cached, &oracle, &format!("sev={sev} seed={seed} storm end"));
+        }
+    }
+}
+
 /// Random guest-virtual reads/writes (two-stage translation) vs. stage-1
 /// permission downgrades (+`invlpg`, as the architecture requires) and
 /// stage-2 edits (+ASID-wide demotion, as the hypervisor performs).

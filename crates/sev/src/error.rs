@@ -31,6 +31,11 @@ pub enum SevError {
     BadMeasurement,
     /// Key unwrap failed (wrong session parameters or tampering).
     BadSessionKeys,
+    /// The session nonce was already consumed by an earlier successful
+    /// LAUNCH/RECEIVE on this platform — a stale-measurement / rollback
+    /// replay. Only the retrofitted firmware reports this; vanilla SEV
+    /// firmware has no anti-replay state and accepts the stale session.
+    SessionNonceReplayed,
     /// An underlying hardware access failed.
     Hw(HwError),
 }
@@ -49,6 +54,9 @@ impl fmt::Display for SevError {
             SevError::NotActivated => write!(f, "guest has no asid bound"),
             SevError::BadMeasurement => write!(f, "measurement verification failed"),
             SevError::BadSessionKeys => write!(f, "session key unwrap failed"),
+            SevError::SessionNonceReplayed => {
+                write!(f, "session nonce already consumed (rollback replay)")
+            }
             SevError::Hw(e) => write!(f, "hardware error: {e}"),
         }
     }

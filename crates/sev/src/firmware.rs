@@ -11,7 +11,7 @@ use fidelius_crypto::Key128;
 use fidelius_hw::cpu::Machine;
 use fidelius_hw::{Asid, Hpa, PAGE_SIZE};
 use fidelius_trace::{ArgValue, SpanKind};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Platform-wide firmware state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +35,27 @@ pub enum GuestState {
     Sending,
     /// Between `RECEIVE_START` and `RECEIVE_FINISH`.
     Receiving,
+}
+
+/// Which firmware build is running — the retrofitted one the paper
+/// proposes, or the vanilla SEV firmware it improves on.
+///
+/// The attack matrix boots victims under both: the same command sequence
+/// that the retrofit refuses with [`SevError::SessionNonceReplayed`]
+/// (stale-measurement rollback) sails through vanilla firmware, which
+/// keeps no anti-replay state at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FwMode {
+    /// Paper firmware: session nonces are single-use. A nonce is
+    /// *committed* only when its RECEIVE/LAUNCH completes successfully
+    /// (`receive_finish`), so a transfer the hypervisor tampered with can
+    /// be retried with the same session blob.
+    #[default]
+    Retrofit,
+    /// Faithful vanilla SEV: no nonce bookkeeping, every well-formed
+    /// session blob is accepted — including one captured from an earlier
+    /// boot (the attestation-rollback attack).
+    Vanilla,
 }
 
 /// Guest policy bits (simplified).
@@ -81,6 +102,9 @@ struct GuestContext {
     tek: Option<Key128>,
     tik: Option<Key128>,
     measurement: Sha256,
+    /// The session nonce this context was started from (retrofit only) —
+    /// committed to the platform's consumed set at `receive_finish`.
+    session_nonce: Option<[u8; 32]>,
 }
 
 impl GuestContext {
@@ -93,6 +117,7 @@ impl GuestContext {
             tek: None,
             tik: None,
             measurement: Sha256::new(),
+            session_nonce: None,
         }
     }
 
@@ -138,9 +163,12 @@ fn unwrap_transport_keys(kek: &Key128, wrapped: &[u8]) -> Result<(Key128, Key128
 /// The SEV firmware. See the crate docs for the trust model.
 pub struct Firmware {
     state: PlatformState,
+    mode: FwMode,
     pdh: KeyPair,
     attest_key: Key128,
     guests: HashMap<Handle, GuestContext>,
+    /// Session nonces consumed by a *successful* receive (retrofit only).
+    seen_nonces: HashSet<[u8; 32]>,
     next_handle: u32,
     rng: Xoshiro256,
 }
@@ -155,20 +183,42 @@ impl std::fmt::Debug for Firmware {
 }
 
 impl Firmware {
-    /// Creates the firmware with a fresh platform identity derived from
-    /// `seed` (deterministic for reproducible simulations).
+    /// Creates the retrofitted firmware with a fresh platform identity
+    /// derived from `seed` (deterministic for reproducible simulations).
     pub fn new(seed: u64) -> Self {
+        Self::with_mode(seed, FwMode::Retrofit)
+    }
+
+    /// Creates vanilla SEV firmware: same commands, none of the paper's
+    /// retrofit checks (see [`FwMode::Vanilla`]). Used by the attack
+    /// matrix's undefended configurations.
+    pub fn new_vanilla(seed: u64) -> Self {
+        Self::with_mode(seed, FwMode::Vanilla)
+    }
+
+    /// Creates the firmware in an explicit [`FwMode`]. The platform
+    /// identity depends only on `seed`, so a retrofit and a vanilla
+    /// instance with the same seed share a PDH — useful for replaying the
+    /// exact same owner-packaged image against both builds.
+    pub fn with_mode(seed: u64, mode: FwMode) -> Self {
         let mut rng = Xoshiro256::new(seed ^ 0x5EF1_F1DE_11D5_0001);
         let pdh = KeyPair::from_seed(rng.next_bytes32());
         let attest_key = rng.next_key128();
         Firmware {
             state: PlatformState::Uninitialized,
+            mode,
             pdh,
             attest_key,
             guests: HashMap::new(),
+            seen_nonces: HashSet::new(),
             next_handle: 1,
             rng,
         }
+    }
+
+    /// Which firmware build this is.
+    pub fn mode(&self) -> FwMode {
+        self.mode
     }
 
     /// `INIT`: brings the platform to the working state.
@@ -481,13 +531,21 @@ impl Firmware {
     /// # Errors
     ///
     /// [`SevError::BadSessionKeys`] when the blob was not wrapped for this
-    /// platform (or was tampered with).
+    /// platform (or was tampered with). On retrofitted firmware,
+    /// [`SevError::SessionNonceReplayed`] when the session nonce was
+    /// already consumed by an earlier *successful* receive — the
+    /// anti-rollback check vanilla SEV lacks. A nonce is only committed at
+    /// [`Firmware::receive_finish`], so a transfer that failed integrity
+    /// verification can be retried with the same session blob.
     pub fn receive_start(
         &mut self,
         session: &SessionBlob,
         policy: GuestPolicy,
     ) -> Result<Handle, SevError> {
         self.require_init()?;
+        if self.mode == FwMode::Retrofit && self.seen_nonces.contains(&session.nonce) {
+            return Err(SevError::SessionNonceReplayed);
+        }
         let shared = self.pdh.agree(&session.origin_pdh);
         let kek = derive_session_kek(&shared, &session.nonce);
         let (tek, tik) = unwrap_transport_keys(&kek, &session.wrapped_keys)?;
@@ -496,6 +554,9 @@ impl Firmware {
         let mut ctx = GuestContext::new(kvek, policy, GuestState::Receiving);
         ctx.tek = Some(tek);
         ctx.tik = Some(tik);
+        if self.mode == FwMode::Retrofit {
+            ctx.session_nonce = Some(session.nonce);
+        }
         self.guests.insert(h, ctx);
         Ok(h)
     }
@@ -562,6 +623,12 @@ impl Firmware {
             return Err(SevError::BadMeasurement);
         }
         ctx.state = GuestState::Running;
+        // Retrofit anti-rollback: the nonce is burned only now that the
+        // transfer verified end-to-end.
+        let nonce = ctx.session_nonce.take();
+        if let Some(n) = nonce {
+            self.seen_nonces.insert(n);
+        }
         Ok(())
     }
 
@@ -876,6 +943,83 @@ mod tests {
         // io_decrypt on the sending helper must fail, and vice versa.
         assert!(fw.io_decrypt(&mut m, helpers.sdom, Hpa(0), Hpa(16), 16, 0).is_err());
         assert!(fw.io_encrypt(&mut m, helpers.rdom, Hpa(0), Hpa(16), 16, 0).is_err());
+    }
+
+    /// Attestation rollback at the firmware layer: a session blob consumed
+    /// by a successful receive cannot start a second receive on retrofit
+    /// firmware, but vanilla firmware accepts the replay.
+    #[test]
+    fn retrofit_refuses_replayed_session_nonce_vanilla_accepts() {
+        let (mut m, mut src_fw) = setup();
+        let mut retro = Firmware::new(91);
+        retro.init().unwrap();
+        let mut vanilla = Firmware::new_vanilla(91); // same seed → same PDH
+        vanilla.init().unwrap();
+        assert_eq!(retro.mode(), FwMode::Retrofit);
+        assert_eq!(vanilla.mode(), FwMode::Vanilla);
+        assert_eq!(retro.pdh_public(), vanilla.pdh_public());
+
+        let mut run_through = |dst: &mut Firmware, m: &mut Machine| {
+            let h = src_fw.launch_start(GuestPolicy::default()).unwrap();
+            let src_pa = Hpa(0x8000);
+            src_fw.launch_update_data(m, h, src_pa, PAGE_SIZE).unwrap();
+            src_fw.launch_finish(h).unwrap();
+            let session = src_fw.send_start(h, &dst.pdh_public()).unwrap();
+            let ct = src_fw.send_update_page(m, h, src_pa, 0).unwrap();
+            let tag = src_fw.send_finish(h).unwrap();
+            (session, ct, tag)
+        };
+
+        let (session, ct, tag) = run_through(&mut retro, &mut m);
+        let rh = retro.receive_start(&session, GuestPolicy::default()).unwrap();
+        retro.receive_update_page(&mut m, rh, &ct, 0, Hpa(0xC000)).unwrap();
+        retro.receive_finish(rh, &tag).unwrap();
+        // Replay against retrofit: refused at RECEIVE_START, typed.
+        assert_eq!(
+            retro.receive_start(&session, GuestPolicy::default()).unwrap_err(),
+            SevError::SessionNonceReplayed
+        );
+
+        let (session, ct, tag) = run_through(&mut vanilla, &mut m);
+        for _ in 0..2 {
+            // Vanilla: the same stale session boots as often as the
+            // hypervisor replays it.
+            let rh = vanilla.receive_start(&session, GuestPolicy::default()).unwrap();
+            vanilla.receive_update_page(&mut m, rh, &ct, 0, Hpa(0xD000)).unwrap();
+            vanilla.receive_finish(rh, &tag).unwrap();
+        }
+    }
+
+    /// A tampered transfer must not burn the nonce: the owner can resend
+    /// the same session blob after the hypervisor corrupted the stream.
+    #[test]
+    fn failed_receive_does_not_consume_nonce() {
+        let (mut m, mut src_fw) = setup();
+        let mut dst = Firmware::new(92);
+        dst.init().unwrap();
+        let h = src_fw.launch_start(GuestPolicy::default()).unwrap();
+        let src_pa = Hpa(0x8000);
+        src_fw.launch_update_data(&mut m, h, src_pa, PAGE_SIZE).unwrap();
+        src_fw.launch_finish(h).unwrap();
+        let session = src_fw.send_start(h, &dst.pdh_public()).unwrap();
+        let ct = src_fw.send_update_page(&mut m, h, src_pa, 0).unwrap();
+        let tag = src_fw.send_finish(h).unwrap();
+
+        let mut bad = ct.clone();
+        bad[0] ^= 0x01;
+        let rh = dst.receive_start(&session, GuestPolicy::default()).unwrap();
+        dst.receive_update_page(&mut m, rh, &bad, 0, Hpa(0xC000)).unwrap();
+        assert_eq!(dst.receive_finish(rh, &tag), Err(SevError::BadMeasurement));
+
+        // Retry with the pristine stream and the *same* session: accepted.
+        let rh = dst.receive_start(&session, GuestPolicy::default()).unwrap();
+        dst.receive_update_page(&mut m, rh, &ct, 0, Hpa(0xC000)).unwrap();
+        dst.receive_finish(rh, &tag).unwrap();
+        // And only now is the nonce burned.
+        assert_eq!(
+            dst.receive_start(&session, GuestPolicy::default()).unwrap_err(),
+            SevError::SessionNonceReplayed
+        );
     }
 
     #[test]

@@ -38,6 +38,6 @@ pub mod gek;
 pub mod owner;
 
 pub use error::SevError;
-pub use firmware::{Firmware, GuestPolicy, GuestState, Handle, PlatformState};
+pub use firmware::{Firmware, FwMode, GuestPolicy, GuestState, Handle, PlatformState};
 pub use gek::{GekEngine, GekHandle};
 pub use owner::{EncryptedImage, GuestOwner};

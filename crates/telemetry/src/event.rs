@@ -358,6 +358,20 @@ pub enum Event {
         /// How the fault was absorbed or refused.
         outcome: InjectionOutcome,
     },
+    /// A scripted attack scenario finished against this system. Emitted by
+    /// the `fidelius-attacks` matrix so a victim's trace carries the final
+    /// verdict next to the denials (or corruptions) that produced it.
+    AttackOutcome {
+        /// The attack's matrix-row name (e.g. `"severed-io-remap"`).
+        attack: &'static str,
+        /// The defense configuration's column label (e.g. `"Fidelius"`).
+        defense: &'static str,
+        /// The outcome cell label (`"VULNERABLE"`, `"blocked"`, `"n/a"`).
+        outcome: &'static str,
+        /// The typed reason that terminated the attack, when it was
+        /// refused by policy rather than by cryptography or faults.
+        reason: Option<DenialReason>,
+    },
 }
 
 impl Event {
@@ -377,6 +391,7 @@ impl Event {
             Event::Grant { .. } => "grant",
             Event::FaultInjected { .. } => "fault-injected",
             Event::FaultOutcome { .. } => "fault-outcome",
+            Event::AttackOutcome { .. } => "attack-outcome",
         }
     }
 
@@ -471,6 +486,15 @@ impl Event {
                     InjectionOutcome::Corrupted => put("outcome", Json::str("corrupted")),
                 }
             }
+            Event::AttackOutcome { attack, defense, outcome, reason } => {
+                put("attack", Json::str(*attack));
+                put("defense", Json::str(*defense));
+                put("outcome", Json::str(*outcome));
+                match reason {
+                    Some(r) => put("reason", Json::str(r.as_str())),
+                    None => put("reason", Json::Null),
+                }
+            }
         }
         Json::Obj(pairs)
     }
@@ -540,5 +564,26 @@ mod tests {
         let j = e.to_json();
         assert_eq!(j.get("outcome").unwrap().as_str(), Some("fail-closed"));
         assert_eq!(j.get("reason").unwrap().as_str(), Some("migration stream truncated"));
+    }
+
+    #[test]
+    fn attack_outcome_renders() {
+        let e = Event::AttackOutcome {
+            attack: "severed-io-remap",
+            defense: "Fidelius",
+            outcome: "blocked",
+            reason: Some(DenialReason::RemapPopulatedGpa),
+        };
+        let j = e.to_json();
+        assert_eq!(j.get("ev").unwrap().as_str(), Some("attack-outcome"));
+        assert_eq!(j.get("attack").unwrap().as_str(), Some("severed-io-remap"));
+        assert_eq!(j.get("reason").unwrap().as_str(), Some("remapping a populated GPA (replay)"));
+        let open = Event::AttackOutcome {
+            attack: "severed-io-remap",
+            defense: "Xen+SEV",
+            outcome: "VULNERABLE",
+            reason: None,
+        };
+        assert!(matches!(open.to_json().get("reason"), Some(Json::Null)));
     }
 }

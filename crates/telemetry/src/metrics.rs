@@ -158,6 +158,8 @@ pub struct Metrics {
     /// Fault outcomes by (kind, outcome label) — "tolerated",
     /// "tolerated-after-retry" or "fail-closed".
     pub fault_outcomes: BTreeMap<(crate::event::FaultKind, &'static str), u64>,
+    /// Scripted-attack verdicts by (attack name, outcome cell label).
+    pub attack_outcomes: BTreeMap<(&'static str, &'static str), u64>,
 }
 
 impl Metrics {
@@ -215,6 +217,9 @@ impl Metrics {
                     crate::event::InjectionOutcome::Corrupted => "corrupted",
                 };
                 *self.fault_outcomes.entry((*kind, label)).or_default() += 1;
+            }
+            Event::AttackOutcome { attack, outcome, .. } => {
+                *self.attack_outcomes.entry((attack, outcome)).or_default() += 1;
             }
         }
     }
@@ -290,6 +295,9 @@ impl Metrics {
         }
         for (k, v) in &other.fault_outcomes {
             *self.fault_outcomes.entry(*k).or_default() += v;
+        }
+        for (k, v) in &other.attack_outcomes {
+            *self.attack_outcomes.entry(*k).or_default() += v;
         }
     }
 

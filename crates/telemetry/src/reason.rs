@@ -140,6 +140,14 @@ pub enum DenialReason {
     /// The incoming migration stream was shorter than the sealed
     /// measurement covers; the half-restored domain was rolled back.
     MigrationStreamTruncated,
+    /// A LAUNCH/RECEIVE presented a session whose nonce the retrofitted
+    /// firmware already consumed: the hypervisor is replaying a stale
+    /// owner image instead of the current one (attestation rollback).
+    LaunchMeasurementReplayed,
+    /// A migration SEND/RECEIVE presented a session whose nonce was
+    /// already consumed: the hypervisor is resurrecting an old captured
+    /// stream to roll guest state back.
+    MigrationSessionReplayed,
 
     // --- availability / degradation (fault-injection layer) ---
     /// A backend grant vanished while an I/O request was in flight.
@@ -195,6 +203,8 @@ impl DenialReason {
             SealedFrameAccess => "hypervisor access to a sealed guest frame",
             MigrationStreamTampered => "migration stream tampered",
             MigrationStreamTruncated => "migration stream truncated",
+            LaunchMeasurementReplayed => "stale launch measurement replayed (rollback)",
+            MigrationSessionReplayed => "migration session replayed (rollback)",
             GrantRevokedMidIo => "grant revoked while I/O in flight",
             GateResponseTimeout => "gate response delayed past retry budget",
             EventChannelStarved => "event channel starved past retry budget",
@@ -233,7 +243,9 @@ impl DenialReason {
             | AsidMismatchAtEntry
             | Ncr3MismatchAtEntry
             | MigrationStreamTampered
-            | MigrationStreamTruncated => AuditKind::IntegrityViolation,
+            | MigrationStreamTruncated
+            | LaunchMeasurementReplayed
+            | MigrationSessionReplayed => AuditKind::IntegrityViolation,
             SealedFrameAccess => AuditKind::PitViolation,
             GrantRevokedMidIo => AuditKind::GitViolation,
             GateResponseTimeout | EventChannelStarved | UnknownDomainAtEntry | Legacy(_) => {
@@ -243,7 +255,7 @@ impl DenialReason {
     }
 
     /// Every non-`Legacy` variant (for exhaustive tests and reports).
-    pub const ALL: [DenialReason; 36] = {
+    pub const ALL: [DenialReason; 38] = {
         use DenialReason::*;
         [
             WriteOnceAlreadyInitialized,
@@ -278,6 +290,8 @@ impl DenialReason {
             SealedFrameAccess,
             MigrationStreamTampered,
             MigrationStreamTruncated,
+            LaunchMeasurementReplayed,
+            MigrationSessionReplayed,
             GrantRevokedMidIo,
             GateResponseTimeout,
             EventChannelStarved,
@@ -348,6 +362,18 @@ mod tests {
             // the heuristic's keywords. The typed kind files it correctly.
             if r == DenialReason::MigrationStreamTruncated {
                 assert_eq!(legacy_classify(r.as_str()), AuditKind::Other);
+                assert_eq!(r.kind(), AuditKind::IntegrityViolation);
+                continue;
+            }
+            // The rollback family carries "replayed" in its strings, which
+            // the heuristic files under PIT (it only ever saw "replay" in
+            // mapping-shuffle denials). These are attestation-integrity
+            // failures; the typed kind files them correctly.
+            if matches!(
+                r,
+                DenialReason::LaunchMeasurementReplayed | DenialReason::MigrationSessionReplayed
+            ) {
+                assert_eq!(legacy_classify(r.as_str()), AuditKind::PitViolation);
                 assert_eq!(r.kind(), AuditKind::IntegrityViolation);
                 continue;
             }

@@ -720,7 +720,7 @@ impl Hypervisor {
     /// writes the attempt fails closed with the policy's typed reason;
     /// under an unprotected guardian it lands and a `Corrupted` outcome is
     /// emitted so the corruption is never silent on the trace.
-    fn apply_npt_adversary(
+    pub(crate) fn apply_npt_adversary(
         &mut self,
         plat: &mut Platform,
         guardian: &mut dyn Guardian,

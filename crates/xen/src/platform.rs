@@ -19,7 +19,7 @@ use fidelius_hw::memctrl::EncSel;
 use fidelius_hw::paging::{Mapper, PhysPtAccess, PTE_NX, PTE_WRITABLE};
 use fidelius_hw::regs::{Cr0, Efer};
 use fidelius_hw::{Hpa, Hva, PAGE_SIZE};
-use fidelius_sev::Firmware;
+use fidelius_sev::{Firmware, FwMode};
 
 /// Physical address where the hypervisor code image is loaded.
 pub const XEN_CODE_PA: Hpa = Hpa(0x10_0000);
@@ -72,9 +72,30 @@ impl Platform {
     ///
     /// Panics if `dram_size` is smaller than the fixed physical layout.
     pub fn boot(dram_size: u64, seed: u64) -> Result<(Self, BootInfo), XenError> {
+        Self::boot_with_firmware(dram_size, seed, FwMode::Retrofit)
+    }
+
+    /// Boots the platform with an explicit firmware build — the
+    /// retrofitted one or faithful vanilla SEV (see [`FwMode`]). The
+    /// attack matrix uses vanilla mode for its undefended configurations
+    /// so the successor attacks can demonstrate what the retrofit checks
+    /// actually buy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates physical-memory errors from building the boot state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dram_size` is smaller than the fixed physical layout.
+    pub fn boot_with_firmware(
+        dram_size: u64,
+        seed: u64,
+        fw_mode: FwMode,
+    ) -> Result<(Self, BootInfo), XenError> {
         assert!(dram_size >= GUEST_POOL_PA.0 + 16 * PAGE_SIZE, "DRAM too small for layout");
         let mut machine = Machine::new(dram_size);
-        let mut firmware = Firmware::new(seed);
+        let mut firmware = Firmware::with_mode(seed, fw_mode);
 
         // SME key installed by platform firmware at reset; SEV INIT.
         let mut rng = fidelius_crypto::rng::Xoshiro256::new(seed ^ 0x5A3E_51E5);

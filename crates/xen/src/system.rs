@@ -90,12 +90,25 @@ impl System {
     /// # Errors
     ///
     /// Boot/initialization failures.
-    pub fn new(
+    pub fn new(dram_size: u64, seed: u64, guardian: Box<dyn Guardian>) -> Result<Self, XenError> {
+        Self::new_with_firmware(dram_size, seed, fidelius_sev::FwMode::Retrofit, guardian)
+    }
+
+    /// Like [`System::new`] but with an explicit SEV firmware build
+    /// ([`fidelius_sev::FwMode`]). The attack matrix boots its undefended
+    /// victims on vanilla firmware so the successor attacks run against
+    /// what real pre-retrofit SEV actually checks.
+    ///
+    /// # Errors
+    ///
+    /// Boot/initialization failures.
+    pub fn new_with_firmware(
         dram_size: u64,
         seed: u64,
+        fw_mode: fidelius_sev::FwMode,
         mut guardian: Box<dyn Guardian>,
     ) -> Result<Self, XenError> {
-        let (mut plat, boot) = Platform::boot(dram_size, seed)?;
+        let (mut plat, boot) = Platform::boot_with_firmware(dram_size, seed, fw_mode)?;
         let xen = Hypervisor::init(&mut plat, boot)?;
         guardian.late_launch(&mut plat, &xen.late_launch_info())?;
         Ok(System { plat, xen, guardian, frontends: HashMap::new(), current_guest: None })
@@ -129,6 +142,22 @@ impl System {
                         kind: FaultKind::VmexitStorm,
                         outcome: InjectionOutcome::Tolerated,
                     });
+                }
+                remap @ (FaultAction::RemapGpa { .. } | FaultAction::SwapGpas { .. }) => {
+                    // Remap storm under a live guest (the SEVered setup):
+                    // the hypervisor yanks the freshly entered guest back
+                    // out, rewrites NPT leaves while its translations are
+                    // hot in the TLB, and resumes. The PR 5 demotion rules
+                    // must make the rewrite architecturally visible — or
+                    // the guardian fails it closed.
+                    self.exit_and_handle(ExitCode::Intr, 0, 0)?;
+                    self.xen.apply_npt_adversary(
+                        &mut self.plat,
+                        &mut *self.guardian,
+                        dom,
+                        remap,
+                    )?;
+                    self.enter_raw(dom)?;
                 }
                 other => {
                     self.plat.machine.trace.emit(Event::FaultOutcome {

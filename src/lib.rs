@@ -11,7 +11,9 @@
 //! - [`xen`] — the hypervisor stack (domains, NPT, grants, PV block I/O);
 //! - [`core`] — Fidelius itself (gates, PIT/GIT, shadowing, policies,
 //!   encrypted boot, migration);
-//! - [`attacks`] — the attack scenarios and XSA analysis;
+//! - [`attacks`] — the attack scenarios (the paper's §2.2/§6 surfaces plus
+//!   the SEVered / SEVurity / attestation-rollback successor attacks) and
+//!   the XSA analysis — see [`attack_catalog`] and [`threat_model`];
 //! - [`workloads`] — the SPEC/PARSEC/fio evaluation harness;
 //! - [`telemetry`] — the zero-dependency event tracer, metrics registry
 //!   and cycle-attribution sinks threaded through every layer above;
@@ -53,6 +55,12 @@ pub use fidelius_sev as sev;
 pub use fidelius_telemetry as telemetry;
 pub use fidelius_workloads as workloads;
 pub use fidelius_xen as xen;
+
+#[doc = include_str!("../docs/ATTACKS.md")]
+pub mod attack_catalog {}
+
+#[doc = include_str!("../docs/THREAT_MODEL.md")]
+pub mod threat_model {}
 
 /// The types most programs need.
 pub mod prelude {
