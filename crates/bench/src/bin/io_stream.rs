@@ -1,0 +1,208 @@
+//! Throughput of the batched multi-queue encrypted I/O datapath.
+//!
+//! Two outputs, cleanly separated the way the sweep binaries do it:
+//!
+//! 1. A **stable artifact** (always emitted): each scenario streams a
+//!    fixed-size request mix through a freshly built system and reports
+//!    the *modeled* cost — requests, bytes, modeled cycles and the
+//!    modeled MB/s at the simulated clock. Scenarios are shared-nothing
+//!    and results are collected in input order, so the artifact is
+//!    byte-identical at any `--threads` count; CI diffs `--threads 1`
+//!    against `--threads 4`.
+//! 2. Behind `--timing`: host wall-clock throughput of the simulator
+//!    itself ([`measure_throughput`] entries for `bench_guard`), emitted
+//!    *after* the artifact.
+//!
+//! Scenarios:
+//! - `io_stream_plain`        — 4 queues, whole-window batches, no disk
+//!   crypto: the raw datapath ceiling (ring protocol + grant checks +
+//!   sector movement through the streaming span).
+//! - `io_stream_plain_oracle` — the same stream with the back-end pinned
+//!   to the seed's one-request-at-a-time drain and every request
+//!   submitted alone; the ratio to `io_stream_plain` is the host-time
+//!   win of the batched drain.
+//! - `io_stream_aesni`        — 4 queues with the guest-side `Kblk`
+//!   AES path. Bounded by the deliberately software-shaped AES core
+//!   (the `sector_cipher` scenario in `micro_memstream` is its ceiling),
+//!   so expect this well below the plain number.
+//! - `io_stream_sev`          — single queue through the retrofitted
+//!   SEV-API helper path (firmware transforms between the guest key and
+//!   `Kblk` in the Md window).
+//!
+//! Flags: `--json`, `--timing`, `--iters N` (timed iterations, default
+//! 9), `--mb N` (megabytes streamed per timed iteration, default 4),
+//! `--threads N` (default 1 — co-scheduling distorts wall numbers;
+//! parallel runs are for artifact determinism checks, not baselines).
+
+use fidelius_bench::{
+    arg_u64, emit_throughput, json_mode, measure_throughput, note, timing_mode, Throughput,
+};
+use fidelius_core::Fidelius;
+use fidelius_crypto::modes::SECTOR_SIZE;
+use fidelius_sev::GuestOwner;
+use fidelius_telemetry::Json;
+use fidelius_workloads::fio::CLOCK_HZ;
+use fidelius_xen::frontend::IoPath;
+use fidelius_xen::system::{BatchOp, GuestConfig};
+use fidelius_xen::{DomainId, System, Unprotected, XenError};
+
+/// Requests per ring window.
+const BATCH_OPS: u64 = 8;
+/// Sectors per request (one page).
+const OP_SECTORS: u64 = 8;
+/// Payload bytes of one full window.
+const BATCH_BYTES: u64 = BATCH_OPS * OP_SECTORS * SECTOR_SIZE as u64;
+/// Windows streamed for the stable modeled-cost artifact (1 MiB of
+/// payload: 16 write windows + 16 read windows).
+const ARTIFACT_BATCHES: u64 = 32;
+/// Disk sectors per queue region (the stream wraps inside it).
+const REGION_SECTORS: u64 = 512;
+
+/// One scenario: how to build the system and how to drain it.
+#[derive(Debug, Clone, Copy)]
+struct Scenario {
+    name: &'static str,
+    path: IoPath,
+    queues: u64,
+    /// Per-request submission against the seed's oracle drain.
+    oracle: bool,
+}
+
+const SCENARIOS: [Scenario; 4] = [
+    Scenario { name: "io_stream_plain", path: IoPath::Plain, queues: 4, oracle: false },
+    Scenario { name: "io_stream_plain_oracle", path: IoPath::Plain, queues: 1, oracle: true },
+    Scenario { name: "io_stream_aesni", path: IoPath::AesNi, queues: 4, oracle: false },
+    Scenario { name: "io_stream_sev", path: IoPath::SevApi, queues: 1, oracle: false },
+];
+
+fn build(s: &Scenario) -> Result<(System, DomainId), XenError> {
+    let disk = vec![0u8; (s.queues * REGION_SECTORS) as usize * SECTOR_SIZE];
+    let (mut sys, dom) = if s.path == IoPath::SevApi {
+        let mut sys = System::new(32 * 1024 * 1024, 0x105, Box::new(Fidelius::new()))?;
+        let mut owner = GuestOwner::new(0x105);
+        let image = owner.package_image(&[0x90], &sys.plat.firmware.pdh_public());
+        let dom = fidelius_core::lifecycle::boot_encrypted_guest(&mut sys, &image, 192)?;
+        (sys, dom)
+    } else {
+        let mut sys = System::new(32 * 1024 * 1024, 0x105, Box::new(Unprotected::new()))?;
+        let dom = sys.create_guest_mq(
+            GuestConfig { mem_pages: 256, sev: false, kernel: vec![0x90] },
+            s.queues,
+        )?;
+        (sys, dom)
+    };
+    let kblk = (s.path == IoPath::AesNi).then_some([0x4B; 16]);
+    sys.setup_block_device(dom, disk, s.path, kblk)?;
+    sys.xen.backend.set_drain_one_at_a_time(s.oracle);
+    Ok((sys, dom))
+}
+
+/// Streams `batches` full windows (alternating write/read) round-robin
+/// across the queues. Returns the payload bytes moved.
+fn stream(sys: &mut System, dom: DomainId, s: &Scenario, batches: u64) -> u64 {
+    for b in 0..batches {
+        let q = b % s.queues;
+        let base = q * REGION_SECTORS
+            + ((b / s.queues) % (REGION_SECTORS / (BATCH_OPS * OP_SECTORS)))
+                * BATCH_OPS
+                * OP_SECTORS;
+        let ops: Vec<BatchOp> = (0..BATCH_OPS)
+            .map(|i| {
+                let sector = base + i * OP_SECTORS;
+                if b % 2 == 0 {
+                    let byte = 0xA5 ^ (b as u8).wrapping_add(i as u8);
+                    BatchOp::Write { sector, data: vec![byte; (OP_SECTORS as usize) * SECTOR_SIZE] }
+                } else {
+                    BatchOp::Read { sector, count: OP_SECTORS }
+                }
+            })
+            .collect();
+        if s.oracle {
+            for op in &ops {
+                sys.disk_batch(dom, q, std::slice::from_ref(op)).expect("stream op");
+            }
+        } else {
+            sys.disk_batch(dom, q, &ops).expect("stream batch");
+        }
+    }
+    batches * BATCH_BYTES
+}
+
+/// The stable per-scenario artifact line.
+#[derive(Debug, Clone)]
+struct Artifact {
+    name: &'static str,
+    queues: u64,
+    requests: u64,
+    bytes: u64,
+    modeled_cycles: f64,
+    modeled_mb_per_s: f64,
+}
+
+fn run_scenario(s: &Scenario, iters: u32, len: usize) -> (Artifact, Option<Throughput>) {
+    // Modeled-cost pass: fixed size, fresh system, deterministic.
+    let (mut sys, dom) = build(s).expect("build");
+    let start = sys.plat.machine.cycles.total_f64();
+    let bytes = stream(&mut sys, dom, s, ARTIFACT_BATCHES);
+    let cycles = sys.plat.machine.cycles.total_f64() - start;
+    let artifact = Artifact {
+        name: s.name,
+        queues: s.queues,
+        requests: ARTIFACT_BATCHES * BATCH_OPS,
+        bytes,
+        modeled_cycles: cycles,
+        modeled_mb_per_s: ((bytes as f64 / (cycles / CLOCK_HZ) / 1e6) * 100.0).round() / 100.0,
+    };
+    // Wall-clock pass: only when asked for, on its own fresh system.
+    let timing = timing_mode().then(|| {
+        let batches = (len as u64 / BATCH_BYTES).max(2);
+        let (mut sys, dom) = build(s).expect("build");
+        measure_throughput(s.name, batches * BATCH_BYTES, iters, || {
+            stream(&mut sys, dom, s, batches);
+        })
+    });
+    (artifact, timing)
+}
+
+fn emit_artifact(a: &Artifact) {
+    if json_mode() {
+        println!(
+            "{}",
+            Json::obj(vec![
+                ("io_stream", Json::str(a.name)),
+                ("queues", Json::Num(a.queues as f64)),
+                ("requests", Json::Num(a.requests as f64)),
+                ("bytes", Json::Num(a.bytes as f64)),
+                ("modeled_cycles", Json::Num(a.modeled_cycles)),
+                ("modeled_mb_per_s", Json::Num(a.modeled_mb_per_s)),
+            ])
+        );
+    } else {
+        println!(
+            "  {:<24} {:>4} queues  {:>5} reqs  {:>9} bytes  {:>14.0} cycles  {:>9.2} MB/s modeled",
+            a.name, a.queues, a.requests, a.bytes, a.modeled_cycles, a.modeled_mb_per_s
+        );
+    }
+}
+
+fn main() {
+    let iters = arg_u64("--iters", 9) as u32;
+    let mb = arg_u64("--mb", 4).max(1);
+    let threads = arg_u64("--threads", 1).max(1) as usize;
+    let len = (mb * 1024 * 1024) as usize;
+    note!(
+        "== Batched multi-queue I/O datapath ({mb} MiB per timed iteration, {threads} threads) =="
+    );
+
+    let results =
+        fidelius_par::par_map_ordered(&SCENARIOS, threads, |_, s| run_scenario(s, iters, len));
+    for (artifact, _) in &results {
+        emit_artifact(artifact);
+    }
+    // Wall numbers after the stable artifact, as everywhere else.
+    for (_, timing) in &results {
+        if let Some(t) = timing {
+            emit_throughput(t);
+        }
+    }
+}

@@ -1065,6 +1065,58 @@ impl Guardian for Fidelius {
         }
     }
 
+    fn io_transform_run(
+        &mut self,
+        plat: &mut Platform,
+        dom: DomainId,
+        dir: IoDir,
+        src_pa: Hpa,
+        dst_pa: Hpa,
+        sectors: u64,
+        first_stream: u64,
+    ) -> Result<(), GuardError> {
+        let meta = self
+            .sev_meta
+            .get(&dom)
+            .copied()
+            .ok_or(GuardError::Policy("no SEV context for this domain"))?;
+        let helpers = match meta.io {
+            Some(h) => h,
+            None => {
+                let h = plat.firmware.create_io_helpers(meta.handle).map_err(GuardError::Sev)?;
+                self.sev_meta.get_mut(&dom).expect("meta exists").io = Some(h);
+                h
+            }
+        };
+        // Whole-run SEV commands: one DRAM round trip and a streaming XEX
+        // pass over cached key schedules, byte- and cycle-identical to the
+        // per-sector default (`io_sector_batch_matches_per_sector_oracle`).
+        match dir {
+            IoDir::GuestToShared => plat
+                .firmware
+                .io_encrypt_sectors(
+                    &mut plat.machine,
+                    helpers.sdom,
+                    src_pa,
+                    dst_pa,
+                    sectors,
+                    first_stream,
+                )
+                .map_err(GuardError::Sev),
+            IoDir::SharedToGuest => plat
+                .firmware
+                .io_decrypt_sectors(
+                    &mut plat.machine,
+                    helpers.rdom,
+                    src_pa,
+                    dst_pa,
+                    sectors,
+                    first_stream,
+                )
+                .map_err(GuardError::Sev),
+        }
+    }
+
     fn on_domain_created(&mut self, plat: &mut Platform, dom: &Domain) -> Result<(), GuardError> {
         self.doms.insert(
             dom.id,

@@ -31,6 +31,7 @@ pub fn point_for(kind: FaultKind) -> InjectPoint {
         FaultKind::VmexitStorm => InjectPoint::GuestEntered,
         FaultKind::DelayedGate => InjectPoint::GateEntry,
         FaultKind::GrantRevokeMidIo | FaultKind::EventChannelDrop => InjectPoint::EventSend,
+        FaultKind::GrantRevokeMidDrain | FaultKind::RingIndexCorrupt => InjectPoint::BlkifDrain,
         FaultKind::MigrationTruncate | FaultKind::MigrationCorrupt => InjectPoint::MigrateSend,
     }
 }
@@ -85,6 +86,12 @@ impl FaultPlan {
                 FaultAction::SpliceCiphertext { page_hint: rng.next_u64() }
             }
             FaultKind::GrantRevokeMidIo => FaultAction::RevokeGrants,
+            FaultKind::GrantRevokeMidDrain => FaultAction::RevokeGrantsMidDrain,
+            FaultKind::RingIndexCorrupt => {
+                // Non-zero mask so the corrupted index always differs from
+                // the drain's snapshot and detection is deterministic.
+                FaultAction::CorruptRingIndex { xor: rng.next_u64() | 1 }
+            }
             FaultKind::EventChannelDrop => {
                 // 1..=6 swallowed sends vs. a budget of 1 + EVENT_SEND_RETRIES.
                 repeats = 1 + rng.below(6) as u32;

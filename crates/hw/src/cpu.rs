@@ -465,6 +465,112 @@ impl Machine {
         Ok(out)
     }
 
+    /// Streaming host-virtual read: semantically `buf.len() / chunk`
+    /// back-to-back [`Machine::host_read`] calls of `chunk` bytes each
+    /// (one translation and one engine charge per chunk, page splits
+    /// honoured), but host-contiguous same-[`EncSel`] chunks coalesce into
+    /// single memory-controller calls below the charging layer — the same
+    /// discipline as the guest-path span coalescing. With
+    /// [`Machine::set_walk_always`] the per-chunk controller round trips
+    /// are reproduced exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns the architectural fault a real access would raise; chunks
+    /// before the faulting one are committed, as separate calls would have.
+    pub fn host_read_stream(&mut self, va: Hva, buf: &mut [u8], chunk: usize) -> Result<(), Fault> {
+        assert!(chunk > 0, "stream chunk must be non-zero");
+        let mut run: Option<PendingRun> = None;
+        let mut off = 0usize;
+        while off < buf.len() {
+            let cur = va.add(off as u64);
+            let in_chunk = chunk - (off % chunk);
+            let in_page = (PAGE_SIZE - cur.page_offset()) as usize;
+            let take = in_chunk.min(in_page).min(buf.len() - off);
+            let (pa, enc) = match self.host_translate(cur, AccessKind::Read) {
+                Ok(v) => v,
+                Err(fault) => {
+                    self.commit_read_run(run.take(), buf);
+                    return Err(fault);
+                }
+            };
+            self.charge_engine(enc, take as u64);
+            if !self.walk_always && self.mc.access_infallible(pa, take as u64, enc) {
+                match &mut run {
+                    Some(r) if r.enc == enc && r.hpa.0 + r.len as u64 == pa.0 => r.len += take,
+                    _ => {
+                        let started = PendingRun { buf_off: off, hpa: pa, enc, len: take };
+                        let prev = run.replace(started);
+                        self.commit_read_run(prev, buf);
+                    }
+                }
+            } else {
+                self.commit_read_run(run.take(), buf);
+                self.mc
+                    .read(pa, &mut buf[off..off + take], enc)
+                    .expect("translated host read must hit DRAM");
+            }
+            off += take;
+        }
+        self.commit_read_run(run.take(), buf);
+        Ok(())
+    }
+
+    /// Streaming host-virtual write; see [`Machine::host_read_stream`].
+    /// The pending span is committed before any software walk (TLB miss or
+    /// demoted/wrong-kind hit) so a write whose earlier chunks land in host
+    /// page-table pages is visible to a later chunk's walk, matching the
+    /// ordering of separate [`Machine::host_write`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::host_read_stream`].
+    pub fn host_write_stream(&mut self, va: Hva, data: &[u8], chunk: usize) -> Result<(), Fault> {
+        assert!(chunk > 0, "stream chunk must be non-zero");
+        let mut run: Option<PendingRun> = None;
+        let mut off = 0usize;
+        while off < data.len() {
+            let cur = va.add(off as u64);
+            let in_chunk = chunk - (off % chunk);
+            let in_page = (PAGE_SIZE - cur.page_offset()) as usize;
+            let take = in_chunk.min(in_page).min(data.len() - off);
+            if run.is_some()
+                && self
+                    .tlb
+                    .peek(Space::Host, cur.pfn())
+                    .is_none_or(|c| c.kind != TransKind::HostVirt)
+            {
+                self.commit_write_run(run.take(), data);
+            }
+            let (pa, enc) = match self.host_translate(cur, AccessKind::Write) {
+                Ok(v) => v,
+                Err(fault) => {
+                    self.commit_write_run(run.take(), data);
+                    return Err(fault);
+                }
+            };
+            self.charge_engine(enc, take as u64);
+            if !self.walk_always && self.mc.access_infallible(pa, take as u64, enc) {
+                match &mut run {
+                    Some(r) if r.enc == enc && r.hpa.0 + r.len as u64 == pa.0 => r.len += take,
+                    _ => {
+                        let started = PendingRun { buf_off: off, hpa: pa, enc, len: take };
+                        let prev = run.replace(started);
+                        self.commit_write_run(prev, data);
+                    }
+                }
+            } else {
+                self.commit_write_run(run.take(), data);
+                self.mc
+                    .write(pa, &data[off..off + take], enc)
+                    .expect("translated host write must hit DRAM");
+            }
+            off += take;
+        }
+        self.commit_write_run(run.take(), data);
+        Ok(())
+    }
+
     fn charge_engine(&mut self, enc: EncSel, bytes: u64) {
         if enc != EncSel::None {
             let lines = bytes.div_ceil(crate::CACHE_LINE).max(1);

@@ -41,6 +41,9 @@ pub enum InjectPoint {
     EventSend,
     /// While the migration stream is in the hypervisor's hands.
     MigrateSend,
+    /// At each request boundary inside a batched blkif ring drain, after
+    /// the whole window was validated but before its data moves.
+    BlkifDrain,
 }
 
 impl InjectPoint {
@@ -53,6 +56,7 @@ impl InjectPoint {
             InjectPoint::GateEntry => "gate-entry",
             InjectPoint::EventSend => "event-send",
             InjectPoint::MigrateSend => "migrate-send",
+            InjectPoint::BlkifDrain => "blkif-drain",
         }
     }
 }
@@ -99,6 +103,16 @@ pub enum FaultAction {
     },
     /// Invalidate every grant of the calling domain mid-I/O.
     RevokeGrants,
+    /// Invalidate every grant of the calling domain in the middle of a
+    /// *batched* ring drain — after the backend validated the whole window
+    /// but before all of its data has moved.
+    RevokeGrantsMidDrain,
+    /// XOR the published ring producer index out from under a batched
+    /// drain that already snapshotted it.
+    CorruptRingIndex {
+        /// Non-zero mask XORed into the stored producer index.
+        xor: u64,
+    },
     /// Swallow the event-channel notification being delivered.
     DropEvent,
     /// Truncate the outgoing migration stream to `keep` pages.
@@ -137,6 +151,8 @@ impl FaultAction {
             FaultAction::ReplayCiphertext { .. } => FaultKind::CiphertextReplay,
             FaultAction::SpliceCiphertext { .. } => FaultKind::CiphertextSplice,
             FaultAction::RevokeGrants => FaultKind::GrantRevokeMidIo,
+            FaultAction::RevokeGrantsMidDrain => FaultKind::GrantRevokeMidDrain,
+            FaultAction::CorruptRingIndex { .. } => FaultKind::RingIndexCorrupt,
             FaultAction::DropEvent => FaultKind::EventChannelDrop,
             FaultAction::TruncateStream { .. } => FaultKind::MigrationTruncate,
             FaultAction::CorruptStream { .. } => FaultKind::MigrationCorrupt,
@@ -254,6 +270,8 @@ mod tests {
             (FaultAction::ReplayCiphertext { page_hint: 0 }, FaultKind::CiphertextReplay),
             (FaultAction::SpliceCiphertext { page_hint: 0 }, FaultKind::CiphertextSplice),
             (FaultAction::RevokeGrants, FaultKind::GrantRevokeMidIo),
+            (FaultAction::RevokeGrantsMidDrain, FaultKind::GrantRevokeMidDrain),
+            (FaultAction::CorruptRingIndex { xor: 1 }, FaultKind::RingIndexCorrupt),
             (FaultAction::DropEvent, FaultKind::EventChannelDrop),
             (FaultAction::TruncateStream { keep: 0 }, FaultKind::MigrationTruncate),
             (FaultAction::CorruptStream { index_hint: 0, xor: 1 }, FaultKind::MigrationCorrupt),

@@ -174,6 +174,11 @@ pub enum FaultKind {
     CiphertextSplice,
     /// Invalidate the backend's grants while a block request is in flight.
     GrantRevokeMidIo,
+    /// Invalidate the backend's grants in the middle of a *batched* ring
+    /// drain, after the window was validated but before its data moved.
+    GrantRevokeMidDrain,
+    /// Corrupt the published ring producer index under a batched drain.
+    RingIndexCorrupt,
     /// Drop the tail of an outgoing migration stream.
     MigrationTruncate,
     /// Flip bits inside an outgoing migration stream.
@@ -196,6 +201,8 @@ impl FaultKind {
             FaultKind::CiphertextReplay => "ciphertext-replay",
             FaultKind::CiphertextSplice => "ciphertext-splice",
             FaultKind::GrantRevokeMidIo => "grant-revoke-mid-io",
+            FaultKind::GrantRevokeMidDrain => "grant-revoke-mid-drain",
+            FaultKind::RingIndexCorrupt => "ring-index-corrupt",
             FaultKind::MigrationTruncate => "migration-truncate",
             FaultKind::MigrationCorrupt => "migration-corrupt",
             FaultKind::VmexitStorm => "vmexit-storm",
@@ -205,13 +212,15 @@ impl FaultKind {
     }
 
     /// Every fault kind, for matrix sweeps.
-    pub const ALL: [FaultKind; 11] = [
+    pub const ALL: [FaultKind; 13] = [
         FaultKind::NptRemap,
         FaultKind::NptSwap,
         FaultKind::VmcbTamper,
         FaultKind::CiphertextReplay,
         FaultKind::CiphertextSplice,
         FaultKind::GrantRevokeMidIo,
+        FaultKind::GrantRevokeMidDrain,
+        FaultKind::RingIndexCorrupt,
         FaultKind::MigrationTruncate,
         FaultKind::MigrationCorrupt,
         FaultKind::VmexitStorm,

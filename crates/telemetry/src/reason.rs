@@ -152,6 +152,10 @@ pub enum DenialReason {
     // --- availability / degradation (fault-injection layer) ---
     /// A backend grant vanished while an I/O request was in flight.
     GrantRevokedMidIo,
+    /// The published blkif ring producer index changed out from under a
+    /// batched drain that had already validated its request window; the
+    /// partial drain was rolled back.
+    RingIndexTampered,
     /// A gate response stayed delayed past the bounded retry budget.
     GateResponseTimeout,
     /// An event-channel notification kept being dropped past the bounded
@@ -206,6 +210,7 @@ impl DenialReason {
             LaunchMeasurementReplayed => "stale launch measurement replayed (rollback)",
             MigrationSessionReplayed => "migration session replayed (rollback)",
             GrantRevokedMidIo => "grant revoked while I/O in flight",
+            RingIndexTampered => "blkif ring producer index tampered mid-drain",
             GateResponseTimeout => "gate response delayed past retry budget",
             EventChannelStarved => "event channel starved past retry budget",
             UnknownDomainAtEntry => "unknown domain at entry",
@@ -245,7 +250,8 @@ impl DenialReason {
             | MigrationStreamTampered
             | MigrationStreamTruncated
             | LaunchMeasurementReplayed
-            | MigrationSessionReplayed => AuditKind::IntegrityViolation,
+            | MigrationSessionReplayed
+            | RingIndexTampered => AuditKind::IntegrityViolation,
             SealedFrameAccess => AuditKind::PitViolation,
             GrantRevokedMidIo => AuditKind::GitViolation,
             GateResponseTimeout | EventChannelStarved | UnknownDomainAtEntry | Legacy(_) => {
@@ -255,7 +261,7 @@ impl DenialReason {
     }
 
     /// Every non-`Legacy` variant (for exhaustive tests and reports).
-    pub const ALL: [DenialReason; 38] = {
+    pub const ALL: [DenialReason; 39] = {
         use DenialReason::*;
         [
             WriteOnceAlreadyInitialized,
@@ -293,6 +299,7 @@ impl DenialReason {
             LaunchMeasurementReplayed,
             MigrationSessionReplayed,
             GrantRevokedMidIo,
+            RingIndexTampered,
             GateResponseTimeout,
             EventChannelStarved,
             UnknownDomainAtEntry,

@@ -17,12 +17,16 @@
 //! - [`fio`] — drives the real PV block path end to end under a disk
 //!   device model and measures cycles for the four fio patterns
 //!   (Table 3).
+//! - [`queues`] — net-style and NVMe-style multi-queue scenarios over
+//!   the batched ring-window datapath, comparing whole-window submission
+//!   against the per-request oracle.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fio;
 pub mod profiles;
+pub mod queues;
 pub mod runner;
 
 pub use profiles::{parsec_profiles, spec_profiles, WorkloadProfile};

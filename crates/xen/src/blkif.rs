@@ -1,24 +1,50 @@
 //! The para-virtualized block device: shared-ring protocol and the dom0
 //! back-end.
 //!
-//! A one-page ring (granted by the guest to dom0) carries requests; data
-//! moves through persistently granted buffer pages, as in the paper's
-//! description of Xen PV I/O (§2.3). The back-end is part of the untrusted
-//! management VM: whatever bytes reach the shared buffer are visible to
-//! it, which is exactly why the front-end encrypts them (AES-NI path) or
-//! Fidelius does (SEV-API path) before they land there.
+//! A device exposes one or more independent queues (virtio-style
+//! multi-queue). Each queue is a one-page ring (granted by the guest to
+//! dom0) carrying requests; data moves through persistently granted buffer
+//! pages, as in the paper's description of Xen PV I/O (§2.3). The back-end
+//! is part of the untrusted management VM: whatever bytes reach the shared
+//! buffer are visible to it, which is exactly why the front-end encrypts
+//! them (AES-NI path) or Fidelius does (SEV-API path) before they land
+//! there.
+//!
+//! # Batched drains
+//!
+//! The default drain validates a whole ring window as one unit (snapshot
+//! the producer index, read every descriptor, check every grant), then
+//! moves data request by request with contiguous sector runs streamed
+//! through [`Machine::host_read_stream`]/[`host_write_stream`], and only
+//! then publishes responses. Grant re-validation and the commit-time
+//! shadow-index check are charge-free hardware-view reads, and the
+//! streaming calls coalesce below the cycle-charging layer, so modeled
+//! cycles, telemetry counters, disk bytes and response slots are
+//! bit-identical to the one-request-at-a-time oracle retained behind
+//! [`BlockBackend::set_drain_one_at_a_time`] (the `set_walk_always` of
+//! this layer). A seeded differential test pins that equivalence.
+//!
+//! A drain that discovers a revoked grant or a tampered producer index
+//! *after* the window was validated rolls back its partial disk mutations
+//! and fails closed with a typed [`DenialReason`] — batching must never
+//! turn a refusal into silent corruption.
+//!
+//! [`Machine::host_read_stream`]: fidelius_hw::cpu::Machine::host_read_stream
+//! [`host_write_stream`]: fidelius_hw::cpu::Machine::host_write_stream
 
 use crate::domain::DomainId;
-use crate::grants::read_entry_phys;
+use crate::grants::{read_entry_phys, write_entry_phys, GrantEntry};
 use crate::layout::direct_map;
 use crate::platform::Platform;
 use crate::XenError;
 use fidelius_crypto::modes::SECTOR_SIZE;
-use fidelius_hw::{Hpa, PAGE_SIZE};
+use fidelius_hw::inject::{FaultAction, InjectPoint};
+use fidelius_hw::memctrl::EncSel;
+use fidelius_hw::{Hpa, Hva, PAGE_SIZE};
 use fidelius_telemetry::{DenialReason, Event, FaultKind, InjectionOutcome};
 use fidelius_trace::{ArgValue, SpanKind};
 
-/// Request slots in the ring.
+/// Request slots in one ring.
 pub const RING_SLOTS: u64 = 16;
 /// Bytes per slot.
 pub const SLOT_SIZE: u64 = 64;
@@ -73,22 +99,43 @@ pub fn slot_offset(i: u64) -> u64 {
     SLOTS_BASE + (i % RING_SLOTS) * SLOT_SIZE
 }
 
-/// The dom0 block back-end. It holds the disk image and its *mapped*
-/// views of the guest's granted pages (frames it obtained via
-/// `map_grant_ref`).
+/// One queue of the device: its ring frame, buffer frames, consumer
+/// cursor and the grant references backing the mapped frames.
 #[derive(Debug, Default)]
-pub struct BlockBackend {
-    disk: Vec<u8>,
+struct QueueState {
     ring_frame: Option<Hpa>,
     buf_frames: Vec<Hpa>,
     req_cons: u64,
-    /// Grant references backing `ring_frame`/`buf_frames`, plus the grant
-    /// table base, when known. A well-behaved back-end re-validates its
-    /// grants before touching the shared pages — a grant can be revoked at
-    /// any instant by the guest or the (adversarial) hypervisor, and the
-    /// back-end must fail the request closed rather than read through a
-    /// stale mapping.
+    /// `(ring_ref, buf_refs, grant_table_pa)` when known. A well-behaved
+    /// back-end re-validates its grants before touching the shared pages —
+    /// a grant can be revoked at any instant by the guest or the
+    /// (adversarial) hypervisor, and the back-end must fail the request
+    /// closed rather than read through a stale mapping.
     grants: Option<(u64, Vec<u64>, Hpa)>,
+}
+
+/// A validated descriptor from the snapshot phase of a batched drain.
+#[derive(Debug, Clone, Copy)]
+struct ReqPlan {
+    slot: u64,
+    op: u64,
+    sector: u64,
+    count: u64,
+    buf_page: u64,
+    status: BlkStatus,
+}
+
+/// The dom0 block back-end. It holds the disk image and its *mapped*
+/// views of the guest's granted pages (frames it obtained via
+/// `map_grant_ref`), one set per queue.
+#[derive(Debug, Default)]
+pub struct BlockBackend {
+    disk: Vec<u8>,
+    queues: Vec<QueueState>,
+    /// Oracle mode: drain with the seed's one-request-at-a-time loop
+    /// instead of the batched window (differential-testing switch, like
+    /// `Machine::set_walk_always`).
+    drain_one_at_a_time: bool,
 }
 
 impl BlockBackend {
@@ -97,22 +144,25 @@ impl BlockBackend {
         BlockBackend::default()
     }
 
-    /// Attaches the device: the disk image plus the granted frames.
+    /// Attaches the device: the disk image plus queue 0's granted frames.
     ///
     /// Without grant references the back-end cannot re-validate its
     /// mappings mid-I/O; prefer [`BlockBackend::attach_with_grants`].
     pub fn attach(&mut self, disk: Vec<u8>, ring_frame: Hpa, buf_frames: Vec<Hpa>) {
         assert_eq!(disk.len() % SECTOR_SIZE, 0, "disk must be whole sectors");
         self.disk = disk;
-        self.ring_frame = Some(ring_frame);
-        self.buf_frames = buf_frames;
-        self.req_cons = 0;
-        self.grants = None;
+        self.queues = vec![QueueState {
+            ring_frame: Some(ring_frame),
+            buf_frames,
+            req_cons: 0,
+            grants: None,
+        }];
     }
 
     /// Attaches the device and remembers which grant references back each
-    /// mapped frame, so every request re-validates them against the grant
-    /// table at `grant_table_pa` before the shared pages are touched.
+    /// of queue 0's mapped frames, so every drain re-validates them
+    /// against the grant table at `grant_table_pa` before the shared pages
+    /// are touched.
     pub fn attach_with_grants(
         &mut self,
         disk: Vec<u8>,
@@ -123,36 +173,53 @@ impl BlockBackend {
         let (ring_frame, ring_ref) = ring;
         let (buf_frames, buf_refs): (Vec<Hpa>, Vec<u64>) = bufs.into_iter().unzip();
         self.attach(disk, ring_frame, buf_frames);
-        self.grants = Some((ring_ref, buf_refs, grant_table_pa));
+        self.queues[0].grants = Some((ring_ref, buf_refs, grant_table_pa));
     }
 
-    /// Re-validates that grant `grant_ref` is still live, granted to dom0
-    /// and still backed by `frame`. `true` when no grant bookkeeping is
-    /// attached (legacy attach, nothing to check against).
-    fn grant_still_valid(&self, plat: &Platform, grant_ref: u64, frame: Hpa) -> bool {
-        let Some((_, _, table)) = self.grants else { return true };
-        match read_entry_phys(&plat.machine.mc, table, grant_ref) {
-            Ok(e) => e.valid && e.grantee == DomainId::DOM0.0 && e.frame == frame,
-            Err(_) => false,
+    /// Attaches one additional queue (index `q > 0`) of an already
+    /// attached device. Queues may arrive in any order; gaps stay
+    /// detached until filled.
+    pub fn attach_queue_with_grants(
+        &mut self,
+        q: usize,
+        ring: (Hpa, u64),
+        bufs: Vec<(Hpa, u64)>,
+        grant_table_pa: Hpa,
+    ) {
+        assert!(self.is_attached(), "attach queue 0 first");
+        assert!(q > 0, "queue 0 is attached by attach_with_grants");
+        if self.queues.len() <= q {
+            self.queues.resize_with(q + 1, QueueState::default);
         }
+        let (ring_frame, ring_ref) = ring;
+        let (buf_frames, buf_refs): (Vec<Hpa>, Vec<u64>) = bufs.into_iter().unzip();
+        self.queues[q] = QueueState {
+            ring_frame: Some(ring_frame),
+            buf_frames,
+            req_cons: 0,
+            grants: Some((ring_ref, buf_refs, grant_table_pa)),
+        };
     }
 
-    /// Emits the typed audit trail for a grant that vanished mid-I/O: a
-    /// denial event, plus a fault-outcome event when the fault-injection
-    /// layer is armed (so the matrix can pair injection with disposal).
-    fn report_revoked(&self, plat: &mut Platform) {
-        plat.machine.trace.emit(Event::Denial { reason: DenialReason::GrantRevokedMidIo });
-        if plat.machine.inject.is_armed() {
-            plat.machine.trace.emit(Event::FaultOutcome {
-                kind: FaultKind::GrantRevokeMidIo,
-                outcome: InjectionOutcome::FailClosed(DenialReason::GrantRevokedMidIo),
-            });
-        }
+    /// Switches between the batched drain (default) and the seed's
+    /// one-request-at-a-time oracle loop.
+    pub fn set_drain_one_at_a_time(&mut self, oracle: bool) {
+        self.drain_one_at_a_time = oracle;
+    }
+
+    /// Whether the oracle drain mode is active.
+    pub fn drain_one_at_a_time(&self) -> bool {
+        self.drain_one_at_a_time
+    }
+
+    /// Number of attached queues (including detached gaps).
+    pub fn num_queues(&self) -> usize {
+        self.queues.len()
     }
 
     /// Whether a device is attached.
     pub fn is_attached(&self) -> bool {
-        self.ring_frame.is_some()
+        self.queues.first().is_some_and(|q| q.ring_frame.is_some())
     }
 
     /// Disk capacity in sectors.
@@ -171,66 +238,163 @@ impl BlockBackend {
         &mut self.disk
     }
 
-    /// Processes all outstanding requests. Returns how many were handled.
+    /// Re-validates that grant `grant_ref` is still live, granted to dom0
+    /// and still backed by `frame`. `true` when the queue carries no grant
+    /// bookkeeping (legacy attach, nothing to check against). Hardware-view
+    /// read: charge-free.
+    fn grant_ok(plat: &Platform, q: &QueueState, grant_ref: u64, frame: Hpa) -> bool {
+        let Some((_, _, table)) = q.grants else { return true };
+        match read_entry_phys(&plat.machine.mc, table, grant_ref) {
+            Ok(e) => e.valid && e.grantee == DomainId::DOM0.0 && e.frame == frame,
+            Err(_) => false,
+        }
+    }
+
+    /// Whether every grant request `plan` touches (and the ring grant) is
+    /// still live.
+    fn plan_grants_ok(plat: &Platform, q: &QueueState, ring: Hpa, plan: &ReqPlan) -> bool {
+        let Some((ring_ref, ref buf_refs, _)) = q.grants else { return true };
+        if !Self::grant_ok(plat, q, ring_ref, ring) {
+            return false;
+        }
+        let pages = plan.count.div_ceil(SECTORS_PER_PAGE);
+        for p in plan.buf_page..plan.buf_page + pages {
+            if !Self::grant_ok(plat, q, buf_refs[p as usize], q.buf_frames[p as usize]) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Emits the typed audit trail for a grant that vanished mid-I/O: a
+    /// denial event, plus a fault-outcome event (tagged `kind`) when the
+    /// fault-injection layer is armed, so the matrix can pair injection
+    /// with disposal.
+    fn report_revoked(plat: &mut Platform, kind: FaultKind) {
+        plat.machine.trace.emit(Event::Denial { reason: DenialReason::GrantRevokedMidIo });
+        if plat.machine.inject.is_armed() {
+            plat.machine.trace.emit(Event::FaultOutcome {
+                kind,
+                outcome: InjectionOutcome::FailClosed(DenialReason::GrantRevokedMidIo),
+            });
+        }
+    }
+
+    /// Emits the typed audit trail for a ring producer index that changed
+    /// (or was insane) under a drain.
+    fn report_ring_tampered(plat: &mut Platform) {
+        plat.machine.trace.emit(Event::Denial { reason: DenialReason::RingIndexTampered });
+        if plat.machine.inject.is_armed() {
+            plat.machine.trace.emit(Event::FaultOutcome {
+                kind: FaultKind::RingIndexCorrupt,
+                outcome: InjectionOutcome::FailClosed(DenialReason::RingIndexTampered),
+            });
+        }
+    }
+
+    /// Processes all outstanding requests on every queue, in queue order.
+    /// Returns how many were handled.
     ///
     /// The back-end runs in dom0 / host context: it accesses the shared
     /// pages through its own mappings of the granted frames.
     ///
     /// # Errors
     ///
-    /// Access faults (e.g. if protection revoked the mapping).
+    /// Access faults (e.g. if protection revoked the mapping) and typed
+    /// fail-closed refusals.
     pub fn process(&mut self, plat: &mut Platform) -> Result<u64, XenError> {
-        let span = plat.machine.span_open(SpanKind::BlkifDrain, "blkif:drain", &[]);
-        let result = self.process_inner(plat);
+        let mut handled = 0;
+        for q in 0..self.queues.len() {
+            if self.queues[q].ring_frame.is_some() {
+                handled += self.process_queue(plat, q)?;
+            }
+        }
+        Ok(handled)
+    }
+
+    /// Processes all outstanding requests on queue `q`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BlockBackend::process`].
+    pub fn process_queue(&mut self, plat: &mut Platform, q: usize) -> Result<u64, XenError> {
+        let span = plat.machine.span_open(
+            SpanKind::BlkifDrain,
+            "blkif:drain",
+            &[("queue", ArgValue::U64(q as u64))],
+        );
+        let result = if self.drain_one_at_a_time {
+            self.drain_oracle(plat, q)
+        } else {
+            self.drain_batched(plat, q)
+        };
         plat.machine.span_close(span);
         result
     }
 
-    fn process_inner(&mut self, plat: &mut Platform) -> Result<u64, XenError> {
-        let ring = self.ring_frame.ok_or(XenError::BadBlockRequest)?;
+    /// Sanity window on a freshly read producer index; a consumer cursor
+    /// ahead of the producer or a window wider than the ring means dom0's
+    /// view of the ring was tampered with.
+    fn window_ok(req_cons: u64, req_prod: u64) -> bool {
+        req_prod >= req_cons && req_prod - req_cons <= RING_SLOTS
+    }
+
+    // ----- the seed's one-request-at-a-time oracle ----------------------
+
+    fn drain_oracle(&mut self, plat: &mut Platform, qi: usize) -> Result<u64, XenError> {
+        let ring = self.queues[qi].ring_frame.ok_or(XenError::BadBlockRequest)?;
         // The ring page itself rides on a grant; if that grant is gone the
         // back-end cannot even respond — fail the whole pass closed.
-        if let Some((ring_ref, _, _)) = self.grants {
-            if !self.grant_still_valid(plat, ring_ref, ring) {
-                self.report_revoked(plat);
+        if let Some((ring_ref, _, _)) = self.queues[qi].grants {
+            if !Self::grant_ok(plat, &self.queues[qi], ring_ref, ring) {
+                Self::report_revoked(plat, FaultKind::GrantRevokeMidIo);
                 return Err(XenError::FailClosed(DenialReason::GrantRevokedMidIo));
             }
         }
         let req_prod = plat.machine.host_read_u64(direct_map(ring.add(OFF_REQ_PROD)))?;
+        if !Self::window_ok(self.queues[qi].req_cons, req_prod) {
+            Self::report_ring_tampered(plat);
+            return Err(XenError::FailClosed(DenialReason::RingIndexTampered));
+        }
         let mut handled = 0;
-        while self.req_cons < req_prod {
-            let slot = slot_offset(self.req_cons);
+        while self.queues[qi].req_cons < req_prod {
+            let slot = slot_offset(self.queues[qi].req_cons);
             let id = plat.machine.host_read_u64(direct_map(ring.add(slot)))?;
             let op = plat.machine.host_read_u64(direct_map(ring.add(slot + 8)))?;
             let sector = plat.machine.host_read_u64(direct_map(ring.add(slot + 16)))?;
             let count = plat.machine.host_read_u64(direct_map(ring.add(slot + 24)))?;
             let buf_page = plat.machine.host_read_u64(direct_map(ring.add(slot + 32)))?;
             let _ = id;
-            let label = match op {
-                x if x == BlkOp::Read as u64 => "blkif:read",
-                x if x == BlkOp::Write as u64 => "blkif:write",
-                _ => "blkif:unknown",
-            };
             let span = plat.machine.span_open(
                 SpanKind::BlkifRequest,
-                label,
+                Self::request_label(op),
                 &[("sector", ArgValue::U64(sector)), ("count", ArgValue::U64(count))],
             );
-            let handled_res = self.handle(plat, op, sector, count, buf_page);
+            let handled_res = self.handle_oracle(plat, qi, op, sector, count, buf_page);
             plat.machine.span_close(span);
             let status = handled_res?;
             plat.machine.host_write_u64(direct_map(ring.add(slot + 40)), status as u64)?;
-            self.req_cons += 1;
+            self.queues[qi].req_cons += 1;
             handled += 1;
         }
         // Publish responses.
-        plat.machine.host_write_u64(direct_map(ring.add(OFF_RSP_PROD)), self.req_cons)?;
+        plat.machine
+            .host_write_u64(direct_map(ring.add(OFF_RSP_PROD)), self.queues[qi].req_cons)?;
         Ok(handled)
     }
 
-    fn handle(
+    fn request_label(op: u64) -> &'static str {
+        match op {
+            x if x == BlkOp::Read as u64 => "blkif:read",
+            x if x == BlkOp::Write as u64 => "blkif:write",
+            _ => "blkif:unknown",
+        }
+    }
+
+    fn handle_oracle(
         &mut self,
         plat: &mut Platform,
+        qi: usize,
         op: u64,
         sector: u64,
         count: u64,
@@ -241,15 +405,19 @@ impl BlockBackend {
             return Ok(BlkStatus::Error);
         }
         let pages_needed = count.div_ceil(SECTORS_PER_PAGE);
-        if buf_page + pages_needed > self.buf_frames.len() as u64 {
+        if buf_page + pages_needed > self.queues[qi].buf_frames.len() as u64 {
             return Ok(BlkStatus::Error);
         }
         // Re-validate the buffer grants this request will touch.
-        if let Some((_, buf_refs, _)) = self.grants.clone() {
+        if self.queues[qi].grants.is_some() {
             for p in buf_page..buf_page + pages_needed {
-                let frame = self.buf_frames[p as usize];
-                if !self.grant_still_valid(plat, buf_refs[p as usize], frame) {
-                    self.report_revoked(plat);
+                let (refs, frame) = {
+                    let qs = &self.queues[qi];
+                    let (_, ref buf_refs, _) = qs.grants.as_ref().expect("checked");
+                    (buf_refs[p as usize], qs.buf_frames[p as usize])
+                };
+                if !Self::grant_ok(plat, &self.queues[qi], refs, frame) {
+                    Self::report_revoked(plat, FaultKind::GrantRevokeMidIo);
                     return Ok(BlkStatus::Error);
                 }
             }
@@ -258,7 +426,7 @@ impl BlockBackend {
             let disk_off = ((sector + s) * SECTOR_SIZE as u64) as usize;
             let page_idx = (buf_page + s / SECTORS_PER_PAGE) as usize;
             let in_page = (s % SECTORS_PER_PAGE) * SECTOR_SIZE as u64;
-            let frame = self.buf_frames[page_idx];
+            let frame = self.queues[qi].buf_frames[page_idx];
             let va = direct_map(frame.add(in_page));
             match op {
                 x if x == BlkOp::Read as u64 => {
@@ -274,6 +442,220 @@ impl BlockBackend {
             }
         }
         Ok(BlkStatus::Ok)
+    }
+
+    // ----- the batched drain --------------------------------------------
+
+    /// Host-virtual address of sector `s` of `plan` inside the queue's
+    /// mapped buffer pages.
+    fn sector_va(q: &QueueState, plan: &ReqPlan, s: u64) -> Hva {
+        let page_idx = (plan.buf_page + s / SECTORS_PER_PAGE) as usize;
+        let in_page = (s % SECTORS_PER_PAGE) * SECTOR_SIZE as u64;
+        direct_map(q.buf_frames[page_idx].add(in_page))
+    }
+
+    /// Applies one injected mid-drain adversarial action.
+    fn apply_drain_fault(&mut self, plat: &mut Platform, qi: usize, action: FaultAction) {
+        match action {
+            FaultAction::RevokeGrantsMidDrain => {
+                // Clobber every grant entry backing this queue — exactly
+                // what a hostile hypervisor flipping the table under a
+                // validated drain looks like. Hardware-view writes:
+                // charge-free, like the adversary's own stores.
+                if let Some((ring_ref, buf_refs, table)) = self.queues[qi].grants.clone() {
+                    let _ = write_entry_phys(
+                        &mut plat.machine.mc,
+                        table,
+                        ring_ref,
+                        GrantEntry::default(),
+                    );
+                    for r in buf_refs {
+                        let _ =
+                            write_entry_phys(&mut plat.machine.mc, table, r, GrantEntry::default());
+                    }
+                }
+            }
+            FaultAction::CorruptRingIndex { xor } => {
+                // Flip bits in the published producer index out from under
+                // the drain's snapshot.
+                if let Some(ring) = self.queues[qi].ring_frame {
+                    let pa = ring.add(OFF_REQ_PROD);
+                    if let Ok(cur) = plat.machine.mc.read_u64(pa, EncSel::None) {
+                        let _ = plat.machine.mc.write_u64(pa, cur ^ xor, EncSel::None);
+                    }
+                }
+            }
+            // Foreign actions are declined by the scheduler at this point;
+            // ignore defensively.
+            _ => {}
+        }
+    }
+
+    /// Rolls the disk back to its pre-drain contents.
+    fn rollback(&mut self, undo: Vec<(usize, Vec<u8>)>) {
+        for (off, old) in undo.into_iter().rev() {
+            self.disk[off..off + old.len()].copy_from_slice(&old);
+        }
+    }
+
+    fn drain_batched(&mut self, plat: &mut Platform, qi: usize) -> Result<u64, XenError> {
+        let ring = self.queues[qi].ring_frame.ok_or(XenError::BadBlockRequest)?;
+        if let Some((ring_ref, _, _)) = self.queues[qi].grants {
+            if !Self::grant_ok(plat, &self.queues[qi], ring_ref, ring) {
+                Self::report_revoked(plat, FaultKind::GrantRevokeMidIo);
+                return Err(XenError::FailClosed(DenialReason::GrantRevokedMidIo));
+            }
+        }
+        // Snapshot the window. Everything the oracle charges per request
+        // is charged here too, just hoisted: the multiset of translated
+        // accesses (and therefore modeled cycles and TLB counters) is
+        // identical.
+        let req_prod = plat.machine.host_read_u64(direct_map(ring.add(OFF_REQ_PROD)))?;
+        let req_cons = self.queues[qi].req_cons;
+        if !Self::window_ok(req_cons, req_prod) {
+            Self::report_ring_tampered(plat);
+            return Err(XenError::FailClosed(DenialReason::RingIndexTampered));
+        }
+        let mut plans = Vec::with_capacity((req_prod - req_cons) as usize);
+        for i in req_cons..req_prod {
+            let slot = slot_offset(i);
+            let _id = plat.machine.host_read_u64(direct_map(ring.add(slot)))?;
+            let op = plat.machine.host_read_u64(direct_map(ring.add(slot + 8)))?;
+            let sector = plat.machine.host_read_u64(direct_map(ring.add(slot + 16)))?;
+            let count = plat.machine.host_read_u64(direct_map(ring.add(slot + 24)))?;
+            let buf_page = plat.machine.host_read_u64(direct_map(ring.add(slot + 32)))?;
+            plans.push(ReqPlan { slot, op, sector, count, buf_page, status: BlkStatus::Pending });
+        }
+        // Validate the whole window as one unit (grant checks amortized
+        // across the drain). A request that is structurally bad — or whose
+        // grant was already gone before the batch was dispatched — fails
+        // *that request* with a status, exactly as the oracle does.
+        for plan in &mut plans {
+            let end = plan.sector.checked_add(plan.count);
+            let structurally_ok = end.is_some_and(|e| e <= self.sectors())
+                && plan.count != 0
+                && plan.op <= BlkOp::Write as u64
+                && plan.buf_page + plan.count.div_ceil(SECTORS_PER_PAGE)
+                    <= self.queues[qi].buf_frames.len() as u64;
+            if !structurally_ok {
+                plan.status = BlkStatus::Error;
+            } else if !Self::plan_grants_ok(plat, &self.queues[qi], ring, plan) {
+                Self::report_revoked(plat, FaultKind::GrantRevokeMidIo);
+                plan.status = BlkStatus::Error;
+            }
+        }
+        // Data phase, in request order. Disk writes are journaled so a
+        // mid-drain refusal can roll the whole batch back.
+        let mut undo: Vec<(usize, Vec<u8>)> = Vec::new();
+        for plan in &mut plans {
+            // The adversary may act at every request boundary of the
+            // drain; anything it revoked after window validation fails the
+            // *whole* drain closed.
+            if let Some(action) = plat.machine.inject_at(InjectPoint::BlkifDrain) {
+                let kind = action.kind();
+                self.apply_drain_fault(plat, qi, action);
+                if kind == FaultKind::RingIndexCorrupt {
+                    // Detected below at commit; nothing else to do here.
+                } else if !Self::plan_grants_ok(plat, &self.queues[qi], ring, plan) {
+                    self.rollback(undo);
+                    Self::report_revoked(plat, FaultKind::GrantRevokeMidDrain);
+                    return Err(XenError::FailClosed(DenialReason::GrantRevokedMidIo));
+                }
+            } else if plan.status == BlkStatus::Pending
+                && !Self::plan_grants_ok(plat, &self.queues[qi], ring, plan)
+            {
+                // Revoked between window validation and this request by
+                // something other than the injector (e.g. a concurrent
+                // hypercall adversary): same refusal.
+                self.rollback(undo);
+                Self::report_revoked(plat, FaultKind::GrantRevokeMidDrain);
+                return Err(XenError::FailClosed(DenialReason::GrantRevokedMidIo));
+            }
+            if plan.status != BlkStatus::Pending {
+                // Already refused at validation; the oracle still opens the
+                // request span before deciding, so mirror it.
+                let span = plat.machine.span_open(
+                    SpanKind::BlkifRequest,
+                    Self::request_label(plan.op),
+                    &[("sector", ArgValue::U64(plan.sector)), ("count", ArgValue::U64(plan.count))],
+                );
+                plat.machine.span_close(span);
+                continue;
+            }
+            let span = plat.machine.span_open(
+                SpanKind::BlkifRequest,
+                Self::request_label(plan.op),
+                &[("sector", ArgValue::U64(plan.sector)), ("count", ArgValue::U64(plan.count))],
+            );
+            let moved = self.move_request_data(plat, qi, plan, &mut undo);
+            plat.machine.span_close(span);
+            match moved {
+                Ok(()) => plan.status = BlkStatus::Ok,
+                Err(e) => return Err(e),
+            }
+        }
+        // Commit: the shadow-index check. The producer index we validated
+        // must still be what the ring says (virtio's shadow-avail idiom);
+        // hardware-view read, charge-free.
+        let now = plat
+            .machine
+            .mc
+            .read_u64(ring.add(OFF_REQ_PROD), EncSel::None)
+            .map_err(|_| XenError::BadBlockRequest)?;
+        if now != req_prod {
+            self.rollback(undo);
+            Self::report_ring_tampered(plat);
+            return Err(XenError::FailClosed(DenialReason::RingIndexTampered));
+        }
+        // Publish every status, then the response producer.
+        for plan in &plans {
+            plat.machine
+                .host_write_u64(direct_map(ring.add(plan.slot + 40)), plan.status as u64)?;
+        }
+        self.queues[qi].req_cons = req_prod;
+        plat.machine.host_write_u64(direct_map(ring.add(OFF_RSP_PROD)), req_prod)?;
+        Ok(plans.len() as u64)
+    }
+
+    /// Moves one validated request's data between the disk image and the
+    /// shared buffers, streaming host-contiguous sector runs through the
+    /// coalescing host paths (one translation and one engine charge per
+    /// sector, exactly like the oracle's per-sector calls).
+    fn move_request_data(
+        &mut self,
+        plat: &mut Platform,
+        qi: usize,
+        plan: &ReqPlan,
+        undo: &mut Vec<(usize, Vec<u8>)>,
+    ) -> Result<(), XenError> {
+        let mut s = 0u64;
+        while s < plan.count {
+            let run_va = Self::sector_va(&self.queues[qi], plan, s);
+            let mut run = 1u64;
+            while s + run < plan.count
+                && Self::sector_va(&self.queues[qi], plan, s + run).0
+                    == run_va.0 + run * SECTOR_SIZE as u64
+            {
+                run += 1;
+            }
+            let disk_off = ((plan.sector + s) * SECTOR_SIZE as u64) as usize;
+            let run_bytes = (run * SECTOR_SIZE as u64) as usize;
+            match plan.op {
+                x if x == BlkOp::Read as u64 => {
+                    let data = self.disk[disk_off..disk_off + run_bytes].to_vec();
+                    plat.machine.host_write_stream(run_va, &data, SECTOR_SIZE)?;
+                }
+                x if x == BlkOp::Write as u64 => {
+                    let mut data = vec![0u8; run_bytes];
+                    plat.machine.host_read_stream(run_va, &mut data, SECTOR_SIZE)?;
+                    undo.push((disk_off, self.disk[disk_off..disk_off + run_bytes].to_vec()));
+                    self.disk[disk_off..disk_off + run_bytes].copy_from_slice(&data);
+                }
+                _ => unreachable!("validated ops only"),
+            }
+            s += run;
+        }
+        Ok(())
     }
 }
 
@@ -295,6 +677,43 @@ mod tests {
         b.attach(vec![0; 2 * SECTOR_SIZE], Hpa(0x1000), vec![Hpa(0x2000)]);
         assert!(b.is_attached());
         assert_eq!(b.sectors(), 2);
+        assert_eq!(b.num_queues(), 1);
+    }
+
+    #[test]
+    fn extra_queues_grow_the_device() {
+        let mut b = BlockBackend::new();
+        b.attach_with_grants(
+            vec![0; 2 * SECTOR_SIZE],
+            (Hpa(0x1000), 0),
+            vec![(Hpa(0x2000), 1)],
+            Hpa(0x8000),
+        );
+        b.attach_queue_with_grants(2, (Hpa(0x3000), 4), vec![(Hpa(0x4000), 5)], Hpa(0x8000));
+        assert_eq!(b.num_queues(), 3);
+        assert!(b.is_attached());
+    }
+
+    #[test]
+    #[should_panic(expected = "attach queue 0 first")]
+    fn extra_queue_requires_attachment() {
+        BlockBackend::new().attach_queue_with_grants(1, (Hpa(0), 0), vec![], Hpa(0));
+    }
+
+    #[test]
+    fn oracle_mode_toggles() {
+        let mut b = BlockBackend::new();
+        assert!(!b.drain_one_at_a_time());
+        b.set_drain_one_at_a_time(true);
+        assert!(b.drain_one_at_a_time());
+    }
+
+    #[test]
+    fn window_sanity() {
+        assert!(BlockBackend::window_ok(0, 0));
+        assert!(BlockBackend::window_ok(3, 3 + RING_SLOTS));
+        assert!(!BlockBackend::window_ok(4, 3));
+        assert!(!BlockBackend::window_ok(0, RING_SLOTS + 1));
     }
 
     #[test]

@@ -4,6 +4,14 @@
 //! Everything here executes with the CPU in guest mode, through the
 //! guest access paths only — the front-end is part of the *trusted* guest
 //! kernel and never touches host structures directly.
+//!
+//! The front-end is multi-queue (virtio-style): queue 0 lives at the
+//! legacy [`gplayout::RING_PAGE`]/[`gplayout::BUF_PAGE`] window, extra
+//! queues stride through the dedicated [`gplayout::MQ_REGION_PAGE`]
+//! region. Each queue owns its producer cursor, request-id counter and —
+//! for the AES paths — its own clone of the expanded `Kblk` schedule, so
+//! request dispatch never re-derives round keys (the same expansion-hoist
+//! that fixed the memory controller's per-call rebuild).
 
 use crate::blkif::{slot_offset, BlkOp, BlkStatus, OFF_REQ_PROD, SECTORS_PER_PAGE};
 use crate::events::Port;
@@ -33,6 +41,34 @@ pub mod gplayout {
     pub const PT_POOL_PAGES: u64 = 32;
     /// First page of the guest heap / workload region.
     pub const HEAP_PAGE: u64 = 160;
+    /// First page of the multi-queue I/O region (queues 1 and up; queue 0
+    /// keeps the legacy window above).
+    pub const MQ_REGION_PAGE: u64 = 192;
+    /// Pages per extra queue: one ring page plus its buffer pages.
+    pub const QUEUE_STRIDE: u64 = 1 + BUF_PAGES;
+    /// Maximum queues per block device (queue 7's last page is 254, inside
+    /// the default 256-page guest).
+    pub const MAX_QUEUES: u64 = 8;
+
+    /// Guest-physical page of queue `q`'s ring.
+    pub fn ring_page(q: u64) -> u64 {
+        assert!(q < MAX_QUEUES, "queue index out of range");
+        if q == 0 {
+            RING_PAGE
+        } else {
+            MQ_REGION_PAGE + (q - 1) * QUEUE_STRIDE
+        }
+    }
+
+    /// Guest-physical page of buffer page `i` of queue `q`.
+    pub fn buf_page(q: u64, i: u64) -> u64 {
+        assert!(i < BUF_PAGES, "buffer page index out of range");
+        if q == 0 {
+            BUF_PAGE + i
+        } else {
+            ring_page(q) + 1 + i
+        }
+    }
 }
 
 /// How the front-end protects disk I/O data.
@@ -51,22 +87,29 @@ pub enum IoPath {
     SevApi,
 }
 
+/// Per-queue front-end state: the producer cursor, the request-id counter
+/// and the queue's own expanded `Kblk` schedule (cloned from the device
+/// key at queue creation — cloning copies the round keys, so no queue ever
+/// re-runs key expansion on the dispatch path).
+#[derive(Debug)]
+struct FeQueue {
+    port: Port,
+    req_prod: u64,
+    next_id: u64,
+    kblk: Option<SectorCipher>,
+}
+
 /// Per-domain front-end driver state.
 #[derive(Debug)]
 pub struct FrontEnd {
     /// Data-protection path.
     pub io_path: IoPath,
-    /// The disk key (embedded in the kernel image by the owner).
-    kblk: Option<SectorCipher>,
-    /// The event-channel port to the back-end.
-    pub port: Port,
-    /// Request producer index (mirrors the ring header).
-    pub req_prod: u64,
-    next_id: u64,
+    queues: Vec<FeQueue>,
 }
 
 impl FrontEnd {
-    /// Creates the front-end state. `kblk` is required for the AES paths.
+    /// Creates the front-end state with queue 0 bound to `port`. `kblk` is
+    /// required for the AES paths; key expansion happens here, once.
     ///
     /// # Panics
     ///
@@ -77,11 +120,32 @@ impl FrontEnd {
         }
         FrontEnd {
             io_path,
-            kblk: kblk.map(|k| SectorCipher::new(&k)),
-            port,
-            req_prod: 0,
-            next_id: 1,
+            queues: vec![FeQueue {
+                port,
+                req_prod: 0,
+                next_id: 1,
+                kblk: kblk.map(|k| SectorCipher::new(&k)),
+            }],
         }
+    }
+
+    /// Adds one queue bound to `port`, cloning queue 0's already expanded
+    /// key schedule into the new queue's state. Returns the queue index.
+    pub fn add_queue(&mut self, port: Port) -> u64 {
+        assert!((self.queues.len() as u64) < gplayout::MAX_QUEUES, "queue limit reached");
+        let kblk = self.queues[0].kblk.clone();
+        self.queues.push(FeQueue { port, req_prod: 0, next_id: 1, kblk });
+        self.queues.len() as u64 - 1
+    }
+
+    /// Number of queues.
+    pub fn num_queues(&self) -> u64 {
+        self.queues.len() as u64
+    }
+
+    /// The event-channel port of queue `q`.
+    pub fn port(&self, q: u64) -> Port {
+        self.queues[q as usize].port
     }
 
     /// Whether this path stages data through the `Md` buffer (Fidelius
@@ -103,19 +167,41 @@ impl FrontEnd {
         sector: u64,
         data: &[u8],
     ) -> Result<u64, Fault> {
+        self.stage_write_data_at(0, machine, sector, data, 0)
+    }
+
+    /// Stages `data` on queue `q`, starting at buffer page `buf_page` of
+    /// that queue (batch dispatch places several requests side by side in
+    /// the buffer window). Returns `buf_page`.
+    ///
+    /// # Errors
+    ///
+    /// Guest access faults.
+    pub fn stage_write_data_at(
+        &mut self,
+        q: u64,
+        machine: &mut Machine,
+        sector: u64,
+        data: &[u8],
+        buf_page: u64,
+    ) -> Result<u64, Fault> {
         assert_eq!(data.len() % SECTOR_SIZE, 0, "whole sectors only");
         let count = (data.len() / SECTOR_SIZE) as u64;
-        assert!(count <= gplayout::BUF_PAGES * SECTORS_PER_PAGE, "request too large");
+        assert!(
+            buf_page + count.div_ceil(SECTORS_PER_PAGE) <= gplayout::BUF_PAGES,
+            "request too large"
+        );
+        let buf_gpa = Gpa(gplayout::buf_page(q, buf_page) * PAGE_SIZE);
         match self.io_path {
             IoPath::Plain => {
-                machine.guest_write_gpa(Gpa(gplayout::BUF_PAGE * PAGE_SIZE), data, false)?;
+                machine.guest_write_gpa(buf_gpa, data, false)?;
             }
             IoPath::AesNi | IoPath::SoftCrypto => {
-                let cipher = self.kblk.as_ref().expect("AES path has Kblk");
+                let cipher = self.queues[q as usize].kblk.as_ref().expect("AES path has Kblk");
                 let mut ct = data.to_vec();
-                for (i, s) in ct.chunks_mut(SECTOR_SIZE).enumerate() {
-                    cipher.encrypt_sector(sector + i as u64, s);
-                }
+                // One batch dispatch for the whole run; byte-identical to
+                // the per-sector loop by SectorCipher's contract.
+                cipher.encrypt_sectors(sector, &mut ct);
                 let lines = (data.len() as u64).div_ceil(fidelius_hw::CACHE_LINE);
                 let per_line = if self.io_path == IoPath::AesNi {
                     machine.cost.aesni_line
@@ -126,15 +212,18 @@ impl FrontEnd {
                     fidelius_hw::cycles::CycleCategory::CryptoEngine,
                     lines as f64 * per_line,
                 );
-                machine.guest_write_gpa(Gpa(gplayout::BUF_PAGE * PAGE_SIZE), &ct, false)?;
+                machine.guest_write_gpa(buf_gpa, &ct, false)?;
             }
             IoPath::SevApi => {
                 // Plaintext into Md; it rests Kvek-encrypted. Fidelius
-                // moves it to the shared buffer via SEND_UPDATE.
-                machine.guest_write_gpa(Gpa(gplayout::MD_PAGE * PAGE_SIZE), data, true)?;
+                // moves it to the shared buffer via SEND_UPDATE. The Md
+                // window mirrors queue 0's buffer layout.
+                assert_eq!(q, 0, "SEV-API path is single-queue");
+                let md_gpa = Gpa((gplayout::MD_PAGE + buf_page) * PAGE_SIZE);
+                machine.guest_write_gpa(md_gpa, data, true)?;
             }
         }
-        Ok(0)
+        Ok(buf_page)
     }
 
     /// Retrieves `count` sectors of read data after the back-end (and, for
@@ -149,18 +238,34 @@ impl FrontEnd {
         sector: u64,
         count: u64,
     ) -> Result<Vec<u8>, Fault> {
+        self.retrieve_read_data_at(0, machine, sector, count, 0)
+    }
+
+    /// Retrieves `count` sectors from queue `q`'s buffers starting at its
+    /// buffer page `buf_page`.
+    ///
+    /// # Errors
+    ///
+    /// Guest access faults.
+    pub fn retrieve_read_data_at(
+        &mut self,
+        q: u64,
+        machine: &mut Machine,
+        sector: u64,
+        count: u64,
+        buf_page: u64,
+    ) -> Result<Vec<u8>, Fault> {
         let len = (count as usize) * SECTOR_SIZE;
         let mut data = vec![0u8; len];
+        let buf_gpa = Gpa(gplayout::buf_page(q, buf_page) * PAGE_SIZE);
         match self.io_path {
             IoPath::Plain => {
-                machine.guest_read_gpa(Gpa(gplayout::BUF_PAGE * PAGE_SIZE), &mut data, false)?;
+                machine.guest_read_gpa(buf_gpa, &mut data, false)?;
             }
             IoPath::AesNi | IoPath::SoftCrypto => {
-                machine.guest_read_gpa(Gpa(gplayout::BUF_PAGE * PAGE_SIZE), &mut data, false)?;
-                let cipher = self.kblk.as_ref().expect("AES path has Kblk");
-                for (i, s) in data.chunks_mut(SECTOR_SIZE).enumerate() {
-                    cipher.decrypt_sector(sector + i as u64, s);
-                }
+                machine.guest_read_gpa(buf_gpa, &mut data, false)?;
+                let cipher = self.queues[q as usize].kblk.as_ref().expect("AES path has Kblk");
+                cipher.decrypt_sectors(sector, &mut data);
                 let lines = (len as u64).div_ceil(fidelius_hw::CACHE_LINE);
                 let per_line = if self.io_path == IoPath::AesNi {
                     machine.cost.aesni_line
@@ -173,13 +278,15 @@ impl FrontEnd {
                 );
             }
             IoPath::SevApi => {
-                machine.guest_read_gpa(Gpa(gplayout::MD_PAGE * PAGE_SIZE), &mut data, true)?;
+                assert_eq!(q, 0, "SEV-API path is single-queue");
+                let md_gpa = Gpa((gplayout::MD_PAGE + buf_page) * PAGE_SIZE);
+                machine.guest_read_gpa(md_gpa, &mut data, true)?;
             }
         }
         Ok(data)
     }
 
-    /// Pushes one request into the ring (guest mode) and bumps the
+    /// Pushes one request into queue 0's ring (guest mode) and bumps the
     /// producer index. Returns the slot index used.
     ///
     /// # Errors
@@ -193,27 +300,61 @@ impl FrontEnd {
         count: u64,
         buf_page: u64,
     ) -> Result<u64, Fault> {
-        let ring = Gpa(gplayout::RING_PAGE * PAGE_SIZE);
-        let slot = slot_offset(self.req_prod);
-        let id = self.next_id;
-        self.next_id += 1;
+        self.push_request_on(0, machine, op, sector, count, buf_page)
+    }
+
+    /// Pushes one request into queue `q`'s ring.
+    ///
+    /// # Errors
+    ///
+    /// Guest access faults.
+    pub fn push_request_on(
+        &mut self,
+        q: u64,
+        machine: &mut Machine,
+        op: BlkOp,
+        sector: u64,
+        count: u64,
+        buf_page: u64,
+    ) -> Result<u64, Fault> {
+        let ring = Gpa(gplayout::ring_page(q) * PAGE_SIZE);
+        let qs = &mut self.queues[q as usize];
+        let slot = slot_offset(qs.req_prod);
+        let id = qs.next_id;
+        qs.next_id += 1;
         let fields = [id, op as u64, sector, count, buf_page, BlkStatus::Pending as u64];
         for (i, v) in fields.iter().enumerate() {
             machine.guest_write_gpa(Gpa(ring.0 + slot + 8 * i as u64), &v.to_le_bytes(), false)?;
         }
-        let this_slot = self.req_prod;
-        self.req_prod += 1;
-        machine.guest_write_gpa(Gpa(ring.0 + OFF_REQ_PROD), &self.req_prod.to_le_bytes(), false)?;
+        let this_slot = qs.req_prod;
+        qs.req_prod += 1;
+        let req_prod = qs.req_prod;
+        machine.guest_write_gpa(Gpa(ring.0 + OFF_REQ_PROD), &req_prod.to_le_bytes(), false)?;
         Ok(this_slot)
     }
 
-    /// Reads the status of a previously pushed slot (guest mode).
+    /// Reads the status of a previously pushed slot on queue 0 (guest
+    /// mode).
     ///
     /// # Errors
     ///
     /// Guest access faults.
     pub fn slot_status(&self, machine: &mut Machine, slot: u64) -> Result<BlkStatus, Fault> {
-        let ring = Gpa(gplayout::RING_PAGE * PAGE_SIZE);
+        self.slot_status_on(0, machine, slot)
+    }
+
+    /// Reads the status of a previously pushed slot on queue `q`.
+    ///
+    /// # Errors
+    ///
+    /// Guest access faults.
+    pub fn slot_status_on(
+        &self,
+        q: u64,
+        machine: &mut Machine,
+        slot: u64,
+    ) -> Result<BlkStatus, Fault> {
+        let ring = Gpa(gplayout::ring_page(q) * PAGE_SIZE);
         let mut b = [0u8; 8];
         machine.guest_read_gpa(Gpa(ring.0 + slot_offset(slot) + 40), &mut b, false)?;
         Ok(match u64::from_le_bytes(b) {
@@ -269,5 +410,27 @@ mod tests {
     #[should_panic(expected = "need Kblk")]
     fn aesni_without_key_panics() {
         let _ = FrontEnd::new(IoPath::AesNi, None, 1);
+    }
+
+    #[test]
+    fn queue_layout_strides_through_mq_region() {
+        assert_eq!(gplayout::ring_page(0), gplayout::RING_PAGE);
+        assert_eq!(gplayout::buf_page(0, 0), gplayout::BUF_PAGE);
+        assert_eq!(gplayout::ring_page(1), gplayout::MQ_REGION_PAGE);
+        assert_eq!(gplayout::buf_page(1, 0), gplayout::MQ_REGION_PAGE + 1);
+        assert_eq!(gplayout::ring_page(2), gplayout::MQ_REGION_PAGE + gplayout::QUEUE_STRIDE);
+        // The last queue's last page stays inside a 256-page guest.
+        let last = gplayout::buf_page(gplayout::MAX_QUEUES - 1, gplayout::BUF_PAGES - 1);
+        assert!(last < 256, "queue region overflows the default guest: page {last}");
+    }
+
+    #[test]
+    fn added_queues_share_the_expanded_key() {
+        let mut fe = FrontEnd::new(IoPath::AesNi, Some([0x4Bu8; 16]), 1);
+        let q = fe.add_queue(2);
+        assert_eq!(q, 1);
+        assert_eq!(fe.num_queues(), 2);
+        assert_eq!(fe.port(1), 2);
+        assert!(fe.queues[1].kblk.is_some(), "queue 1 must hold a cloned schedule");
     }
 }

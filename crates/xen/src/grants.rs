@@ -75,6 +75,28 @@ pub fn read_entry_phys(
     Ok(GrantEntry::from_words(w))
 }
 
+/// Writes entry `index` directly to physical memory (hardware/firmware
+/// view; software goes through the CPU). Like [`read_entry_phys`], this
+/// is charge-free — the fault-injection adversary uses it to clobber
+/// grants without perturbing the modeled clock.
+///
+/// # Errors
+///
+/// Propagates physical access errors.
+pub fn write_entry_phys(
+    mc: &mut MemoryController,
+    table_base: Hpa,
+    index: u64,
+    entry: GrantEntry,
+) -> Result<(), HwError> {
+    assert!(index < GRANT_TABLE_ENTRIES, "grant index out of range");
+    let base = table_base.add(index * GRANT_ENTRY_SIZE);
+    for (i, word) in entry.to_words().into_iter().enumerate() {
+        mc.write_u64(base.add(8 * i as u64), word, EncSel::None)?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -211,6 +211,41 @@ pub trait Guardian {
         stream: u64,
     ) -> Result<(), GuardError>;
 
+    /// The PV I/O transform over a run of `sectors` contiguous sectors:
+    /// sector `s` moves from `src_pa + 512·s` to `dst_pa + 512·s` with
+    /// stream id `first_stream + s`. The default loops
+    /// [`Guardian::io_transform`] per sector; guardians with batched
+    /// crypto override it with a byte- and cycle-identical fast path.
+    ///
+    /// # Errors
+    ///
+    /// Faults and SEV command failures.
+    #[allow(clippy::too_many_arguments)]
+    fn io_transform_run(
+        &mut self,
+        plat: &mut Platform,
+        dom: DomainId,
+        dir: IoDir,
+        src_pa: Hpa,
+        dst_pa: Hpa,
+        sectors: u64,
+        first_stream: u64,
+    ) -> Result<(), GuardError> {
+        let sz = fidelius_crypto::modes::SECTOR_SIZE as u64;
+        for s in 0..sectors {
+            self.io_transform(
+                plat,
+                dom,
+                dir,
+                Hpa(src_pa.0 + s * sz),
+                Hpa(dst_pa.0 + s * sz),
+                sz,
+                first_stream + s,
+            )?;
+        }
+        Ok(())
+    }
+
     /// A domain was created (VMCB/NPT pages exist; frames may follow).
     ///
     /// # Errors

@@ -8,7 +8,7 @@
 //! so the protection semantics are exactly those of the simulated
 //! hardware.
 
-use crate::blkif::{BlkOp, BlkStatus, SECTORS_PER_PAGE};
+use crate::blkif::{BlkOp, BlkStatus, RING_SLOTS, SECTORS_PER_PAGE};
 use crate::domain::{DomainId, DomainState};
 use crate::frontend::{gplayout, FrontEnd, GuestPtAccess, IoPath};
 use crate::grants::read_entry_phys;
@@ -71,7 +71,44 @@ pub struct System {
     pub guardian: Box<dyn Guardian>,
     /// Per-domain front-end driver state.
     pub frontends: HashMap<DomainId, FrontEnd>,
+    /// Per-domain I/O queue plan (queues the guest was booted for;
+    /// absent = 1, the legacy single-queue window).
+    queue_plan: HashMap<DomainId, u64>,
+    pending_io_queues: Option<u64>,
     current_guest: Option<DomainId>,
+}
+
+/// One operation of a batched multi-request disk dispatch
+/// ([`System::disk_batch`]).
+#[derive(Debug, Clone)]
+pub enum BatchOp {
+    /// Write `data` (whole sectors) at `sector`.
+    Write {
+        /// Starting sector.
+        sector: u64,
+        /// Whole-sector payload.
+        data: Vec<u8>,
+    },
+    /// Read `count` sectors at `sector`.
+    Read {
+        /// Starting sector.
+        sector: u64,
+        /// Number of sectors.
+        count: u64,
+    },
+}
+
+/// Per-request `(status, read payload)` pairs from one batched
+/// dispatch, in submission order.
+pub type BatchResults = Vec<(BlkStatus, Option<Vec<u8>>)>;
+
+impl BatchOp {
+    fn sector_count(&self) -> u64 {
+        match self {
+            BatchOp::Write { data, .. } => (data.len() / SECTOR_SIZE) as u64,
+            BatchOp::Read { count, .. } => *count,
+        }
+    }
 }
 
 impl std::fmt::Debug for System {
@@ -111,7 +148,15 @@ impl System {
         let (mut plat, boot) = Platform::boot_with_firmware(dram_size, seed, fw_mode)?;
         let xen = Hypervisor::init(&mut plat, boot)?;
         guardian.late_launch(&mut plat, &xen.late_launch_info())?;
-        Ok(System { plat, xen, guardian, frontends: HashMap::new(), current_guest: None })
+        Ok(System {
+            plat,
+            xen,
+            guardian,
+            frontends: HashMap::new(),
+            queue_plan: HashMap::new(),
+            pending_io_queues: None,
+            current_guest: None,
+        })
     }
 
     /// The domain currently in guest mode, if any.
@@ -265,13 +310,12 @@ impl System {
             | FaultAction::SpliceCiphertext { page_hint } => {
                 let kind = fault.kind();
                 let splice = matches!(fault, FaultAction::SpliceCiphertext { .. });
+                let plan = self.queue_plan.get(&dom).copied().unwrap_or(1);
                 let d = self.xen.domain(dom)?;
-                // Only private pages: shared ring/buffer pages are
-                // hypervisor-writable by design and prove nothing.
-                let shared_lo = gplayout::RING_PAGE;
-                let shared_hi = gplayout::BUF_PAGE + gplayout::BUF_PAGES;
+                // Only private pages: shared ring/buffer pages (any queue)
+                // are hypervisor-writable by design and prove nothing.
                 let private: Vec<Hpa> = (0..d.mem_pages())
-                    .filter(|p| *p < shared_lo || *p >= shared_hi)
+                    .filter(|p| !Self::shared_io_page(plan, *p))
                     .filter_map(|p| d.frame_of(p))
                     .collect();
                 if private.is_empty() {
@@ -445,6 +489,8 @@ impl System {
     /// Creation/SEV/boot failures.
     pub fn create_guest(&mut self, cfg: GuestConfig) -> Result<DomainId, XenError> {
         let dom = self.xen.create_domain(&mut self.plat, &mut *self.guardian, cfg.mem_pages)?;
+        let plan = self.pending_io_queues.take().unwrap_or(1);
+        self.queue_plan.insert(dom, plan);
         self.xen.populate_all(&mut self.plat, &mut *self.guardian, dom)?;
 
         // Load the kernel image into guest frames through the hypervisor's
@@ -490,6 +536,51 @@ impl System {
         Ok(dom)
     }
 
+    /// Like [`System::create_guest`], but boots the guest with room for
+    /// `io_queues` block-device queues: queue 0 keeps the legacy shared
+    /// window, queues 1.. get their pages in [`gplayout::MQ_REGION_PAGE`]
+    /// mapped shared (no C-bit) so dom0 can reach the rings and buffers.
+    ///
+    /// # Errors
+    ///
+    /// Creation/SEV/boot failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `io_queues` is out of `1..=MAX_QUEUES` or the guest is
+    /// too small for the queue region.
+    pub fn create_guest_mq(
+        &mut self,
+        cfg: GuestConfig,
+        io_queues: u64,
+    ) -> Result<DomainId, XenError> {
+        assert!(
+            (1..=gplayout::MAX_QUEUES).contains(&io_queues),
+            "io_queues must be in 1..={}",
+            gplayout::MAX_QUEUES
+        );
+        if io_queues > 1 {
+            let top = gplayout::ring_page(io_queues - 1) + gplayout::QUEUE_STRIDE;
+            assert!(cfg.mem_pages >= top, "guest too small for {io_queues} queues");
+        }
+        self.pending_io_queues = Some(io_queues);
+        let result = self.create_guest(cfg);
+        self.pending_io_queues = None;
+        result
+    }
+
+    /// Whether guest-physical `page` belongs to the dom0-shared I/O window
+    /// of a guest booted for `plan` queues. Exactly the legacy
+    /// ring+buffer window for single-queue guests.
+    fn shared_io_page(plan: u64, page: u64) -> bool {
+        if (gplayout::RING_PAGE..gplayout::BUF_PAGE + gplayout::BUF_PAGES).contains(&page) {
+            return true;
+        }
+        plan > 1
+            && page >= gplayout::MQ_REGION_PAGE
+            && page < gplayout::MQ_REGION_PAGE + (plan - 1) * gplayout::QUEUE_STRIDE
+    }
+
     /// The guest kernel's early boot: build stage-1 page tables (identity
     /// map; private pages with the C-bit for SEV guests) inside guest
     /// memory.
@@ -506,10 +597,9 @@ impl System {
         let mut acc = GuestPtAccess::new(&mut self.plat.machine, sev);
         let mapper = Mapper::create(&mut acc, &mut pt_alloc)?;
         debug_assert_eq!(mapper.root().0, gplayout::PT_POOL_PAGE * PAGE_SIZE);
-        let shared_lo = gplayout::RING_PAGE;
-        let shared_hi = gplayout::BUF_PAGE + gplayout::BUF_PAGES;
+        let plan = self.queue_plan.get(&dom).copied().unwrap_or(1);
         for page in 0..mem_pages {
-            let shared = page >= shared_lo && page < shared_hi;
+            let shared = Self::shared_io_page(plan, page);
             let c = if sev && !shared { PTE_C_BIT } else { 0 };
             mapper.map(
                 &mut acc,
@@ -603,6 +693,74 @@ impl System {
 
         let port = self.xen.events.bind(dom, DomainId::DOM0);
         self.frontends.insert(dom, FrontEnd::new(io_path, kblk, port));
+
+        // Extra queues for guests booted with a multi-queue plan: same
+        // grant/XenStore/attach dance per queue, pages from the MQ region.
+        let plan = self.queue_plan.get(&dom).copied().unwrap_or(1);
+        assert!(
+            io_path != IoPath::SevApi || plan == 1,
+            "SEV-API path is single-queue (Md window is not striped)"
+        );
+        for q in 1..plan {
+            self.setup_extra_queue(dom, q)?;
+        }
+        Ok(())
+    }
+
+    /// Grants, publishes and attaches queue `q` (> 0) of `dom`'s block
+    /// device, then binds its event channel.
+    fn setup_extra_queue(&mut self, dom: DomainId, q: u64) -> Result<(), XenError> {
+        let ring_page = gplayout::ring_page(q);
+        let _ =
+            self.hypercall(dom, HC_PRE_SHARING_OP, [0, ring_page, gplayout::QUEUE_STRIDE, 1])?;
+        let ring_ref =
+            self.hypercall(dom, HC_GRANT_TABLE_OP, [GrantOp::GrantAccess as u64, 0, ring_page, 1])?;
+        if ring_ref >= crate::grants::GRANT_TABLE_ENTRIES {
+            return Err(XenError::BadGrant(ring_ref));
+        }
+        let mut buf_refs = Vec::new();
+        for i in 0..gplayout::BUF_PAGES {
+            let r = self.hypercall(
+                dom,
+                HC_GRANT_TABLE_OP,
+                [GrantOp::GrantAccess as u64, 0, gplayout::buf_page(q, i), 1],
+            )?;
+            if r >= crate::grants::GRANT_TABLE_ENTRIES {
+                return Err(XenError::BadGrant(r));
+            }
+            buf_refs.push(r);
+        }
+        self.ensure_host()?;
+
+        let prefix = format!("/local/domain/{}/device/vbd/queue/{q}", dom.0);
+        self.xen.xenstore.write(dom, &format!("{prefix}/ring-ref"), &ring_ref.to_string());
+        for (i, r) in buf_refs.iter().enumerate() {
+            self.xen.xenstore.write(dom, &format!("{prefix}/buf-ref/{i}"), &r.to_string());
+        }
+
+        let ring_ref: u64 = self
+            .xen
+            .xenstore
+            .read(&format!("{prefix}/ring-ref"))
+            .and_then(|s| s.parse().ok())
+            .ok_or(XenError::BadBlockRequest)?;
+        let ring_frame = self.backend_map_grant(ring_ref)?;
+        let mut bufs = Vec::new();
+        for i in 0..gplayout::BUF_PAGES {
+            let r: u64 = self
+                .xen
+                .xenstore
+                .read(&format!("{prefix}/buf-ref/{i}"))
+                .and_then(|s| s.parse().ok())
+                .ok_or(XenError::BadBlockRequest)?;
+            bufs.push((self.backend_map_grant(r)?, r));
+        }
+        let table = self.xen.grant_table_pa;
+        self.xen.backend.attach_queue_with_grants(q as usize, (ring_frame, ring_ref), bufs, table);
+        let port = self.xen.events.bind(dom, DomainId::DOM0);
+        let fe = self.frontends.get_mut(&dom).expect("front-end attached with queue 0");
+        let added = fe.add_queue(port);
+        debug_assert_eq!(added, q);
         Ok(())
     }
 
@@ -671,7 +829,7 @@ impl System {
         let fe = self.frontends.get_mut(&dom).ok_or(XenError::BadBlockRequest)?;
         fe.stage_write_data(&mut self.plat.machine, sector, data)?;
         let slot = fe.push_request(&mut self.plat.machine, BlkOp::Write, sector, count, 0)?;
-        let port = fe.port;
+        let port = fe.port(0);
         let uses_md = fe.uses_md();
         self.notify_backend(dom, port)?;
         self.ensure_host()?;
@@ -704,7 +862,7 @@ impl System {
         self.ensure_guest(dom)?;
         let fe = self.frontends.get_mut(&dom).ok_or(XenError::BadBlockRequest)?;
         let slot = fe.push_request(&mut self.plat.machine, BlkOp::Read, sector, count, 0)?;
-        let port = fe.port;
+        let port = fe.port(0);
         let uses_md = fe.uses_md();
         self.notify_backend(dom, port)?;
         self.ensure_host()?;
@@ -731,9 +889,35 @@ impl System {
         sector: u64,
         count: u64,
     ) -> Result<(), XenError> {
-        for s in 0..count {
-            let page_idx = s / SECTORS_PER_PAGE;
+        self.sev_io_transform_at(dom, dir, sector, count, 0)
+    }
+
+    /// The transform with the request's staging window starting at buffer
+    /// page `buf_page` (batched dispatch places requests side by side).
+    ///
+    /// Contiguous in-page sector runs go through the guardian's batched
+    /// [`Guardian::io_transform_run`] entry point — one dispatch per page
+    /// instead of one per sector, with ciphertext and modeled cycles
+    /// bit-identical by the firmware's batch contract. When the back-end
+    /// is in `drain_one_at_a_time` oracle mode, this path also falls back
+    /// to the per-sector loop so the oracle covers the whole datapath.
+    ///
+    /// [`Guardian::io_transform_run`]: crate::guardian::Guardian::io_transform_run
+    fn sev_io_transform_at(
+        &mut self,
+        dom: DomainId,
+        dir: IoDir,
+        sector: u64,
+        count: u64,
+        buf_page: u64,
+    ) -> Result<(), XenError> {
+        let oracle = self.xen.backend.drain_one_at_a_time();
+        let mut s = 0u64;
+        while s < count {
+            let page_idx = buf_page + s / SECTORS_PER_PAGE;
             let in_page = (s % SECTORS_PER_PAGE) * SECTOR_SIZE as u64;
+            let run =
+                if oracle { 1 } else { (SECTORS_PER_PAGE - s % SECTORS_PER_PAGE).min(count - s) };
             let md_frame = self
                 .xen
                 .domain(dom)?
@@ -748,17 +932,145 @@ impl System {
                 IoDir::GuestToShared => (md_frame.add(in_page), buf_frame.add(in_page)),
                 IoDir::SharedToGuest => (buf_frame.add(in_page), md_frame.add(in_page)),
             };
-            self.guardian.io_transform(
-                &mut self.plat,
-                dom,
-                dir,
-                src,
-                dst,
-                SECTOR_SIZE as u64,
-                sector + s,
-            )?;
+            if oracle {
+                self.guardian.io_transform(
+                    &mut self.plat,
+                    dom,
+                    dir,
+                    src,
+                    dst,
+                    SECTOR_SIZE as u64,
+                    sector + s,
+                )?;
+            } else {
+                self.guardian.io_transform_run(
+                    &mut self.plat,
+                    dom,
+                    dir,
+                    src,
+                    dst,
+                    run,
+                    sector + s,
+                )?;
+            }
+            s += run;
         }
         Ok(())
+    }
+
+    /// Dispatches a whole batch of requests on queue `q` of `dom`'s block
+    /// device as one ring window: stage everything, publish every
+    /// descriptor, notify once, let the back-end drain the window in one
+    /// batched pass. Returns per-request `(status, read_data)` in order —
+    /// a structurally bad request yields `BlkStatus::Error` without
+    /// failing its neighbours, exactly like the one-at-a-time path.
+    ///
+    /// The batch must fit the ring ([`RING_SLOTS`]) and the queue's buffer
+    /// window ([`gplayout::BUF_PAGES`] pages; each request occupies whole
+    /// pages).
+    ///
+    /// # Errors
+    ///
+    /// Fail-closed refusals from the drain, world-switch failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the batch exceeds the ring or buffer capacity, or `q`
+    /// is not an attached queue.
+    pub fn disk_batch(
+        &mut self,
+        dom: DomainId,
+        q: u64,
+        ops: &[BatchOp],
+    ) -> Result<BatchResults, XenError> {
+        assert!(ops.len() as u64 <= RING_SLOTS, "batch exceeds ring capacity");
+        let pages_needed: u64 =
+            ops.iter().map(|op| op.sector_count().div_ceil(SECTORS_PER_PAGE)).sum();
+        assert!(pages_needed <= gplayout::BUF_PAGES, "batch exceeds buffer window");
+        self.ensure_guest(dom)?;
+        let fe = self.frontends.get_mut(&dom).ok_or(XenError::BadBlockRequest)?;
+        assert!(q < fe.num_queues(), "queue {q} not attached");
+        let uses_md = fe.uses_md();
+
+        // Stage and publish every request back to back in the window.
+        let mut cursor = 0u64;
+        let mut slots = Vec::with_capacity(ops.len());
+        for op in ops {
+            let slot = match op {
+                BatchOp::Write { sector, data } => {
+                    assert_eq!(data.len() % SECTOR_SIZE, 0, "whole sectors only");
+                    fe.stage_write_data_at(q, &mut self.plat.machine, *sector, data, cursor)?;
+                    fe.push_request_on(
+                        q,
+                        &mut self.plat.machine,
+                        BlkOp::Write,
+                        *sector,
+                        op.sector_count(),
+                        cursor,
+                    )?
+                }
+                BatchOp::Read { sector, count } => fe.push_request_on(
+                    q,
+                    &mut self.plat.machine,
+                    BlkOp::Read,
+                    *sector,
+                    *count,
+                    cursor,
+                )?,
+            };
+            slots.push((slot, cursor));
+            cursor += op.sector_count().div_ceil(SECTORS_PER_PAGE);
+        }
+        let port = fe.port(q);
+        self.notify_backend(dom, port)?;
+        self.ensure_host()?;
+        if uses_md {
+            for (op, (_, buf_page)) in ops.iter().zip(&slots) {
+                if let BatchOp::Write { sector, .. } = op {
+                    self.sev_io_transform_at(
+                        dom,
+                        IoDir::GuestToShared,
+                        *sector,
+                        op.sector_count(),
+                        *buf_page,
+                    )?;
+                }
+            }
+        }
+        self.xen.backend.process_queue(&mut self.plat, q as usize)?;
+        if uses_md {
+            for (op, (_, buf_page)) in ops.iter().zip(&slots) {
+                if let BatchOp::Read { sector, count } = op {
+                    self.sev_io_transform_at(
+                        dom,
+                        IoDir::SharedToGuest,
+                        *sector,
+                        *count,
+                        *buf_page,
+                    )?;
+                }
+            }
+        }
+        self.ensure_guest(dom)?;
+        let fe = self.frontends.get_mut(&dom).ok_or(XenError::BadBlockRequest)?;
+        let mut results = Vec::with_capacity(ops.len());
+        for (op, (slot, buf_page)) in ops.iter().zip(&slots) {
+            let status = fe.slot_status_on(q, &mut self.plat.machine, *slot)?;
+            let data = match op {
+                BatchOp::Read { sector, count } if status == BlkStatus::Ok => {
+                    Some(fe.retrieve_read_data_at(
+                        q,
+                        &mut self.plat.machine,
+                        *sector,
+                        *count,
+                        *buf_page,
+                    )?)
+                }
+                _ => None,
+            };
+            results.push((status, data));
+        }
+        Ok(results)
     }
 
     /// Shuts a guest down (guest-initiated).
@@ -771,6 +1083,7 @@ impl System {
         let action = self.exit_and_handle(ExitCode::Shutdown, 0, 0)?;
         debug_assert_eq!(action, ExitAction::Destroyed);
         self.frontends.remove(&dom);
+        self.queue_plan.remove(&dom);
         Ok(())
     }
 }
@@ -1041,6 +1354,185 @@ mod tests {
             .events()
             .iter()
             .any(|e| matches!(e.event, Event::Denial { reason: DenialReason::GrantRevokedMidIo })));
+    }
+
+    /// Test injector: lets `skip` crossings of `point` pass, then fires
+    /// `action` at the next `left` crossings.
+    #[derive(Debug)]
+    struct FireAt {
+        point: InjectPoint,
+        action: FaultAction,
+        skip: u32,
+        left: u32,
+    }
+
+    impl fidelius_hw::inject::FaultInjector for FireAt {
+        fn decide(&mut self, point: InjectPoint) -> Option<FaultAction> {
+            if point != self.point || self.left == 0 {
+                return None;
+            }
+            if self.skip > 0 {
+                self.skip -= 1;
+                return None;
+            }
+            self.left -= 1;
+            Some(self.action)
+        }
+    }
+
+    #[test]
+    fn multi_queue_roundtrip_isolates_queues() {
+        let mut sys = vanilla();
+        let dom = sys.create_guest_mq(GuestConfig::default(), 4).unwrap();
+        let kblk = [0x4Bu8; 16];
+        sys.setup_block_device(dom, vec![0u8; 256 * SECTOR_SIZE], IoPath::AesNi, Some(kblk))
+            .unwrap();
+        assert_eq!(sys.xen.backend.num_queues(), 4);
+        // Distinct payloads through distinct queues, batched.
+        for q in 0..4u64 {
+            let data = vec![0x10 + q as u8; 2 * SECTOR_SIZE];
+            let results = sys
+                .disk_batch(dom, q, &[BatchOp::Write { sector: 8 * q, data: data.clone() }])
+                .unwrap();
+            assert_eq!(results[0].0, BlkStatus::Ok);
+        }
+        for q in 0..4u64 {
+            let results =
+                sys.disk_batch(dom, q, &[BatchOp::Read { sector: 8 * q, count: 2 }]).unwrap();
+            let (status, data) = &results[0];
+            assert_eq!(*status, BlkStatus::Ok);
+            assert_eq!(data.as_deref(), Some(vec![0x10 + q as u8; 2 * SECTOR_SIZE].as_slice()));
+        }
+        // The driver domain saw only ciphertext.
+        assert!(sys.xen.backend.disk().iter().take(SECTOR_SIZE).any(|b| *b != 0x10));
+    }
+
+    #[test]
+    fn batch_mixes_ok_and_error_requests() {
+        let mut sys = vanilla();
+        let dom = sys.create_guest(GuestConfig::default()).unwrap();
+        sys.setup_block_device(dom, vec![0u8; 16 * SECTOR_SIZE], IoPath::Plain, None).unwrap();
+        let results = sys
+            .disk_batch(
+                dom,
+                0,
+                &[
+                    BatchOp::Write { sector: 0, data: vec![7u8; SECTOR_SIZE] },
+                    BatchOp::Read { sector: 500, count: 1 }, // out of range
+                    BatchOp::Read { sector: 0, count: 1 },
+                ],
+            )
+            .unwrap();
+        assert_eq!(results[0].0, BlkStatus::Ok);
+        assert_eq!(results[1].0, BlkStatus::Error);
+        assert!(results[1].1.is_none());
+        assert_eq!(results[2].0, BlkStatus::Ok);
+        assert_eq!(results[2].1.as_deref(), Some(vec![7u8; SECTOR_SIZE].as_slice()));
+    }
+
+    #[test]
+    fn mid_drain_grant_revoke_fails_closed_and_rolls_back() {
+        let mut sys = vanilla();
+        let dom = sys.create_guest(GuestConfig::default()).unwrap();
+        sys.setup_block_device(dom, vec![0u8; 16 * SECTOR_SIZE], IoPath::Plain, None).unwrap();
+        sys.disk_write(dom, 0, &vec![0xAAu8; SECTOR_SIZE]).unwrap();
+        let before = sys.xen.backend.disk().to_vec();
+        // Revoke all of the queue's grants at the second request boundary:
+        // the first request's disk mutation must be rolled back.
+        sys.plat.machine.inject.install(Box::new(FireAt {
+            point: InjectPoint::BlkifDrain,
+            action: FaultAction::RevokeGrantsMidDrain,
+            skip: 1,
+            left: 1,
+        }));
+        let err = sys.disk_batch(
+            dom,
+            0,
+            &[
+                BatchOp::Write { sector: 0, data: vec![0xBBu8; SECTOR_SIZE] },
+                BatchOp::Write { sector: 1, data: vec![0xCCu8; SECTOR_SIZE] },
+            ],
+        );
+        assert!(
+            matches!(err, Err(XenError::FailClosed(DenialReason::GrantRevokedMidIo))),
+            "expected typed fail-closed, got {err:?}"
+        );
+        assert_eq!(sys.xen.backend.disk(), before.as_slice(), "partial drain must roll back");
+        let events = sys.plat.machine.trace.events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.event, Event::Denial { reason: DenialReason::GrantRevokedMidIo })));
+        assert!(events.iter().any(|e| matches!(
+            e.event,
+            Event::FaultOutcome {
+                kind: FaultKind::GrantRevokeMidDrain,
+                outcome: InjectionOutcome::FailClosed(DenialReason::GrantRevokedMidIo),
+            }
+        )));
+    }
+
+    #[test]
+    fn mid_drain_ring_corruption_fails_closed_and_rolls_back() {
+        let mut sys = vanilla();
+        let dom = sys.create_guest(GuestConfig::default()).unwrap();
+        sys.setup_block_device(dom, vec![0u8; 16 * SECTOR_SIZE], IoPath::Plain, None).unwrap();
+        let before = sys.xen.backend.disk().to_vec();
+        sys.plat.machine.inject.install(Box::new(FireAt {
+            point: InjectPoint::BlkifDrain,
+            action: FaultAction::CorruptRingIndex { xor: 0x80_0001 },
+            skip: 0,
+            left: 1,
+        }));
+        let err = sys.disk_batch(
+            dom,
+            0,
+            &[BatchOp::Write { sector: 2, data: vec![0xDDu8; SECTOR_SIZE] }],
+        );
+        assert!(
+            matches!(err, Err(XenError::FailClosed(DenialReason::RingIndexTampered))),
+            "expected typed fail-closed, got {err:?}"
+        );
+        assert_eq!(sys.xen.backend.disk(), before.as_slice(), "partial drain must roll back");
+        let events = sys.plat.machine.trace.events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.event, Event::Denial { reason: DenialReason::RingIndexTampered })));
+        assert!(events.iter().any(|e| matches!(
+            e.event,
+            Event::FaultOutcome {
+                kind: FaultKind::RingIndexCorrupt,
+                outcome: InjectionOutcome::FailClosed(DenialReason::RingIndexTampered),
+            }
+        )));
+    }
+
+    #[test]
+    fn batched_drain_matches_oracle_cycles_and_bytes() {
+        // Smoke version of the full differential proptest: the same op
+        // sequence through the batched drain and the one-at-a-time oracle
+        // must produce identical disk bytes, statuses, read data and
+        // modeled cycle totals.
+        let run = |oracle: bool| {
+            let mut sys = vanilla();
+            let dom = sys.create_guest(GuestConfig::default()).unwrap();
+            let kblk = [0x4Bu8; 16];
+            sys.setup_block_device(dom, vec![0u8; 64 * SECTOR_SIZE], IoPath::AesNi, Some(kblk))
+                .unwrap();
+            sys.xen.backend.set_drain_one_at_a_time(oracle);
+            let ops = vec![
+                BatchOp::Write { sector: 0, data: vec![1u8; 3 * SECTOR_SIZE] },
+                BatchOp::Write { sector: 2, data: vec![2u8; 2 * SECTOR_SIZE] }, // overlap
+                BatchOp::Read { sector: 1, count: 9 },                          // cross-page
+                BatchOp::Read { sector: 200, count: 1 },                        // out of range
+            ];
+            let results = sys.disk_batch(dom, 0, &ops).unwrap();
+            (results, sys.xen.backend.disk().to_vec(), sys.plat.machine.cycles.total_f64())
+        };
+        let (batched, disk_b, cycles_b) = run(false);
+        let (oracle, disk_o, cycles_o) = run(true);
+        assert_eq!(batched, oracle, "statuses/read data must be identical");
+        assert_eq!(disk_b, disk_o, "disk bytes must be identical");
+        assert_eq!(cycles_b, cycles_o, "modeled cycles must be bit-identical");
     }
 
     #[test]
