@@ -5,7 +5,10 @@
 //!
 //! * **throughput** entries (`micro_memstream`): lines with `bench` and
 //!   `mb_per_s`; a drop of more than `--max-drop-pct` (default 30%)
-//!   below the baseline fails;
+//!   below the baseline fails. When the entry also carries a
+//!   `cycles_per_byte` figure (the *modeled* cost of the same traffic),
+//!   it must match the baseline **exactly** — the simulator is
+//!   deterministic, so modeled drift is a behaviour change, never noise;
 //! * **latency** entries (sweep wall times from `--timing`:
 //!   `matrix_wall`, `fig5_wall`, `fig6_wall`, ...): lines with `bench`
 //!   and `wall_ns` but no `mb_per_s`; a rise of more than
@@ -37,8 +40,10 @@ fn arg_value(name: &str) -> Option<String> {
 /// One baseline/current entry.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Entry {
-    /// MB/s — higher is better, guarded with a floor.
-    Throughput(f64),
+    /// MB/s — higher is better, guarded with a floor. The optional
+    /// modeled cycles-per-byte figure is deterministic and guarded with
+    /// *exact* equality: wall clock may drift, modeled cost may not.
+    Throughput(f64, Option<f64>),
     /// Wall nanoseconds — lower is better, guarded with a ceiling.
     Latency(f64),
 }
@@ -51,7 +56,8 @@ fn entries(doc: &str) -> Result<BTreeMap<String, Entry>, String> {
     for line in lines {
         let Some(bench) = line.get("bench").and_then(Json::as_str) else { continue };
         if let Some(mbs) = line.get("mb_per_s").and_then(Json::as_f64) {
-            out.insert(bench.to_string(), Entry::Throughput(mbs));
+            let cpb = line.get("cycles_per_byte").and_then(Json::as_f64);
+            out.insert(bench.to_string(), Entry::Throughput(mbs, cpb));
         } else if let Some(wall) = line.get("wall_ns").and_then(Json::as_f64) {
             out.insert(bench.to_string(), Entry::Latency(wall));
         }
@@ -89,7 +95,7 @@ fn run() -> Result<bool, String> {
             continue;
         };
         match (base, cur) {
-            (Entry::Throughput(base_mbs), Entry::Throughput(cur_mbs)) => {
+            (Entry::Throughput(base_mbs, base_cpb), Entry::Throughput(cur_mbs, cur_cpb)) => {
                 let floor = base_mbs * (1.0 - max_drop_pct / 100.0);
                 let verdict = if cur_mbs < floor { "FAIL" } else { "ok  " };
                 println!(
@@ -97,6 +103,27 @@ fn run() -> Result<bool, String> {
                      (floor {floor:.2} at -{max_drop_pct}%)"
                 );
                 ok &= cur_mbs >= floor;
+                // Modeled cost is deterministic: any drift at all is a
+                // real behaviour change, not machine noise — exact match
+                // required whenever the baseline recorded the figure.
+                if let Some(base) = base_cpb {
+                    match cur_cpb {
+                        Some(cur) if cur == base => {
+                            println!("ok   {bench}: modeled {cur} cycles/byte unchanged");
+                        }
+                        Some(cur) => {
+                            println!(
+                                "FAIL {bench}: modeled {cur} cycles/byte, baseline {base} \
+                                 (exact match required)"
+                            );
+                            ok = false;
+                        }
+                        None => {
+                            println!("FAIL {bench}: modeled cycles/byte missing from current run");
+                            ok = false;
+                        }
+                    }
+                }
             }
             (Entry::Latency(base_ns), Entry::Latency(cur_ns)) => {
                 let ceiling = base_ns * (1.0 + max_rise_pct / 100.0);

@@ -153,13 +153,17 @@ fn run_scenario(s: &Scenario, iters: u32, len: usize) -> (Artifact, Option<Throu
         modeled_cycles: cycles,
         modeled_mb_per_s: ((bytes as f64 / (cycles / CLOCK_HZ) / 1e6) * 100.0).round() / 100.0,
     };
-    // Wall-clock pass: only when asked for, on its own fresh system.
+    // Wall-clock pass: only when asked for, on its own fresh system. The
+    // attached cycles-per-byte figure comes from the deterministic
+    // artifact pass above, so the guard can pin the modeled cost exactly
+    // while the wall number stays free to drift.
     let timing = timing_mode().then(|| {
         let batches = (len as u64 / BATCH_BYTES).max(2);
         let (mut sys, dom) = build(s).expect("build");
         measure_throughput(s.name, batches * BATCH_BYTES, iters, || {
             stream(&mut sys, dom, s, batches);
         })
+        .with_cycles_per_byte(artifact.modeled_cycles / artifact.bytes as f64)
     });
     (artifact, timing)
 }

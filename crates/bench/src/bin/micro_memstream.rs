@@ -16,8 +16,13 @@
 //!   consecutive blocks with an incrementally derived tweak.
 //! - `ctr128`               — transport CTR mode (SEND/RECEIVE payloads).
 //! - `sector_cipher`        — the `Kblk` disk path, sector by sector.
-//! - `soft_aes_ctr`         — the deliberately software-shaped AES the
-//!   paper charges >20x for (table-assisted but not T-table).
+//! - `soft_aes_ctr`         — CTR over the software AES the paper
+//!   charges >20x for. Since the raw-speed pass it delegates its bulk
+//!   work to the interleaved T-table engine (same FIPS-197 bytes; the
+//!   modeled `soft_aes_line` charge is what stays >20x).
+//! - `soft_aes_interleaved` — the 8-way interleaved T-table block path
+//!   alone (consecutive blocks, no mode overhead): the ceiling the
+//!   interleaving buys every cipher built on it.
 //! - `guest_gpa_stream`     — an SEV guest linearly sweeps a 1 MiB
 //!   guest-physical window the way a VM actually touches its RAM: small
 //!   accesses through an *identity* virtual mapping, so every access
@@ -43,6 +48,7 @@
 //! checks, not for regenerating the committed baseline.
 
 use fidelius_bench::{arg_u64, emit_throughput, measure_throughput, note, Throughput};
+use fidelius_crypto::aes::Aes128;
 use fidelius_crypto::aes_soft::SoftAes128;
 use fidelius_crypto::modes::{Ctr128, PaTweakCipher, SectorCipher, SECTOR_SIZE};
 use fidelius_hw::cpu::{Machine, PrivOp};
@@ -114,6 +120,16 @@ fn soft_aes_ctr(iters: u32, len: usize) -> Throughput {
     let soft = SoftAes128::new(&[7; 16]);
     measure_throughput("soft_aes_ctr", len as u64, iters, || {
         soft.ctr_apply(0x1234, &mut buf);
+    })
+}
+
+/// The interleaved T-table block path by itself: 8 blocks in flight per
+/// round-loop iteration, consecutive blocks, no mode around it.
+fn soft_aes_interleaved(iters: u32, len: usize) -> Throughput {
+    let mut buf = vec![0xA5u8; len];
+    let aes = Aes128::new(&[7; 16]);
+    measure_throughput("soft_aes_interleaved", len as u64, iters, || {
+        aes.encrypt_blocks(&mut buf);
     })
 }
 
@@ -200,13 +216,22 @@ fn run_guest_stream(
     let wbuf = [0xA5u8; STREAM_ACCESS];
     let mut rbuf = [0u8; STREAM_ACCESS];
     let steps = len / (2 * STREAM_ACCESS);
-    measure_throughput(name, len as u64, iters, || {
+    let mut pass = |m: &mut fidelius_hw::cpu::Machine| {
         for s in 0..steps {
             let va = Gva(((s * 2 * STREAM_ACCESS) % window) as u64);
             m.guest_write(va, &wbuf).expect("guest write");
             m.guest_read(va, &mut rbuf).expect("guest read");
         }
-    })
+    };
+    // Modeled cost of one steady-state pass (after a warm-up pass settles
+    // the TLB): deterministic, so the regression guard holds it to exact
+    // equality while the wall numbers below are free to drift.
+    pass(&mut m);
+    let before = m.cycles.total_f64();
+    pass(&mut m);
+    let modeled = m.cycles.total_f64() - before;
+    measure_throughput(name, len as u64, iters, || pass(&mut m))
+        .with_cycles_per_byte(modeled / len as f64)
 }
 
 fn guest_gpa_stream(iters: u32, len: usize) -> Throughput {
@@ -232,13 +257,14 @@ fn main() {
     let len = (mb * 1024 * 1024) as usize;
     note!("== Simulator memory-path throughput (host wall-clock, {mb} MiB buffer, {threads} threads) ==");
 
-    let scenarios: [fn(u32, usize) -> Throughput; 10] = [
+    let scenarios: [fn(u32, usize) -> Throughput; 11] = [
         memctrl_guest_stream,
         memctrl_unaligned,
         pa_tweak_stream,
         ctr128,
         sector_cipher,
         soft_aes_ctr,
+        soft_aes_interleaved,
         guest_gpa_stream,
         guest_gpa_stream_walk,
         guest_virt_stream,

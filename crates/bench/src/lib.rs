@@ -168,6 +168,20 @@ pub struct Throughput {
     /// Throughput derived from the median: `bytes / wall_ns`, in MB/s
     /// (decimal megabytes, 10^6 bytes).
     pub mb_per_s: f64,
+    /// Modeled cycles per byte for the same traffic, when the scenario
+    /// drives a simulated machine (None for pure host-crypto loops).
+    /// Deterministic — the simulator charges the same costs every run —
+    /// so `bench_guard` asserts it *unchanged* against the baseline,
+    /// separating modeled-cost regressions from wall-clock noise.
+    pub cycles_per_byte: Option<f64>,
+}
+
+impl Throughput {
+    /// Attaches the modeled cycles-per-byte figure (see the field doc).
+    pub fn with_cycles_per_byte(mut self, cycles_per_byte: f64) -> Self {
+        self.cycles_per_byte = Some(cycles_per_byte);
+        self
+    }
 }
 
 /// Measures `f` (which processes `bytes` bytes per call): one warm-up
@@ -186,26 +200,38 @@ pub fn measure_throughput(bench: &str, bytes: u64, iters: u32, mut f: impl FnMut
         min_ns: stats.min_ns,
         max_ns: stats.max_ns,
         mb_per_s,
+        cycles_per_byte: None,
     }
 }
 
 /// Emits a throughput measurement: a `{"bench": ..., "wall_ns": ...,
 /// "min_ns": ..., "max_ns": ..., "mb_per_s": ...}` JSON line under
-/// `--json`, a text line otherwise.
+/// `--json` (plus `"cycles_per_byte"` when the scenario reports its
+/// modeled cost), a text line otherwise.
 pub fn emit_throughput(t: &Throughput) {
     if json_mode() {
-        let json = Json::obj(vec![
+        let mut fields = vec![
             ("bench", Json::str(t.bench.as_str())),
             ("bytes", Json::Num(t.bytes as f64)),
             ("wall_ns", Json::Num(t.wall_ns as f64)),
             ("min_ns", Json::Num(t.min_ns as f64)),
             ("max_ns", Json::Num(t.max_ns as f64)),
             ("mb_per_s", Json::Num((t.mb_per_s * 100.0).round() / 100.0)),
-        ]);
-        println!("{json}");
+        ];
+        if let Some(cpb) = t.cycles_per_byte {
+            // Emitted at full precision (the writer round-trips f64
+            // exactly): the guard compares this figure for equality, not
+            // against a tolerance band.
+            fields.push(("cycles_per_byte", Json::Num(cpb)));
+        }
+        println!("{}", Json::obj(fields));
     } else {
+        let modeled = match t.cycles_per_byte {
+            Some(cpb) => format!(", {cpb:.4} cycles/byte modeled"),
+            None => String::new(),
+        };
         println!(
-            "  {:<24} {:>10.2} MB/s  (median {} ns, min {} ns, max {} ns / {} bytes per iteration)",
+            "  {:<24} {:>10.2} MB/s  (median {} ns, min {} ns, max {} ns / {} bytes per iteration{modeled})",
             t.bench, t.mb_per_s, t.wall_ns, t.min_ns, t.max_ns, t.bytes
         );
     }

@@ -99,6 +99,7 @@ fn micro_memstream_json_round_trips() {
             "ctr128",
             "sector_cipher",
             "soft_aes_ctr",
+            "soft_aes_interleaved",
             "guest_gpa_stream",
             "guest_gpa_stream_walk",
             "guest_virt_stream",

@@ -27,21 +27,31 @@ pub struct Finding {
     pub pattern: usize,
 }
 
+/// Every policed pattern begins with the two-byte-opcode escape.
+const ANCHOR: u8 = 0x0F;
+
 /// Scans `code` for every occurrence of every pattern, at *every* byte
 /// offset (unaligned occurrences included).
+///
+/// All patterns share the `0x0F` two-byte-opcode escape as their first
+/// byte, so one pass visits only
+/// escape bytes and compares the short pattern tails in index order; the
+/// findings therefore come out already sorted by `(offset, pattern)`,
+/// exactly as the per-pattern sweep produced.
 pub fn scan(code: &[u8]) -> Vec<Finding> {
     let mut findings = Vec::new();
-    for (pi, (_, pat)) in PATTERNS.iter().enumerate() {
-        if pat.len() > code.len() {
-            continue;
-        }
-        for off in 0..=(code.len() - pat.len()) {
-            if &code[off..off + pat.len()] == *pat {
-                findings.push(Finding { offset: off, pattern: pi });
+    let mut off = 0;
+    while let Some(rel) = code[off..].iter().position(|&b| b == ANCHOR) {
+        let at = off + rel;
+        let rest = &code[at + 1..];
+        for (pi, (_, pat)) in PATTERNS.iter().enumerate() {
+            let tail = &pat[1..];
+            if rest.len() >= tail.len() && &rest[..tail.len()] == tail {
+                findings.push(Finding { offset: at, pattern: pi });
             }
         }
+        off = at + 1;
     }
-    findings.sort_by_key(|f| (f.offset, f.pattern));
     findings
 }
 
@@ -96,5 +106,48 @@ mod tests {
     fn clean_code_scans_empty() {
         assert!(scan(&[0x90; 256]).is_empty());
         assert!(scan(&[]).is_empty());
+    }
+
+    #[test]
+    fn every_pattern_starts_with_the_anchor() {
+        for (name, pat) in PATTERNS {
+            assert_eq!(pat[0], ANCHOR, "{name} does not start with the opcode escape");
+        }
+    }
+
+    /// The per-pattern sweep the anchored scan replaced; kept as the oracle.
+    fn scan_reference(code: &[u8]) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for (pi, (_, pat)) in PATTERNS.iter().enumerate() {
+            if pat.len() > code.len() {
+                continue;
+            }
+            for off in 0..=(code.len() - pat.len()) {
+                if &code[off..off + pat.len()] == *pat {
+                    findings.push(Finding { offset: off, pattern: pi });
+                }
+            }
+        }
+        findings.sort_by_key(|f| (f.offset, f.pattern));
+        findings
+    }
+
+    #[test]
+    fn anchored_scan_matches_reference_on_adversarial_bytes() {
+        // Bytes drawn from the pattern alphabet so matches (including
+        // overlapping and truncated-at-the-end ones) are dense.
+        let alphabet = [0x0F, 0x22, 0x01, 0x30, 0xC0, 0xD8, 0xE0, 0x10, 0x18, 0x90];
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for len in [0usize, 1, 2, 3, 7, 64, 257, 1024] {
+            let code: Vec<u8> = (0..len)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    alphabet[(state % alphabet.len() as u64) as usize]
+                })
+                .collect();
+            assert_eq!(scan(&code), scan_reference(&code), "len {len}");
+        }
     }
 }

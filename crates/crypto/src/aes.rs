@@ -138,6 +138,118 @@ const fn gmul(mut a: u8, mut b: u8) -> u8 {
 
 const RCON: [u8; 11] = [0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36];
 
+/// Blocks processed per iteration of the interleaved round loop.
+///
+/// Eight independent states is enough to cover the latency of the T-table
+/// loads on current cores without spilling so much state that the win
+/// evaporates; the batched entry points fall back to the single-block loop
+/// for any tail shorter than this.
+pub const INTERLEAVE: usize = 8;
+
+/// Bytes covered by one interleaved step.
+pub const INTERLEAVE_BYTES: usize = 16 * INTERLEAVE;
+
+/// Loads a 16-byte block into column words and applies the first round key.
+#[inline(always)]
+fn load_state(block: &[u8], k: &[u32; 4]) -> [u32; 4] {
+    [
+        u32::from_be_bytes([block[0], block[1], block[2], block[3]]) ^ k[0],
+        u32::from_be_bytes([block[4], block[5], block[6], block[7]]) ^ k[1],
+        u32::from_be_bytes([block[8], block[9], block[10], block[11]]) ^ k[2],
+        u32::from_be_bytes([block[12], block[13], block[14], block[15]]) ^ k[3],
+    ]
+}
+
+/// Stores column words back into a 16-byte block.
+#[inline(always)]
+fn store_state(w: &[u32; 4], block: &mut [u8]) {
+    for c in 0..4 {
+        block[4 * c..4 * c + 4].copy_from_slice(&w[c].to_be_bytes());
+    }
+}
+
+/// One inner encryption round: four T-table lookups per column.
+#[inline(always)]
+fn enc_round(w: &[u32; 4], k: &[u32; 4]) -> [u32; 4] {
+    [
+        TE[0][(w[0] >> 24) as usize]
+            ^ TE[1][(w[1] >> 16) as usize & 0xFF]
+            ^ TE[2][(w[2] >> 8) as usize & 0xFF]
+            ^ TE[3][w[3] as usize & 0xFF]
+            ^ k[0],
+        TE[0][(w[1] >> 24) as usize]
+            ^ TE[1][(w[2] >> 16) as usize & 0xFF]
+            ^ TE[2][(w[3] >> 8) as usize & 0xFF]
+            ^ TE[3][w[0] as usize & 0xFF]
+            ^ k[1],
+        TE[0][(w[2] >> 24) as usize]
+            ^ TE[1][(w[3] >> 16) as usize & 0xFF]
+            ^ TE[2][(w[0] >> 8) as usize & 0xFF]
+            ^ TE[3][w[1] as usize & 0xFF]
+            ^ k[2],
+        TE[0][(w[3] >> 24) as usize]
+            ^ TE[1][(w[0] >> 16) as usize & 0xFF]
+            ^ TE[2][(w[1] >> 8) as usize & 0xFF]
+            ^ TE[3][w[2] as usize & 0xFF]
+            ^ k[3],
+    ]
+}
+
+/// Final encryption round: SubBytes + ShiftRows, no MixColumns.
+#[inline(always)]
+fn enc_last(w: &[u32; 4], k: &[u32; 4]) -> [u32; 4] {
+    let mut out = [0u32; 4];
+    for c in 0..4 {
+        out[c] = (((SBOX[(w[c] >> 24) as usize] as u32) << 24)
+            | ((SBOX[(w[(c + 1) % 4] >> 16) as usize & 0xFF] as u32) << 16)
+            | ((SBOX[(w[(c + 2) % 4] >> 8) as usize & 0xFF] as u32) << 8)
+            | (SBOX[w[(c + 3) % 4] as usize & 0xFF] as u32))
+            ^ k[c];
+    }
+    out
+}
+
+/// One inner decryption round of the equivalent inverse cipher.
+#[inline(always)]
+fn dec_round(w: &[u32; 4], k: &[u32; 4]) -> [u32; 4] {
+    [
+        TD[0][(w[0] >> 24) as usize]
+            ^ TD[1][(w[3] >> 16) as usize & 0xFF]
+            ^ TD[2][(w[2] >> 8) as usize & 0xFF]
+            ^ TD[3][w[1] as usize & 0xFF]
+            ^ k[0],
+        TD[0][(w[1] >> 24) as usize]
+            ^ TD[1][(w[0] >> 16) as usize & 0xFF]
+            ^ TD[2][(w[3] >> 8) as usize & 0xFF]
+            ^ TD[3][w[2] as usize & 0xFF]
+            ^ k[1],
+        TD[0][(w[2] >> 24) as usize]
+            ^ TD[1][(w[1] >> 16) as usize & 0xFF]
+            ^ TD[2][(w[0] >> 8) as usize & 0xFF]
+            ^ TD[3][w[3] as usize & 0xFF]
+            ^ k[2],
+        TD[0][(w[3] >> 24) as usize]
+            ^ TD[1][(w[2] >> 16) as usize & 0xFF]
+            ^ TD[2][(w[1] >> 8) as usize & 0xFF]
+            ^ TD[3][w[0] as usize & 0xFF]
+            ^ k[3],
+    ]
+}
+
+/// Final decryption round: InvShiftRows + InvSubBytes.
+#[inline(always)]
+fn dec_last(w: &[u32; 4], k: &[u32; 4]) -> [u32; 4] {
+    let mut out = [0u32; 4];
+    for c in 0..4 {
+        out[c] = (((INV_SBOX[(w[c] >> 24) as usize] as u32) << 24)
+            | ((INV_SBOX[(w[(c + 3) % 4] >> 16) as usize & 0xFF] as u32) << 16)
+            | ((INV_SBOX[(w[(c + 2) % 4] >> 8) as usize & 0xFF] as u32) << 8)
+            | (INV_SBOX[w[(c + 1) % 4] as usize & 0xFF] as u32))
+            ^ k[c];
+    }
+    out
+}
+
 /// One 16-byte round key as four big-endian column words.
 #[inline]
 fn rk_words(rk: &[u8; 16]) -> [u32; 4] {
@@ -241,104 +353,89 @@ impl KeySchedule {
 
     /// Encrypts one 16-byte block in place.
     pub fn encrypt_block(&self, block: &mut [u8; 16]) {
-        let k0 = &self.enc[0];
-        let mut w = [
-            u32::from_be_bytes([block[0], block[1], block[2], block[3]]) ^ k0[0],
-            u32::from_be_bytes([block[4], block[5], block[6], block[7]]) ^ k0[1],
-            u32::from_be_bytes([block[8], block[9], block[10], block[11]]) ^ k0[2],
-            u32::from_be_bytes([block[12], block[13], block[14], block[15]]) ^ k0[3],
-        ];
+        let mut w = load_state(block, &self.enc[0]);
         for r in 1..self.rounds {
-            let k = &self.enc[r];
-            w = [
-                TE[0][(w[0] >> 24) as usize]
-                    ^ TE[1][(w[1] >> 16) as usize & 0xFF]
-                    ^ TE[2][(w[2] >> 8) as usize & 0xFF]
-                    ^ TE[3][w[3] as usize & 0xFF]
-                    ^ k[0],
-                TE[0][(w[1] >> 24) as usize]
-                    ^ TE[1][(w[2] >> 16) as usize & 0xFF]
-                    ^ TE[2][(w[3] >> 8) as usize & 0xFF]
-                    ^ TE[3][w[0] as usize & 0xFF]
-                    ^ k[1],
-                TE[0][(w[2] >> 24) as usize]
-                    ^ TE[1][(w[3] >> 16) as usize & 0xFF]
-                    ^ TE[2][(w[0] >> 8) as usize & 0xFF]
-                    ^ TE[3][w[1] as usize & 0xFF]
-                    ^ k[2],
-                TE[0][(w[3] >> 24) as usize]
-                    ^ TE[1][(w[0] >> 16) as usize & 0xFF]
-                    ^ TE[2][(w[1] >> 8) as usize & 0xFF]
-                    ^ TE[3][w[2] as usize & 0xFF]
-                    ^ k[3],
-            ];
+            w = enc_round(&w, &self.enc[r]);
         }
-        // Final round: SubBytes + ShiftRows, no MixColumns.
-        let k = &self.enc[self.rounds];
-        for c in 0..4 {
-            let out = ((SBOX[(w[c] >> 24) as usize] as u32) << 24)
-                | ((SBOX[(w[(c + 1) % 4] >> 16) as usize & 0xFF] as u32) << 16)
-                | ((SBOX[(w[(c + 2) % 4] >> 8) as usize & 0xFF] as u32) << 8)
-                | (SBOX[w[(c + 3) % 4] as usize & 0xFF] as u32);
-            block[4 * c..4 * c + 4].copy_from_slice(&(out ^ k[c]).to_be_bytes());
-        }
+        w = enc_last(&w, &self.enc[self.rounds]);
+        store_state(&w, block);
     }
 
     /// Decrypts one 16-byte block in place.
     pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        let mut w = load_state(block, &self.dec[self.rounds]);
+        for r in (1..self.rounds).rev() {
+            w = dec_round(&w, &self.dec[r]);
+        }
+        // Final round key 0 is untransformed.
+        w = dec_last(&w, &self.dec[0]);
+        store_state(&w, block);
+    }
+
+    /// Encrypts [`INTERLEAVE`] consecutive blocks with the round loop
+    /// interleaved across all eight states: each round applies the T-table
+    /// step to every block before advancing, so the eight independent
+    /// dependency chains cover the table-load latency that serializes the
+    /// single-block path. Produces exactly the bytes eight
+    /// [`KeySchedule::encrypt_block`] calls would.
+    #[inline]
+    fn encrypt8(&self, blocks: &mut [u8; INTERLEAVE_BYTES]) {
+        let k0 = &self.enc[0];
+        let mut s = [[0u32; 4]; INTERLEAVE];
+        for (b, st) in s.iter_mut().enumerate() {
+            *st = load_state(&blocks[16 * b..16 * b + 16], k0);
+        }
+        for r in 1..self.rounds {
+            let k = &self.enc[r];
+            for st in s.iter_mut() {
+                *st = enc_round(st, k);
+            }
+        }
+        let k = &self.enc[self.rounds];
+        for (b, st) in s.iter().enumerate() {
+            let w = enc_last(st, k);
+            store_state(&w, &mut blocks[16 * b..16 * b + 16]);
+        }
+    }
+
+    /// Decrypts [`INTERLEAVE`] consecutive blocks, interleaved like
+    /// [`KeySchedule::encrypt8`].
+    #[inline]
+    fn decrypt8(&self, blocks: &mut [u8; INTERLEAVE_BYTES]) {
         let kn = &self.dec[self.rounds];
-        let mut w = [
-            u32::from_be_bytes([block[0], block[1], block[2], block[3]]) ^ kn[0],
-            u32::from_be_bytes([block[4], block[5], block[6], block[7]]) ^ kn[1],
-            u32::from_be_bytes([block[8], block[9], block[10], block[11]]) ^ kn[2],
-            u32::from_be_bytes([block[12], block[13], block[14], block[15]]) ^ kn[3],
-        ];
+        let mut s = [[0u32; 4]; INTERLEAVE];
+        for (b, st) in s.iter_mut().enumerate() {
+            *st = load_state(&blocks[16 * b..16 * b + 16], kn);
+        }
         for r in (1..self.rounds).rev() {
             let k = &self.dec[r];
-            w = [
-                TD[0][(w[0] >> 24) as usize]
-                    ^ TD[1][(w[3] >> 16) as usize & 0xFF]
-                    ^ TD[2][(w[2] >> 8) as usize & 0xFF]
-                    ^ TD[3][w[1] as usize & 0xFF]
-                    ^ k[0],
-                TD[0][(w[1] >> 24) as usize]
-                    ^ TD[1][(w[0] >> 16) as usize & 0xFF]
-                    ^ TD[2][(w[3] >> 8) as usize & 0xFF]
-                    ^ TD[3][w[2] as usize & 0xFF]
-                    ^ k[1],
-                TD[0][(w[2] >> 24) as usize]
-                    ^ TD[1][(w[1] >> 16) as usize & 0xFF]
-                    ^ TD[2][(w[0] >> 8) as usize & 0xFF]
-                    ^ TD[3][w[3] as usize & 0xFF]
-                    ^ k[2],
-                TD[0][(w[3] >> 24) as usize]
-                    ^ TD[1][(w[2] >> 16) as usize & 0xFF]
-                    ^ TD[2][(w[1] >> 8) as usize & 0xFF]
-                    ^ TD[3][w[0] as usize & 0xFF]
-                    ^ k[3],
-            ];
+            for st in s.iter_mut() {
+                *st = dec_round(st, k);
+            }
         }
-        // Final round: InvShiftRows + InvSubBytes, key 0 untransformed.
         let k = &self.dec[0];
-        for c in 0..4 {
-            let out = ((INV_SBOX[(w[c] >> 24) as usize] as u32) << 24)
-                | ((INV_SBOX[(w[(c + 3) % 4] >> 16) as usize & 0xFF] as u32) << 16)
-                | ((INV_SBOX[(w[(c + 2) % 4] >> 8) as usize & 0xFF] as u32) << 8)
-                | (INV_SBOX[w[(c + 1) % 4] as usize & 0xFF] as u32);
-            block[4 * c..4 * c + 4].copy_from_slice(&(out ^ k[c]).to_be_bytes());
+        for (b, st) in s.iter().enumerate() {
+            let w = dec_last(st, k);
+            store_state(&w, &mut blocks[16 * b..16 * b + 16]);
         }
     }
 
     /// Encrypts a run of consecutive 16-byte blocks in place (ECB over the
     /// slice) — the batched entry point the streaming memory-controller and
-    /// mode implementations use to avoid per-block dispatch.
+    /// mode implementations use to avoid per-block dispatch. Runs of
+    /// [`INTERLEAVE`] blocks go through the interleaved round loop; the tail
+    /// falls back to the single-block path.
     ///
     /// # Panics
     ///
     /// Panics if `blocks.len()` is not a multiple of 16.
     pub fn encrypt_blocks(&self, blocks: &mut [u8]) {
         assert_eq!(blocks.len() % 16, 0, "encrypt_blocks needs whole 16-byte blocks");
-        for chunk in blocks.chunks_exact_mut(16) {
+        let mut wide = blocks.chunks_exact_mut(INTERLEAVE_BYTES);
+        for chunk in &mut wide {
+            self.encrypt8(chunk.try_into().expect("chunk is INTERLEAVE_BYTES"));
+        }
+        for chunk in wide.into_remainder().chunks_exact_mut(16) {
             let block: &mut [u8; 16] = chunk.try_into().expect("chunk is 16 bytes");
             self.encrypt_block(block);
         }
@@ -351,7 +448,11 @@ impl KeySchedule {
     /// Panics if `blocks.len()` is not a multiple of 16.
     pub fn decrypt_blocks(&self, blocks: &mut [u8]) {
         assert_eq!(blocks.len() % 16, 0, "decrypt_blocks needs whole 16-byte blocks");
-        for chunk in blocks.chunks_exact_mut(16) {
+        let mut wide = blocks.chunks_exact_mut(INTERLEAVE_BYTES);
+        for chunk in &mut wide {
+            self.decrypt8(chunk.try_into().expect("chunk is INTERLEAVE_BYTES"));
+        }
+        for chunk in wide.into_remainder().chunks_exact_mut(16) {
             let block: &mut [u8; 16] = chunk.try_into().expect("chunk is 16 bytes");
             self.decrypt_block(block);
         }
@@ -360,12 +461,32 @@ impl KeySchedule {
     /// XORs `data` with the keystream obtained by encrypting
     /// `counter_block(i)` for each 16-byte chunk `i` (the final chunk may be
     /// short). This is the shared engine behind [`crate::modes::Ctr128`] and
-    /// [`crate::modes::SectorCipher`]: one closure call and one block
-    /// encryption per chunk, no per-chunk cipher construction.
+    /// [`crate::modes::SectorCipher`].
+    ///
+    /// The keystream is generated [`INTERLEAVE`] counter blocks at a time
+    /// into a stack scratch and encrypted through the interleaved round
+    /// loop; whole-block tails use the single-block path and the final short
+    /// chunk XORs from one stack keystream block sliced to `chunk.len()` —
+    /// no per-byte length branching.
     pub fn xor_keystream(&self, mut counter_block: impl FnMut(u64) -> [u8; 16], data: &mut [u8]) {
-        for (i, chunk) in data.chunks_mut(16).enumerate() {
-            let mut ks = counter_block(i as u64);
+        let mut idx = 0u64;
+        let mut scratch = [0u8; INTERLEAVE_BYTES];
+        let mut wide = data.chunks_exact_mut(INTERLEAVE_BYTES);
+        for chunk in &mut wide {
+            for (j, ks) in scratch.chunks_exact_mut(16).enumerate() {
+                ks.copy_from_slice(&counter_block(idx + j as u64));
+            }
+            idx += INTERLEAVE as u64;
+            self.encrypt8(&mut scratch);
+            for (d, k) in chunk.iter_mut().zip(scratch.iter()) {
+                *d ^= *k;
+            }
+        }
+        for chunk in wide.into_remainder().chunks_mut(16) {
+            let mut ks = counter_block(idx);
+            idx += 1;
             self.encrypt_block(&mut ks);
+            let ks = &ks[..chunk.len()];
             for (d, k) in chunk.iter_mut().zip(ks.iter()) {
                 *d ^= *k;
             }

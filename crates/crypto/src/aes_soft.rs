@@ -136,9 +136,19 @@ const RCON: [u8; 11] = [0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x
 
 /// Software AES-128 used as the "no hardware support" baseline. Its modeled
 /// cycle cost stays >20× the engine's; its host cost no longer is.
+///
+/// Per-block encryption keeps the byte-table form below (the reviewable
+/// "software-shaped" pipeline). The *bulk* entry points
+/// ([`SoftAes128::ctr_apply`], [`SoftAes128::encrypt_blocks`]) ride the
+/// interleaved T-table core from [`crate::aes`] instead: both compute
+/// FIPS-197 AES-128, so the bytes are identical — the tests here prove the
+/// byte-table, T-table and GF-math forms agree — and only the host pays
+/// differently. The modeled `soft_aes_line` charge is unaffected.
 #[derive(Clone)]
 pub struct SoftAes128 {
     round_keys: [[u8; 16]; 11],
+    /// The interleaved T-table schedule the bulk paths dispatch into.
+    bulk: crate::aes::KeySchedule,
 }
 
 impl std::fmt::Debug for SoftAes128 {
@@ -150,7 +160,8 @@ impl std::fmt::Debug for SoftAes128 {
 impl SoftAes128 {
     /// Expands a 128-bit key.
     pub fn new(key: &[u8; 16]) -> Self {
-        SoftAes128 { round_keys: expand_key(key) }
+        let bulk = crate::aes::KeySchedule::new(key).expect("key length enforced by type");
+        SoftAes128 { round_keys: expand_key(key), bulk }
     }
 
     /// Encrypts one block in place.
@@ -189,18 +200,24 @@ impl SoftAes128 {
         xor16(block, &self.round_keys[0]);
     }
 
+    /// Encrypts consecutive 16-byte blocks in place (batched ECB) through
+    /// the interleaved T-table core — byte-identical to per-block
+    /// [`SoftAes128::encrypt_block`] calls, which the tests assert.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks.len()` is not a multiple of 16.
+    pub fn encrypt_blocks(&self, blocks: &mut [u8]) {
+        self.bulk.encrypt_blocks(blocks);
+    }
+
     /// Encrypts a buffer in counter mode with a 128-bit starting counter.
     /// Provided so the I/O micro-benchmark can stream through large buffers.
+    /// The keystream is generated eight counter blocks at a time through
+    /// the interleaved core; the final short chunk XORs from one stack
+    /// keystream block sliced to `chunk.len()`.
     pub fn ctr_apply(&self, counter0: u128, data: &mut [u8]) {
-        let mut counter = counter0;
-        for chunk in data.chunks_mut(16) {
-            let mut ks = counter.to_be_bytes();
-            self.encrypt_block(&mut ks);
-            for (d, k) in chunk.iter_mut().zip(ks.iter()) {
-                *d ^= *k;
-            }
-            counter = counter.wrapping_add(1);
-        }
+        self.bulk.xor_keystream(|i| counter0.wrapping_add(i as u128).to_be_bytes(), data);
     }
 }
 
@@ -514,5 +531,44 @@ mod tests {
         assert_ne!(data, original);
         soft.ctr_apply(42, &mut data);
         assert_eq!(data, original);
+    }
+
+    /// The bulk CTR path dispatches into the interleaved T-table core; it
+    /// must stay byte-identical to the seed's per-block byte-table loop —
+    /// this doubles as a T-table-vs-byte-table cross-check over a long
+    /// keystream, ragged tail included.
+    #[test]
+    fn ctr_bulk_matches_per_block_byte_table_loop() {
+        let soft = SoftAes128::new(&[0x3Cu8; 16]);
+        let mut data: Vec<u8> = (0..=254u8).collect(); // 255 bytes, short tail
+        let original = data.clone();
+        let counter0 = u128::MAX - 3; // exercise counter wrap mid-buffer
+        soft.ctr_apply(counter0, &mut data);
+        let mut manual = original.clone();
+        let mut counter = counter0;
+        for chunk in manual.chunks_mut(16) {
+            let mut ks = counter.to_be_bytes();
+            soft.encrypt_block(&mut ks);
+            for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+                *d ^= *k;
+            }
+            counter = counter.wrapping_add(1);
+        }
+        assert_eq!(data, manual);
+    }
+
+    /// Batched ECB through the T-table core equals per-block byte-table
+    /// encryption, including a non-multiple-of-8 block count.
+    #[test]
+    fn bulk_ecb_matches_per_block_byte_table() {
+        let soft = SoftAes128::new(&[0x9Eu8; 16]);
+        let mut batch: Vec<u8> = (0..16 * 11).map(|i| (i as u8).wrapping_mul(29)).collect();
+        let mut manual = batch.clone();
+        soft.encrypt_blocks(&mut batch);
+        for chunk in manual.chunks_exact_mut(16) {
+            let block: &mut [u8; 16] = chunk.try_into().unwrap();
+            soft.encrypt_block(block);
+        }
+        assert_eq!(batch, manual);
     }
 }

@@ -44,8 +44,18 @@ impl Ctr128 {
     /// Encrypts or decrypts `data` starting at block offset `block_offset`.
     /// CTR is an involution, so the same call performs both directions.
     pub fn apply(&self, block_offset: u64, data: &mut [u8]) {
-        let nonce = self.nonce.to_be_bytes();
-        self.cipher.schedule().xor_keystream(
+        Self::apply_with(&self.cipher, self.nonce, block_offset, data);
+    }
+
+    /// The keystream application behind [`Ctr128::apply`], borrowing the
+    /// expanded cipher instead of owning it. Callers that derive a fresh
+    /// nonce per 512-byte sector from one shared key (the SEV I/O
+    /// transform) would otherwise clone the whole key schedule — two heap
+    /// allocations — per sector; this is the same keystream with no
+    /// context constructed at all.
+    pub fn apply_with(cipher: &Aes128, nonce: u64, block_offset: u64, data: &mut [u8]) {
+        let nonce = nonce.to_be_bytes();
+        cipher.schedule().xor_keystream(
             |i| {
                 let mut ks = [0u8; 16];
                 ks[..8].copy_from_slice(&nonce);
@@ -204,11 +214,23 @@ impl PaTweakCipher {
         Self::xor_tweak(pa, block);
     }
 
+    /// XORs the tweaks of [`INTERLEAVE`](crate::aes::INTERLEAVE) consecutive
+    /// block addresses into a 128-byte run — the pre/post whitening pass
+    /// around one interleaved AES call in the streaming paths.
+    #[inline]
+    fn xor_tweak_run(base_pa: u64, run: &mut [u8; crate::aes::INTERLEAVE_BYTES]) {
+        for (i, chunk) in run.chunks_exact_mut(16).enumerate() {
+            let block: &mut [u8; 16] = chunk.try_into().expect("chunk is 16 bytes");
+            Self::xor_tweak(base_pa.wrapping_add(16 * i as u64), block);
+        }
+    }
+
     /// Encrypts consecutive 16-byte blocks in place, the block at offset
     /// `16 * i` being located at physical address `base_pa + 16 * i`. The
     /// tweak advances with the running address instead of being re-derived
-    /// through a fresh call per block — this is the memory controller's
-    /// streaming write path.
+    /// through a fresh call per block, and whole 8-block runs are whitened
+    /// in one pass and encrypted through the interleaved round loop — this
+    /// is the memory controller's streaming write path.
     ///
     /// # Panics
     ///
@@ -217,7 +239,16 @@ impl PaTweakCipher {
         assert_eq!(data.len() % 16, 0, "streaming tweak path needs whole blocks");
         let schedule = self.cipher.schedule();
         let mut pa = base_pa;
-        for chunk in data.chunks_exact_mut(16) {
+        let mut wide = data.chunks_exact_mut(crate::aes::INTERLEAVE_BYTES);
+        for chunk in &mut wide {
+            let run: &mut [u8; crate::aes::INTERLEAVE_BYTES] =
+                chunk.try_into().expect("chunk is INTERLEAVE_BYTES");
+            Self::xor_tweak_run(pa, run);
+            schedule.encrypt_blocks(run);
+            Self::xor_tweak_run(pa, run);
+            pa = pa.wrapping_add(crate::aes::INTERLEAVE_BYTES as u64);
+        }
+        for chunk in wide.into_remainder().chunks_exact_mut(16) {
             let block: &mut [u8; 16] = chunk.try_into().expect("chunk is 16 bytes");
             Self::xor_tweak(pa, block);
             schedule.encrypt_block(block);
@@ -236,7 +267,16 @@ impl PaTweakCipher {
         assert_eq!(data.len() % 16, 0, "streaming tweak path needs whole blocks");
         let schedule = self.cipher.schedule();
         let mut pa = base_pa;
-        for chunk in data.chunks_exact_mut(16) {
+        let mut wide = data.chunks_exact_mut(crate::aes::INTERLEAVE_BYTES);
+        for chunk in &mut wide {
+            let run: &mut [u8; crate::aes::INTERLEAVE_BYTES] =
+                chunk.try_into().expect("chunk is INTERLEAVE_BYTES");
+            Self::xor_tweak_run(pa, run);
+            schedule.decrypt_blocks(run);
+            Self::xor_tweak_run(pa, run);
+            pa = pa.wrapping_add(crate::aes::INTERLEAVE_BYTES as u64);
+        }
+        for chunk in wide.into_remainder().chunks_exact_mut(16) {
             let block: &mut [u8; 16] = chunk.try_into().expect("chunk is 16 bytes");
             Self::xor_tweak(pa, block);
             schedule.decrypt_block(block);

@@ -22,7 +22,7 @@
 //!   exactly as AMD-V does — including SEV's omission: the VMCB and GPRs
 //!   cross the boundary in plaintext.
 
-use crate::cycles::{CostModel, CycleCategory, Cycles};
+use crate::cycles::{ChargeBatch, CostModel, CycleCategory, Cycles};
 use crate::error::{AccessKind, Fault, FaultReason, HwError};
 use crate::inject::{FaultAction, InjectPoint, InjectorHandle};
 use crate::mem::Dram;
@@ -208,6 +208,10 @@ pub struct Machine {
     /// path even on a TLB hit (the pre-cache behaviour). See
     /// [`Machine::set_walk_always`].
     walk_always: bool,
+    /// Reusable scratch for deferred engine charges on the streaming paths
+    /// (see [`Machine::with_engine_batch`]); kept on the machine so stream
+    /// calls don't allocate a fresh run list each time.
+    engine_scratch: ChargeBatch,
 }
 
 impl Machine {
@@ -224,6 +228,7 @@ impl Machine {
             inject: InjectorHandle::new(),
             rec: Recorder::default(),
             walk_always: false,
+            engine_scratch: ChargeBatch::new(),
         }
     }
 
@@ -480,6 +485,16 @@ impl Machine {
     /// before the faulting one are committed, as separate calls would have.
     pub fn host_read_stream(&mut self, va: Hva, buf: &mut [u8], chunk: usize) -> Result<(), Fault> {
         assert!(chunk > 0, "stream chunk must be non-zero");
+        self.with_engine_batch(|m, batch| m.host_read_stream_inner(va, buf, chunk, batch))
+    }
+
+    fn host_read_stream_inner(
+        &mut self,
+        va: Hva,
+        buf: &mut [u8],
+        chunk: usize,
+        batch: &mut ChargeBatch,
+    ) -> Result<(), Fault> {
         let mut run: Option<PendingRun> = None;
         let mut off = 0usize;
         while off < buf.len() {
@@ -494,7 +509,7 @@ impl Machine {
                     return Err(fault);
                 }
             };
-            self.charge_engine(enc, take as u64);
+            self.charge_engine_into(batch, enc, take as u64);
             if !self.walk_always && self.mc.access_infallible(pa, take as u64, enc) {
                 match &mut run {
                     Some(r) if r.enc == enc && r.hpa.0 + r.len as u64 == pa.0 => r.len += take,
@@ -527,6 +542,16 @@ impl Machine {
     /// Same as [`Machine::host_read_stream`].
     pub fn host_write_stream(&mut self, va: Hva, data: &[u8], chunk: usize) -> Result<(), Fault> {
         assert!(chunk > 0, "stream chunk must be non-zero");
+        self.with_engine_batch(|m, batch| m.host_write_stream_inner(va, data, chunk, batch))
+    }
+
+    fn host_write_stream_inner(
+        &mut self,
+        va: Hva,
+        data: &[u8],
+        chunk: usize,
+        batch: &mut ChargeBatch,
+    ) -> Result<(), Fault> {
         let mut run: Option<PendingRun> = None;
         let mut off = 0usize;
         while off < data.len() {
@@ -549,7 +574,7 @@ impl Machine {
                     return Err(fault);
                 }
             };
-            self.charge_engine(enc, take as u64);
+            self.charge_engine_into(batch, enc, take as u64);
             if !self.walk_always && self.mc.access_infallible(pa, take as u64, enc) {
                 match &mut run {
                     Some(r) if r.enc == enc && r.hpa.0 + r.len as u64 == pa.0 => r.len += take,
@@ -577,6 +602,44 @@ impl Machine {
             self.cycles
                 .charge_as(CycleCategory::CryptoEngine, lines as f64 * self.cost.engine_line_extra);
         }
+    }
+
+    /// Per-chunk engine charge for the streaming loops: defers into
+    /// `batch` so the whole stream folds its crypto-engine cost into the
+    /// breakdown once, via [`Cycles::apply_batch`] in
+    /// [`Machine::with_engine_batch`].
+    ///
+    /// Two situations force the charge to land immediately instead:
+    /// an armed flight recorder (mid-stream instants timestamp with the
+    /// live cycle total, which must already include this chunk), and a
+    /// current span that is itself `CryptoEngine` (deferral would reorder
+    /// this charge past the span's own same-category adds and change the
+    /// f64 bits). Either way the modeled count is identical.
+    fn charge_engine_into(&mut self, batch: &mut ChargeBatch, enc: EncSel, bytes: u64) {
+        if enc == EncSel::None {
+            return;
+        }
+        let lines = bytes.div_ceil(crate::CACHE_LINE).max(1);
+        let cost = lines as f64 * self.cost.engine_line_extra;
+        if self.rec.is_armed() || self.cycles.current_category() == CycleCategory::CryptoEngine {
+            self.cycles.charge_as(CycleCategory::CryptoEngine, cost);
+        } else {
+            batch.add(CycleCategory::CryptoEngine, 1, cost);
+        }
+    }
+
+    /// Runs `f` with the machine's scratch [`ChargeBatch`] and folds the
+    /// deferred charges into the counter on *every* exit, error returns
+    /// included, so fault paths keep the exact cycle count the unbatched
+    /// per-chunk charges produced.
+    fn with_engine_batch<T>(&mut self, f: impl FnOnce(&mut Self, &mut ChargeBatch) -> T) -> T {
+        let mut batch = std::mem::take(&mut self.engine_scratch);
+        debug_assert!(batch.is_empty(), "engine scratch left dirty");
+        let result = f(self, &mut batch);
+        self.cycles.apply_batch(&batch);
+        batch.clear();
+        self.engine_scratch = batch;
+        result
     }
 
     // ----- privileged instructions --------------------------------------
@@ -900,6 +963,16 @@ impl Machine {
         encrypted: bool,
     ) -> Result<(), Fault> {
         assert_eq!(self.cpu.mode, Mode::Guest);
+        self.with_engine_batch(|m, batch| m.guest_read_gpa_inner(gpa, buf, encrypted, batch))
+    }
+
+    fn guest_read_gpa_inner(
+        &mut self,
+        gpa: Gpa,
+        buf: &mut [u8],
+        encrypted: bool,
+        batch: &mut ChargeBatch,
+    ) -> Result<(), Fault> {
         let guest = self.cpu.guest.expect("guest mode");
         let mut run: Option<PendingRun> = None;
         let mut off = 0usize;
@@ -917,7 +990,7 @@ impl Machine {
                 }
             };
             let enc = Self::select_gpa_enc(guest, encrypted, npt_c);
-            self.charge_engine(enc, take as u64);
+            self.charge_engine_into(batch, enc, take as u64);
             if !self.walk_always && self.mc.access_infallible(hpa, take as u64, enc) {
                 match &mut run {
                     Some(r) if r.enc == enc && r.hpa.0 + r.len as u64 == hpa.0 => r.len += take,
@@ -953,6 +1026,16 @@ impl Machine {
     /// NPT faults propagate (they would exit to the host).
     pub fn guest_write_gpa(&mut self, gpa: Gpa, data: &[u8], encrypted: bool) -> Result<(), Fault> {
         assert_eq!(self.cpu.mode, Mode::Guest);
+        self.with_engine_batch(|m, batch| m.guest_write_gpa_inner(gpa, data, encrypted, batch))
+    }
+
+    fn guest_write_gpa_inner(
+        &mut self,
+        gpa: Gpa,
+        data: &[u8],
+        encrypted: bool,
+        batch: &mut ChargeBatch,
+    ) -> Result<(), Fault> {
         let guest = self.cpu.guest.expect("guest mode");
         let mut run: Option<PendingRun> = None;
         let mut off = 0usize;
@@ -981,7 +1064,7 @@ impl Machine {
                 }
             };
             let enc = Self::select_gpa_enc(guest, encrypted, npt_c);
-            self.charge_engine(enc, take as u64);
+            self.charge_engine_into(batch, enc, take as u64);
             if !self.walk_always && self.mc.access_infallible(hpa, take as u64, enc) {
                 match &mut run {
                     Some(r) if r.enc == enc && r.hpa.0 + r.len as u64 == hpa.0 => r.len += take,
@@ -1016,6 +1099,15 @@ impl Machine {
     ///
     /// Guest page faults (stage 1) and nested page faults (stage 2).
     pub fn guest_read(&mut self, va: Gva, buf: &mut [u8]) -> Result<(), Fault> {
+        self.with_engine_batch(|m, batch| m.guest_read_inner(va, buf, batch))
+    }
+
+    fn guest_read_inner(
+        &mut self,
+        va: Gva,
+        buf: &mut [u8],
+        batch: &mut ChargeBatch,
+    ) -> Result<(), Fault> {
         let mut run: Option<PendingRun> = None;
         let mut off = 0usize;
         while off < buf.len() {
@@ -1029,7 +1121,7 @@ impl Machine {
                     return Err(fault);
                 }
             };
-            self.charge_engine(enc, take as u64);
+            self.charge_engine_into(batch, enc, take as u64);
             if !self.walk_always && self.mc.access_infallible(hpa, take as u64, enc) {
                 match &mut run {
                     Some(r) if r.enc == enc && r.hpa.0 + r.len as u64 == hpa.0 => r.len += take,
@@ -1061,6 +1153,15 @@ impl Machine {
     ///
     /// Guest page faults (stage 1) and nested page faults (stage 2).
     pub fn guest_write(&mut self, va: Gva, data: &[u8]) -> Result<(), Fault> {
+        self.with_engine_batch(|m, batch| m.guest_write_inner(va, data, batch))
+    }
+
+    fn guest_write_inner(
+        &mut self,
+        va: Gva,
+        data: &[u8],
+        batch: &mut ChargeBatch,
+    ) -> Result<(), Fault> {
         let mut run: Option<PendingRun> = None;
         let mut off = 0usize;
         while off < data.len() {
@@ -1090,7 +1191,7 @@ impl Machine {
                     return Err(fault);
                 }
             };
-            self.charge_engine(enc, take as u64);
+            self.charge_engine_into(batch, enc, take as u64);
             if !self.walk_always && self.mc.access_infallible(hpa, take as u64, enc) {
                 match &mut run {
                     Some(r) if r.enc == enc && r.hpa.0 + r.len as u64 == hpa.0 => r.len += take,

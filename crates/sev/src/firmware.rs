@@ -161,17 +161,21 @@ fn unwrap_transport_keys(kek: &Key128, wrapped: &[u8]) -> Result<(Key128, Key128
     Ok((tek, tik))
 }
 
-/// Expanded key schedules for one I/O helper context, built once per
-/// handle instead of once per sector (handles are never reused, and a
-/// helper's `Kvek`/`Ktek` are fixed at creation, so the cache can never
-/// go stale).
+/// Expanded key schedules for one guest or I/O helper context, built once
+/// per handle instead of once per page/sector. A handle's `Kvek` is fixed
+/// at creation and handles are never reused, so the engine schedule can
+/// never go stale; the transport schedule is cached once the context holds
+/// a `Ktek` and the whole entry is dropped by `SEND_START`, the only
+/// command that rotates transport keys on a live handle.
 #[derive(Clone)]
 struct IoCiphers {
     /// The guest's memory-encryption engine cipher (`Kvek`).
     engine: PaTweakCipher,
-    /// The expanded I/O transport cipher (`Ktek`); per-sector CTR contexts
-    /// borrow this schedule via [`Ctr128::from_cipher`].
-    tek: Aes128,
+    /// The expanded I/O transport cipher (`Ktek`) when the context holds
+    /// one; per-sector CTR contexts borrow this schedule via
+    /// [`Ctr128::from_cipher`]. `None` for contexts without transport keys
+    /// (e.g. `Launching` guests).
+    tek: Option<Aes128>,
 }
 
 /// The SEV firmware. See the crate docs for the trust model.
@@ -326,20 +330,13 @@ impl Firmware {
         len: u64,
     ) -> Result<(), SevError> {
         self.require_init()?;
-        let ctx = self.guest_mut(h)?;
-        ctx.require(GuestState::Launching)?;
+        let ciphers = self.cached_ciphers(h, GuestState::Launching)?;
         assert_eq!(pa.0 % 16, 0, "launch data must be block aligned");
         assert_eq!(len % 16, 0, "launch data length must be block aligned");
-        let engine = PaTweakCipher::new(&ctx.kvek);
         let mut buf = vec![0u8; len as usize];
         machine.mc.dram().read_raw(pa, &mut buf).map_err(SevError::Hw)?;
-        ctx.measurement.update(&buf);
-        for (i, block) in buf.chunks_exact_mut(16).enumerate() {
-            let block_pa = pa.0 + 16 * i as u64;
-            let mut b: [u8; 16] = block.try_into().expect("16-byte chunk");
-            engine.encrypt_block(block_pa, &mut b);
-            block.copy_from_slice(&b);
-        }
+        self.guest_mut(h).expect("validated above").measurement.update(&buf);
+        ciphers.engine.encrypt_blocks(pa.0, &mut buf);
         machine.mc.dram_mut().write_raw(pa, &buf).map_err(SevError::Hw)?;
         let lines = len.div_ceil(fidelius_hw::CACHE_LINE);
         machine.cycles.charge_as(
@@ -428,6 +425,7 @@ impl Firmware {
             return Err(SevError::NotActivated); // must DEACTIVATE first
         }
         self.guests.remove(&h);
+        self.io_ciphers.remove(&h);
         Ok(())
     }
 
@@ -477,6 +475,11 @@ impl Firmware {
         ctx.tik = Some(tik);
         ctx.measurement = Sha256::new();
         ctx.state = GuestState::Sending;
+        // The transport key just rotated: drop any cached `Ktek` schedule
+        // so the next page command re-expands the fresh key.
+        if let Some(cached) = self.io_ciphers.get_mut(&h) {
+            cached.tek = None;
+        }
         Ok(SessionBlob { wrapped_keys, origin_pdh, nonce })
     }
 
@@ -494,27 +497,21 @@ impl Firmware {
         src_pa: Hpa,
         page_index: u64,
     ) -> Result<Vec<u8>, SevError> {
-        let ctx = self.guest_mut(h)?;
-        ctx.require(GuestState::Sending)?;
+        let ciphers = self.cached_ciphers(h, GuestState::Sending)?;
         let span = machine.span_open(
             SpanKind::CryptoRun,
             "crypto:send_update",
             &[("page", ArgValue::U64(page_index))],
         );
-        let engine = PaTweakCipher::new(&ctx.kvek);
-        let tek = ctx.tek.expect("sending state implies transport keys");
         let mut page = vec![0u8; PAGE_SIZE as usize];
         if let Err(e) = machine.mc.dram().read_raw(src_pa, &mut page) {
             machine.span_close(span);
             return Err(SevError::Hw(e));
         }
-        for (i, block) in page.chunks_exact_mut(16).enumerate() {
-            let mut b: [u8; 16] = block.try_into().expect("16-byte chunk");
-            engine.decrypt_block(src_pa.0 + 16 * i as u64, &mut b);
-            block.copy_from_slice(&b);
-        }
-        ctx.measurement.update(&page);
-        let ctr = Ctr128::new(&tek, 0x7EC0_0000_0000_0000);
+        ciphers.engine.decrypt_blocks(src_pa.0, &mut page);
+        self.guest_mut(h).expect("validated above").measurement.update(&page);
+        let tek = ciphers.tek.expect("sending state implies transport keys");
+        let ctr = Ctr128::from_cipher(tek, 0x7EC0_0000_0000_0000);
         ctr.apply(page_index * (PAGE_SIZE / 16), &mut page);
         let lines = PAGE_SIZE.div_ceil(fidelius_hw::CACHE_LINE);
         machine.cycles.charge_as(
@@ -592,25 +589,19 @@ impl Firmware {
         page_index: u64,
         dst_pa: Hpa,
     ) -> Result<(), SevError> {
-        let ctx = self.guest_mut(h)?;
-        ctx.require(GuestState::Receiving)?;
+        let ciphers = self.cached_ciphers(h, GuestState::Receiving)?;
         assert_eq!(chunk.len() as u64, PAGE_SIZE, "receive chunks are pages");
         let span = machine.span_open(
             SpanKind::CryptoRun,
             "crypto:receive_update",
             &[("page", ArgValue::U64(page_index))],
         );
-        let tek = ctx.tek.expect("receiving state implies transport keys");
+        let tek = ciphers.tek.expect("receiving state implies transport keys");
         let mut page = chunk.to_vec();
-        let ctr = Ctr128::new(&tek, 0x7EC0_0000_0000_0000);
+        let ctr = Ctr128::from_cipher(tek, 0x7EC0_0000_0000_0000);
         ctr.apply(page_index * (PAGE_SIZE / 16), &mut page);
-        ctx.measurement.update(&page);
-        let engine = PaTweakCipher::new(&ctx.kvek);
-        for (i, block) in page.chunks_exact_mut(16).enumerate() {
-            let mut b: [u8; 16] = block.try_into().expect("16-byte chunk");
-            engine.encrypt_block(dst_pa.0 + 16 * i as u64, &mut b);
-            block.copy_from_slice(&b);
-        }
+        self.guest_mut(h).expect("validated above").measurement.update(&page);
+        ciphers.engine.encrypt_blocks(dst_pa.0, &mut page);
         if let Err(e) = machine.mc.dram_mut().write_raw(dst_pa, &page) {
             machine.span_close(span);
             return Err(SevError::Hw(e));
@@ -702,20 +693,14 @@ impl Firmware {
         len: u64,
         stream: u64,
     ) -> Result<(), SevError> {
-        let ctx = self.guest_mut(sdom)?;
-        ctx.require(GuestState::Sending)?;
+        let ciphers = self.cached_ciphers(sdom, GuestState::Sending)?;
         assert_eq!(len % 16, 0, "io length must be block aligned");
         assert_eq!(src_pa.0 % 16, 0, "io buffers must be block aligned");
-        let engine = PaTweakCipher::new(&ctx.kvek);
-        let tek = ctx.tek.expect("sending state implies transport keys");
         let mut buf = vec![0u8; len as usize];
         machine.mc.dram().read_raw(src_pa, &mut buf).map_err(SevError::Hw)?;
-        for (i, block) in buf.chunks_exact_mut(16).enumerate() {
-            let mut b: [u8; 16] = block.try_into().expect("16-byte chunk");
-            engine.decrypt_block(src_pa.0 + 16 * i as u64, &mut b);
-            block.copy_from_slice(&b);
-        }
-        let ctr = Ctr128::new(&tek, 0x10_0000_0000_0000 ^ stream);
+        ciphers.engine.decrypt_blocks(src_pa.0, &mut buf);
+        let tek = ciphers.tek.expect("sending state implies transport keys");
+        let ctr = Ctr128::from_cipher(tek, 0x10_0000_0000_0000 ^ stream);
         ctr.apply(0, &mut buf);
         machine.mc.dram_mut().write_raw(dst_pa, &buf).map_err(SevError::Hw)?;
         let lines = len.div_ceil(fidelius_hw::CACHE_LINE).max(1);
@@ -742,21 +727,15 @@ impl Firmware {
         len: u64,
         stream: u64,
     ) -> Result<(), SevError> {
-        let ctx = self.guest_mut(rdom)?;
-        ctx.require(GuestState::Receiving)?;
+        let ciphers = self.cached_ciphers(rdom, GuestState::Receiving)?;
         assert_eq!(len % 16, 0, "io length must be block aligned");
         assert_eq!(dst_pa.0 % 16, 0, "io buffers must be block aligned");
-        let engine = PaTweakCipher::new(&ctx.kvek);
-        let tek = ctx.tek.expect("receiving state implies transport keys");
         let mut buf = vec![0u8; len as usize];
         machine.mc.dram().read_raw(src_pa, &mut buf).map_err(SevError::Hw)?;
-        let ctr = Ctr128::new(&tek, 0x10_0000_0000_0000 ^ stream);
+        let tek = ciphers.tek.expect("receiving state implies transport keys");
+        let ctr = Ctr128::from_cipher(tek, 0x10_0000_0000_0000 ^ stream);
         ctr.apply(0, &mut buf);
-        for (i, block) in buf.chunks_exact_mut(16).enumerate() {
-            let mut b: [u8; 16] = block.try_into().expect("16-byte chunk");
-            engine.encrypt_block(dst_pa.0 + 16 * i as u64, &mut b);
-            block.copy_from_slice(&b);
-        }
+        ciphers.engine.encrypt_blocks(dst_pa.0, &mut buf);
         machine.mc.dram_mut().write_raw(dst_pa, &buf).map_err(SevError::Hw)?;
         let lines = len.div_ceil(fidelius_hw::CACHE_LINE).max(1);
         machine.cycles.charge_as(
@@ -766,22 +745,27 @@ impl Firmware {
         Ok(())
     }
 
-    /// The cached expanded key schedules for helper `h`, validating its
-    /// state. Built on first use; a helper's keys are immutable and handle
-    /// numbers are never reused, so the cache cannot go stale.
-    fn io_cipher_pair(&mut self, h: Handle, expected: GuestState) -> Result<IoCiphers, SevError> {
+    /// The cached expanded key schedules for context `h`, validating its
+    /// state. Built on first use; the `Kvek` is immutable and handle
+    /// numbers are never reused, so the engine schedule cannot go stale.
+    /// The `Ktek` schedule is expanded the first time the context is seen
+    /// holding transport keys; `SEND_START` — the only command that
+    /// rotates a live handle's `Ktek` — evicts the entry first.
+    fn cached_ciphers(&mut self, h: Handle, expected: GuestState) -> Result<IoCiphers, SevError> {
         let ctx = self.guest(h)?;
         ctx.require(expected)?;
         let kvek = ctx.kvek;
-        let tek = ctx.tek.expect("helper state implies transport keys");
-        Ok(self
+        let tek = ctx.tek;
+        let entry = self
             .io_ciphers
             .entry(h)
-            .or_insert_with(|| IoCiphers {
-                engine: PaTweakCipher::new(&kvek),
-                tek: Aes128::new(&tek),
-            })
-            .clone())
+            .or_insert_with(|| IoCiphers { engine: PaTweakCipher::new(&kvek), tek: None });
+        if entry.tek.is_none() {
+            if let Some(k) = tek {
+                entry.tek = Some(Aes128::new(&k));
+            }
+        }
+        Ok(entry.clone())
     }
 
     /// Batched I/O write path: byte- and cycle-identical to `sectors`
@@ -805,7 +789,8 @@ impl Firmware {
         sectors: u64,
         first_stream: u64,
     ) -> Result<(), SevError> {
-        let ciphers = self.io_cipher_pair(sdom, GuestState::Sending)?;
+        let ciphers = self.cached_ciphers(sdom, GuestState::Sending)?;
+        let tek = ciphers.tek.expect("sending state implies transport keys");
         assert_eq!(src_pa.0 % 16, 0, "io buffers must be block aligned");
         if sectors == 0 {
             return Ok(());
@@ -820,8 +805,7 @@ impl Firmware {
         ciphers.engine.decrypt_blocks(src_pa.0, &mut buf);
         for (s, sector) in buf.chunks_exact_mut(SECTOR_SIZE).enumerate() {
             let stream = first_stream.wrapping_add(s as u64);
-            let ctr = Ctr128::from_cipher(ciphers.tek.clone(), 0x10_0000_0000_0000 ^ stream);
-            ctr.apply(0, sector);
+            Ctr128::apply_with(&tek, 0x10_0000_0000_0000 ^ stream, 0, sector);
         }
         machine.mc.dram_mut().write_raw(dst_pa, &buf).map_err(SevError::Hw)?;
         let lines = len.div_ceil(fidelius_hw::CACHE_LINE).max(1);
@@ -847,7 +831,8 @@ impl Firmware {
         sectors: u64,
         first_stream: u64,
     ) -> Result<(), SevError> {
-        let ciphers = self.io_cipher_pair(rdom, GuestState::Receiving)?;
+        let ciphers = self.cached_ciphers(rdom, GuestState::Receiving)?;
+        let tek = ciphers.tek.expect("receiving state implies transport keys");
         assert_eq!(dst_pa.0 % 16, 0, "io buffers must be block aligned");
         if sectors == 0 {
             return Ok(());
@@ -861,8 +846,7 @@ impl Firmware {
         machine.mc.dram().read_raw(src_pa, &mut buf).map_err(SevError::Hw)?;
         for (s, sector) in buf.chunks_exact_mut(SECTOR_SIZE).enumerate() {
             let stream = first_stream.wrapping_add(s as u64);
-            let ctr = Ctr128::from_cipher(ciphers.tek.clone(), 0x10_0000_0000_0000 ^ stream);
-            ctr.apply(0, sector);
+            Ctr128::apply_with(&tek, 0x10_0000_0000_0000 ^ stream, 0, sector);
         }
         ciphers.engine.encrypt_blocks(dst_pa.0, &mut buf);
         machine.mc.dram_mut().write_raw(dst_pa, &buf).map_err(SevError::Hw)?;
