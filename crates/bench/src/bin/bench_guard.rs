@@ -19,6 +19,20 @@
 //! hot loop, a lost batch path, a sweep gone sequential), not
 //! single-digit drift.
 //!
+//! # Backend-keyed floors
+//!
+//! Throughput entries may carry an `"aes_backend"` field naming the host
+//! AES engine that produced them (`ttable`/`bitsliced`/`aesni`). Floors
+//! only bind when baseline and current ran the *same* backend: a baseline
+//! recorded on hardware AES describes that hardware, and holding a
+//! T-table host to it would fail CI for owning the wrong CPU. On a
+//! backend mismatch the floor is skipped (loudly), while any
+//! `cycles_per_byte` figure is still required to match exactly — modeled
+//! cost is backend-independent by construction, so it is precisely the
+//! check that must *not* be skipped. A scenario that exists only on
+//! hardware AES (`soft_aes_aesni`) may be absent from the current run;
+//! that is a skip, not a failure, iff the baseline marked it `aesni`.
+//!
 //! Usage:
 //!   bench_guard --baseline BENCH_memstream.json --current current.json \
 //!               [--max-drop-pct 30] [--max-rise-pct 200]
@@ -38,12 +52,13 @@ fn arg_value(name: &str) -> Option<String> {
 }
 
 /// One baseline/current entry.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 enum Entry {
-    /// MB/s — higher is better, guarded with a floor. The optional
-    /// modeled cycles-per-byte figure is deterministic and guarded with
-    /// *exact* equality: wall clock may drift, modeled cost may not.
-    Throughput(f64, Option<f64>),
+    /// MB/s — higher is better, guarded with a floor keyed on the AES
+    /// backend (third field). The optional modeled cycles-per-byte figure
+    /// is deterministic and guarded with *exact* equality: wall clock may
+    /// drift, modeled cost may not.
+    Throughput(f64, Option<f64>, Option<String>),
     /// Wall nanoseconds — lower is better, guarded with a ceiling.
     Latency(f64),
 }
@@ -57,7 +72,8 @@ fn entries(doc: &str) -> Result<BTreeMap<String, Entry>, String> {
         let Some(bench) = line.get("bench").and_then(Json::as_str) else { continue };
         if let Some(mbs) = line.get("mb_per_s").and_then(Json::as_f64) {
             let cpb = line.get("cycles_per_byte").and_then(Json::as_f64);
-            out.insert(bench.to_string(), Entry::Throughput(mbs, cpb));
+            let backend = line.get("aes_backend").and_then(Json::as_str).map(|s| s.to_string());
+            out.insert(bench.to_string(), Entry::Throughput(mbs, cpb, backend));
         } else if let Some(wall) = line.get("wall_ns").and_then(Json::as_f64) {
             out.insert(bench.to_string(), Entry::Latency(wall));
         }
@@ -88,24 +104,52 @@ fn run() -> Result<bool, String> {
     }
 
     let mut ok = true;
-    for (bench, &base) in &baseline {
-        let Some(&cur) = current.get(bench) else {
+    for (bench, base) in &baseline {
+        let Some(cur) = current.get(bench) else {
+            // A scenario recorded on hardware AES is allowed to be absent
+            // on a host without the instructions — the scenario itself is
+            // hardware-conditional. Anything else missing is a loss.
+            if matches!(base, Entry::Throughput(_, _, Some(b)) if b == "aesni") {
+                println!(
+                    "skip {bench}: baseline ran on aesni, scenario absent here \
+                     (hardware AES unavailable)"
+                );
+                continue;
+            }
             println!("FAIL {bench}: missing from current run");
             ok = false;
             continue;
         };
         match (base, cur) {
-            (Entry::Throughput(base_mbs, base_cpb), Entry::Throughput(cur_mbs, cur_cpb)) => {
-                let floor = base_mbs * (1.0 - max_drop_pct / 100.0);
-                let verdict = if cur_mbs < floor { "FAIL" } else { "ok  " };
-                println!(
-                    "{verdict} {bench}: {cur_mbs:.2} MB/s vs baseline {base_mbs:.2} MB/s \
-                     (floor {floor:.2} at -{max_drop_pct}%)"
-                );
-                ok &= cur_mbs >= floor;
-                // Modeled cost is deterministic: any drift at all is a
-                // real behaviour change, not machine noise — exact match
-                // required whenever the baseline recorded the figure.
+            (
+                Entry::Throughput(base_mbs, base_cpb, base_backend),
+                Entry::Throughput(cur_mbs, cur_cpb, cur_backend),
+            ) => {
+                if base_backend == cur_backend {
+                    let floor = base_mbs * (1.0 - max_drop_pct / 100.0);
+                    let verdict = if *cur_mbs < floor { "FAIL" } else { "ok  " };
+                    println!(
+                        "{verdict} {bench}: {cur_mbs:.2} MB/s vs baseline {base_mbs:.2} MB/s \
+                         (floor {floor:.2} at -{max_drop_pct}%)"
+                    );
+                    ok &= *cur_mbs >= floor;
+                } else {
+                    // Different engines are different machines as far as a
+                    // wall-clock floor is concerned; the modeled check
+                    // below still binds.
+                    let name =
+                        |b: &Option<String>| b.as_deref().unwrap_or("unrecorded").to_string();
+                    println!(
+                        "skip {bench}: floor not applied — baseline backend `{}` vs current \
+                         `{}` ({cur_mbs:.2} MB/s vs {base_mbs:.2} MB/s, informational)",
+                        name(base_backend),
+                        name(cur_backend)
+                    );
+                }
+                // Modeled cost is deterministic AND backend-independent:
+                // any drift at all is a real behaviour change, not machine
+                // noise — exact match required whenever the baseline
+                // recorded the figure, even across backend mismatches.
                 if let Some(base) = base_cpb {
                     match cur_cpb {
                         Some(cur) if cur == base => {
@@ -127,7 +171,7 @@ fn run() -> Result<bool, String> {
             }
             (Entry::Latency(base_ns), Entry::Latency(cur_ns)) => {
                 let ceiling = base_ns * (1.0 + max_rise_pct / 100.0);
-                let verdict = if cur_ns > ceiling { "FAIL" } else { "ok  " };
+                let verdict = if *cur_ns > ceiling { "FAIL" } else { "ok  " };
                 println!(
                     "{verdict} {bench}: {:.3} ms wall vs baseline {:.3} ms \
                      (ceiling {:.3} at +{max_rise_pct}%)",
@@ -135,7 +179,7 @@ fn run() -> Result<bool, String> {
                     base_ns / 1e6,
                     ceiling / 1e6
                 );
-                ok &= cur_ns <= ceiling;
+                ok &= *cur_ns <= ceiling;
             }
             _ => {
                 println!("FAIL {bench}: baseline and current entry kinds disagree");

@@ -38,6 +38,7 @@ use fidelius_bench::{
     arg_u64, emit_throughput, json_mode, measure_throughput, note, timing_mode, Throughput,
 };
 use fidelius_core::Fidelius;
+use fidelius_crypto::aes::default_backend;
 use fidelius_crypto::modes::SECTOR_SIZE;
 use fidelius_sev::GuestOwner;
 use fidelius_telemetry::Json;
@@ -156,7 +157,10 @@ fn run_scenario(s: &Scenario, iters: u32, len: usize) -> (Artifact, Option<Throu
     // Wall-clock pass: only when asked for, on its own fresh system. The
     // attached cycles-per-byte figure comes from the deterministic
     // artifact pass above, so the guard can pin the modeled cost exactly
-    // while the wall number stays free to drift.
+    // while the wall number stays free to drift. The host AES backend is
+    // stamped only on these timing lines — the stable artifact above is
+    // backend-independent by construction and must stay byte-identical
+    // across engines.
     let timing = timing_mode().then(|| {
         let batches = (len as u64 / BATCH_BYTES).max(2);
         let (mut sys, dom) = build(s).expect("build");
@@ -164,6 +168,7 @@ fn run_scenario(s: &Scenario, iters: u32, len: usize) -> (Artifact, Option<Throu
             stream(&mut sys, dom, s, batches);
         })
         .with_cycles_per_byte(artifact.modeled_cycles / artifact.bytes as f64)
+        .with_aes_backend(default_backend().name())
     });
     (artifact, timing)
 }

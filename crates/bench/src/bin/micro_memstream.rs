@@ -23,6 +23,17 @@
 //! - `soft_aes_interleaved` — the 8-way interleaved T-table block path
 //!   alone (consecutive blocks, no mode overhead): the ceiling the
 //!   interleaving buys every cipher built on it.
+//! - `soft_aes_bitsliced`   — the same block stream on the constant-time
+//!   bitsliced backend: what the side-channel-free engine costs.
+//! - `soft_aes_aesni`       — the same block stream on the hardware AES
+//!   backend; present only when the `aesni` feature is compiled in *and*
+//!   the host CPU has the instructions.
+//!
+//! AES-dominated scenarios carry an `"aes_backend"` field naming the
+//! engine they actually ran on (the default backend unless pinned, so an
+//! `aesni` build reports `aesni` for the mode scenarios). `bench_guard`
+//! keys its throughput floors on it: floors recorded on one backend are
+//! skipped — not failed — when the current host runs another.
 //! - `guest_gpa_stream`     — an SEV guest linearly sweeps a 1 MiB
 //!   guest-physical window the way a VM actually touches its RAM: small
 //!   accesses through an *identity* virtual mapping, so every access
@@ -48,7 +59,7 @@
 //! checks, not for regenerating the committed baseline.
 
 use fidelius_bench::{arg_u64, emit_throughput, measure_throughput, note, Throughput};
-use fidelius_crypto::aes::Aes128;
+use fidelius_crypto::aes::{default_backend, Aes128, AesBackend};
 use fidelius_crypto::aes_soft::SoftAes128;
 use fidelius_crypto::modes::{Ctr128, PaTweakCipher, SectorCipher, SECTOR_SIZE};
 use fidelius_hw::cpu::{Machine, PrivOp};
@@ -70,6 +81,7 @@ fn memctrl_guest_stream(iters: u32, len: usize) -> Throughput {
         mc.write(Hpa(0), &buf, sel).expect("write");
         mc.read(Hpa(0), &mut buf, sel).expect("read");
     })
+    .with_aes_backend(default_backend().name())
 }
 
 /// Unaligned: every iteration pays head+tail RMW around the stream.
@@ -83,6 +95,7 @@ fn memctrl_unaligned(iters: u32, len: usize) -> Throughput {
         mc.write(Hpa(5), &buf[..len - 32], sel).expect("write");
         mc.read(Hpa(5), &mut buf[..len - 32], sel).expect("read");
     })
+    .with_aes_backend(default_backend().name())
 }
 
 /// Engine cipher alone, streaming tweak.
@@ -92,6 +105,7 @@ fn pa_tweak_stream(iters: u32, len: usize) -> Throughput {
     measure_throughput("pa_tweak_stream", len as u64, iters, || {
         engine.encrypt_blocks(0x4000, &mut buf);
     })
+    .with_aes_backend(default_backend().name())
 }
 
 /// Transport CTR.
@@ -101,6 +115,7 @@ fn ctr128(iters: u32, len: usize) -> Throughput {
     measure_throughput("ctr128", len as u64, iters, || {
         ctr.apply(0, &mut buf);
     })
+    .with_aes_backend(default_backend().name())
 }
 
 /// Disk sectors under Kblk.
@@ -112,6 +127,7 @@ fn sector_cipher(iters: u32, len: usize) -> Throughput {
             sc.encrypt_sector(i as u64, sector);
         }
     })
+    .with_aes_backend(default_backend().name())
 }
 
 /// The software AES the paper's >20x slowdown models.
@@ -121,16 +137,41 @@ fn soft_aes_ctr(iters: u32, len: usize) -> Throughput {
     measure_throughput("soft_aes_ctr", len as u64, iters, || {
         soft.ctr_apply(0x1234, &mut buf);
     })
+    .with_aes_backend(default_backend().name())
 }
 
 /// The interleaved T-table block path by itself: 8 blocks in flight per
-/// round-loop iteration, consecutive blocks, no mode around it.
+/// round-loop iteration, consecutive blocks, no mode around it. Pinned
+/// to the T-table backend so the number stays comparable across builds.
 fn soft_aes_interleaved(iters: u32, len: usize) -> Throughput {
     let mut buf = vec![0xA5u8; len];
-    let aes = Aes128::new(&[7; 16]);
+    let aes = Aes128::with_backend(&[7; 16], AesBackend::TTable).expect("always available");
     measure_throughput("soft_aes_interleaved", len as u64, iters, || {
         aes.encrypt_blocks(&mut buf);
     })
+    .with_aes_backend(AesBackend::TTable.name())
+}
+
+/// The same block stream on the constant-time bitsliced backend: the
+/// price of the no-secret-indexed-loads guarantee, measured.
+fn soft_aes_bitsliced(iters: u32, len: usize) -> Throughput {
+    let mut buf = vec![0xA5u8; len];
+    let aes = Aes128::with_backend(&[7; 16], AesBackend::Bitsliced).expect("always available");
+    measure_throughput("soft_aes_bitsliced", len as u64, iters, || {
+        aes.encrypt_blocks(&mut buf);
+    })
+    .with_aes_backend(AesBackend::Bitsliced.name())
+}
+
+/// The same block stream on the hardware AES instructions. Only run when
+/// the backend is actually available (see `main`).
+fn soft_aes_aesni(iters: u32, len: usize) -> Throughput {
+    let mut buf = vec![0xA5u8; len];
+    let aes = Aes128::with_backend(&[7; 16], AesBackend::AesNi).expect("availability checked");
+    measure_throughput("soft_aes_aesni", len as u64, iters, || {
+        aes.encrypt_blocks(&mut buf);
+    })
+    .with_aes_backend(AesBackend::AesNi.name())
 }
 
 /// Host-physical base of the guest's memory for the stream scenarios.
@@ -257,7 +298,7 @@ fn main() {
     let len = (mb * 1024 * 1024) as usize;
     note!("== Simulator memory-path throughput (host wall-clock, {mb} MiB buffer, {threads} threads) ==");
 
-    let scenarios: [fn(u32, usize) -> Throughput; 11] = [
+    let mut scenarios: Vec<fn(u32, usize) -> Throughput> = vec![
         memctrl_guest_stream,
         memctrl_unaligned,
         pa_tweak_stream,
@@ -265,11 +306,19 @@ fn main() {
         sector_cipher,
         soft_aes_ctr,
         soft_aes_interleaved,
+        soft_aes_bitsliced,
+    ];
+    if AesBackend::AesNi.available() {
+        scenarios.push(soft_aes_aesni);
+    } else {
+        note!("  (soft_aes_aesni skipped: hardware AES backend unavailable in this build/host)");
+    }
+    scenarios.extend([
         guest_gpa_stream,
         guest_gpa_stream_walk,
         guest_virt_stream,
         guest_virt_stream_walk,
-    ];
+    ] as [fn(u32, usize) -> Throughput; 4]);
     let results =
         fidelius_par::par_map_ordered(&scenarios, threads, |_, scenario| scenario(iters, len));
     for t in &results {

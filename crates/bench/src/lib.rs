@@ -174,12 +174,24 @@ pub struct Throughput {
     /// so `bench_guard` asserts it *unchanged* against the baseline,
     /// separating modeled-cost regressions from wall-clock noise.
     pub cycles_per_byte: Option<f64>,
+    /// Host AES backend the scenario ran on (`"ttable"`, `"bitsliced"`,
+    /// `"aesni"`), when AES dominates its wall clock. `bench_guard` keys
+    /// its throughput floors on this: a baseline recorded on `aesni`
+    /// must not fail CI on a host without the instructions.
+    pub aes_backend: Option<&'static str>,
 }
 
 impl Throughput {
     /// Attaches the modeled cycles-per-byte figure (see the field doc).
     pub fn with_cycles_per_byte(mut self, cycles_per_byte: f64) -> Self {
         self.cycles_per_byte = Some(cycles_per_byte);
+        self
+    }
+
+    /// Records which host AES backend produced this measurement (see the
+    /// field doc; shows up as `"aes_backend"` in the JSON line).
+    pub fn with_aes_backend(mut self, backend: &'static str) -> Self {
+        self.aes_backend = Some(backend);
         self
     }
 }
@@ -201,6 +213,7 @@ pub fn measure_throughput(bench: &str, bytes: u64, iters: u32, mut f: impl FnMut
         max_ns: stats.max_ns,
         mb_per_s,
         cycles_per_byte: None,
+        aes_backend: None,
     }
 }
 
@@ -224,14 +237,21 @@ pub fn emit_throughput(t: &Throughput) {
             // against a tolerance band.
             fields.push(("cycles_per_byte", Json::Num(cpb)));
         }
+        if let Some(backend) = t.aes_backend {
+            fields.push(("aes_backend", Json::str(backend)));
+        }
         println!("{}", Json::obj(fields));
     } else {
         let modeled = match t.cycles_per_byte {
             Some(cpb) => format!(", {cpb:.4} cycles/byte modeled"),
             None => String::new(),
         };
+        let backend = match t.aes_backend {
+            Some(b) => format!(", aes backend {b}"),
+            None => String::new(),
+        };
         println!(
-            "  {:<24} {:>10.2} MB/s  (median {} ns, min {} ns, max {} ns / {} bytes per iteration{modeled})",
+            "  {:<24} {:>10.2} MB/s  (median {} ns, min {} ns, max {} ns / {} bytes per iteration{modeled}{backend})",
             t.bench, t.mb_per_s, t.wall_ns, t.min_ns, t.max_ns, t.bytes
         );
     }

@@ -90,27 +90,44 @@ fn micro_memstream_json_round_trips() {
     let lines = run_json(env!("CARGO_BIN_EXE_micro_memstream"), &["--iters", "3", "--mb", "1"]);
     let benches: Vec<&str> =
         lines.iter().filter_map(|j| j.get("bench").and_then(Json::as_str)).collect();
-    assert_eq!(
-        benches,
-        [
-            "memctrl_guest_stream",
-            "memctrl_unaligned",
-            "pa_tweak_stream",
-            "ctr128",
-            "sector_cipher",
-            "soft_aes_ctr",
-            "soft_aes_interleaved",
-            "guest_gpa_stream",
-            "guest_gpa_stream_walk",
-            "guest_virt_stream",
-            "guest_virt_stream_walk"
-        ],
-        "one throughput line per scenario, in order"
-    );
+    // `soft_aes_aesni` only appears when the binary was built with the
+    // `aesni` feature AND the host CPU has the instructions.
+    let mut expected = vec![
+        "memctrl_guest_stream",
+        "memctrl_unaligned",
+        "pa_tweak_stream",
+        "ctr128",
+        "sector_cipher",
+        "soft_aes_ctr",
+        "soft_aes_interleaved",
+        "soft_aes_bitsliced",
+    ];
+    if fidelius_crypto::aes::AesBackend::AesNi.available() {
+        expected.push("soft_aes_aesni");
+    }
+    expected.extend([
+        "guest_gpa_stream",
+        "guest_gpa_stream_walk",
+        "guest_virt_stream",
+        "guest_virt_stream_walk",
+    ]);
+    assert_eq!(benches, expected, "one throughput line per scenario, in order");
     for line in &lines {
         assert!(line.get("wall_ns").unwrap().as_f64().unwrap() > 0.0);
         assert!(line.get("mb_per_s").unwrap().as_f64().unwrap() > 0.0);
         assert!(line.get("bytes").unwrap().as_u64().unwrap() >= 1024 * 1024);
+    }
+    // Cipher-backed scenarios record which AES engine produced them so
+    // bench_guard can key its floors on the backend.
+    for cipher_bench in ["soft_aes_ctr", "soft_aes_interleaved", "soft_aes_bitsliced"] {
+        let line = lines
+            .iter()
+            .find(|j| j.get("bench").and_then(Json::as_str) == Some(cipher_bench))
+            .unwrap();
+        assert!(
+            line.get("aes_backend").and_then(Json::as_str).is_some(),
+            "{cipher_bench} must carry an aes_backend tag"
+        );
     }
 }
 

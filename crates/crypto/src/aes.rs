@@ -273,12 +273,136 @@ fn inv_mix_columns_bytes(state: &mut [u8; 16]) {
     }
 }
 
+/// Host AES engine behind a [`KeySchedule`].
+///
+/// The backend is chosen **once at schedule construction** and dispatched
+/// by a plain enum match at each batched entry point — zero per-block
+/// overhead, no function pointers to defeat inlining. Every backend is
+/// pinned bit-identical to the `aes_soft::reference` GF-math oracle, so
+/// which one runs is invisible to everything downstream: ciphertext bytes,
+/// artifacts and the *modeled* cycle costs (charged by `fidelius-hw::cycles`)
+/// are all unchanged. Selection only moves host wall clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum AesBackend {
+    /// 8-way interleaved T-table core: the portable default. Fast, but its
+    /// table loads are indexed by secret state bytes (a cache-timing
+    /// side channel on real silicon — see THREAT_MODEL.md).
+    TTable,
+    /// Constant-time bitsliced core (`aes_bitsliced` module): no tables,
+    /// no secret-dependent loads or branches; slower than the T-tables.
+    Bitsliced,
+    /// Hardware AES instructions via `std::arch::x86_64`. Requires the
+    /// `aesni` cargo feature *and* runtime `is_x86_feature_detected!("aes")`.
+    AesNi,
+}
+
+impl AesBackend {
+    /// Every backend variant, in preference order for sweeps.
+    pub const ALL: [AesBackend; 3] = [AesBackend::TTable, AesBackend::Bitsliced, AesBackend::AesNi];
+
+    /// Stable lowercase name, matching the `FIDELIUS_AES_BACKEND` values.
+    pub fn name(self) -> &'static str {
+        match self {
+            AesBackend::TTable => "ttable",
+            AesBackend::Bitsliced => "bitsliced",
+            AesBackend::AesNi => "aesni",
+        }
+    }
+
+    /// Parses a `FIDELIUS_AES_BACKEND` value.
+    pub fn parse(s: &str) -> Option<AesBackend> {
+        match s {
+            "ttable" => Some(AesBackend::TTable),
+            "bitsliced" => Some(AesBackend::Bitsliced),
+            "aesni" => Some(AesBackend::AesNi),
+            _ => None,
+        }
+    }
+
+    /// Whether this backend can run in this build on this host.
+    pub fn available(self) -> bool {
+        match self {
+            AesBackend::TTable | AesBackend::Bitsliced => true,
+            #[cfg(all(feature = "aesni", target_arch = "x86_64"))]
+            AesBackend::AesNi => crate::aes_ni::available(),
+            #[cfg(not(all(feature = "aesni", target_arch = "x86_64")))]
+            AesBackend::AesNi => false,
+        }
+    }
+}
+
+/// The backend forced by `FIDELIUS_AES_BACKEND`, if any. Read once and
+/// cached; an unknown or unavailable value aborts loudly rather than
+/// silently falling back, because a forced backend exists precisely so CI
+/// legs test what they claim to test.
+fn forced_backend() -> Option<AesBackend> {
+    static FORCED: std::sync::OnceLock<Option<AesBackend>> = std::sync::OnceLock::new();
+    *FORCED.get_or_init(|| {
+        let raw = std::env::var("FIDELIUS_AES_BACKEND").ok()?;
+        if raw.is_empty() {
+            return None;
+        }
+        let backend = AesBackend::parse(&raw).unwrap_or_else(|| {
+            panic!(
+                "FIDELIUS_AES_BACKEND={raw:?} is not a known backend \
+                 (expected one of: ttable, bitsliced, aesni)"
+            )
+        });
+        assert!(
+            backend.available(),
+            "FIDELIUS_AES_BACKEND={} was forced but that backend is unavailable \
+             (aesni needs the `aesni` cargo feature and a CPU with AES instructions)",
+            backend.name(),
+        );
+        Some(backend)
+    })
+}
+
+/// The backend new [`KeySchedule`]s use when none is requested explicitly:
+/// the `FIDELIUS_AES_BACKEND` override if set, otherwise AES-NI when it is
+/// compiled in and detected, otherwise the portable T-table core. The
+/// constant-time bitsliced core is never auto-selected — it is opt-in for
+/// callers (or hosts) that value the side-channel guarantee over speed.
+pub fn default_backend() -> AesBackend {
+    if let Some(forced) = forced_backend() {
+        return forced;
+    }
+    if AesBackend::AesNi.available() {
+        AesBackend::AesNi
+    } else {
+        AesBackend::TTable
+    }
+}
+
+/// Process-wide count of key-schedule expansions, for audit tests.
+static KEY_EXPANSIONS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+/// Process-wide count of [`KeySchedule`] clones, for audit tests.
+static SCHEDULE_CLONES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Number of key expansions this process has performed. Steady-state
+/// streaming (per-sector CTR, memctrl bursts) must not grow this — the
+/// audit test in `tests/key_expansion_audit.rs` pins that.
+pub fn key_expansions() -> u64 {
+    KEY_EXPANSIONS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Number of [`KeySchedule`] clones this process has performed (cheaper
+/// than an expansion but still an allocation — also pinned by the audit
+/// test).
+pub fn schedule_clones() -> u64 {
+    SCHEDULE_CLONES.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// An expanded AES key schedule for any of the three standard key sizes.
 ///
 /// Prefer the typed wrappers [`Aes128`] and [`Aes256`] in new code; the raw
 /// schedule is exposed for the few places (e.g. the memory controller) that
 /// select a key size at runtime.
-#[derive(Clone)]
+///
+/// The key is expanded exactly once; backend-specific key forms (bitsliced
+/// planes, AES-NI byte keys) are derived from that single expansion at
+/// construction and shared for the schedule's lifetime.
 pub struct KeySchedule {
     /// Encryption round keys as column words.
     enc: Vec<[u32; 4]>,
@@ -286,6 +410,29 @@ pub struct KeySchedule {
     /// inner rounds), indexed like `enc`.
     dec: Vec<[u32; 4]>,
     rounds: usize,
+    /// Engine chosen at construction; dispatched per batch, never per block.
+    backend: AesBackend,
+    /// Bitsliced key planes, present iff `backend == Bitsliced`.
+    bitsliced: Option<crate::aes_bitsliced::BitslicedKeys>,
+    /// Byte-form round keys for the AES instructions, present iff
+    /// `backend == AesNi`.
+    #[cfg(all(feature = "aesni", target_arch = "x86_64"))]
+    ni: Option<crate::aes_ni::NiKeys>,
+}
+
+impl Clone for KeySchedule {
+    fn clone(&self) -> Self {
+        SCHEDULE_CLONES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        KeySchedule {
+            enc: self.enc.clone(),
+            dec: self.dec.clone(),
+            rounds: self.rounds,
+            backend: self.backend,
+            bitsliced: self.bitsliced.clone(),
+            #[cfg(all(feature = "aesni", target_arch = "x86_64"))]
+            ni: self.ni.clone(),
+        }
+    }
 }
 
 impl std::fmt::Debug for KeySchedule {
@@ -296,12 +443,52 @@ impl std::fmt::Debug for KeySchedule {
 }
 
 impl KeySchedule {
-    /// Expands `key` (16, 24 or 32 bytes) into round keys.
+    /// Expands `key` (16, 24 or 32 bytes) into round keys, using the
+    /// process [`default_backend`].
     ///
     /// # Errors
     ///
     /// Returns [`crate::CryptoError::InvalidKeyLength`] for any other length.
     pub fn new(key: &[u8]) -> Result<Self, crate::CryptoError> {
+        // `default_backend` only ever returns an available backend, so this
+        // cannot fail with `BackendUnavailable`.
+        Self::with_backend(key, default_backend())
+    }
+
+    /// Expands `key` and pins the schedule to an explicit `backend`.
+    ///
+    /// The expansion runs once; the backend's key form (bitsliced planes,
+    /// AES-NI byte keys) is derived from it rather than re-expanding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CryptoError::InvalidKeyLength`] for a bad key
+    /// length, or [`crate::CryptoError::BackendUnavailable`] if `backend`
+    /// cannot run in this build on this host.
+    pub fn with_backend(key: &[u8], backend: AesBackend) -> Result<Self, crate::CryptoError> {
+        if !backend.available() {
+            return Err(crate::CryptoError::BackendUnavailable { backend: backend.name() });
+        }
+        let mut ks = Self::expand(key)?;
+        ks.backend = backend;
+        match backend {
+            AesBackend::TTable => {}
+            AesBackend::Bitsliced => {
+                ks.bitsliced =
+                    Some(crate::aes_bitsliced::BitslicedKeys::from_enc_schedule(ks.enc_words()));
+            }
+            AesBackend::AesNi => {
+                #[cfg(all(feature = "aesni", target_arch = "x86_64"))]
+                {
+                    ks.ni = Some(crate::aes_ni::NiKeys::from_words(ks.enc_words(), ks.dec_words()));
+                }
+            }
+        }
+        Ok(ks)
+    }
+
+    /// The raw key expansion: the only place round keys are computed.
+    fn expand(key: &[u8]) -> Result<Self, crate::CryptoError> {
         let (nk, rounds) = match key.len() {
             16 => (4usize, 10usize),
             24 => (6, 12),
@@ -343,7 +530,16 @@ impl KeySchedule {
             }
             dec.push(rk_words(&rk));
         }
-        Ok(KeySchedule { enc, dec, rounds })
+        KEY_EXPANSIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(KeySchedule {
+            enc,
+            dec,
+            rounds,
+            backend: AesBackend::TTable,
+            bitsliced: None,
+            #[cfg(all(feature = "aesni", target_arch = "x86_64"))]
+            ni: None,
+        })
     }
 
     /// Number of AES rounds for this key size (10, 12 or 14).
@@ -351,8 +547,45 @@ impl KeySchedule {
         self.rounds
     }
 
-    /// Encrypts one 16-byte block in place.
+    /// The host engine this schedule was pinned to at construction.
+    pub fn backend(&self) -> AesBackend {
+        self.backend
+    }
+
+    /// The expanded encryption round keys as big-endian column words (for
+    /// sibling backend modules deriving their key forms).
+    pub(crate) fn enc_words(&self) -> &[[u32; 4]] {
+        &self.enc
+    }
+
+    /// The equivalent-inverse-cipher round keys as big-endian column words.
+    #[cfg(all(feature = "aesni", target_arch = "x86_64"))]
+    pub(crate) fn dec_words(&self) -> &[[u32; 4]] {
+        &self.dec
+    }
+
+    /// Encrypts one 16-byte block in place. Dispatches to the schedule's
+    /// backend even for a single block, so the constant-time guarantee of
+    /// [`AesBackend::Bitsliced`] holds on every path.
     pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        match self.backend {
+            AesBackend::TTable => self.ttable_encrypt_block(block),
+            _ => self.encrypt_batch_dispatch(block.as_mut_slice()),
+        }
+    }
+
+    /// Decrypts one 16-byte block in place (backend-dispatched like
+    /// [`KeySchedule::encrypt_block`]).
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        match self.backend {
+            AesBackend::TTable => self.ttable_decrypt_block(block),
+            _ => self.decrypt_batch_dispatch(block.as_mut_slice()),
+        }
+    }
+
+    /// The single-block T-table path.
+    #[inline]
+    fn ttable_encrypt_block(&self, block: &mut [u8; 16]) {
         let mut w = load_state(block, &self.enc[0]);
         for r in 1..self.rounds {
             w = enc_round(&w, &self.enc[r]);
@@ -361,8 +594,9 @@ impl KeySchedule {
         store_state(&w, block);
     }
 
-    /// Decrypts one 16-byte block in place.
-    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+    /// The single-block equivalent-inverse-cipher T-table path.
+    #[inline]
+    fn ttable_decrypt_block(&self, block: &mut [u8; 16]) {
         let mut w = load_state(block, &self.dec[self.rounds]);
         for r in (1..self.rounds).rev() {
             w = dec_round(&w, &self.dec[r]);
@@ -431,14 +665,7 @@ impl KeySchedule {
     /// Panics if `blocks.len()` is not a multiple of 16.
     pub fn encrypt_blocks(&self, blocks: &mut [u8]) {
         assert_eq!(blocks.len() % 16, 0, "encrypt_blocks needs whole 16-byte blocks");
-        let mut wide = blocks.chunks_exact_mut(INTERLEAVE_BYTES);
-        for chunk in &mut wide {
-            self.encrypt8(chunk.try_into().expect("chunk is INTERLEAVE_BYTES"));
-        }
-        for chunk in wide.into_remainder().chunks_exact_mut(16) {
-            let block: &mut [u8; 16] = chunk.try_into().expect("chunk is 16 bytes");
-            self.encrypt_block(block);
-        }
+        self.encrypt_batch_dispatch(blocks);
     }
 
     /// Decrypts a run of consecutive 16-byte blocks in place.
@@ -448,13 +675,65 @@ impl KeySchedule {
     /// Panics if `blocks.len()` is not a multiple of 16.
     pub fn decrypt_blocks(&self, blocks: &mut [u8]) {
         assert_eq!(blocks.len() % 16, 0, "decrypt_blocks needs whole 16-byte blocks");
-        let mut wide = blocks.chunks_exact_mut(INTERLEAVE_BYTES);
-        for chunk in &mut wide {
-            self.decrypt8(chunk.try_into().expect("chunk is INTERLEAVE_BYTES"));
+        self.decrypt_batch_dispatch(blocks);
+    }
+
+    /// Backend dispatch for a whole-block run (callers guarantee `% 16`).
+    /// One match per batch, not per block.
+    #[inline]
+    fn encrypt_batch_dispatch(&self, blocks: &mut [u8]) {
+        match self.backend {
+            AesBackend::TTable => {
+                let mut wide = blocks.chunks_exact_mut(INTERLEAVE_BYTES);
+                for chunk in &mut wide {
+                    self.encrypt8(chunk.try_into().expect("chunk is INTERLEAVE_BYTES"));
+                }
+                for chunk in wide.into_remainder().chunks_exact_mut(16) {
+                    let block: &mut [u8; 16] = chunk.try_into().expect("chunk is 16 bytes");
+                    self.ttable_encrypt_block(block);
+                }
+            }
+            AesBackend::Bitsliced => {
+                self.bitsliced
+                    .as_ref()
+                    .expect("bitsliced keys built at construction")
+                    .encrypt_blocks(blocks);
+            }
+            AesBackend::AesNi => {
+                #[cfg(all(feature = "aesni", target_arch = "x86_64"))]
+                self.ni.as_ref().expect("aesni keys built at construction").encrypt_blocks(blocks);
+                #[cfg(not(all(feature = "aesni", target_arch = "x86_64")))]
+                unreachable!("AesNi schedules cannot be constructed without the aesni feature");
+            }
         }
-        for chunk in wide.into_remainder().chunks_exact_mut(16) {
-            let block: &mut [u8; 16] = chunk.try_into().expect("chunk is 16 bytes");
-            self.decrypt_block(block);
+    }
+
+    /// Backend dispatch for whole-block decryption (callers guarantee `% 16`).
+    #[inline]
+    fn decrypt_batch_dispatch(&self, blocks: &mut [u8]) {
+        match self.backend {
+            AesBackend::TTable => {
+                let mut wide = blocks.chunks_exact_mut(INTERLEAVE_BYTES);
+                for chunk in &mut wide {
+                    self.decrypt8(chunk.try_into().expect("chunk is INTERLEAVE_BYTES"));
+                }
+                for chunk in wide.into_remainder().chunks_exact_mut(16) {
+                    let block: &mut [u8; 16] = chunk.try_into().expect("chunk is 16 bytes");
+                    self.ttable_decrypt_block(block);
+                }
+            }
+            AesBackend::Bitsliced => {
+                self.bitsliced
+                    .as_ref()
+                    .expect("bitsliced keys built at construction")
+                    .decrypt_blocks(blocks);
+            }
+            AesBackend::AesNi => {
+                #[cfg(all(feature = "aesni", target_arch = "x86_64"))]
+                self.ni.as_ref().expect("aesni keys built at construction").decrypt_blocks(blocks);
+                #[cfg(not(all(feature = "aesni", target_arch = "x86_64")))]
+                unreachable!("AesNi schedules cannot be constructed without the aesni feature");
+            }
         }
     }
 
@@ -464,10 +743,11 @@ impl KeySchedule {
     /// [`crate::modes::SectorCipher`].
     ///
     /// The keystream is generated [`INTERLEAVE`] counter blocks at a time
-    /// into a stack scratch and encrypted through the interleaved round
-    /// loop; whole-block tails use the single-block path and the final short
-    /// chunk XORs from one stack keystream block sliced to `chunk.len()` —
-    /// no per-byte length branching.
+    /// into a stack scratch and encrypted through the schedule's backend
+    /// (interleaved T-tables, bitsliced planes or AES instructions); whole-
+    /// block tails use the single-block path and the final short chunk XORs
+    /// from one stack keystream block sliced to `chunk.len()` — no per-byte
+    /// length branching.
     pub fn xor_keystream(&self, mut counter_block: impl FnMut(u64) -> [u8; 16], data: &mut [u8]) {
         let mut idx = 0u64;
         let mut scratch = [0u8; INTERLEAVE_BYTES];
@@ -477,7 +757,7 @@ impl KeySchedule {
                 ks.copy_from_slice(&counter_block(idx + j as u64));
             }
             idx += INTERLEAVE as u64;
-            self.encrypt8(&mut scratch);
+            self.encrypt_batch_dispatch(&mut scratch);
             for (d, k) in chunk.iter_mut().zip(scratch.iter()) {
                 *d ^= *k;
             }
@@ -509,10 +789,29 @@ macro_rules! aes_variant {
         }
 
         impl $name {
-            /// Expands the key. The key length is enforced by the type.
+            /// Expands the key with the process [`default_backend`]. The
+            /// key length is enforced by the type.
             pub fn new(key: &[u8; $bytes]) -> Self {
                 let schedule = KeySchedule::new(key).expect("key length enforced by type");
                 $name { schedule }
+            }
+
+            /// Expands the key pinned to an explicit host engine.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`crate::CryptoError::BackendUnavailable`] if
+            /// `backend` cannot run in this build on this host.
+            pub fn with_backend(
+                key: &[u8; $bytes],
+                backend: AesBackend,
+            ) -> Result<Self, crate::CryptoError> {
+                Ok($name { schedule: KeySchedule::with_backend(key, backend)? })
+            }
+
+            /// The host engine this cipher was pinned to at construction.
+            pub fn backend(&self) -> AesBackend {
+                self.schedule.backend()
             }
 
             /// Encrypts one 16-byte block in place.
@@ -640,6 +939,87 @@ mod tests {
         assert_eq!(block.to_vec(), hex("8ea2b7ca516745bfeafc49904b496089"));
         cipher.decrypt_block(&mut block);
         assert_eq!(block.to_vec(), hex("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn default_backend_is_always_available() {
+        assert!(default_backend().available());
+    }
+
+    #[test]
+    fn backend_names_round_trip_through_parse() {
+        for b in AesBackend::ALL {
+            assert_eq!(AesBackend::parse(b.name()), Some(b));
+        }
+        assert_eq!(AesBackend::parse("quantum"), None);
+    }
+
+    #[test]
+    fn unavailable_backend_is_a_typed_error() {
+        if AesBackend::AesNi.available() {
+            assert!(KeySchedule::with_backend(&[0u8; 16], AesBackend::AesNi).is_ok());
+        } else {
+            assert!(matches!(
+                KeySchedule::with_backend(&[0u8; 16], AesBackend::AesNi),
+                Err(crate::CryptoError::BackendUnavailable { backend: "aesni" })
+            ));
+        }
+    }
+
+    #[test]
+    fn every_available_backend_passes_fips197_and_agrees() {
+        let key: [u8; 16] = hex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let plain: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let want = hex("69c4e0d86a7b0430d8cdb78070b4c55a");
+        for backend in AesBackend::ALL.into_iter().filter(|b| b.available()) {
+            let ks = KeySchedule::with_backend(&key, backend).unwrap();
+            assert_eq!(ks.backend(), backend);
+            let mut block = plain;
+            ks.encrypt_block(&mut block);
+            assert_eq!(block.to_vec(), want, "KAT failed on {}", backend.name());
+            ks.decrypt_block(&mut block);
+            assert_eq!(block, plain, "inverse KAT failed on {}", backend.name());
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_batches_and_keystream() {
+        let key = [0xB7u8; 16];
+        let reference = KeySchedule::with_backend(&key, AesBackend::TTable).unwrap();
+        let block_fn = |i: u64| {
+            let mut b = [0u8; 16];
+            b[..8].copy_from_slice(&i.to_le_bytes());
+            b
+        };
+        for backend in AesBackend::ALL.into_iter().filter(|b| b.available()) {
+            let ks = KeySchedule::with_backend(&key, backend).unwrap();
+            let mut batch: Vec<u8> = (0..16 * 13).map(|i| (i as u8).wrapping_mul(29)).collect();
+            let mut expect = batch.clone();
+            ks.encrypt_blocks(&mut batch);
+            reference.encrypt_blocks(&mut expect);
+            assert_eq!(batch, expect, "encrypt_blocks diverged on {}", backend.name());
+            ks.decrypt_blocks(&mut batch);
+            reference.decrypt_blocks(&mut expect);
+            assert_eq!(batch, expect, "decrypt_blocks diverged on {}", backend.name());
+
+            let mut stream = vec![0x3Du8; 137]; // not block aligned
+            let mut expect = stream.clone();
+            ks.xor_keystream(block_fn, &mut stream);
+            reference.xor_keystream(block_fn, &mut expect);
+            assert_eq!(stream, expect, "xor_keystream diverged on {}", backend.name());
+        }
+    }
+
+    #[test]
+    fn typed_variants_expose_backend_pinning() {
+        let cipher = Aes256::with_backend(&[0x11u8; 32], AesBackend::Bitsliced).unwrap();
+        assert_eq!(cipher.backend(), AesBackend::Bitsliced);
+        let mut block = [0xA5u8; 16];
+        let reference = Aes256::with_backend(&[0x11u8; 32], AesBackend::TTable).unwrap();
+        let mut expect = block;
+        cipher.encrypt_block(&mut block);
+        reference.encrypt_block(&mut expect);
+        assert_eq!(block, expect);
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Hardware AES via `std::arch::x86_64` — the `AesBackend::AesNi` engine.
+//!
+//! Compiled only with the `aesni` cargo feature on x86-64, and selected
+//! only after runtime `is_x86_feature_detected!("aes")`. The round keys
+//! come from the one expansion [`crate::aes::KeySchedule`] already did:
+//!
+//! - encryption feeds the straight schedule to `AESENC`/`AESENCLAST`;
+//! - decryption feeds the existing equivalent-inverse-cipher schedule to
+//!   `AESDEC`/`AESDECLAST` — the hardware round is exactly
+//!   `InvShiftRows → InvSubBytes → InvMixColumns → AddRoundKey`, which is
+//!   what the InvMixColumns-transformed inner keys were built for, so the
+//!   same `dec` vector the T-table core uses drops straight in (applied
+//!   high-to-low, with the untransformed `dec[rounds]` as the initial
+//!   whitening key and `dec[0]` in the `AESDECLAST` round).
+//!
+//! Eight blocks are kept in flight per loop iteration: `AESENC` has a
+//! multi-cycle latency but pipelines one per cycle, so independent states
+//! are what turn ~4 cycles/byte into ~0.3. This mirrors the eight-state
+//! interleave of the T-table core and the eight-lane batch of the
+//! bitsliced core, so every backend digests the same 128-byte batches.
+//!
+//! This is the only module in the crate allowed to use `unsafe` (the crate
+//! root forbids it unless this feature is on): the intrinsics require it,
+//! and every call site is guarded by the construction-time CPU detection.
+
+use std::arch::x86_64::{
+    __m128i, _mm_aesdec_si128, _mm_aesdeclast_si128, _mm_aesenc_si128, _mm_aesenclast_si128,
+    _mm_loadu_si128, _mm_setzero_si128, _mm_storeu_si128, _mm_xor_si128,
+};
+
+/// Maximum round keys for any AES key size (AES-256: 14 rounds + 1).
+const MAX_RK: usize = 15;
+
+/// Whether the host CPU exposes the AES instructions.
+pub(crate) fn available() -> bool {
+    std::arch::is_x86_feature_detected!("aes")
+}
+
+/// Byte-form round keys for the AES instructions, derived from the already
+/// expanded schedule (no re-expansion).
+#[derive(Clone)]
+pub(crate) struct NiKeys {
+    enc: Vec<[u8; 16]>,
+    dec: Vec<[u8; 16]>,
+}
+
+impl std::fmt::Debug for NiKeys {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.debug_struct("NiKeys").field("rounds", &(self.enc.len() - 1)).finish()
+    }
+}
+
+impl NiKeys {
+    /// Converts the column-word schedules into the 16-byte round keys the
+    /// instructions consume. `enc` is the straight schedule, `dec` the
+    /// equivalent-inverse-cipher schedule, both as built by
+    /// [`crate::aes::KeySchedule`].
+    pub(crate) fn from_words(enc: &[[u32; 4]], dec: &[[u32; 4]]) -> Self {
+        let to_bytes = |words: &[[u32; 4]]| {
+            words
+                .iter()
+                .map(|w| {
+                    let mut rk = [0u8; 16];
+                    for (c, word) in w.iter().enumerate() {
+                        rk[4 * c..4 * c + 4].copy_from_slice(&word.to_be_bytes());
+                    }
+                    rk
+                })
+                .collect::<Vec<_>>()
+        };
+        NiKeys { enc: to_bytes(enc), dec: to_bytes(dec) }
+    }
+
+    /// Encrypts consecutive 16-byte blocks in place.
+    pub(crate) fn encrypt_blocks(&self, blocks: &mut [u8]) {
+        debug_assert_eq!(blocks.len() % 16, 0);
+        debug_assert!(available(), "NiKeys constructed without CPU support");
+        // SAFETY: `NiKeys` is only constructed through
+        // `KeySchedule::with_backend(_, AesBackend::AesNi)`, which checks
+        // `is_x86_feature_detected!("aes")` first.
+        #[allow(unsafe_code)]
+        unsafe {
+            encrypt_impl(&self.enc, blocks)
+        }
+    }
+
+    /// Decrypts consecutive 16-byte blocks in place.
+    pub(crate) fn decrypt_blocks(&self, blocks: &mut [u8]) {
+        debug_assert_eq!(blocks.len() % 16, 0);
+        debug_assert!(available(), "NiKeys constructed without CPU support");
+        // SAFETY: as in `encrypt_blocks` — construction implies detection.
+        #[allow(unsafe_code)]
+        unsafe {
+            decrypt_impl(&self.dec, blocks)
+        }
+    }
+}
+
+/// Loads the round keys into registers once per batch call.
+///
+/// # Safety
+///
+/// Caller must ensure the `aes` (and implied `sse2`) target features are
+/// present at runtime.
+#[allow(unsafe_code)]
+#[target_feature(enable = "aes")]
+unsafe fn load_keys(keys: &[[u8; 16]]) -> ([__m128i; MAX_RK], usize) {
+    let mut rk = [_mm_setzero_si128(); MAX_RK];
+    for (dst, src) in rk.iter_mut().zip(keys.iter()) {
+        *dst = _mm_loadu_si128(src.as_ptr().cast::<__m128i>());
+    }
+    (rk, keys.len() - 1)
+}
+
+/// The pipelined encryption loop: eight independent states per iteration,
+/// single-block tail.
+///
+/// # Safety
+///
+/// Caller must ensure the `aes` target feature is present at runtime and
+/// `blocks.len() % 16 == 0`.
+#[allow(unsafe_code)]
+#[target_feature(enable = "aes")]
+unsafe fn encrypt_impl(keys: &[[u8; 16]], blocks: &mut [u8]) {
+    let (rk, rounds) = load_keys(keys);
+    let mut wide = blocks.chunks_exact_mut(128);
+    for chunk in &mut wide {
+        let p = chunk.as_mut_ptr().cast::<__m128i>();
+        let mut s = [_mm_setzero_si128(); 8];
+        for (b, st) in s.iter_mut().enumerate() {
+            *st = _mm_xor_si128(_mm_loadu_si128(p.add(b)), rk[0]);
+        }
+        for &k in &rk[1..rounds] {
+            for st in s.iter_mut() {
+                *st = _mm_aesenc_si128(*st, k);
+            }
+        }
+        let last = rk[rounds];
+        for (b, st) in s.iter().enumerate() {
+            _mm_storeu_si128(p.add(b), _mm_aesenclast_si128(*st, last));
+        }
+    }
+    for chunk in wide.into_remainder().chunks_exact_mut(16) {
+        let p = chunk.as_mut_ptr().cast::<__m128i>();
+        let mut s = _mm_xor_si128(_mm_loadu_si128(p), rk[0]);
+        for &k in &rk[1..rounds] {
+            s = _mm_aesenc_si128(s, k);
+        }
+        _mm_storeu_si128(p, _mm_aesenclast_si128(s, rk[rounds]));
+    }
+}
+
+/// The pipelined decryption loop over the equivalent-inverse schedule.
+///
+/// # Safety
+///
+/// As for [`encrypt_impl`].
+#[allow(unsafe_code)]
+#[target_feature(enable = "aes")]
+unsafe fn decrypt_impl(keys: &[[u8; 16]], blocks: &mut [u8]) {
+    let (rk, rounds) = load_keys(keys);
+    let mut wide = blocks.chunks_exact_mut(128);
+    for chunk in &mut wide {
+        let p = chunk.as_mut_ptr().cast::<__m128i>();
+        let mut s = [_mm_setzero_si128(); 8];
+        for (b, st) in s.iter_mut().enumerate() {
+            *st = _mm_xor_si128(_mm_loadu_si128(p.add(b)), rk[rounds]);
+        }
+        for r in (1..rounds).rev() {
+            let k = rk[r];
+            for st in s.iter_mut() {
+                *st = _mm_aesdec_si128(*st, k);
+            }
+        }
+        let last = rk[0];
+        for (b, st) in s.iter().enumerate() {
+            _mm_storeu_si128(p.add(b), _mm_aesdeclast_si128(*st, last));
+        }
+    }
+    for chunk in wide.into_remainder().chunks_exact_mut(16) {
+        let p = chunk.as_mut_ptr().cast::<__m128i>();
+        let mut s = _mm_xor_si128(_mm_loadu_si128(p), rk[rounds]);
+        for r in (1..rounds).rev() {
+            s = _mm_aesdec_si128(s, rk[r]);
+        }
+        _mm_storeu_si128(p, _mm_aesdeclast_si128(s, rk[0]));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aes::KeySchedule;
+
+    fn keys_for(key: &[u8]) -> NiKeys {
+        let ks = KeySchedule::new(key).unwrap();
+        NiKeys::from_words(ks.enc_words(), ks.dec_words())
+    }
+
+    #[test]
+    fn hardware_matches_ttable_all_key_sizes() {
+        if !available() {
+            eprintln!("skipping: host has no AES instructions");
+            return;
+        }
+        for key in [&[0x21u8; 16][..], &[0x5Eu8; 24][..], &[0xA3u8; 32][..]] {
+            let ks = KeySchedule::with_backend(key, crate::aes::AesBackend::TTable).unwrap();
+            let ni = keys_for(key);
+            let mut data: Vec<u8> = (0..16 * 11).map(|i| (i as u8).wrapping_mul(13)).collect();
+            let mut expect = data.clone();
+            ni.encrypt_blocks(&mut data);
+            ks.encrypt_blocks(&mut expect);
+            assert_eq!(data, expect, "AESENC diverged for {}-byte key", key.len());
+            ni.decrypt_blocks(&mut data);
+            ks.decrypt_blocks(&mut expect);
+            assert_eq!(data, expect, "AESDEC diverged for {}-byte key", key.len());
+        }
+    }
+}

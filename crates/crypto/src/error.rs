@@ -25,6 +25,13 @@ pub enum CryptoError {
     UnwrapFailure,
     /// A point or scalar was not a valid X25519 input.
     InvalidPoint,
+    /// An explicitly requested AES backend is not usable in this build or
+    /// on this host (e.g. `AesBackend::AesNi` without the `aesni` cargo
+    /// feature, or on a CPU without the AES instructions).
+    BackendUnavailable {
+        /// Stable name of the backend that was requested.
+        backend: &'static str,
+    },
 }
 
 impl fmt::Display for CryptoError {
@@ -39,6 +46,9 @@ impl fmt::Display for CryptoError {
             CryptoError::IntegrityFailure => write!(f, "integrity check failed"),
             CryptoError::UnwrapFailure => write!(f, "key unwrap integrity check failed"),
             CryptoError::InvalidPoint => write!(f, "invalid X25519 point or scalar"),
+            CryptoError::BackendUnavailable { backend } => {
+                write!(f, "requested AES backend `{backend}` is unavailable in this build/host")
+            }
         }
     }
 }
@@ -57,6 +67,7 @@ mod tests {
             CryptoError::IntegrityFailure,
             CryptoError::UnwrapFailure,
             CryptoError::InvalidPoint,
+            CryptoError::BackendUnavailable { backend: "aesni" },
         ];
         for v in variants {
             let s = v.to_string();

@@ -1,6 +1,15 @@
 //! AES Key Wrap (RFC 3394), used to build the paper's `Kwrap`: the wrapped
 //! transport encryption/integrity keys (`Ktek`, `Ktik`) that the guest owner
 //! hands to Fidelius for the retrofitted SEND/RECEIVE boot flow (§4.3.2).
+//!
+//! Note on batching: unlike CTR/ECB paths, the wrap loop *cannot* use the
+//! batched `encrypt_blocks` entry points — RFC 3394 threads the integrity
+//! register `A` through every block serially (block `i`'s input depends on
+//! block `i-1`'s output), so there is never more than one block in flight.
+//! The per-block `encrypt_block` calls below still dispatch to the
+//! schedule's [`crate::aes::AesBackend`]; on hardware AES the single-block
+//! latency is what it is. Key wrap runs once per guest boot, not per
+//! sector, so this is irrelevant to throughput.
 
 use crate::aes::Aes128;
 use crate::CryptoError;

@@ -15,9 +15,31 @@
 //! A seeded xorshift generator stands in for a property-testing
 //! framework: every case is reproducible from the fixed seeds, with no
 //! external dependencies.
+//!
+//! Since the backend-dispatch layer landed, the same discipline covers
+//! every host engine: each available [`AesBackend`] (T-table, bitsliced,
+//! AES-NI when compiled + detected) is swept against the GF-math
+//! reference at widths 1..=33 and every ragged byte tail 0..=15, checked
+//! for cross-backend ciphertext equality on identical inputs, and pinned
+//! to the FIPS-197 known answers for all three key sizes. A backend that
+//! is unavailable in this build/host is skipped (and logged), never
+//! silently substituted — forcing one is what `FIDELIUS_AES_BACKEND` and
+//! the CI matrix legs are for.
 
-use fidelius::crypto::aes::Aes128;
+use fidelius::crypto::aes::{Aes128, AesBackend, KeySchedule};
 use fidelius::crypto::aes_soft::reference::RefAes128;
+
+/// The backends this host can actually run (always at least two).
+fn available_backends() -> Vec<AesBackend> {
+    let backends: Vec<AesBackend> = AesBackend::ALL.into_iter().filter(|b| b.available()).collect();
+    for b in AesBackend::ALL {
+        if !b.available() {
+            eprintln!("note: backend `{}` unavailable in this build/host, skipped", b.name());
+        }
+    }
+    assert!(backends.len() >= 2, "ttable and bitsliced must always be available");
+    backends
+}
 
 /// xorshift64* — deterministic pseudo-random stream for test inputs.
 struct Rng(u64);
@@ -168,5 +190,158 @@ fn keystream_applied_twice_is_identity_across_ragged_lengths() {
         fast.schedule().xor_keystream(|i| counter(seed, i), &mut data);
         fast.schedule().xor_keystream(|i| counter(seed, i), &mut data);
         assert_eq!(data, original, "double XOR not identity at {len} bytes");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend sweep: the same oracle discipline, per host engine.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_backend_encrypts_and_decrypts_like_the_reference_at_every_width() {
+    for backend in available_backends() {
+        let mut rng = Rng::new(0xBAC_E0D ^ backend.name().len() as u64);
+        for blocks in 1usize..=33 {
+            let key = rng.key();
+            let fast = Aes128::with_backend(&key, backend).unwrap();
+            let slow = RefAes128::new(&key);
+            let mut data = vec![0u8; blocks * 16];
+            rng.fill(&mut data);
+            let mut expect = data.clone();
+
+            fast.encrypt_blocks(&mut data);
+            reference_encrypt_blocks(&slow, &mut expect);
+            assert_eq!(data, expect, "encrypt mismatch on `{}` at {blocks} blocks", backend.name());
+
+            fast.decrypt_blocks(&mut data);
+            reference_decrypt_blocks(&slow, &mut expect);
+            assert_eq!(data, expect, "decrypt mismatch on `{}` at {blocks} blocks", backend.name());
+        }
+    }
+}
+
+#[test]
+fn every_backend_keystream_matches_reference_at_every_ragged_tail() {
+    for backend in available_backends() {
+        let mut rng = Rng::new(0x0BAC_CB57 ^ backend.name().len() as u64);
+        for blocks in 0usize..=33 {
+            for tail in 0usize..=15 {
+                let len = blocks * 16 + tail;
+                let key = rng.key();
+                let seed = rng.next();
+                let fast = Aes128::with_backend(&key, backend).unwrap();
+                let slow = RefAes128::new(&key);
+                let mut data = vec![0u8; len];
+                rng.fill(&mut data);
+                let mut expect = data.clone();
+
+                fast.schedule().xor_keystream(|i| counter(seed, i), &mut data);
+                for (i, chunk) in expect.chunks_mut(16).enumerate() {
+                    let mut ks = counter(seed, i as u64);
+                    slow.encrypt_block(&mut ks);
+                    for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+                        *d ^= *k;
+                    }
+                }
+                assert_eq!(
+                    data,
+                    expect,
+                    "keystream mismatch on `{}` at {blocks} blocks + {tail} bytes",
+                    backend.name()
+                );
+            }
+        }
+    }
+}
+
+/// Cross-backend equality without the reference in the middle: every
+/// engine must emit the exact ciphertext the T-table engine emits from
+/// identical inputs, for batches and single blocks alike.
+#[test]
+fn backends_produce_identical_ciphertext_on_identical_inputs() {
+    let backends = available_backends();
+    let mut rng = Rng::new(0xE0_0A11);
+    for blocks in [1usize, 7, 8, 9, 16, 33] {
+        let key = rng.key();
+        let mut plain = vec![0u8; blocks * 16];
+        rng.fill(&mut plain);
+
+        let reference = Aes128::with_backend(&key, AesBackend::TTable).unwrap();
+        let mut want = plain.clone();
+        reference.encrypt_blocks(&mut want);
+
+        for &backend in &backends {
+            let cipher = Aes128::with_backend(&key, backend).unwrap();
+            let mut got = plain.clone();
+            cipher.encrypt_blocks(&mut got);
+            assert_eq!(
+                got,
+                want,
+                "`{}` ciphertext differs from ttable at {blocks} blocks",
+                backend.name()
+            );
+            cipher.decrypt_blocks(&mut got);
+            assert_eq!(got, plain, "`{}` failed to invert", backend.name());
+        }
+    }
+}
+
+/// FIPS-197 Appendix C known answers, per backend, for all three key
+/// sizes (via the raw schedule, which is what the memory controller uses
+/// for the 256-bit `Kvek`).
+#[test]
+fn fips197_known_answers_hold_on_every_backend() {
+    let plain: [u8; 16] = [
+        0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee,
+        0xff,
+    ];
+    let cases: [(&[u8], [u8; 16]); 3] = [
+        (
+            &[
+                0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+                0x0e, 0x0f,
+            ],
+            [
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+                0xc5, 0x5a,
+            ],
+        ),
+        (
+            &[
+                0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+                0x0e, 0x0f, 0x10, 0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17,
+            ],
+            [
+                0xdd, 0xa9, 0x7c, 0xa4, 0x86, 0x4c, 0xdf, 0xe0, 0x6e, 0xaf, 0x70, 0xa0, 0xec, 0x0d,
+                0x71, 0x91,
+            ],
+        ),
+        (
+            &[
+                0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+                0x0e, 0x0f, 0x10, 0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17, 0x18, 0x19, 0x1a, 0x1b,
+                0x1c, 0x1d, 0x1e, 0x1f,
+            ],
+            [
+                0x8e, 0xa2, 0xb7, 0xca, 0x51, 0x67, 0x45, 0xbf, 0xea, 0xfc, 0x49, 0x90, 0x4b, 0x49,
+                0x60, 0x89,
+            ],
+        ),
+    ];
+    for backend in available_backends() {
+        for (key, want) in &cases {
+            let ks = KeySchedule::with_backend(key, backend).unwrap();
+            let mut block = plain;
+            ks.encrypt_block(&mut block);
+            assert_eq!(
+                &block,
+                want,
+                "FIPS-197 KAT failed on `{}` with a {}-byte key",
+                backend.name(),
+                key.len()
+            );
+            ks.decrypt_block(&mut block);
+            assert_eq!(block, plain, "FIPS-197 inverse failed on `{}`", backend.name());
+        }
     }
 }

@@ -1,0 +1,78 @@
+//! Key-expansion audit: steady-state streaming must not re-expand or
+//! clone AES key schedules.
+//!
+//! PR 9 fixed the per-sector allocation in `Ctr128::apply_with`; the
+//! backend-dispatch layer adds process-wide audit counters
+//! (`fidelius_crypto::aes::key_expansions` / `schedule_clones`) so the
+//! property is *pinned* instead of re-discovered by profiler. Key
+//! expansion is allowed exactly at construction (one per `KeySchedule`,
+//! regardless of backend — backend key forms derive from the single
+//! expansion); the hot loops below must add zero expansions and zero
+//! clones.
+//!
+//! This file deliberately contains a single `#[test]`: the counters are
+//! process-global, and Rust runs tests in one process with a shared
+//! thread pool. An integration-test file gets its own process, and one
+//! test in it gets deterministic counter deltas.
+
+use fidelius::crypto::aes::{key_expansions, schedule_clones, Aes128, AesBackend, KeySchedule};
+use fidelius::crypto::modes::{Ctr128, PaTweakCipher, SectorCipher, SECTOR_SIZE};
+
+#[test]
+fn streaming_paths_never_reexpand_or_clone_schedules() {
+    // --- Construction: each context expands exactly once. -----------------
+    let base_expansions = key_expansions();
+    let sector = SectorCipher::new(&[0x51u8; 16]);
+    let disk = Aes128::new(&[0x52u8; 16]);
+    let tweak = PaTweakCipher::new(&[0x53u8; 16]);
+    let constructed = key_expansions() - base_expansions;
+    // SectorCipher/PaTweakCipher may hold one or two internal schedules,
+    // but construction cost must be a small constant, not data-dependent.
+    assert!(
+        (3..=6).contains(&constructed),
+        "construction expanded {constructed} schedules; expected one-ish per context"
+    );
+
+    // Backend-pinned construction also expands exactly once per schedule:
+    // the bitsliced planes (and AES-NI byte keys) derive from the one
+    // expansion rather than re-running it.
+    let before = key_expansions();
+    for backend in AesBackend::ALL.into_iter().filter(|b| b.available()) {
+        let _ks = KeySchedule::with_backend(&[0x54u8; 16], backend).unwrap();
+    }
+    let per_backend = key_expansions() - before;
+    let n_backends = AesBackend::ALL.iter().filter(|b| b.available()).count() as u64;
+    assert_eq!(per_backend, n_backends, "pinning a backend must not cost extra expansions");
+
+    // --- Steady state: stream megabytes, expect zero. ---------------------
+    let expansions_before = key_expansions();
+    let clones_before = schedule_clones();
+
+    let mut sectors = vec![0xA7u8; SECTOR_SIZE * 64];
+    for first in 0..32u64 {
+        sector.encrypt_sectors(first * 64, &mut sectors);
+        sector.decrypt_sectors(first * 64, &mut sectors);
+    }
+
+    let mut stream = vec![0x19u8; 4096];
+    for nonce in 0..256u64 {
+        Ctr128::apply_with(&disk, nonce, 0, &mut stream);
+    }
+
+    let mut pages = vec![0x3Cu8; 4096];
+    for page in 0..256u64 {
+        tweak.encrypt_blocks(page << 12, &mut pages);
+        tweak.decrypt_blocks(page << 12, &mut pages);
+    }
+
+    assert_eq!(
+        key_expansions() - expansions_before,
+        0,
+        "steady-state streaming re-expanded a key schedule"
+    );
+    assert_eq!(
+        schedule_clones() - clones_before,
+        0,
+        "steady-state streaming cloned a key schedule"
+    );
+}
